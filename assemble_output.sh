@@ -1,0 +1,22 @@
+#!/bin/bash
+# Concatenates per-bench logs into the canonical bench_output.txt.
+cd "$(dirname "$0")"
+{
+for f in bench_logs/tab01_workloads.txt bench_logs/tab02_float_formats.txt \
+         bench_logs/fig03_overall.txt bench_logs/fig03d_finetuned.txt \
+         bench_logs/fig04_fault_models.txt bench_logs/fig05_mem_propagation.txt \
+         bench_logs/fig06_comp_propagation.txt bench_logs/fig08_sdc_breakdown.txt \
+         bench_logs/fig09_bitpos_subtle.txt bench_logs/fig10_bitpos_distorted.txt \
+         bench_logs/fig11_tasks.txt bench_logs/fig12_cot_case_study.txt \
+         bench_logs/fig13_weight_distributions.txt bench_logs/fig14_moe_vs_dense.txt \
+         bench_logs/fig15_gate_faults.txt bench_logs/fig16_scale.txt \
+         bench_logs/fig17_quantization.txt bench_logs/fig18_beam_vs_greedy.txt \
+         bench_logs/fig19_beam_tradeoff.txt bench_logs/fig20_cot.txt \
+         bench_logs/fig21_dtypes.txt bench_logs/abl_quant_scale_faults.txt \
+         bench_logs/abl_range_restriction.txt bench_logs/abl_detector_coverage.txt \
+         bench_logs/micro_perf.txt; do
+  echo "##### $(basename "$f" .txt) #####"
+  cat "$f"
+  echo
+done
+} > bench_output.txt

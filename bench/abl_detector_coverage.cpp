@@ -1,0 +1,94 @@
+// Ablation: online SDC detection coverage vs false positives.
+//
+// An ActivationDetector (profiled-envelope monitor) watches every linear
+// output during FI campaigns. Reported: how many SDC trials it flags
+// (coverage), how many masked trials it flags (benign detections), and
+// its false-positive rate on fault-free inputs — the operating point an
+// HPC operator would tune (paper §7, "HPC system designers").
+
+#include "common.h"
+#include "core/detector.h"
+#include "core/injector.h"
+
+using namespace llmfi;
+
+int main() {
+  auto& zoo = benchutil::shared_zoo();
+  model::InferenceModel engine(zoo.get("qilin"),
+                               benchutil::default_precision());
+  const auto& spec = eval::workload(data::TaskKind::MathGsm);
+  const auto& eval_set = zoo.task(data::TaskKind::MathGsm).eval;
+  const int trials = benchutil::env_int("LLMFI_TRIALS", 150);
+  const int n_inputs = benchutil::env_int("LLMFI_INPUTS", 10);
+  eval::RunOptions opt;
+
+  std::vector<std::string> profile_prompts;
+  for (int i = n_inputs; i < n_inputs + 10; ++i) {
+    profile_prompts.push_back(eval_set[static_cast<size_t>(i)].prompt);
+  }
+  const auto profile =
+      core::profile_activations(engine, zoo.vocab(), profile_prompts);
+
+  // False positives on the fault-free eval inputs.
+  int false_positives = 0;
+  for (int i = 0; i < n_inputs; ++i) {
+    core::ActivationDetector det(profile);
+    engine.set_linear_hook(&det);
+    (void)eval::run_example(engine, zoo.vocab(), spec,
+                            eval_set[static_cast<size_t>(i)], opt);
+    engine.set_linear_hook(nullptr);
+    false_positives += det.triggered() ? 1 : 0;
+  }
+
+  report::Table t("Ablation: activation-monitor SDC detection "
+                  "(gsm8k-syn, qilin-bf16)");
+  t.header({"fault", "SDC trials", "SDCs flagged (coverage)",
+            "masked trials flagged"});
+
+  for (auto fault : {core::FaultModel::Comp2Bit, core::FaultModel::Mem2Bit}) {
+    num::Rng rng(777);
+    int sdc = 0, sdc_flagged = 0, masked_flagged = 0, masked = 0;
+    for (int trial = 0; trial < trials; ++trial) {
+      const auto& ex = eval_set[static_cast<size_t>(trial % n_inputs)];
+      num::Rng trng = rng.fork(static_cast<std::uint64_t>(trial));
+      core::SamplerScope scope;
+      scope.max_passes = 12;
+      auto plan = core::sample_fault(fault, engine, scope, trng);
+
+      core::ActivationDetector detector(profile);
+      eval::ExampleResult res;
+      if (core::is_memory_fault(fault)) {
+        core::WeightCorruption wc(engine, plan);
+        engine.set_linear_hook(&detector);
+        res = eval::run_example(engine, zoo.vocab(), spec, ex, opt);
+      } else {
+        core::ComputationalFaultInjector injector(
+            plan, engine.precision().act_dtype);
+        detector.set_next(&injector);
+        engine.set_linear_hook(&detector);
+        res = eval::run_example(engine, zoo.vocab(), spec, ex, opt);
+      }
+      engine.set_linear_hook(nullptr);
+      if (res.correct) {
+        ++masked;
+        masked_flagged += detector.triggered() ? 1 : 0;
+      } else {
+        ++sdc;
+        sdc_flagged += detector.triggered() ? 1 : 0;
+      }
+    }
+    t.row({std::string(core::fault_model_name(fault)), std::to_string(sdc),
+           sdc ? report::fmt_pct(static_cast<double>(sdc_flagged) / sdc)
+               : "n/a",
+           masked ? report::fmt_pct(static_cast<double>(masked_flagged) /
+                                    masked)
+                  : "n/a"});
+  }
+  t.print(std::cout);
+  std::printf("false positives on fault-free inputs: %d/%d\n",
+              false_positives, n_inputs);
+  std::printf("expected shape: high coverage of distortion-class SDCs "
+              "(extreme values), partial coverage of subtle SDCs, ~zero "
+              "false positives.\n");
+  return 0;
+}

@@ -1,0 +1,96 @@
+// Ablation: activation range restriction as fault isolation.
+//
+// The paper's conclusions ask for "inference algorithms that reduce
+// fault propagation (fault isolation)". This bench quantifies the
+// classic answer — Ranger-style clamping of every linear output into a
+// profiled envelope — on the math task under both fault models,
+// with and without the mitigation, plus its fault-free overhead cost.
+
+#include "common.h"
+#include "core/injector.h"
+#include "core/mitigation.h"
+
+using namespace llmfi;
+
+int main() {
+  auto& zoo = benchutil::shared_zoo();
+  model::InferenceModel engine(zoo.get("qilin"),
+                               benchutil::default_precision());
+  const auto& spec = eval::workload(data::TaskKind::MathGsm);
+  const auto& eval_set = zoo.task(data::TaskKind::MathGsm).eval;
+  const int trials = benchutil::env_int("LLMFI_TRIALS", 150);
+  const int n_inputs = benchutil::env_int("LLMFI_INPUTS", 10);
+  eval::RunOptions opt;
+
+  // Profile the clean activation envelope on held-out prompts.
+  std::vector<std::string> profile_prompts;
+  for (int i = n_inputs; i < n_inputs + 10; ++i) {
+    profile_prompts.push_back(eval_set[static_cast<size_t>(i)].prompt);
+  }
+  const auto profile =
+      core::profile_activations(engine, zoo.vocab(), profile_prompts);
+
+  // Fault-free accuracy with the restriction on (overhead check: the
+  // mitigation must not break clean inference).
+  core::RangeRestrictionHook guard_only(profile);
+  engine.set_linear_hook(&guard_only);
+  int clean_correct = 0;
+  for (int i = 0; i < n_inputs; ++i) {
+    auto r = eval::run_example(engine, zoo.vocab(), spec,
+                               eval_set[static_cast<size_t>(i)], opt);
+    clean_correct += r.correct ? 1 : 0;
+  }
+  engine.set_linear_hook(nullptr);
+
+  report::Table t("Ablation: range restriction (gsm8k-syn, qilin-bf16)");
+  t.header({"fault", "mitigation", "faulty accuracy", "SDC rate",
+            "corrections/trial"});
+
+  for (auto fault : {core::FaultModel::Comp2Bit, core::FaultModel::Mem2Bit}) {
+    for (const bool mitigated : {false, true}) {
+      num::Rng rng(4242);
+      int correct = 0;
+      std::int64_t corrections = 0;
+      for (int trial = 0; trial < trials; ++trial) {
+        const auto& ex = eval_set[static_cast<size_t>(trial % n_inputs)];
+        num::Rng trng = rng.fork(static_cast<std::uint64_t>(trial));
+        core::SamplerScope scope;
+        scope.max_passes = 12;
+        auto plan = core::sample_fault(fault, engine, scope, trng);
+
+        core::RangeRestrictionHook restriction(profile);
+        eval::ExampleResult res;
+        if (core::is_memory_fault(fault)) {
+          core::WeightCorruption wc(engine, plan);
+          if (mitigated) engine.set_linear_hook(&restriction);
+          res = eval::run_example(engine, zoo.vocab(), spec, ex, opt);
+        } else {
+          core::ComputationalFaultInjector injector(
+              plan, engine.precision().act_dtype);
+          if (mitigated) {
+            restriction.set_next(&injector);
+            engine.set_linear_hook(&restriction);
+          } else {
+            engine.set_linear_hook(&injector);
+          }
+          res = eval::run_example(engine, zoo.vocab(), spec, ex, opt);
+        }
+        engine.set_linear_hook(nullptr);
+        correct += res.correct ? 1 : 0;
+        corrections += restriction.corrections();
+      }
+      t.row({std::string(core::fault_model_name(fault)),
+             mitigated ? "range-restricted" : "none",
+             report::fmt(static_cast<double>(correct) / trials),
+             report::fmt_pct(1.0 - static_cast<double>(correct) / trials),
+             report::fmt(static_cast<double>(corrections) / trials, 1)});
+    }
+  }
+  t.print(std::cout);
+  std::printf("fault-free accuracy with restriction active: %.4f (must "
+              "match the unprotected baseline)\n",
+              static_cast<double>(clean_correct) / n_inputs);
+  std::printf("expected shape: restriction recovers a large share of the "
+              "SDCs caused by exponent-MSB flips at negligible cost.\n");
+  return 0;
+}

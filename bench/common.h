@@ -1,0 +1,77 @@
+#pragma once
+// Shared plumbing for the per-figure bench binaries.
+//
+// Every binary honors three environment knobs so campaigns can be scaled
+// from smoke-test size to paper size without recompiling:
+//   LLMFI_TRIALS  — FI trials per campaign cell (default per bench)
+//   LLMFI_INPUTS  — evaluation inputs cycled per cell
+//   LLMFI_SEED    — campaign seed
+// Models come from the shared zoo cache ($LLMFI_MODEL_CACHE or
+// ./model_cache); missing checkpoints are trained on demand.
+
+#include <cstdlib>
+#include <iostream>
+#include <string>
+
+#include "eval/campaign.h"
+#include "eval/model_zoo.h"
+#include "report/table.h"
+
+namespace llmfi::benchutil {
+
+inline int env_int(const char* name, int fallback) {
+  const char* v = std::getenv(name);
+  if (v == nullptr) return fallback;
+  const int parsed = std::atoi(v);
+  return parsed > 0 ? parsed : fallback;
+}
+
+inline eval::Zoo& shared_zoo() {
+  static eval::Zoo zoo;
+  return zoo;
+}
+
+// Campaigns run the models in bf16 by default, matching the serving
+// dtype of the paper's models (HF loads Llama/Qwen/Falcon in bfloat16);
+// with 16-bit storage the exponent MSB is bit 14, exactly as in the
+// paper's Figs 9-10. Dtype-comparison benches override this.
+inline model::PrecisionConfig default_precision() {
+  return model::PrecisionConfig::for_dtype(num::DType::BF16);
+}
+
+inline eval::CampaignConfig default_campaign(core::FaultModel fault,
+                                             int default_trials = 60,
+                                             int default_inputs = 8) {
+  eval::CampaignConfig cfg;
+  cfg.fault = fault;
+  cfg.trials = env_int("LLMFI_TRIALS", default_trials);
+  cfg.n_inputs = env_int("LLMFI_INPUTS", default_inputs);
+  cfg.seed = static_cast<std::uint64_t>(env_int("LLMFI_SEED", 2025));
+  return cfg;
+}
+
+inline const char* check(bool ok) { return ok ? "yes" : "NO"; }
+
+// Standard row for a campaign cell: primary-metric normalized
+// performance with CI plus the outcome split.
+inline void add_campaign_row(report::Table& t, const std::string& dataset,
+                             const std::string& model,
+                             core::FaultModel fault,
+                             const eval::WorkloadSpec& spec,
+                             const eval::CampaignResult& r) {
+  const std::string& metric = spec.metrics.front().name;
+  t.row({dataset, model, std::string(core::fault_model_name(fault)), metric,
+         report::fmt(r.baseline_mean(metric)),
+         report::fmt(r.faulty_mean(metric)),
+         report::fmt_ratio(r.normalized(metric)),
+         std::to_string(r.masked) + "/" + std::to_string(r.sdc_subtle) +
+             "/" + std::to_string(r.sdc_distorted)});
+}
+
+inline std::vector<std::string> campaign_header() {
+  return {"dataset", "model",      "fault",      "metric",
+          "baseline", "faulty",    "normalized [95% CI]",
+          "masked/subtle/distorted"};
+}
+
+}  // namespace llmfi::benchutil

@@ -1,0 +1,79 @@
+// Fig 5: propagation trace of a memory fault. Flip the MSB of one weight
+// in a mid-block up_proj and diff every linear layer's output against
+// the clean run: the fault-injected layer shows a single corrupted
+// *column* across all token rows; the next layer's output is corrupted
+// everywhere.
+
+#include "common.h"
+#include "core/injector.h"
+#include "core/tracer.h"
+
+using namespace llmfi;
+
+int main() {
+  auto& zoo = benchutil::shared_zoo();
+  model::InferenceModel engine(zoo.get("qilin"), {});
+  const auto& vocab = zoo.vocab();
+  const auto& ex = zoo.task(data::TaskKind::Translation).eval.front();
+  std::vector<tok::TokenId> prompt = {vocab.bos()};
+  const auto body = vocab.encode(ex.prompt);
+  prompt.insert(prompt.end(), body.begin(), body.end());
+
+  const auto clean = core::capture_layer_outputs(engine, prompt);
+
+  // Target: block 1 up_proj, weight (20, 20), MSB (fp32 bit 30).
+  core::FaultPlan plan;
+  plan.model = core::FaultModel::Mem2Bit;
+  plan.layer = {1, nn::LayerKind::UpProj, -1};
+  plan.weight_row = 20;
+  plan.weight_col = 20;
+  plan.bits = {30};
+  auto layers = engine.linear_layers();
+  for (int i = 0; i < static_cast<int>(layers.size()); ++i) {
+    if (layers[static_cast<size_t>(i)].id == plan.layer) plan.layer_index = i;
+  }
+
+  std::vector<core::CapturedLayer> faulty;
+  {
+    core::WeightCorruption guard(engine, plan);
+    std::printf("weight %s (20,20): %.5g -> %.5g\n",
+                to_string(plan.layer).c_str(),
+                static_cast<double>(guard.old_value()),
+                static_cast<double>(guard.new_value()));
+    faulty = core::capture_layer_outputs(engine, prompt);
+  }
+
+  const auto diffs = core::diff_captures(clean, faulty);
+  report::Table t(
+      "Fig 5: memory-fault propagation (corrupted fraction per layer "
+      "output)");
+  t.header({"layer", "shape", "rows hit", "cols hit", "elems hit",
+            "max |delta|"});
+  for (const auto& d : diffs) {
+    t.row({to_string(d.id),
+           std::to_string(d.rows) + "x" + std::to_string(d.cols),
+           report::fmt_pct(d.row_fraction()),
+           report::fmt_pct(d.col_fraction()),
+           std::to_string(d.corrupted_elems), report::fmt(d.max_abs_delta, 3)});
+  }
+  t.print(std::cout);
+
+  // The Fig 5 claim, checked mechanically: at the injected layer exactly
+  // one column is corrupted but every row is; the *next* linear layer
+  // (down_proj of the same block) is corrupted across many columns.
+  for (size_t i = 0; i < diffs.size(); ++i) {
+    if (diffs[i].id == plan.layer) {
+      const auto& at = diffs[i];
+      const auto& next = diffs[i + 1];
+      std::printf("at injected layer: cols hit = %lld (expect 1), rows hit "
+                  "= %lld/%lld\n",
+                  static_cast<long long>(at.corrupted_cols),
+                  static_cast<long long>(at.corrupted_rows),
+                  static_cast<long long>(at.rows));
+      std::printf("next layer (%s): col fraction = %.1f%% (expect wide)\n",
+                  to_string(next.id).c_str(), 100.0 * next.col_fraction());
+      break;
+    }
+  }
+  return 0;
+}

@@ -1,0 +1,80 @@
+// Fig 6: propagation trace of a computational fault. Flip the MSB of one
+// output neuron of a mid-block up_proj during the forward pass: the
+// corruption stays within a single *row* (one token) and the following
+// RMSNorm largely contains it, in contrast to the memory fault of Fig 5.
+
+#include "common.h"
+#include "core/injector.h"
+#include "core/tracer.h"
+
+using namespace llmfi;
+
+int main() {
+  auto& zoo = benchutil::shared_zoo();
+  model::InferenceModel engine(zoo.get("qilin"), {});
+  const auto& vocab = zoo.vocab();
+  const auto& ex = zoo.task(data::TaskKind::Translation).eval.front();
+  std::vector<tok::TokenId> prompt = {vocab.bos()};
+  const auto body = vocab.encode(ex.prompt);
+  prompt.insert(prompt.end(), body.begin(), body.end());
+
+  const auto clean = core::capture_layer_outputs(engine, prompt);
+
+  // Target: block 1 up_proj output, token row ~mid-prompt, neuron 20,
+  // MSB of the fp32 activation.
+  core::FaultPlan plan;
+  plan.model = core::FaultModel::Comp1Bit;
+  plan.layer = {1, nn::LayerKind::UpProj, -1};
+  plan.pass_index = 0;
+  plan.row_frac = 0.5;
+  plan.out_col = 20;
+  plan.bits = {30};
+
+  core::ComputationalFaultInjector injector(plan,
+                                            engine.precision().act_dtype);
+  engine.set_linear_hook(&injector);
+  const auto faulty = core::capture_layer_outputs(engine, prompt);
+  engine.set_linear_hook(nullptr);
+  if (injector.fired()) {
+    std::printf("neuron (%lld, %lld) of %s: %.5g -> %.5g\n",
+                static_cast<long long>(injector.record().row),
+                static_cast<long long>(injector.record().col),
+                to_string(plan.layer).c_str(),
+                static_cast<double>(injector.record().old_value),
+                static_cast<double>(injector.record().new_value));
+  }
+
+  const auto diffs = core::diff_captures(clean, faulty);
+  report::Table t(
+      "Fig 6: computational-fault propagation (corrupted fraction per "
+      "layer output)");
+  t.header({"layer", "shape", "rows hit", "cols hit", "elems hit",
+            "max |delta|"});
+  for (const auto& d : diffs) {
+    t.row({to_string(d.id),
+           std::to_string(d.rows) + "x" + std::to_string(d.cols),
+           report::fmt_pct(d.row_fraction()),
+           report::fmt_pct(d.col_fraction()),
+           std::to_string(d.corrupted_elems), report::fmt(d.max_abs_delta, 3)});
+  }
+  t.print(std::cout);
+
+  // Mechanical check of the Fig 6 claim: within this block the fault
+  // touches exactly one row, and the total corrupted fraction stays far
+  // below the memory-fault case of Fig 5 (no full-tensor takeover).
+  for (size_t i = 0; i < diffs.size(); ++i) {
+    if (diffs[i].id == plan.layer) {
+      const auto& at = diffs[i];
+      const auto& next = diffs[i + 1];
+      std::printf(
+          "at injected layer: rows hit = %lld (expect 1), cols hit = %lld\n",
+          static_cast<long long>(at.corrupted_rows),
+          static_cast<long long>(at.corrupted_cols));
+      std::printf("next layer (%s): row fraction = %.1f%% (stays one row "
+                  "within this block)\n",
+                  to_string(next.id).c_str(), 100.0 * next.row_fraction());
+      break;
+    }
+  }
+  return 0;
+}

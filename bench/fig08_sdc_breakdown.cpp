@@ -1,0 +1,37 @@
+// Fig 8: SDC breakdown into distorted vs subtly-wrong outputs on the
+// math task (qilin & falco under all three fault models). Subtly wrong
+// outputs dominate; distorted outputs concentrate under memory faults.
+
+#include "common.h"
+
+using namespace llmfi;
+
+int main() {
+  auto& zoo = benchutil::shared_zoo();
+  const auto& spec = eval::workload(data::TaskKind::MathGsm);
+
+  report::Table t("Fig 8: SDC breakdown (gsm8k-syn)");
+  t.header({"model", "fault", "trials", "masked", "SDC subtle",
+            "SDC distorted", "distorted share of SDCs"});
+
+  for (const std::string m : {"qilin", "falco"}) {
+    for (auto fault : {core::FaultModel::Comp1Bit,
+                       core::FaultModel::Comp2Bit,
+                       core::FaultModel::Mem2Bit}) {
+      auto cfg = benchutil::default_campaign(fault, 80, 8);
+      auto r = eval::run_campaign(zoo, m, benchutil::default_precision(), spec, cfg);
+      const int sdcs = r.sdc_subtle + r.sdc_distorted;
+      t.row({m, std::string(core::fault_model_name(fault)),
+             std::to_string(r.trials()), std::to_string(r.masked),
+             std::to_string(r.sdc_subtle), std::to_string(r.sdc_distorted),
+             sdcs ? report::fmt_pct(static_cast<double>(r.sdc_distorted) /
+                                    sdcs)
+                  : "n/a"});
+    }
+  }
+  t.print(std::cout);
+  std::printf("paper shape: most SDCs are subtly wrong; distorted outputs "
+              "are rare under computational faults (<~1%%) and more common "
+              "under memory faults.\n");
+  return 0;
+}

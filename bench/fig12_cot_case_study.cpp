@@ -1,0 +1,70 @@
+// Fig 12: SDC case study — a single computational fault flips a token in
+// the chain-of-thought, the error propagates through the remaining
+// reasoning steps, and the final answer comes out wrong. This bench
+// searches seeded fault locations until it finds such a case and prints
+// the clean/faulty traces side by side.
+
+#include "common.h"
+#include "core/injector.h"
+#include "data/tasks.h"
+
+using namespace llmfi;
+
+int main() {
+  auto& zoo = benchutil::shared_zoo();
+  model::InferenceModel engine(zoo.get("qilin"),
+                               benchutil::default_precision());
+  const auto& spec = eval::workload(data::TaskKind::MathGsm);
+  const auto& eval_set = zoo.task(data::TaskKind::MathGsm).eval;
+  eval::RunOptions opt;
+
+  num::Rng rng(static_cast<std::uint64_t>(
+      benchutil::env_int("LLMFI_SEED", 2025)));
+  int shown = 0;
+  for (int attempt = 0; attempt < 400 && shown < 2; ++attempt) {
+    const auto& ex = eval_set[static_cast<size_t>(attempt) % eval_set.size()];
+    auto base = eval::run_example(engine, zoo.vocab(), spec, ex, opt);
+    if (!base.correct) continue;  // want a clean baseline
+
+    core::SamplerScope scope;
+    scope.max_passes = std::max(1, base.passes);
+    num::Rng trial_rng = rng.fork(static_cast<std::uint64_t>(attempt));
+    auto plan = core::sample_fault(core::FaultModel::Comp2Bit, engine, scope,
+                                   trial_rng);
+    core::ComputationalFaultInjector injector(plan,
+                                              engine.precision().act_dtype);
+    engine.set_linear_hook(&injector);
+    auto faulty = eval::run_example(engine, zoo.vocab(), spec, ex, opt);
+    engine.set_linear_hook(nullptr);
+
+    // Interesting case: reasoning text changed AND the final answer is
+    // now wrong (an SDC caused inside the chain of thought).
+    if (!faulty.correct && faulty.output != base.output &&
+        injector.fired()) {
+      std::printf("question:  %s\nreference: %s\n", ex.prompt.c_str(),
+                  ex.reference.c_str());
+      std::printf("fault:     %s, pass %d, neuron (%lld,%lld), bits {",
+                  nn::to_string(plan.layer).c_str(), plan.pass_index,
+                  static_cast<long long>(injector.record().row),
+                  static_cast<long long>(injector.record().col));
+      for (size_t i = 0; i < plan.bits.size(); ++i) {
+        std::printf("%s%d", i ? "," : "", plan.bits[i]);
+      }
+      std::printf("}; value %.4g -> %.4g\n",
+                  static_cast<double>(injector.record().old_value),
+                  static_cast<double>(injector.record().new_value));
+      std::printf("baseline:  %s\nfaulty:    %s\n",
+                  base.output.c_str(), faulty.output.c_str());
+      std::printf("final answer: \"%s\" vs reference \"%s\" -> SDC\n\n",
+                  data::extract_final_answer(faulty.output).c_str(),
+                  ex.final_answer.c_str());
+      ++shown;
+    }
+  }
+  if (shown == 0) {
+    std::printf("no reasoning-corrupting fault found within the search "
+                "budget; increase LLMFI_SEED variety\n");
+    return 1;
+  }
+  return 0;
+}

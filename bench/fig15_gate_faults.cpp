@@ -1,0 +1,106 @@
+// Fig 15: memory faults restricted to MoE gate (router) layers on the
+// translation task. Measures how often the expert selection changes, how
+// often the output text changes, and the BLEU/chrF++ degradation —
+// Observation #6: routers need explicit protection.
+
+#include "common.h"
+#include "core/injector.h"
+#include "metrics/text_metrics.h"
+
+using namespace llmfi;
+
+namespace {
+
+class SelectionRecorder : public nn::ExpertObserver {
+ public:
+  void on_expert_selection(int block, int token_position,
+                           std::span<const int> experts) override {
+    log_.emplace_back(block, token_position,
+                      std::vector<int>(experts.begin(), experts.end()));
+  }
+  void clear() { log_.clear(); }
+  const auto& log() const { return log_; }
+
+ private:
+  std::vector<std::tuple<int, int, std::vector<int>>> log_;
+};
+
+}  // namespace
+
+int main() {
+  auto& zoo = benchutil::shared_zoo();
+  model::InferenceModel engine(zoo.get("qilin-moe"),
+                               benchutil::default_precision());
+  const auto& spec = eval::workload(data::TaskKind::Translation);
+  const auto& eval_set = zoo.task(data::TaskKind::Translation).eval;
+  auto cfg = benchutil::default_campaign(core::FaultModel::Mem2Bit, 120, 10);
+  cfg.layer_filter = [](const nn::LinearId& id) {
+    return id.kind == nn::LayerKind::Router;
+  };
+  eval::RunOptions opt;
+
+  SelectionRecorder recorder;
+  int selection_changed = 0;
+  int tokens_changed = 0;
+  int both = 0;
+  metrics::Accumulator base_bleu, faulty_bleu, base_chrf, faulty_chrf;
+
+  num::Rng rng(cfg.seed);
+  for (int trial = 0; trial < cfg.trials; ++trial) {
+    const auto& ex =
+        eval_set[static_cast<size_t>(trial % cfg.n_inputs)];
+
+    engine.set_expert_observer(&recorder);
+    recorder.clear();
+    auto base = eval::run_example(engine, zoo.vocab(), spec, ex, opt);
+    auto base_log = recorder.log();
+
+    core::SamplerScope scope;
+    scope.layer_filter = cfg.layer_filter;
+    scope.max_passes = std::max(1, base.passes);
+    num::Rng trial_rng = rng.fork(static_cast<std::uint64_t>(trial));
+    auto plan = core::sample_fault(cfg.fault, engine, scope, trial_rng);
+    recorder.clear();
+    eval::ExampleResult faulty;
+    {
+      core::WeightCorruption guard(engine, plan);
+      faulty = eval::run_example(engine, zoo.vocab(), spec, ex, opt);
+    }
+    engine.set_expert_observer(nullptr);
+
+    const bool sel_diff = recorder.log() != base_log;
+    const bool tok_diff = faulty.output != base.output;
+    selection_changed += sel_diff ? 1 : 0;
+    tokens_changed += tok_diff ? 1 : 0;
+    both += (sel_diff && tok_diff) ? 1 : 0;
+    base_bleu.add(base.metrics.at("bleu"));
+    faulty_bleu.add(faulty.metrics.at("bleu"));
+    base_chrf.add(base.metrics.at("chrf++"));
+    faulty_chrf.add(faulty.metrics.at("chrf++"));
+  }
+
+  report::Table t("Fig 15: 2bits-mem faults in gate (router) layers, "
+                  "wmt16-syn");
+  t.header({"quantity", "value"});
+  t.row({"trials", std::to_string(cfg.trials)});
+  t.row({"expert selection changed",
+         report::fmt_pct(static_cast<double>(selection_changed) /
+                         cfg.trials)});
+  t.row({"output tokens changed",
+         report::fmt_pct(static_cast<double>(tokens_changed) / cfg.trials)});
+  t.row({"selection AND tokens changed (share of selection-changed)",
+         selection_changed
+             ? report::fmt_pct(static_cast<double>(both) / selection_changed)
+             : "n/a"});
+  t.row({"BLEU degradation",
+         report::fmt_pct(1.0 - faulty_bleu.mean() /
+                                   std::max(1e-9, base_bleu.mean()))});
+  t.row({"chrF++ degradation",
+         report::fmt_pct(1.0 - faulty_chrf.mean() /
+                                   std::max(1e-9, base_chrf.mean()))});
+  t.print(std::cout);
+  std::printf("paper shape: most gate faults change expert selections "
+              "(78.6%% in the paper), a sizeable fraction of those change "
+              "tokens (47.4%%), overall quality drop of ~2%%.\n");
+  return 0;
+}

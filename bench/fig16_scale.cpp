@@ -1,0 +1,37 @@
+// Fig 16: resilience across model scales within one family (the Qwen2.5
+// size-sweep analog). Paper shape: no clear size-resilience trend
+// (Observation #7).
+
+#include "common.h"
+
+using namespace llmfi;
+
+int main() {
+  auto& zoo = benchutil::shared_zoo();
+  const std::vector<data::TaskKind> kinds = {data::TaskKind::McFact,
+                                             data::TaskKind::Translation,
+                                             data::TaskKind::QA};
+
+  report::Table t("Fig 16: resilience vs model scale (qilin recipe)");
+  t.header({"model", "params", "dataset", "fault", "normalized [95% CI]"});
+
+  for (const std::string m :
+       {"scale-xs", "scale-s", "scale-m", "scale-l", "scale-xl"}) {
+    const auto params = zoo.get(m).num_params();
+    for (auto kind : kinds) {
+      const auto& spec = eval::workload(kind);
+      for (auto fault : {core::FaultModel::Comp2Bit,
+                         core::FaultModel::Mem2Bit}) {
+        auto cfg = benchutil::default_campaign(fault, 40, 6);
+        auto r = eval::run_campaign(zoo, m, benchutil::default_precision(), spec, cfg);
+        t.row({m, std::to_string(params), spec.dataset,
+               std::string(core::fault_model_name(fault)),
+               report::fmt_ratio(r.normalized(spec.metrics.front().name))});
+      }
+    }
+  }
+  t.print(std::cout);
+  std::printf("paper shape: normalized performance shows no monotone trend "
+              "in parameter count.\n");
+  return 0;
+}

@@ -1,0 +1,53 @@
+// Fig 20: Chain-of-Thought vs direct answer under fault injection on the
+// math task. Computational faults are sampled only from the reasoning
+// segment (paper §4.3.2); memory faults persist for the whole inference.
+// Paper shape (Observation #10): CoT is more resilient — the model can
+// recover from corrupted reasoning tokens, while faults in direct answer
+// generation cannot be masked.
+
+#include "common.h"
+
+using namespace llmfi;
+
+int main() {
+  auto& zoo = benchutil::shared_zoo();
+  const auto& spec = eval::workload(data::TaskKind::MathGsm);
+
+  report::Table t("Fig 20: CoT vs direct answer (gsm8k-syn)");
+  t.header({"model", "mode", "fault", "baseline acc", "faulty acc",
+            "normalized [95% CI]", "recovered"});
+
+  for (const std::string m : {"qilin", "falco"}) {
+    for (const bool direct : {false, true}) {
+      for (auto fault : {core::FaultModel::Comp2Bit,
+                         core::FaultModel::Mem2Bit}) {
+        auto cfg = benchutil::default_campaign(fault, 60, 8);
+        cfg.run.direct_prompt = direct;
+        cfg.keep_trial_records = true;
+        if (!direct && fault == core::FaultModel::Comp2Bit) {
+          // Inject only while generating reasoning tokens: exclude the
+          // trailing "; answer <digits> <eos>" passes (~5 tokens).
+          cfg.exclude_final_passes = 5;
+        }
+        auto r = eval::run_campaign(zoo, m, benchutil::default_precision(), spec, cfg);
+        // Recoveries: the chain of thought changed but the final answer
+        // is still correct — the paper's CoT resilience mechanism.
+        int recovered = 0;
+        for (const auto& rec : r.records) {
+          if (rec.correct && !rec.output_matches_baseline) ++recovered;
+        }
+        t.row({m, direct ? "direct" : "CoT",
+               std::string(core::fault_model_name(fault)),
+               report::fmt(r.baseline_mean("accuracy")),
+               report::fmt(r.faulty_mean("accuracy")),
+               report::fmt_ratio(r.normalized("accuracy")),
+               std::to_string(recovered)});
+      }
+    }
+  }
+  t.print(std::cout);
+  std::printf("paper shape: CoT normalized >= direct for both fault models; "
+              "computational faults in reasoning barely change the final "
+              "answer (normalized ~1.0).\n");
+  return 0;
+}

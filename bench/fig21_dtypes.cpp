@@ -1,0 +1,53 @@
+// Fig 21: resilience per storage datatype (FP32 / FP16 / BF16) for one
+// model across several datasets. Paper shape (Observation #11): FP16 is
+// most resilient (5 exponent bits, bounded range), BF16 least (8
+// exponent bits, a single MSB flip reaches ~1e38).
+
+#include "common.h"
+
+using namespace llmfi;
+
+int main() {
+  auto& zoo = benchutil::shared_zoo();
+  const std::vector<data::TaskKind> kinds = {
+      data::TaskKind::McFact, data::TaskKind::MathGsm,
+      data::TaskKind::Translation, data::TaskKind::QA};
+
+  report::Table t("Fig 21: resilience per data type (qilin)");
+  t.header({"dtype", "dataset", "fault", "baseline", "faulty",
+            "normalized [95% CI]"});
+
+  metrics::Accumulator per_dtype[3];
+  const num::DType dtypes[3] = {num::DType::F16, num::DType::F32,
+                                num::DType::BF16};
+  for (int di = 0; di < 3; ++di) {
+    const auto prec = model::PrecisionConfig::for_dtype(dtypes[di]);
+    for (auto kind : kinds) {
+      const auto& spec = eval::workload(kind);
+      for (auto fault : {core::FaultModel::Comp2Bit,
+                         core::FaultModel::Mem2Bit}) {
+        auto cfg = benchutil::default_campaign(fault, 40, 6);
+        auto r = eval::run_campaign(zoo, "qilin", prec, spec, cfg);
+        const auto norm = r.normalized(spec.metrics.front().name);
+        per_dtype[di].add(norm.value);
+        const std::string& metric = spec.metrics.front().name;
+        t.row({std::string(num::dtype_name(dtypes[di])), spec.dataset,
+               std::string(core::fault_model_name(fault)),
+               report::fmt(r.baseline_mean(metric)),
+               report::fmt(r.faulty_mean(metric)), report::fmt_ratio(norm)});
+      }
+    }
+  }
+  t.print(std::cout);
+
+  report::Table avg("Average normalized performance per dtype");
+  avg.header({"dtype", "mean normalized"});
+  for (int di = 0; di < 3; ++di) {
+    avg.row({std::string(num::dtype_name(dtypes[di])),
+             report::fmt(per_dtype[di].mean())});
+  }
+  avg.print(std::cout);
+  std::printf("paper shape: fp16 >= fp32 > bf16 in normalized "
+              "performance.\n");
+  return 0;
+}

@@ -1,0 +1,126 @@
+// Runtime microbenchmarks (google-benchmark): GEMM kernels, decode
+// throughput, FI hook overhead, dtype rounding, quantization.
+// These are runtime-performance numbers, not model-quality numbers.
+
+#include <benchmark/benchmark.h>
+
+#include "core/injector.h"
+#include "eval/model_zoo.h"
+#include "eval/runner.h"
+#include "gen/generate.h"
+#include "numerics/half.h"
+#include "quant/quantized_matrix.h"
+#include "tensor/ops.h"
+
+using namespace llmfi;
+
+namespace {
+
+tn::Tensor random_matrix(tn::Index r, tn::Index c, std::uint64_t seed) {
+  num::Rng rng(seed);
+  tn::Tensor t({r, c});
+  for (float& v : t.flat()) v = static_cast<float>(rng.normal(0.0, 1.0));
+  return t;
+}
+
+void BM_MatmulBt(benchmark::State& state) {
+  const auto n = static_cast<tn::Index>(state.range(0));
+  const tn::Tensor a = random_matrix(n, n, 1);
+  const tn::Tensor b = random_matrix(n, n, 2);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(tn::matmul_bt(a, b));
+  }
+  state.SetItemsProcessed(state.iterations() * 2 * n * n * n);
+}
+BENCHMARK(BM_MatmulBt)->Arg(64)->Arg(128)->Arg(256);
+
+void BM_Fp16RoundTrip(benchmark::State& state) {
+  num::Rng rng(3);
+  std::vector<float> values(4096);
+  for (float& v : values) v = static_cast<float>(rng.normal(0.0, 10.0));
+  for (auto _ : state) {
+    float acc = 0.0f;
+    for (float v : values) acc += num::round_to_f16(v);
+    benchmark::DoNotOptimize(acc);
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(values.size()));
+}
+BENCHMARK(BM_Fp16RoundTrip);
+
+void BM_QuantizeInt4(benchmark::State& state) {
+  const tn::Tensor w = random_matrix(128, 128, 4);
+  for (auto _ : state) {
+    quant::QuantizedMatrix q(w, num::DType::I4, 32);
+    benchmark::DoNotOptimize(q);
+  }
+}
+BENCHMARK(BM_QuantizeInt4);
+
+eval::Zoo& zoo() {
+  static eval::Zoo z;
+  return z;
+}
+
+void BM_GreedyDecode(benchmark::State& state) {
+  model::InferenceModel engine(zoo().get("scale-xs"), {});
+  const auto& vocab = zoo().vocab();
+  const auto& ex = zoo().task(data::TaskKind::Translation).eval.front();
+  std::vector<tok::TokenId> prompt = {vocab.bos()};
+  const auto body = vocab.encode(ex.prompt);
+  prompt.insert(prompt.end(), body.begin(), body.end());
+  gen::GenerationConfig cfg;
+  std::int64_t tokens = 0;
+  for (auto _ : state) {
+    auto r = gen::generate(engine, prompt, cfg);
+    tokens += static_cast<std::int64_t>(r.tokens.size()) + 1;
+    benchmark::DoNotOptimize(r);
+  }
+  state.SetItemsProcessed(tokens);
+  state.SetLabel("items = generated tokens");
+}
+BENCHMARK(BM_GreedyDecode);
+
+// The cost of the FI hook surface itself: an armed injector that never
+// fires (wrong pass index) vs no hook at all.
+void BM_DecodeWithArmedInjector(benchmark::State& state) {
+  model::InferenceModel engine(zoo().get("scale-xs"), {});
+  const auto& vocab = zoo().vocab();
+  const auto& ex = zoo().task(data::TaskKind::Translation).eval.front();
+  std::vector<tok::TokenId> prompt = {vocab.bos()};
+  const auto body = vocab.encode(ex.prompt);
+  prompt.insert(prompt.end(), body.begin(), body.end());
+  core::FaultPlan plan;
+  plan.model = core::FaultModel::Comp1Bit;
+  plan.layer = {0, nn::LayerKind::QProj, -1};
+  plan.pass_index = 1 << 20;  // never fires
+  plan.bits = {30};
+  core::ComputationalFaultInjector injector(plan, num::DType::F32);
+  engine.set_linear_hook(&injector);
+  gen::GenerationConfig cfg;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(gen::generate(engine, prompt, cfg));
+  }
+  engine.set_linear_hook(nullptr);
+}
+BENCHMARK(BM_DecodeWithArmedInjector);
+
+void BM_WeightCorruptionGuard(benchmark::State& state) {
+  model::InferenceModel engine(zoo().get("scale-xs"), {});
+  core::FaultPlan plan;
+  plan.model = core::FaultModel::Mem2Bit;
+  plan.layer_index = 0;
+  plan.layer = engine.linear_layers()[0].id;
+  plan.weight_row = 1;
+  plan.weight_col = 1;
+  plan.bits = {30, 22};
+  for (auto _ : state) {
+    core::WeightCorruption guard(engine, plan);
+    benchmark::DoNotOptimize(guard.new_value());
+  }
+}
+BENCHMARK(BM_WeightCorruptionGuard);
+
+}  // namespace
+
+BENCHMARK_MAIN();

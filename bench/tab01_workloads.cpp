@@ -1,0 +1,39 @@
+// Table 1: the workload matrix — tasks, datasets, metrics, and models.
+
+#include "common.h"
+
+using namespace llmfi;
+
+int main() {
+  report::Table t("Table 1: selected LLM workloads and metrics");
+  t.header({"dataset", "task-style", "metrics", "models"});
+  for (const auto& spec : eval::all_workloads()) {
+    std::string metrics;
+    for (const auto& m : spec.metrics) {
+      if (!metrics.empty()) metrics += "+";
+      metrics += m.name;
+    }
+    std::string models;
+    for (const auto& m : spec.default_models) {
+      if (!models.empty()) models += ",";
+      models += m;
+    }
+    t.row({spec.dataset,
+           spec.style == data::TaskStyle::MultipleChoice ? "multiple-choice"
+                                                         : "generative",
+           metrics, models});
+  }
+  t.print(std::cout);
+
+  // Eval-subset sizes (tinyBenchmarks-style fixed 100-input subsets).
+  auto& zoo = benchutil::shared_zoo();
+  report::Table sizes("Evaluation subsets");
+  sizes.header({"dataset", "eval inputs", "train sequences"});
+  for (const auto& spec : eval::all_workloads()) {
+    const auto& td = zoo.task(spec.kind);
+    sizes.row({spec.dataset, std::to_string(td.eval.size()),
+               std::to_string(td.train.size())});
+  }
+  sizes.print(std::cout);
+  return 0;
+}

@@ -1,0 +1,37 @@
+// Table 2: floating-point format table, generated from the dtype traits
+// (plus the quantized payload formats used in Fig 17).
+
+#include <cmath>
+
+#include "common.h"
+#include "numerics/bitflip.h"
+#include "numerics/half.h"
+
+using namespace llmfi;
+
+int main() {
+  report::Table t("Table 2: format of data types");
+  t.header({"format", "total bits", "exp bits", "mantissa bits",
+            "max finite"});
+  for (auto d : {num::DType::F16, num::DType::F32, num::DType::BF16,
+                 num::DType::I8, num::DType::I4}) {
+    const auto& info = num::dtype_info(d);
+    t.row({std::string(info.name), std::to_string(info.total_bits),
+           std::to_string(info.exponent_bits),
+           std::to_string(info.mantissa_bits),
+           report::fmt(info.max_finite, 1)});
+  }
+  t.print(std::cout);
+
+  // The paper's §4.2.5 example: flipping the top exponent bit of 0.5.
+  report::Table ex("MSB-exponent flip of 0.5 per dtype");
+  ex.header({"dtype", "bit flipped", "0.5 becomes"});
+  ex.row({"fp32", "30",
+          report::fmt(num::flip_float_bit(0.5f, num::DType::F32, 30), 6)});
+  ex.row({"fp16", "14",
+          report::fmt(num::flip_float_bit(0.5f, num::DType::F16, 14), 6)});
+  ex.row({"bf16", "14",
+          report::fmt(num::flip_float_bit(0.5f, num::DType::BF16, 14), 6)});
+  ex.print(std::cout);
+  return 0;
+}

@@ -1,0 +1,80 @@
+// Example: fault injection into chain-of-thought math reasoning.
+//
+// Shows the library's low-level API (fault plans, injectors, RAII weight
+// corruption) instead of the campaign driver: we pick one math problem,
+// inject a computational fault at every reasoning pass in turn, and
+// print how the chain of thought and the final answer respond.
+//
+//   ./examples/math_cot_fi
+
+#include <cstdio>
+
+#include "core/injector.h"
+#include "data/tasks.h"
+#include "eval/model_zoo.h"
+#include "eval/runner.h"
+
+using namespace llmfi;
+
+int main() {
+  eval::Zoo zoo;
+  model::InferenceModel engine(zoo.get("qilin"), {});
+  const auto& spec = eval::workload(data::TaskKind::MathGsm);
+  const auto& eval_set = zoo.task(data::TaskKind::MathGsm).eval;
+  eval::RunOptions opt;
+
+  // Find an example the model solves correctly at baseline.
+  const data::Example* target = nullptr;
+  eval::ExampleResult base;
+  for (const auto& ex : eval_set) {
+    base = eval::run_example(engine, zoo.vocab(), spec, ex, opt);
+    if (base.correct) {
+      target = &ex;
+      break;
+    }
+  }
+  if (target == nullptr) {
+    std::printf("model solved no eval problem at baseline; retrain zoo\n");
+    return 1;
+  }
+  std::printf("problem:  %s\nbaseline: %s   [correct]\n\n",
+              target->prompt.c_str(), base.output.c_str());
+
+  // Inject a 2-bit computational fault into the down_proj output of the
+  // last block at each decode pass in turn and watch the CoT react.
+  int recovered = 0, sdc = 0, masked = 0;
+  for (int pass = 1; pass < base.passes; ++pass) {
+    core::FaultPlan plan;
+    plan.model = core::FaultModel::Comp2Bit;
+    plan.layer = {engine.config().n_layers - 1, nn::LayerKind::DownProj, -1};
+    plan.pass_index = pass;
+    plan.row_frac = 0.0;
+    plan.out_col = 7;
+    plan.bits = {30, 27};
+    core::ComputationalFaultInjector injector(plan,
+                                              engine.precision().act_dtype);
+    engine.set_linear_hook(&injector);
+    auto faulty = eval::run_example(engine, zoo.vocab(), spec, *target, opt);
+    engine.set_linear_hook(nullptr);
+
+    const char* verdict;
+    if (faulty.output == base.output) {
+      verdict = "masked";
+      ++masked;
+    } else if (faulty.correct) {
+      verdict = "changed CoT, recovered correct answer";
+      ++recovered;
+    } else {
+      verdict = "SDC";
+      ++sdc;
+    }
+    std::printf("pass %2d: %-40s | %s\n", pass, verdict,
+                faulty.output.c_str());
+  }
+  std::printf("\nsummary over %d injection passes: %d masked, %d recovered, "
+              "%d SDCs\n",
+              base.passes - 1, masked, recovered, sdc);
+  std::printf("(Observation #10: recoveries happen inside the reasoning "
+              "chain; faults at the final answer tokens become SDCs.)\n");
+  return 0;
+}

@@ -1,0 +1,65 @@
+// Example: assessing a translation model's resilience, end to end.
+//
+// Mirrors the workflow a practitioner would run on their own model:
+//  1. load a fine-tuned translation model (ALMA analog) from the zoo,
+//  2. measure fault-free BLEU/chrF++ on the fixed eval subset,
+//  3. run memory- and computational-fault campaigns,
+//  4. compare greedy vs beam decoding under faults,
+//  5. print normalized performance with 95% confidence intervals.
+//
+//   LLMFI_TRIALS=60 ./examples/translation_resilience
+
+#include <cstdio>
+#include <iostream>
+
+#include "eval/campaign.h"
+#include "eval/model_zoo.h"
+#include "report/table.h"
+
+using namespace llmfi;
+
+namespace {
+int env_int(const char* name, int fallback) {
+  const char* v = std::getenv(name);
+  if (v == nullptr) return fallback;
+  const int parsed = std::atoi(v);
+  return parsed > 0 ? parsed : fallback;
+}
+}  // namespace
+
+int main() {
+  eval::Zoo zoo;
+  const auto& spec = eval::workload(data::TaskKind::Translation);
+  const int trials = env_int("LLMFI_TRIALS", 40);
+
+  report::Table t("Translation resilience (alma, wmt16-syn)");
+  t.header({"fault", "search", "baseline bleu", "faulty bleu",
+            "normalized bleu [95% CI]", "normalized chrf++",
+            "masked/subtle/distorted"});
+
+  for (auto fault : {core::FaultModel::Comp2Bit, core::FaultModel::Mem2Bit}) {
+    for (int beams : {1, 6}) {
+      eval::CampaignConfig cfg;
+      cfg.fault = fault;
+      cfg.trials = trials;
+      cfg.n_inputs = 8;
+      cfg.run.gen.num_beams = beams;
+      auto r = eval::run_campaign(
+          zoo, "alma",
+          model::PrecisionConfig::for_dtype(num::DType::BF16), spec, cfg);
+      t.row({std::string(core::fault_model_name(fault)),
+             beams == 1 ? "greedy" : "beam-6",
+             report::fmt(r.baseline_mean("bleu")),
+             report::fmt(r.faulty_mean("bleu")),
+             report::fmt_ratio(r.normalized("bleu")),
+             report::fmt(r.normalized("chrf++").value),
+             std::to_string(r.masked) + "/" + std::to_string(r.sdc_subtle) +
+                 "/" + std::to_string(r.sdc_distorted)});
+    }
+  }
+  t.print(std::cout);
+  std::printf("Reading: memory faults hurt more than computational faults; "
+              "beam search recovers part of the computational-fault "
+              "degradation.\n");
+  return 0;
+}

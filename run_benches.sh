@@ -1,0 +1,15 @@
+#!/bin/bash
+# Final bench sweep at higher statistical power.
+set -u
+cd "$(dirname "$0")"
+export LLMFI_TRIALS=400 LLMFI_INPUTS=12
+mkdir -p bench_logs
+for b in build/bench/*; do
+  [ -x "$b" ] && [ -f "$b" ] || continue
+  name=$(basename "$b")
+  case "$name" in *.cmake|CMakeFiles|CTestTestfile*) continue;; esac
+  echo "=== $name ==="
+  timeout 1800 "$b" > "bench_logs/$name.txt" 2>&1
+  echo "exit=$? $(date +%T)"
+done
+echo ALL_DONE

@@ -1,0 +1,279 @@
+// Fused top-k Mixture-of-Experts layer with manual backward.
+//
+// Forward, per token x_t:
+//   p     = softmax(router @ x_t)
+//   C     = top_k experts by p, gate weights w_e = p_e / sum_{c in C} p_c
+//   y_e   = W_down ( silu(W_gate x_t) * (W_up x_t) )
+//   out_t = sum_{e in C} w_e * y_e
+//
+// Backward propagates through the chosen experts and — via the
+// renormalized gate weights — into the router, so routing itself is
+// trained (the paper's Fig 15 targets exactly this router layer).
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <memory>
+#include <stdexcept>
+
+#include "autograd/ops.h"
+#include "tensor/ops.h"
+
+namespace llmfi::ag {
+
+namespace {
+
+float sigmoid(float x) { return 1.0f / (1.0f + std::exp(-x)); }
+
+float silu_prime(float x) {
+  const float s = sigmoid(x);
+  return s * (1.0f + x * (1.0f - s));
+}
+
+struct TokenSave {
+  std::vector<float> probs;              // full softmax over experts
+  std::vector<int> chosen;               // top_k expert ids (rank order)
+  std::vector<std::vector<float>> g, u;  // pre-activation gate/up, per rank
+  std::vector<std::vector<float>> act;   // silu(g)*u, per rank
+  std::vector<std::vector<float>> y;     // expert outputs, per rank
+};
+
+}  // namespace
+
+Var moe_layer(const Var& x, const MoeParams& params) {
+  const tn::Index t_len = x->value.rows();
+  const tn::Index d = x->value.cols();
+  const int n_experts = static_cast<int>(params.experts.size());
+  const int top_k = params.top_k;
+  if (top_k <= 0 || top_k > n_experts) {
+    throw std::invalid_argument("moe_layer: invalid top_k");
+  }
+  const tn::Index ff = params.experts[0][0]->value.rows();
+
+  auto saved = std::make_shared<std::vector<TokenSave>>(
+      static_cast<size_t>(t_len));
+
+  tn::Tensor out({t_len, d});
+  for (tn::Index t = 0; t < t_len; ++t) {
+    auto& save = (*saved)[static_cast<size_t>(t)];
+    auto xrow = x->value.row(t);
+
+    // Router softmax.
+    save.probs.resize(static_cast<size_t>(n_experts));
+    float mx = -std::numeric_limits<float>::infinity();
+    for (int e = 0; e < n_experts; ++e) {
+      auto rrow = params.router->value.row(e);
+      float acc = 0.0f;
+      for (tn::Index c = 0; c < d; ++c) acc += rrow[c] * xrow[c];
+      save.probs[static_cast<size_t>(e)] = acc;
+      mx = std::max(mx, acc);
+    }
+    float sum = 0.0f;
+    for (float& p : save.probs) {
+      p = std::exp(p - mx);
+      sum += p;
+    }
+    for (float& p : save.probs) p /= sum;
+
+    // Top-k selection.
+    std::vector<int> order(static_cast<size_t>(n_experts));
+    for (int e = 0; e < n_experts; ++e) order[static_cast<size_t>(e)] = e;
+    std::partial_sort(order.begin(), order.begin() + top_k, order.end(),
+                      [&save](int a, int b) {
+                        return save.probs[static_cast<size_t>(a)] >
+                               save.probs[static_cast<size_t>(b)];
+                      });
+    save.chosen.assign(order.begin(), order.begin() + top_k);
+    float mass = 0.0f;
+    for (int e : save.chosen) mass += save.probs[static_cast<size_t>(e)];
+
+    auto orow = out.row(t);
+    for (int rank = 0; rank < top_k; ++rank) {
+      const int e = save.chosen[static_cast<size_t>(rank)];
+      const auto& wg = params.experts[static_cast<size_t>(e)][0]->value;
+      const auto& wu = params.experts[static_cast<size_t>(e)][1]->value;
+      const auto& wd = params.experts[static_cast<size_t>(e)][2]->value;
+      std::vector<float> g(static_cast<size_t>(ff)),
+          u(static_cast<size_t>(ff)), act(static_cast<size_t>(ff)),
+          y(static_cast<size_t>(d));
+      for (tn::Index f = 0; f < ff; ++f) {
+        auto grow = wg.row(f);
+        auto urow = wu.row(f);
+        float gacc = 0.0f, uacc = 0.0f;
+        for (tn::Index c = 0; c < d; ++c) {
+          gacc += grow[c] * xrow[c];
+          uacc += urow[c] * xrow[c];
+        }
+        g[static_cast<size_t>(f)] = gacc;
+        u[static_cast<size_t>(f)] = uacc;
+        act[static_cast<size_t>(f)] = gacc * sigmoid(gacc) * uacc;
+      }
+      const float weight = save.probs[static_cast<size_t>(e)] / mass;
+      for (tn::Index c = 0; c < d; ++c) {
+        auto drow = wd.row(c);
+        float acc = 0.0f;
+        for (tn::Index f = 0; f < ff; ++f) {
+          acc += drow[f] * act[static_cast<size_t>(f)];
+        }
+        y[static_cast<size_t>(c)] = acc;
+        orow[c] += weight * acc;
+      }
+      save.g.push_back(std::move(g));
+      save.u.push_back(std::move(u));
+      save.act.push_back(std::move(act));
+      save.y.push_back(std::move(y));
+    }
+  }
+
+  // Parents: x, router, then (gate, up, down) per expert.
+  auto node = std::make_shared<Node>();
+  node->value = std::move(out);
+  node->parents = {x, params.router};
+  for (const auto& ex : params.experts) {
+    node->parents.push_back(ex[0]);
+    node->parents.push_back(ex[1]);
+    node->parents.push_back(ex[2]);
+  }
+  node->requires_grad = false;
+  for (const auto& p : node->parents) {
+    if (p->requires_grad) node->requires_grad = true;
+  }
+  if (!node->requires_grad) return node;
+
+  const int top_k2 = top_k;
+  node->backward_fn = [saved, n_experts, d, ff, top_k2](Node& n) {
+    auto& x2 = n.parents[0];
+    auto& router = n.parents[1];
+    auto expert_w = [&n](int e, int which) -> Node& {
+      return *n.parents[static_cast<size_t>(2 + 3 * e + which)];
+    };
+
+    tn::Tensor dx(x2->value.shape());
+    tn::Tensor drouter(router->value.shape());
+    std::vector<tn::Tensor> dexp;
+    dexp.reserve(static_cast<size_t>(3 * n_experts));
+    for (int e = 0; e < n_experts; ++e) {
+      for (int w = 0; w < 3; ++w) {
+        dexp.emplace_back(tn::Tensor(expert_w(e, w).value.shape()));
+      }
+    }
+
+    std::vector<float> da(static_cast<size_t>(ff)),
+        du(static_cast<size_t>(ff)), dgpre(static_cast<size_t>(ff)),
+        dw_hat(static_cast<size_t>(top_k2)),
+        dp(static_cast<size_t>(n_experts));
+
+    const tn::Index t_len = n.value.rows();
+    for (tn::Index t = 0; t < t_len; ++t) {
+      const auto& save = (*saved)[static_cast<size_t>(t)];
+      auto xrow = x2->value.row(t);
+      auto dout = n.grad.row(t);
+      auto dxrow = dx.row(t);
+      float mass = 0.0f;
+      for (int e : save.chosen) mass += save.probs[static_cast<size_t>(e)];
+
+      for (int rank = 0; rank < top_k2; ++rank) {
+        const int e = save.chosen[static_cast<size_t>(rank)];
+        const float weight = save.probs[static_cast<size_t>(e)] / mass;
+        const auto& g = save.g[static_cast<size_t>(rank)];
+        const auto& u = save.u[static_cast<size_t>(rank)];
+        const auto& act = save.act[static_cast<size_t>(rank)];
+        const auto& y = save.y[static_cast<size_t>(rank)];
+        const auto& wg = expert_w(e, 0).value;
+        const auto& wu = expert_w(e, 1).value;
+        const auto& wd = expert_w(e, 2).value;
+        auto& dwg = dexp[static_cast<size_t>(3 * e + 0)];
+        auto& dwu = dexp[static_cast<size_t>(3 * e + 1)];
+        auto& dwd = dexp[static_cast<size_t>(3 * e + 2)];
+
+        // dw_hat_e = dOut . y_e
+        float dwacc = 0.0f;
+        for (tn::Index c = 0; c < d; ++c) {
+          dwacc += dout[c] * y[static_cast<size_t>(c)];
+        }
+        dw_hat[static_cast<size_t>(rank)] = dwacc;
+
+        // Through W_down: dy = weight * dOut.
+        std::fill(da.begin(), da.end(), 0.0f);
+        for (tn::Index c = 0; c < d; ++c) {
+          const float dyc = weight * dout[c];
+          if (dyc == 0.0f) continue;
+          auto wdrow = wd.row(c);
+          auto dwdrow = dwd.row(c);
+          for (tn::Index f = 0; f < ff; ++f) {
+            dwdrow[f] += dyc * act[static_cast<size_t>(f)];
+            da[static_cast<size_t>(f)] += dyc * wdrow[f];
+          }
+        }
+        // Through the gated activation.
+        for (tn::Index f = 0; f < ff; ++f) {
+          const float gf = g[static_cast<size_t>(f)];
+          const float af = da[static_cast<size_t>(f)];
+          du[static_cast<size_t>(f)] = af * gf * sigmoid(gf);
+          dgpre[static_cast<size_t>(f)] =
+              af * u[static_cast<size_t>(f)] * silu_prime(gf);
+        }
+        // Into W_gate / W_up and the input row.
+        for (tn::Index f = 0; f < ff; ++f) {
+          const float dgf = dgpre[static_cast<size_t>(f)];
+          const float duf = du[static_cast<size_t>(f)];
+          auto wgrow = wg.row(f);
+          auto wurow = wu.row(f);
+          auto dwgrow = dwg.row(f);
+          auto dwurow = dwu.row(f);
+          for (tn::Index c = 0; c < d; ++c) {
+            dwgrow[c] += dgf * xrow[c];
+            dwurow[c] += duf * xrow[c];
+            dxrow[c] += dgf * wgrow[c] + duf * wurow[c];
+          }
+        }
+      }
+
+      // Router gradient through the renormalized top-k gate weights.
+      std::fill(dp.begin(), dp.end(), 0.0f);
+      double cross = 0.0;  // sum_{c in C} dw_hat_c * p_c
+      for (int rank = 0; rank < top_k2; ++rank) {
+        const int e = save.chosen[static_cast<size_t>(rank)];
+        cross += static_cast<double>(dw_hat[static_cast<size_t>(rank)]) *
+                 save.probs[static_cast<size_t>(e)];
+      }
+      for (int rank = 0; rank < top_k2; ++rank) {
+        const int e = save.chosen[static_cast<size_t>(rank)];
+        dp[static_cast<size_t>(e)] =
+            dw_hat[static_cast<size_t>(rank)] / mass -
+            static_cast<float>(cross) / (mass * mass);
+      }
+      double dots = 0.0;  // sum_j dp_j * p_j
+      for (int e = 0; e < n_experts; ++e) {
+        dots += static_cast<double>(dp[static_cast<size_t>(e)]) *
+                save.probs[static_cast<size_t>(e)];
+      }
+      for (int e = 0; e < n_experts; ++e) {
+        const float dr = save.probs[static_cast<size_t>(e)] *
+                         (dp[static_cast<size_t>(e)] -
+                          static_cast<float>(dots));
+        if (dr == 0.0f) continue;
+        auto rrow = router->value.row(e);
+        auto drrow = drouter.row(e);
+        for (tn::Index c = 0; c < d; ++c) {
+          drrow[c] += dr * xrow[c];
+          dxrow[c] += dr * rrow[c];
+        }
+      }
+    }
+
+    if (x2->requires_grad) x2->accumulate(dx);
+    if (router->requires_grad) router->accumulate(drouter);
+    for (int e = 0; e < n_experts; ++e) {
+      for (int w = 0; w < 3; ++w) {
+        auto& parent = expert_w(e, w);
+        if (parent.requires_grad) {
+          parent.accumulate(dexp[static_cast<size_t>(3 * e + w)]);
+        }
+      }
+    }
+  };
+  return node;
+}
+
+}  // namespace llmfi::ag

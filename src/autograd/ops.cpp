@@ -1,0 +1,357 @@
+#include "autograd/ops.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <memory>
+#include <stdexcept>
+
+#include "nn/rope.h"
+#include "tensor/ops.h"
+
+namespace llmfi::ag {
+
+namespace {
+
+Var make_op(tn::Tensor value, std::vector<Var> parents,
+            std::function<void(Node&)> backward_fn) {
+  auto n = std::make_shared<Node>();
+  n->value = std::move(value);
+  n->parents = std::move(parents);
+  n->requires_grad = false;
+  for (const auto& p : n->parents) {
+    if (p->requires_grad) n->requires_grad = true;
+  }
+  if (n->requires_grad) n->backward_fn = std::move(backward_fn);
+  return n;
+}
+
+float sigmoid(float x) { return 1.0f / (1.0f + std::exp(-x)); }
+
+}  // namespace
+
+Var matmul_bt(const Var& x, const Var& w) {
+  tn::Tensor y = tn::matmul_bt(x->value, w->value);
+  return make_op(std::move(y), {x, w}, [](Node& n) {
+    const auto& x2 = n.parents[0];
+    const auto& w2 = n.parents[1];
+    if (x2->requires_grad) x2->accumulate(tn::matmul(n.grad, w2->value));
+    if (w2->requires_grad) w2->accumulate(tn::matmul_at(n.grad, x2->value));
+  });
+}
+
+Var add(const Var& a, const Var& b) {
+  return make_op(tn::add(a->value, b->value), {a, b}, [](Node& n) {
+    if (n.parents[0]->requires_grad) n.parents[0]->accumulate(n.grad);
+    if (n.parents[1]->requires_grad) n.parents[1]->accumulate(n.grad);
+  });
+}
+
+Var mul(const Var& a, const Var& b) {
+  tn::Tensor y = a->value;
+  tn::mul_inplace(y, b->value);
+  return make_op(std::move(y), {a, b}, [](Node& n) {
+    const auto& a2 = n.parents[0];
+    const auto& b2 = n.parents[1];
+    if (a2->requires_grad) {
+      tn::Tensor g = n.grad;
+      tn::mul_inplace(g, b2->value);
+      a2->accumulate(g);
+    }
+    if (b2->requires_grad) {
+      tn::Tensor g = n.grad;
+      tn::mul_inplace(g, a2->value);
+      b2->accumulate(g);
+    }
+  });
+}
+
+Var silu(const Var& x) {
+  tn::Tensor y = x->value;
+  tn::silu_inplace(y);
+  return make_op(std::move(y), {x}, [](Node& n) {
+    const auto& x2 = n.parents[0];
+    if (!x2->requires_grad) return;
+    tn::Tensor g(n.grad.shape());
+    auto xin = x2->value.flat();
+    auto gout = g.flat();
+    auto gin = n.grad.flat();
+    for (size_t i = 0; i < gout.size(); ++i) {
+      const float s = sigmoid(xin[i]);
+      gout[i] = gin[i] * s * (1.0f + xin[i] * (1.0f - s));
+    }
+    x2->accumulate(g);
+  });
+}
+
+Var rmsnorm(const Var& x, const Var& gain, float eps) {
+  const tn::Index rows = x->value.rows();
+  const tn::Index cols = x->value.cols();
+  // Save per-row 1/rms for the backward pass.
+  auto inv_rms = std::make_shared<std::vector<float>>(
+      static_cast<size_t>(rows));
+  tn::Tensor y({rows, cols});
+  for (tn::Index r = 0; r < rows; ++r) {
+    auto in = x->value.row(r);
+    double ss = 0.0;
+    for (float v : in) ss += static_cast<double>(v) * v;
+    const float inv = static_cast<float>(
+        1.0 / std::sqrt(ss / static_cast<double>(cols) + eps));
+    (*inv_rms)[static_cast<size_t>(r)] = inv;
+    auto out = y.row(r);
+    for (tn::Index c = 0; c < cols; ++c) {
+      out[c] = in[c] * inv * gain->value[c];
+    }
+  }
+  return make_op(std::move(y), {x, gain}, [inv_rms, cols](Node& n) {
+    const auto& x2 = n.parents[0];
+    const auto& g2 = n.parents[1];
+    const tn::Index rows2 = n.value.rows();
+    tn::Tensor dx({rows2, cols});
+    tn::Tensor dg({cols});
+    for (tn::Index r = 0; r < rows2; ++r) {
+      const float inv = (*inv_rms)[static_cast<size_t>(r)];
+      auto xin = x2->value.row(r);
+      auto dy = n.grad.row(r);
+      auto dxr = dx.row(r);
+      // dgain_c += dy_c * x_c * inv
+      double dot = 0.0;  // sum_i dy_i * gain_i * x_i
+      for (tn::Index c = 0; c < cols; ++c) {
+        dg[c] += dy[c] * xin[c] * inv;
+        dot += static_cast<double>(dy[c]) * g2->value[c] * xin[c];
+      }
+      const float k =
+          static_cast<float>(dot) * inv * inv * inv / static_cast<float>(cols);
+      for (tn::Index c = 0; c < cols; ++c) {
+        dxr[c] = dy[c] * g2->value[c] * inv - k * xin[c];
+      }
+    }
+    if (x2->requires_grad) x2->accumulate(dx);
+    if (g2->requires_grad) g2->accumulate(dg);
+  });
+}
+
+Var embedding(const Var& table, std::vector<tok::TokenId> ids) {
+  const tn::Index d = table->value.cols();
+  tn::Tensor y({static_cast<tn::Index>(ids.size()), d});
+  for (size_t t = 0; t < ids.size(); ++t) {
+    auto src = table->value.row(ids[t]);
+    std::copy(src.begin(), src.end(),
+              y.row(static_cast<tn::Index>(t)).begin());
+  }
+  auto ids_shared = std::make_shared<std::vector<tok::TokenId>>(std::move(ids));
+  return make_op(std::move(y), {table}, [ids_shared](Node& n) {
+    const auto& t2 = n.parents[0];
+    if (!t2->requires_grad) return;
+    tn::Tensor g(t2->value.shape());
+    for (size_t t = 0; t < ids_shared->size(); ++t) {
+      auto dst = g.row((*ids_shared)[t]);
+      auto src = n.grad.row(static_cast<tn::Index>(t));
+      for (size_t c = 0; c < dst.size(); ++c) dst[c] += src[c];
+    }
+    t2->accumulate(g);
+  });
+}
+
+Var rope(const Var& x, int n_heads, int pos_offset, float theta) {
+  tn::Tensor y = x->value;
+  nn::apply_rope(y, n_heads, pos_offset, theta, /*inverse=*/false);
+  return make_op(std::move(y), {x},
+                 [n_heads, pos_offset, theta](Node& n) {
+                   const auto& x2 = n.parents[0];
+                   if (!x2->requires_grad) return;
+                   tn::Tensor g = n.grad;
+                   nn::apply_rope(g, n_heads, pos_offset, theta,
+                                  /*inverse=*/true);
+                   x2->accumulate(g);
+                 });
+}
+
+Var causal_attention(const Var& q, const Var& k, const Var& v, int n_heads) {
+  const tn::Index t_len = q->value.rows();
+  const tn::Index d_model = q->value.cols();
+  assert(d_model % n_heads == 0);
+  const tn::Index d_head = d_model / n_heads;
+  const float scale = 1.0f / std::sqrt(static_cast<float>(d_head));
+
+  // Saved softmax probabilities per head: [n_heads][T, T] (lower
+  // triangular rows, upper entries zero).
+  auto probs = std::make_shared<std::vector<tn::Tensor>>();
+  probs->reserve(static_cast<size_t>(n_heads));
+  tn::Tensor out({t_len, d_model});
+
+  for (int h = 0; h < n_heads; ++h) {
+    const tn::Index off = static_cast<tn::Index>(h) * d_head;
+    tn::Tensor p({t_len, t_len});
+    for (tn::Index i = 0; i < t_len; ++i) {
+      auto qrow = q->value.row(i);
+      // Scores for j <= i, softmax, then aggregate V.
+      float mx = -std::numeric_limits<float>::infinity();
+      auto prow = p.row(i);
+      for (tn::Index j = 0; j <= i; ++j) {
+        auto krow = k->value.row(j);
+        float acc = 0.0f;
+        for (tn::Index c = 0; c < d_head; ++c) {
+          acc += qrow[off + c] * krow[off + c];
+        }
+        prow[j] = acc * scale;
+        mx = std::max(mx, prow[j]);
+      }
+      float sum = 0.0f;
+      for (tn::Index j = 0; j <= i; ++j) {
+        prow[j] = std::exp(prow[j] - mx);
+        sum += prow[j];
+      }
+      const float inv = 1.0f / sum;
+      auto orow = out.row(i);
+      for (tn::Index j = 0; j <= i; ++j) {
+        prow[j] *= inv;
+        auto vrow = v->value.row(j);
+        for (tn::Index c = 0; c < d_head; ++c) {
+          orow[off + c] += prow[j] * vrow[off + c];
+        }
+      }
+    }
+    probs->push_back(std::move(p));
+  }
+
+  return make_op(
+      std::move(out), {q, k, v}, [probs, n_heads, d_head, scale](Node& n) {
+        const auto& q2 = n.parents[0];
+        const auto& k2 = n.parents[1];
+        const auto& v2 = n.parents[2];
+        const tn::Index t2 = n.value.rows();
+        tn::Tensor dq(q2->value.shape());
+        tn::Tensor dk(k2->value.shape());
+        tn::Tensor dv(v2->value.shape());
+        std::vector<float> dp(static_cast<size_t>(t2));
+        for (int h = 0; h < n_heads; ++h) {
+          const tn::Index off = static_cast<tn::Index>(h) * d_head;
+          const tn::Tensor& p = (*probs)[static_cast<size_t>(h)];
+          for (tn::Index i = 0; i < t2; ++i) {
+            auto prow = p.row(i);
+            auto dout = n.grad.row(i);
+            // dP_ij = dO_i . V_j ; dV_j += P_ij dO_i
+            double dot_pp = 0.0;  // sum_j dP_ij * P_ij
+            for (tn::Index j = 0; j <= i; ++j) {
+              auto vrow = v2->value.row(j);
+              float acc = 0.0f;
+              for (tn::Index c = 0; c < d_head; ++c) {
+                acc += dout[off + c] * vrow[off + c];
+              }
+              dp[static_cast<size_t>(j)] = acc;
+              dot_pp += static_cast<double>(acc) * prow[j];
+              auto dvrow = dv.row(j);
+              for (tn::Index c = 0; c < d_head; ++c) {
+                dvrow[off + c] += prow[j] * dout[off + c];
+              }
+            }
+            // dS_ij = P_ij (dP_ij - sum); dQ_i += scale dS_ij K_j;
+            // dK_j += scale dS_ij Q_i.
+            auto dqrow = dq.row(i);
+            auto qrow = q2->value.row(i);
+            for (tn::Index j = 0; j <= i; ++j) {
+              const float ds =
+                  prow[j] * (dp[static_cast<size_t>(j)] -
+                             static_cast<float>(dot_pp));
+              if (ds == 0.0f) continue;
+              auto krow = k2->value.row(j);
+              auto dkrow = dk.row(j);
+              for (tn::Index c = 0; c < d_head; ++c) {
+                dqrow[off + c] += scale * ds * krow[off + c];
+                dkrow[off + c] += scale * ds * qrow[off + c];
+              }
+            }
+          }
+        }
+        if (q2->requires_grad) q2->accumulate(dq);
+        if (k2->requires_grad) k2->accumulate(dk);
+        if (v2->requires_grad) v2->accumulate(dv);
+      });
+}
+
+Var cross_entropy_lm(const Var& logits, std::vector<tok::TokenId> targets,
+                     int first_loss_pos) {
+  const tn::Index t_len = logits->value.rows();
+  const tn::Index vocab = logits->value.cols();
+  if (static_cast<tn::Index>(targets.size()) != t_len) {
+    throw std::invalid_argument("cross_entropy_lm: target length mismatch");
+  }
+  int count = 0;
+  double total = 0.0;
+  // Save softmax rows for the backward pass (only loss positions).
+  auto soft = std::make_shared<tn::Tensor>(tn::Tensor({t_len, vocab}));
+  for (tn::Index t = first_loss_pos; t < t_len; ++t) {
+    auto row = logits->value.row(t);
+    float mx = -std::numeric_limits<float>::infinity();
+    for (float x : row) mx = std::max(mx, x);
+    double sum = 0.0;
+    for (float x : row) sum += std::exp(static_cast<double>(x - mx));
+    const double log_z = mx + std::log(sum);
+    const tok::TokenId y = targets[static_cast<size_t>(t)];
+    total += log_z - row[y];
+    auto srow = soft->row(t);
+    for (tn::Index c = 0; c < vocab; ++c) {
+      srow[c] = static_cast<float>(
+          std::exp(static_cast<double>(row[c]) - log_z));
+    }
+    ++count;
+  }
+  if (count == 0) throw std::invalid_argument("cross_entropy_lm: empty loss");
+  tn::Tensor value({1, 1});
+  value[0] = static_cast<float>(total / count);
+  auto tgt = std::make_shared<std::vector<tok::TokenId>>(std::move(targets));
+  return make_op(
+      std::move(value), {logits},
+      [soft, tgt, first_loss_pos, count](Node& n) {
+        const auto& l2 = n.parents[0];
+        if (!l2->requires_grad) return;
+        const float upstream = n.grad[0] / static_cast<float>(count);
+        tn::Tensor g(l2->value.shape());
+        for (tn::Index t = first_loss_pos; t < g.rows(); ++t) {
+          auto srow = soft->row(t);
+          auto grow = g.row(t);
+          for (tn::Index c = 0; c < g.cols(); ++c) {
+            grow[c] = upstream * srow[c];
+          }
+          grow[(*tgt)[static_cast<size_t>(t)]] -= upstream;
+        }
+        l2->accumulate(g);
+      });
+}
+
+Var sum(const Var& x) {
+  tn::Tensor value({1, 1});
+  double total = 0.0;
+  for (float v : x->value.flat()) total += v;
+  value[0] = static_cast<float>(total);
+  return make_op(std::move(value), {x}, [](Node& n) {
+    const auto& x2 = n.parents[0];
+    if (!x2->requires_grad) return;
+    tn::Tensor g(x2->value.shape());
+    g.fill(n.grad[0]);
+    x2->accumulate(g);
+  });
+}
+
+Var scaled_sum(const std::vector<Var>& terms, float scale) {
+  if (terms.empty()) throw std::invalid_argument("scaled_sum: no terms");
+  tn::Tensor value({1, 1});
+  double total = 0.0;
+  for (const auto& t : terms) {
+    if (t->value.numel() != 1) {
+      throw std::invalid_argument("scaled_sum: non-scalar term");
+    }
+    total += t->value[0];
+  }
+  value[0] = static_cast<float>(total * scale);
+  return make_op(std::move(value), terms, [scale](Node& n) {
+    tn::Tensor g({1, 1});
+    g[0] = n.grad[0] * scale;
+    for (auto& p : n.parents) {
+      if (p->requires_grad) p->accumulate(g);
+    }
+  });
+}
+
+}  // namespace llmfi::ag

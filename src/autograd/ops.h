@@ -1,0 +1,58 @@
+#pragma once
+// Differentiable operations: exactly the set needed for Llama-style
+// transformer training (including a fused causal attention and a fused
+// top-k MoE layer with router gradients).
+
+#include <array>
+#include <vector>
+
+#include "autograd/var.h"
+#include "tokenizer/vocab.h"
+
+namespace llmfi::ag {
+
+// y = x @ w^T (Linear with weights [out, in]).
+Var matmul_bt(const Var& x, const Var& w);
+
+// Elementwise (shapes must match).
+Var add(const Var& a, const Var& b);
+Var mul(const Var& a, const Var& b);
+Var silu(const Var& x);
+
+// RMSNorm over rows with learnable gain.
+Var rmsnorm(const Var& x, const Var& gain, float eps = 1e-5f);
+
+// Gathers table rows for `ids`; grad scatter-adds back into the table.
+Var embedding(const Var& table, std::vector<tok::TokenId> ids);
+
+// Rotary position embedding (orthogonal map; backward = inverse rotation).
+Var rope(const Var& x, int n_heads, int pos_offset, float theta = 10000.0f);
+
+// Fused causal multi-head self-attention for one sequence: q,k,v are
+// [T, d_model] with n_heads contiguous head slices per row.
+Var causal_attention(const Var& q, const Var& k, const Var& v, int n_heads);
+
+// Mean next-token cross-entropy. logits is [T, vocab]; targets[t] is the
+// token that position t should predict; positions < first_loss_pos are
+// excluded (prompt tokens carry no loss). Returns a scalar ([1,1]) node.
+Var cross_entropy_lm(const Var& logits, std::vector<tok::TokenId> targets,
+                     int first_loss_pos);
+
+// Fused top-k Mixture-of-Experts MLP (router + SiLU-gated experts) over
+// [T, d_model]. Gradients flow into the chosen experts and, through the
+// renormalized top-k gate weights, into the router.
+struct MoeParams {
+  Var router;                             // [n_experts, d_model]
+  std::vector<std::array<Var, 3>> experts;  // {gate, up, down} per expert
+  int top_k = 2;
+};
+Var moe_layer(const Var& x, const MoeParams& params);
+
+// Scalar sum of a set of scalar losses (for averaging over a batch).
+Var scaled_sum(const std::vector<Var>& terms, float scale);
+
+// Sum of all elements -> scalar [1,1] node (reduction head for tests and
+// auxiliary losses).
+Var sum(const Var& x);
+
+}  // namespace llmfi::ag

@@ -1,0 +1,61 @@
+#include "autograd/var.h"
+
+#include <stdexcept>
+#include <unordered_set>
+
+#include "tensor/ops.h"
+
+namespace llmfi::ag {
+
+void Node::accumulate(const tn::Tensor& g) {
+  if (grad.empty()) {
+    grad = tn::Tensor(value.shape());
+  }
+  tn::add_inplace(grad, g);
+}
+
+void Node::zero_grad() {
+  if (!grad.empty()) grad.zero();
+}
+
+Var leaf(tn::Tensor value, bool requires_grad) {
+  auto n = std::make_shared<Node>();
+  n->value = std::move(value);
+  n->requires_grad = requires_grad;
+  return n;
+}
+
+void backward(const Var& root) {
+  if (root->value.numel() != 1) {
+    throw std::invalid_argument("backward: root must be scalar");
+  }
+  // Iterative post-order DFS for topological order.
+  std::vector<Node*> order;
+  std::unordered_set<Node*> visited;
+  std::vector<std::pair<Node*, size_t>> stack;
+  stack.emplace_back(root.get(), 0);
+  visited.insert(root.get());
+  while (!stack.empty()) {
+    auto& [node, next_parent] = stack.back();
+    if (next_parent < node->parents.size()) {
+      Node* parent = node->parents[next_parent].get();
+      ++next_parent;
+      if (parent->requires_grad && visited.insert(parent).second) {
+        stack.emplace_back(parent, 0);
+      }
+    } else {
+      order.push_back(node);
+      stack.pop_back();
+    }
+  }
+  // `order` is post-order (parents before children); reverse for the
+  // child-to-parent sweep.
+  root->grad = tn::Tensor(root->value.shape());
+  root->grad.fill(1.0f);
+  for (auto it = order.rbegin(); it != order.rend(); ++it) {
+    Node* n = *it;
+    if (n->backward_fn && n->has_grad()) n->backward_fn(*n);
+  }
+}
+
+}  // namespace llmfi::ag

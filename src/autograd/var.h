@@ -1,0 +1,44 @@
+#pragma once
+// Minimal tape-based reverse-mode autodiff over fp32 tensors — the
+// training substrate. The paper uses pre-trained HuggingFace models; we
+// train our tiny models from scratch, so baseline outputs are *correct*
+// and Masked-vs-SDC classification is meaningful.
+//
+// Graphs are built dynamically per training step on top of persistent
+// leaf nodes (the parameters); `backward()` runs a topological sweep and
+// accumulates gradients into `Node::grad`.
+
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "tensor/tensor.h"
+
+namespace llmfi::ag {
+
+struct Node;
+using Var = std::shared_ptr<Node>;
+
+struct Node {
+  tn::Tensor value;
+  tn::Tensor grad;  // allocated lazily, same shape as value
+  std::vector<Var> parents;
+  // Propagates this node's grad into its parents' grads.
+  std::function<void(Node&)> backward_fn;
+  bool requires_grad = true;
+
+  // Accumulation helper: ensures grad is allocated, then adds `g`.
+  void accumulate(const tn::Tensor& g);
+  bool has_grad() const { return !grad.empty(); }
+  void zero_grad();
+};
+
+// Leaf holding a (trainable) tensor. The tensor is moved in; the
+// optimizer mutates `node->value` in place across steps.
+Var leaf(tn::Tensor value, bool requires_grad = true);
+
+// Seeds d(root)/d(root) = 1 (root must be scalar-shaped, numel == 1) and
+// runs reverse-mode accumulation in topological order.
+void backward(const Var& root);
+
+}  // namespace llmfi::ag

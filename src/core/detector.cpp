@@ -1,0 +1,39 @@
+#include "core/detector.h"
+
+#include <cmath>
+#include <limits>
+
+namespace llmfi::core {
+
+ActivationDetector::ActivationDetector(ActivationProfile profile,
+                                       nn::LinearHook* next)
+    : profile_(std::move(profile)), next_(next) {}
+
+void ActivationDetector::on_linear_output(const nn::LinearId& id,
+                                          tn::Tensor& y, int pass_index,
+                                          int row_offset) {
+  if (next_ != nullptr) {
+    next_->on_linear_output(id, y, pass_index, row_offset);
+  }
+  if (triggered_) return;  // first trip is enough
+  const auto it = profile_.bound.find(id.kind);
+  const float bound = (it != profile_.bound.end())
+                          ? it->second
+                          : std::numeric_limits<float>::infinity();
+  for (float v : y.flat()) {
+    if (!std::isfinite(v) || std::fabs(v) > bound) {
+      triggered_ = true;
+      trip_site_ = id;
+      trip_pass_ = pass_index;
+      return;
+    }
+  }
+}
+
+void ActivationDetector::reset() {
+  triggered_ = false;
+  trip_pass_ = -1;
+  trip_site_ = {};
+}
+
+}  // namespace llmfi::core

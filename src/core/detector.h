@@ -1,0 +1,38 @@
+#pragma once
+// Online SDC detection via activation monitoring (Dr.DNA / Ranger-style
+// detection without correction): a LinearHook that *observes* every
+// linear output and raises a flag when values leave a profiled envelope
+// or go non-finite. The ablation bench measures detection coverage
+// (fraction of SDC trials flagged) and the false-positive rate on
+// fault-free runs — the trade-off an HPC operator cares about.
+
+#include "core/mitigation.h"
+
+namespace llmfi::core {
+
+class ActivationDetector : public nn::LinearHook {
+ public:
+  // `profile` bounds come from profile_activations(); `next` (optional)
+  // is invoked first so an injector upstream still fires.
+  explicit ActivationDetector(ActivationProfile profile,
+                              nn::LinearHook* next = nullptr);
+
+  void on_linear_output(const nn::LinearId& id, tn::Tensor& y,
+                        int pass_index, int row_offset) override;
+
+  bool triggered() const { return triggered_; }
+  // The first layer that tripped the detector (valid when triggered()).
+  const nn::LinearId& trip_site() const { return trip_site_; }
+  int trip_pass() const { return trip_pass_; }
+  void reset();
+  void set_next(nn::LinearHook* next) { next_ = next; }
+
+ private:
+  ActivationProfile profile_;
+  nn::LinearHook* next_;
+  bool triggered_ = false;
+  nn::LinearId trip_site_;
+  int trip_pass_ = -1;
+};
+
+}  // namespace llmfi::core

@@ -1,0 +1,24 @@
+#include "core/fault_model.h"
+
+#include <stdexcept>
+#include <string>
+
+namespace llmfi::core {
+
+std::string_view fault_model_name(FaultModel m) {
+  switch (m) {
+    case FaultModel::Comp1Bit: return "1bit-comp";
+    case FaultModel::Comp2Bit: return "2bits-comp";
+    case FaultModel::Mem2Bit: return "2bits-mem";
+  }
+  return "?";
+}
+
+FaultModel parse_fault_model(std::string_view name) {
+  if (name == "1bit-comp") return FaultModel::Comp1Bit;
+  if (name == "2bits-comp") return FaultModel::Comp2Bit;
+  if (name == "2bits-mem") return FaultModel::Mem2Bit;
+  throw std::invalid_argument("unknown fault model: " + std::string(name));
+}
+
+}  // namespace llmfi::core

@@ -1,0 +1,30 @@
+#pragma once
+// The study's fault models (paper §3.1):
+//   1bit-comp — single-bit flip in a linear layer's output activation,
+//               at one random forward pass (transient ALU fault),
+//   2bits-comp — double-bit flip, same site,
+//   2bits-mem — double-bit flip in one stored weight, persisting for the
+//               whole inference (the ECC-uncorrectable memory fault).
+
+#include <string_view>
+
+namespace llmfi::core {
+
+enum class FaultModel {
+  Comp1Bit,
+  Comp2Bit,
+  Mem2Bit,
+};
+
+constexpr bool is_memory_fault(FaultModel m) {
+  return m == FaultModel::Mem2Bit;
+}
+
+constexpr int fault_bit_count(FaultModel m) {
+  return m == FaultModel::Comp1Bit ? 1 : 2;
+}
+
+std::string_view fault_model_name(FaultModel m);
+FaultModel parse_fault_model(std::string_view name);
+
+}  // namespace llmfi::core

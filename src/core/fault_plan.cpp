@@ -1,0 +1,63 @@
+#include "core/fault_plan.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace llmfi::core {
+
+int FaultPlan::highest_bit() const {
+  int hi = -1;
+  for (int b : bits) hi = std::max(hi, b);
+  return hi;
+}
+
+FaultPlan sample_fault(FaultModel model, model::InferenceModel& m,
+                       const SamplerScope& scope, num::Rng& rng) {
+  auto layers = m.linear_layers();
+  std::vector<int> eligible;
+  for (int i = 0; i < static_cast<int>(layers.size()); ++i) {
+    const auto& id = layers[static_cast<size_t>(i)].id;
+    if (!scope.layer_filter || scope.layer_filter(id)) eligible.push_back(i);
+  }
+  if (eligible.empty()) {
+    throw std::invalid_argument("sample_fault: no eligible layers");
+  }
+
+  FaultPlan plan;
+  plan.model = model;
+  plan.layer_index = eligible[rng.uniform_u64(eligible.size())];
+  const auto& ref = layers[static_cast<size_t>(plan.layer_index)];
+  plan.layer = ref.id;
+
+  const int n_bits = fault_bit_count(model);
+  // Memory faults flip stored weight bits (storage width incl. quantized
+  // payload); computational faults flip activation bits (activation
+  // dtype width).
+  const int width =
+      is_memory_fault(model)
+          ? ref.weights->storage_bits()
+          : num::dtype_info(m.precision().act_dtype).total_bits;
+  while (static_cast<int>(plan.bits.size()) < n_bits) {
+    const int b = static_cast<int>(rng.uniform_u64(
+        static_cast<std::uint64_t>(width)));
+    if (std::find(plan.bits.begin(), plan.bits.end(), b) == plan.bits.end()) {
+      plan.bits.push_back(b);
+    }
+  }
+
+  if (is_memory_fault(model)) {
+    plan.weight_row = static_cast<tn::Index>(
+        rng.uniform_u64(static_cast<std::uint64_t>(ref.weights->rows())));
+    plan.weight_col = static_cast<tn::Index>(
+        rng.uniform_u64(static_cast<std::uint64_t>(ref.weights->cols())));
+  } else {
+    plan.pass_index = static_cast<int>(rng.uniform_u64(
+        static_cast<std::uint64_t>(std::max(1, scope.max_passes))));
+    plan.row_frac = rng.uniform();
+    plan.out_col = static_cast<tn::Index>(
+        rng.uniform_u64(static_cast<std::uint64_t>(ref.weights->rows())));
+  }
+  return plan;
+}
+
+}  // namespace llmfi::core

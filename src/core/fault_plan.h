@@ -1,0 +1,52 @@
+#pragma once
+// A sampled fault location — the unit of one statistical FI trial.
+
+#include <functional>
+#include <vector>
+
+#include "core/fault_model.h"
+#include "model/transformer.h"
+#include "nn/layer_id.h"
+#include "numerics/rng.h"
+
+namespace llmfi::core {
+
+struct FaultPlan {
+  FaultModel model = FaultModel::Comp1Bit;
+  nn::LinearId layer;
+  int layer_index = -1;  // index into InferenceModel::linear_layers()
+
+  // Memory faults: target weight element.
+  tn::Index weight_row = 0;
+  tn::Index weight_col = 0;
+
+  // Computational faults: target (pass, row, neuron). The row is sampled
+  // as a fraction and resolved against the actual output height when the
+  // hook fires, so the fault always lands regardless of prompt length.
+  int pass_index = 0;
+  double row_frac = 0.0;
+  tn::Index out_col = 0;
+
+  // Bit positions within the storage representation (1 or 2, distinct).
+  std::vector<int> bits;
+
+  // Highest flipped bit (the grouping key of Figs 9-10).
+  int highest_bit() const;
+};
+
+// Sampling scope: which layers are eligible and how many forward passes
+// the upcoming inference will run (needed to place computational faults
+// uniformly over generation iterations, paper §3.2).
+struct SamplerScope {
+  // Default: every linear layer in the transformer blocks.
+  std::function<bool(const nn::LinearId&)> layer_filter;
+  int max_passes = 1;
+};
+
+// Mirrors the paper's two-stage sampling: uniform over (block, layer)
+// entries passing the filter, then uniform over elements/bits. Bits are
+// drawn within the dtype's storage width (payload width for quantized).
+FaultPlan sample_fault(FaultModel model, model::InferenceModel& m,
+                       const SamplerScope& scope, num::Rng& rng);
+
+}  // namespace llmfi::core

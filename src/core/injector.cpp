@@ -1,0 +1,58 @@
+#include "core/injector.h"
+
+#include <algorithm>
+#include <cassert>
+
+#include "numerics/bitflip.h"
+
+namespace llmfi::core {
+
+ComputationalFaultInjector::ComputationalFaultInjector(FaultPlan plan,
+                                                       num::DType act_dtype)
+    : plan_(std::move(plan)), act_dtype_(act_dtype) {
+  assert(!is_memory_fault(plan_.model));
+}
+
+void ComputationalFaultInjector::on_linear_output(const nn::LinearId& id,
+                                                  tn::Tensor& y,
+                                                  int pass_index,
+                                                  int row_offset) {
+  (void)row_offset;
+  if (record_.has_value()) return;               // single shot
+  if (pass_index != plan_.pass_index) return;
+  if (!(id == plan_.layer)) return;
+
+  FiredRecord rec;
+  rec.pass_index = pass_index;
+  rec.row = std::min<tn::Index>(
+      y.rows() - 1,
+      static_cast<tn::Index>(plan_.row_frac * static_cast<double>(y.rows())));
+  rec.col = std::min<tn::Index>(plan_.out_col, y.cols() - 1);
+  rec.old_value = y.at(rec.row, rec.col);
+  // Activations already carry dtype-exact values (the engine rounds the
+  // output after every linear), so flipping in the activation dtype's
+  // representation is lossless.
+  y.at(rec.row, rec.col) =
+      num::flip_float_bits(rec.old_value, act_dtype_, plan_.bits);
+  rec.new_value = y.at(rec.row, rec.col);
+  record_ = rec;
+}
+
+WeightCorruption::WeightCorruption(model::InferenceModel& m,
+                                   const FaultPlan& plan)
+    : model_(m), plan_(plan) {
+  assert(is_memory_fault(plan_.model));
+  auto layers = model_.linear_layers();
+  auto& w = *layers[static_cast<size_t>(plan_.layer_index)].weights;
+  old_value_ = w.values().at(plan_.weight_row, plan_.weight_col);
+  w.flip_bits(plan_.weight_row, plan_.weight_col, plan_.bits);
+  new_value_ = w.values().at(plan_.weight_row, plan_.weight_col);
+}
+
+WeightCorruption::~WeightCorruption() {
+  auto layers = model_.linear_layers();
+  auto& w = *layers[static_cast<size_t>(plan_.layer_index)].weights;
+  w.flip_bits(plan_.weight_row, plan_.weight_col, plan_.bits);
+}
+
+}  // namespace llmfi::core

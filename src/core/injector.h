@@ -1,0 +1,68 @@
+#pragma once
+// Fault application machinery: a single-shot computational-fault hook
+// (PyTorchFI-style output perturbation) and an RAII weight corruption
+// guard for memory faults (flip on construction, flip back on
+// destruction — the paper's fresh-execution protocol, §3.2).
+
+#include <optional>
+
+#include "core/fault_plan.h"
+#include "nn/hooks.h"
+
+namespace llmfi::core {
+
+// What actually happened when a fault landed.
+struct FiredRecord {
+  tn::Index row = 0;  // resolved output row (absolute token position)
+  tn::Index col = 0;
+  float old_value = 0.0f;
+  float new_value = 0.0f;
+  int pass_index = 0;
+};
+
+// Flips plan.bits in one element of the output of the target layer, the
+// first time the (pass_index, layer) site executes. Single-shot: in beam
+// search several beams share a pass index, but only one row of one beam
+// is corrupted — matching a one-row corruption of a batched GEMM.
+class ComputationalFaultInjector : public nn::LinearHook {
+ public:
+  // `act_dtype` is the representation the flip happens in — pass the
+  // engine's precision().act_dtype so 16-bit flips act on fp16/bf16 bits.
+  ComputationalFaultInjector(FaultPlan plan, num::DType act_dtype);
+
+  void on_linear_output(const nn::LinearId& id, tn::Tensor& y,
+                        int pass_index, int row_offset) override;
+
+  bool fired() const { return record_.has_value(); }
+  const FiredRecord& record() const { return *record_; }
+  // Re-arm for another inference with the same plan.
+  void reset() { record_.reset(); }
+
+ private:
+  FaultPlan plan_;
+  num::DType act_dtype_;
+  std::optional<FiredRecord> record_;
+};
+
+// RAII weight corruption: applies the plan's bit flips to the stored
+// weight on construction and restores them on destruction (XOR flips are
+// involutive). Keeps a reference to the engine — keep it alive.
+class WeightCorruption {
+ public:
+  WeightCorruption(model::InferenceModel& m, const FaultPlan& plan);
+  ~WeightCorruption();
+
+  WeightCorruption(const WeightCorruption&) = delete;
+  WeightCorruption& operator=(const WeightCorruption&) = delete;
+
+  float old_value() const { return old_value_; }
+  float new_value() const { return new_value_; }
+
+ private:
+  model::InferenceModel& model_;
+  FaultPlan plan_;
+  float old_value_ = 0.0f;
+  float new_value_ = 0.0f;
+};
+
+}  // namespace llmfi::core

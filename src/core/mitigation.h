@@ -1,0 +1,81 @@
+#pragma once
+// Low-cost fault-mitigation techniques, implementing the direction the
+// paper's conclusions point at ("future work could focus on developing
+// inference algorithms that reduce fault propagation, i.e. fault
+// isolation"). Two classic schemes, both evaluated by ablation benches:
+//
+//  * Activation range restriction (Ranger / Chen et al. DSN'21 style):
+//    a LinearHook that clamps every linear output into a per-layer-kind
+//    bound learned from fault-free profiling runs. A bit flip that
+//    produces 1e38 is clipped back into the profiled envelope before it
+//    can propagate.
+//
+//  * Weight range screening: a one-shot scan that detects stored
+//    weights outside a profiled bound (the memory-fault signature) —
+//    the software analog of a background scrubber.
+
+#include <map>
+#include <memory>
+
+#include "model/transformer.h"
+#include "nn/hooks.h"
+
+namespace llmfi::core {
+
+// Per-layer-kind activation envelope collected from clean runs.
+struct ActivationProfile {
+  // layer kind -> max |activation| observed, with safety margin applied.
+  std::map<nn::LayerKind, float> bound;
+
+  bool empty() const { return bound.empty(); }
+};
+
+// Runs the given prompts through the engine fault-free and records the
+// maximum absolute activation per layer kind, inflated by `margin`
+// (e.g. 2.0 doubles the observed bound so natural out-of-distribution
+// inputs are not clipped).
+ActivationProfile profile_activations(
+    model::InferenceModel& engine, const tok::Vocab& vocab,
+    const std::vector<std::string>& prompts, float margin = 2.0f);
+
+// A LinearHook that clamps outputs into the profiled envelope and
+// replaces non-finite values with 0 — the paper's "fault isolation".
+// Chain-able: forwards to `next` (e.g. the fault injector) FIRST, so the
+// restriction acts on the corrupted tensor exactly as it would on
+// corrupted hardware output.
+class RangeRestrictionHook : public nn::LinearHook {
+ public:
+  RangeRestrictionHook(ActivationProfile profile,
+                       nn::LinearHook* next = nullptr);
+
+  void on_linear_output(const nn::LinearId& id, tn::Tensor& y,
+                        int pass_index, int row_offset) override;
+
+  // Number of elements clipped/zeroed since construction or reset.
+  std::int64_t corrections() const { return corrections_; }
+  void reset_counters() { corrections_ = 0; }
+  void set_next(nn::LinearHook* next) { next_ = next; }
+
+ private:
+  ActivationProfile profile_;
+  nn::LinearHook* next_;
+  std::int64_t corrections_ = 0;
+};
+
+// Scans every FI-eligible weight matrix for elements whose magnitude
+// exceeds `bound_multiple` times the matrix's own max-|w| profile taken
+// at construction. Returns the number of suspicious weights — nonzero
+// while a WeightCorruption with an exponent-MSB flip is active.
+class WeightScreen {
+ public:
+  explicit WeightScreen(model::InferenceModel& engine);
+
+  // Re-scan; counts weights outside bound_multiple * profiled max.
+  std::int64_t scan(float bound_multiple = 4.0f) const;
+
+ private:
+  model::InferenceModel& engine_;
+  std::vector<float> profiled_max_;  // per linear layer
+};
+
+}  // namespace llmfi::core

@@ -1,0 +1,75 @@
+#include "core/outcome.h"
+
+namespace llmfi::core {
+
+std::string_view outcome_name(OutcomeClass c) {
+  switch (c) {
+    case OutcomeClass::Masked: return "masked";
+    case OutcomeClass::SdcSubtle: return "sdc-subtle";
+    case OutcomeClass::SdcDistorted: return "sdc-distorted";
+  }
+  return "?";
+}
+
+namespace {
+
+constexpr int kRepeatRun = 5;
+
+bool has_long_repeat(std::span<const tok::TokenId> tokens) {
+  int run = 1;
+  for (size_t i = 1; i < tokens.size(); ++i) {
+    run = (tokens[i] == tokens[i - 1]) ? run + 1 : 1;
+    if (run >= kRepeatRun) return true;
+  }
+  return false;
+}
+
+// Detects a short cycle (period 2..4) covering at least ~70% of the tail
+// of the output — the "repeated token pattern" class of distortion.
+bool has_ngram_loop(std::span<const tok::TokenId> tokens) {
+  const size_t n = tokens.size();
+  if (n < 8) return false;
+  for (size_t period = 2; period <= 4; ++period) {
+    size_t matches = 0;
+    size_t comparisons = 0;
+    for (size_t i = period; i < n; ++i) {
+      ++comparisons;
+      if (tokens[i] == tokens[i - period]) ++matches;
+    }
+    if (comparisons > 0 &&
+        static_cast<double>(matches) / comparisons >= 0.7) {
+      return true;
+    }
+  }
+  return false;
+}
+
+}  // namespace
+
+DistortionSignals analyze_distortion(std::span<const tok::TokenId> tokens,
+                                     bool nonfinite_logits,
+                                     bool hit_max_tokens, bool baseline_ended,
+                                     bool baseline_empty) {
+  DistortionSignals s;
+  s.nonfinite_logits = nonfinite_logits;
+  s.runaway_length = hit_max_tokens && baseline_ended;
+  s.empty_output = tokens.empty() && !baseline_empty;
+  s.long_repeat = has_long_repeat(tokens);
+  s.ngram_loop = has_ngram_loop(tokens);
+  return s;
+}
+
+OutcomeClass classify_direct(bool answer_correct,
+                             const DistortionSignals& signals) {
+  if (answer_correct) return OutcomeClass::Masked;
+  return signals.any() ? OutcomeClass::SdcDistorted : OutcomeClass::SdcSubtle;
+}
+
+OutcomeClass classify_generative(const std::string& output,
+                                 const std::string& baseline_output,
+                                 const DistortionSignals& signals) {
+  if (output == baseline_output) return OutcomeClass::Masked;
+  return signals.any() ? OutcomeClass::SdcDistorted : OutcomeClass::SdcSubtle;
+}
+
+}  // namespace llmfi::core

@@ -1,0 +1,54 @@
+#pragma once
+// Outcome taxonomy of one FI trial (paper §3.2 & Fig 8): Masked vs SDC,
+// with SDCs split into *subtly wrong* (plausible but incorrect content)
+// and *distorted* (repeated/meaningless tokens, runaway generation,
+// non-finite logits).
+
+#include <span>
+#include <string>
+
+#include "tokenizer/vocab.h"
+
+namespace llmfi::core {
+
+enum class OutcomeClass {
+  Masked,
+  SdcSubtle,
+  SdcDistorted,
+};
+
+std::string_view outcome_name(OutcomeClass c);
+
+struct DistortionSignals {
+  bool nonfinite_logits = false;
+  bool runaway_length = false;  // hit the token budget while baseline ended
+  bool empty_output = false;    // baseline produced text, faulty run none
+  bool long_repeat = false;     // >= 5 consecutive identical tokens
+  bool ngram_loop = false;      // short cycle covering most of the output
+
+  bool any() const {
+    return nonfinite_logits || runaway_length || empty_output ||
+           long_repeat || ngram_loop;
+  }
+};
+
+// Inspects a generated token stream for the paper's "distorted output"
+// symptoms. `baseline_ended` / `baseline_empty` describe the fault-free
+// run on the same input, so ordinary long outputs are not misflagged.
+DistortionSignals analyze_distortion(std::span<const tok::TokenId> tokens,
+                                     bool nonfinite_logits,
+                                     bool hit_max_tokens, bool baseline_ended,
+                                     bool baseline_empty);
+
+// Direct-answer tasks (multiple-choice, math): Masked iff the final
+// answer matches the reference (paper's definition).
+OutcomeClass classify_direct(bool answer_correct,
+                             const DistortionSignals& signals);
+
+// Open-ended generative tasks: Masked iff the output text equals the
+// fault-free output.
+OutcomeClass classify_generative(const std::string& output,
+                                 const std::string& baseline_output,
+                                 const DistortionSignals& signals);
+
+}  // namespace llmfi::core

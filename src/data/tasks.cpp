@@ -1,0 +1,479 @@
+#include "data/tasks.h"
+
+#include <algorithm>
+#include <cassert>
+#include <sstream>
+#include <stdexcept>
+
+namespace llmfi::data {
+
+namespace {
+
+TrainSeq make_seq(const tok::Vocab& vocab, const std::string& prompt,
+                  const std::string& answer) {
+  TrainSeq seq;
+  seq.tokens.push_back(vocab.bos());
+  const auto prompt_ids = vocab.encode(prompt);
+  const auto answer_ids = vocab.encode(answer);
+  seq.tokens.insert(seq.tokens.end(), prompt_ids.begin(), prompt_ids.end());
+  seq.loss_start = static_cast<int>(seq.tokens.size());
+  seq.tokens.insert(seq.tokens.end(), answer_ids.begin(), answer_ids.end());
+  seq.tokens.push_back(vocab.eos());
+  return seq;
+}
+
+int pick_distinct(num::Rng& rng, int n, std::vector<int>& taken) {
+  int v;
+  do {
+    v = static_cast<int>(rng.uniform_u64(static_cast<std::uint64_t>(n)));
+  } while (std::find(taken.begin(), taken.end(), v) != taken.end());
+  taken.push_back(v);
+  return v;
+}
+
+// ---- MMLU analog: fact recall --------------------------------------------
+
+TaskData gen_mc_fact(const World& w, const GenOptions& opt) {
+  TaskData data;
+  data.kind = TaskKind::McFact;
+  num::Rng rng(opt.seed ^ 0xFAC7ull);
+  for (int i = 0; i < opt.train_n; ++i) {
+    const int e = static_cast<int>(rng.uniform_u64(World::kFactEntities));
+    const std::string prompt =
+        "question : what is " + w.entity(e) + " ? answer";
+    data.train.push_back(make_seq(w.vocab(), prompt, w.value(w.fact_value(e))));
+  }
+  num::Rng erng(opt.seed ^ 0xE0A1ull);
+  for (int i = 0; i < opt.eval_n; ++i) {
+    const int e = i % World::kFactEntities;
+    Example ex;
+    ex.prompt = "question : what is " + w.entity(e) + " ? answer";
+    std::vector<int> taken = {w.fact_value(e)};
+    ex.options.push_back(w.value(w.fact_value(e)));
+    for (int d = 0; d < 3; ++d) {
+      ex.options.push_back(w.value(pick_distinct(erng, World::kValues, taken)));
+    }
+    // Shuffle option order deterministically.
+    const int correct_pos = static_cast<int>(erng.uniform_u64(4));
+    std::swap(ex.options[0], ex.options[static_cast<size_t>(correct_pos)]);
+    ex.correct = correct_pos;
+    ex.reference = ex.options[static_cast<size_t>(correct_pos)];
+    data.eval.push_back(std::move(ex));
+  }
+  return data;
+}
+
+// ---- ARC analog: numeric comparison --------------------------------------
+
+TaskData gen_mc_science(const World& w, const GenOptions& opt) {
+  TaskData data;
+  data.kind = TaskKind::McScience;
+  num::Rng rng(opt.seed ^ 0xA2Cull);
+  auto make_one = [&](num::Rng& r, bool larger) {
+    int a = static_cast<int>(r.uniform_u64(90)) + 10;
+    int b;
+    do {
+      b = static_cast<int>(r.uniform_u64(90)) + 10;
+    } while (b == a);
+    const int ans = larger ? std::max(a, b) : std::min(a, b);
+    std::string prompt = std::string("question : ") +
+                         (larger ? "larger" : "smaller") + " : " +
+                         World::spell_number(a) + " or " +
+                         World::spell_number(b) + " ? answer";
+    return std::tuple<std::string, int, int, int>(prompt, a, b, ans);
+  };
+  for (int i = 0; i < opt.train_n; ++i) {
+    auto [prompt, a, b, ans] = make_one(rng, rng.bernoulli(0.5));
+    data.train.push_back(make_seq(w.vocab(), prompt, World::spell_number(ans)));
+  }
+  num::Rng erng(opt.seed ^ 0xE2Cull);
+  for (int i = 0; i < opt.eval_n; ++i) {
+    auto [prompt, a, b, ans] = make_one(erng, (i % 2) == 0);
+    Example ex;
+    ex.prompt = prompt;
+    ex.options = {World::spell_number(a), World::spell_number(b)};
+    ex.correct = (ans == a) ? 0 : 1;
+    ex.reference = World::spell_number(ans);
+    data.eval.push_back(std::move(ex));
+  }
+  return data;
+}
+
+// ---- TruthfulQA analog ----------------------------------------------------
+// The training corpus repeats the *myth* association frequently as a plain
+// statement, while the truth-marked form carries the real fact. The model
+// must prefer the fact when the prompt carries the "truth" marker.
+
+TaskData gen_mc_truthful(const World& w, const GenOptions& opt) {
+  TaskData data;
+  data.kind = TaskKind::McTruthful;
+  num::Rng rng(opt.seed ^ 0x72F1ull);
+  for (int i = 0; i < opt.train_n; ++i) {
+    const int e = World::kFactEntities +
+                  static_cast<int>(rng.uniform_u64(World::kTruthEntities));
+    if (rng.bernoulli(0.5)) {
+      // Myth: plain statement, no marker.
+      data.train.push_back(make_seq(
+          w.vocab(), w.entity(e) + " is", w.value(w.myth_value(e))));
+    } else {
+      data.train.push_back(make_seq(
+          w.vocab(), "truth : " + w.entity(e) + " is",
+          w.value(w.fact_value(e))));
+    }
+  }
+  num::Rng erng(opt.seed ^ 0xE7F1ull);
+  for (int i = 0; i < opt.eval_n; ++i) {
+    const int e = World::kFactEntities + (i % World::kTruthEntities);
+    Example ex;
+    ex.prompt = "truth : " + w.entity(e) + " is";
+    std::vector<int> taken = {w.fact_value(e), w.myth_value(e)};
+    ex.options.push_back(w.value(w.fact_value(e)));
+    ex.options.push_back(w.value(w.myth_value(e)));
+    for (int d = 0; d < 2; ++d) {
+      ex.options.push_back(w.value(pick_distinct(erng, World::kValues, taken)));
+    }
+    const int correct_pos = static_cast<int>(erng.uniform_u64(4));
+    std::swap(ex.options[0], ex.options[static_cast<size_t>(correct_pos)]);
+    ex.correct = correct_pos;
+    ex.reference = ex.options[static_cast<size_t>(correct_pos)];
+    data.eval.push_back(std::move(ex));
+  }
+  return data;
+}
+
+// ---- WinoGrande analog: verb-driven coreference ----------------------------
+
+TaskData gen_mc_coref(const World& w, const GenOptions& opt) {
+  TaskData data;
+  data.kind = TaskKind::McCoref;
+  const auto& rules = w.verb_rules();
+  num::Rng rng(opt.seed ^ 0xC04Full);
+  auto build = [&](num::Rng& r) {
+    std::vector<int> taken;
+    const int a = pick_distinct(r, World::kNouns, taken);
+    const int b = pick_distinct(r, World::kNouns, taken);
+    const auto& rule = rules[r.uniform_u64(rules.size())];
+    const std::string prompt = "the " + w.noun(a) + " " + rule.verb + " the " +
+                               w.noun(b) + " . it is the";
+    const int correct = rule.refers_to_subject ? a : b;
+    return std::tuple<std::string, int, int, int>(prompt, a, b, correct);
+  };
+  for (int i = 0; i < opt.train_n; ++i) {
+    auto [prompt, a, b, correct] = build(rng);
+    data.train.push_back(make_seq(w.vocab(), prompt, w.noun(correct)));
+  }
+  num::Rng erng(opt.seed ^ 0xE04Full);
+  for (int i = 0; i < opt.eval_n; ++i) {
+    auto [prompt, a, b, correct] = build(erng);
+    Example ex;
+    ex.prompt = prompt;
+    ex.options = {w.noun(a), w.noun(b)};
+    ex.correct = (correct == a) ? 0 : 1;
+    ex.reference = w.noun(correct);
+    data.eval.push_back(std::move(ex));
+  }
+  return data;
+}
+
+// ---- HellaSwag analog: event-chain completion ------------------------------
+
+TaskData gen_mc_completion(const World& w, const GenOptions& opt) {
+  TaskData data;
+  data.kind = TaskKind::McCompletion;
+  num::Rng rng(opt.seed ^ 0x4E11Aull);
+  auto chain_text = [&](int c, int upto) {
+    std::string s = "then";
+    const auto& chain = w.event_chain(c);
+    for (int i = 0; i < upto; ++i) s += " " + w.activity(chain[i]);
+    return s;
+  };
+  for (int i = 0; i < opt.train_n; ++i) {
+    const int c = static_cast<int>(rng.uniform_u64(World::kEventChains));
+    data.train.push_back(make_seq(w.vocab(), chain_text(c, 3),
+                                  w.activity(w.event_chain(c)[3])));
+  }
+  num::Rng erng(opt.seed ^ 0xEE11Aull);
+  for (int i = 0; i < opt.eval_n; ++i) {
+    const int c = i % World::kEventChains;
+    Example ex;
+    ex.prompt = chain_text(c, 3);
+    const int correct_act = w.event_chain(c)[3];
+    std::vector<int> taken = {correct_act};
+    ex.options.push_back(w.activity(correct_act));
+    for (int d = 0; d < 3; ++d) {
+      ex.options.push_back(
+          w.activity(pick_distinct(erng, World::kActivities, taken)));
+    }
+    const int correct_pos = static_cast<int>(erng.uniform_u64(4));
+    std::swap(ex.options[0], ex.options[static_cast<size_t>(correct_pos)]);
+    ex.correct = correct_pos;
+    ex.reference = ex.options[static_cast<size_t>(correct_pos)];
+    data.eval.push_back(std::move(ex));
+  }
+  return data;
+}
+
+// ---- GSM8k analog: multi-step arithmetic with CoT --------------------------
+
+struct MathProblem {
+  std::vector<int> terms;       // first term, then signed operands
+  std::vector<char> ops;        // '+' or '-' between successive terms
+  std::vector<int> partials;    // running results after each op
+};
+
+MathProblem sample_math(num::Rng& rng) {
+  MathProblem p;
+  const int n_terms = rng.bernoulli(0.5) ? 2 : 3;
+  p.terms.push_back(static_cast<int>(rng.uniform_u64(8)) + 2);  // 2..9
+  int acc = p.terms[0];
+  for (int t = 1; t < n_terms; ++t) {
+    const int operand = static_cast<int>(rng.uniform_u64(8)) + 2;
+    // Subtraction only when the running value stays non-negative.
+    const bool minus = rng.bernoulli(0.35) && acc - operand >= 0;
+    p.terms.push_back(operand);
+    p.ops.push_back(minus ? '-' : '+');
+    acc = minus ? acc - operand : acc + operand;
+    p.partials.push_back(acc);
+  }
+  return p;
+}
+
+std::string math_expression(const MathProblem& p) {
+  std::string s = World::spell_number(p.terms[0]);
+  for (size_t i = 0; i + 1 < p.terms.size(); ++i) {
+    s += std::string(" ") + p.ops[i] + " " + World::spell_number(p.terms[i + 1]);
+  }
+  return s;
+}
+
+std::string math_cot_answer(const MathProblem& p) {
+  // "step a + b = s1 ; step s1 + c = s2 ; answer s2"
+  std::string s;
+  int prev = p.terms[0];
+  for (size_t i = 0; i < p.ops.size(); ++i) {
+    if (!s.empty()) s += " ; ";
+    s += "step " + World::spell_number(prev) + " " + p.ops[i] + " " +
+         World::spell_number(p.terms[i + 1]) + " = " +
+         World::spell_number(p.partials[i]);
+    prev = p.partials[i];
+  }
+  s += " ; answer " + World::spell_number(p.partials.back());
+  return s;
+}
+
+TaskData gen_math(const World& w, const GenOptions& opt) {
+  TaskData data;
+  data.kind = TaskKind::MathGsm;
+  num::Rng rng(opt.seed ^ 0x6543ull);
+  for (int i = 0; i < opt.train_n; ++i) {
+    const MathProblem p = sample_math(rng);
+    const std::string expr = math_expression(p);
+    if (i % 3 == 2) {
+      // Direct-answer form (CoT disabled).
+      data.train.push_back(make_seq(
+          w.vocab(), "direct : " + expr + " = ?",
+          "answer " + World::spell_number(p.partials.back())));
+    } else {
+      data.train.push_back(
+          make_seq(w.vocab(), "solve : " + expr + " = ?", math_cot_answer(p)));
+    }
+  }
+  num::Rng erng(opt.seed ^ 0xE543ull);
+  for (int i = 0; i < opt.eval_n; ++i) {
+    const MathProblem p = sample_math(erng);
+    const std::string expr = math_expression(p);
+    Example ex;
+    ex.prompt = "solve : " + expr + " = ?";
+    ex.prompt_direct = "direct : " + expr + " = ?";
+    ex.reference = math_cot_answer(p);
+    ex.final_answer = World::spell_number(p.partials.back());
+    data.eval.push_back(std::move(ex));
+  }
+  return data;
+}
+
+// ---- WMT16 analog: lexicon mapping with order reversal ----------------------
+
+TaskData gen_translation(const World& w, const GenOptions& opt) {
+  TaskData data;
+  data.kind = TaskKind::Translation;
+  num::Rng rng(opt.seed ^ 0x77A6Dull);
+  auto build = [&](num::Rng& r) {
+    const int len = static_cast<int>(r.uniform_u64(4)) + 3;  // 3..6 words
+    std::vector<int> words;
+    for (int i = 0; i < len; ++i) {
+      words.push_back(
+          static_cast<int>(r.uniform_u64(World::kTranslationPairs)));
+    }
+    std::string src, tgt;
+    for (int i = 0; i < len; ++i) {
+      if (i) src += ' ';
+      src += w.src_word(words[static_cast<size_t>(i)]);
+    }
+    // Target language uses reversed word order (forces non-monotonic
+    // attention, like real translation).
+    for (int i = len - 1; i >= 0; --i) {
+      if (!tgt.empty()) tgt += ' ';
+      tgt += w.tgt_word(w.translation_of(words[static_cast<size_t>(i)]));
+    }
+    return std::pair<std::string, std::string>(src, tgt);
+  };
+  for (int i = 0; i < opt.train_n; ++i) {
+    auto [src, tgt] = build(rng);
+    data.train.push_back(make_seq(w.vocab(), "translate : " + src + " =", tgt));
+  }
+  num::Rng erng(opt.seed ^ 0xE7A6Dull);
+  for (int i = 0; i < opt.eval_n; ++i) {
+    auto [src, tgt] = build(erng);
+    Example ex;
+    ex.prompt = "translate : " + src + " =";
+    ex.reference = tgt;
+    data.eval.push_back(std::move(ex));
+  }
+  return data;
+}
+
+// ---- XLSum analog: lead-sentence extraction ---------------------------------
+
+TaskData gen_summarization(const World& w, const GenOptions& opt) {
+  TaskData data;
+  data.kind = TaskKind::Summarization;
+  num::Rng rng(opt.seed ^ 0x5A33ull);
+  auto sentence = [&](num::Rng& r) {
+    const int e = static_cast<int>(r.uniform_u64(World::kEntities));
+    const int a = static_cast<int>(r.uniform_u64(World::kAdjectives));
+    const int v = static_cast<int>(r.uniform_u64(World::kValues));
+    return w.entity(e) + " is " + w.adjective(a) + " " + w.value(v) + " .";
+  };
+  auto build = [&](num::Rng& r) {
+    const int n_sent = static_cast<int>(r.uniform_u64(3)) + 3;  // 3..5
+    std::string doc;
+    std::string lead;
+    for (int s = 0; s < n_sent; ++s) {
+      const std::string sent = sentence(r);
+      if (s == 0) lead = sent;
+      if (s) doc += ' ';
+      doc += sent;
+    }
+    return std::pair<std::string, std::string>(doc, lead);
+  };
+  for (int i = 0; i < opt.train_n; ++i) {
+    auto [doc, lead] = build(rng);
+    data.train.push_back(make_seq(w.vocab(), "summarize : " + doc + " =", lead));
+  }
+  num::Rng erng(opt.seed ^ 0xEA33ull);
+  for (int i = 0; i < opt.eval_n; ++i) {
+    auto [doc, lead] = build(erng);
+    Example ex;
+    ex.prompt = "summarize : " + doc + " =";
+    ex.reference = lead;
+    data.eval.push_back(std::move(ex));
+  }
+  return data;
+}
+
+// ---- SQuAD v2 analog: extractive context QA ---------------------------------
+
+TaskData gen_qa(const World& w, const GenOptions& opt) {
+  TaskData data;
+  data.kind = TaskKind::QA;
+  num::Rng rng(opt.seed ^ 0x5Add2ull);
+  auto build = [&](num::Rng& r) {
+    const int n_facts = static_cast<int>(r.uniform_u64(3)) + 3;  // 3..5
+    std::vector<int> ents;
+    std::string ctx = "context :";
+    std::vector<int> vals(static_cast<size_t>(n_facts));
+    for (int f = 0; f < n_facts; ++f) {
+      const int e = pick_distinct(r, World::kEntities, ents);
+      const int v = static_cast<int>(r.uniform_u64(World::kValues));
+      vals[static_cast<size_t>(f)] = v;
+      ctx += " " + w.entity(e) + " is " + w.value(v) + " .";
+    }
+    const int q = static_cast<int>(r.uniform_u64(static_cast<std::uint64_t>(n_facts)));
+    const std::string prompt = ctx + " question : what is " +
+                               w.entity(ents[static_cast<size_t>(q)]) +
+                               " ? answer";
+    return std::pair<std::string, std::string>(
+        prompt, w.value(vals[static_cast<size_t>(q)]));
+  };
+  for (int i = 0; i < opt.train_n; ++i) {
+    auto [prompt, answer] = build(rng);
+    data.train.push_back(make_seq(w.vocab(), prompt, answer));
+  }
+  num::Rng erng(opt.seed ^ 0xEAdd2ull);
+  for (int i = 0; i < opt.eval_n; ++i) {
+    auto [prompt, answer] = build(erng);
+    Example ex;
+    ex.prompt = prompt;
+    ex.reference = answer;
+    data.eval.push_back(std::move(ex));
+  }
+  return data;
+}
+
+}  // namespace
+
+TaskStyle task_style(TaskKind k) {
+  switch (k) {
+    case TaskKind::McFact:
+    case TaskKind::McScience:
+    case TaskKind::McTruthful:
+    case TaskKind::McCoref:
+    case TaskKind::McCompletion:
+      return TaskStyle::MultipleChoice;
+    default:
+      return TaskStyle::Generative;
+  }
+}
+
+std::string_view task_name(TaskKind k) {
+  switch (k) {
+    case TaskKind::McFact: return "mmlu-syn";
+    case TaskKind::McScience: return "arc-syn";
+    case TaskKind::McTruthful: return "truthfulqa-syn";
+    case TaskKind::McCoref: return "winogrande-syn";
+    case TaskKind::McCompletion: return "hellaswag-syn";
+    case TaskKind::MathGsm: return "gsm8k-syn";
+    case TaskKind::Translation: return "wmt16-syn";
+    case TaskKind::Summarization: return "xlsum-syn";
+    case TaskKind::QA: return "squad2-syn";
+  }
+  return "?";
+}
+
+TaskData make_task(const World& world, TaskKind kind, const GenOptions& opt) {
+  switch (kind) {
+    case TaskKind::McFact: return gen_mc_fact(world, opt);
+    case TaskKind::McScience: return gen_mc_science(world, opt);
+    case TaskKind::McTruthful: return gen_mc_truthful(world, opt);
+    case TaskKind::McCoref: return gen_mc_coref(world, opt);
+    case TaskKind::McCompletion: return gen_mc_completion(world, opt);
+    case TaskKind::MathGsm: return gen_math(world, opt);
+    case TaskKind::Translation: return gen_translation(world, opt);
+    case TaskKind::Summarization: return gen_summarization(world, opt);
+    case TaskKind::QA: return gen_qa(world, opt);
+  }
+  throw std::invalid_argument("unknown task kind");
+}
+
+std::string extract_final_answer(const std::string& text) {
+  const std::string key = "answer";
+  const size_t pos = text.rfind(key);
+  if (pos == std::string::npos) return "";
+  size_t i = pos + key.size();
+  std::string out;
+  // Collect digit tokens after the keyword; stop at the first non-digit.
+  std::istringstream iss(text.substr(i));
+  std::string word;
+  while (iss >> word) {
+    if (word.size() == 1 && word[0] >= '0' && word[0] <= '9') {
+      if (!out.empty()) out += ' ';
+      out += word;
+    } else {
+      break;
+    }
+  }
+  return out;
+}
+
+}  // namespace llmfi::data

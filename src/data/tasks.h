@@ -1,0 +1,76 @@
+#pragma once
+// Synthetic task generators — the in-repo analogs of the paper's Table 1
+// workloads. Each generator produces a training corpus (token sequences
+// with a loss-start index) and a fixed evaluation subset (100 inputs by
+// default, mirroring the paper's use of tinyBenchmarks).
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "data/world.h"
+#include "tokenizer/vocab.h"
+
+namespace llmfi::data {
+
+enum class TaskKind {
+  McFact,        // MMLU analog: entity/value fact recall
+  McScience,     // ARC analog: numeric comparison reasoning
+  McTruthful,    // TruthfulQA analog: truth-marked facts vs frequent myths
+  McCoref,       // WinoGrande analog: verb-driven pronoun resolution
+  McCompletion,  // HellaSwag analog: stereotyped event-chain completion
+  MathGsm,       // GSM8k analog: multi-step arithmetic with CoT
+  Translation,   // WMT16 analog: lexicon mapping + order reversal
+  Summarization, // XLSum analog: lead-sentence extraction
+  QA,            // SQuAD v2 analog: extractive context QA
+};
+
+enum class TaskStyle { MultipleChoice, Generative };
+
+TaskStyle task_style(TaskKind k);
+std::string_view task_name(TaskKind k);
+
+// One evaluation input.
+struct Example {
+  // Prompt text (ends immediately before where the answer begins).
+  std::string prompt;
+  // Reference output text. For MC tasks this equals options[correct].
+  std::string reference;
+  // Multiple-choice candidate continuations (empty for generative tasks).
+  std::vector<std::string> options;
+  int correct = -1;
+  // MathGsm only: the direct-answer prompt variant (CoT disabled, paper
+  // §4.3.2) and the bare final answer used for accuracy scoring.
+  std::string prompt_direct;
+  std::string final_answer;
+};
+
+// One training sequence: <bos> prompt answer <eos>; next-token loss is
+// applied only from `loss_start` (the first answer token) onward.
+struct TrainSeq {
+  std::vector<tok::TokenId> tokens;
+  int loss_start = 1;
+};
+
+struct TaskData {
+  TaskKind kind = TaskKind::McFact;
+  std::vector<TrainSeq> train;
+  std::vector<Example> eval;
+};
+
+// Generator options. `train_n`/`eval_n` count sequences/examples; `seed`
+// controls sampling but never the world knowledge (which lives in World).
+struct GenOptions {
+  int train_n = 600;
+  int eval_n = 100;
+  std::uint64_t seed = 1;
+};
+
+TaskData make_task(const World& world, TaskKind kind, const GenOptions& opt);
+
+// Parses the final numeric answer out of a (possibly chain-of-thought)
+// generated text: the digits following the last "answer" keyword, e.g.
+// "step 3 + 4 = 7 ; answer 1 5" -> "1 5". Returns "" when absent.
+std::string extract_final_answer(const std::string& text);
+
+}  // namespace llmfi::data

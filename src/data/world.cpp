@@ -1,0 +1,113 @@
+#include "data/world.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace llmfi::data {
+
+namespace {
+
+// Fisher-Yates with our deterministic Rng.
+void shuffle_ints(std::vector<int>& v, num::Rng& rng) {
+  for (size_t i = v.size(); i > 1; --i) {
+    const auto j = static_cast<size_t>(rng.uniform_u64(i));
+    std::swap(v[i - 1], v[j]);
+  }
+}
+
+std::vector<int> permutation(int n, num::Rng& rng) {
+  std::vector<int> p(static_cast<size_t>(n));
+  for (int i = 0; i < n; ++i) p[static_cast<size_t>(i)] = i;
+  shuffle_ints(p, rng);
+  return p;
+}
+
+}  // namespace
+
+World::World(std::uint64_t seed) {
+  num::Rng rng(seed);
+
+  // Template / structural words shared by all tasks. Registered first so
+  // their ids are stable regardless of lexicon sizes.
+  for (const char* w :
+       {"0", "1", "2", "3", "4", "5", "6", "7", "8", "9",  //
+        "+", "-", "=", ";", ".", "?", ":",                 //
+        "solve", "direct", "step", "answer",               //
+        "translate", "summarize", "question", "context", "what", "is",
+        "truth", "the", "it", "or", "larger", "smaller", "and", "then"}) {
+    vocab_.add(w);
+  }
+
+  auto add_group = [&](std::vector<std::string>& out, const char* prefix,
+                       int n) {
+    out.reserve(static_cast<size_t>(n));
+    for (int i = 0; i < n; ++i) {
+      std::string w = std::string(prefix) + std::to_string(i);
+      vocab_.add(w);
+      out.push_back(std::move(w));
+    }
+  };
+
+  add_group(src_words_, "zu", kTranslationPairs);
+  add_group(tgt_words_, "en", kTranslationPairs);
+  add_group(entities_, "ent", kEntities);
+  add_group(values_, "val", kValues);
+  add_group(nouns_, "dog", kNouns);  // noun stems: dog0..dog15
+  noun_plurals_.reserve(kNouns);
+  for (int i = 0; i < kNouns; ++i) {
+    std::string w = nouns_[static_cast<size_t>(i)] + "s";
+    vocab_.add(w);
+    noun_plurals_.push_back(std::move(w));
+  }
+  add_group(adjectives_, "adj", kAdjectives);
+  add_group(activities_, "act", kActivities);
+
+  // Verbs for the coreference analog. The verb deterministically decides
+  // whether "it" refers to the subject or the object (the synthetic
+  // equivalent of Winograd commonsense).
+  verb_rules_ = {
+      {"chased", true},  {"carried", true}, {"pushed", true},
+      {"built", true},   {"feared", false}, {"followed", false},
+      {"admired", false},{"copied", false},
+  };
+  for (const auto& vr : verb_rules_) vocab_.add(vr.verb);
+
+  // World knowledge.
+  fact_of_ = permutation(kValues, rng);
+  fact_of_.resize(kEntities);
+  myth_of_.assign(kEntities, -1);
+  for (int e = kFactEntities; e < kEntities; ++e) {
+    int myth;
+    do {
+      myth = static_cast<int>(rng.uniform_u64(kValues));
+    } while (myth == fact_of_[static_cast<size_t>(e)]);
+    myth_of_[static_cast<size_t>(e)] = myth;
+  }
+  translation_of_ = permutation(kTranslationPairs, rng);
+
+  // Stereotyped event chains (completion analog). Chains are disjoint in
+  // their first three activities so a 3-token prefix has a unique
+  // continuation: chain c starts at activity (2c) mod kActivities.
+  chains_.resize(kEventChains);
+  for (int c = 0; c < kEventChains; ++c) {
+    auto& chain = chains_[static_cast<size_t>(c)];
+    chain.resize(kChainLength);
+    chain[0] = (2 * c) % kActivities;
+    chain[1] = (2 * c + 1) % kActivities;
+    chain[2] = (2 * c + 17) % kActivities;
+    chain[3] = (2 * c + 9) % kActivities;
+  }
+}
+
+std::string World::spell_number(int n) {
+  assert(n >= 0);
+  const std::string digits = std::to_string(n);
+  std::string out;
+  for (size_t i = 0; i < digits.size(); ++i) {
+    if (i) out += ' ';
+    out += digits[i];
+  }
+  return out;
+}
+
+}  // namespace llmfi::data

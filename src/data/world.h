@@ -1,0 +1,88 @@
+#pragma once
+// The deterministic synthetic "world" behind all datasets.
+//
+// The paper evaluates nine public benchmarks (Table 1). We cannot ship
+// MMLU/WMT16/etc., so each benchmark is replaced by a synthetic analog
+// drawn from one shared world: a closed vocabulary, a bilingual lexicon,
+// an entity/value fact base (with "myth" distractors for the TruthfulQA
+// analog), pluralization pairs, verb->referent rules for the coreference
+// analog, and stereotyped event chains for the completion analog. The
+// world is a pure function of its seed, so every model sees the same
+// facts and every experiment is replayable.
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "numerics/rng.h"
+#include "tokenizer/vocab.h"
+
+namespace llmfi::data {
+
+struct VerbRule {
+  std::string verb;
+  bool refers_to_subject;  // "it" resolves to subject (true) or object
+};
+
+class World {
+ public:
+  static constexpr int kTranslationPairs = 40;
+  static constexpr int kFactEntities = 12;      // ent0..ent11: clean facts
+  static constexpr int kTruthEntities = 12;     // ent12..ent23: fact + myth
+  static constexpr int kEntities = kFactEntities + kTruthEntities;
+  static constexpr int kValues = 24;
+  static constexpr int kNouns = 16;
+  static constexpr int kAdjectives = 10;
+  static constexpr int kActivities = 32;
+  static constexpr int kEventChains = 16;
+  static constexpr int kChainLength = 4;
+
+  explicit World(std::uint64_t seed = 0xC0FFEEull);
+
+  const tok::Vocab& vocab() const { return vocab_; }
+
+  // --- word groups ---------------------------------------------------
+  const std::string& src_word(int i) const { return src_words_.at(i); }
+  const std::string& tgt_word(int i) const { return tgt_words_.at(i); }
+  const std::string& entity(int i) const { return entities_.at(i); }
+  const std::string& value(int i) const { return values_.at(i); }
+  const std::string& noun(int i) const { return nouns_.at(i); }
+  const std::string& noun_plural(int i) const { return noun_plurals_.at(i); }
+  const std::string& adjective(int i) const { return adjectives_.at(i); }
+  const std::string& activity(int i) const { return activities_.at(i); }
+
+  // --- world knowledge -------------------------------------------------
+  // Ground-truth value index for entity i (all 24 entities).
+  int fact_value(int entity) const { return fact_of_.at(entity); }
+  // Myth value index for truth-entities (12 <= entity < 24); the myth is
+  // always different from the fact.
+  int myth_value(int entity) const { return myth_of_.at(entity); }
+  // Bilingual mapping: target-word index for source-word i (a fixed
+  // permutation, so translation is not the identity on indices).
+  int translation_of(int src) const { return translation_of_.at(src); }
+  const std::vector<VerbRule>& verb_rules() const { return verb_rules_; }
+  // Event chain c is a fixed sequence of kChainLength activity indices.
+  const std::vector<int>& event_chain(int c) const { return chains_.at(c); }
+
+  // Renders a non-negative integer as space-separated digit tokens
+  // ("207" -> "2 0 7").
+  static std::string spell_number(int n);
+
+ private:
+  tok::Vocab vocab_;
+  std::vector<std::string> src_words_;
+  std::vector<std::string> tgt_words_;
+  std::vector<std::string> entities_;
+  std::vector<std::string> values_;
+  std::vector<std::string> nouns_;
+  std::vector<std::string> noun_plurals_;
+  std::vector<std::string> adjectives_;
+  std::vector<std::string> activities_;
+  std::vector<int> fact_of_;
+  std::vector<int> myth_of_;
+  std::vector<int> translation_of_;
+  std::vector<VerbRule> verb_rules_;
+  std::vector<std::vector<int>> chains_;
+};
+
+}  // namespace llmfi::data

@@ -1,0 +1,152 @@
+#include "eval/campaign.h"
+
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+
+#include "core/injector.h"
+
+namespace llmfi::eval {
+
+double CampaignResult::sdc_rate() const {
+  const int n = trials();
+  return n > 0 ? static_cast<double>(sdc_subtle + sdc_distorted) / n : 0.0;
+}
+
+double CampaignResult::baseline_mean(const std::string& metric) const {
+  auto it = baseline_metrics.find(metric);
+  return it == baseline_metrics.end() ? 0.0 : it->second.mean();
+}
+
+double CampaignResult::faulty_mean(const std::string& metric) const {
+  auto it = faulty_metrics.find(metric);
+  return it == faulty_metrics.end() ? 0.0 : it->second.mean();
+}
+
+metrics::Ratio CampaignResult::normalized(const std::string& metric) const {
+  auto fit = faulty_metrics.find(metric);
+  auto bit = baseline_metrics.find(metric);
+  if (fit == faulty_metrics.end() || bit == baseline_metrics.end()) {
+    return {};
+  }
+  const auto& f = fit->second;
+  const auto& b = bit->second;
+  if (metric == "accuracy" || metric == "exact_match") {
+    // Proportions: Katz log CI.
+    const int fh = static_cast<int>(std::lround(f.mean() * f.n()));
+    const int bh = static_cast<int>(std::lround(b.mean() * b.n()));
+    return metrics::katz_ratio_ci(fh, f.n(), bh, b.n());
+  }
+  return metrics::log_ratio_ci(f.mean(), f.stddev(), f.n(), b.mean(),
+                               b.stddev(), b.n());
+}
+
+CampaignResult run_campaign_on(model::InferenceModel& engine,
+                               const tok::Vocab& vocab,
+                               const std::vector<data::Example>& eval_set,
+                               const WorkloadSpec& spec,
+                               const CampaignConfig& cfg) {
+  CampaignResult result;
+  result.config = cfg;
+  const auto t_start = std::chrono::steady_clock::now();
+
+  const int n_inputs =
+      std::min<int>(cfg.n_inputs, static_cast<int>(eval_set.size()));
+  if (n_inputs <= 0) throw std::invalid_argument("campaign: no inputs");
+
+  // Fault-free baselines, one per input.
+  std::vector<ExampleResult> baselines;
+  baselines.reserve(static_cast<size_t>(n_inputs));
+  for (int i = 0; i < n_inputs; ++i) {
+    auto base = run_example(engine, vocab, spec,
+                            eval_set[static_cast<size_t>(i)], cfg.run);
+    for (const auto& [name, value] : base.metrics) {
+      result.baseline_metrics[name].add(value);
+    }
+    baselines.push_back(std::move(base));
+  }
+
+  num::Rng campaign_rng(cfg.seed);
+  const bool discrete = spec.style == data::TaskStyle::MultipleChoice ||
+                        spec.kind == data::TaskKind::MathGsm;
+
+  for (int trial = 0; trial < cfg.trials; ++trial) {
+    const int ei = trial % n_inputs;
+    const auto& ex = eval_set[static_cast<size_t>(ei)];
+    const auto& base = baselines[static_cast<size_t>(ei)];
+
+    num::Rng rng = campaign_rng.fork(static_cast<std::uint64_t>(trial));
+    core::SamplerScope scope;
+    scope.layer_filter = cfg.layer_filter;
+    scope.max_passes = std::max(1, base.passes - cfg.exclude_final_passes);
+    const core::FaultPlan plan =
+        core::sample_fault(cfg.fault, engine, scope, rng);
+
+    ExampleResult faulty;
+    if (core::is_memory_fault(cfg.fault)) {
+      core::WeightCorruption guard(engine, plan);
+      faulty = run_example(engine, vocab, spec, ex, cfg.run);
+    } else {
+      core::ComputationalFaultInjector injector(
+          plan, engine.precision().act_dtype);
+      engine.set_linear_hook(&injector);
+      faulty = run_example(engine, vocab, spec, ex, cfg.run);
+      engine.set_linear_hook(nullptr);
+    }
+
+    for (const auto& [name, value] : faulty.metrics) {
+      result.faulty_metrics[name].add(value);
+    }
+
+    // baseline_empty considers generated tokens only: multiple-choice
+    // runs never generate tokens, so an empty faulty token stream is
+    // normal there, not a distortion symptom.
+    const auto signals = core::analyze_distortion(
+        faulty.tokens, faulty.nonfinite_logits, faulty.hit_max_tokens,
+        /*baseline_ended=*/!base.hit_max_tokens,
+        /*baseline_empty=*/base.tokens.empty());
+    const core::OutcomeClass outcome =
+        discrete ? core::classify_direct(faulty.correct, signals)
+                 : core::classify_generative(faulty.output, base.output,
+                                             signals);
+    switch (outcome) {
+      case core::OutcomeClass::Masked: ++result.masked; break;
+      case core::OutcomeClass::SdcSubtle: ++result.sdc_subtle; break;
+      case core::OutcomeClass::SdcDistorted: ++result.sdc_distorted; break;
+    }
+    auto& bit_bucket = result.by_highest_bit[plan.highest_bit()];
+    ++bit_bucket[static_cast<size_t>(outcome)];
+
+    if (cfg.keep_trial_records) {
+      TrialRecord rec;
+      rec.plan = plan;
+      rec.example_index = ei;
+      rec.outcome = outcome;
+      rec.correct = faulty.correct;
+      rec.output_matches_baseline = (faulty.output == base.output);
+      if (!spec.metrics.empty()) {
+        auto it = faulty.metrics.find(spec.metrics.front().name);
+        if (it != faulty.metrics.end()) rec.primary_metric = it->second;
+      }
+      rec.output = faulty.output;
+      result.records.push_back(std::move(rec));
+    }
+  }
+
+  result.total_runtime_sec =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                    t_start)
+          .count();
+  return result;
+}
+
+CampaignResult run_campaign(Zoo& zoo, const std::string& model_name,
+                            const model::PrecisionConfig& precision,
+                            const WorkloadSpec& spec,
+                            const CampaignConfig& cfg) {
+  model::InferenceModel engine(zoo.get(model_name), precision);
+  const auto& eval_set = zoo.task(spec.kind).eval;
+  return run_campaign_on(engine, zoo.vocab(), eval_set, spec, cfg);
+}
+
+}  // namespace llmfi::eval

@@ -1,0 +1,85 @@
+#pragma once
+// Statistical fault-injection campaigns (paper §3.2): N trials, each a
+// single uniformly-sampled fault during one inference, compared against
+// the fault-free baseline on the same inputs.
+
+#include <array>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "core/fault_model.h"
+#include "core/fault_plan.h"
+#include "core/outcome.h"
+#include "eval/model_zoo.h"
+#include "eval/runner.h"
+#include "metrics/stats.h"
+
+namespace llmfi::eval {
+
+struct CampaignConfig {
+  core::FaultModel fault = core::FaultModel::Comp1Bit;
+  int trials = 100;
+  int n_inputs = 10;  // evaluation inputs cycled over trials
+  std::uint64_t seed = 2025;
+  RunOptions run;
+  // Restrict fault sites (e.g. Router layers only for Fig 15).
+  std::function<bool(const nn::LinearId&)> layer_filter;
+  // Fig 20 (CoT): sample computational faults only from the first
+  // (passes - exclude_final_passes) forward passes, i.e. the reasoning
+  // segment, excluding final-answer generation.
+  int exclude_final_passes = 0;
+  bool keep_trial_records = false;
+};
+
+struct TrialRecord {
+  core::FaultPlan plan;
+  int example_index = 0;
+  core::OutcomeClass outcome = core::OutcomeClass::Masked;
+  double primary_metric = 0.0;
+  // Discrete tasks: final answer matches the reference. Together with
+  // output_matches_baseline this identifies *recoveries* — the paper's
+  // CoT mechanism (output text changed, answer still correct).
+  bool correct = false;
+  bool output_matches_baseline = false;
+  std::string output;  // only when keep_trial_records
+};
+
+struct CampaignResult {
+  CampaignConfig config;
+  // Fault-free reference on the same inputs.
+  std::map<std::string, metrics::Accumulator> baseline_metrics;
+  std::map<std::string, metrics::Accumulator> faulty_metrics;
+  int masked = 0;
+  int sdc_subtle = 0;
+  int sdc_distorted = 0;
+  // Outcome counts keyed by the highest flipped bit (Figs 9-10).
+  std::map<int, std::array<int, 3>> by_highest_bit;
+  double total_runtime_sec = 0.0;
+  std::vector<TrialRecord> records;  // when keep_trial_records
+
+  int trials() const { return masked + sdc_subtle + sdc_distorted; }
+  double sdc_rate() const;
+  // Normalized performance (faulty / fault-free) of the named metric
+  // with its 95% CI; discrete metrics use the Katz binomial form.
+  metrics::Ratio normalized(const std::string& metric) const;
+  double baseline_mean(const std::string& metric) const;
+  double faulty_mean(const std::string& metric) const;
+};
+
+// Runs the campaign for `model_name` on `spec`'s dataset. The engine is
+// rebuilt from the zoo checkpoint with `precision`.
+CampaignResult run_campaign(Zoo& zoo, const std::string& model_name,
+                            const model::PrecisionConfig& precision,
+                            const WorkloadSpec& spec,
+                            const CampaignConfig& cfg);
+
+// Same, against an already-constructed engine (used by tests and by
+// benches that reuse one engine across campaigns).
+CampaignResult run_campaign_on(model::InferenceModel& engine,
+                               const tok::Vocab& vocab,
+                               const std::vector<data::Example>& eval_set,
+                               const WorkloadSpec& spec,
+                               const CampaignConfig& cfg);
+
+}  // namespace llmfi::eval

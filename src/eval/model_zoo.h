@@ -1,0 +1,55 @@
+#pragma once
+// The model zoo: every named model of the study, trained on demand from
+// the shared synthetic world and cached as a checkpoint on disk so each
+// test/bench binary is independently runnable.
+//
+// Names (see DESIGN.md §2 for the paper mapping):
+//   aquila / qilin / falco   — the three general-purpose families
+//   alma                      — translation fine-tune of aquila
+//   summarizer                — summarization fine-tune of aquila
+//   qilin-moe                 — 8-expert top-2 MoE
+//   qilin-dense               — dense counterpart (same active size)
+//   scale-xs / -s / -m / -l / -xl — model-scale sweep (qilin recipe)
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "data/tasks.h"
+#include "data/world.h"
+#include "model/weights.h"
+
+namespace llmfi::eval {
+
+class Zoo {
+ public:
+  // `cache_dir` defaults to $LLMFI_MODEL_CACHE or "./model_cache".
+  explicit Zoo(std::string cache_dir = "");
+
+  const data::World& world() const { return *world_; }
+  const tok::Vocab& vocab() const { return world_->vocab(); }
+
+  // Trained weights for a named model; trains (and writes the cache) on
+  // first use. Training steps scale with $LLMFI_TRAIN_SCALE (default 1.0).
+  const model::ModelWeights& get(const std::string& name);
+
+  // Dataset for `kind` (train corpus + the fixed 100-input eval subset).
+  const data::TaskData& task(data::TaskKind kind);
+
+  static const std::vector<std::string>& model_names();
+
+  const std::string& cache_dir() const { return cache_dir_; }
+
+ private:
+  model::ModelWeights train_model(const std::string& name);
+  std::vector<data::TrainSeq> build_mix(
+      const std::vector<std::pair<data::TaskKind, float>>& mix);
+
+  std::string cache_dir_;
+  std::unique_ptr<data::World> world_;
+  std::map<data::TaskKind, data::TaskData> tasks_;
+  std::map<std::string, model::ModelWeights> models_;
+};
+
+}  // namespace llmfi::eval

@@ -1,0 +1,60 @@
+#include "eval/runner.h"
+
+#include <stdexcept>
+
+namespace llmfi::eval {
+
+ExampleResult run_example(model::InferenceModel& m, const tok::Vocab& vocab,
+                          const WorkloadSpec& spec, const data::Example& ex,
+                          const RunOptions& opt) {
+  ExampleResult result;
+
+  if (spec.style == data::TaskStyle::MultipleChoice) {
+    std::vector<tok::TokenId> prompt = {vocab.bos()};
+    const auto body = vocab.encode(ex.prompt);
+    prompt.insert(prompt.end(), body.begin(), body.end());
+    std::vector<std::vector<tok::TokenId>> options;
+    options.reserve(ex.options.size());
+    for (const auto& o : ex.options) options.push_back(vocab.encode(o));
+    const auto mc = gen::score_options(m, prompt, options);
+    result.chosen_option = mc.chosen;
+    result.passes = mc.passes;
+    result.output = ex.options[static_cast<size_t>(mc.chosen)];
+    result.correct = (mc.chosen == ex.correct);
+    result.nonfinite_logits = m.saw_nonfinite_logits();
+    result.metrics["accuracy"] = result.correct ? 1.0 : 0.0;
+    return result;
+  }
+
+  // Generative path.
+  const std::string& prompt_text =
+      (opt.direct_prompt && !ex.prompt_direct.empty()) ? ex.prompt_direct
+                                                       : ex.prompt;
+  std::vector<tok::TokenId> prompt = {vocab.bos()};
+  const auto body = vocab.encode(prompt_text);
+  prompt.insert(prompt.end(), body.begin(), body.end());
+
+  const auto gr = gen::generate(m, prompt, opt.gen);
+  result.tokens = gr.tokens;
+  result.passes = gr.passes;
+  result.hit_max_tokens = gr.hit_max_tokens;
+  result.nonfinite_logits = gr.nonfinite_logits;
+  result.output = vocab.decode(gr.tokens);
+
+  if (spec.kind == data::TaskKind::MathGsm) {
+    const std::string answer = data::extract_final_answer(result.output);
+    result.correct = !answer.empty() && answer == ex.final_answer;
+    result.metrics["accuracy"] = result.correct ? 1.0 : 0.0;
+    return result;
+  }
+
+  for (const auto& metric : spec.metrics) {
+    result.metrics[metric.name] = metric.fn(result.output, ex.reference);
+  }
+  // "Correct" for generative quality tasks = exact reference match; only
+  // used for diagnostics, the campaign aggregates the metric values.
+  result.correct = (result.output == ex.reference);
+  return result;
+}
+
+}  // namespace llmfi::eval

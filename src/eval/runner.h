@@ -1,0 +1,41 @@
+#pragma once
+// Runs one evaluation example through the engine (generation for
+// generative tasks, option scoring for multiple-choice) and scores the
+// result with the workload's metrics.
+
+#include <map>
+#include <string>
+
+#include "data/tasks.h"
+#include "data/world.h"
+#include "eval/workloads.h"
+#include "gen/generate.h"
+#include "model/transformer.h"
+
+namespace llmfi::eval {
+
+struct RunOptions {
+  gen::GenerationConfig gen;
+  // MathGsm only: use the direct-answer prompt (CoT disabled, §4.3.2).
+  bool direct_prompt = false;
+};
+
+struct ExampleResult {
+  // Generative: decoded output text. Multiple-choice: chosen option text.
+  std::string output;
+  std::vector<tok::TokenId> tokens;  // generated tokens (generative only)
+  int chosen_option = -1;
+  bool correct = false;        // discrete tasks (MC, math final answer)
+  int passes = 0;              // forward passes executed
+  bool hit_max_tokens = false;
+  bool nonfinite_logits = false;
+  // metric name -> value for every metric of the workload; discrete
+  // tasks report {"accuracy": 0/1}.
+  std::map<std::string, double> metrics;
+};
+
+ExampleResult run_example(model::InferenceModel& m, const tok::Vocab& vocab,
+                          const WorkloadSpec& spec, const data::Example& ex,
+                          const RunOptions& opt);
+
+}  // namespace llmfi::eval

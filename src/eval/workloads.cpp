@@ -1,0 +1,86 @@
+#include "eval/workloads.h"
+
+#include <stdexcept>
+
+#include "metrics/text_metrics.h"
+
+namespace llmfi::eval {
+
+namespace {
+
+MetricSpec accuracy_metric() {
+  // Accuracy is computed from answer comparison in the runner, not from
+  // text overlap; the function is exact-match as a fallback.
+  return {"accuracy", metrics::exact_match};
+}
+
+std::vector<WorkloadSpec> build_all() {
+  using data::TaskKind;
+  using data::TaskStyle;
+  std::vector<WorkloadSpec> specs;
+  auto mc = [&specs](const std::string& name, TaskKind kind) {
+    specs.push_back({name,
+                     kind,
+                     TaskStyle::MultipleChoice,
+                     {accuracy_metric()},
+                     {"aquila", "qilin", "falco"}});
+  };
+  mc("mmlu-syn", TaskKind::McFact);
+  mc("arc-syn", TaskKind::McScience);
+  mc("truthfulqa-syn", TaskKind::McTruthful);
+  mc("winogrande-syn", TaskKind::McCoref);
+  mc("hellaswag-syn", TaskKind::McCompletion);
+
+  specs.push_back({"gsm8k-syn",
+                   TaskKind::MathGsm,
+                   TaskStyle::Generative,
+                   {accuracy_metric()},
+                   {"qilin", "falco"}});
+  specs.push_back(
+      {"wmt16-syn",
+       TaskKind::Translation,
+       TaskStyle::Generative,
+       {{"bleu", [](const std::string& h, const std::string& r) {
+           return metrics::bleu(h, r);
+         }},
+        {"chrf++", [](const std::string& h, const std::string& r) {
+           return metrics::chrf_pp(h, r);
+         }}},
+       {"qilin", "aquila", "alma"}});
+  specs.push_back({"xlsum-syn",
+                   TaskKind::Summarization,
+                   TaskStyle::Generative,
+                   {{"rouge1", metrics::rouge1_f},
+                    {"rougeL", metrics::rougeL_f}},
+                   {"aquila", "qilin", "summarizer"}});
+  specs.push_back({"squad2-syn",
+                   TaskKind::QA,
+                   TaskStyle::Generative,
+                   {{"f1", metrics::token_f1},
+                    {"exact_match", metrics::exact_match}},
+                   {"aquila", "qilin", "falco"}});
+  return specs;
+}
+
+}  // namespace
+
+const std::vector<WorkloadSpec>& all_workloads() {
+  static const std::vector<WorkloadSpec> specs = build_all();
+  return specs;
+}
+
+const WorkloadSpec& workload(const std::string& dataset) {
+  for (const auto& spec : all_workloads()) {
+    if (spec.dataset == dataset) return spec;
+  }
+  throw std::invalid_argument("unknown dataset: " + dataset);
+}
+
+const WorkloadSpec& workload(data::TaskKind kind) {
+  for (const auto& spec : all_workloads()) {
+    if (spec.kind == kind) return spec;
+  }
+  throw std::invalid_argument("unknown task kind");
+}
+
+}  // namespace llmfi::eval

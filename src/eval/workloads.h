@@ -1,0 +1,35 @@
+#pragma once
+// The workload matrix of the paper's Table 1: dataset -> task kind,
+// evaluation metrics, and default model assignments.
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "data/tasks.h"
+
+namespace llmfi::eval {
+
+using MetricFn = std::function<double(const std::string& hypothesis,
+                                      const std::string& reference)>;
+
+struct MetricSpec {
+  std::string name;
+  MetricFn fn;  // unused for multiple-choice/math accuracy
+};
+
+struct WorkloadSpec {
+  std::string dataset;           // e.g. "wmt16-syn"
+  data::TaskKind kind;
+  data::TaskStyle style;
+  std::vector<MetricSpec> metrics;  // first entry is the primary metric
+  std::vector<std::string> default_models;  // per Table 1
+};
+
+// All nine workloads. Deterministic order matching the paper's Table 1.
+const std::vector<WorkloadSpec>& all_workloads();
+
+const WorkloadSpec& workload(const std::string& dataset);
+const WorkloadSpec& workload(data::TaskKind kind);
+
+}  // namespace llmfi::eval

@@ -1,0 +1,241 @@
+#include "gen/generate.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <stdexcept>
+
+#include "tensor/ops.h"
+
+namespace llmfi::gen {
+
+namespace {
+
+// Log-softmax value of token `id` in logits row `r`. Corrupted
+// (NaN/inf) logit rows map to a large negative sentinel so that beam
+// bookkeeping and sorting stay well-defined; such paths score so badly
+// that they only surface when every alternative is equally corrupted —
+// which then yields the distorted outputs the study classifies.
+constexpr double kPoisonedLogProb = -1e30;
+
+double token_logprob(const tn::Tensor& logits, tn::Index r, tok::TokenId id) {
+  const float lse = tn::logsumexp_row(logits, r);
+  const double lp = static_cast<double>(logits.at(r, id)) - lse;
+  return std::isfinite(lp) ? lp : kPoisonedLogProb;
+}
+
+GenerationResult greedy(model::InferenceModel& m,
+                        std::span<const tok::TokenId> prompt,
+                        const GenerationConfig& cfg) {
+  GenerationResult result;
+  auto cache = m.make_cache();
+  tn::Tensor logits = m.forward(prompt, cache, /*pass_index=*/0);
+  result.passes = 1;
+  tok::TokenId next =
+      static_cast<tok::TokenId>(tn::argmax_row(logits, logits.rows() - 1));
+  for (int step = 0; step < cfg.max_new_tokens; ++step) {
+    if (next == cfg.eos) break;
+    result.tokens.push_back(next);
+    if (step + 1 == cfg.max_new_tokens) {
+      result.hit_max_tokens = true;
+      break;
+    }
+    if (cache.length() + 1 > cache.max_seq()) {
+      result.hit_max_tokens = true;
+      break;
+    }
+    const tok::TokenId input = next;
+    logits = m.forward(std::span(&input, 1), cache, /*pass_index=*/step + 1);
+    ++result.passes;
+    next = static_cast<tok::TokenId>(tn::argmax_row(logits, 0));
+  }
+  result.nonfinite_logits = m.saw_nonfinite_logits();
+  return result;
+}
+
+struct Beam {
+  nn::KvCache cache;
+  std::vector<tok::TokenId> tokens;  // generated so far
+  double logprob = 0.0;
+  bool finished = false;
+};
+
+double beam_score(const Beam& b, float length_penalty) {
+  if (length_penalty == 0.0f || b.tokens.empty()) return b.logprob;
+  return b.logprob /
+         std::pow(static_cast<double>(b.tokens.size()),
+                  static_cast<double>(length_penalty));
+}
+
+GenerationResult beam_search(model::InferenceModel& m,
+                             std::span<const tok::TokenId> prompt,
+                             const GenerationConfig& cfg) {
+  GenerationResult result;
+  const int n_beams = cfg.num_beams;
+
+  // Prefill once, then replicate the cache across beams.
+  auto cache0 = m.make_cache();
+  tn::Tensor logits = m.forward(prompt, cache0, /*pass_index=*/0);
+  result.passes = 1;
+
+  // Seed beams with the top-n first tokens.
+  const tn::Index vocab = logits.cols();
+  const tn::Index last = logits.rows() - 1;
+  std::vector<std::pair<double, tok::TokenId>> first;
+  first.reserve(static_cast<size_t>(vocab));
+  for (tn::Index v = 0; v < vocab; ++v) {
+    first.emplace_back(token_logprob(logits, last, static_cast<tok::TokenId>(v)),
+                       static_cast<tok::TokenId>(v));
+  }
+  std::partial_sort(first.begin(),
+                    first.begin() + std::min<size_t>(first.size(),
+                                                     static_cast<size_t>(n_beams)),
+                    first.end(), std::greater<>());
+
+  std::vector<Beam> beams;
+  for (int b = 0; b < n_beams && b < static_cast<int>(first.size()); ++b) {
+    Beam beam{cache0, {}, first[static_cast<size_t>(b)].first, false};
+    const tok::TokenId t = first[static_cast<size_t>(b)].second;
+    if (t == cfg.eos) {
+      beam.finished = true;
+    } else {
+      beam.tokens.push_back(t);
+    }
+    beams.push_back(std::move(beam));
+  }
+
+  for (int step = 1; step < cfg.max_new_tokens; ++step) {
+    bool all_done = true;
+    for (const auto& b : beams) {
+      if (!b.finished) all_done = false;
+    }
+    if (all_done) break;
+
+    struct Candidate {
+      size_t beam;
+      tok::TokenId token;  // -1 marks a carried-over finished beam
+      double logprob;
+    };
+    std::vector<Candidate> candidates;
+    std::vector<tn::Tensor> beam_logits(beams.size());
+    for (size_t bi = 0; bi < beams.size(); ++bi) {
+      Beam& b = beams[bi];
+      if (b.finished) {
+        candidates.push_back({bi, -1, b.logprob});
+        continue;
+      }
+      if (b.cache.length() + 1 > b.cache.max_seq()) {
+        b.finished = true;
+        candidates.push_back({bi, -1, b.logprob});
+        continue;
+      }
+      const tok::TokenId input = b.tokens.back();
+      beam_logits[bi] =
+          m.forward(std::span(&input, 1), b.cache, /*pass_index=*/step);
+      ++result.passes;
+      // Expand with the per-beam top (n_beams + 1) tokens; that is always
+      // enough to fill the global top n_beams even if one is <eos>.
+      std::vector<std::pair<double, tok::TokenId>> top;
+      top.reserve(static_cast<size_t>(vocab));
+      for (tn::Index v = 0; v < vocab; ++v) {
+        top.emplace_back(
+            token_logprob(beam_logits[bi], 0, static_cast<tok::TokenId>(v)),
+            static_cast<tok::TokenId>(v));
+      }
+      const size_t keep = std::min<size_t>(top.size(),
+                                           static_cast<size_t>(n_beams) + 1);
+      std::partial_sort(top.begin(), top.begin() + keep, top.end(),
+                        std::greater<>());
+      for (size_t k = 0; k < keep; ++k) {
+        candidates.push_back({bi, top[k].second, b.logprob + top[k].first});
+      }
+    }
+
+    std::sort(candidates.begin(), candidates.end(),
+              [](const Candidate& a, const Candidate& b) {
+                return a.logprob > b.logprob;
+              });
+    std::vector<Beam> next;
+    for (const auto& c : candidates) {
+      if (static_cast<int>(next.size()) >= n_beams) break;
+      const Beam& src = beams[c.beam];
+      if (c.token < 0) {
+        next.push_back(src);  // finished beam carried over
+        continue;
+      }
+      Beam nb{src.cache, src.tokens, c.logprob, false};
+      if (c.token == cfg.eos) {
+        nb.finished = true;
+      } else {
+        nb.tokens.push_back(c.token);
+      }
+      next.push_back(std::move(nb));
+    }
+    beams = std::move(next);
+  }
+
+  // Pick the best beam by (length-normalized) score.
+  size_t best = 0;
+  double best_score = -std::numeric_limits<double>::infinity();
+  for (size_t bi = 0; bi < beams.size(); ++bi) {
+    const double s = beam_score(beams[bi], cfg.length_penalty);
+    if (s > best_score) {
+      best_score = s;
+      best = bi;
+    }
+  }
+  result.tokens = beams[best].tokens;
+  result.hit_max_tokens = !beams[best].finished;
+  result.nonfinite_logits = m.saw_nonfinite_logits();
+  return result;
+}
+
+}  // namespace
+
+GenerationResult generate(model::InferenceModel& m,
+                          std::span<const tok::TokenId> prompt,
+                          const GenerationConfig& cfg) {
+  if (prompt.empty()) throw std::invalid_argument("generate: empty prompt");
+  if (cfg.num_beams < 1) {
+    throw std::invalid_argument("generate: num_beams must be >= 1");
+  }
+  m.reset_diagnostics();
+  return cfg.num_beams == 1 ? greedy(m, prompt, cfg)
+                            : beam_search(m, prompt, cfg);
+}
+
+McResult score_options(
+    model::InferenceModel& m, std::span<const tok::TokenId> prompt,
+    const std::vector<std::vector<tok::TokenId>>& options) {
+  if (options.empty()) {
+    throw std::invalid_argument("score_options: no options");
+  }
+  m.reset_diagnostics();
+  McResult result;
+  for (size_t oi = 0; oi < options.size(); ++oi) {
+    const auto& opt = options[oi];
+    if (opt.empty()) {
+      throw std::invalid_argument("score_options: empty option");
+    }
+    std::vector<tok::TokenId> full(prompt.begin(), prompt.end());
+    full.insert(full.end(), opt.begin(), opt.end());
+    auto cache = m.make_cache();
+    tn::Tensor logits =
+        m.forward(full, cache, /*pass_index=*/static_cast<int>(oi));
+    ++result.passes;
+    // Position prompt_len - 1 + i predicts option token i.
+    double score = 0.0;
+    const auto p_len = static_cast<tn::Index>(prompt.size());
+    for (size_t i = 0; i < opt.size(); ++i) {
+      score += token_logprob(logits, p_len - 1 + static_cast<tn::Index>(i),
+                             opt[i]);
+    }
+    result.scores.push_back(score);
+  }
+  result.chosen = static_cast<int>(
+      std::max_element(result.scores.begin(), result.scores.end()) -
+      result.scores.begin());
+  return result;
+}
+
+}  // namespace llmfi::gen

@@ -1,0 +1,52 @@
+#pragma once
+// Decoding strategies over the inference engine: deterministic greedy
+// search, beam search (the paper's §4.3.1 resilience comparison), and
+// the option log-likelihood scoring used by multiple-choice tasks.
+
+#include <span>
+#include <vector>
+
+#include "model/transformer.h"
+#include "tokenizer/vocab.h"
+
+namespace llmfi::gen {
+
+struct GenerationConfig {
+  int max_new_tokens = 40;
+  // 1 = greedy search; >1 = beam search with that many beams, as in the
+  // HuggingFace generate(num_beams=...) setting the paper uses.
+  int num_beams = 1;
+  // Beam score = logprob / length^length_penalty (0 disables).
+  float length_penalty = 0.0f;
+  tok::TokenId eos = 2;
+};
+
+struct GenerationResult {
+  std::vector<tok::TokenId> tokens;  // generated tokens (prompt excluded)
+  int passes = 0;                    // forward passes executed
+  bool hit_max_tokens = false;       // stopped by budget, not <eos>
+  bool nonfinite_logits = false;     // engine saw NaN/inf logits
+};
+
+// Runs autoregressive decoding. Pass indices are 0 for prefill and
+// 1, 2, ... per decode iteration (all beams of one iteration share the
+// pass index; a single-shot computational fault therefore hits exactly
+// one beam, mirroring a one-row corruption of a batched GEMM).
+GenerationResult generate(model::InferenceModel& m,
+                          std::span<const tok::TokenId> prompt,
+                          const GenerationConfig& cfg);
+
+struct McResult {
+  int chosen = -1;
+  std::vector<double> scores;  // sum log P(option tokens | prompt)
+  int passes = 0;
+};
+
+// Scores each candidate continuation by summed token log-likelihood and
+// picks the argmax — the standard lm-eval multiple-choice protocol.
+// Option i is evaluated in its own forward pass with pass_index == i.
+McResult score_options(
+    model::InferenceModel& m, std::span<const tok::TokenId> prompt,
+    const std::vector<std::vector<tok::TokenId>>& options);
+
+}  // namespace llmfi::gen

@@ -1,0 +1,77 @@
+#include "metrics/stats.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace llmfi::metrics {
+
+void Accumulator::add(double x) {
+  ++n_;
+  const double delta = x - mean_;
+  mean_ += delta / n_;
+  m2_ += delta * (x - mean_);
+}
+
+double Accumulator::mean() const { return n_ > 0 ? mean_ : 0.0; }
+
+double Accumulator::variance() const {
+  return n_ > 1 ? m2_ / (n_ - 1) : 0.0;
+}
+
+double Accumulator::stddev() const { return std::sqrt(variance()); }
+
+Ratio katz_ratio_ci(int fault_hits, int fault_n, int free_hits, int free_n,
+                    double z) {
+  Ratio r;
+  if (fault_n <= 0 || free_n <= 0 || free_hits <= 0) {
+    // Undefined baseline: report a degenerate ratio of 1 with a wide CI.
+    r.lo = 0.0;
+    r.hi = 2.0;
+    return r;
+  }
+  // Haldane-Anscombe style continuity correction when either count is 0.
+  double a = fault_hits, b = free_hits;
+  double n1 = fault_n, n2 = free_n;
+  if (fault_hits == 0) {
+    a += 0.5;
+    b += 0.5;
+    n1 += 0.5;
+    n2 += 0.5;
+  }
+  const double p1 = a / n1;
+  const double p2 = b / n2;
+  r.value = (static_cast<double>(fault_hits) / fault_n) /
+            (static_cast<double>(free_hits) / free_n);
+  const double se =
+      std::sqrt(std::max(0.0, (1.0 - p1) / (n1 * p1)) +
+                std::max(0.0, (1.0 - p2) / (n2 * p2)));
+  const double ratio_cc = p1 / p2;
+  r.lo = ratio_cc * std::exp(-z * se);
+  r.hi = ratio_cc * std::exp(z * se);
+  return r;
+}
+
+Ratio log_ratio_ci(double fault_mean, double fault_sd, int fault_n,
+                   double free_mean, double free_sd, int free_n, double z) {
+  Ratio r;
+  if (fault_n <= 0 || free_n <= 0 || free_mean <= 0.0) {
+    r.lo = 0.0;
+    r.hi = 2.0;
+    return r;
+  }
+  r.value = fault_mean / free_mean;
+  if (fault_mean <= 0.0) {
+    r.lo = 0.0;
+    r.hi = r.value;
+    return r;
+  }
+  // Var(ln(m1/m2)) ~= s1^2/(n1 m1^2) + s2^2/(n2 m2^2) by the delta method.
+  const double se = std::sqrt(
+      fault_sd * fault_sd / (fault_n * fault_mean * fault_mean) +
+      free_sd * free_sd / (free_n * free_mean * free_mean));
+  r.lo = r.value * std::exp(-z * se);
+  r.hi = r.value * std::exp(z * se);
+  return r;
+}
+
+}  // namespace llmfi::metrics

@@ -1,0 +1,43 @@
+#pragma once
+// Statistical machinery: normalized performance (paper §3.3.3) and the
+// Katz log-transform 95% confidence intervals the paper applies to its
+// error bars.
+
+#include <cstdint>
+
+namespace llmfi::metrics {
+
+// Streaming mean/variance accumulator (Welford).
+class Accumulator {
+ public:
+  void add(double x);
+  int n() const { return n_; }
+  double mean() const;
+  double variance() const;  // sample variance (n-1 denominator)
+  double stddev() const;
+
+ private:
+  int n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+};
+
+struct Ratio {
+  double value = 1.0;
+  double lo = 1.0;  // 95% CI bounds
+  double hi = 1.0;
+};
+
+// Normalized performance = P_fault / P_free for *proportion* metrics
+// (accuracy, EM): Katz (1978) log-transform CI for a ratio of two
+// binomial proportions. `hits` out of `n` per arm.
+Ratio katz_ratio_ci(int fault_hits, int fault_n, int free_hits, int free_n,
+                    double z = 1.96);
+
+// Normalized performance for continuous metrics (BLEU, ROUGE, ...):
+// delta-method log-transform CI from per-arm sample means/SDs.
+Ratio log_ratio_ci(double fault_mean, double fault_sd, int fault_n,
+                   double free_mean, double free_sd, int free_n,
+                   double z = 1.96);
+
+}  // namespace llmfi::metrics

@@ -1,0 +1,187 @@
+#include "metrics/text_metrics.h"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+#include <sstream>
+
+namespace llmfi::metrics {
+
+namespace {
+
+using Counts = std::map<std::vector<std::string>, int>;
+
+Counts ngram_counts(const std::vector<std::string>& words, int n) {
+  Counts counts;
+  if (static_cast<int>(words.size()) < n) return counts;
+  for (size_t i = 0; i + static_cast<size_t>(n) <= words.size(); ++i) {
+    std::vector<std::string> gram(words.begin() + static_cast<long>(i),
+                                  words.begin() + static_cast<long>(i) + n);
+    ++counts[std::move(gram)];
+  }
+  return counts;
+}
+
+// Clipped overlap between hypothesis and reference n-gram counts.
+int clipped_matches(const Counts& hyp, const Counts& ref) {
+  int matches = 0;
+  for (const auto& [gram, count] : hyp) {
+    auto it = ref.find(gram);
+    if (it != ref.end()) matches += std::min(count, it->second);
+  }
+  return matches;
+}
+
+int total_count(const Counts& c) {
+  int total = 0;
+  for (const auto& [gram, count] : c) total += count;
+  return total;
+}
+
+// Character n-grams over the de-spaced string (standard chrF).
+std::map<std::string, int> char_ngrams(const std::string& text, int n) {
+  std::string compact;
+  for (char c : text) {
+    if (c != ' ') compact += c;
+  }
+  std::map<std::string, int> counts;
+  if (static_cast<int>(compact.size()) < n) return counts;
+  for (size_t i = 0; i + static_cast<size_t>(n) <= compact.size(); ++i) {
+    ++counts[compact.substr(i, static_cast<size_t>(n))];
+  }
+  return counts;
+}
+
+struct PR {
+  double precision = 0.0;
+  double recall = 0.0;
+  bool valid = false;
+};
+
+template <typename Map>
+PR overlap_pr(const Map& hyp, const Map& ref) {
+  int matches = 0, hyp_total = 0, ref_total = 0;
+  for (const auto& [k, v] : hyp) {
+    hyp_total += v;
+    auto it = ref.find(k);
+    if (it != ref.end()) matches += std::min(v, it->second);
+  }
+  for (const auto& [k, v] : ref) ref_total += v;
+  PR pr;
+  if (hyp_total == 0 || ref_total == 0) return pr;
+  pr.precision = static_cast<double>(matches) / hyp_total;
+  pr.recall = static_cast<double>(matches) / ref_total;
+  pr.valid = true;
+  return pr;
+}
+
+double f_beta(const PR& pr, double beta) {
+  if (!pr.valid) return 0.0;
+  const double b2 = beta * beta;
+  const double denom = b2 * pr.precision + pr.recall;
+  if (denom <= 0.0) return 0.0;
+  return (1.0 + b2) * pr.precision * pr.recall / denom;
+}
+
+}  // namespace
+
+std::vector<std::string> split_words(const std::string& text) {
+  std::vector<std::string> out;
+  std::istringstream iss(text);
+  std::string w;
+  while (iss >> w) out.push_back(std::move(w));
+  return out;
+}
+
+double bleu(const std::string& hypothesis, const std::string& reference,
+            int max_n) {
+  const auto hyp = split_words(hypothesis);
+  const auto ref = split_words(reference);
+  if (hyp.empty() || ref.empty()) return 0.0;
+
+  double log_precision_sum = 0.0;
+  for (int n = 1; n <= max_n; ++n) {
+    const Counts hc = ngram_counts(hyp, n);
+    const Counts rc = ngram_counts(ref, n);
+    const int total = total_count(hc);
+    const int matches = clipped_matches(hc, rc);
+    double p;
+    if (n == 1) {
+      if (total == 0 || matches == 0) return 0.0;
+      p = static_cast<double>(matches) / total;
+    } else {
+      // Add-1 smoothing for higher orders (Lin & Och).
+      p = (static_cast<double>(matches) + 1.0) /
+          (static_cast<double>(total) + 1.0);
+    }
+    log_precision_sum += std::log(p);
+  }
+  const double geo_mean = std::exp(log_precision_sum / max_n);
+  const double bp =
+      hyp.size() >= ref.size()
+          ? 1.0
+          : std::exp(1.0 - static_cast<double>(ref.size()) / hyp.size());
+  return bp * geo_mean;
+}
+
+double chrf_pp(const std::string& hypothesis, const std::string& reference,
+               int char_n, int word_n, double beta) {
+  double f_sum = 0.0;
+  int orders = 0;
+  // Orders where *both* sides lack n-grams (e.g. 6-grams of a 5-char
+  // pair) are skipped, as in the reference chrF implementation;
+  // otherwise short perfect matches could not reach 1.0.
+  auto add_order = [&](const auto& hyp, const auto& ref) {
+    if (hyp.empty() && ref.empty()) return;
+    f_sum += f_beta(overlap_pr(hyp, ref), beta);
+    ++orders;
+  };
+  for (int n = 1; n <= char_n; ++n) {
+    add_order(char_ngrams(hypothesis, n), char_ngrams(reference, n));
+  }
+  const auto hyp_words = split_words(hypothesis);
+  const auto ref_words = split_words(reference);
+  for (int n = 1; n <= word_n; ++n) {
+    add_order(ngram_counts(hyp_words, n), ngram_counts(ref_words, n));
+  }
+  return orders > 0 ? f_sum / orders : 0.0;
+}
+
+double rouge1_f(const std::string& hypothesis, const std::string& reference) {
+  const auto hyp = split_words(hypothesis);
+  const auto ref = split_words(reference);
+  return f_beta(overlap_pr(ngram_counts(hyp, 1), ngram_counts(ref, 1)), 1.0);
+}
+
+double rougeL_f(const std::string& hypothesis, const std::string& reference) {
+  const auto hyp = split_words(hypothesis);
+  const auto ref = split_words(reference);
+  if (hyp.empty() || ref.empty()) return 0.0;
+  // LCS via DP.
+  const size_t n = hyp.size(), m = ref.size();
+  std::vector<int> prev(m + 1, 0), cur(m + 1, 0);
+  for (size_t i = 1; i <= n; ++i) {
+    for (size_t j = 1; j <= m; ++j) {
+      cur[j] = (hyp[i - 1] == ref[j - 1])
+                   ? prev[j - 1] + 1
+                   : std::max(prev[j], cur[j - 1]);
+    }
+    std::swap(prev, cur);
+  }
+  const double lcs = prev[m];
+  PR pr{lcs / static_cast<double>(n), lcs / static_cast<double>(m), true};
+  return f_beta(pr, 1.0);
+}
+
+double exact_match(const std::string& hypothesis,
+                   const std::string& reference) {
+  return split_words(hypothesis) == split_words(reference) ? 1.0 : 0.0;
+}
+
+double token_f1(const std::string& hypothesis, const std::string& reference) {
+  const auto hyp = split_words(hypothesis);
+  const auto ref = split_words(reference);
+  return f_beta(overlap_pr(ngram_counts(hyp, 1), ngram_counts(ref, 1)), 1.0);
+}
+
+}  // namespace llmfi::metrics

@@ -1,0 +1,37 @@
+#pragma once
+// Output-quality metrics matching the paper's Table 1: BLEU and chrF++
+// for translation, ROUGE-1/ROUGE-L for summarization, Exact Match and
+// token F1 for QA, plus accuracy helpers. All operate on whitespace-
+// tokenized text (our vocabulary is word-level, so this is lossless).
+
+#include <string>
+#include <vector>
+
+namespace llmfi::metrics {
+
+std::vector<std::string> split_words(const std::string& text);
+
+// Smoothed corpus-style sentence BLEU (n-grams up to max_n, add-1
+// smoothing on higher orders, brevity penalty). Returns [0, 1].
+double bleu(const std::string& hypothesis, const std::string& reference,
+            int max_n = 4);
+
+// chrF++ (Popovic 2017): character n-grams (1..char_n) plus word n-grams
+// (1..word_n), F-beta with beta = 2. Returns [0, 1].
+double chrf_pp(const std::string& hypothesis, const std::string& reference,
+               int char_n = 6, int word_n = 2, double beta = 2.0);
+
+// ROUGE-1 F1: unigram overlap.
+double rouge1_f(const std::string& hypothesis, const std::string& reference);
+
+// ROUGE-L F1: longest common subsequence.
+double rougeL_f(const std::string& hypothesis, const std::string& reference);
+
+// SQuAD-style exact match (1.0 or 0.0 after whitespace normalization).
+double exact_match(const std::string& hypothesis,
+                   const std::string& reference);
+
+// SQuAD-style token F1 (bag-of-words overlap).
+double token_f1(const std::string& hypothesis, const std::string& reference);
+
+}  // namespace llmfi::metrics

@@ -1,0 +1,62 @@
+#include "model/config.h"
+
+#include <stdexcept>
+
+namespace llmfi::model {
+
+std::int64_t ModelConfig::num_params() const {
+  const std::int64_t d = d_model;
+  const std::int64_t ff = d_ff;
+  std::int64_t per_block = 4 * d * d + 2 * d;  // attention + two norms
+  if (moe) {
+    per_block += static_cast<std::int64_t>(n_experts) * 3 * d * ff +
+                 static_cast<std::int64_t>(n_experts) * d;  // experts+router
+  } else {
+    per_block += 3 * d * ff;
+  }
+  return static_cast<std::int64_t>(vocab_size) * d  // tied embedding
+         + n_layers * per_block + d;                // final norm
+}
+
+std::uint64_t ModelConfig::config_hash() const {
+  std::uint64_t h = 1469598103934665603ull;  // FNV-1a
+  auto mix = [&h](std::uint64_t v) {
+    for (int i = 0; i < 8; ++i) {
+      h ^= (v >> (8 * i)) & 0xFFu;
+      h *= 1099511628211ull;
+    }
+  };
+  mix(static_cast<std::uint64_t>(vocab_size));
+  mix(static_cast<std::uint64_t>(d_model));
+  mix(static_cast<std::uint64_t>(n_layers));
+  mix(static_cast<std::uint64_t>(n_heads));
+  mix(static_cast<std::uint64_t>(d_ff));
+  mix(moe ? 1u : 0u);
+  mix(static_cast<std::uint64_t>(n_experts));
+  mix(static_cast<std::uint64_t>(top_k));
+  mix(static_cast<std::uint64_t>(init));
+  mix(seed);
+  for (char c : family) mix(static_cast<std::uint64_t>(c));
+  return h;
+}
+
+ModelConfig family_config(const std::string& family, int vocab_size) {
+  ModelConfig c;
+  c.vocab_size = vocab_size;
+  c.family = family;
+  if (family == "aquila") {  // Llama3.1-8B analog
+    c.init = InitStyle::Normal002;
+    c.seed = 101;
+  } else if (family == "qilin") {  // Qwen2.5-7B analog
+    c.init = InitStyle::Normal003;
+    c.seed = 202;
+  } else if (family == "falco") {  // Falcon3-7B analog
+    c.init = InitStyle::UniformWide;
+    c.seed = 303;
+  } else {
+    throw std::invalid_argument("unknown model family: " + family);
+  }
+  return c;
+}
+
+}  // namespace llmfi::model

@@ -1,0 +1,65 @@
+#pragma once
+// Model architecture configuration and the "model family" presets that
+// stand in for the paper's general-purpose LLMs.
+
+#include <cstdint>
+#include <string>
+
+#include "numerics/dtype.h"
+
+namespace llmfi::model {
+
+enum class InitStyle : std::uint8_t {
+  Normal002,    // N(0, 0.02)  — family "aquila" (Llama3.1 analog)
+  Normal003,    // N(0, 0.03)  — family "qilin"  (Qwen2.5 analog)
+  UniformWide,  // U(-0.06, 0.06) — family "falco" (Falcon3 analog)
+};
+
+struct ModelConfig {
+  int vocab_size = 0;
+  int d_model = 48;
+  int n_layers = 2;
+  int n_heads = 4;
+  int d_ff = 96;
+  // MoE (paper §4.2.3). When enabled the MLP of every block is replaced
+  // by a router + n_experts expert MLPs with top_k routing.
+  bool moe = false;
+  int n_experts = 8;
+  int top_k = 2;
+  float rope_theta = 10000.0f;
+  int max_seq = 160;
+  float norm_eps = 1e-5f;
+
+  // Provenance (not architectural): family tag and training seed; they
+  // participate in the cache key so differently-trained models never
+  // collide.
+  std::string family = "aquila";
+  InitStyle init = InitStyle::Normal002;
+  std::uint64_t seed = 11;
+
+  int d_head() const { return d_model / n_heads; }
+  // Total fp32 parameter count (embedding is tied to the LM head).
+  std::int64_t num_params() const;
+  // Stable content hash for checkpoint caching.
+  std::uint64_t config_hash() const;
+};
+
+// Inference-time storage options (orthogonal to trained weights).
+struct PrecisionConfig {
+  num::DType weight_dtype = num::DType::F32;
+  num::DType act_dtype = num::DType::F32;
+  int quant_group = 32;
+
+  static PrecisionConfig for_dtype(num::DType t) {
+    PrecisionConfig p;
+    p.weight_dtype = t;
+    // Quantized weights pair with fp16 activations, as in GPTQ serving.
+    p.act_dtype = num::is_quantized_dtype(t) ? num::DType::F16 : t;
+    return p;
+  }
+};
+
+// The three general-purpose families of the study.
+ModelConfig family_config(const std::string& family, int vocab_size);
+
+}  // namespace llmfi::model

@@ -1,0 +1,311 @@
+#include "model/transformer.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <limits>
+
+#include "numerics/half.h"
+#include "nn/rope.h"
+#include "tensor/ops.h"
+
+namespace llmfi::model {
+
+namespace {
+
+// Stable softmax over a raw span with IEEE-faithful corruption
+// semantics (see tn::softmax_rows_inplace): NaN or +inf anywhere
+// poisons the whole distribution with NaN, exactly as PyTorch does.
+void softmax_span(std::span<float> v) {
+  float mx = -std::numeric_limits<float>::infinity();
+  bool poisoned = false;
+  for (float x : v) {
+    if (std::isnan(x)) poisoned = true;
+    mx = std::max(mx, x);
+  }
+  if (poisoned || !std::isfinite(mx)) {
+    std::fill(v.begin(), v.end(),
+              std::numeric_limits<float>::quiet_NaN());
+    return;
+  }
+  float sum = 0.0f;
+  for (float& x : v) {
+    x = std::exp(x - mx);
+    sum += x;
+  }
+  const float inv = 1.0f / sum;
+  for (float& x : v) x *= inv;
+}
+
+}  // namespace
+
+InferenceModel::InferenceModel(const ModelWeights& w,
+                               const PrecisionConfig& prec)
+    : config_(w.config), prec_(prec) {
+  embedding_ = w.embedding;
+  round_activations(embedding_);
+  final_norm_ = w.final_norm;
+
+  const int group = prec.quant_group;
+  blocks_.reserve(w.blocks.size());
+  for (const auto& src : w.blocks) {
+    BlockStorage blk{
+        .norm1 = src.norm1,
+        .norm2 = src.norm2,
+        .wq = nn::WeightMatrix(src.wq, prec.weight_dtype, group),
+        .wk = nn::WeightMatrix(src.wk, prec.weight_dtype, group),
+        .wv = nn::WeightMatrix(src.wv, prec.weight_dtype, group),
+        .wo = nn::WeightMatrix(src.wo, prec.weight_dtype, group),
+        .mlp = {},
+        .router = {},
+        .experts = {},
+    };
+    if (config_.moe) {
+      blk.router.emplace_back(src.router, prec.weight_dtype, group);
+      blk.experts.reserve(src.experts.size());
+      for (const auto& ex : src.experts) {
+        blk.experts.push_back(ExpertStorage{
+            nn::WeightMatrix(ex.gate, prec.weight_dtype, group),
+            nn::WeightMatrix(ex.up, prec.weight_dtype, group),
+            nn::WeightMatrix(ex.down, prec.weight_dtype, group)});
+      }
+    } else {
+      blk.mlp.emplace_back(src.gate, prec.weight_dtype, group);
+      blk.mlp.emplace_back(src.up, prec.weight_dtype, group);
+      blk.mlp.emplace_back(src.down, prec.weight_dtype, group);
+    }
+    blocks_.push_back(std::move(blk));
+  }
+
+  // FI target registry (order: block-major, layer kind within block).
+  for (int b = 0; b < static_cast<int>(blocks_.size()); ++b) {
+    auto& blk = blocks_[static_cast<size_t>(b)];
+    linear_refs_.push_back({{b, nn::LayerKind::QProj, -1}, &blk.wq});
+    linear_refs_.push_back({{b, nn::LayerKind::KProj, -1}, &blk.wk});
+    linear_refs_.push_back({{b, nn::LayerKind::VProj, -1}, &blk.wv});
+    linear_refs_.push_back({{b, nn::LayerKind::OProj, -1}, &blk.wo});
+    if (config_.moe) {
+      linear_refs_.push_back({{b, nn::LayerKind::Router, -1}, &blk.router[0]});
+      for (int e = 0; e < static_cast<int>(blk.experts.size()); ++e) {
+        auto& ex = blk.experts[static_cast<size_t>(e)];
+        linear_refs_.push_back({{b, nn::LayerKind::ExpertGate, e}, &ex.gate});
+        linear_refs_.push_back({{b, nn::LayerKind::ExpertUp, e}, &ex.up});
+        linear_refs_.push_back({{b, nn::LayerKind::ExpertDown, e}, &ex.down});
+      }
+    } else {
+      linear_refs_.push_back({{b, nn::LayerKind::GateProj, -1}, &blk.mlp[0]});
+      linear_refs_.push_back({{b, nn::LayerKind::UpProj, -1}, &blk.mlp[1]});
+      linear_refs_.push_back({{b, nn::LayerKind::DownProj, -1}, &blk.mlp[2]});
+    }
+  }
+}
+
+nn::KvCache InferenceModel::make_cache() const {
+  return nn::KvCache(config_.n_layers, config_.max_seq, config_.d_model);
+}
+
+void InferenceModel::round_activations(tn::Tensor& x) const {
+  switch (prec_.act_dtype) {
+    case num::DType::F32:
+      return;
+    case num::DType::F16:
+      for (float& v : x.flat()) v = num::round_to_f16(v);
+      return;
+    case num::DType::BF16:
+      for (float& v : x.flat()) v = num::round_to_bf16(v);
+      return;
+    default:
+      return;  // quantized activations are not modeled
+  }
+}
+
+tn::Tensor InferenceModel::linear(const nn::WeightMatrix& w,
+                                  const tn::Tensor& x, const nn::LinearId& id,
+                                  int pass_index, int row_offset) {
+  tn::Tensor y = tn::matmul_bt(x, w.values());
+  round_activations(y);
+  if (hook_ != nullptr) hook_->on_linear_output(id, y, pass_index, row_offset);
+  if (tracer_) tracer_(id, y);
+  return y;
+}
+
+tn::Tensor InferenceModel::attention(const tn::Tensor& q, int block,
+                                     const nn::KvCache& cache,
+                                     tn::Index prev_len) const {
+  const tn::Index t_new = q.rows();
+  const int n_heads = config_.n_heads;
+  const tn::Index d_head = config_.d_head();
+  const float scale = 1.0f / std::sqrt(static_cast<float>(d_head));
+  const tn::Tensor& keys = cache.keys(block);
+  const tn::Tensor& values = cache.values(block);
+
+  tn::Tensor out({t_new, q.cols()});
+  std::vector<float> scores;
+  for (tn::Index t = 0; t < t_new; ++t) {
+    const tn::Index abs_pos = prev_len + t;
+    const tn::Index ctx = abs_pos + 1;  // causal: attend positions 0..abs
+    scores.resize(static_cast<size_t>(ctx));
+    auto qrow = q.row(t);
+    auto orow = out.row(t);
+    for (int h = 0; h < n_heads; ++h) {
+      const tn::Index off = static_cast<tn::Index>(h) * d_head;
+      for (tn::Index j = 0; j < ctx; ++j) {
+        auto krow = keys.row(j);
+        float acc = 0.0f;
+        for (tn::Index i = 0; i < d_head; ++i) {
+          acc += qrow[off + i] * krow[off + i];
+        }
+        scores[static_cast<size_t>(j)] = acc * scale;
+      }
+      softmax_span(scores);
+      for (tn::Index i = 0; i < d_head; ++i) orow[off + i] = 0.0f;
+      for (tn::Index j = 0; j < ctx; ++j) {
+        const float p = scores[static_cast<size_t>(j)];
+        if (p == 0.0f) continue;
+        auto vrow = values.row(j);
+        for (tn::Index i = 0; i < d_head; ++i) {
+          orow[off + i] += p * vrow[off + i];
+        }
+      }
+    }
+  }
+  return out;
+}
+
+tn::Tensor InferenceModel::dense_mlp(BlockStorage& blk, int block_idx,
+                                     const tn::Tensor& h, int pass_index,
+                                     int row_offset) {
+  tn::Tensor g = linear(blk.mlp[0], h, {block_idx, nn::LayerKind::GateProj, -1},
+                        pass_index, row_offset);
+  tn::Tensor u = linear(blk.mlp[1], h, {block_idx, nn::LayerKind::UpProj, -1},
+                        pass_index, row_offset);
+  tn::silu_inplace(g);
+  tn::mul_inplace(g, u);
+  round_activations(g);
+  return linear(blk.mlp[2], g, {block_idx, nn::LayerKind::DownProj, -1},
+                pass_index, row_offset);
+}
+
+tn::Tensor InferenceModel::moe_mlp(BlockStorage& blk, int block_idx,
+                                   const tn::Tensor& h, int pass_index,
+                                   int row_offset) {
+  const int n_experts = config_.n_experts;
+  const int top_k = config_.top_k;
+  tn::Tensor router_logits =
+      linear(blk.router[0], h, {block_idx, nn::LayerKind::Router, -1},
+             pass_index, row_offset);
+
+  tn::Tensor out({h.rows(), h.cols()});
+  std::vector<float> probs(static_cast<size_t>(n_experts));
+  std::vector<int> order(static_cast<size_t>(n_experts));
+  std::vector<int> chosen;
+  for (tn::Index t = 0; t < h.rows(); ++t) {
+    auto lrow = router_logits.row(t);
+    std::copy(lrow.begin(), lrow.end(), probs.begin());
+    softmax_span(probs);
+    for (int e = 0; e < n_experts; ++e) order[static_cast<size_t>(e)] = e;
+    std::partial_sort(order.begin(), order.begin() + top_k, order.end(),
+                      [&probs](int a, int b) {
+                        return probs[static_cast<size_t>(a)] >
+                               probs[static_cast<size_t>(b)];
+                      });
+    chosen.assign(order.begin(), order.begin() + top_k);
+    if (expert_obs_ != nullptr) {
+      expert_obs_->on_expert_selection(
+          block_idx, row_offset + static_cast<int>(t), chosen);
+    }
+    float mass = 0.0f;
+    for (int e : chosen) mass += probs[static_cast<size_t>(e)];
+    if (mass <= 0.0f) mass = 1.0f;
+
+    // Single-token view of h for the expert MLPs.
+    tn::Tensor hrow({1, h.cols()});
+    auto hsrc = h.row(t);
+    std::copy(hsrc.begin(), hsrc.end(), hrow.row(0).begin());
+
+    auto orow = out.row(t);
+    for (int rank = 0; rank < top_k; ++rank) {
+      const int e = chosen[static_cast<size_t>(rank)];
+      auto& ex = blk.experts[static_cast<size_t>(e)];
+      const float weight = probs[static_cast<size_t>(e)] / mass;
+      tn::Tensor g =
+          linear(ex.gate, hrow, {block_idx, nn::LayerKind::ExpertGate, e},
+                 pass_index, row_offset + static_cast<int>(t));
+      tn::Tensor u =
+          linear(ex.up, hrow, {block_idx, nn::LayerKind::ExpertUp, e},
+                 pass_index, row_offset + static_cast<int>(t));
+      tn::silu_inplace(g);
+      tn::mul_inplace(g, u);
+      round_activations(g);
+      tn::Tensor d =
+          linear(ex.down, g, {block_idx, nn::LayerKind::ExpertDown, e},
+                 pass_index, row_offset + static_cast<int>(t));
+      auto drow = d.row(0);
+      for (tn::Index j = 0; j < h.cols(); ++j) orow[j] += weight * drow[j];
+    }
+  }
+  round_activations(out);
+  return out;
+}
+
+tn::Tensor InferenceModel::forward(std::span<const tok::TokenId> tokens,
+                                   nn::KvCache& cache, int pass_index) {
+  const auto t_new = static_cast<tn::Index>(tokens.size());
+  assert(t_new > 0);
+  const tn::Index d = config_.d_model;
+  const tn::Index prev_len = cache.length();
+  const int row_offset = static_cast<int>(prev_len);
+
+  tn::Tensor x({t_new, d});
+  for (tn::Index t = 0; t < t_new; ++t) {
+    const auto id = tokens[static_cast<size_t>(t)];
+    assert(id >= 0 && id < config_.vocab_size);
+    auto src = embedding_.row(id);
+    std::copy(src.begin(), src.end(), x.row(t).begin());
+  }
+
+  for (int b = 0; b < config_.n_layers; ++b) {
+    auto& blk = blocks_[static_cast<size_t>(b)];
+    tn::Tensor h = tn::rmsnorm_rows(x, blk.norm1, config_.norm_eps);
+    round_activations(h);
+
+    tn::Tensor q = linear(blk.wq, h, {b, nn::LayerKind::QProj, -1},
+                          pass_index, row_offset);
+    tn::Tensor k = linear(blk.wk, h, {b, nn::LayerKind::KProj, -1},
+                          pass_index, row_offset);
+    tn::Tensor v = linear(blk.wv, h, {b, nn::LayerKind::VProj, -1},
+                          pass_index, row_offset);
+    nn::apply_rope(q, config_.n_heads, static_cast<int>(prev_len),
+                   config_.rope_theta);
+    nn::apply_rope(k, config_.n_heads, static_cast<int>(prev_len),
+                   config_.rope_theta);
+    cache.append(b, k, v);
+
+    tn::Tensor attn = attention(q, b, cache, prev_len);
+    round_activations(attn);
+    tn::Tensor o = linear(blk.wo, attn, {b, nn::LayerKind::OProj, -1},
+                          pass_index, row_offset);
+    tn::add_inplace(x, o);
+
+    tn::Tensor h2 = tn::rmsnorm_rows(x, blk.norm2, config_.norm_eps);
+    round_activations(h2);
+    tn::Tensor m = config_.moe
+                       ? moe_mlp(blk, b, h2, pass_index, row_offset)
+                       : dense_mlp(blk, b, h2, pass_index, row_offset);
+    tn::add_inplace(x, m);
+  }
+  cache.advance(t_new);
+
+  tn::Tensor xf = tn::rmsnorm_rows(x, final_norm_, config_.norm_eps);
+  round_activations(xf);
+  tn::Tensor logits = tn::matmul_bt(xf, embedding_);
+  for (float v2 : logits.flat()) {
+    if (!std::isfinite(v2)) {
+      saw_nonfinite_logits_ = true;
+      break;
+    }
+  }
+  return logits;
+}
+
+}  // namespace llmfi::model

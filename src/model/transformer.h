@@ -1,0 +1,103 @@
+#pragma once
+// The inference engine: a Llama-architecture decoder-only transformer
+// (Fig 1 of the paper) with reduced-precision weight storage, an
+// activation-rounding pipeline, KV-cached autoregressive decoding, and
+// the hook surface used by the fault injector and the propagation tracer.
+
+#include <functional>
+#include <memory>
+#include <span>
+#include <vector>
+
+#include "model/config.h"
+#include "model/weights.h"
+#include "nn/hooks.h"
+#include "nn/kv_cache.h"
+#include "nn/layer_id.h"
+#include "nn/weight_matrix.h"
+#include "tokenizer/vocab.h"
+
+namespace llmfi::model {
+
+class InferenceModel {
+ public:
+  // Builds dtype-typed weight storage from fp32 master weights. The
+  // engine keeps no reference to `w` afterwards.
+  InferenceModel(const ModelWeights& w, const PrecisionConfig& prec);
+
+  const ModelConfig& config() const { return config_; }
+  const PrecisionConfig& precision() const { return prec_; }
+
+  nn::KvCache make_cache() const;
+
+  // Runs the model over `tokens` (appended after whatever the cache
+  // already holds) and returns logits [tokens.size(), vocab].
+  // `pass_index` identifies this forward pass within the current
+  // inference (prefill = 0, decode steps = 1, 2, ...); it is forwarded to
+  // hooks so computational faults can target one generation iteration.
+  tn::Tensor forward(std::span<const tok::TokenId> tokens, nn::KvCache& cache,
+                     int pass_index);
+
+  // --- hook surface ----------------------------------------------------
+  void set_linear_hook(nn::LinearHook* hook) { hook_ = hook; }
+  void set_expert_observer(nn::ExpertObserver* obs) { expert_obs_ = obs; }
+
+  // Observation-only tracer fired with every linear layer's (post-round,
+  // post-hook) output; used to build the Fig 5/6 propagation maps.
+  using TraceFn =
+      std::function<void(const nn::LinearId&, const tn::Tensor&)>;
+  void set_tracer(TraceFn fn) { tracer_ = std::move(fn); }
+
+  // --- fault-injection target enumeration -------------------------------
+  struct LinearRef {
+    nn::LinearId id;
+    nn::WeightMatrix* weights;
+  };
+  // Every linear layer inside the transformer blocks (the paper's FI
+  // scope: embedding and the LM head are excluded).
+  std::span<LinearRef> linear_layers() { return linear_refs_; }
+
+  // --- diagnostics -------------------------------------------------------
+  // True if any logit produced since the last reset was NaN/inf (an input
+  // signal to the distorted-output classifier).
+  bool saw_nonfinite_logits() const { return saw_nonfinite_logits_; }
+  void reset_diagnostics() { saw_nonfinite_logits_ = false; }
+
+ private:
+  struct ExpertStorage {
+    nn::WeightMatrix gate, up, down;
+  };
+  struct BlockStorage {
+    tn::Tensor norm1, norm2;
+    nn::WeightMatrix wq, wk, wv, wo;
+    // Dense path:
+    std::vector<nn::WeightMatrix> mlp;  // gate, up, down
+    // MoE path:
+    std::vector<nn::WeightMatrix> router;  // singleton when MoE
+    std::vector<ExpertStorage> experts;
+  };
+
+  tn::Tensor linear(const nn::WeightMatrix& w, const tn::Tensor& x,
+                    const nn::LinearId& id, int pass_index, int row_offset);
+  tn::Tensor attention(const tn::Tensor& q, int block,
+                       const nn::KvCache& cache, tn::Index prev_len) const;
+  tn::Tensor dense_mlp(BlockStorage& blk, int block_idx, const tn::Tensor& h,
+                       int pass_index, int row_offset);
+  tn::Tensor moe_mlp(BlockStorage& blk, int block_idx, const tn::Tensor& h,
+                     int pass_index, int row_offset);
+  void round_activations(tn::Tensor& x) const;
+
+  ModelConfig config_;
+  PrecisionConfig prec_;
+  tn::Tensor embedding_;   // rounded through act dtype; FI-excluded
+  tn::Tensor final_norm_;  // fp32
+  std::vector<BlockStorage> blocks_;
+  std::vector<LinearRef> linear_refs_;
+
+  nn::LinearHook* hook_ = nullptr;
+  nn::ExpertObserver* expert_obs_ = nullptr;
+  TraceFn tracer_;
+  bool saw_nonfinite_logits_ = false;
+};
+
+}  // namespace llmfi::model

@@ -1,0 +1,198 @@
+#include "model/weights.h"
+
+#include <cstdint>
+#include <fstream>
+#include <stdexcept>
+
+namespace llmfi::model {
+
+namespace {
+
+constexpr std::uint64_t kMagic = 0x4C4C4D46492D4B31ull;  // "LLMFI-K1"
+
+void init_tensor(tn::Tensor& t, InitStyle style, num::Rng& rng) {
+  switch (style) {
+    case InitStyle::Normal002:
+      for (float& v : t.flat()) v = static_cast<float>(rng.normal(0.0, 0.02));
+      break;
+    case InitStyle::Normal003:
+      for (float& v : t.flat()) v = static_cast<float>(rng.normal(0.0, 0.03));
+      break;
+    case InitStyle::UniformWide:
+      for (float& v : t.flat()) {
+        v = static_cast<float>((rng.uniform() * 2.0 - 1.0) * 0.06);
+      }
+      break;
+  }
+}
+
+void write_u64(std::ostream& os, std::uint64_t v) {
+  os.write(reinterpret_cast<const char*>(&v), sizeof(v));
+}
+
+std::uint64_t read_u64(std::istream& is) {
+  std::uint64_t v = 0;
+  is.read(reinterpret_cast<char*>(&v), sizeof(v));
+  return v;
+}
+
+void write_tensor(std::ostream& os, const tn::Tensor& t) {
+  write_u64(os, static_cast<std::uint64_t>(t.rank()));
+  for (int i = 0; i < t.rank(); ++i) {
+    write_u64(os, static_cast<std::uint64_t>(t.dim(i)));
+  }
+  os.write(reinterpret_cast<const char*>(t.data()),
+           static_cast<std::streamsize>(t.numel() * sizeof(float)));
+}
+
+tn::Tensor read_tensor(std::istream& is) {
+  const auto rank = static_cast<int>(read_u64(is));
+  std::vector<tn::Index> shape(static_cast<size_t>(rank));
+  for (auto& d : shape) d = static_cast<tn::Index>(read_u64(is));
+  tn::Tensor t(shape);
+  is.read(reinterpret_cast<char*>(t.data()),
+          static_cast<std::streamsize>(t.numel() * sizeof(float)));
+  if (!is) throw std::runtime_error("checkpoint truncated");
+  return t;
+}
+
+void write_string(std::ostream& os, const std::string& s) {
+  write_u64(os, s.size());
+  os.write(s.data(), static_cast<std::streamsize>(s.size()));
+}
+
+std::string read_string(std::istream& is) {
+  const auto n = read_u64(is);
+  std::string s(n, '\0');
+  is.read(s.data(), static_cast<std::streamsize>(n));
+  return s;
+}
+
+}  // namespace
+
+ModelWeights ModelWeights::init(const ModelConfig& cfg) {
+  ModelWeights w;
+  w.config = cfg;
+  num::Rng rng(cfg.seed * 0x9E3779B9ull + 7);
+  const tn::Index d = cfg.d_model, ff = cfg.d_ff, v = cfg.vocab_size;
+
+  w.embedding = tn::Tensor({v, d});
+  init_tensor(w.embedding, cfg.init, rng);
+
+  w.blocks.resize(static_cast<size_t>(cfg.n_layers));
+  for (auto& blk : w.blocks) {
+    blk.norm1 = tn::Tensor({d});
+    blk.norm1.fill(1.0f);
+    blk.norm2 = tn::Tensor({d});
+    blk.norm2.fill(1.0f);
+    for (tn::Tensor* m : {&blk.wq, &blk.wk, &blk.wv, &blk.wo}) {
+      *m = tn::Tensor({d, d});
+      init_tensor(*m, cfg.init, rng);
+    }
+    if (cfg.moe) {
+      blk.router = tn::Tensor({static_cast<tn::Index>(cfg.n_experts), d});
+      init_tensor(blk.router, cfg.init, rng);
+      blk.experts.resize(static_cast<size_t>(cfg.n_experts));
+      for (auto& ex : blk.experts) {
+        ex.gate = tn::Tensor({ff, d});
+        ex.up = tn::Tensor({ff, d});
+        ex.down = tn::Tensor({d, ff});
+        init_tensor(ex.gate, cfg.init, rng);
+        init_tensor(ex.up, cfg.init, rng);
+        init_tensor(ex.down, cfg.init, rng);
+      }
+    } else {
+      blk.gate = tn::Tensor({ff, d});
+      blk.up = tn::Tensor({ff, d});
+      blk.down = tn::Tensor({d, ff});
+      init_tensor(blk.gate, cfg.init, rng);
+      init_tensor(blk.up, cfg.init, rng);
+      init_tensor(blk.down, cfg.init, rng);
+    }
+  }
+  w.final_norm = tn::Tensor({d});
+  w.final_norm.fill(1.0f);
+  return w;
+}
+
+void ModelWeights::for_each_param(
+    const std::function<void(const std::string&, tn::Tensor&)>& fn) {
+  fn("embedding", embedding);
+  for (size_t b = 0; b < blocks.size(); ++b) {
+    const std::string p = "blk" + std::to_string(b) + ".";
+    auto& blk = blocks[b];
+    fn(p + "norm1", blk.norm1);
+    fn(p + "wq", blk.wq);
+    fn(p + "wk", blk.wk);
+    fn(p + "wv", blk.wv);
+    fn(p + "wo", blk.wo);
+    fn(p + "norm2", blk.norm2);
+    if (config.moe) {
+      fn(p + "router", blk.router);
+      for (size_t e = 0; e < blk.experts.size(); ++e) {
+        const std::string ep = p + "ex" + std::to_string(e) + ".";
+        fn(ep + "gate", blk.experts[e].gate);
+        fn(ep + "up", blk.experts[e].up);
+        fn(ep + "down", blk.experts[e].down);
+      }
+    } else {
+      fn(p + "gate", blk.gate);
+      fn(p + "up", blk.up);
+      fn(p + "down", blk.down);
+    }
+  }
+  fn("final_norm", final_norm);
+}
+
+void ModelWeights::save(const std::string& path) const {
+  std::ofstream os(path, std::ios::binary);
+  if (!os) throw std::runtime_error("cannot open checkpoint for write: " + path);
+  write_u64(os, kMagic);
+  write_u64(os, static_cast<std::uint64_t>(config.vocab_size));
+  write_u64(os, static_cast<std::uint64_t>(config.d_model));
+  write_u64(os, static_cast<std::uint64_t>(config.n_layers));
+  write_u64(os, static_cast<std::uint64_t>(config.n_heads));
+  write_u64(os, static_cast<std::uint64_t>(config.d_ff));
+  write_u64(os, config.moe ? 1 : 0);
+  write_u64(os, static_cast<std::uint64_t>(config.n_experts));
+  write_u64(os, static_cast<std::uint64_t>(config.top_k));
+  write_u64(os, static_cast<std::uint64_t>(config.init));
+  write_u64(os, config.seed);
+  write_string(os, config.family);
+  auto* self = const_cast<ModelWeights*>(this);
+  self->for_each_param(
+      [&os](const std::string&, tn::Tensor& t) { write_tensor(os, t); });
+  if (!os) throw std::runtime_error("checkpoint write failed: " + path);
+}
+
+ModelWeights ModelWeights::load(const std::string& path) {
+  std::ifstream is(path, std::ios::binary);
+  if (!is) throw std::runtime_error("cannot open checkpoint: " + path);
+  if (read_u64(is) != kMagic) {
+    throw std::runtime_error("bad checkpoint magic: " + path);
+  }
+  ModelConfig cfg;
+  cfg.vocab_size = static_cast<int>(read_u64(is));
+  cfg.d_model = static_cast<int>(read_u64(is));
+  cfg.n_layers = static_cast<int>(read_u64(is));
+  cfg.n_heads = static_cast<int>(read_u64(is));
+  cfg.d_ff = static_cast<int>(read_u64(is));
+  cfg.moe = read_u64(is) != 0;
+  cfg.n_experts = static_cast<int>(read_u64(is));
+  cfg.top_k = static_cast<int>(read_u64(is));
+  cfg.init = static_cast<InitStyle>(read_u64(is));
+  cfg.seed = read_u64(is);
+  cfg.family = read_string(is);
+
+  ModelWeights w = ModelWeights::init(cfg);
+  w.for_each_param([&is](const std::string&, tn::Tensor& t) {
+    tn::Tensor loaded = read_tensor(is);
+    if (loaded.shape() != t.shape()) {
+      throw std::runtime_error("checkpoint shape mismatch");
+    }
+    t = std::move(loaded);
+  });
+  return w;
+}
+
+}  // namespace llmfi::model

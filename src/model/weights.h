@@ -1,0 +1,54 @@
+#pragma once
+// Master fp32 model weights: initialization, (de)serialization, and the
+// parameter registry the trainer iterates over.
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "model/config.h"
+#include "numerics/rng.h"
+#include "tensor/tensor.h"
+
+namespace llmfi::model {
+
+struct ExpertWeights {
+  tn::Tensor gate;  // [d_ff, d_model]
+  tn::Tensor up;    // [d_ff, d_model]
+  tn::Tensor down;  // [d_model, d_ff]
+};
+
+struct BlockWeights {
+  tn::Tensor norm1;  // [d_model]
+  tn::Tensor wq, wk, wv, wo;  // [d_model, d_model]
+  tn::Tensor norm2;  // [d_model]
+  // Dense path:
+  tn::Tensor gate, up;  // [d_ff, d_model]
+  tn::Tensor down;      // [d_model, d_ff]
+  // MoE path:
+  tn::Tensor router;  // [n_experts, d_model]
+  std::vector<ExpertWeights> experts;
+};
+
+struct ModelWeights {
+  ModelConfig config;
+  tn::Tensor embedding;  // [vocab, d_model]; tied LM head
+  std::vector<BlockWeights> blocks;
+  tn::Tensor final_norm;  // [d_model]
+
+  // Random initialization per the family's InitStyle; norms start at 1.
+  static ModelWeights init(const ModelConfig& cfg);
+
+  // Visits every trainable tensor with a stable name ("blk0.wq", ...).
+  void for_each_param(
+      const std::function<void(const std::string&, tn::Tensor&)>& fn);
+
+  std::int64_t num_params() const { return config.num_params(); }
+
+  // Binary checkpoint I/O. Throws std::runtime_error on mismatch or I/O
+  // failure. The file embeds the full ModelConfig.
+  void save(const std::string& path) const;
+  static ModelWeights load(const std::string& path);
+};
+
+}  // namespace llmfi::model

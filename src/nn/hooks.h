@@ -1,0 +1,35 @@
+#pragma once
+// Observation/injection hooks on the inference engine — the C++
+// equivalent of the PyTorch forward hooks the paper uses (§3.2).
+
+#include "nn/layer_id.h"
+#include "tensor/tensor.h"
+
+namespace llmfi::nn {
+
+// Called after every linear layer of every transformer block, *after* the
+// output has been rounded into the activation dtype. `y` is mutable: a
+// computational-fault injector flips bits in it and the modified tensor
+// flows into the rest of the data path, exactly like a PyTorchFI hook.
+//
+// `pass_index` counts forward passes within one inference (prefill is
+// pass 0, each subsequent decode step increments it). `row_offset` is the
+// absolute token position of y's first row.
+class LinearHook {
+ public:
+  virtual ~LinearHook() = default;
+  virtual void on_linear_output(const LinearId& id, tn::Tensor& y,
+                                int pass_index, int row_offset) = 0;
+};
+
+// Observes MoE routing decisions (Fig 15: gate-layer faults change expert
+// selections). Fired once per token per MoE block, with the chosen
+// expert indices in rank order.
+class ExpertObserver {
+ public:
+  virtual ~ExpertObserver() = default;
+  virtual void on_expert_selection(int block, int token_position,
+                                   std::span<const int> experts) = 0;
+};
+
+}  // namespace llmfi::nn

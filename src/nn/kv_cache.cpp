@@ -1,0 +1,39 @@
+#include "nn/kv_cache.h"
+
+#include <cassert>
+#include <stdexcept>
+
+namespace llmfi::nn {
+
+KvCache::KvCache(int n_blocks, tn::Index max_seq, tn::Index d_model)
+    : max_seq_(max_seq) {
+  k_.reserve(static_cast<size_t>(n_blocks));
+  v_.reserve(static_cast<size_t>(n_blocks));
+  for (int b = 0; b < n_blocks; ++b) {
+    k_.emplace_back(tn::Tensor({max_seq, d_model}));
+    v_.emplace_back(tn::Tensor({max_seq, d_model}));
+  }
+}
+
+void KvCache::append(int block, const tn::Tensor& k, const tn::Tensor& v) {
+  assert(k.rows() == v.rows() && k.cols() == v.cols());
+  auto& kb = k_.at(static_cast<size_t>(block));
+  auto& vb = v_.at(static_cast<size_t>(block));
+  if (length_ + k.rows() > max_seq_) {
+    throw std::runtime_error("KvCache overflow: sequence exceeds max_seq");
+  }
+  for (tn::Index t = 0; t < k.rows(); ++t) {
+    auto kdst = kb.row(length_ + t);
+    auto vdst = vb.row(length_ + t);
+    auto ksrc = k.row(t);
+    auto vsrc = v.row(t);
+    for (tn::Index j = 0; j < k.cols(); ++j) {
+      kdst[j] = ksrc[j];
+      vdst[j] = vsrc[j];
+    }
+  }
+}
+
+void KvCache::reset() { length_ = 0; }
+
+}  // namespace llmfi::nn

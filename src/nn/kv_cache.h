@@ -1,0 +1,38 @@
+#pragma once
+// Per-block key/value cache for autoregressive decoding.
+
+#include <vector>
+
+#include "tensor/tensor.h"
+
+namespace llmfi::nn {
+
+class KvCache {
+ public:
+  KvCache(int n_blocks, tn::Index max_seq, tn::Index d_model);
+
+  // Appends the rows of k/v (shape [new_tokens, d_model]) for `block`.
+  void append(int block, const tn::Tensor& k, const tn::Tensor& v);
+
+  // Cached keys/values for `block` as [length, d_model] views copied into
+  // tensors (the engine consumes whole matrices for the GEMMs).
+  const tn::Tensor& keys(int block) const { return k_.at(static_cast<size_t>(block)); }
+  const tn::Tensor& values(int block) const { return v_.at(static_cast<size_t>(block)); }
+
+  tn::Index length() const { return length_; }
+  // Marks `new_tokens` more positions valid (call once per forward pass,
+  // after all blocks appended).
+  void advance(tn::Index new_tokens) { length_ += new_tokens; }
+  void reset();
+
+  tn::Index max_seq() const { return max_seq_; }
+
+ private:
+  tn::Index max_seq_;
+  tn::Index length_ = 0;
+  // Stored as [max_seq, d_model] tensors; rows beyond length() are junk.
+  std::vector<tn::Tensor> k_;
+  std::vector<tn::Tensor> v_;
+};
+
+}  // namespace llmfi::nn

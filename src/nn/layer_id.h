@@ -1,0 +1,42 @@
+#pragma once
+// Stable identity for every linear layer in the model — the coordinate
+// system of fault injection (paper §3.2: a fault location is block ID +
+// layer ID + weight/neuron position + bit positions).
+
+#include <string>
+
+namespace llmfi::nn {
+
+enum class LayerKind {
+  QProj,
+  KProj,
+  VProj,
+  OProj,
+  GateProj,
+  UpProj,
+  DownProj,
+  Router,      // MoE gate layer (paper §4.2.3, Fig 15)
+  ExpertGate,  // per-expert MLP projections
+  ExpertUp,
+  ExpertDown,
+};
+
+std::string_view layer_kind_name(LayerKind k);
+
+// True for the per-expert projections of an MoE block.
+constexpr bool is_expert_layer(LayerKind k) {
+  return k == LayerKind::ExpertGate || k == LayerKind::ExpertUp ||
+         k == LayerKind::ExpertDown;
+}
+
+struct LinearId {
+  int block = 0;        // transformer block index
+  LayerKind kind = LayerKind::QProj;
+  int expert = -1;      // expert index for Expert* kinds, else -1
+
+  bool operator==(const LinearId&) const = default;
+};
+
+std::string to_string(const LinearId& id);
+
+}  // namespace llmfi::nn

@@ -1,0 +1,16 @@
+#pragma once
+// Rotary position embeddings (Llama-style), applied in place to Q/K.
+
+#include "tensor/tensor.h"
+
+namespace llmfi::nn {
+
+// x is [tokens, d_model] laid out as n_heads contiguous heads per row.
+// Row i corresponds to absolute position pos_offset + i. Rotates each
+// consecutive (even, odd) dimension pair within every head. `inverse`
+// rotates by the negated angle — since rotations are orthogonal, this is
+// exactly the transposed Jacobian, i.e. the backward pass.
+void apply_rope(tn::Tensor& x, int n_heads, int pos_offset,
+                float theta = 10000.0f, bool inverse = false);
+
+}  // namespace llmfi::nn

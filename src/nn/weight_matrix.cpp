@@ -1,0 +1,52 @@
+#include "nn/weight_matrix.h"
+
+#include <algorithm>
+
+#include "numerics/bitflip.h"
+#include "numerics/half.h"
+
+namespace llmfi::nn {
+
+WeightMatrix::WeightMatrix(tn::Tensor w, num::DType dtype, int group_size)
+    : values_(std::move(w)), dtype_(dtype) {
+  switch (dtype) {
+    case num::DType::F32:
+      break;
+    case num::DType::F16:
+      for (float& v : values_.flat()) v = num::round_to_f16(v);
+      break;
+    case num::DType::BF16:
+      for (float& v : values_.flat()) v = num::round_to_bf16(v);
+      break;
+    case num::DType::I8:
+    case num::DType::I4:
+      quantized_.emplace(values_, dtype, group_size);
+      values_ = quantized_->dequantize();
+      break;
+  }
+}
+
+int WeightMatrix::storage_bits() const {
+  return num::dtype_info(dtype_).total_bits;
+}
+
+void WeightMatrix::flip_bits(tn::Index r, tn::Index c,
+                             std::span<const int> bits) {
+  if (quantized_) {
+    values_.at(r, c) = quantized_->flip_payload_bits(r, c, bits);
+    return;
+  }
+  values_.at(r, c) = num::flip_float_bits(values_.at(r, c), dtype_, bits);
+}
+
+void WeightMatrix::refresh_group(tn::Index r, tn::Index c) {
+  if (!quantized_) return;
+  const int gs = quantized_->group_size();
+  const tn::Index c0 = (c / gs) * gs;
+  const tn::Index c1 = std::min(values_.cols(), c0 + gs);
+  for (tn::Index cc = c0; cc < c1; ++cc) {
+    values_.at(r, cc) = quantized_->dequant(r, cc);
+  }
+}
+
+}  // namespace llmfi::nn

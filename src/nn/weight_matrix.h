@@ -1,0 +1,58 @@
+#pragma once
+// Weight storage honoring a reduced-precision dtype, with bit-exact
+// memory-fault semantics.
+//
+// The GEMM always reads an fp32 buffer whose values are *exactly
+// representable* in the storage dtype (mirroring GPU pipelines that load
+// fp16/bf16/int operands into fp32 accumulators). A memory fault flips
+// bits in the storage representation and refreshes the fp32 buffer;
+// because XOR is an involution, applying the same flip again restores the
+// original weight — the paper's flip-then-flip-back protocol (§3.2).
+
+#include <optional>
+#include <span>
+
+#include "numerics/dtype.h"
+#include "quant/quantized_matrix.h"
+#include "tensor/tensor.h"
+
+namespace llmfi::nn {
+
+class WeightMatrix {
+ public:
+  // `w` holds master fp32 weights [out_features, in_features].
+  // For quantized dtypes, `group_size` sets the quantization group.
+  WeightMatrix(tn::Tensor w, num::DType dtype, int group_size = 32);
+
+  const tn::Tensor& values() const { return values_; }
+  num::DType dtype() const { return dtype_; }
+  tn::Index rows() const { return values_.rows(); }
+  tn::Index cols() const { return values_.cols(); }
+
+  // Bits per element eligible for memory faults (payload width for
+  // quantized dtypes, full float width otherwise).
+  int storage_bits() const;
+
+  // Flip storage bits of element (r, c). Calling twice with the same bits
+  // restores the original value exactly.
+  void flip_bits(tn::Index r, tn::Index c, std::span<const int> bits);
+
+  // Present only for quantized dtypes (scale-bit fault ablation).
+  quant::QuantizedMatrix* quantized() {
+    return quantized_ ? &*quantized_ : nullptr;
+  }
+  const quant::QuantizedMatrix* quantized() const {
+    return quantized_ ? &*quantized_ : nullptr;
+  }
+
+  // Re-derives the fp32 buffer for the group containing (r, c) after a
+  // scale-bit flip.
+  void refresh_group(tn::Index r, tn::Index c);
+
+ private:
+  tn::Tensor values_;  // fp32 compute buffer (dtype-exact values)
+  num::DType dtype_;
+  std::optional<quant::QuantizedMatrix> quantized_;
+};
+
+}  // namespace llmfi::nn

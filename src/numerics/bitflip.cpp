@@ -1,0 +1,86 @@
+#include "numerics/bitflip.h"
+
+#include <cassert>
+#include <cmath>
+
+#include "numerics/half.h"
+
+namespace llmfi::num {
+
+namespace {
+
+std::uint32_t toggled(std::uint32_t bits, int bit) {
+  return bits ^ (1u << bit);
+}
+
+std::int32_t sign_extend(std::uint32_t raw, int total_bits) {
+  const std::uint32_t sign_mask = 1u << (total_bits - 1);
+  const std::uint32_t value_mask = (total_bits == 32)
+                                       ? 0xFFFFFFFFu
+                                       : ((1u << total_bits) - 1u);
+  raw &= value_mask;
+  if (raw & sign_mask) raw |= ~value_mask;
+  return static_cast<std::int32_t>(raw);
+}
+
+}  // namespace
+
+float flip_float_bit(float value, DType t, int bit) {
+  const int bits[1] = {bit};
+  return flip_float_bits(value, t, bits);
+}
+
+float flip_float_bits(float value, DType t, std::span<const int> bits) {
+  switch (t) {
+    case DType::F32: {
+      std::uint32_t u = f32_bits(value);
+      for (int b : bits) {
+        assert(b >= 0 && b < 32);
+        u = toggled(u, b);
+      }
+      return f32_from_bits(u);
+    }
+    case DType::F16: {
+      std::uint32_t u = f32_to_f16_bits(value);
+      for (int b : bits) {
+        assert(b >= 0 && b < 16);
+        u = toggled(u, b);
+      }
+      return f16_bits_to_f32(static_cast<std::uint16_t>(u));
+    }
+    case DType::BF16: {
+      std::uint32_t u = f32_to_bf16_bits(value);
+      for (int b : bits) {
+        assert(b >= 0 && b < 16);
+        u = toggled(u, b);
+      }
+      return bf16_bits_to_f32(static_cast<std::uint16_t>(u));
+    }
+    case DType::I8:
+    case DType::I4:
+      assert(false && "use flip_int_bit for quantized payloads");
+      return value;
+  }
+  return value;
+}
+
+std::int32_t flip_int_bit(std::int32_t payload, int total_bits, int bit) {
+  const int bits[1] = {bit};
+  return flip_int_bits(payload, total_bits, bits);
+}
+
+std::int32_t flip_int_bits(std::int32_t payload, int total_bits,
+                           std::span<const int> bits) {
+  auto raw = static_cast<std::uint32_t>(payload);
+  for (int b : bits) {
+    assert(b >= 0 && b < total_bits);
+    raw = toggled(raw, b);
+  }
+  return sign_extend(raw, total_bits);
+}
+
+bool is_extreme(float value, float threshold) {
+  return !std::isfinite(value) || std::fabs(value) > threshold;
+}
+
+}  // namespace llmfi::num

@@ -1,0 +1,39 @@
+#pragma once
+// Bit-flip primitives for every storage dtype.
+//
+// All fault models in the study reduce to "flip k bits in the stored
+// representation of one value" (paper §3.1-3.2): computational faults
+// flip bits in an output-activation value, memory faults flip bits in a
+// stored weight. Bit index 0 is the least-significant mantissa/payload
+// bit; index total_bits-1 is the sign bit. For 16-bit floats the paper's
+// "bit position 14" (Figs 9-10) is the most significant exponent bit.
+
+#include <cstdint>
+#include <span>
+
+#include "numerics/dtype.h"
+
+namespace llmfi::num {
+
+// Flip one bit of `value` in the representation of float dtype `t`
+// (F32/F16/BF16). The value is first rounded into `t`, then the bit is
+// flipped, then decoded back to fp32. Precondition: 0 <= bit < total_bits.
+float flip_float_bit(float value, DType t, int bit);
+
+// Flip several distinct bits at once (the 2-bit fault models).
+float flip_float_bits(float value, DType t, std::span<const int> bits);
+
+// Flip one bit of a two's-complement integer payload with `total_bits`
+// bits (8 for I8, 4 for I4). Returns the sign-extended result, e.g. for
+// I4, flipping bit 3 of +3 (0b0011) yields -5 (0b1011).
+std::int32_t flip_int_bit(std::int32_t payload, int total_bits, int bit);
+
+std::int32_t flip_int_bits(std::int32_t payload, int total_bits,
+                           std::span<const int> bits);
+
+// A value is "extreme" when its magnitude exceeds `threshold` or it is
+// non-finite; used by the propagation tracer (Figs 5-6) and the distorted
+// -output classifier.
+bool is_extreme(float value, float threshold);
+
+}  // namespace llmfi::num

@@ -1,0 +1,36 @@
+#include "numerics/dtype.h"
+
+#include <array>
+#include <stdexcept>
+#include <string>
+
+namespace llmfi::num {
+
+namespace {
+
+constexpr std::array<DTypeInfo, 5> kInfo = {{
+    {"fp32", 32, 8, 23, 3.4028234663852886e38},
+    {"fp16", 16, 5, 10, 65504.0},
+    {"bf16", 16, 8, 7, 3.3895313892515355e38},
+    {"int8", 8, 0, 7, 127.0},
+    {"int4", 4, 0, 3, 7.0},
+}};
+
+}  // namespace
+
+const DTypeInfo& dtype_info(DType t) {
+  return kInfo[static_cast<std::size_t>(t)];
+}
+
+std::string_view dtype_name(DType t) { return dtype_info(t).name; }
+
+DType parse_dtype(std::string_view name) {
+  if (name == "f32" || name == "fp32") return DType::F32;
+  if (name == "f16" || name == "fp16") return DType::F16;
+  if (name == "bf16") return DType::BF16;
+  if (name == "i8" || name == "int8") return DType::I8;
+  if (name == "i4" || name == "int4") return DType::I4;
+  throw std::invalid_argument("unknown dtype: " + std::string(name));
+}
+
+}  // namespace llmfi::num

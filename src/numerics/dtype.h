@@ -1,0 +1,50 @@
+#pragma once
+// Data-type taxonomy for the resilience study.
+//
+// The paper compares FP32 / FP16 / BF16 storage (Fig 21, Table 2) and
+// GPTQ-style INT8 / INT4 quantized weights (Fig 17). Faults are injected
+// into the *bit representation* of a value in its storage dtype, so every
+// dtype here carries exact bit-level semantics.
+
+#include <cstdint>
+#include <string_view>
+
+namespace llmfi::num {
+
+enum class DType : std::uint8_t {
+  F32,   // IEEE binary32: 1 sign, 8 exponent, 23 mantissa
+  F16,   // IEEE binary16: 1 sign, 5 exponent, 10 mantissa
+  BF16,  // bfloat16:      1 sign, 8 exponent,  7 mantissa
+  I8,    // symmetric group-quantized signed 8-bit payload
+  I4,    // symmetric group-quantized signed 4-bit payload
+};
+
+struct DTypeInfo {
+  std::string_view name;
+  int total_bits;
+  int exponent_bits;  // 0 for integer payloads
+  int mantissa_bits;  // value bits (excluding sign) for integer payloads
+  double max_finite;  // largest representable finite magnitude
+};
+
+// Static format table; `bench/tab02_float_formats` prints the paper's
+// Table 2 from this.
+const DTypeInfo& dtype_info(DType t);
+
+std::string_view dtype_name(DType t);
+
+// Parses "f32"/"fp32"/"f16"/"fp16"/"bf16"/"i8"/"int8"/"i4"/"int4".
+// Throws std::invalid_argument on unknown names.
+DType parse_dtype(std::string_view name);
+
+// True for the floating-point storage types.
+constexpr bool is_float_dtype(DType t) {
+  return t == DType::F32 || t == DType::F16 || t == DType::BF16;
+}
+
+// True for the quantized integer payload types.
+constexpr bool is_quantized_dtype(DType t) {
+  return t == DType::I8 || t == DType::I4;
+}
+
+}  // namespace llmfi::num

@@ -1,0 +1,112 @@
+#include "numerics/half.h"
+
+#include <bit>
+
+namespace llmfi::num {
+
+std::uint32_t f32_bits(float value) { return std::bit_cast<std::uint32_t>(value); }
+
+float f32_from_bits(std::uint32_t bits) { return std::bit_cast<float>(bits); }
+
+std::uint16_t f32_to_f16_bits(float value) {
+  const std::uint32_t x = f32_bits(value);
+  const std::uint32_t sign = (x >> 16) & 0x8000u;
+  const std::uint32_t abs = x & 0x7FFFFFFFu;
+
+  if (abs >= 0x7F800000u) {
+    if (abs > 0x7F800000u) {
+      // NaN: preserve the top mantissa payload bits so that a value
+      // produced by f16_bits_to_f32 round-trips bit-exactly (the
+      // memory-fault flip/restore protocol depends on this involution);
+      // force a mantissa bit if truncation would otherwise yield inf.
+      std::uint16_t h = static_cast<std::uint16_t>(
+          sign | 0x7C00u | ((abs & 0x007FFFFFu) >> 13));
+      if ((h & 0x03FFu) == 0) h |= 0x0200u;
+      return h;
+    }
+    return static_cast<std::uint16_t>(sign | 0x7C00u);
+  }
+  if (abs >= 0x477FF000u) {
+    // Rounds to a magnitude >= 65520 -> overflow to infinity.
+    // (0x477FF000 is 65520.0f, the smallest fp32 rounding up to inf.)
+    return static_cast<std::uint16_t>(sign | 0x7C00u);
+  }
+  if (abs < 0x38800000u) {
+    // Subnormal fp16 or zero. abs < 2^-14.
+    if (abs < 0x33000001u) {
+      // Below half of the smallest subnormal -> rounds to zero.
+      return static_cast<std::uint16_t>(sign);
+    }
+    // Subnormal target: value = mant16 * 2^-24 where mant16 is the raw
+    // field. With the implicit-1 mantissa in units of 2^(e-127-23), the
+    // field is mant24 >> (126 - e), rounded to nearest-even.
+    const int shift = 126 - static_cast<int>(abs >> 23);  // in [1, 24]
+    const std::uint32_t mant = (abs & 0x007FFFFFu) | 0x00800000u;
+    const std::uint32_t rounded = mant >> shift;
+    const std::uint32_t remainder = mant & ((1u << shift) - 1u);
+    const std::uint32_t halfway = 1u << (shift - 1);
+    std::uint32_t result = rounded;
+    if (remainder > halfway || (remainder == halfway && (rounded & 1u))) {
+      ++result;
+    }
+    return static_cast<std::uint16_t>(sign | result);
+  }
+
+  // Normal range. Rebias exponent from 127 to 15 and round the mantissa
+  // to 10 bits with round-to-nearest-even; a mantissa carry correctly
+  // bumps the exponent because the fields are adjacent.
+  const std::uint32_t exp16 = (abs >> 23) - 112;  // 112 == 127 - 15
+  const std::uint32_t mant = abs & 0x007FFFFFu;
+  std::uint32_t out = (exp16 << 10) | (mant >> 13);
+  const std::uint32_t rem = mant & 0x1FFFu;  // 13 discarded bits
+  if (rem > 0x1000u || (rem == 0x1000u && (out & 1u))) ++out;
+  return static_cast<std::uint16_t>(sign | out);
+}
+
+float f16_bits_to_f32(std::uint16_t bits) {
+  const std::uint32_t sign = static_cast<std::uint32_t>(bits & 0x8000u) << 16;
+  const std::uint32_t exp = (bits >> 10) & 0x1Fu;
+  const std::uint32_t mant = bits & 0x3FFu;
+
+  if (exp == 0) {
+    if (mant == 0) return f32_from_bits(sign);  // signed zero
+    // Subnormal: value = mant * 2^-24. Normalize into fp32.
+    int e = -1;
+    std::uint32_t m = mant;
+    do {
+      ++e;
+      m <<= 1;
+    } while ((m & 0x400u) == 0);
+    const std::uint32_t f32_exp = static_cast<std::uint32_t>(127 - 15 - e);
+    const std::uint32_t f32_mant = (m & 0x3FFu) << 13;
+    return f32_from_bits(sign | (f32_exp << 23) | f32_mant);
+  }
+  if (exp == 0x1Fu) {
+    // Inf / NaN.
+    return f32_from_bits(sign | 0x7F800000u | (mant << 13));
+  }
+  const std::uint32_t f32_exp = exp + (127 - 15);
+  return f32_from_bits(sign | (f32_exp << 23) | (mant << 13));
+}
+
+std::uint16_t f32_to_bf16_bits(float value) {
+  std::uint32_t x = f32_bits(value);
+  if ((x & 0x7F800000u) == 0x7F800000u && (x & 0x007FFFFFu) != 0) {
+    // NaN: truncate, preserving any payload in the top mantissa bits so
+    // bf16-decoded NaNs round-trip exactly; force a mantissa bit only if
+    // truncation would turn the NaN into inf.
+    auto h = static_cast<std::uint16_t>(x >> 16);
+    if ((h & 0x007Fu) == 0) h |= 0x0040u;
+    return h;
+  }
+  // Round-to-nearest-even on the discarded low 16 bits.
+  const std::uint32_t rounding_bias = 0x7FFFu + ((x >> 16) & 1u);
+  x += rounding_bias;
+  return static_cast<std::uint16_t>(x >> 16);
+}
+
+float bf16_bits_to_f32(std::uint16_t bits) {
+  return f32_from_bits(static_cast<std::uint32_t>(bits) << 16);
+}
+
+}  // namespace llmfi::num

@@ -1,0 +1,45 @@
+#pragma once
+// Software IEEE binary16 (fp16) and bfloat16 conversions with
+// round-to-nearest-even, plus raw bit access.
+//
+// The resilience results of Fig 21 / Observation #11 depend on exact bit
+// layouts: a flip of the top exponent bit of a BF16 weight can scale it by
+// ~2^128 while the same flip in FP16 is bounded by 65504. These routines
+// are therefore bit-exact rather than "close enough".
+
+#include <cstdint>
+
+namespace llmfi::num {
+
+// --- IEEE binary16 -------------------------------------------------------
+
+// fp32 -> fp16 bits, round-to-nearest-even, overflow -> +/-inf,
+// NaN preserved as quiet NaN.
+std::uint16_t f32_to_f16_bits(float value);
+
+// fp16 bits -> fp32 (exact; every fp16 value is representable in fp32).
+float f16_bits_to_f32(std::uint16_t bits);
+
+// Round a fp32 value through fp16 storage (encode + decode).
+inline float round_to_f16(float value) {
+  return f16_bits_to_f32(f32_to_f16_bits(value));
+}
+
+// --- bfloat16 ------------------------------------------------------------
+
+// fp32 -> bf16 bits, round-to-nearest-even; NaN forced quiet.
+std::uint16_t f32_to_bf16_bits(float value);
+
+// bf16 bits -> fp32 (exact).
+float bf16_bits_to_f32(std::uint16_t bits);
+
+inline float round_to_bf16(float value) {
+  return bf16_bits_to_f32(f32_to_bf16_bits(value));
+}
+
+// --- fp32 bit access ------------------------------------------------------
+
+std::uint32_t f32_bits(float value);
+float f32_from_bits(std::uint32_t bits);
+
+}  // namespace llmfi::num

@@ -1,0 +1,97 @@
+#include "numerics/rng.h"
+
+#include <cassert>
+#include <cmath>
+#include <numbers>
+
+namespace llmfi::num {
+
+namespace {
+
+std::uint64_t splitmix64(std::uint64_t& x) {
+  x += 0x9E3779B97F4A7C15ull;
+  std::uint64_t z = x;
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ull;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBull;
+  return z ^ (z >> 31);
+}
+
+std::uint64_t rotl(std::uint64_t x, int k) {
+  return (x << k) | (x >> (64 - k));
+}
+
+}  // namespace
+
+Rng::Rng(std::uint64_t seed) : seed_(seed) {
+  std::uint64_t sm = seed;
+  for (auto& s : s_) s = splitmix64(sm);
+}
+
+std::uint64_t Rng::next_u64() {
+  const std::uint64_t result = rotl(s_[1] * 5, 7) * 9;
+  const std::uint64_t t = s_[1] << 17;
+  s_[2] ^= s_[0];
+  s_[3] ^= s_[1];
+  s_[1] ^= s_[2];
+  s_[0] ^= s_[3];
+  s_[2] ^= t;
+  s_[3] = rotl(s_[3], 45);
+  return result;
+}
+
+std::uint64_t Rng::uniform_u64(std::uint64_t n) {
+  assert(n > 0);
+  // Rejection sampling over the largest multiple of n below 2^64.
+  const std::uint64_t limit = (0ull - n) % n;  // == 2^64 mod n
+  std::uint64_t r;
+  do {
+    r = next_u64();
+  } while (r < limit);
+  return r % n;
+}
+
+std::int64_t Rng::uniform_int(std::int64_t lo, std::int64_t hi) {
+  assert(lo <= hi);
+  const auto span = static_cast<std::uint64_t>(hi - lo) + 1;
+  // span == 0 means the full 64-bit range.
+  const std::uint64_t r = (span == 0) ? next_u64() : uniform_u64(span);
+  return lo + static_cast<std::int64_t>(r);
+}
+
+double Rng::uniform() {
+  return static_cast<double>(next_u64() >> 11) * 0x1.0p-53;
+}
+
+double Rng::normal() {
+  if (has_cached_normal_) {
+    has_cached_normal_ = false;
+    return cached_normal_;
+  }
+  double u1;
+  do {
+    u1 = uniform();
+  } while (u1 <= 0.0);
+  const double u2 = uniform();
+  const double radius = std::sqrt(-2.0 * std::log(u1));
+  const double angle = 2.0 * std::numbers::pi * u2;
+  cached_normal_ = radius * std::sin(angle);
+  has_cached_normal_ = true;
+  return radius * std::cos(angle);
+}
+
+double Rng::normal(double mean, double stddev) {
+  return mean + stddev * normal();
+}
+
+bool Rng::bernoulli(double p) { return uniform() < p; }
+
+Rng Rng::fork(std::uint64_t stream) const {
+  // Mix (seed, stream) through splitmix so streams are independent.
+  std::uint64_t mix = seed_;
+  const std::uint64_t a = splitmix64(mix);
+  mix ^= stream * 0xD1342543DE82EF95ull + 0x2545F4914F6CDD1Dull;
+  const std::uint64_t b = splitmix64(mix);
+  return Rng(a ^ rotl(b, 32) ^ stream);
+}
+
+}  // namespace llmfi::num

@@ -1,0 +1,48 @@
+#pragma once
+// Deterministic, forkable random number generator (xoshiro256**).
+//
+// Every experiment in the study must be replayable (paper §3.3.4 fixes
+// the seed so all compared settings see the same fault positions), and
+// campaigns run trials in parallel, so each trial forks an independent
+// stream from (seed, trial_index) instead of sharing one generator.
+
+#include <cstdint>
+
+namespace llmfi::num {
+
+class Rng {
+ public:
+  // Seeds the state via splitmix64 so nearby seeds give unrelated streams.
+  explicit Rng(std::uint64_t seed = 0x9E3779B97F4A7C15ull);
+
+  std::uint64_t next_u64();
+
+  // Uniform in [0, n). Precondition: n > 0. Uses rejection sampling, so
+  // the distribution is exactly uniform.
+  std::uint64_t uniform_u64(std::uint64_t n);
+
+  // Uniform in [lo, hi] inclusive. Precondition: lo <= hi.
+  std::int64_t uniform_int(std::int64_t lo, std::int64_t hi);
+
+  // Uniform double in [0, 1) with 53 random bits.
+  double uniform();
+
+  // Standard normal via Box-Muller (cached second value).
+  double normal();
+  double normal(double mean, double stddev);
+
+  // True with probability p.
+  bool bernoulli(double p);
+
+  // Independent child stream for (this seed, stream id). Forking does not
+  // advance this generator, so fork order is irrelevant.
+  Rng fork(std::uint64_t stream) const;
+
+ private:
+  std::uint64_t s_[4];
+  std::uint64_t seed_;
+  double cached_normal_ = 0.0;
+  bool has_cached_normal_ = false;
+};
+
+}  // namespace llmfi::num

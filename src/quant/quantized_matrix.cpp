@@ -1,0 +1,110 @@
+#include "quant/quantized_matrix.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <stdexcept>
+
+#include "numerics/bitflip.h"
+#include "numerics/half.h"
+
+namespace llmfi::quant {
+
+QuantizedMatrix::QuantizedMatrix(const tn::Tensor& w, num::DType dtype,
+                                 int group_size)
+    : dtype_(dtype),
+      rows_(w.rows()),
+      cols_(w.cols()),
+      group_size_(group_size) {
+  if (!num::is_quantized_dtype(dtype)) {
+    throw std::invalid_argument("QuantizedMatrix requires I8 or I4");
+  }
+  if (group_size <= 0) throw std::invalid_argument("group_size must be > 0");
+  qmax_ = (dtype == num::DType::I8) ? 127 : 7;
+  groups_per_row_ = (cols_ + group_size_ - 1) / group_size_;
+  payload_.resize(static_cast<size_t>(rows_ * cols_));
+  scales_.resize(static_cast<size_t>(rows_ * groups_per_row_));
+
+  for (tn::Index r = 0; r < rows_; ++r) {
+    for (tn::Index g = 0; g < groups_per_row_; ++g) {
+      const tn::Index c0 = g * group_size_;
+      const tn::Index c1 = std::min(cols_, c0 + group_size_);
+      float max_abs = 0.0f;
+      for (tn::Index c = c0; c < c1; ++c) {
+        max_abs = std::max(max_abs, std::fabs(w.at(r, c)));
+      }
+      // Scale stored in fp16; avoid a zero scale so dequant stays exact
+      // for all-zero groups.
+      float s = (max_abs > 0.0f) ? max_abs / static_cast<float>(qmax_)
+                                 : 1.0f;
+      s = num::round_to_f16(s);
+      if (s <= 0.0f) s = num::round_to_f16(6.1e-5f);  // smallest normal fp16
+      scales_[static_cast<size_t>(r * groups_per_row_ + g)] = s;
+      for (tn::Index c = c0; c < c1; ++c) {
+        const float q = std::round(w.at(r, c) / s);
+        const auto clamped = static_cast<std::int32_t>(
+            std::clamp(q, static_cast<float>(-qmax_ - 1),
+                       static_cast<float>(qmax_)));
+        payload_[static_cast<size_t>(r * cols_ + c)] =
+            static_cast<std::int8_t>(clamped);
+      }
+    }
+  }
+}
+
+tn::Index QuantizedMatrix::scale_index(tn::Index r, tn::Index c) const {
+  assert(r >= 0 && r < rows_ && c >= 0 && c < cols_);
+  return r * groups_per_row_ + c / group_size_;
+}
+
+std::int32_t QuantizedMatrix::payload(tn::Index r, tn::Index c) const {
+  return payload_[static_cast<size_t>(r * cols_ + c)];
+}
+
+float QuantizedMatrix::scale(tn::Index r, tn::Index c) const {
+  return scales_[static_cast<size_t>(scale_index(r, c))];
+}
+
+float QuantizedMatrix::dequant(tn::Index r, tn::Index c) const {
+  return static_cast<float>(payload(r, c)) * scale(r, c);
+}
+
+float QuantizedMatrix::flip_payload_bits(tn::Index r, tn::Index c,
+                                         std::span<const int> bits) {
+  const int total_bits = num::dtype_info(dtype_).total_bits;
+  auto& cell = payload_[static_cast<size_t>(r * cols_ + c)];
+  cell = static_cast<std::int8_t>(num::flip_int_bits(cell, total_bits, bits));
+  return dequant(r, c);
+}
+
+float QuantizedMatrix::flip_scale_bits(tn::Index r, tn::Index c,
+                                       std::span<const int> bits) {
+  auto& s = scales_[static_cast<size_t>(scale_index(r, c))];
+  s = num::flip_float_bits(s, num::DType::F16, bits);
+  return s;
+}
+
+tn::Tensor QuantizedMatrix::dequantize() const {
+  tn::Tensor out({rows_, cols_});
+  for (tn::Index r = 0; r < rows_; ++r) {
+    for (tn::Index c = 0; c < cols_; ++c) {
+      out.at(r, c) = dequant(r, c);
+    }
+  }
+  return out;
+}
+
+double QuantizedMatrix::mean_abs_error(const tn::Tensor& reference) const {
+  if (reference.rows() != rows_ || reference.cols() != cols_) {
+    throw std::invalid_argument("mean_abs_error: shape mismatch");
+  }
+  double sum = 0.0;
+  for (tn::Index r = 0; r < rows_; ++r) {
+    for (tn::Index c = 0; c < cols_; ++c) {
+      sum += std::fabs(reference.at(r, c) - dequant(r, c));
+    }
+  }
+  return sum / static_cast<double>(rows_ * cols_);
+}
+
+}  // namespace llmfi::quant

@@ -1,0 +1,68 @@
+#pragma once
+// Group-wise symmetric integer quantization of weight matrices
+// (GPTQ-style storage: per-group fp16 scale + int4/int8 payloads).
+//
+// Fig 17 / Observation #8 hinge on this representation: a bit flip inside
+// an int payload moves the weight by at most `scale * 2^(bits-1)` (a few
+// quantization steps), while a flip in a bf16 exponent bit can scale a
+// weight by 2^128. Both payload-bit and scale-bit faults are supported.
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "numerics/dtype.h"
+#include "tensor/tensor.h"
+
+namespace llmfi::quant {
+
+class QuantizedMatrix {
+ public:
+  // Quantizes fp32 weights [rows, cols] with groups of `group_size`
+  // consecutive elements along the column (input) dimension. `dtype`
+  // must be I8 or I4. Scales are rounded through fp16 (their storage
+  // format). cols need not be a multiple of group_size.
+  QuantizedMatrix(const tn::Tensor& w, num::DType dtype, int group_size);
+
+  num::DType dtype() const { return dtype_; }
+  tn::Index rows() const { return rows_; }
+  tn::Index cols() const { return cols_; }
+  int group_size() const { return group_size_; }
+  tn::Index groups_per_row() const { return groups_per_row_; }
+
+  // Payload of element (r, c), sign-extended (I4 range [-8, 7]).
+  std::int32_t payload(tn::Index r, tn::Index c) const;
+  // Dequantized value of element (r, c).
+  float dequant(tn::Index r, tn::Index c) const;
+  // Scale of the group containing column c of row r.
+  float scale(tn::Index r, tn::Index c) const;
+
+  // Flip bits in the payload of (r, c); XOR is an involution, so calling
+  // again with the same bits restores the original (the paper's
+  // flip-then-flip-back protocol, §3.2). Returns the new dequantized value.
+  float flip_payload_bits(tn::Index r, tn::Index c, std::span<const int> bits);
+
+  // Flip bits in the fp16 scale of the group containing (r, c); affects
+  // every element of that group. Returns the new scale.
+  float flip_scale_bits(tn::Index r, tn::Index c, std::span<const int> bits);
+
+  // Full dequantized matrix.
+  tn::Tensor dequantize() const;
+
+  // Mean |w - dequant(w)| against reference weights (test/diagnostic aid).
+  double mean_abs_error(const tn::Tensor& reference) const;
+
+ private:
+  tn::Index scale_index(tn::Index r, tn::Index c) const;
+
+  num::DType dtype_;
+  tn::Index rows_ = 0;
+  tn::Index cols_ = 0;
+  int group_size_ = 0;
+  tn::Index groups_per_row_ = 0;
+  int qmax_ = 0;  // 127 for I8, 7 for I4
+  std::vector<std::int8_t> payload_;
+  std::vector<float> scales_;  // fp16-rounded values held as fp32
+};
+
+}  // namespace llmfi::quant

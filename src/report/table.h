@@ -1,0 +1,36 @@
+#pragma once
+// Plain-text table/series emitters used by every bench binary to print
+// the paper's figures and tables as aligned rows (and optional CSV).
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "metrics/stats.h"
+
+namespace llmfi::report {
+
+class Table {
+ public:
+  explicit Table(std::string title = "");
+
+  Table& header(std::vector<std::string> cells);
+  Table& row(std::vector<std::string> cells);
+
+  void print(std::ostream& os) const;
+  // Comma-separated dump (header first); no alignment padding.
+  void print_csv(std::ostream& os) const;
+
+ private:
+  std::string title_;
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+// Formatting helpers.
+std::string fmt(double v, int precision = 4);
+std::string fmt_pct(double fraction, int precision = 2);  // 0.1234 -> "12.34%"
+// "0.9731 [0.9644, 0.9812]"
+std::string fmt_ratio(const metrics::Ratio& r, int precision = 4);
+
+}  // namespace llmfi::report

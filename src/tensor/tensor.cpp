@@ -1,0 +1,58 @@
+#include "tensor/tensor.h"
+
+#include <algorithm>
+#include <numeric>
+#include <stdexcept>
+
+namespace llmfi::tn {
+
+namespace {
+
+Index checked_numel(const std::vector<Index>& shape) {
+  Index n = 1;
+  for (Index d : shape) {
+    if (d < 0) throw std::invalid_argument("negative tensor dimension");
+    n *= d;
+  }
+  return n;
+}
+
+}  // namespace
+
+Tensor::Tensor(std::vector<Index> shape)
+    : shape_(std::move(shape)),
+      data_(static_cast<size_t>(checked_numel(shape_)), 0.0f) {}
+
+Tensor Tensor::from_rows(Index rows, Index cols, std::vector<float> values) {
+  if (static_cast<Index>(values.size()) != rows * cols) {
+    throw std::invalid_argument("from_rows: value count does not match shape");
+  }
+  Tensor t({rows, cols});
+  std::copy(values.begin(), values.end(), t.data_.begin());
+  return t;
+}
+
+void Tensor::fill(float value) {
+  std::fill(data_.begin(), data_.end(), value);
+}
+
+Tensor Tensor::reshaped(std::vector<Index> new_shape) const {
+  if (checked_numel(new_shape) != numel()) {
+    throw std::invalid_argument("reshaped: element count mismatch");
+  }
+  Tensor t;
+  t.shape_ = std::move(new_shape);
+  t.data_ = data_;
+  return t;
+}
+
+std::string Tensor::shape_str() const {
+  std::string s = "[";
+  for (size_t i = 0; i < shape_.size(); ++i) {
+    if (i) s += ", ";
+    s += std::to_string(shape_[i]);
+  }
+  return s + "]";
+}
+
+}  // namespace llmfi::tn

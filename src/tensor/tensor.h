@@ -1,0 +1,90 @@
+#pragma once
+// Dense row-major fp32 tensor.
+//
+// All model math runs in fp32; reduced-precision storage (fp16/bf16/int8/
+// int4) lives at module boundaries (weight storage, activation rounding)
+// where the fault models operate. Keeping compute in fp32 mirrors GPU
+// tensor-core pipelines (low-precision operands, fp32 accumulate).
+
+#include <cassert>
+#include <cstdint>
+#include <initializer_list>
+#include <span>
+#include <string>
+#include <vector>
+
+namespace llmfi::tn {
+
+using Index = std::int64_t;
+
+class Tensor {
+ public:
+  Tensor() = default;
+
+  explicit Tensor(std::vector<Index> shape);
+  Tensor(std::initializer_list<Index> shape)
+      : Tensor(std::vector<Index>(shape)) {}
+  // 2-D convenience with explicit contents (row-major).
+  static Tensor from_rows(Index rows, Index cols, std::vector<float> values);
+
+  const std::vector<Index>& shape() const { return shape_; }
+  Index dim(int axis) const { return shape_.at(static_cast<size_t>(axis)); }
+  int rank() const { return static_cast<int>(shape_.size()); }
+  Index numel() const { return static_cast<Index>(data_.size()); }
+  bool empty() const { return data_.empty(); }
+
+  // 2-D accessors (the dominant case: [tokens, features] and
+  // [out_features, in_features]).
+  Index rows() const {
+    assert(rank() == 2);
+    return shape_[0];
+  }
+  Index cols() const {
+    assert(rank() == 2);
+    return shape_[1];
+  }
+  float& at(Index r, Index c) {
+    assert(rank() == 2 && r >= 0 && r < shape_[0] && c >= 0 && c < shape_[1]);
+    return data_[static_cast<size_t>(r * shape_[1] + c)];
+  }
+  float at(Index r, Index c) const {
+    return const_cast<Tensor*>(this)->at(r, c);
+  }
+
+  // 1-D / flat accessors.
+  float& operator[](Index i) {
+    assert(i >= 0 && i < numel());
+    return data_[static_cast<size_t>(i)];
+  }
+  float operator[](Index i) const {
+    return (*const_cast<Tensor*>(this))[i];
+  }
+
+  std::span<float> flat() { return data_; }
+  std::span<const float> flat() const { return data_; }
+  float* data() { return data_.data(); }
+  const float* data() const { return data_.data(); }
+
+  // Mutable view of row r of a 2-D tensor.
+  std::span<float> row(Index r) {
+    assert(rank() == 2 && r >= 0 && r < shape_[0]);
+    return {data_.data() + r * shape_[1], static_cast<size_t>(shape_[1])};
+  }
+  std::span<const float> row(Index r) const {
+    return const_cast<Tensor*>(this)->row(r);
+  }
+
+  void fill(float value);
+  void zero() { fill(0.0f); }
+
+  // Reinterpret the flat buffer with a new shape of equal element count.
+  Tensor reshaped(std::vector<Index> new_shape) const;
+
+  std::string shape_str() const;
+
+ private:
+  std::vector<Index> shape_;
+  std::vector<float> data_;
+};
+
+}  // namespace llmfi::tn

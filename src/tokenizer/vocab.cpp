@@ -1,0 +1,67 @@
+#include "tokenizer/vocab.h"
+
+#include <stdexcept>
+
+namespace llmfi::tok {
+
+Vocab::Vocab() {
+  add("<pad>");
+  add("<bos>");
+  add("<eos>");
+  add("<unk>");
+}
+
+TokenId Vocab::add(std::string_view word) {
+  if (word.empty()) throw std::invalid_argument("empty vocab word");
+  for (char c : word) {
+    if (c == ' ' || c == '\t' || c == '\n') {
+      throw std::invalid_argument("vocab word contains whitespace");
+    }
+  }
+  auto it = index_.find(std::string(word));
+  if (it != index_.end()) return it->second;
+  const TokenId id = static_cast<TokenId>(words_.size());
+  words_.emplace_back(word);
+  index_.emplace(words_.back(), id);
+  return id;
+}
+
+std::optional<TokenId> Vocab::find(std::string_view word) const {
+  auto it = index_.find(std::string(word));
+  if (it == index_.end()) return std::nullopt;
+  return it->second;
+}
+
+TokenId Vocab::id_or_unk(std::string_view word) const {
+  return find(word).value_or(unk());
+}
+
+const std::string& Vocab::word(TokenId id) const {
+  if (id < 0 || id >= size()) throw std::out_of_range("token id out of range");
+  return words_[static_cast<size_t>(id)];
+}
+
+std::vector<TokenId> Vocab::encode(std::string_view text) const {
+  std::vector<TokenId> out;
+  size_t i = 0;
+  while (i < text.size()) {
+    while (i < text.size() && text[i] == ' ') ++i;
+    size_t j = i;
+    while (j < text.size() && text[j] != ' ') ++j;
+    if (j > i) out.push_back(id_or_unk(text.substr(i, j - i)));
+    i = j;
+  }
+  return out;
+}
+
+std::string Vocab::decode(const std::vector<TokenId>& ids) const {
+  std::string out;
+  for (TokenId id : ids) {
+    if (id < 0 || id >= size() || is_special(id)) continue;
+    if (!out.empty()) out += ' ';
+    out += words_[static_cast<size_t>(id)];
+  }
+  return out;
+}
+
+}  // namespace llmfi::tok

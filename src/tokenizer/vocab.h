@@ -1,0 +1,58 @@
+#pragma once
+// Word-level vocabulary and tokenizer shared by every synthetic task.
+//
+// The study replaces HuggingFace BPE tokenizers with a closed word-level
+// vocabulary: all synthetic datasets are generated from a known lexicon,
+// so word-level tokens lose nothing, keep sequences short (critical on a
+// single CPU core), and make "garbage token" detection exact.
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+namespace llmfi::tok {
+
+using TokenId = std::int32_t;
+
+class Vocab {
+ public:
+  Vocab();
+
+  // Adds `word` if absent; returns its id either way. Words must be
+  // whitespace-free and non-empty.
+  TokenId add(std::string_view word);
+
+  std::optional<TokenId> find(std::string_view word) const;
+
+  // Lookup that maps unknown words to <unk>.
+  TokenId id_or_unk(std::string_view word) const;
+
+  const std::string& word(TokenId id) const;
+  TokenId size() const { return static_cast<TokenId>(words_.size()); }
+
+  // Special tokens, created in the constructor in this order.
+  TokenId pad() const { return 0; }
+  TokenId bos() const { return 1; }
+  TokenId eos() const { return 2; }
+  TokenId unk() const { return 3; }
+
+  bool is_special(TokenId id) const { return id >= 0 && id <= 3; }
+
+  // Whitespace-splitting encode; no <bos>/<eos> added (callers place
+  // them explicitly so prompt layouts stay visible at call sites).
+  std::vector<TokenId> encode(std::string_view text) const;
+
+  // Space-joined decode; special tokens are skipped.
+  std::string decode(const std::vector<TokenId>& ids) const;
+
+ private:
+  std::vector<std::string> words_;
+  std::unordered_map<std::string, TokenId, std::hash<std::string>,
+                     std::equal_to<>>
+      index_;
+};
+
+}  // namespace llmfi::tok

@@ -1,0 +1,211 @@
+#include "train/trainer.h"
+
+#include <cmath>
+#include <cstdio>
+#include <numbers>
+#include <stdexcept>
+
+#include "numerics/rng.h"
+
+namespace llmfi::train {
+
+namespace {
+constexpr float kAdamBeta1 = 0.9f;
+constexpr float kAdamBeta2 = 0.95f;
+constexpr float kAdamEps = 1e-8f;
+}  // namespace
+
+Trainer::Trainer(model::ModelWeights& weights, TrainConfig cfg)
+    : weights_(weights), cfg_(cfg) {
+  rebuild_graph_params();
+}
+
+void Trainer::rebuild_graph_params() {
+  params_.clear();
+  decay_mask_.clear();
+  auto reg = [this](tn::Tensor t, bool decay) {
+    ag::Var v = ag::leaf(std::move(t));
+    params_.push_back(v);
+    decay_mask_.push_back(decay);
+    return v;
+  };
+
+  embedding_ = reg(weights_.embedding, true);
+  blocks_.clear();
+  blocks_.reserve(weights_.blocks.size());
+  for (auto& src : weights_.blocks) {
+    GraphBlock gb;
+    gb.norm1 = reg(src.norm1, false);
+    gb.wq = reg(src.wq, true);
+    gb.wk = reg(src.wk, true);
+    gb.wv = reg(src.wv, true);
+    gb.wo = reg(src.wo, true);
+    gb.norm2 = reg(src.norm2, false);
+    if (weights_.config.moe) {
+      gb.moe.router = reg(src.router, true);
+      gb.moe.top_k = weights_.config.top_k;
+      for (auto& ex : src.experts) {
+        gb.moe.experts.push_back({reg(ex.gate, true), reg(ex.up, true),
+                                  reg(ex.down, true)});
+      }
+    } else {
+      gb.gate = reg(src.gate, true);
+      gb.up = reg(src.up, true);
+      gb.down = reg(src.down, true);
+    }
+    blocks_.push_back(std::move(gb));
+  }
+  final_norm_ = reg(weights_.final_norm, false);
+
+  adam_m_.clear();
+  adam_v_.clear();
+  for (const auto& p : params_) {
+    adam_m_.emplace_back(tn::Tensor(p->value.shape()));
+    adam_v_.emplace_back(tn::Tensor(p->value.shape()));
+  }
+}
+
+void Trainer::sync_back() {
+  size_t i = 0;
+  auto take = [this, &i]() { return params_[i++]->value; };
+  weights_.embedding = take();
+  for (auto& dst : weights_.blocks) {
+    dst.norm1 = take();
+    dst.wq = take();
+    dst.wk = take();
+    dst.wv = take();
+    dst.wo = take();
+    dst.norm2 = take();
+    if (weights_.config.moe) {
+      dst.router = take();
+      for (auto& ex : dst.experts) {
+        ex.gate = take();
+        ex.up = take();
+        ex.down = take();
+      }
+    } else {
+      dst.gate = take();
+      dst.up = take();
+      dst.down = take();
+    }
+  }
+  weights_.final_norm = take();
+}
+
+ag::Var Trainer::forward_loss(const data::TrainSeq& seq) {
+  const auto& cfg = weights_.config;
+  const auto len = static_cast<int>(seq.tokens.size());
+  if (len < 2 || seq.loss_start < 1 || seq.loss_start >= len) {
+    throw std::invalid_argument("forward_loss: degenerate sequence");
+  }
+  std::vector<tok::TokenId> inputs(seq.tokens.begin(), seq.tokens.end() - 1);
+  std::vector<tok::TokenId> targets(seq.tokens.begin() + 1, seq.tokens.end());
+
+  ag::Var x = ag::embedding(embedding_, inputs);
+  for (auto& gb : blocks_) {
+    ag::Var h = ag::rmsnorm(x, gb.norm1, cfg.norm_eps);
+    ag::Var q = ag::rope(ag::matmul_bt(h, gb.wq), cfg.n_heads, 0,
+                         cfg.rope_theta);
+    ag::Var k = ag::rope(ag::matmul_bt(h, gb.wk), cfg.n_heads, 0,
+                         cfg.rope_theta);
+    ag::Var v = ag::matmul_bt(h, gb.wv);
+    ag::Var attn = ag::causal_attention(q, k, v, cfg.n_heads);
+    x = ag::add(x, ag::matmul_bt(attn, gb.wo));
+
+    ag::Var h2 = ag::rmsnorm(x, gb.norm2, cfg.norm_eps);
+    ag::Var m = cfg.moe
+                    ? ag::moe_layer(h2, gb.moe)
+                    : ag::matmul_bt(
+                          ag::mul(ag::silu(ag::matmul_bt(h2, gb.gate)),
+                                  ag::matmul_bt(h2, gb.up)),
+                          gb.down);
+    x = ag::add(x, m);
+  }
+  ag::Var xf = ag::rmsnorm(x, final_norm_, cfg.norm_eps);
+  ag::Var logits = ag::matmul_bt(xf, embedding_);  // tied LM head
+  return ag::cross_entropy_lm(logits, std::move(targets), seq.loss_start - 1);
+}
+
+float Trainer::lr_at(int step) const {
+  const auto total = static_cast<float>(cfg_.steps);
+  const auto warmup = std::max(1.0f, cfg_.warmup_frac * total);
+  const auto s = static_cast<float>(step);
+  if (s < warmup) return cfg_.lr * (s + 1.0f) / warmup;
+  const float progress = (s - warmup) / std::max(1.0f, total - warmup);
+  const float cosine =
+      0.5f * (1.0f + std::cos(std::numbers::pi_v<float> * progress));
+  return cfg_.lr * (cfg_.final_lr_frac + (1.0f - cfg_.final_lr_frac) * cosine);
+}
+
+double Trainer::train(const std::vector<data::TrainSeq>& corpus) {
+  if (corpus.empty()) throw std::invalid_argument("train: empty corpus");
+  num::Rng rng(cfg_.seed);
+  // Fresh optimizer state per train() call (fine-tuning semantics).
+  for (size_t i = 0; i < params_.size(); ++i) {
+    adam_m_[i].zero();
+    adam_v_[i].zero();
+  }
+
+  double tail_loss = 0.0;
+  int tail_count = 0;
+  const int tail_start = cfg_.steps - std::max(1, cfg_.steps / 10);
+
+  for (int step = 0; step < cfg_.steps; ++step) {
+    for (auto& p : params_) p->zero_grad();
+    std::vector<ag::Var> losses;
+    losses.reserve(static_cast<size_t>(cfg_.batch_size));
+    for (int b = 0; b < cfg_.batch_size; ++b) {
+      const auto& seq = corpus[rng.uniform_u64(corpus.size())];
+      losses.push_back(forward_loss(seq));
+    }
+    ag::Var total =
+        ag::scaled_sum(losses, 1.0f / static_cast<float>(cfg_.batch_size));
+    ag::backward(total);
+
+    const float lr = lr_at(step);
+    const float bc1 =
+        1.0f - std::pow(kAdamBeta1, static_cast<float>(step + 1));
+    const float bc2 =
+        1.0f - std::pow(kAdamBeta2, static_cast<float>(step + 1));
+    for (size_t i = 0; i < params_.size(); ++i) {
+      auto& p = params_[i];
+      if (!p->has_grad()) continue;
+      auto pv = p->value.flat();
+      auto g = p->grad.flat();
+      auto m = adam_m_[i].flat();
+      auto v = adam_v_[i].flat();
+      const bool decay = decay_mask_[i];
+      for (size_t j = 0; j < pv.size(); ++j) {
+        m[j] = kAdamBeta1 * m[j] + (1.0f - kAdamBeta1) * g[j];
+        v[j] = kAdamBeta2 * v[j] + (1.0f - kAdamBeta2) * g[j] * g[j];
+        const float mhat = m[j] / bc1;
+        const float vhat = v[j] / bc2;
+        pv[j] -= lr * (mhat / (std::sqrt(vhat) + kAdamEps));
+        if (decay) pv[j] -= lr * cfg_.weight_decay * pv[j];
+      }
+    }
+
+    const double loss_value = total->value[0];
+    if (step >= tail_start) {
+      tail_loss += loss_value;
+      ++tail_count;
+    }
+    if (cfg_.log_every > 0 && (step % cfg_.log_every == 0)) {
+      std::printf("  step %4d  lr %.4f  loss %.4f\n", step,
+                  static_cast<double>(lr), loss_value);
+      std::fflush(stdout);
+    }
+  }
+  sync_back();
+  return tail_count > 0 ? tail_loss / tail_count : 0.0;
+}
+
+double Trainer::evaluate(const std::vector<data::TrainSeq>& corpus) {
+  double total = 0.0;
+  for (const auto& seq : corpus) {
+    total += forward_loss(seq)->value[0];
+  }
+  return corpus.empty() ? 0.0 : total / static_cast<double>(corpus.size());
+}
+
+}  // namespace llmfi::train

@@ -1,0 +1,65 @@
+#pragma once
+// Next-token language-model training over synthetic task corpora:
+// AdamW with warmup+cosine schedule, per-sequence graphs, batched by
+// gradient accumulation. Produces the trained tiny models that stand in
+// for the paper's pretrained LLMs (and their fine-tuned variants).
+
+#include <cstdint>
+#include <vector>
+
+#include "autograd/ops.h"
+#include "data/tasks.h"
+#include "model/weights.h"
+
+namespace llmfi::train {
+
+struct TrainConfig {
+  int steps = 400;
+  int batch_size = 8;
+  float lr = 3e-3f;
+  float weight_decay = 0.01f;   // decoupled, matrices only
+  float warmup_frac = 0.05f;
+  float final_lr_frac = 0.1f;   // cosine decays to lr * this
+  std::uint64_t seed = 42;
+  int log_every = 0;            // 0 = silent
+};
+
+class Trainer {
+ public:
+  // Holds a reference to `weights`; trained values are synced back on
+  // every `train()` return.
+  Trainer(model::ModelWeights& weights, TrainConfig cfg);
+
+  // Runs cfg.steps optimization steps sampling uniformly from `corpus`.
+  // Callable repeatedly (fine-tuning continues from current weights with
+  // fresh optimizer state). Returns the mean loss over the last 10% of
+  // steps.
+  double train(const std::vector<data::TrainSeq>& corpus);
+
+  // Mean loss of `corpus` under the current weights (no updates).
+  double evaluate(const std::vector<data::TrainSeq>& corpus);
+
+ private:
+  struct GraphBlock {
+    ag::Var norm1, wq, wk, wv, wo, norm2;
+    ag::Var gate, up, down;   // dense
+    ag::MoeParams moe;        // MoE
+  };
+
+  ag::Var forward_loss(const data::TrainSeq& seq);
+  void rebuild_graph_params();
+  void sync_back();
+  float lr_at(int step) const;
+
+  model::ModelWeights& weights_;
+  TrainConfig cfg_;
+
+  ag::Var embedding_;
+  std::vector<GraphBlock> blocks_;
+  ag::Var final_norm_;
+  std::vector<ag::Var> params_;      // flat list for the optimizer
+  std::vector<bool> decay_mask_;     // weight decay applies (2-D matrices)
+  std::vector<tn::Tensor> adam_m_, adam_v_;
+};
+
+}  // namespace llmfi::train

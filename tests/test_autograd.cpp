@@ -1,0 +1,209 @@
+// Numerical gradient checks for every autograd op. These guard the whole
+// training substrate: if any analytic backward drifts from the finite-
+// difference gradient, model training (and thus every experiment) breaks.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <functional>
+
+#include "autograd/ops.h"
+#include "numerics/rng.h"
+
+namespace llmfi {
+namespace {
+
+tn::Tensor random_tensor(std::vector<tn::Index> shape, num::Rng& rng,
+                         double scale = 0.5) {
+  tn::Tensor t(std::move(shape));
+  for (float& v : t.flat()) v = static_cast<float>(rng.normal(0.0, scale));
+  return t;
+}
+
+// Checks d(scalar)/d(leaf) against central finite differences. `build`
+// must construct a fresh scalar graph from the (mutated) leaf values.
+void check_gradients(const std::vector<ag::Var>& leaves,
+                     const std::function<ag::Var()>& build,
+                     double tol = 3e-2, double eps = 1e-3) {
+  ag::Var loss = build();
+  for (const auto& leaf : leaves) leaf->zero_grad();
+  ag::backward(loss);
+
+  for (size_t li = 0; li < leaves.size(); ++li) {
+    const auto& leaf = leaves[li];
+    ASSERT_TRUE(leaf->has_grad()) << "leaf " << li << " got no gradient";
+    num::Rng probe_rng(li * 977 + 13);
+    const tn::Index n = leaf->value.numel();
+    const int probes = static_cast<int>(std::min<tn::Index>(n, 10));
+    for (int p = 0; p < probes; ++p) {
+      const auto idx = static_cast<tn::Index>(
+          probe_rng.uniform_u64(static_cast<std::uint64_t>(n)));
+      const float original = leaf->value[idx];
+      leaf->value[idx] = original + static_cast<float>(eps);
+      const double up = build()->value[0];
+      leaf->value[idx] = original - static_cast<float>(eps);
+      const double down = build()->value[0];
+      leaf->value[idx] = original;
+      const double numeric = (up - down) / (2.0 * eps);
+      const double analytic = leaf->grad[idx];
+      const double denom =
+          std::max({1.0, std::fabs(numeric), std::fabs(analytic)});
+      EXPECT_NEAR(analytic, numeric, tol * denom)
+          << "leaf " << li << " element " << idx;
+    }
+  }
+}
+
+TEST(Autograd, MatmulBtGradients) {
+  num::Rng rng(1);
+  ag::Var x = ag::leaf(random_tensor({3, 4}, rng));
+  ag::Var w = ag::leaf(random_tensor({5, 4}, rng));
+  check_gradients({x, w}, [&] {
+    return ag::sum(ag::mul(ag::matmul_bt(x, w), ag::matmul_bt(x, w)));
+  });
+}
+
+TEST(Autograd, AddMulSiluGradients) {
+  num::Rng rng(2);
+  ag::Var a = ag::leaf(random_tensor({4, 6}, rng));
+  ag::Var b = ag::leaf(random_tensor({4, 6}, rng));
+  check_gradients({a, b}, [&] {
+    return ag::sum(ag::mul(ag::silu(a), ag::add(a, b)));
+  });
+}
+
+TEST(Autograd, RmsNormGradients) {
+  num::Rng rng(3);
+  ag::Var x = ag::leaf(random_tensor({3, 8}, rng));
+  ag::Var g = ag::leaf(random_tensor({8}, rng, 0.2));
+  for (float& v : g->value.flat()) v += 1.0f;  // around the trained regime
+  check_gradients({x, g}, [&] {
+    ag::Var y = ag::rmsnorm(x, g);
+    return ag::sum(ag::mul(y, y));
+  });
+}
+
+TEST(Autograd, EmbeddingGradients) {
+  num::Rng rng(4);
+  ag::Var table = ag::leaf(random_tensor({7, 5}, rng));
+  const std::vector<tok::TokenId> ids = {1, 3, 3, 6, 0};
+  check_gradients({table}, [&] {
+    ag::Var e = ag::embedding(table, ids);
+    return ag::sum(ag::mul(e, e));
+  });
+}
+
+TEST(Autograd, RopeGradients) {
+  num::Rng rng(5);
+  ag::Var x = ag::leaf(random_tensor({4, 8}, rng));
+  check_gradients({x}, [&] {
+    ag::Var y = ag::rope(x, /*n_heads=*/2, /*pos_offset=*/3);
+    return ag::sum(ag::mul(y, y));
+  });
+}
+
+TEST(Autograd, RopeIsOrthogonal) {
+  // Rotations preserve norms, so sum of squares must be invariant.
+  num::Rng rng(6);
+  ag::Var x = ag::leaf(random_tensor({5, 12}, rng));
+  ag::Var y = ag::rope(x, 3, 7);
+  double before = 0.0, after = 0.0;
+  for (float v : x->value.flat()) before += static_cast<double>(v) * v;
+  for (float v : y->value.flat()) after += static_cast<double>(v) * v;
+  EXPECT_NEAR(before, after, 1e-3 * before);
+}
+
+TEST(Autograd, CausalAttentionGradients) {
+  num::Rng rng(7);
+  ag::Var q = ag::leaf(random_tensor({4, 8}, rng));
+  ag::Var k = ag::leaf(random_tensor({4, 8}, rng));
+  ag::Var v = ag::leaf(random_tensor({4, 8}, rng));
+  check_gradients({q, k, v}, [&] {
+    ag::Var o = ag::causal_attention(q, k, v, /*n_heads=*/2);
+    return ag::sum(ag::mul(o, o));
+  });
+}
+
+TEST(Autograd, CrossEntropyGradients) {
+  num::Rng rng(8);
+  ag::Var logits = ag::leaf(random_tensor({5, 9}, rng, 1.0));
+  const std::vector<tok::TokenId> targets = {2, 0, 7, 4, 4};
+  check_gradients({logits}, [&] {
+    return ag::cross_entropy_lm(logits, targets, /*first_loss_pos=*/1);
+  });
+}
+
+TEST(Autograd, CrossEntropyMasksPromptPositions) {
+  num::Rng rng(9);
+  ag::Var logits = ag::leaf(random_tensor({5, 9}, rng, 1.0));
+  const std::vector<tok::TokenId> targets = {2, 0, 7, 4, 4};
+  ag::Var loss = ag::cross_entropy_lm(logits, targets, 2);
+  ag::backward(loss);
+  // Positions before first_loss_pos must receive zero gradient.
+  for (tn::Index c = 0; c < 9; ++c) {
+    EXPECT_EQ(logits->grad.at(0, c), 0.0f);
+    EXPECT_EQ(logits->grad.at(1, c), 0.0f);
+  }
+  // And at least one later position must be non-zero.
+  double later = 0.0;
+  for (tn::Index c = 0; c < 9; ++c) later += std::fabs(logits->grad.at(3, c));
+  EXPECT_GT(later, 0.0);
+}
+
+TEST(Autograd, MoeLayerGradients) {
+  num::Rng rng(10);
+  const tn::Index d = 6, ff = 8;
+  const int n_experts = 4;
+  ag::Var x = ag::leaf(random_tensor({3, d}, rng));
+  ag::MoeParams params;
+  params.top_k = 2;
+  params.router = ag::leaf(random_tensor({n_experts, d}, rng));
+  for (int e = 0; e < n_experts; ++e) {
+    params.experts.push_back({ag::leaf(random_tensor({ff, d}, rng)),
+                              ag::leaf(random_tensor({ff, d}, rng)),
+                              ag::leaf(random_tensor({d, ff}, rng))});
+  }
+  std::vector<ag::Var> leaves = {x, params.router};
+  for (auto& ex : params.experts) {
+    leaves.push_back(ex[0]);
+    leaves.push_back(ex[1]);
+    leaves.push_back(ex[2]);
+  }
+  // Note: finite differences can flip the top-k selection at the
+  // boundary; a slightly looser tolerance plus small eps keeps the check
+  // meaningful without false positives.
+  check_gradients(
+      leaves,
+      [&] {
+        ag::Var y = ag::moe_layer(x, params);
+        return ag::sum(ag::mul(y, y));
+      },
+      /*tol=*/6e-2, /*eps=*/5e-4);
+}
+
+TEST(Autograd, BackwardAccumulatesSharedSubgraphs) {
+  num::Rng rng(11);
+  ag::Var x = ag::leaf(random_tensor({2, 3}, rng));
+  ag::Var y = ag::add(x, x);  // dy/dx = 2
+  ag::Var loss = ag::sum(y);
+  ag::backward(loss);
+  for (tn::Index i = 0; i < x->value.numel(); ++i) {
+    EXPECT_FLOAT_EQ(x->grad[i], 2.0f);
+  }
+}
+
+TEST(Autograd, ScaledSumGradients) {
+  num::Rng rng(12);
+  ag::Var a = ag::leaf(random_tensor({2, 2}, rng));
+  ag::Var s1 = ag::sum(a);
+  ag::Var s2 = ag::sum(ag::mul(a, a));
+  ag::Var total = ag::scaled_sum({s1, s2}, 0.5f);
+  EXPECT_NEAR(total->value[0], 0.5f * (s1->value[0] + s2->value[0]), 1e-5);
+  ag::backward(total);
+  for (tn::Index i = 0; i < a->value.numel(); ++i) {
+    EXPECT_NEAR(a->grad[i], 0.5f * (1.0f + 2.0f * a->value[i]), 1e-4);
+  }
+}
+
+}  // namespace
+}  // namespace llmfi

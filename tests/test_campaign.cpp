@@ -1,0 +1,206 @@
+// Campaign-level integration tests on a small trained model: replay
+// determinism, weight-restoration across a whole campaign, outcome
+// bookkeeping, normalized-performance plumbing, and the runner paths
+// (generative, multiple-choice, direct-prompt math).
+
+#include <gtest/gtest.h>
+
+#include "eval/campaign.h"
+#include "numerics/half.h"
+#include "train/trainer.h"
+
+namespace llmfi {
+namespace {
+
+// One small model trained once and shared by all tests in this file.
+struct Fixture {
+  data::World world;
+  model::ModelWeights weights;
+  std::map<data::TaskKind, data::TaskData> tasks;
+
+  Fixture() : weights(model::ModelWeights::init(config())) {
+    data::GenOptions opt;
+    opt.train_n = 300;
+    opt.eval_n = 20;
+    for (auto kind : {data::TaskKind::McFact, data::TaskKind::QA,
+                      data::TaskKind::MathGsm}) {
+      tasks.emplace(kind, data::make_task(world, kind, opt));
+    }
+    std::vector<data::TrainSeq> corpus;
+    for (auto& [kind, td] : tasks) {
+      corpus.insert(corpus.end(), td.train.begin(), td.train.end());
+    }
+    train::TrainConfig tc;
+    tc.steps = 350;
+    tc.batch_size = 8;
+    tc.lr = 5e-3f;
+    train::Trainer trainer(weights, tc);
+    trainer.train(corpus);
+  }
+
+  model::ModelConfig config() const {
+    model::ModelConfig cfg;
+    cfg.vocab_size = world.vocab().size();
+    cfg.d_model = 32;
+    cfg.n_layers = 2;
+    cfg.n_heads = 4;
+    cfg.d_ff = 64;
+    cfg.max_seq = 160;
+    cfg.seed = 13;
+    return cfg;
+  }
+};
+
+Fixture& fixture() {
+  static Fixture f;
+  return f;
+}
+
+eval::CampaignConfig small_campaign(core::FaultModel fault) {
+  eval::CampaignConfig cfg;
+  cfg.fault = fault;
+  cfg.trials = 24;
+  cfg.n_inputs = 4;
+  cfg.seed = 99;
+  return cfg;
+}
+
+TEST(Campaign, SameSeedReplaysIdentically) {
+  auto& f = fixture();
+  model::InferenceModel engine(f.weights, {});
+  const auto& spec = eval::workload(data::TaskKind::QA);
+  const auto& eval_set = f.tasks.at(data::TaskKind::QA).eval;
+  auto cfg = small_campaign(core::FaultModel::Mem2Bit);
+  cfg.keep_trial_records = true;
+  const auto a = eval::run_campaign_on(engine, f.world.vocab(), eval_set,
+                                       spec, cfg);
+  const auto b = eval::run_campaign_on(engine, f.world.vocab(), eval_set,
+                                       spec, cfg);
+  EXPECT_EQ(a.masked, b.masked);
+  EXPECT_EQ(a.sdc_subtle, b.sdc_subtle);
+  EXPECT_EQ(a.sdc_distorted, b.sdc_distorted);
+  ASSERT_EQ(a.records.size(), b.records.size());
+  for (size_t i = 0; i < a.records.size(); ++i) {
+    EXPECT_EQ(a.records[i].output, b.records[i].output);
+    EXPECT_EQ(a.records[i].outcome, b.records[i].outcome);
+    EXPECT_TRUE(a.records[i].plan.layer == b.records[i].plan.layer);
+    EXPECT_EQ(a.records[i].plan.bits, b.records[i].plan.bits);
+  }
+}
+
+TEST(Campaign, DifferentSeedsDiffer) {
+  auto& f = fixture();
+  model::InferenceModel engine(f.weights, {});
+  const auto& spec = eval::workload(data::TaskKind::QA);
+  const auto& eval_set = f.tasks.at(data::TaskKind::QA).eval;
+  auto cfg1 = small_campaign(core::FaultModel::Mem2Bit);
+  cfg1.keep_trial_records = true;
+  auto cfg2 = cfg1;
+  cfg2.seed = 100;
+  const auto a = eval::run_campaign_on(engine, f.world.vocab(), eval_set,
+                                       spec, cfg1);
+  const auto b = eval::run_campaign_on(engine, f.world.vocab(), eval_set,
+                                       spec, cfg2);
+  bool any_plan_differs = false;
+  for (size_t i = 0; i < a.records.size(); ++i) {
+    if (!(a.records[i].plan.layer == b.records[i].plan.layer) ||
+        a.records[i].plan.bits != b.records[i].plan.bits) {
+      any_plan_differs = true;
+    }
+  }
+  EXPECT_TRUE(any_plan_differs);
+}
+
+TEST(Campaign, WeightsAreBitIdenticalAfterMemCampaign) {
+  auto& f = fixture();
+  model::InferenceModel engine(f.weights, {});
+  std::vector<tn::Tensor> before;
+  for (auto& ref : engine.linear_layers()) {
+    before.push_back(ref.weights->values());
+  }
+  const auto& spec = eval::workload(data::TaskKind::McFact);
+  const auto& eval_set = f.tasks.at(data::TaskKind::McFact).eval;
+  (void)eval::run_campaign_on(engine, f.world.vocab(), eval_set, spec,
+                              small_campaign(core::FaultModel::Mem2Bit));
+  auto layers = engine.linear_layers();
+  for (size_t l = 0; l < layers.size(); ++l) {
+    const auto& now = layers[l].weights->values();
+    for (tn::Index i = 0; i < now.numel(); ++i) {
+      ASSERT_EQ(num::f32_bits(now.flat()[i]),
+                num::f32_bits(before[l].flat()[i]));
+    }
+  }
+}
+
+TEST(Campaign, OutcomeCountsSumToTrials) {
+  auto& f = fixture();
+  model::InferenceModel engine(f.weights, {});
+  for (auto fault : {core::FaultModel::Comp1Bit, core::FaultModel::Comp2Bit,
+                     core::FaultModel::Mem2Bit}) {
+    const auto& spec = eval::workload(data::TaskKind::QA);
+    const auto r = eval::run_campaign_on(
+        engine, f.world.vocab(), f.tasks.at(data::TaskKind::QA).eval, spec,
+        small_campaign(fault));
+    EXPECT_EQ(r.trials(), 24);
+    int bit_total = 0;
+    for (const auto& [bit, counts] : r.by_highest_bit) {
+      bit_total += counts[0] + counts[1] + counts[2];
+    }
+    EXPECT_EQ(bit_total, 24);
+    EXPECT_GE(r.sdc_rate(), 0.0);
+    EXPECT_LE(r.sdc_rate(), 1.0);
+  }
+}
+
+TEST(Campaign, BaselineMetricsPopulated) {
+  auto& f = fixture();
+  model::InferenceModel engine(f.weights, {});
+  const auto& spec = eval::workload(data::TaskKind::QA);
+  const auto r = eval::run_campaign_on(
+      engine, f.world.vocab(), f.tasks.at(data::TaskKind::QA).eval, spec,
+      small_campaign(core::FaultModel::Comp1Bit));
+  EXPECT_EQ(r.baseline_metrics.at("f1").n(), 4);          // n_inputs
+  EXPECT_EQ(r.faulty_metrics.at("f1").n(), 24);           // trials
+  const auto norm = r.normalized("f1");
+  EXPECT_GE(norm.value, 0.0);
+  EXPECT_LE(norm.lo, norm.hi);
+  EXPECT_GT(r.total_runtime_sec, 0.0);
+}
+
+TEST(Campaign, McTaskRunsAndClassifiesDirect) {
+  auto& f = fixture();
+  model::InferenceModel engine(f.weights, {});
+  const auto& spec = eval::workload(data::TaskKind::McFact);
+  const auto r = eval::run_campaign_on(
+      engine, f.world.vocab(), f.tasks.at(data::TaskKind::McFact).eval,
+      spec, small_campaign(core::FaultModel::Comp2Bit));
+  EXPECT_EQ(r.trials(), 24);
+  EXPECT_GT(r.baseline_mean("accuracy"), 0.5);  // model learned the task
+}
+
+TEST(Campaign, DirectPromptUsesDirectPath) {
+  auto& f = fixture();
+  model::InferenceModel engine(f.weights, {});
+  const auto& spec = eval::workload(data::TaskKind::MathGsm);
+  const auto& ex = f.tasks.at(data::TaskKind::MathGsm).eval.front();
+  eval::RunOptions cot, direct;
+  direct.direct_prompt = true;
+  const auto rc = eval::run_example(engine, f.world.vocab(), spec, ex, cot);
+  const auto rd = eval::run_example(engine, f.world.vocab(), spec, ex,
+                                    direct);
+  // Direct mode must generate far fewer tokens than chain-of-thought.
+  EXPECT_LT(rd.tokens.size() + 2, rc.tokens.size());
+}
+
+TEST(Campaign, RejectsEmptyInputs) {
+  auto& f = fixture();
+  model::InferenceModel engine(f.weights, {});
+  const auto& spec = eval::workload(data::TaskKind::QA);
+  auto cfg = small_campaign(core::FaultModel::Comp1Bit);
+  EXPECT_THROW(
+      eval::run_campaign_on(engine, f.world.vocab(), {}, spec, cfg),
+      std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace llmfi

@@ -1,0 +1,308 @@
+// Tests for the synthetic world and all nine task generators: world
+// determinism, reference correctness, and structural invariants of every
+// training sequence and evaluation example.
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <sstream>
+
+#include "data/tasks.h"
+#include "data/world.h"
+
+namespace llmfi::data {
+namespace {
+
+const World& shared_world() {
+  static World w;
+  return w;
+}
+
+TEST(World, DeterministicForSameSeed) {
+  World a(7), b(7);
+  EXPECT_EQ(a.vocab().size(), b.vocab().size());
+  for (int e = 0; e < World::kEntities; ++e) {
+    EXPECT_EQ(a.fact_value(e), b.fact_value(e));
+  }
+  for (int s = 0; s < World::kTranslationPairs; ++s) {
+    EXPECT_EQ(a.translation_of(s), b.translation_of(s));
+  }
+}
+
+TEST(World, SeedChangesKnowledge) {
+  World a(7), c(8);
+  int differing = 0;
+  for (int e = 0; e < World::kEntities; ++e) {
+    if (a.fact_value(e) != c.fact_value(e)) ++differing;
+  }
+  EXPECT_GT(differing, 0);
+}
+
+TEST(World, MythsDifferFromFacts) {
+  const auto& w = shared_world();
+  for (int e = World::kFactEntities; e < World::kEntities; ++e) {
+    EXPECT_NE(w.myth_value(e), w.fact_value(e)) << "entity " << e;
+  }
+}
+
+TEST(World, TranslationIsAPermutation) {
+  const auto& w = shared_world();
+  std::set<int> targets;
+  for (int s = 0; s < World::kTranslationPairs; ++s) {
+    targets.insert(w.translation_of(s));
+  }
+  EXPECT_EQ(targets.size(),
+            static_cast<size_t>(World::kTranslationPairs));
+}
+
+TEST(World, EventChainPrefixesAreUnique) {
+  const auto& w = shared_world();
+  std::set<std::tuple<int, int, int>> prefixes;
+  for (int c = 0; c < World::kEventChains; ++c) {
+    const auto& chain = w.event_chain(c);
+    prefixes.insert({chain[0], chain[1], chain[2]});
+  }
+  EXPECT_EQ(prefixes.size(), static_cast<size_t>(World::kEventChains));
+}
+
+TEST(World, SpellNumber) {
+  EXPECT_EQ(World::spell_number(0), "0");
+  EXPECT_EQ(World::spell_number(7), "7");
+  EXPECT_EQ(World::spell_number(207), "2 0 7");
+}
+
+TEST(World, AllWordsAreInVocab) {
+  const auto& w = shared_world();
+  EXPECT_TRUE(w.vocab().find(w.src_word(0)).has_value());
+  EXPECT_TRUE(w.vocab().find(w.tgt_word(39)).has_value());
+  EXPECT_TRUE(w.vocab().find(w.entity(23)).has_value());
+  EXPECT_TRUE(w.vocab().find(w.noun_plural(15)).has_value());
+  EXPECT_TRUE(w.vocab().find(w.verb_rules().front().verb).has_value());
+}
+
+// ---- task generators, parameterized over every kind ----------------------
+
+class TaskGenerator : public ::testing::TestWithParam<TaskKind> {};
+
+TEST_P(TaskGenerator, ProducesRequestedCounts) {
+  GenOptions opt;
+  opt.train_n = 50;
+  opt.eval_n = 20;
+  const TaskData td = make_task(shared_world(), GetParam(), opt);
+  EXPECT_EQ(td.kind, GetParam());
+  EXPECT_EQ(td.train.size(), 50u);
+  EXPECT_EQ(td.eval.size(), 20u);
+}
+
+TEST_P(TaskGenerator, TrainSequencesAreWellFormed) {
+  GenOptions opt;
+  opt.train_n = 60;
+  opt.eval_n = 5;
+  const auto& vocab = shared_world().vocab();
+  const TaskData td = make_task(shared_world(), GetParam(), opt);
+  for (const auto& seq : td.train) {
+    ASSERT_GE(seq.tokens.size(), 3u);
+    EXPECT_EQ(seq.tokens.front(), vocab.bos());
+    EXPECT_EQ(seq.tokens.back(), vocab.eos());
+    EXPECT_GE(seq.loss_start, 1);
+    EXPECT_LT(seq.loss_start, static_cast<int>(seq.tokens.size()));
+    for (auto id : seq.tokens) {
+      ASSERT_GE(id, 0);
+      ASSERT_LT(id, vocab.size());
+      EXPECT_NE(id, vocab.unk()) << "training data must not contain <unk>";
+    }
+  }
+}
+
+TEST_P(TaskGenerator, EvalExamplesEncodeCleanly) {
+  GenOptions opt;
+  opt.train_n = 5;
+  opt.eval_n = 30;
+  const auto& vocab = shared_world().vocab();
+  const TaskData td = make_task(shared_world(), GetParam(), opt);
+  for (const auto& ex : td.eval) {
+    for (auto id : vocab.encode(ex.prompt)) EXPECT_NE(id, vocab.unk());
+    if (task_style(GetParam()) == TaskStyle::MultipleChoice) {
+      ASSERT_GE(ex.options.size(), 2u);
+      ASSERT_GE(ex.correct, 0);
+      ASSERT_LT(ex.correct, static_cast<int>(ex.options.size()));
+      EXPECT_EQ(ex.reference, ex.options[static_cast<size_t>(ex.correct)]);
+      // Options must be pairwise distinct, else scoring is ill-defined.
+      std::set<std::string> uniq(ex.options.begin(), ex.options.end());
+      EXPECT_EQ(uniq.size(), ex.options.size());
+    } else {
+      EXPECT_FALSE(ex.reference.empty());
+    }
+  }
+}
+
+TEST_P(TaskGenerator, DeterministicForSameSeed) {
+  GenOptions opt;
+  opt.train_n = 20;
+  opt.eval_n = 10;
+  const TaskData a = make_task(shared_world(), GetParam(), opt);
+  const TaskData b = make_task(shared_world(), GetParam(), opt);
+  ASSERT_EQ(a.eval.size(), b.eval.size());
+  for (size_t i = 0; i < a.eval.size(); ++i) {
+    EXPECT_EQ(a.eval[i].prompt, b.eval[i].prompt);
+    EXPECT_EQ(a.eval[i].reference, b.eval[i].reference);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllTasks, TaskGenerator,
+    ::testing::Values(TaskKind::McFact, TaskKind::McScience,
+                      TaskKind::McTruthful, TaskKind::McCoref,
+                      TaskKind::McCompletion, TaskKind::MathGsm,
+                      TaskKind::Translation, TaskKind::Summarization,
+                      TaskKind::QA),
+    [](const ::testing::TestParamInfo<TaskKind>& info) {
+      std::string n(task_name(info.param));
+      for (char& c : n) {
+        if (c == '-') c = '_';
+      }
+      return n;
+    });
+
+// ---- semantic checks per task ---------------------------------------------
+
+TEST(MathTask, ReferencesAreArithmeticallyCorrect) {
+  GenOptions opt;
+  opt.eval_n = 50;
+  const TaskData td = make_task(shared_world(), TaskKind::MathGsm, opt);
+  for (const auto& ex : td.eval) {
+    // Re-evaluate the expression in the prompt: "solve : <digits ops> = ?"
+    std::istringstream iss(ex.prompt);
+    std::string tok;
+    iss >> tok;  // solve
+    iss >> tok;  // :
+    long acc = 0;
+    long current = 0;
+    int sign = +1;
+    bool have_current = false;
+    while (iss >> tok && tok != "=") {
+      if (tok == "+" || tok == "-") {
+        acc += sign * current;
+        current = 0;
+        have_current = false;
+        sign = (tok == "+") ? +1 : -1;
+      } else if (tok.size() == 1 && isdigit(tok[0])) {
+        current = current * 10 + (tok[0] - '0');
+        have_current = true;
+      }
+    }
+    ASSERT_TRUE(have_current);
+    acc += sign * current;
+    // The reference's final answer must match.
+    std::string digits = extract_final_answer(ex.reference);
+    std::string compact;
+    for (char c : digits) {
+      if (c != ' ') compact += c;
+    }
+    ASSERT_FALSE(compact.empty()) << ex.reference;
+    EXPECT_EQ(std::stol(compact), acc) << ex.prompt;
+    EXPECT_EQ(digits, ex.final_answer);
+    EXPECT_FALSE(ex.prompt_direct.empty());
+  }
+}
+
+TEST(TranslationTask, ReferencesFollowLexiconAndReversal) {
+  GenOptions opt;
+  opt.eval_n = 30;
+  const auto& w = shared_world();
+  const TaskData td = make_task(w, TaskKind::Translation, opt);
+  for (const auto& ex : td.eval) {
+    // prompt: "translate : <src...> ="
+    std::istringstream iss(ex.prompt);
+    std::string tok;
+    iss >> tok >> tok;  // translate :
+    std::vector<std::string> src;
+    while (iss >> tok && tok != "=") src.push_back(tok);
+    std::istringstream ref(ex.reference);
+    std::vector<std::string> tgt;
+    while (ref >> tok) tgt.push_back(tok);
+    ASSERT_EQ(src.size(), tgt.size());
+    for (size_t i = 0; i < src.size(); ++i) {
+      const int si = std::stoi(src[i].substr(2));
+      // Reversed order: src word i maps to tgt word (n-1-i).
+      EXPECT_EQ(tgt[src.size() - 1 - i],
+                w.tgt_word(w.translation_of(si)));
+    }
+  }
+}
+
+TEST(QaTask, AnswerAppearsInContext) {
+  GenOptions opt;
+  opt.eval_n = 40;
+  const TaskData td = make_task(shared_world(), TaskKind::QA, opt);
+  for (const auto& ex : td.eval) {
+    EXPECT_NE(ex.prompt.find(" is " + ex.reference + " ."),
+              std::string::npos)
+        << ex.prompt << " / " << ex.reference;
+  }
+}
+
+TEST(SummarizationTask, ReferenceIsLeadSentence) {
+  GenOptions opt;
+  opt.eval_n = 20;
+  const TaskData td = make_task(shared_world(), TaskKind::Summarization, opt);
+  for (const auto& ex : td.eval) {
+    // prompt: "summarize : <doc> ="; reference must be its first sentence.
+    const auto start = std::string("summarize : ").size();
+    EXPECT_EQ(ex.prompt.substr(start, ex.reference.size()), ex.reference);
+  }
+}
+
+TEST(CorefTask, CorrectOptionFollowsVerbRule) {
+  GenOptions opt;
+  opt.eval_n = 40;
+  const auto& w = shared_world();
+  const TaskData td = make_task(w, TaskKind::McCoref, opt);
+  for (const auto& ex : td.eval) {
+    // prompt: "the A <verb> the B . it is the"
+    std::istringstream iss(ex.prompt);
+    std::string the1, a, verb, the2, b;
+    iss >> the1 >> a >> verb >> the2 >> b;
+    bool subject = false;
+    bool found = false;
+    for (const auto& rule : w.verb_rules()) {
+      if (rule.verb == verb) {
+        subject = rule.refers_to_subject;
+        found = true;
+      }
+    }
+    ASSERT_TRUE(found) << verb;
+    EXPECT_EQ(ex.reference, subject ? a : b);
+  }
+}
+
+TEST(TruthfulTask, MythIsAlwaysADistractor) {
+  GenOptions opt;
+  opt.eval_n = 36;
+  const auto& w = shared_world();
+  const TaskData td = make_task(w, TaskKind::McTruthful, opt);
+  for (const auto& ex : td.eval) {
+    // Extract the entity from "truth : entX is".
+    std::istringstream iss(ex.prompt);
+    std::string t, colon, ent;
+    iss >> t >> colon >> ent;
+    const int e = std::stoi(ent.substr(3));
+    const std::string myth = w.value(w.myth_value(e));
+    EXPECT_NE(std::find(ex.options.begin(), ex.options.end(), myth),
+              ex.options.end());
+    EXPECT_EQ(ex.reference, w.value(w.fact_value(e)));
+  }
+}
+
+TEST(ExtractAnswer, ParsesTrailingDigits) {
+  EXPECT_EQ(extract_final_answer("step 3 + 4 = 7 ; answer 7"), "7");
+  EXPECT_EQ(extract_final_answer("answer 1 5"), "1 5");
+  EXPECT_EQ(extract_final_answer("step a ; answer 1 2 then junk"), "1 2");
+  EXPECT_EQ(extract_final_answer("no final token"), "");
+  EXPECT_EQ(extract_final_answer(""), "");
+  // Uses the LAST "answer" keyword.
+  EXPECT_EQ(extract_final_answer("answer 9 ; answer 8"), "8");
+}
+
+}  // namespace
+}  // namespace llmfi::data

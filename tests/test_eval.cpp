@@ -1,0 +1,163 @@
+// Tests for the eval layer: the workload registry (Table 1), the example
+// runner on both task styles, and the model-zoo checkpoint cache.
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <filesystem>
+
+#include "eval/model_zoo.h"
+#include "eval/runner.h"
+#include "eval/workloads.h"
+
+namespace llmfi::eval {
+namespace {
+
+TEST(Workloads, MatchesTable1) {
+  const auto& all = all_workloads();
+  ASSERT_EQ(all.size(), 9u);
+  int mc = 0, gen = 0;
+  for (const auto& spec : all) {
+    (spec.style == data::TaskStyle::MultipleChoice ? mc : gen)++;
+    EXPECT_FALSE(spec.metrics.empty()) << spec.dataset;
+    EXPECT_FALSE(spec.default_models.empty()) << spec.dataset;
+  }
+  EXPECT_EQ(mc, 5);
+  EXPECT_EQ(gen, 4);
+
+  EXPECT_EQ(workload("wmt16-syn").metrics.front().name, "bleu");
+  EXPECT_EQ(workload("wmt16-syn").metrics.back().name, "chrf++");
+  EXPECT_EQ(workload("xlsum-syn").metrics.front().name, "rouge1");
+  EXPECT_EQ(workload("squad2-syn").metrics.front().name, "f1");
+  EXPECT_EQ(workload(data::TaskKind::MathGsm).dataset, "gsm8k-syn");
+  EXPECT_THROW(workload("imagenet"), std::invalid_argument);
+}
+
+TEST(Workloads, MetricFunctionsAreCallable) {
+  for (const auto& spec : all_workloads()) {
+    for (const auto& m : spec.metrics) {
+      const double same = m.fn("a b c", "a b c");
+      EXPECT_NEAR(same, 1.0, 1e-9) << spec.dataset << "/" << m.name;
+    }
+  }
+}
+
+// Runner behaviour on an untrained model: output contract, not quality.
+TEST(Runner, MultipleChoiceContract) {
+  data::World world;
+  model::ModelConfig cfg;
+  cfg.vocab_size = world.vocab().size();
+  cfg.d_model = 16;
+  cfg.n_layers = 1;
+  cfg.n_heads = 2;
+  cfg.d_ff = 24;
+  cfg.max_seq = 160;
+  model::InferenceModel engine(model::ModelWeights::init(cfg), {});
+
+  data::GenOptions g;
+  g.train_n = 1;
+  g.eval_n = 5;
+  const auto td = data::make_task(world, data::TaskKind::McFact, g);
+  const auto& spec = workload(data::TaskKind::McFact);
+  for (const auto& ex : td.eval) {
+    RunOptions opt;
+    const auto r = run_example(engine, world.vocab(), spec, ex, opt);
+    ASSERT_GE(r.chosen_option, 0);
+    ASSERT_LT(r.chosen_option, static_cast<int>(ex.options.size()));
+    EXPECT_EQ(r.output, ex.options[static_cast<size_t>(r.chosen_option)]);
+    EXPECT_EQ(r.passes, static_cast<int>(ex.options.size()));
+    EXPECT_EQ(r.metrics.count("accuracy"), 1u);
+    EXPECT_TRUE(r.tokens.empty());
+  }
+}
+
+TEST(Runner, GenerativeContract) {
+  data::World world;
+  model::ModelConfig cfg;
+  cfg.vocab_size = world.vocab().size();
+  cfg.d_model = 16;
+  cfg.n_layers = 1;
+  cfg.n_heads = 2;
+  cfg.d_ff = 24;
+  cfg.max_seq = 160;
+  model::InferenceModel engine(model::ModelWeights::init(cfg), {});
+
+  data::GenOptions g;
+  g.train_n = 1;
+  g.eval_n = 3;
+  const auto td = data::make_task(world, data::TaskKind::Translation, g);
+  const auto& spec = workload(data::TaskKind::Translation);
+  for (const auto& ex : td.eval) {
+    RunOptions opt;
+    opt.gen.max_new_tokens = 8;
+    const auto r = run_example(engine, world.vocab(), spec, ex, opt);
+    EXPECT_LE(r.tokens.size(), 8u);
+    EXPECT_EQ(r.metrics.count("bleu"), 1u);
+    EXPECT_EQ(r.metrics.count("chrf++"), 1u);
+    EXPECT_GE(r.passes, 1);
+  }
+}
+
+TEST(Zoo, TrainsCachesAndReloads) {
+  // Use a throwaway cache dir and a tiny training scale so this test
+  // stays fast; the second Zoo must load the checkpoint, not retrain.
+  const auto dir = std::filesystem::temp_directory_path() /
+                   "llmfi_zoo_test_cache";
+  std::filesystem::remove_all(dir);
+  setenv("LLMFI_TRAIN_SCALE", "0.02", 1);
+
+  float sample = 0.0f;
+  {
+    Zoo zoo(dir.string());
+    const auto& w = zoo.get("scale-xs");
+    EXPECT_EQ(w.config.d_model, 32);
+    sample = w.embedding.flat()[7];
+    EXPECT_TRUE(std::filesystem::exists(dir / "scale-xs_v1.bin"));
+  }
+  {
+    Zoo zoo(dir.string());
+    const auto t0 = std::chrono::steady_clock::now();
+    const auto& w = zoo.get("scale-xs");
+    const double secs = std::chrono::duration<double>(
+                            std::chrono::steady_clock::now() - t0)
+                            .count();
+    EXPECT_EQ(w.embedding.flat()[7], sample);  // same checkpoint bits
+    EXPECT_LT(secs, 1.0);                      // loaded, not retrained
+  }
+  unsetenv("LLMFI_TRAIN_SCALE");
+  std::filesystem::remove_all(dir);
+}
+
+TEST(Zoo, ModelNamesCoverTheStudy) {
+  const auto& names = Zoo::model_names();
+  EXPECT_EQ(names.size(), 12u);
+  for (const char* required :
+       {"aquila", "qilin", "falco", "alma", "summarizer", "qilin-moe",
+        "qilin-dense", "scale-xl"}) {
+    EXPECT_NE(std::find(names.begin(), names.end(), required),
+              names.end())
+        << required;
+  }
+}
+
+TEST(Zoo, UnknownModelThrows) {
+  const auto dir = std::filesystem::temp_directory_path() /
+                   "llmfi_zoo_test_cache2";
+  Zoo zoo(dir.string());
+  EXPECT_THROW(zoo.get("gpt-4"), std::invalid_argument);
+  std::filesystem::remove_all(dir);
+}
+
+TEST(Zoo, TaskDataIsStableAcrossCalls) {
+  const auto dir = std::filesystem::temp_directory_path() /
+                   "llmfi_zoo_test_cache3";
+  Zoo zoo(dir.string());
+  const auto& a = zoo.task(data::TaskKind::QA);
+  const auto& b = zoo.task(data::TaskKind::QA);
+  EXPECT_EQ(&a, &b);  // cached, not regenerated
+  EXPECT_EQ(a.eval.size(), 100u);
+  std::filesystem::remove_all(dir);
+}
+
+}  // namespace
+}  // namespace llmfi::eval

@@ -1,0 +1,170 @@
+// Cross-cutting fault-semantics tests: how single-shot computational
+// injection interacts with multiple-choice scoring and beam search, how
+// pass restriction scopes sampling, and dtype-bounded activation flips.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/injector.h"
+#include "eval/campaign.h"
+#include "gen/generate.h"
+#include "numerics/bitflip.h"
+#include "numerics/half.h"
+
+namespace llmfi {
+namespace {
+
+model::ModelConfig tiny_config() {
+  model::ModelConfig cfg;
+  cfg.vocab_size = 24;
+  cfg.d_model = 16;
+  cfg.n_layers = 2;
+  cfg.n_heads = 2;
+  cfg.d_ff = 24;
+  cfg.max_seq = 64;
+  cfg.seed = 321;
+  return cfg;
+}
+
+std::vector<tok::TokenId> tokens(std::initializer_list<int> ids) {
+  std::vector<tok::TokenId> out;
+  for (int i : ids) out.push_back(static_cast<tok::TokenId>(i));
+  return out;
+}
+
+TEST(FaultSemantics, McFaultHitsExactlyOneOption) {
+  // pass_index == option index in score_options: a fault planned for
+  // pass 1 must change option 1's score and leave the others bit-equal.
+  model::InferenceModel m(model::ModelWeights::init(tiny_config()), {});
+  const auto prompt = tokens({1, 4, 7});
+  const std::vector<std::vector<tok::TokenId>> options = {
+      tokens({5, 6}), tokens({8, 9}), tokens({10, 11})};
+  const auto clean = gen::score_options(m, prompt, options);
+
+  core::FaultPlan plan;
+  plan.model = core::FaultModel::Comp2Bit;
+  plan.layer = {1, nn::LayerKind::DownProj, -1};
+  plan.pass_index = 1;
+  // 5 rows (3 prompt + 2 option tokens); row 3 is the first option
+  // token, whose logits score the option's second token.
+  plan.row_frac = 0.7;
+  plan.out_col = 3;
+  plan.bits = {30, 28};
+  core::ComputationalFaultInjector injector(plan, num::DType::F32);
+  m.set_linear_hook(&injector);
+  const auto faulty = gen::score_options(m, prompt, options);
+  m.set_linear_hook(nullptr);
+
+  ASSERT_TRUE(injector.fired());
+  EXPECT_DOUBLE_EQ(faulty.scores[0], clean.scores[0]);
+  EXPECT_NE(faulty.scores[1], clean.scores[1]);
+  EXPECT_DOUBLE_EQ(faulty.scores[2], clean.scores[2]);
+}
+
+TEST(FaultSemantics, BeamSearchFaultFiresOnceAcrossBeams) {
+  // All beams share a pass index per iteration; the single-shot injector
+  // must corrupt only the first matching beam's forward pass.
+  model::InferenceModel m(model::ModelWeights::init(tiny_config()), {});
+  core::FaultPlan plan;
+  plan.model = core::FaultModel::Comp1Bit;
+  plan.layer = {0, nn::LayerKind::QProj, -1};
+  plan.pass_index = 2;
+  plan.row_frac = 0.0;
+  plan.out_col = 2;
+  plan.bits = {30};
+  core::ComputationalFaultInjector injector(plan, num::DType::F32);
+  m.set_linear_hook(&injector);
+  gen::GenerationConfig cfg;
+  cfg.max_new_tokens = 6;
+  cfg.num_beams = 4;
+  const auto r = gen::generate(m, tokens({1, 4, 7}), cfg);
+  m.set_linear_hook(nullptr);
+  (void)r;
+  // With 4 beams, pass 2 executes up to 4 times; single-shot semantics
+  // guarantee exactly one firing.
+  EXPECT_TRUE(injector.fired());
+  EXPECT_EQ(injector.record().pass_index, 2);
+}
+
+TEST(FaultSemantics, ExcludeFinalPassesNarrowsSampling) {
+  // The Fig 20 scoping knob: with exclude_final_passes set, sampled
+  // computational faults must avoid the trailing passes.
+  model::InferenceModel m(model::ModelWeights::init(tiny_config()), {});
+  core::SamplerScope scope;
+  scope.max_passes = 10 - 4;  // campaign computes base.passes - exclude
+  num::Rng rng(5);
+  for (int i = 0; i < 200; ++i) {
+    const auto plan =
+        core::sample_fault(core::FaultModel::Comp1Bit, m, scope, rng);
+    EXPECT_LT(plan.pass_index, 6);
+  }
+}
+
+TEST(FaultSemantics, Fp16ActivationFlipIsBounded) {
+  // With fp16 activations, no single flip can exceed the fp16 range —
+  // the root cause of Fig 21's fp16 > bf16 resilience.
+  num::Rng rng(6);
+  for (int i = 0; i < 500; ++i) {
+    const float v = num::round_to_f16(
+        static_cast<float>(rng.normal(0.0, 5.0)));
+    const int bit = static_cast<int>(rng.uniform_u64(16));
+    const float flipped = num::flip_float_bit(v, num::DType::F16, bit);
+    if (std::isfinite(flipped)) {
+      EXPECT_LE(std::fabs(flipped), 65504.0f);
+    }
+  }
+}
+
+TEST(FaultSemantics, Bf16MsbFlipEscapesFp16RangeRoutinely) {
+  // Counterpart: a bf16 exponent-MSB flip of an ordinary value lands far
+  // outside anything fp16 can represent — either a huge finite value
+  // (|v| < 1: exponent jumps by +128) or inf/NaN (|v| in [1, 2):
+  // exponent saturates). Only values with |v| >= 2 flip downward.
+  int escaped = 0;
+  num::Rng rng(7);
+  for (int i = 0; i < 200; ++i) {
+    const float v = num::round_to_bf16(
+        static_cast<float>(rng.normal(0.0, 1.0)));
+    const float flipped = num::flip_float_bit(v, num::DType::BF16, 14);
+    if (!std::isfinite(flipped) || std::fabs(flipped) > 65504.0f) ++escaped;
+  }
+  EXPECT_GT(escaped, 150);  // ~95% of N(0,1) has |v| < 2
+}
+
+TEST(FaultSemantics, MemFaultAffectsEveryPass) {
+  // A memory fault must perturb both prefill and later decode passes
+  // (persistence), unlike the single-shot computational fault.
+  model::InferenceModel m(model::ModelWeights::init(tiny_config()), {});
+  auto run_pair = [&m]() {
+    auto cache = m.make_cache();
+    tn::Tensor l0 = m.forward(tokens({1, 2, 3}), cache, 0);
+    tn::Tensor l1 = m.forward(tokens({4}), cache, 1);
+    return std::pair<tn::Tensor, tn::Tensor>(std::move(l0), std::move(l1));
+  };
+  auto [c0, c1] = run_pair();
+
+  core::FaultPlan plan;
+  plan.model = core::FaultModel::Mem2Bit;
+  plan.layer_index = 2;  // block0 v_proj
+  plan.layer = m.linear_layers()[2].id;
+  plan.weight_row = 1;
+  plan.weight_col = 2;
+  plan.bits = {30, 27};
+  core::WeightCorruption guard(m, plan);
+  auto [f0, f1] = run_pair();
+
+  auto differs = [](const tn::Tensor& a, const tn::Tensor& b) {
+    for (tn::Index i = 0; i < a.numel(); ++i) {
+      const float x = a.flat()[i], y = b.flat()[i];
+      if (std::isnan(x) != std::isnan(y)) return true;
+      if (!std::isnan(x) && x != y) return true;
+    }
+    return false;
+  };
+  EXPECT_TRUE(differs(c0, f0));  // prefill affected
+  EXPECT_TRUE(differs(c1, f1));  // decode pass affected too
+}
+
+}  // namespace
+}  // namespace llmfi

@@ -1,0 +1,294 @@
+// Unit tests for the numerics substrate: dtype traits, fp16/bf16
+// conversions (bit-exact), bit-flip semantics, and the deterministic RNG.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+#include <set>
+
+#include "numerics/bitflip.h"
+#include "numerics/dtype.h"
+#include "numerics/half.h"
+#include "numerics/rng.h"
+
+namespace llmfi::num {
+namespace {
+
+// ---- dtype traits ----------------------------------------------------
+
+TEST(DType, TraitsMatchTable2) {
+  EXPECT_EQ(dtype_info(DType::F16).exponent_bits, 5);
+  EXPECT_EQ(dtype_info(DType::F32).exponent_bits, 8);
+  EXPECT_EQ(dtype_info(DType::BF16).exponent_bits, 8);
+  EXPECT_EQ(dtype_info(DType::F16).total_bits, 16);
+  EXPECT_EQ(dtype_info(DType::BF16).total_bits, 16);
+  EXPECT_EQ(dtype_info(DType::I4).total_bits, 4);
+  EXPECT_DOUBLE_EQ(dtype_info(DType::F16).max_finite, 65504.0);
+}
+
+TEST(DType, ParseRoundTrip) {
+  for (auto d : {DType::F32, DType::F16, DType::BF16, DType::I8, DType::I4}) {
+    EXPECT_EQ(parse_dtype(dtype_name(d)), d);
+  }
+  EXPECT_THROW(parse_dtype("fp8"), std::invalid_argument);
+}
+
+TEST(DType, Classification) {
+  EXPECT_TRUE(is_float_dtype(DType::BF16));
+  EXPECT_FALSE(is_float_dtype(DType::I4));
+  EXPECT_TRUE(is_quantized_dtype(DType::I8));
+  EXPECT_FALSE(is_quantized_dtype(DType::F16));
+}
+
+// ---- fp16 -------------------------------------------------------------
+
+TEST(Fp16, GoldenValues) {
+  EXPECT_EQ(f32_to_f16_bits(0.0f), 0x0000);
+  EXPECT_EQ(f32_to_f16_bits(-0.0f), 0x8000);
+  EXPECT_EQ(f32_to_f16_bits(1.0f), 0x3C00);
+  EXPECT_EQ(f32_to_f16_bits(-2.0f), 0xC000);
+  EXPECT_EQ(f32_to_f16_bits(0.5f), 0x3800);
+  EXPECT_EQ(f32_to_f16_bits(65504.0f), 0x7BFF);  // max finite
+  EXPECT_EQ(f32_to_f16_bits(65536.0f), 0x7C00);  // overflow -> inf
+  EXPECT_EQ(f32_to_f16_bits(std::numeric_limits<float>::infinity()), 0x7C00);
+  // Smallest positive subnormal: 2^-24.
+  EXPECT_EQ(f32_to_f16_bits(std::ldexp(1.0f, -24)), 0x0001);
+  // Smallest normal: 2^-14.
+  EXPECT_EQ(f32_to_f16_bits(std::ldexp(1.0f, -14)), 0x0400);
+}
+
+TEST(Fp16, DecodeGolden) {
+  EXPECT_FLOAT_EQ(f16_bits_to_f32(0x3C00), 1.0f);
+  EXPECT_FLOAT_EQ(f16_bits_to_f32(0x3800), 0.5f);
+  EXPECT_FLOAT_EQ(f16_bits_to_f32(0x7BFF), 65504.0f);
+  EXPECT_FLOAT_EQ(f16_bits_to_f32(0x0001), std::ldexp(1.0f, -24));
+  EXPECT_FLOAT_EQ(f16_bits_to_f32(0x0400), std::ldexp(1.0f, -14));
+  EXPECT_TRUE(std::isinf(f16_bits_to_f32(0x7C00)));
+  EXPECT_TRUE(std::isnan(f16_bits_to_f32(0x7E00)));
+  EXPECT_TRUE(std::signbit(f16_bits_to_f32(0x8000)));
+}
+
+TEST(Fp16, EncodeDecodeIsIdentityOnAllBitPatterns) {
+  // Every finite fp16 value must survive a decode -> encode round trip
+  // exactly (the involution property the memory-fault restore relies on).
+  for (std::uint32_t bits = 0; bits <= 0xFFFF; ++bits) {
+    const auto h = static_cast<std::uint16_t>(bits);
+    const float f = f16_bits_to_f32(h);
+    if (std::isnan(f)) continue;  // NaN payloads may canonicalize
+    EXPECT_EQ(f32_to_f16_bits(f), h) << "bits=0x" << std::hex << bits;
+  }
+}
+
+TEST(Fp16, RoundToNearestEven) {
+  // 1 + 2^-11 sits exactly between 1.0 and the next fp16 (1 + 2^-10):
+  // round-to-even picks 1.0 (even mantissa).
+  EXPECT_EQ(f32_to_f16_bits(1.0f + std::ldexp(1.0f, -11)), 0x3C00);
+  // 1 + 3*2^-11 sits between 1+2^-10 and 1+2^-9: even is 1+2^-9.
+  EXPECT_EQ(f32_to_f16_bits(1.0f + 3 * std::ldexp(1.0f, -11)), 0x3C02);
+  // Slightly above the halfway point rounds up.
+  EXPECT_EQ(f32_to_f16_bits(1.0f + std::ldexp(1.0f, -11) * 1.01f), 0x3C01);
+}
+
+// ---- bf16 -------------------------------------------------------------
+
+TEST(Bf16, GoldenValues) {
+  EXPECT_EQ(f32_to_bf16_bits(1.0f), 0x3F80);
+  EXPECT_EQ(f32_to_bf16_bits(-1.0f), 0xBF80);
+  EXPECT_EQ(f32_to_bf16_bits(0.5f), 0x3F00);
+  EXPECT_TRUE(std::isinf(bf16_bits_to_f32(0x7F80)));
+  EXPECT_TRUE(std::isnan(bf16_bits_to_f32(0x7FC0)));
+}
+
+TEST(Bf16, EncodeDecodeIsIdentityOnAllBitPatterns) {
+  for (std::uint32_t bits = 0; bits <= 0xFFFF; ++bits) {
+    const auto h = static_cast<std::uint16_t>(bits);
+    const float f = bf16_bits_to_f32(h);
+    if (std::isnan(f)) continue;
+    EXPECT_EQ(f32_to_bf16_bits(f), h) << "bits=0x" << std::hex << bits;
+  }
+}
+
+TEST(Bf16, RoundsToNearestEven) {
+  // The bf16 ulp at 1.0 is 2^-7. Exactly 0.5 ulp above 1.0 ties to the
+  // even mantissa (1.0); exactly 1.5 ulp ties to 2 ulp.
+  EXPECT_EQ(f32_to_bf16_bits(1.0f + std::ldexp(1.0f, -8)), 0x3F80);
+  EXPECT_EQ(f32_to_bf16_bits(1.0f + 3 * std::ldexp(1.0f, -8)), 0x3F82);
+  // 0.75 ulp above 1.0 is closest to 1 ulp.
+  EXPECT_EQ(f32_to_bf16_bits(1.0f + 3 * std::ldexp(1.0f, -9)), 0x3F81);
+}
+
+TEST(Bf16, HugeRangeMatchesF32) {
+  EXPECT_FLOAT_EQ(round_to_bf16(1.0e38f), bf16_bits_to_f32(
+      f32_to_bf16_bits(1.0e38f)));
+  EXPECT_TRUE(std::isfinite(round_to_bf16(3.0e38f)));
+}
+
+// ---- bit flips ----------------------------------------------------------
+
+TEST(BitFlip, MsbExponentFlipBlowsUpBf16ButNotFp16) {
+  // The paper's §4.2.5 example: flipping the top exponent bit of 0.5.
+  const float bf = flip_float_bit(0.5f, DType::BF16, 14);
+  const float fp = flip_float_bit(0.5f, DType::F16, 14);
+  EXPECT_GT(bf, 1.0e38f);
+  EXPECT_LE(fp, 65504.0f);
+  EXPECT_FLOAT_EQ(fp, 32768.0f);
+}
+
+TEST(BitFlip, SignBit) {
+  EXPECT_FLOAT_EQ(flip_float_bit(1.5f, DType::F32, 31), -1.5f);
+  EXPECT_FLOAT_EQ(flip_float_bit(1.5f, DType::F16, 15), -1.5f);
+  EXPECT_FLOAT_EQ(flip_float_bit(1.5f, DType::BF16, 15), -1.5f);
+}
+
+class BitFlipInvolution
+    : public ::testing::TestWithParam<std::tuple<DType, int>> {};
+
+TEST_P(BitFlipInvolution, DoubleFlipRestoresValue) {
+  const auto [dtype, bit] = GetParam();
+  Rng rng(static_cast<std::uint64_t>(bit) * 31 + 7);
+  for (int i = 0; i < 50; ++i) {
+    float v = static_cast<float>(rng.normal(0.0, 2.0));
+    // Values must be representable in the dtype for exact restore.
+    if (dtype == DType::F16) v = round_to_f16(v);
+    if (dtype == DType::BF16) v = round_to_bf16(v);
+    const float once = flip_float_bit(v, dtype, bit);
+    const float twice = flip_float_bit(once, dtype, bit);
+    if (std::isnan(v)) continue;
+    EXPECT_EQ(f32_bits(twice), f32_bits(v))
+        << "dtype=" << dtype_name(dtype) << " bit=" << bit << " v=" << v;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllFloatBits, BitFlipInvolution,
+    ::testing::Values(
+        std::make_tuple(DType::F32, 0), std::make_tuple(DType::F32, 15),
+        std::make_tuple(DType::F32, 23), std::make_tuple(DType::F32, 30),
+        std::make_tuple(DType::F32, 31), std::make_tuple(DType::F16, 0),
+        std::make_tuple(DType::F16, 9), std::make_tuple(DType::F16, 10),
+        std::make_tuple(DType::F16, 14), std::make_tuple(DType::F16, 15),
+        std::make_tuple(DType::BF16, 0), std::make_tuple(DType::BF16, 6),
+        std::make_tuple(DType::BF16, 7), std::make_tuple(DType::BF16, 14),
+        std::make_tuple(DType::BF16, 15)));
+
+TEST(BitFlip, MultiBitFlipOrderIrrelevant) {
+  const int bits_a[2] = {30, 22};
+  const int bits_b[2] = {22, 30};
+  EXPECT_EQ(f32_bits(flip_float_bits(1.25f, DType::F32, bits_a)),
+            f32_bits(flip_float_bits(1.25f, DType::F32, bits_b)));
+}
+
+TEST(BitFlip, IntPayloadFlips) {
+  // I4: flipping the sign bit of +3 (0b0011) gives -5 (0b1011).
+  EXPECT_EQ(flip_int_bit(3, 4, 3), -5);
+  EXPECT_EQ(flip_int_bit(-5, 4, 3), 3);  // involution
+  // I8: flipping bit 0 of 0 gives 1.
+  EXPECT_EQ(flip_int_bit(0, 8, 0), 1);
+  // I8 sign bit: 1 -> -127.
+  EXPECT_EQ(flip_int_bit(1, 8, 7), -127);
+}
+
+TEST(BitFlip, IntFlipBoundedDeviation) {
+  // The core of Observation #8: an int payload flip moves the value by at
+  // most 2^(bits-1) quantization steps.
+  Rng rng(42);
+  for (int trial = 0; trial < 200; ++trial) {
+    const auto v = static_cast<std::int32_t>(rng.uniform_int(-8, 7));
+    const int bit = static_cast<int>(rng.uniform_u64(4));
+    const std::int32_t flipped = flip_int_bit(v, 4, bit);
+    EXPECT_LE(std::abs(flipped - v), 8);
+    EXPECT_GE(flipped, -8);
+    EXPECT_LE(flipped, 7);
+  }
+}
+
+TEST(BitFlip, IsExtreme) {
+  EXPECT_TRUE(is_extreme(std::numeric_limits<float>::quiet_NaN(), 1e4f));
+  EXPECT_TRUE(is_extreme(std::numeric_limits<float>::infinity(), 1e4f));
+  EXPECT_TRUE(is_extreme(-2e4f, 1e4f));
+  EXPECT_FALSE(is_extreme(5.0f, 1e4f));
+}
+
+// ---- RNG ----------------------------------------------------------------
+
+TEST(Rng, Deterministic) {
+  Rng a(123), b(123);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next_u64(), b.next_u64());
+}
+
+TEST(Rng, ForkIsOrderIndependent) {
+  Rng a(9);
+  Rng f1 = a.fork(5);
+  a.next_u64();  // advancing the parent must not change fork streams
+  Rng f2 = a.fork(5);
+  for (int i = 0; i < 20; ++i) EXPECT_EQ(f1.next_u64(), f2.next_u64());
+}
+
+TEST(Rng, ForkStreamsDiffer) {
+  Rng a(9);
+  Rng f1 = a.fork(1), f2 = a.fork(2);
+  int same = 0;
+  for (int i = 0; i < 64; ++i) {
+    if (f1.next_u64() == f2.next_u64()) ++same;
+  }
+  EXPECT_LT(same, 2);
+}
+
+TEST(Rng, UniformBounds) {
+  Rng rng(7);
+  std::set<std::uint64_t> seen;
+  for (int i = 0; i < 3000; ++i) {
+    const auto v = rng.uniform_u64(10);
+    ASSERT_LT(v, 10u);
+    seen.insert(v);
+  }
+  EXPECT_EQ(seen.size(), 10u);  // all buckets hit
+}
+
+TEST(Rng, UniformIntInclusive) {
+  Rng rng(8);
+  bool saw_lo = false, saw_hi = false;
+  for (int i = 0; i < 2000; ++i) {
+    const auto v = rng.uniform_int(-3, 3);
+    ASSERT_GE(v, -3);
+    ASSERT_LE(v, 3);
+    saw_lo |= (v == -3);
+    saw_hi |= (v == 3);
+  }
+  EXPECT_TRUE(saw_lo);
+  EXPECT_TRUE(saw_hi);
+}
+
+TEST(Rng, UniformDoubleInHalfOpenUnitInterval) {
+  Rng rng(11);
+  for (int i = 0; i < 2000; ++i) {
+    const double u = rng.uniform();
+    ASSERT_GE(u, 0.0);
+    ASSERT_LT(u, 1.0);
+  }
+}
+
+TEST(Rng, NormalMoments) {
+  Rng rng(12);
+  double sum = 0.0, sumsq = 0.0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) {
+    const double x = rng.normal();
+    sum += x;
+    sumsq += x * x;
+  }
+  EXPECT_NEAR(sum / n, 0.0, 0.03);
+  EXPECT_NEAR(sumsq / n, 1.0, 0.05);
+}
+
+TEST(Rng, Bernoulli) {
+  Rng rng(13);
+  int hits = 0;
+  const int n = 10000;
+  for (int i = 0; i < n; ++i) hits += rng.bernoulli(0.3) ? 1 : 0;
+  EXPECT_NEAR(static_cast<double>(hits) / n, 0.3, 0.02);
+}
+
+}  // namespace
+}  // namespace llmfi::num

@@ -1,0 +1,170 @@
+// Tests for group-wise INT8/INT4 quantization: reconstruction error
+// bounds, payload/scale bit-flip semantics, and the bounded-deviation
+// property behind Observation #8.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "numerics/half.h"
+#include "numerics/rng.h"
+#include "quant/quantized_matrix.h"
+
+namespace llmfi::quant {
+namespace {
+
+tn::Tensor random_weights(tn::Index r, tn::Index c, std::uint64_t seed,
+                          double scale = 0.05) {
+  num::Rng rng(seed);
+  tn::Tensor t({r, c});
+  for (float& v : t.flat()) v = static_cast<float>(rng.normal(0.0, scale));
+  return t;
+}
+
+class QuantDtype : public ::testing::TestWithParam<num::DType> {};
+
+TEST_P(QuantDtype, ReconstructionErrorBoundedByHalfStep) {
+  const tn::Tensor w = random_weights(16, 64, 1);
+  QuantizedMatrix q(w, GetParam(), 32);
+  for (tn::Index r = 0; r < w.rows(); ++r) {
+    for (tn::Index c = 0; c < w.cols(); ++c) {
+      const float step = q.scale(r, c);
+      // Round-to-nearest: |error| <= step/2 (+ fp16 scale rounding slack).
+      EXPECT_LE(std::fabs(w.at(r, c) - q.dequant(r, c)), 0.51f * step + 1e-6f)
+          << r << "," << c;
+    }
+  }
+}
+
+TEST_P(QuantDtype, PayloadsWithinRange) {
+  const tn::Tensor w = random_weights(8, 40, 2, 0.2);
+  QuantizedMatrix q(w, GetParam(), 16);
+  const int qmax = (GetParam() == num::DType::I8) ? 127 : 7;
+  for (tn::Index r = 0; r < w.rows(); ++r) {
+    for (tn::Index c = 0; c < w.cols(); ++c) {
+      EXPECT_GE(q.payload(r, c), -qmax - 1);
+      EXPECT_LE(q.payload(r, c), qmax);
+    }
+  }
+}
+
+TEST_P(QuantDtype, PayloadFlipIsInvolution) {
+  const tn::Tensor w = random_weights(6, 32, 3);
+  QuantizedMatrix q(w, GetParam(), 8);
+  const int bits_total = (GetParam() == num::DType::I8) ? 8 : 4;
+  num::Rng rng(4);
+  for (int trial = 0; trial < 100; ++trial) {
+    const auto r = static_cast<tn::Index>(rng.uniform_u64(6));
+    const auto c = static_cast<tn::Index>(rng.uniform_u64(32));
+    const int bit = static_cast<int>(rng.uniform_u64(
+        static_cast<std::uint64_t>(bits_total)));
+    const auto before = q.payload(r, c);
+    const int bits1[1] = {bit};
+    q.flip_payload_bits(r, c, bits1);
+    q.flip_payload_bits(r, c, bits1);
+    EXPECT_EQ(q.payload(r, c), before);
+  }
+}
+
+TEST_P(QuantDtype, PayloadFlipDeviationIsBounded) {
+  // Observation #8's mechanism: a payload flip changes the weight by at
+  // most (2^bits) * scale — no 2^128-style blowup is possible.
+  const tn::Tensor w = random_weights(8, 32, 5);
+  QuantizedMatrix q(w, GetParam(), 16);
+  const int bits_total = (GetParam() == num::DType::I8) ? 8 : 4;
+  num::Rng rng(6);
+  for (int trial = 0; trial < 200; ++trial) {
+    const auto r = static_cast<tn::Index>(rng.uniform_u64(8));
+    const auto c = static_cast<tn::Index>(rng.uniform_u64(32));
+    const int bit = static_cast<int>(rng.uniform_u64(
+        static_cast<std::uint64_t>(bits_total)));
+    const float before = q.dequant(r, c);
+    const int bits1[1] = {bit};
+    const float after = q.flip_payload_bits(r, c, bits1);
+    const float bound =
+        q.scale(r, c) * static_cast<float>(1 << bits_total);
+    EXPECT_LE(std::fabs(after - before), bound);
+    q.flip_payload_bits(r, c, bits1);  // restore
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Int8AndInt4, QuantDtype,
+                         ::testing::Values(num::DType::I8, num::DType::I4),
+                         [](const auto& info) {
+                           return std::string(num::dtype_name(info.param));
+                         });
+
+TEST(Quant, RejectsFloatDtypes) {
+  const tn::Tensor w = random_weights(2, 4, 7);
+  EXPECT_THROW(QuantizedMatrix(w, num::DType::F16, 2), std::invalid_argument);
+  EXPECT_THROW(QuantizedMatrix(w, num::DType::I8, 0), std::invalid_argument);
+}
+
+TEST(Quant, HandlesRaggedLastGroup) {
+  // cols not a multiple of group_size.
+  const tn::Tensor w = random_weights(3, 10, 8);
+  QuantizedMatrix q(w, num::DType::I8, 4);
+  EXPECT_EQ(q.groups_per_row(), 3);  // 4 + 4 + 2
+  for (tn::Index c = 0; c < 10; ++c) {
+    EXPECT_GT(q.scale(0, c), 0.0f);
+  }
+}
+
+TEST(Quant, ZeroGroupStaysExact) {
+  tn::Tensor w({2, 8});
+  QuantizedMatrix q(w, num::DType::I4, 4);
+  for (tn::Index c = 0; c < 8; ++c) {
+    EXPECT_FLOAT_EQ(q.dequant(0, c), 0.0f);
+    EXPECT_GT(q.scale(0, c), 0.0f);  // never a zero scale
+  }
+}
+
+TEST(Quant, ScalesAreFp16Representable) {
+  const tn::Tensor w = random_weights(4, 32, 9);
+  QuantizedMatrix q(w, num::DType::I8, 8);
+  for (tn::Index r = 0; r < 4; ++r) {
+    for (tn::Index c = 0; c < 32; c += 8) {
+      const float s = q.scale(r, c);
+      EXPECT_FLOAT_EQ(s, num::round_to_f16(s));
+    }
+  }
+}
+
+TEST(Quant, ScaleFlipAffectsWholeGroup) {
+  const tn::Tensor w = random_weights(2, 8, 10);
+  QuantizedMatrix q(w, num::DType::I8, 4);
+  const float before0 = q.dequant(0, 0);
+  const float before3 = q.dequant(0, 3);
+  const float before4 = q.dequant(0, 4);  // next group
+  const int bits1[1] = {14};  // fp16 exponent MSB
+  q.flip_scale_bits(0, 0, bits1);
+  EXPECT_NE(q.dequant(0, 0), before0);
+  EXPECT_NE(q.dequant(0, 3), before3);
+  EXPECT_FLOAT_EQ(q.dequant(0, 4), before4);
+  q.flip_scale_bits(0, 0, bits1);  // involution restores
+  EXPECT_FLOAT_EQ(q.dequant(0, 0), before0);
+}
+
+TEST(Quant, DequantizeMatchesElementwise) {
+  const tn::Tensor w = random_weights(5, 24, 11);
+  QuantizedMatrix q(w, num::DType::I4, 8);
+  const tn::Tensor d = q.dequantize();
+  for (tn::Index r = 0; r < 5; ++r) {
+    for (tn::Index c = 0; c < 24; ++c) {
+      EXPECT_FLOAT_EQ(d.at(r, c), q.dequant(r, c));
+    }
+  }
+  EXPECT_LT(q.mean_abs_error(w), 0.05);
+  EXPECT_THROW(q.mean_abs_error(random_weights(2, 2, 1)),
+               std::invalid_argument);
+}
+
+TEST(Quant, Int4CoarserThanInt8) {
+  const tn::Tensor w = random_weights(8, 64, 12);
+  QuantizedMatrix q8(w, num::DType::I8, 32);
+  QuantizedMatrix q4(w, num::DType::I4, 32);
+  EXPECT_LT(q8.mean_abs_error(w), q4.mean_abs_error(w));
+}
+
+}  // namespace
+}  // namespace llmfi::quant

@@ -1,0 +1,63 @@
+// Tests for the report emitters (table alignment, CSV) and formatting
+// helpers used by every bench binary.
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "report/table.h"
+
+namespace llmfi::report {
+namespace {
+
+TEST(Table, AlignsColumnsAndPrintsTitle) {
+  Table t("demo");
+  t.header({"name", "value"});
+  t.row({"x", "1"});
+  t.row({"longer-name", "2.5"});
+  std::ostringstream os;
+  t.print(os);
+  const std::string out = os.str();
+  EXPECT_NE(out.find("== demo =="), std::string::npos);
+  // Header separator exists and rows appear in order.
+  EXPECT_NE(out.find("name"), std::string::npos);
+  EXPECT_LT(out.find("x"), out.find("longer-name"));
+  // Every data line has the two cells separated by >= 2 spaces.
+  EXPECT_NE(out.find("x            1"), std::string::npos);
+}
+
+TEST(Table, CsvEscapesNothingButJoinsWithCommas) {
+  Table t;
+  t.header({"a", "b"});
+  t.row({"1", "2"});
+  std::ostringstream os;
+  t.print_csv(os);
+  EXPECT_EQ(os.str(), "a,b\n1,2\n");
+}
+
+TEST(Table, HandlesRaggedRows) {
+  Table t;
+  t.header({"a"});
+  t.row({"1", "2", "3"});  // wider than the header
+  std::ostringstream os;
+  EXPECT_NO_THROW(t.print(os));
+  EXPECT_NE(os.str().find("3"), std::string::npos);
+}
+
+TEST(Fmt, NumberFormatting) {
+  EXPECT_EQ(fmt(1.23456, 2), "1.23");
+  EXPECT_EQ(fmt(1.23456), "1.2346");
+  EXPECT_EQ(fmt_pct(0.1234), "12.34%");
+  EXPECT_EQ(fmt_pct(1.0, 0), "100%");
+}
+
+TEST(Fmt, RatioWithInterval) {
+  metrics::Ratio r;
+  r.value = 0.95;
+  r.lo = 0.9;
+  r.hi = 1.0;
+  EXPECT_EQ(fmt_ratio(r, 2), "0.95 [0.90, 1.00]");
+}
+
+}  // namespace
+}  // namespace llmfi::report

@@ -1,0 +1,229 @@
+// Unit tests for the tensor substrate: GEMM variants, activations,
+// normalization (including its error-masking behaviour), statistics.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+
+#include "numerics/rng.h"
+#include "tensor/ops.h"
+
+namespace llmfi::tn {
+namespace {
+
+Tensor random_matrix(Index r, Index c, std::uint64_t seed) {
+  num::Rng rng(seed);
+  Tensor t({r, c});
+  for (float& v : t.flat()) v = static_cast<float>(rng.normal(0.0, 1.0));
+  return t;
+}
+
+TEST(Tensor, ConstructionAndAccess) {
+  Tensor t({2, 3});
+  EXPECT_EQ(t.rows(), 2);
+  EXPECT_EQ(t.cols(), 3);
+  EXPECT_EQ(t.numel(), 6);
+  t.at(1, 2) = 5.0f;
+  EXPECT_FLOAT_EQ(t.at(1, 2), 5.0f);
+  EXPECT_FLOAT_EQ(t[5], 5.0f);  // row-major layout
+}
+
+TEST(Tensor, FromRowsValidatesCount) {
+  EXPECT_NO_THROW(Tensor::from_rows(2, 2, {1, 2, 3, 4}));
+  EXPECT_THROW(Tensor::from_rows(2, 2, {1, 2, 3}), std::invalid_argument);
+}
+
+TEST(Tensor, ReshapePreservesData) {
+  Tensor t = Tensor::from_rows(2, 3, {1, 2, 3, 4, 5, 6});
+  Tensor r = t.reshaped({3, 2});
+  EXPECT_FLOAT_EQ(r.at(2, 1), 6.0f);
+  EXPECT_THROW(t.reshaped({4, 2}), std::invalid_argument);
+}
+
+TEST(Ops, MatmulGolden) {
+  Tensor a = Tensor::from_rows(2, 3, {1, 2, 3, 4, 5, 6});
+  Tensor b = Tensor::from_rows(3, 2, {7, 8, 9, 10, 11, 12});
+  Tensor c = matmul(a, b);
+  EXPECT_FLOAT_EQ(c.at(0, 0), 58.0f);
+  EXPECT_FLOAT_EQ(c.at(0, 1), 64.0f);
+  EXPECT_FLOAT_EQ(c.at(1, 0), 139.0f);
+  EXPECT_FLOAT_EQ(c.at(1, 1), 154.0f);
+}
+
+TEST(Ops, MatmulVariantsAgree) {
+  // matmul_bt(A, B) == matmul(A, B^T) and matmul_at(A, B) == matmul(A^T, B).
+  Tensor a = random_matrix(5, 7, 1);
+  Tensor b = random_matrix(4, 7, 2);
+  Tensor bt({7, 4});
+  for (Index i = 0; i < 4; ++i) {
+    for (Index j = 0; j < 7; ++j) bt.at(j, i) = b.at(i, j);
+  }
+  Tensor c1 = matmul_bt(a, b);
+  Tensor c2 = matmul(a, bt);
+  ASSERT_EQ(c1.shape(), c2.shape());
+  for (Index i = 0; i < c1.numel(); ++i) EXPECT_NEAR(c1[i], c2[i], 1e-4);
+
+  Tensor d = random_matrix(5, 6, 3);
+  Tensor at({7, 5});
+  for (Index i = 0; i < 5; ++i) {
+    for (Index j = 0; j < 7; ++j) at.at(j, i) = a.at(i, j);
+  }
+  Tensor e1 = matmul_at(a, d);
+  Tensor e2 = matmul(at, d);
+  ASSERT_EQ(e1.shape(), e2.shape());
+  for (Index i = 0; i < e1.numel(); ++i) EXPECT_NEAR(e1[i], e2[i], 1e-4);
+}
+
+TEST(Ops, MatmulShapeChecks) {
+  Tensor a({2, 3}), b({4, 5});
+  EXPECT_THROW(matmul(a, b), std::invalid_argument);
+  EXPECT_THROW(matmul_bt(a, b), std::invalid_argument);
+  EXPECT_THROW(matmul_at(a, b), std::invalid_argument);
+}
+
+TEST(Ops, SoftmaxRowsSumToOne) {
+  Tensor x = random_matrix(4, 9, 5);
+  softmax_rows_inplace(x);
+  for (Index r = 0; r < 4; ++r) {
+    float sum = 0.0f;
+    for (float v : x.row(r)) {
+      EXPECT_GE(v, 0.0f);
+      sum += v;
+    }
+    EXPECT_NEAR(sum, 1.0f, 1e-5);
+  }
+}
+
+TEST(Ops, SoftmaxPoisonedRowPropagatesNaN) {
+  // IEEE/PyTorch semantics: NaN or +inf in a row poisons the whole
+  // softmax output — the propagation channel for distorted outputs.
+  Tensor x = Tensor::from_rows(
+      1, 3, {1.0f, std::numeric_limits<float>::quiet_NaN(), 2.0f});
+  softmax_rows_inplace(x);
+  for (float v : x.row(0)) EXPECT_TRUE(std::isnan(v));
+
+  Tensor inf_row = Tensor::from_rows(
+      1, 3, {1.0f, std::numeric_limits<float>::infinity(), 2.0f});
+  softmax_rows_inplace(inf_row);
+  for (float v : inf_row.row(0)) EXPECT_TRUE(std::isnan(v));
+}
+
+TEST(Ops, RmsNormUnitGainNormalizes) {
+  Tensor x = random_matrix(3, 16, 6);
+  Tensor gain({16});
+  gain.fill(1.0f);
+  Tensor y = rmsnorm_rows(x, gain);
+  for (Index r = 0; r < 3; ++r) {
+    double ss = 0.0;
+    for (float v : y.row(r)) ss += static_cast<double>(v) * v;
+    EXPECT_NEAR(std::sqrt(ss / 16.0), 1.0, 1e-3);
+  }
+}
+
+TEST(Ops, RmsNormPropagatesNaNFromInfInput) {
+  // IEEE semantics: an inf element makes ss = inf, 1/rms = 0, and
+  // inf * 0 = NaN for that element while finite elements collapse to 0.
+  Tensor x = Tensor::from_rows(
+      1, 4, {1.0f, std::numeric_limits<float>::infinity(), 2.0f, 3.0f});
+  Tensor gain({4});
+  gain.fill(1.0f);
+  Tensor y = rmsnorm_rows(x, gain);
+  EXPECT_FLOAT_EQ(y.at(0, 0), 0.0f);
+  EXPECT_TRUE(std::isnan(y.at(0, 1)));
+  EXPECT_FLOAT_EQ(y.at(0, 2), 0.0f);
+}
+
+TEST(Ops, RmsNormShrinksHugeValues) {
+  // A huge-but-finite corrupted element dominates the norm, so all other
+  // elements of the row shrink toward zero — the containment effect.
+  Tensor x({1, 4});
+  x.at(0, 0) = 1e18f;  // (1e18)^2 still fits in fp32
+  x.at(0, 1) = 1.0f;
+  x.at(0, 2) = -2.0f;
+  x.at(0, 3) = 0.5f;
+  Tensor gain({4});
+  gain.fill(1.0f);
+  Tensor y = rmsnorm_rows(x, gain);
+  EXPECT_NEAR(y.at(0, 1), 0.0f, 1e-6);
+  EXPECT_NEAR(y.at(0, 0), 2.0f, 0.1f);  // the spike itself caps at ~sqrt(n)
+}
+
+TEST(Ops, RmsNormSumOfSquaresOverflowZerosRow) {
+  // When ss overflows fp32 (the GPU kernel behaviour), 1/rms becomes 0
+  // and every finite element collapses to exactly 0.
+  Tensor x({1, 4});
+  x.at(0, 0) = 3e38f;
+  x.at(0, 1) = 1.0f;
+  Tensor gain({4});
+  gain.fill(1.0f);
+  Tensor y = rmsnorm_rows(x, gain);
+  EXPECT_FLOAT_EQ(y.at(0, 0), 0.0f);
+  EXPECT_FLOAT_EQ(y.at(0, 1), 0.0f);
+}
+
+TEST(Ops, SiluGolden) {
+  EXPECT_FLOAT_EQ(silu(0.0f), 0.0f);
+  EXPECT_NEAR(silu(1.0f), 0.7310586f, 1e-6);
+  EXPECT_NEAR(silu(-1.0f), -0.2689414f, 1e-6);
+  EXPECT_NEAR(silu(20.0f), 20.0f, 1e-3);   // saturates to identity
+  EXPECT_NEAR(silu(-30.0f), 0.0f, 1e-6);   // underflows to zero
+}
+
+TEST(Ops, ElementwiseAndBias) {
+  Tensor a = Tensor::from_rows(2, 2, {1, 2, 3, 4});
+  Tensor b = Tensor::from_rows(2, 2, {10, 20, 30, 40});
+  Tensor c = add(a, b);
+  EXPECT_FLOAT_EQ(c.at(1, 1), 44.0f);
+  mul_inplace(c, a);
+  EXPECT_FLOAT_EQ(c.at(1, 1), 176.0f);
+  scale_inplace(c, 0.5f);
+  EXPECT_FLOAT_EQ(c.at(1, 1), 88.0f);
+  Tensor bias({2});
+  bias[0] = 1.0f;
+  bias[1] = -1.0f;
+  add_bias_rows(c, bias);
+  EXPECT_FLOAT_EQ(c.at(1, 1), 87.0f);
+}
+
+TEST(Ops, ArgmaxTreatsNaNAsGreatest) {
+  // PyTorch argmax semantics over corrupted logits.
+  Tensor x = Tensor::from_rows(
+      1, 4, {0.5f, std::numeric_limits<float>::quiet_NaN(), 9.0f,
+             std::numeric_limits<float>::quiet_NaN()});
+  EXPECT_EQ(argmax_row(x, 0), 1);
+}
+
+TEST(Ops, ArgmaxAndLogsumexp) {
+  Tensor x = Tensor::from_rows(2, 3, {0.1f, 5.0f, 2.0f, -1.0f, -2.0f, -0.5f});
+  EXPECT_EQ(argmax_row(x, 0), 1);
+  EXPECT_EQ(argmax_row(x, 1), 2);
+  // logsumexp is invariant to shifting then adding back.
+  const float lse = logsumexp_row(x, 0);
+  EXPECT_NEAR(lse,
+              std::log(std::exp(0.1) + std::exp(5.0) + std::exp(2.0)), 1e-4);
+}
+
+TEST(Ops, ValueStatsCountsExtremesAndNonFinite) {
+  Tensor x = Tensor::from_rows(
+      1, 5,
+      {1.0f, -2.0f, 5e4f, std::numeric_limits<float>::quiet_NaN(), 0.5f});
+  const auto s = value_stats(x, 1e4f);
+  EXPECT_EQ(s.non_finite, 1);
+  EXPECT_EQ(s.extreme, 2);  // the NaN and the 5e4
+  EXPECT_FLOAT_EQ(s.max, 5e4f);
+  EXPECT_FLOAT_EQ(s.min, -2.0f);
+}
+
+TEST(Ops, HistogramClampsAndCounts) {
+  std::vector<float> vals = {-10.0f, -0.4f, 0.0f, 0.4f, 10.0f};
+  auto h = histogram(vals, -0.5f, 0.5f, 5);
+  ASSERT_EQ(h.size(), 5u);
+  EXPECT_EQ(h[0], 2);  // -10 clamps into the first bucket with -0.4
+  EXPECT_EQ(h[2], 1);
+  EXPECT_EQ(h[4], 2);
+  EXPECT_THROW(histogram(vals, 1.0f, -1.0f, 5), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace llmfi::tn

@@ -1,0 +1,73 @@
+// Unit tests for the word-level vocabulary/tokenizer.
+
+#include <gtest/gtest.h>
+
+#include "tokenizer/vocab.h"
+
+namespace llmfi::tok {
+namespace {
+
+TEST(Vocab, SpecialTokensHaveFixedIds) {
+  Vocab v;
+  EXPECT_EQ(v.pad(), 0);
+  EXPECT_EQ(v.bos(), 1);
+  EXPECT_EQ(v.eos(), 2);
+  EXPECT_EQ(v.unk(), 3);
+  EXPECT_EQ(v.size(), 4);
+  EXPECT_TRUE(v.is_special(0));
+  EXPECT_FALSE(v.is_special(4));
+}
+
+TEST(Vocab, AddIsIdempotent) {
+  Vocab v;
+  const TokenId a = v.add("hello");
+  const TokenId b = v.add("hello");
+  EXPECT_EQ(a, b);
+  EXPECT_EQ(v.size(), 5);
+}
+
+TEST(Vocab, RejectsInvalidWords) {
+  Vocab v;
+  EXPECT_THROW(v.add(""), std::invalid_argument);
+  EXPECT_THROW(v.add("two words"), std::invalid_argument);
+  EXPECT_THROW(v.add("tab\tword"), std::invalid_argument);
+}
+
+TEST(Vocab, FindAndLookup) {
+  Vocab v;
+  const TokenId id = v.add("alpha");
+  EXPECT_EQ(v.find("alpha"), std::optional<TokenId>(id));
+  EXPECT_EQ(v.find("beta"), std::nullopt);
+  EXPECT_EQ(v.id_or_unk("beta"), v.unk());
+  EXPECT_EQ(v.word(id), "alpha");
+  EXPECT_THROW(v.word(999), std::out_of_range);
+}
+
+TEST(Vocab, EncodeDecodeRoundTrip) {
+  Vocab v;
+  v.add("the");
+  v.add("cat");
+  v.add("sat");
+  const auto ids = v.encode("the cat sat");
+  ASSERT_EQ(ids.size(), 3u);
+  EXPECT_EQ(v.decode(ids), "the cat sat");
+}
+
+TEST(Vocab, EncodeHandlesExtraSpacesAndUnknowns) {
+  Vocab v;
+  v.add("a");
+  const auto ids = v.encode("  a   mystery  a ");
+  ASSERT_EQ(ids.size(), 3u);
+  EXPECT_EQ(ids[1], v.unk());
+  // Decode skips specials (including <unk>).
+  EXPECT_EQ(v.decode(ids), "a a");
+}
+
+TEST(Vocab, DecodeSkipsSpecialsAndBadIds) {
+  Vocab v;
+  const TokenId w = v.add("word");
+  EXPECT_EQ(v.decode({v.bos(), w, v.eos(), -1, 999}), "word");
+}
+
+}  // namespace
+}  // namespace llmfi::tok

@@ -1,0 +1,182 @@
+// llmfi — command-line campaign driver.
+//
+// Runs one fault-injection campaign with everything configurable from
+// the command line, printing an aligned table (or CSV):
+//
+//   llmfi_cli --model qilin --dataset gsm8k-syn --fault 2bits-mem \
+//             --trials 500 --inputs 20 --dtype bf16 --beams 1 --seed 7
+//   llmfi_cli --list                 # models and datasets
+//   llmfi_cli ... --csv              # machine-readable output
+//   llmfi_cli ... --router-only      # gate-layer faults (Fig 15 scope)
+//   llmfi_cli ... --direct           # math without chain-of-thought
+
+#include <cstdio>
+#include <cstring>
+#include <iostream>
+#include <string>
+
+#include "eval/campaign.h"
+#include "eval/model_zoo.h"
+#include "report/table.h"
+
+using namespace llmfi;
+
+namespace {
+
+struct CliArgs {
+  std::string model = "qilin";
+  std::string dataset = "gsm8k-syn";
+  std::string fault = "2bits-mem";
+  std::string dtype = "bf16";
+  int trials = 200;
+  int inputs = 10;
+  int beams = 1;
+  std::uint64_t seed = 2025;
+  bool csv = false;
+  bool router_only = false;
+  bool direct = false;
+  bool list = false;
+  bool help = false;
+};
+
+void print_usage() {
+  std::printf(
+      "usage: llmfi_cli [options]\n"
+      "  --model NAME     zoo model (default qilin; --list shows all)\n"
+      "  --dataset NAME   workload dataset (default gsm8k-syn)\n"
+      "  --fault MODEL    1bit-comp | 2bits-comp | 2bits-mem\n"
+      "  --dtype D        fp32 | fp16 | bf16 | int8 | int4\n"
+      "  --trials N       fault-injection trials (default 200)\n"
+      "  --inputs N       evaluation inputs cycled (default 10)\n"
+      "  --beams N        1 = greedy, >1 = beam search\n"
+      "  --seed S         campaign seed\n"
+      "  --router-only    restrict faults to MoE gate layers\n"
+      "  --direct         math task without chain-of-thought\n"
+      "  --csv            CSV output\n"
+      "  --list           list models and datasets, then exit\n");
+}
+
+bool parse_args(int argc, char** argv, CliArgs& args) {
+  auto need_value = [&](int& i) -> const char* {
+    if (i + 1 >= argc) {
+      std::fprintf(stderr, "missing value for %s\n", argv[i]);
+      return nullptr;
+    }
+    return argv[++i];
+  };
+  for (int i = 1; i < argc; ++i) {
+    const std::string a = argv[i];
+    const char* v = nullptr;
+    if (a == "--help" || a == "-h") {
+      args.help = true;
+    } else if (a == "--list") {
+      args.list = true;
+    } else if (a == "--csv") {
+      args.csv = true;
+    } else if (a == "--router-only") {
+      args.router_only = true;
+    } else if (a == "--direct") {
+      args.direct = true;
+    } else if (a == "--model" && (v = need_value(i))) {
+      args.model = v;
+    } else if (a == "--dataset" && (v = need_value(i))) {
+      args.dataset = v;
+    } else if (a == "--fault" && (v = need_value(i))) {
+      args.fault = v;
+    } else if (a == "--dtype" && (v = need_value(i))) {
+      args.dtype = v;
+    } else if (a == "--trials" && (v = need_value(i))) {
+      args.trials = std::atoi(v);
+    } else if (a == "--inputs" && (v = need_value(i))) {
+      args.inputs = std::atoi(v);
+    } else if (a == "--beams" && (v = need_value(i))) {
+      args.beams = std::atoi(v);
+    } else if (a == "--seed" && (v = need_value(i))) {
+      args.seed = static_cast<std::uint64_t>(std::atoll(v));
+    } else {
+      std::fprintf(stderr, "unknown option: %s\n", a.c_str());
+      return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  CliArgs args;
+  if (!parse_args(argc, argv, args)) {
+    print_usage();
+    return 2;
+  }
+  if (args.help) {
+    print_usage();
+    return 0;
+  }
+  if (args.list) {
+    std::printf("models:\n");
+    for (const auto& m : eval::Zoo::model_names()) {
+      std::printf("  %s\n", m.c_str());
+    }
+    std::printf("datasets:\n");
+    for (const auto& spec : eval::all_workloads()) {
+      std::printf("  %-16s (%s)\n", spec.dataset.c_str(),
+                  spec.style == data::TaskStyle::MultipleChoice
+                      ? "multiple-choice"
+                      : "generative");
+    }
+    return 0;
+  }
+  if (args.trials <= 0 || args.inputs <= 0 || args.beams <= 0) {
+    std::fprintf(stderr, "trials/inputs/beams must be positive\n");
+    return 2;
+  }
+
+  try {
+    eval::Zoo zoo;
+    const auto& spec = eval::workload(args.dataset);
+    eval::CampaignConfig cfg;
+    cfg.fault = core::parse_fault_model(args.fault);
+    cfg.trials = args.trials;
+    cfg.n_inputs = args.inputs;
+    cfg.seed = args.seed;
+    cfg.run.gen.num_beams = args.beams;
+    cfg.run.direct_prompt = args.direct;
+    if (args.router_only) {
+      cfg.layer_filter = [](const nn::LinearId& id) {
+        return id.kind == nn::LayerKind::Router;
+      };
+    }
+    const auto prec =
+        model::PrecisionConfig::for_dtype(num::parse_dtype(args.dtype));
+
+    const auto r = eval::run_campaign(zoo, args.model, prec, spec, cfg);
+
+    report::Table t(args.csv ? "" : "llmfi campaign: " + args.model + " / " +
+                                        args.dataset + " / " + args.fault +
+                                        " / " + args.dtype);
+    t.header({"metric", "baseline", "faulty", "normalized", "ci_lo",
+              "ci_hi"});
+    for (const auto& [name, acc] : r.baseline_metrics) {
+      const auto norm = r.normalized(name);
+      t.row({name, report::fmt(acc.mean()), report::fmt(r.faulty_mean(name)),
+             report::fmt(norm.value), report::fmt(norm.lo),
+             report::fmt(norm.hi)});
+    }
+    if (args.csv) {
+      t.print_csv(std::cout);
+    } else {
+      t.print(std::cout);
+      std::printf("outcomes: masked %d, sdc-subtle %d, sdc-distorted %d "
+                  "(SDC rate %.2f%%)\n",
+                  r.masked, r.sdc_subtle, r.sdc_distorted,
+                  100.0 * r.sdc_rate());
+      std::printf("runtime: %.1fs (%.1f ms/trial)\n", r.total_runtime_sec,
+                  1000.0 * r.total_runtime_sec / cfg.trials);
+    }
+    return 0;
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 1;
+  }
+}

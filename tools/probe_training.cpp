@@ -1,0 +1,102 @@
+// Development probe: train one model configuration and report loss plus
+// per-dataset baseline quality. Used to tune the zoo training recipes.
+//
+//   LLMFI_PROBE_STEPS=4000 LLMFI_PROBE_D=48 LLMFI_PROBE_L=2 ./probe_training
+
+#include <cstdio>
+#include <cstdlib>
+
+#include "data/world.h"
+#include "eval/model_zoo.h"
+#include "eval/runner.h"
+#include "eval/workloads.h"
+#include "model/transformer.h"
+#include "train/trainer.h"
+
+using namespace llmfi;
+
+namespace {
+int env_int(const char* name, int fallback) {
+  const char* v = std::getenv(name);
+  return v ? std::atoi(v) : fallback;
+}
+double env_double(const char* name, double fallback) {
+  const char* v = std::getenv(name);
+  return v ? std::atof(v) : fallback;
+}
+}  // namespace
+
+int main() {
+  data::World world;
+  const int d = env_int("LLMFI_PROBE_D", 48);
+  const int layers = env_int("LLMFI_PROBE_L", 2);
+  const int steps = env_int("LLMFI_PROBE_STEPS", 2000);
+  const double lr = env_double("LLMFI_PROBE_LR", 4e-3);
+  const int batch = env_int("LLMFI_PROBE_BATCH", 8);
+
+  model::ModelConfig cfg = model::family_config("qilin", world.vocab().size());
+  cfg.d_model = d;
+  cfg.n_layers = layers;
+  cfg.d_ff = 2 * d;
+
+  std::vector<std::pair<data::TaskKind, float>> mix = {
+      {data::TaskKind::McFact, 1.0f},      {data::TaskKind::McScience, 1.0f},
+      {data::TaskKind::McTruthful, 1.0f},  {data::TaskKind::McCoref, 1.0f},
+      {data::TaskKind::McCompletion, 1.0f},{data::TaskKind::MathGsm, 2.5f},
+      {data::TaskKind::Translation, 1.4f}, {data::TaskKind::Summarization, 1.0f},
+      {data::TaskKind::QA, 2.5f},
+  };
+  std::map<data::TaskKind, data::TaskData> tasks;
+  std::vector<data::TrainSeq> corpus;
+  const int train_n = env_int("LLMFI_PROBE_TRAIN_N", 600);
+  for (auto [kind, w] : mix) {
+    data::GenOptions g;
+    g.train_n = train_n;
+    tasks.emplace(kind, data::make_task(world, kind, g));
+    const auto& td = tasks.at(kind);
+    const auto n = static_cast<size_t>(w * td.train.size());
+    for (size_t i = 0; i < n; ++i) corpus.push_back(td.train[i % td.train.size()]);
+  }
+  std::printf("corpus: %zu sequences, vocab %d, params %lld\n", corpus.size(),
+              world.vocab().size(),
+              static_cast<long long>(cfg.num_params()));
+
+  model::ModelWeights w = model::ModelWeights::init(cfg);
+  train::TrainConfig tc;
+  tc.steps = steps;
+  tc.batch_size = batch;
+  tc.lr = static_cast<float>(lr);
+  tc.weight_decay = 0.02f;
+  tc.log_every = steps / 10;
+  train::Trainer trainer(w, tc);
+  const double loss = trainer.train(corpus);
+  std::printf("final loss %.4f\n", loss);
+
+  model::InferenceModel engine(w, {});
+  for (auto& [kind, td] : tasks) {
+    const auto& spec = eval::workload(kind);
+    double metric = 0.0;
+    const int n = 20;
+    for (int i = 0; i < n; ++i) {
+      eval::RunOptions opt;
+      auto r = eval::run_example(engine, world.vocab(), spec,
+                                 td.eval[static_cast<size_t>(i)], opt);
+      metric += r.metrics.at(spec.metrics.front().name);
+    }
+    std::printf("%-16s %-12s %.3f\n", spec.dataset.c_str(),
+                spec.metrics.front().name.c_str(), metric / n);
+    if (std::getenv("LLMFI_PROBE_DUMP") &&
+        (kind == data::TaskKind::MathGsm || kind == data::TaskKind::QA)) {
+      for (int i = 0; i < 5; ++i) {
+        eval::RunOptions opt;
+        auto r = eval::run_example(engine, world.vocab(), spec,
+                                   td.eval[static_cast<size_t>(i)], opt);
+        std::printf("  prompt: %s\n  out:    %s\n  ref:    %s\n",
+                    td.eval[static_cast<size_t>(i)].prompt.c_str(),
+                    r.output.c_str(),
+                    td.eval[static_cast<size_t>(i)].reference.c_str());
+      }
+    }
+  }
+  return 0;
+}

@@ -1,0 +1,16 @@
+// Trains (or verifies the cache of) every zoo model. Run once before the
+// bench suite so each bench binary starts from warm checkpoints.
+#include <cstdio>
+#include "eval/model_zoo.h"
+
+int main() {
+  llmfi::eval::Zoo zoo;
+  for (const auto& name : llmfi::eval::Zoo::model_names()) {
+    const auto& w = zoo.get(name);
+    std::printf("%-12s %8lld params  (d=%d, L=%d, ff=%d%s)\n", name.c_str(),
+                static_cast<long long>(w.num_params()), w.config.d_model,
+                w.config.n_layers, w.config.d_ff,
+                w.config.moe ? ", MoE" : "");
+  }
+  return 0;
+}
