@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abl_detector_coverage.dir/abl_detector_coverage.cpp.o"
+  "CMakeFiles/abl_detector_coverage.dir/abl_detector_coverage.cpp.o.d"
+  "abl_detector_coverage"
+  "abl_detector_coverage.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_detector_coverage.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abl_range_restriction.dir/abl_range_restriction.cpp.o"
+  "CMakeFiles/abl_range_restriction.dir/abl_range_restriction.cpp.o.d"
+  "abl_range_restriction"
+  "abl_range_restriction.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_range_restriction.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

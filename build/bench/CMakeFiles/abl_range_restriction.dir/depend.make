@@ -1,0 +1,2 @@
+# Empty dependencies file for abl_range_restriction.
+# This may be replaced when dependencies are built.

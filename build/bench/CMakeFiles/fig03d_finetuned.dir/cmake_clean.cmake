@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig03d_finetuned.dir/fig03d_finetuned.cpp.o"
+  "CMakeFiles/fig03d_finetuned.dir/fig03d_finetuned.cpp.o.d"
+  "fig03d_finetuned"
+  "fig03d_finetuned.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig03d_finetuned.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for fig03d_finetuned.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,2 @@
+# Empty dependencies file for fig03d_finetuned.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig04_fault_models.dir/fig04_fault_models.cpp.o"
+  "CMakeFiles/fig04_fault_models.dir/fig04_fault_models.cpp.o.d"
+  "fig04_fault_models"
+  "fig04_fault_models.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig04_fault_models.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig05_mem_propagation.dir/fig05_mem_propagation.cpp.o"
+  "CMakeFiles/fig05_mem_propagation.dir/fig05_mem_propagation.cpp.o.d"
+  "fig05_mem_propagation"
+  "fig05_mem_propagation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig05_mem_propagation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

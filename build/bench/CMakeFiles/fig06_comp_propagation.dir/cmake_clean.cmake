@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig06_comp_propagation.dir/fig06_comp_propagation.cpp.o"
+  "CMakeFiles/fig06_comp_propagation.dir/fig06_comp_propagation.cpp.o.d"
+  "fig06_comp_propagation"
+  "fig06_comp_propagation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig06_comp_propagation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

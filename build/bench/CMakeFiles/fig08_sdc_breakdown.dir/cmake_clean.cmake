@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig08_sdc_breakdown.dir/fig08_sdc_breakdown.cpp.o"
+  "CMakeFiles/fig08_sdc_breakdown.dir/fig08_sdc_breakdown.cpp.o.d"
+  "fig08_sdc_breakdown"
+  "fig08_sdc_breakdown.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig08_sdc_breakdown.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

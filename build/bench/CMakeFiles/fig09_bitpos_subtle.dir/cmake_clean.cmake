@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig09_bitpos_subtle.dir/fig09_bitpos_subtle.cpp.o"
+  "CMakeFiles/fig09_bitpos_subtle.dir/fig09_bitpos_subtle.cpp.o.d"
+  "fig09_bitpos_subtle"
+  "fig09_bitpos_subtle.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig09_bitpos_subtle.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig10_bitpos_distorted.dir/fig10_bitpos_distorted.cpp.o"
+  "CMakeFiles/fig10_bitpos_distorted.dir/fig10_bitpos_distorted.cpp.o.d"
+  "fig10_bitpos_distorted"
+  "fig10_bitpos_distorted.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig10_bitpos_distorted.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig11_tasks.dir/fig11_tasks.cpp.o"
+  "CMakeFiles/fig11_tasks.dir/fig11_tasks.cpp.o.d"
+  "fig11_tasks"
+  "fig11_tasks.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig11_tasks.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

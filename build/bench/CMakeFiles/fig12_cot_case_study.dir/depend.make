@@ -1,0 +1,2 @@
+# Empty dependencies file for fig12_cot_case_study.
+# This may be replaced when dependencies are built.

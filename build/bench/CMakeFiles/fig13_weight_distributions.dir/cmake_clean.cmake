@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig13_weight_distributions.dir/fig13_weight_distributions.cpp.o"
+  "CMakeFiles/fig13_weight_distributions.dir/fig13_weight_distributions.cpp.o.d"
+  "fig13_weight_distributions"
+  "fig13_weight_distributions.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig13_weight_distributions.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

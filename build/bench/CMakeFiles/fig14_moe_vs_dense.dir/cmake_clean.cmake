@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig14_moe_vs_dense.dir/fig14_moe_vs_dense.cpp.o"
+  "CMakeFiles/fig14_moe_vs_dense.dir/fig14_moe_vs_dense.cpp.o.d"
+  "fig14_moe_vs_dense"
+  "fig14_moe_vs_dense.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig14_moe_vs_dense.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

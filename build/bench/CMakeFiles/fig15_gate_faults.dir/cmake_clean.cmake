@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig15_gate_faults.dir/fig15_gate_faults.cpp.o"
+  "CMakeFiles/fig15_gate_faults.dir/fig15_gate_faults.cpp.o.d"
+  "fig15_gate_faults"
+  "fig15_gate_faults.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig15_gate_faults.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig16_scale.dir/fig16_scale.cpp.o"
+  "CMakeFiles/fig16_scale.dir/fig16_scale.cpp.o.d"
+  "fig16_scale"
+  "fig16_scale.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig16_scale.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

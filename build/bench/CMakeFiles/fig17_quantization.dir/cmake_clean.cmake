@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig17_quantization.dir/fig17_quantization.cpp.o"
+  "CMakeFiles/fig17_quantization.dir/fig17_quantization.cpp.o.d"
+  "fig17_quantization"
+  "fig17_quantization.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig17_quantization.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig18_beam_vs_greedy.dir/fig18_beam_vs_greedy.cpp.o"
+  "CMakeFiles/fig18_beam_vs_greedy.dir/fig18_beam_vs_greedy.cpp.o.d"
+  "fig18_beam_vs_greedy"
+  "fig18_beam_vs_greedy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig18_beam_vs_greedy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

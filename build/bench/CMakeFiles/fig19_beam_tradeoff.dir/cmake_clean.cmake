@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig19_beam_tradeoff.dir/fig19_beam_tradeoff.cpp.o"
+  "CMakeFiles/fig19_beam_tradeoff.dir/fig19_beam_tradeoff.cpp.o.d"
+  "fig19_beam_tradeoff"
+  "fig19_beam_tradeoff.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig19_beam_tradeoff.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for fig19_beam_tradeoff.
+# This may be replaced when dependencies are built.

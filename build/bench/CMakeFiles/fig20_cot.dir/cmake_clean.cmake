@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig20_cot.dir/fig20_cot.cpp.o"
+  "CMakeFiles/fig20_cot.dir/fig20_cot.cpp.o.d"
+  "fig20_cot"
+  "fig20_cot.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig20_cot.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig21_dtypes.dir/fig21_dtypes.cpp.o"
+  "CMakeFiles/fig21_dtypes.dir/fig21_dtypes.cpp.o.d"
+  "fig21_dtypes"
+  "fig21_dtypes.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig21_dtypes.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

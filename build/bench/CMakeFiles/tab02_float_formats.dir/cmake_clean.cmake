@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tab02_float_formats.dir/tab02_float_formats.cpp.o"
+  "CMakeFiles/tab02_float_formats.dir/tab02_float_formats.cpp.o.d"
+  "tab02_float_formats"
+  "tab02_float_formats.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tab02_float_formats.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

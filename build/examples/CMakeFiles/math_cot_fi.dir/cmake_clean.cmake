@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/math_cot_fi.dir/math_cot_fi.cpp.o"
+  "CMakeFiles/math_cot_fi.dir/math_cot_fi.cpp.o.d"
+  "math_cot_fi"
+  "math_cot_fi.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/math_cot_fi.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/moe_router_study.dir/moe_router_study.cpp.o"
+  "CMakeFiles/moe_router_study.dir/moe_router_study.cpp.o.d"
+  "moe_router_study"
+  "moe_router_study.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/moe_router_study.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

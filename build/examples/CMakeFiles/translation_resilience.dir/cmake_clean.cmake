@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/translation_resilience.dir/translation_resilience.cpp.o"
+  "CMakeFiles/translation_resilience.dir/translation_resilience.cpp.o.d"
+  "translation_resilience"
+  "translation_resilience.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/translation_resilience.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/llmfi_autograd.dir/moe_op.cpp.o"
+  "CMakeFiles/llmfi_autograd.dir/moe_op.cpp.o.d"
+  "CMakeFiles/llmfi_autograd.dir/ops.cpp.o"
+  "CMakeFiles/llmfi_autograd.dir/ops.cpp.o.d"
+  "CMakeFiles/llmfi_autograd.dir/var.cpp.o"
+  "CMakeFiles/llmfi_autograd.dir/var.cpp.o.d"
+  "libllmfi_autograd.a"
+  "libllmfi_autograd.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/llmfi_autograd.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/detector.cpp" "src/core/CMakeFiles/llmfi_core.dir/detector.cpp.o" "gcc" "src/core/CMakeFiles/llmfi_core.dir/detector.cpp.o.d"
+  "/root/repo/src/core/fault_model.cpp" "src/core/CMakeFiles/llmfi_core.dir/fault_model.cpp.o" "gcc" "src/core/CMakeFiles/llmfi_core.dir/fault_model.cpp.o.d"
+  "/root/repo/src/core/fault_plan.cpp" "src/core/CMakeFiles/llmfi_core.dir/fault_plan.cpp.o" "gcc" "src/core/CMakeFiles/llmfi_core.dir/fault_plan.cpp.o.d"
+  "/root/repo/src/core/injector.cpp" "src/core/CMakeFiles/llmfi_core.dir/injector.cpp.o" "gcc" "src/core/CMakeFiles/llmfi_core.dir/injector.cpp.o.d"
+  "/root/repo/src/core/mitigation.cpp" "src/core/CMakeFiles/llmfi_core.dir/mitigation.cpp.o" "gcc" "src/core/CMakeFiles/llmfi_core.dir/mitigation.cpp.o.d"
+  "/root/repo/src/core/outcome.cpp" "src/core/CMakeFiles/llmfi_core.dir/outcome.cpp.o" "gcc" "src/core/CMakeFiles/llmfi_core.dir/outcome.cpp.o.d"
+  "/root/repo/src/core/tracer.cpp" "src/core/CMakeFiles/llmfi_core.dir/tracer.cpp.o" "gcc" "src/core/CMakeFiles/llmfi_core.dir/tracer.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/model/CMakeFiles/llmfi_model.dir/DependInfo.cmake"
+  "/root/repo/build/src/gen/CMakeFiles/llmfi_gen.dir/DependInfo.cmake"
+  "/root/repo/build/src/nn/CMakeFiles/llmfi_nn.dir/DependInfo.cmake"
+  "/root/repo/build/src/quant/CMakeFiles/llmfi_quant.dir/DependInfo.cmake"
+  "/root/repo/build/src/tensor/CMakeFiles/llmfi_tensor.dir/DependInfo.cmake"
+  "/root/repo/build/src/numerics/CMakeFiles/llmfi_numerics.dir/DependInfo.cmake"
+  "/root/repo/build/src/tokenizer/CMakeFiles/llmfi_tokenizer.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

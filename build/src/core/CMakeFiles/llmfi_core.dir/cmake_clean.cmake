@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/llmfi_core.dir/detector.cpp.o"
+  "CMakeFiles/llmfi_core.dir/detector.cpp.o.d"
+  "CMakeFiles/llmfi_core.dir/fault_model.cpp.o"
+  "CMakeFiles/llmfi_core.dir/fault_model.cpp.o.d"
+  "CMakeFiles/llmfi_core.dir/fault_plan.cpp.o"
+  "CMakeFiles/llmfi_core.dir/fault_plan.cpp.o.d"
+  "CMakeFiles/llmfi_core.dir/injector.cpp.o"
+  "CMakeFiles/llmfi_core.dir/injector.cpp.o.d"
+  "CMakeFiles/llmfi_core.dir/mitigation.cpp.o"
+  "CMakeFiles/llmfi_core.dir/mitigation.cpp.o.d"
+  "CMakeFiles/llmfi_core.dir/outcome.cpp.o"
+  "CMakeFiles/llmfi_core.dir/outcome.cpp.o.d"
+  "CMakeFiles/llmfi_core.dir/tracer.cpp.o"
+  "CMakeFiles/llmfi_core.dir/tracer.cpp.o.d"
+  "libllmfi_core.a"
+  "libllmfi_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/llmfi_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

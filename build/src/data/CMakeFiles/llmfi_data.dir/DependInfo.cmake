@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/data/tasks.cpp" "src/data/CMakeFiles/llmfi_data.dir/tasks.cpp.o" "gcc" "src/data/CMakeFiles/llmfi_data.dir/tasks.cpp.o.d"
+  "/root/repo/src/data/world.cpp" "src/data/CMakeFiles/llmfi_data.dir/world.cpp.o" "gcc" "src/data/CMakeFiles/llmfi_data.dir/world.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/numerics/CMakeFiles/llmfi_numerics.dir/DependInfo.cmake"
+  "/root/repo/build/src/tokenizer/CMakeFiles/llmfi_tokenizer.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

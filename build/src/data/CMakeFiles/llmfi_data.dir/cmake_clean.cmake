@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/llmfi_data.dir/tasks.cpp.o"
+  "CMakeFiles/llmfi_data.dir/tasks.cpp.o.d"
+  "CMakeFiles/llmfi_data.dir/world.cpp.o"
+  "CMakeFiles/llmfi_data.dir/world.cpp.o.d"
+  "libllmfi_data.a"
+  "libllmfi_data.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/llmfi_data.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/llmfi_eval.dir/campaign.cpp.o"
+  "CMakeFiles/llmfi_eval.dir/campaign.cpp.o.d"
+  "CMakeFiles/llmfi_eval.dir/model_zoo.cpp.o"
+  "CMakeFiles/llmfi_eval.dir/model_zoo.cpp.o.d"
+  "CMakeFiles/llmfi_eval.dir/runner.cpp.o"
+  "CMakeFiles/llmfi_eval.dir/runner.cpp.o.d"
+  "CMakeFiles/llmfi_eval.dir/workloads.cpp.o"
+  "CMakeFiles/llmfi_eval.dir/workloads.cpp.o.d"
+  "libllmfi_eval.a"
+  "libllmfi_eval.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/llmfi_eval.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

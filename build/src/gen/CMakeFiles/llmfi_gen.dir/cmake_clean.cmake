@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/llmfi_gen.dir/generate.cpp.o"
+  "CMakeFiles/llmfi_gen.dir/generate.cpp.o.d"
+  "libllmfi_gen.a"
+  "libllmfi_gen.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/llmfi_gen.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/llmfi_metrics.dir/stats.cpp.o"
+  "CMakeFiles/llmfi_metrics.dir/stats.cpp.o.d"
+  "CMakeFiles/llmfi_metrics.dir/text_metrics.cpp.o"
+  "CMakeFiles/llmfi_metrics.dir/text_metrics.cpp.o.d"
+  "libllmfi_metrics.a"
+  "libllmfi_metrics.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/llmfi_metrics.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/llmfi_model.dir/config.cpp.o"
+  "CMakeFiles/llmfi_model.dir/config.cpp.o.d"
+  "CMakeFiles/llmfi_model.dir/transformer.cpp.o"
+  "CMakeFiles/llmfi_model.dir/transformer.cpp.o.d"
+  "CMakeFiles/llmfi_model.dir/weights.cpp.o"
+  "CMakeFiles/llmfi_model.dir/weights.cpp.o.d"
+  "libllmfi_model.a"
+  "libllmfi_model.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/llmfi_model.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

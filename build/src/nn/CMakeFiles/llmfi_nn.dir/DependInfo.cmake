@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/nn/kv_cache.cpp" "src/nn/CMakeFiles/llmfi_nn.dir/kv_cache.cpp.o" "gcc" "src/nn/CMakeFiles/llmfi_nn.dir/kv_cache.cpp.o.d"
+  "/root/repo/src/nn/layer_id.cpp" "src/nn/CMakeFiles/llmfi_nn.dir/layer_id.cpp.o" "gcc" "src/nn/CMakeFiles/llmfi_nn.dir/layer_id.cpp.o.d"
+  "/root/repo/src/nn/rope.cpp" "src/nn/CMakeFiles/llmfi_nn.dir/rope.cpp.o" "gcc" "src/nn/CMakeFiles/llmfi_nn.dir/rope.cpp.o.d"
+  "/root/repo/src/nn/weight_matrix.cpp" "src/nn/CMakeFiles/llmfi_nn.dir/weight_matrix.cpp.o" "gcc" "src/nn/CMakeFiles/llmfi_nn.dir/weight_matrix.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/numerics/CMakeFiles/llmfi_numerics.dir/DependInfo.cmake"
+  "/root/repo/build/src/tensor/CMakeFiles/llmfi_tensor.dir/DependInfo.cmake"
+  "/root/repo/build/src/quant/CMakeFiles/llmfi_quant.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/llmfi_nn.dir/kv_cache.cpp.o"
+  "CMakeFiles/llmfi_nn.dir/kv_cache.cpp.o.d"
+  "CMakeFiles/llmfi_nn.dir/layer_id.cpp.o"
+  "CMakeFiles/llmfi_nn.dir/layer_id.cpp.o.d"
+  "CMakeFiles/llmfi_nn.dir/rope.cpp.o"
+  "CMakeFiles/llmfi_nn.dir/rope.cpp.o.d"
+  "CMakeFiles/llmfi_nn.dir/weight_matrix.cpp.o"
+  "CMakeFiles/llmfi_nn.dir/weight_matrix.cpp.o.d"
+  "libllmfi_nn.a"
+  "libllmfi_nn.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/llmfi_nn.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/numerics/bitflip.cpp" "src/numerics/CMakeFiles/llmfi_numerics.dir/bitflip.cpp.o" "gcc" "src/numerics/CMakeFiles/llmfi_numerics.dir/bitflip.cpp.o.d"
+  "/root/repo/src/numerics/dtype.cpp" "src/numerics/CMakeFiles/llmfi_numerics.dir/dtype.cpp.o" "gcc" "src/numerics/CMakeFiles/llmfi_numerics.dir/dtype.cpp.o.d"
+  "/root/repo/src/numerics/half.cpp" "src/numerics/CMakeFiles/llmfi_numerics.dir/half.cpp.o" "gcc" "src/numerics/CMakeFiles/llmfi_numerics.dir/half.cpp.o.d"
+  "/root/repo/src/numerics/rng.cpp" "src/numerics/CMakeFiles/llmfi_numerics.dir/rng.cpp.o" "gcc" "src/numerics/CMakeFiles/llmfi_numerics.dir/rng.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

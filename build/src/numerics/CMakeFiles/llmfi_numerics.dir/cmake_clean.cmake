@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/llmfi_numerics.dir/bitflip.cpp.o"
+  "CMakeFiles/llmfi_numerics.dir/bitflip.cpp.o.d"
+  "CMakeFiles/llmfi_numerics.dir/dtype.cpp.o"
+  "CMakeFiles/llmfi_numerics.dir/dtype.cpp.o.d"
+  "CMakeFiles/llmfi_numerics.dir/half.cpp.o"
+  "CMakeFiles/llmfi_numerics.dir/half.cpp.o.d"
+  "CMakeFiles/llmfi_numerics.dir/rng.cpp.o"
+  "CMakeFiles/llmfi_numerics.dir/rng.cpp.o.d"
+  "libllmfi_numerics.a"
+  "libllmfi_numerics.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/llmfi_numerics.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/llmfi_quant.dir/quantized_matrix.cpp.o"
+  "CMakeFiles/llmfi_quant.dir/quantized_matrix.cpp.o.d"
+  "libllmfi_quant.a"
+  "libllmfi_quant.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/llmfi_quant.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/llmfi_report.dir/table.cpp.o"
+  "CMakeFiles/llmfi_report.dir/table.cpp.o.d"
+  "libllmfi_report.a"
+  "libllmfi_report.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/llmfi_report.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

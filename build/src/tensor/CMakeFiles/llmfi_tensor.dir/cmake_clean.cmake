@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/llmfi_tensor.dir/ops.cpp.o"
+  "CMakeFiles/llmfi_tensor.dir/ops.cpp.o.d"
+  "CMakeFiles/llmfi_tensor.dir/tensor.cpp.o"
+  "CMakeFiles/llmfi_tensor.dir/tensor.cpp.o.d"
+  "libllmfi_tensor.a"
+  "libllmfi_tensor.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/llmfi_tensor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

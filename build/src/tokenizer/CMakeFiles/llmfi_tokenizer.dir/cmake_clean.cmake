@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/llmfi_tokenizer.dir/vocab.cpp.o"
+  "CMakeFiles/llmfi_tokenizer.dir/vocab.cpp.o.d"
+  "libllmfi_tokenizer.a"
+  "libllmfi_tokenizer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/llmfi_tokenizer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libllmfi_tokenizer.a"
+)

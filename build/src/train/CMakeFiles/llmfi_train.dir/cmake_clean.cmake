@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/llmfi_train.dir/trainer.cpp.o"
+  "CMakeFiles/llmfi_train.dir/trainer.cpp.o.d"
+  "libllmfi_train.a"
+  "libllmfi_train.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/llmfi_train.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_fault_semantics.dir/test_fault_semantics.cpp.o"
+  "CMakeFiles/test_fault_semantics.dir/test_fault_semantics.cpp.o.d"
+  "test_fault_semantics"
+  "test_fault_semantics.pdb"
+  "test_fault_semantics[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_fault_semantics.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/llmfi_cli.dir/llmfi_cli.cpp.o"
+  "CMakeFiles/llmfi_cli.dir/llmfi_cli.cpp.o.d"
+  "llmfi_cli"
+  "llmfi_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/llmfi_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

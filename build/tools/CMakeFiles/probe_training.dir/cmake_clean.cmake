@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/probe_training.dir/probe_training.cpp.o"
+  "CMakeFiles/probe_training.dir/probe_training.cpp.o.d"
+  "probe_training"
+  "probe_training.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/probe_training.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

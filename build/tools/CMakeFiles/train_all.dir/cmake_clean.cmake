@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/train_all.dir/train_all.cpp.o"
+  "CMakeFiles/train_all.dir/train_all.cpp.o.d"
+  "train_all"
+  "train_all.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/train_all.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
