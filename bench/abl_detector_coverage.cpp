@@ -33,10 +33,11 @@ int main() {
   int false_positives = 0;
   for (int i = 0; i < n_inputs; ++i) {
     core::ActivationDetector det(profile);
-    engine.set_linear_hook(&det);
-    (void)eval::run_example(engine, zoo.vocab(), spec,
-                            eval_set[static_cast<size_t>(i)], opt);
-    engine.set_linear_hook(nullptr);
+    {
+      core::LinearHookGuard guard(engine, &det);
+      (void)eval::run_example(engine, zoo.vocab(), spec,
+                              eval_set[static_cast<size_t>(i)], opt);
+    }
     false_positives += det.triggered() ? 1 : 0;
   }
 
@@ -59,16 +60,15 @@ int main() {
       eval::ExampleResult res;
       if (core::is_memory_fault(fault)) {
         core::WeightCorruption wc(engine, plan);
-        engine.set_linear_hook(&detector);
+        core::LinearHookGuard guard(engine, &detector);
         res = eval::run_example(engine, zoo.vocab(), spec, ex, opt);
       } else {
         core::ComputationalFaultInjector injector(
             plan, engine.precision().act_dtype);
         detector.set_next(&injector);
-        engine.set_linear_hook(&detector);
+        core::LinearHookGuard guard(engine, &detector);
         res = eval::run_example(engine, zoo.vocab(), spec, ex, opt);
       }
-      engine.set_linear_hook(nullptr);
       if (res.correct) {
         ++masked;
         masked_flagged += detector.triggered() ? 1 : 0;

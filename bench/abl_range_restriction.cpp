@@ -33,14 +33,15 @@ int main() {
   // Fault-free accuracy with the restriction on (overhead check: the
   // mitigation must not break clean inference).
   core::RangeRestrictionHook guard_only(profile);
-  engine.set_linear_hook(&guard_only);
   int clean_correct = 0;
-  for (int i = 0; i < n_inputs; ++i) {
-    auto r = eval::run_example(engine, zoo.vocab(), spec,
-                               eval_set[static_cast<size_t>(i)], opt);
-    clean_correct += r.correct ? 1 : 0;
+  {
+    core::LinearHookGuard guard(engine, &guard_only);
+    for (int i = 0; i < n_inputs; ++i) {
+      auto r = eval::run_example(engine, zoo.vocab(), spec,
+                                 eval_set[static_cast<size_t>(i)], opt);
+      clean_correct += r.correct ? 1 : 0;
+    }
   }
-  engine.set_linear_hook(nullptr);
 
   report::Table t("Ablation: range restriction (gsm8k-syn, qilin-bf16)");
   t.header({"fault", "mitigation", "faulty accuracy", "SDC rate",
@@ -62,20 +63,18 @@ int main() {
         eval::ExampleResult res;
         if (core::is_memory_fault(fault)) {
           core::WeightCorruption wc(engine, plan);
-          if (mitigated) engine.set_linear_hook(&restriction);
+          core::LinearHookGuard guard(engine,
+                                      mitigated ? &restriction : nullptr);
           res = eval::run_example(engine, zoo.vocab(), spec, ex, opt);
         } else {
           core::ComputationalFaultInjector injector(
               plan, engine.precision().act_dtype);
-          if (mitigated) {
-            restriction.set_next(&injector);
-            engine.set_linear_hook(&restriction);
-          } else {
-            engine.set_linear_hook(&injector);
-          }
+          if (mitigated) restriction.set_next(&injector);
+          core::LinearHookGuard guard(
+              engine, mitigated ? static_cast<nn::LinearHook*>(&restriction)
+                                : &injector);
           res = eval::run_example(engine, zoo.vocab(), spec, ex, opt);
         }
-        engine.set_linear_hook(nullptr);
         correct += res.correct ? 1 : 0;
         corrections += restriction.corrections();
       }

@@ -1,14 +1,22 @@
 #pragma once
 // Shared plumbing for the per-figure bench binaries.
 //
-// Every binary honors three environment knobs so campaigns can be scaled
+// Every binary honors four environment knobs so campaigns can be scaled
 // from smoke-test size to paper size without recompiling:
 //   LLMFI_TRIALS  — FI trials per campaign cell (default per bench)
 //   LLMFI_INPUTS  — evaluation inputs cycled per cell
-//   LLMFI_SEED    — campaign seed
+//   LLMFI_SEED    — campaign seed (0 is a valid seed)
+//   LLMFI_THREADS — worker threads for the trial loop (default 1).
+//                   Results are bit-identical for any value: each worker
+//                   owns a private engine replica and outcomes reduce in
+//                   trial order. Raise it to the core count to cut
+//                   campaign wall-clock near-linearly.
 // Models come from the shared zoo cache ($LLMFI_MODEL_CACHE or
 // ./model_cache); missing checkpoints are trained on demand.
 
+#include <cerrno>
+#include <climits>
+#include <cstdio>
 #include <cstdlib>
 #include <iostream>
 #include <string>
@@ -19,11 +27,23 @@
 
 namespace llmfi::benchutil {
 
+// Non-negative integer knob from the environment. Unset (or empty) means
+// the fallback; anything unparseable — junk, trailing garbage, negative,
+// out of int range — aborts loudly instead of being silently swallowed
+// as the fallback. 0 is a legal value (LLMFI_SEED=0 is a real seed).
 inline int env_int(const char* name, int fallback) {
   const char* v = std::getenv(name);
-  if (v == nullptr) return fallback;
-  const int parsed = std::atoi(v);
-  return parsed > 0 ? parsed : fallback;
+  if (v == nullptr || *v == '\0') return fallback;
+  errno = 0;
+  char* end = nullptr;
+  const long parsed = std::strtol(v, &end, 10);
+  if (errno != 0 || end == v || *end != '\0' || parsed < 0 ||
+      parsed > INT_MAX) {
+    std::fprintf(stderr,
+                 "llmfi: %s=\"%s\" is not a non-negative integer\n", name, v);
+    std::exit(2);
+  }
+  return static_cast<int>(parsed);
 }
 
 inline eval::Zoo& shared_zoo() {
@@ -47,6 +67,7 @@ inline eval::CampaignConfig default_campaign(core::FaultModel fault,
   cfg.trials = env_int("LLMFI_TRIALS", default_trials);
   cfg.n_inputs = env_int("LLMFI_INPUTS", default_inputs);
   cfg.seed = static_cast<std::uint64_t>(env_int("LLMFI_SEED", 2025));
+  cfg.threads = env_int("LLMFI_THREADS", 1);
   return cfg;
 }
 

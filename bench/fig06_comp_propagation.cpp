@@ -32,9 +32,11 @@ int main() {
 
   core::ComputationalFaultInjector injector(plan,
                                             engine.precision().act_dtype);
-  engine.set_linear_hook(&injector);
-  const auto faulty = core::capture_layer_outputs(engine, prompt);
-  engine.set_linear_hook(nullptr);
+  std::vector<core::CapturedLayer> faulty;
+  {
+    core::LinearHookGuard guard(engine, &injector);
+    faulty = core::capture_layer_outputs(engine, prompt);
+  }
   if (injector.fired()) {
     std::printf("neuron (%lld, %lld) of %s: %.5g -> %.5g\n",
                 static_cast<long long>(injector.record().row),

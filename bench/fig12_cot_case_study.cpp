@@ -33,9 +33,11 @@ int main() {
                                    trial_rng);
     core::ComputationalFaultInjector injector(plan,
                                               engine.precision().act_dtype);
-    engine.set_linear_hook(&injector);
-    auto faulty = eval::run_example(engine, zoo.vocab(), spec, ex, opt);
-    engine.set_linear_hook(nullptr);
+    eval::ExampleResult faulty;
+    {
+      core::LinearHookGuard guard(engine, &injector);
+      faulty = eval::run_example(engine, zoo.vocab(), spec, ex, opt);
+    }
 
     // Interesting case: reasoning text changed AND the final answer is
     // now wrong (an SDC caused inside the chain of thought).

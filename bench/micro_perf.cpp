@@ -96,12 +96,11 @@ void BM_DecodeWithArmedInjector(benchmark::State& state) {
   plan.pass_index = 1 << 20;  // never fires
   plan.bits = {30};
   core::ComputationalFaultInjector injector(plan, num::DType::F32);
-  engine.set_linear_hook(&injector);
+  core::LinearHookGuard guard(engine, &injector);
   gen::GenerationConfig cfg;
   for (auto _ : state) {
     benchmark::DoNotOptimize(gen::generate(engine, prompt, cfg));
   }
-  engine.set_linear_hook(nullptr);
 }
 BENCHMARK(BM_DecodeWithArmedInjector);
 

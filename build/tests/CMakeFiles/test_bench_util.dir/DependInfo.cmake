@@ -1,0 +1,33 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_bench_util.cpp" "tests/CMakeFiles/test_bench_util.dir/test_bench_util.cpp.o" "gcc" "tests/CMakeFiles/test_bench_util.dir/test_bench_util.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/eval/CMakeFiles/llmfi_eval.dir/DependInfo.cmake"
+  "/root/repo/build/src/report/CMakeFiles/llmfi_report.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/llmfi_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/gen/CMakeFiles/llmfi_gen.dir/DependInfo.cmake"
+  "/root/repo/build/src/train/CMakeFiles/llmfi_train.dir/DependInfo.cmake"
+  "/root/repo/build/src/model/CMakeFiles/llmfi_model.dir/DependInfo.cmake"
+  "/root/repo/build/src/autograd/CMakeFiles/llmfi_autograd.dir/DependInfo.cmake"
+  "/root/repo/build/src/nn/CMakeFiles/llmfi_nn.dir/DependInfo.cmake"
+  "/root/repo/build/src/quant/CMakeFiles/llmfi_quant.dir/DependInfo.cmake"
+  "/root/repo/build/src/tensor/CMakeFiles/llmfi_tensor.dir/DependInfo.cmake"
+  "/root/repo/build/src/data/CMakeFiles/llmfi_data.dir/DependInfo.cmake"
+  "/root/repo/build/src/numerics/CMakeFiles/llmfi_numerics.dir/DependInfo.cmake"
+  "/root/repo/build/src/tokenizer/CMakeFiles/llmfi_tokenizer.dir/DependInfo.cmake"
+  "/root/repo/build/src/metrics/CMakeFiles/llmfi_metrics.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

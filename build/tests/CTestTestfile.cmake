@@ -20,3 +20,4 @@ include("/root/repo/build/tests/test_mitigation[1]_include.cmake")
 include("/root/repo/build/tests/test_report[1]_include.cmake")
 include("/root/repo/build/tests/test_eval[1]_include.cmake")
 include("/root/repo/build/tests/test_fault_semantics[1]_include.cmake")
+include("/root/repo/build/tests/test_bench_util[1]_include.cmake")

@@ -53,9 +53,11 @@ int main() {
     plan.bits = {30, 27};
     core::ComputationalFaultInjector injector(plan,
                                               engine.precision().act_dtype);
-    engine.set_linear_hook(&injector);
-    auto faulty = eval::run_example(engine, zoo.vocab(), spec, *target, opt);
-    engine.set_linear_hook(nullptr);
+    eval::ExampleResult faulty;
+    {
+      core::LinearHookGuard guard(engine, &injector);
+      faulty = eval::run_example(engine, zoo.vocab(), spec, *target, opt);
+    }
 
     const char* verdict;
     if (faulty.output == base.output) {

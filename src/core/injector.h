@@ -1,8 +1,9 @@
 #pragma once
 // Fault application machinery: a single-shot computational-fault hook
-// (PyTorchFI-style output perturbation) and an RAII weight corruption
+// (PyTorchFI-style output perturbation), an RAII weight corruption
 // guard for memory faults (flip on construction, flip back on
-// destruction — the paper's fresh-execution protocol, §3.2).
+// destruction — the paper's fresh-execution protocol, §3.2), and an RAII
+// guard scoping a linear hook's installation to one inference.
 
 #include <optional>
 
@@ -42,6 +43,26 @@ class ComputationalFaultInjector : public nn::LinearHook {
   FaultPlan plan_;
   num::DType act_dtype_;
   std::optional<FiredRecord> record_;
+};
+
+// RAII hook installation: installs `hook` on construction and restores
+// the previously installed hook (usually none) on destruction, so a
+// throwing inference cannot leak a dangling hook pointer into the next
+// trial. Mirrors WeightCorruption's scoping discipline.
+class LinearHookGuard {
+ public:
+  LinearHookGuard(model::InferenceModel& m, nn::LinearHook* hook)
+      : model_(m), previous_(m.linear_hook()) {
+    model_.set_linear_hook(hook);
+  }
+  ~LinearHookGuard() { model_.set_linear_hook(previous_); }
+
+  LinearHookGuard(const LinearHookGuard&) = delete;
+  LinearHookGuard& operator=(const LinearHookGuard&) = delete;
+
+ private:
+  model::InferenceModel& model_;
+  nn::LinearHook* previous_;
 };
 
 // RAII weight corruption: applies the plan's bit flips to the stored

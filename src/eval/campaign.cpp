@@ -1,8 +1,12 @@
 #include "eval/campaign.h"
 
 #include <algorithm>
+#include <atomic>
 #include <chrono>
 #include <cmath>
+#include <exception>
+#include <mutex>
+#include <thread>
 
 #include "core/injector.h"
 
@@ -41,6 +45,110 @@ metrics::Ratio CampaignResult::normalized(const std::string& metric) const {
                                b.stddev(), b.n());
 }
 
+TrialOutcome run_trial(model::InferenceModel& engine, const tok::Vocab& vocab,
+                       const std::vector<data::Example>& eval_set,
+                       const std::vector<ExampleResult>& baselines,
+                       const WorkloadSpec& spec, const CampaignConfig& cfg,
+                       const num::Rng& campaign_rng, int trial) {
+  const int n_inputs = static_cast<int>(baselines.size());
+  const int ei = trial % n_inputs;
+  const auto& ex = eval_set[static_cast<size_t>(ei)];
+  const auto& base = baselines[static_cast<size_t>(ei)];
+  const bool discrete = spec.style == data::TaskStyle::MultipleChoice ||
+                        spec.kind == data::TaskKind::MathGsm;
+
+  num::Rng rng = campaign_rng.fork(static_cast<std::uint64_t>(trial));
+  core::SamplerScope scope;
+  scope.layer_filter = cfg.layer_filter;
+  scope.max_passes = std::max(1, base.passes - cfg.exclude_final_passes);
+
+  TrialOutcome out;
+  out.example_index = ei;
+  out.plan = core::sample_fault(cfg.fault, engine, scope, rng);
+
+  ExampleResult faulty;
+  if (core::is_memory_fault(cfg.fault)) {
+    core::WeightCorruption guard(engine, out.plan);
+    faulty = run_example(engine, vocab, spec, ex, cfg.run);
+  } else {
+    core::ComputationalFaultInjector injector(
+        out.plan, engine.precision().act_dtype);
+    core::LinearHookGuard guard(engine, &injector);
+    faulty = run_example(engine, vocab, spec, ex, cfg.run);
+  }
+
+  // baseline_empty considers generated tokens only: multiple-choice
+  // runs never generate tokens, so an empty faulty token stream is
+  // normal there, not a distortion symptom.
+  const auto signals = core::analyze_distortion(
+      faulty.tokens, faulty.nonfinite_logits, faulty.hit_max_tokens,
+      /*baseline_ended=*/!base.hit_max_tokens,
+      /*baseline_empty=*/base.tokens.empty());
+  out.outcome = discrete
+                    ? core::classify_direct(faulty.correct, signals)
+                    : core::classify_generative(faulty.output, base.output,
+                                                signals);
+  out.correct = faulty.correct;
+  out.output_matches_baseline = (faulty.output == base.output);
+  out.metrics = std::move(faulty.metrics);
+  out.output = std::move(faulty.output);
+  return out;
+}
+
+namespace {
+
+// Runs trials [0, cfg.trials) against per-worker engine replicas and
+// fills `outcomes` slot-by-slot. Each worker owns one engine (replica 0
+// is the caller's), so WeightCorruption flips and hook installs never
+// cross threads; the atomic counter only schedules, it never orders the
+// reduction. An exception aborts the throwing worker's loop; the driver
+// rethrows the one with the lowest trial index so failure, too, is
+// deterministic.
+void run_trials_parallel(model::InferenceModel& engine,
+                         const tok::Vocab& vocab,
+                         const std::vector<data::Example>& eval_set,
+                         const std::vector<ExampleResult>& baselines,
+                         const WorkloadSpec& spec, const CampaignConfig& cfg,
+                         const num::Rng& campaign_rng, int n_threads,
+                         std::vector<TrialOutcome>& outcomes) {
+  std::vector<model::InferenceModel> replicas;
+  replicas.reserve(static_cast<size_t>(n_threads - 1));
+  for (int w = 1; w < n_threads; ++w) replicas.push_back(engine.clone());
+
+  std::atomic<int> next_trial{0};
+  std::mutex error_mutex;
+  std::exception_ptr first_error;
+  int first_error_trial = cfg.trials;
+
+  auto worker = [&](model::InferenceModel& eng) {
+    for (int trial = next_trial.fetch_add(1); trial < cfg.trials;
+         trial = next_trial.fetch_add(1)) {
+      try {
+        outcomes[static_cast<size_t>(trial)] = run_trial(
+            eng, vocab, eval_set, baselines, spec, cfg, campaign_rng, trial);
+      } catch (...) {
+        std::lock_guard<std::mutex> lock(error_mutex);
+        if (trial < first_error_trial) {
+          first_error_trial = trial;
+          first_error = std::current_exception();
+        }
+        return;
+      }
+    }
+  };
+
+  std::vector<std::thread> pool;
+  pool.reserve(replicas.size());
+  for (auto& replica : replicas) {
+    pool.emplace_back([&worker, &replica] { worker(replica); });
+  }
+  worker(engine);
+  for (auto& t : pool) t.join();
+  if (first_error) std::rethrow_exception(first_error);
+}
+
+}  // namespace
+
 CampaignResult run_campaign_on(model::InferenceModel& engine,
                                const tok::Vocab& vocab,
                                const std::vector<data::Example>& eval_set,
@@ -54,7 +162,8 @@ CampaignResult run_campaign_on(model::InferenceModel& engine,
       std::min<int>(cfg.n_inputs, static_cast<int>(eval_set.size()));
   if (n_inputs <= 0) throw std::invalid_argument("campaign: no inputs");
 
-  // Fault-free baselines, one per input.
+  // Fault-free baselines, one per input — always serial: they seed the
+  // trial loop (pass counts bound the fault sampler's scope).
   std::vector<ExampleResult> baselines;
   baselines.reserve(static_cast<size_t>(n_inputs));
   for (int i = 0; i < n_inputs; ++i) {
@@ -66,69 +175,50 @@ CampaignResult run_campaign_on(model::InferenceModel& engine,
     baselines.push_back(std::move(base));
   }
 
-  num::Rng campaign_rng(cfg.seed);
-  const bool discrete = spec.style == data::TaskStyle::MultipleChoice ||
-                        spec.kind == data::TaskKind::MathGsm;
+  const num::Rng campaign_rng(cfg.seed);
+  const int n_threads =
+      std::max(1, std::min(cfg.threads, std::max(1, cfg.trials)));
 
-  for (int trial = 0; trial < cfg.trials; ++trial) {
-    const int ei = trial % n_inputs;
-    const auto& ex = eval_set[static_cast<size_t>(ei)];
-    const auto& base = baselines[static_cast<size_t>(ei)];
-
-    num::Rng rng = campaign_rng.fork(static_cast<std::uint64_t>(trial));
-    core::SamplerScope scope;
-    scope.layer_filter = cfg.layer_filter;
-    scope.max_passes = std::max(1, base.passes - cfg.exclude_final_passes);
-    const core::FaultPlan plan =
-        core::sample_fault(cfg.fault, engine, scope, rng);
-
-    ExampleResult faulty;
-    if (core::is_memory_fault(cfg.fault)) {
-      core::WeightCorruption guard(engine, plan);
-      faulty = run_example(engine, vocab, spec, ex, cfg.run);
-    } else {
-      core::ComputationalFaultInjector injector(
-          plan, engine.precision().act_dtype);
-      engine.set_linear_hook(&injector);
-      faulty = run_example(engine, vocab, spec, ex, cfg.run);
-      engine.set_linear_hook(nullptr);
+  std::vector<TrialOutcome> outcomes(static_cast<size_t>(
+      std::max(0, cfg.trials)));
+  if (n_threads == 1) {
+    for (int trial = 0; trial < cfg.trials; ++trial) {
+      outcomes[static_cast<size_t>(trial)] = run_trial(
+          engine, vocab, eval_set, baselines, spec, cfg, campaign_rng, trial);
     }
+  } else {
+    run_trials_parallel(engine, vocab, eval_set, baselines, spec, cfg,
+                        campaign_rng, n_threads, outcomes);
+  }
 
-    for (const auto& [name, value] : faulty.metrics) {
+  // Deterministic reduction: fold outcomes in trial order, exactly as the
+  // serial loop would, so counts, accumulators, buckets, and records are
+  // bit-identical for every thread count.
+  for (int trial = 0; trial < cfg.trials; ++trial) {
+    auto& o = outcomes[static_cast<size_t>(trial)];
+    for (const auto& [name, value] : o.metrics) {
       result.faulty_metrics[name].add(value);
     }
-
-    // baseline_empty considers generated tokens only: multiple-choice
-    // runs never generate tokens, so an empty faulty token stream is
-    // normal there, not a distortion symptom.
-    const auto signals = core::analyze_distortion(
-        faulty.tokens, faulty.nonfinite_logits, faulty.hit_max_tokens,
-        /*baseline_ended=*/!base.hit_max_tokens,
-        /*baseline_empty=*/base.tokens.empty());
-    const core::OutcomeClass outcome =
-        discrete ? core::classify_direct(faulty.correct, signals)
-                 : core::classify_generative(faulty.output, base.output,
-                                             signals);
-    switch (outcome) {
+    switch (o.outcome) {
       case core::OutcomeClass::Masked: ++result.masked; break;
       case core::OutcomeClass::SdcSubtle: ++result.sdc_subtle; break;
       case core::OutcomeClass::SdcDistorted: ++result.sdc_distorted; break;
     }
-    auto& bit_bucket = result.by_highest_bit[plan.highest_bit()];
-    ++bit_bucket[static_cast<size_t>(outcome)];
+    auto& bit_bucket = result.by_highest_bit[o.plan.highest_bit()];
+    ++bit_bucket[static_cast<size_t>(o.outcome)];
 
     if (cfg.keep_trial_records) {
       TrialRecord rec;
-      rec.plan = plan;
-      rec.example_index = ei;
-      rec.outcome = outcome;
-      rec.correct = faulty.correct;
-      rec.output_matches_baseline = (faulty.output == base.output);
+      rec.plan = o.plan;
+      rec.example_index = o.example_index;
+      rec.outcome = o.outcome;
+      rec.correct = o.correct;
+      rec.output_matches_baseline = o.output_matches_baseline;
       if (!spec.metrics.empty()) {
-        auto it = faulty.metrics.find(spec.metrics.front().name);
-        if (it != faulty.metrics.end()) rec.primary_metric = it->second;
+        auto it = o.metrics.find(spec.metrics.front().name);
+        if (it != o.metrics.end()) rec.primary_metric = it->second;
       }
-      rec.output = faulty.output;
+      rec.output = std::move(o.output);
       result.records.push_back(std::move(rec));
     }
   }

@@ -22,6 +22,13 @@ struct CampaignConfig {
   int trials = 100;
   int n_inputs = 10;  // evaluation inputs cycled over trials
   std::uint64_t seed = 2025;
+  // Worker threads for the trial loop. Each worker owns a private engine
+  // replica (clone of the caller's engine), trials are handed out via an
+  // atomic counter, and outcomes are reduced in trial order — so the
+  // result is bit-identical for any value, including 1 (serial, no
+  // replicas). Baseline evaluation always runs serially: it seeds the
+  // trial loop. Values < 1 are treated as 1.
+  int threads = 1;
   RunOptions run;
   // Restrict fault sites (e.g. Router layers only for Fig 15).
   std::function<bool(const nn::LinearId&)> layer_filter;
@@ -44,6 +51,33 @@ struct TrialRecord {
   bool output_matches_baseline = false;
   std::string output;  // only when keep_trial_records
 };
+
+// Everything one trial produces, before any shared state is touched.
+// Workers fill these independently; the driver folds them into the
+// CampaignResult in trial order, so the reduction (Welford accumulators,
+// outcome counters, bit buckets, records) is scheduling-independent.
+struct TrialOutcome {
+  core::FaultPlan plan;
+  int example_index = 0;
+  core::OutcomeClass outcome = core::OutcomeClass::Masked;
+  std::map<std::string, double> metrics;  // faulty run's metric values
+  bool correct = false;
+  bool output_matches_baseline = false;
+  std::string output;
+};
+
+// Runs exactly one fault-injection trial against `engine`: forks the
+// trial's private RNG stream from `campaign_rng`, samples the fault,
+// applies it under an RAII guard (WeightCorruption or LinearHookGuard),
+// runs the example, and classifies the outcome. Pure with respect to
+// campaign state: everything it needs is passed in, everything it
+// produces is returned — which is what makes trials embarrassingly
+// parallel across engine replicas.
+TrialOutcome run_trial(model::InferenceModel& engine, const tok::Vocab& vocab,
+                       const std::vector<data::Example>& eval_set,
+                       const std::vector<ExampleResult>& baselines,
+                       const WorkloadSpec& spec, const CampaignConfig& cfg,
+                       const num::Rng& campaign_rng, int trial);
 
 struct CampaignResult {
   CampaignConfig config;

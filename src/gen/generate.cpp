@@ -60,6 +60,15 @@ struct Beam {
   bool finished = false;
 };
 
+// (logprob desc, token id asc): HF's lowest-index tie-break, so tied
+// log-probs order identically on every platform instead of falling back
+// to std::pair's id-descending order.
+bool better_token(const std::pair<double, tok::TokenId>& a,
+                  const std::pair<double, tok::TokenId>& b) {
+  if (a.first != b.first) return a.first > b.first;
+  return a.second < b.second;
+}
+
 double beam_score(const Beam& b, float length_penalty) {
   if (length_penalty == 0.0f || b.tokens.empty()) return b.logprob;
   return b.logprob /
@@ -90,7 +99,7 @@ GenerationResult beam_search(model::InferenceModel& m,
   std::partial_sort(first.begin(),
                     first.begin() + std::min<size_t>(first.size(),
                                                      static_cast<size_t>(n_beams)),
-                    first.end(), std::greater<>());
+                    first.end(), better_token);
 
   std::vector<Beam> beams;
   for (int b = 0; b < n_beams && b < static_cast<int>(first.size()); ++b) {
@@ -145,16 +154,19 @@ GenerationResult beam_search(model::InferenceModel& m,
       const size_t keep = std::min<size_t>(top.size(),
                                            static_cast<size_t>(n_beams) + 1);
       std::partial_sort(top.begin(), top.begin() + keep, top.end(),
-                        std::greater<>());
+                        better_token);
       for (size_t k = 0; k < keep; ++k) {
         candidates.push_back({bi, top[k].second, b.logprob + top[k].first});
       }
     }
 
-    std::sort(candidates.begin(), candidates.end(),
-              [](const Candidate& a, const Candidate& b) {
-                return a.logprob > b.logprob;
-              });
+    // Stable on ties: candidates were pushed in (beam asc, token-rank
+    // asc) order, so equal log-probs resolve to the lowest beam and then
+    // the lowest token id — reproducible across platforms and stdlibs.
+    std::stable_sort(candidates.begin(), candidates.end(),
+                     [](const Candidate& a, const Candidate& b) {
+                       return a.logprob > b.logprob;
+                     });
     std::vector<Beam> next;
     for (const auto& c : candidates) {
       if (static_cast<int>(next.size()) >= n_beams) break;

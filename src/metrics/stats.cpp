@@ -40,14 +40,15 @@ Ratio katz_ratio_ci(int fault_hits, int fault_n, int free_hits, int free_n,
   }
   const double p1 = a / n1;
   const double p2 = b / n2;
-  r.value = (static_cast<double>(fault_hits) / fault_n) /
-            (static_cast<double>(free_hits) / free_n);
   const double se =
       std::sqrt(std::max(0.0, (1.0 - p1) / (n1 * p1)) +
                 std::max(0.0, (1.0 - p2) / (n2 * p2)));
-  const double ratio_cc = p1 / p2;
-  r.lo = ratio_cc * std::exp(-z * se);
-  r.hi = ratio_cc * std::exp(z * se);
+  // Point estimate and CI both use the (possibly corrected) ratio, so
+  // lo <= value <= hi always holds. Reporting the raw ratio while the CI
+  // used the corrected one put value = 0 below lo when fault_hits == 0.
+  r.value = p1 / p2;
+  r.lo = r.value * std::exp(-z * se);
+  r.hi = r.value * std::exp(z * se);
   return r;
 }
 

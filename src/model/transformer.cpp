@@ -77,7 +77,23 @@ InferenceModel::InferenceModel(const ModelWeights& w,
     blocks_.push_back(std::move(blk));
   }
 
-  // FI target registry (order: block-major, layer kind within block).
+  build_linear_refs();
+}
+
+InferenceModel InferenceModel::clone() const {
+  InferenceModel copy;
+  copy.config_ = config_;
+  copy.prec_ = prec_;
+  copy.embedding_ = embedding_;
+  copy.final_norm_ = final_norm_;
+  copy.blocks_ = blocks_;
+  copy.build_linear_refs();
+  return copy;
+}
+
+// FI target registry (order: block-major, layer kind within block).
+void InferenceModel::build_linear_refs() {
+  linear_refs_.clear();
   for (int b = 0; b < static_cast<int>(blocks_.size()); ++b) {
     auto& blk = blocks_[static_cast<size_t>(b)];
     linear_refs_.push_back({{b, nn::LayerKind::QProj, -1}, &blk.wq});

@@ -25,6 +25,22 @@ class InferenceModel {
   // engine keeps no reference to `w` afterwards.
   InferenceModel(const ModelWeights& w, const PrecisionConfig& prec);
 
+  // Copying would silently leave linear_layers() pointing into the
+  // source engine; replicate explicitly with clone() instead. Moves are
+  // fine: the weight storage lives on vector heap buffers, so the
+  // registry pointers stay valid.
+  InferenceModel(const InferenceModel&) = delete;
+  InferenceModel& operator=(const InferenceModel&) = delete;
+  InferenceModel(InferenceModel&&) = default;
+  InferenceModel& operator=(InferenceModel&&) = default;
+
+  // Deep replica with private weight buffers (the parallel campaign's
+  // per-worker engines: WeightCorruption and the linear hook never touch
+  // another worker's storage). Copies the dtype-exact storage bit-for-bit
+  // — no re-rounding — so a replica's outputs are bit-identical to the
+  // source's. Hooks, tracer, and diagnostics start clean.
+  InferenceModel clone() const;
+
   const ModelConfig& config() const { return config_; }
   const PrecisionConfig& precision() const { return prec_; }
 
@@ -40,6 +56,7 @@ class InferenceModel {
 
   // --- hook surface ----------------------------------------------------
   void set_linear_hook(nn::LinearHook* hook) { hook_ = hook; }
+  nn::LinearHook* linear_hook() const { return hook_; }
   void set_expert_observer(nn::ExpertObserver* obs) { expert_obs_ = obs; }
 
   // Observation-only tracer fired with every linear layer's (post-round,
@@ -64,6 +81,8 @@ class InferenceModel {
   void reset_diagnostics() { saw_nonfinite_logits_ = false; }
 
  private:
+  InferenceModel() = default;  // empty shell filled by clone()
+
   struct ExpertStorage {
     nn::WeightMatrix gate, up, down;
   };
@@ -76,6 +95,8 @@ class InferenceModel {
     std::vector<nn::WeightMatrix> router;  // singleton when MoE
     std::vector<ExpertStorage> experts;
   };
+
+  void build_linear_refs();
 
   tn::Tensor linear(const nn::WeightMatrix& w, const tn::Tensor& x,
                     const nn::LinearId& id, int pass_index, int row_offset);

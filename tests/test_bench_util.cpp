@@ -1,0 +1,81 @@
+// Tests for the bench binaries' shared environment-knob parsing
+// (bench/common.h): seed 0 is honored, junk fails loudly instead of
+// silently becoming the fallback, and LLMFI_THREADS reaches the
+// campaign config.
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+
+#include "common.h"
+
+namespace llmfi {
+namespace {
+
+struct EnvVar {
+  explicit EnvVar(const char* name) : name_(name) {}
+  ~EnvVar() { unsetenv(name_); }
+  void set(const char* value) { setenv(name_, value, /*overwrite=*/1); }
+  const char* name_;
+};
+
+TEST(EnvInt, UnsetAndEmptyFallBack) {
+  EnvVar v("LLMFI_TEST_KNOB");
+  EXPECT_EQ(benchutil::env_int("LLMFI_TEST_KNOB", 42), 42);
+  v.set("");
+  EXPECT_EQ(benchutil::env_int("LLMFI_TEST_KNOB", 42), 42);
+}
+
+TEST(EnvInt, ParsesPlainValues) {
+  EnvVar v("LLMFI_TEST_KNOB");
+  v.set("7");
+  EXPECT_EQ(benchutil::env_int("LLMFI_TEST_KNOB", 42), 7);
+  v.set("2025");
+  EXPECT_EQ(benchutil::env_int("LLMFI_TEST_KNOB", 42), 2025);
+}
+
+// Regression: `parsed > 0 ? parsed : fallback` silently replaced an
+// explicit LLMFI_SEED=0 with the default seed 2025.
+TEST(EnvInt, ZeroIsAValidValue) {
+  EnvVar v("LLMFI_TEST_KNOB");
+  v.set("0");
+  EXPECT_EQ(benchutil::env_int("LLMFI_TEST_KNOB", 42), 0);
+}
+
+// Regression: atoi turned junk into 0 and therefore into the fallback;
+// a typo like LLMFI_TRIALS=1OO ran a completely different campaign than
+// asked. Unparseable values must abort instead.
+TEST(EnvIntDeathTest, JunkFailsLoudly) {
+  EnvVar v("LLMFI_TEST_KNOB");
+  v.set("abc");
+  EXPECT_EXIT(benchutil::env_int("LLMFI_TEST_KNOB", 42),
+              ::testing::ExitedWithCode(2), "not a non-negative integer");
+  v.set("12abc");
+  EXPECT_EXIT(benchutil::env_int("LLMFI_TEST_KNOB", 42),
+              ::testing::ExitedWithCode(2), "not a non-negative integer");
+  v.set("-3");
+  EXPECT_EXIT(benchutil::env_int("LLMFI_TEST_KNOB", 42),
+              ::testing::ExitedWithCode(2), "not a non-negative integer");
+  v.set("99999999999999999999");
+  EXPECT_EXIT(benchutil::env_int("LLMFI_TEST_KNOB", 42),
+              ::testing::ExitedWithCode(2), "not a non-negative integer");
+}
+
+TEST(DefaultCampaign, ReadsThreadsSeedAndTrialsFromEnv) {
+  EnvVar trials("LLMFI_TRIALS");
+  EnvVar inputs("LLMFI_INPUTS");
+  EnvVar seed("LLMFI_SEED");
+  EnvVar threads("LLMFI_THREADS");
+  trials.set("17");
+  seed.set("0");
+  threads.set("4");
+  const auto cfg =
+      benchutil::default_campaign(core::FaultModel::Comp1Bit, 60, 8);
+  EXPECT_EQ(cfg.trials, 17);
+  EXPECT_EQ(cfg.n_inputs, 8);  // unset: bench default
+  EXPECT_EQ(cfg.seed, 0u);
+  EXPECT_EQ(cfg.threads, 4);
+}
+
+}  // namespace
+}  // namespace llmfi

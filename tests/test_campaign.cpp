@@ -192,6 +192,127 @@ TEST(Campaign, DirectPromptUsesDirectPath) {
   EXPECT_LT(rd.tokens.size() + 2, rc.tokens.size());
 }
 
+// Bit-identical equality of two campaign results: counts, buckets,
+// accumulators (Welford state compared through mean/stddev/n), and the
+// full per-trial records. Used to pin the parallel driver to the serial
+// semantics.
+void expect_identical_results(const eval::CampaignResult& a,
+                              const eval::CampaignResult& b) {
+  EXPECT_EQ(a.masked, b.masked);
+  EXPECT_EQ(a.sdc_subtle, b.sdc_subtle);
+  EXPECT_EQ(a.sdc_distorted, b.sdc_distorted);
+  EXPECT_EQ(a.by_highest_bit, b.by_highest_bit);
+  const auto expect_identical_metrics =
+      [](const std::map<std::string, metrics::Accumulator>& ma,
+         const std::map<std::string, metrics::Accumulator>& mb) {
+        ASSERT_EQ(ma.size(), mb.size());
+        for (const auto& [name, acc] : ma) {
+          auto it = mb.find(name);
+          ASSERT_TRUE(it != mb.end()) << name;
+          EXPECT_EQ(acc.n(), it->second.n()) << name;
+          EXPECT_EQ(acc.mean(), it->second.mean()) << name;
+          EXPECT_EQ(acc.stddev(), it->second.stddev()) << name;
+        }
+      };
+  expect_identical_metrics(a.baseline_metrics, b.baseline_metrics);
+  expect_identical_metrics(a.faulty_metrics, b.faulty_metrics);
+  ASSERT_EQ(a.records.size(), b.records.size());
+  for (size_t i = 0; i < a.records.size(); ++i) {
+    const auto& ra = a.records[i];
+    const auto& rb = b.records[i];
+    EXPECT_TRUE(ra.plan.layer == rb.plan.layer) << "trial " << i;
+    EXPECT_EQ(ra.plan.layer_index, rb.plan.layer_index);
+    EXPECT_EQ(ra.plan.bits, rb.plan.bits);
+    EXPECT_EQ(ra.plan.weight_row, rb.plan.weight_row);
+    EXPECT_EQ(ra.plan.weight_col, rb.plan.weight_col);
+    EXPECT_EQ(ra.plan.pass_index, rb.plan.pass_index);
+    EXPECT_EQ(ra.plan.row_frac, rb.plan.row_frac);
+    EXPECT_EQ(ra.plan.out_col, rb.plan.out_col);
+    EXPECT_EQ(ra.example_index, rb.example_index);
+    EXPECT_EQ(ra.outcome, rb.outcome);
+    EXPECT_EQ(ra.correct, rb.correct);
+    EXPECT_EQ(ra.output_matches_baseline, rb.output_matches_baseline);
+    EXPECT_EQ(ra.primary_metric, rb.primary_metric);
+    EXPECT_EQ(ra.output, rb.output) << "trial " << i;
+  }
+}
+
+// The tentpole guarantee: the worker-pool driver with engine replicas
+// reduces to exactly the serial result, for both fault classes (memory
+// faults corrupt per-replica weight buffers; computational faults
+// install per-replica hooks).
+TEST(CampaignParallel, CompFaultMatchesSerial) {
+  auto& f = fixture();
+  model::InferenceModel engine(f.weights, {});
+  const auto& spec = eval::workload(data::TaskKind::QA);
+  const auto& eval_set = f.tasks.at(data::TaskKind::QA).eval;
+  auto cfg = small_campaign(core::FaultModel::Comp2Bit);
+  cfg.keep_trial_records = true;
+  cfg.threads = 1;
+  const auto serial = eval::run_campaign_on(engine, f.world.vocab(),
+                                            eval_set, spec, cfg);
+  for (int threads : {2, 4}) {
+    cfg.threads = threads;
+    const auto parallel = eval::run_campaign_on(engine, f.world.vocab(),
+                                                eval_set, spec, cfg);
+    SCOPED_TRACE("threads=" + std::to_string(threads));
+    expect_identical_results(serial, parallel);
+  }
+}
+
+TEST(CampaignParallel, MemFaultMatchesSerial) {
+  auto& f = fixture();
+  model::InferenceModel engine(f.weights, {});
+  const auto& spec = eval::workload(data::TaskKind::QA);
+  const auto& eval_set = f.tasks.at(data::TaskKind::QA).eval;
+  auto cfg = small_campaign(core::FaultModel::Mem2Bit);
+  cfg.keep_trial_records = true;
+  cfg.threads = 1;
+  const auto serial = eval::run_campaign_on(engine, f.world.vocab(),
+                                            eval_set, spec, cfg);
+  cfg.threads = 4;
+  const auto parallel = eval::run_campaign_on(engine, f.world.vocab(),
+                                              eval_set, spec, cfg);
+  expect_identical_results(serial, parallel);
+
+  // The caller's engine (replica 0) must come back bit-identical too —
+  // every worker restored its own weight flips.
+  model::InferenceModel reference(f.weights, {});
+  auto ref_layers = reference.linear_layers();
+  auto layers = engine.linear_layers();
+  ASSERT_EQ(layers.size(), ref_layers.size());
+  for (size_t l = 0; l < layers.size(); ++l) {
+    const auto& now = layers[l].weights->values();
+    const auto& ref = ref_layers[l].weights->values();
+    for (tn::Index i = 0; i < now.numel(); ++i) {
+      ASSERT_EQ(num::f32_bits(now.flat()[i]), num::f32_bits(ref.flat()[i]));
+    }
+  }
+}
+
+TEST(CampaignParallel, MoreThreadsThanTrialsWorks) {
+  auto& f = fixture();
+  model::InferenceModel engine(f.weights, {});
+  const auto& spec = eval::workload(data::TaskKind::McFact);
+  const auto& eval_set = f.tasks.at(data::TaskKind::McFact).eval;
+  auto cfg = small_campaign(core::FaultModel::Comp1Bit);
+  cfg.trials = 3;
+  cfg.threads = 16;  // clamped to the trial count
+  const auto r = eval::run_campaign_on(engine, f.world.vocab(), eval_set,
+                                       spec, cfg);
+  EXPECT_EQ(r.trials(), 3);
+}
+
+TEST(Campaign, HookClearedAfterCompCampaign) {
+  auto& f = fixture();
+  model::InferenceModel engine(f.weights, {});
+  const auto& spec = eval::workload(data::TaskKind::QA);
+  const auto& eval_set = f.tasks.at(data::TaskKind::QA).eval;
+  (void)eval::run_campaign_on(engine, f.world.vocab(), eval_set, spec,
+                              small_campaign(core::FaultModel::Comp1Bit));
+  EXPECT_EQ(engine.linear_hook(), nullptr);
+}
+
 TEST(Campaign, RejectsEmptyInputs) {
   auto& f = fixture();
   model::InferenceModel engine(f.weights, {});

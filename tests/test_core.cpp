@@ -7,6 +7,7 @@
 #include <cmath>
 #include <map>
 #include <set>
+#include <stdexcept>
 
 #include "core/fault_model.h"
 #include "core/fault_plan.h"
@@ -172,6 +173,57 @@ TEST(Injector, FiresExactlyOnceAtTargetSite) {
   // reset() re-arms.
   injector.reset();
   EXPECT_FALSE(injector.fired());
+}
+
+// A hook that throws mid-forward, standing in for any failure inside an
+// instrumented inference (OOM, a metric error, a poisoned tensor check).
+struct ThrowingHook : nn::LinearHook {
+  void on_linear_output(const nn::LinearId&, tn::Tensor&, int,
+                        int) override {
+    throw std::runtime_error("hook failure");
+  }
+};
+
+TEST(LinearHookGuard, InstallsAndRestores) {
+  model::InferenceModel m(model::ModelWeights::init(tiny_config()), {});
+  ThrowingHook hook;
+  EXPECT_EQ(m.linear_hook(), nullptr);
+  {
+    LinearHookGuard guard(m, &hook);
+    EXPECT_EQ(m.linear_hook(), &hook);
+  }
+  EXPECT_EQ(m.linear_hook(), nullptr);
+}
+
+// Regression: before the guard existed, a throw between set_linear_hook
+// and the manual reset left a dangling hook installed for the next trial.
+TEST(LinearHookGuard, ClearsHookWhenInferenceThrows) {
+  model::InferenceModel m(model::ModelWeights::init(tiny_config()), {});
+  ThrowingHook hook;
+  EXPECT_THROW(
+      {
+        LinearHookGuard guard(m, &hook);
+        auto cache = m.make_cache();
+        (void)m.forward(tokens({1, 2, 3}), cache, 0);
+      },
+      std::runtime_error);
+  EXPECT_EQ(m.linear_hook(), nullptr);
+
+  // The engine is immediately usable again, hook-free.
+  auto cache = m.make_cache();
+  const auto logits = m.forward(tokens({1, 2, 3}), cache, 0);
+  EXPECT_EQ(logits.rows(), 3);
+}
+
+TEST(LinearHookGuard, RestoresPreviousHookWhenNested) {
+  model::InferenceModel m(model::ModelWeights::init(tiny_config()), {});
+  ThrowingHook outer_hook, inner_hook;
+  LinearHookGuard outer(m, &outer_hook);
+  {
+    LinearHookGuard inner(m, &inner_hook);
+    EXPECT_EQ(m.linear_hook(), &inner_hook);
+  }
+  EXPECT_EQ(m.linear_hook(), &outer_hook);
 }
 
 TEST(Injector, ChangesModelOutput) {

@@ -32,6 +32,30 @@ std::vector<tok::TokenId> tokens(std::initializer_list<int> ids) {
   return out;
 }
 
+// With all-zero weights every logit is 0, so every token's log-prob ties
+// exactly and decoding is driven purely by the tie-break. The fixed rule
+// is HF's: highest log-prob first, lowest token id on ties — so beam
+// search must emit token 0 forever. Before the fix, std::pair ordering
+// under std::greater<> broke ties by *descending* token id and the
+// candidate std::sort tie order was unspecified.
+TEST(Generate, BeamSearchBreaksTiesByLowestTokenId) {
+  auto weights = model::ModelWeights::init(tiny_config());
+  weights.for_each_param(
+      [](const std::string&, tn::Tensor& t) { t.zero(); });
+  model::InferenceModel m(weights, {});
+  gen::GenerationConfig cfg;
+  cfg.num_beams = 3;
+  cfg.max_new_tokens = 4;
+  cfg.eos = 1000;  // unreachable: no beam finishes early
+  const auto r = gen::generate(m, tokens({1, 4, 7}), cfg);
+  EXPECT_EQ(r.tokens, tokens({0, 0, 0, 0}));
+  EXPECT_TRUE(r.hit_max_tokens);
+
+  // And the tie-break is stable across repeated runs.
+  const auto again = gen::generate(m, tokens({1, 4, 7}), cfg);
+  EXPECT_EQ(r.tokens, again.tokens);
+}
+
 TEST(Generate, GreedyIsDeterministic) {
   auto m = make_engine();
   gen::GenerationConfig cfg;

@@ -4,6 +4,7 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <tuple>
 
 #include "metrics/stats.h"
 #include "metrics/text_metrics.h"
@@ -158,11 +159,32 @@ TEST(KatzCI, DegenerateInputs) {
   // Zero baseline hits: degenerate wide interval, no crash.
   const Ratio none = katz_ratio_ci(5, 10, 0, 10);
   EXPECT_EQ(none.lo, 0.0);
-  // Zero faulty hits: continuity correction keeps lo/hi finite.
+  // Zero faulty hits: continuity correction keeps lo/hi finite and the
+  // point estimate is the corrected ratio, not 0.
   const Ratio zf = katz_ratio_ci(0, 10, 8, 10);
-  EXPECT_EQ(zf.value, 0.0);
+  EXPECT_GT(zf.value, 0.0);
   EXPECT_GE(zf.lo, 0.0);
   EXPECT_TRUE(std::isfinite(zf.hi));
+}
+
+// Regression: with fault_hits == 0 the point estimate used to be the raw
+// ratio (0) while lo/hi came from the continuity-corrected one, so the
+// reported CI excluded its own point estimate (lo > value).
+TEST(KatzCI, IntervalContainsPointEstimate) {
+  for (const auto& [fh, fn, bh, bn] :
+       {std::tuple{0, 10, 8, 10}, std::tuple{0, 500, 450, 500},
+        std::tuple{3, 10, 9, 10}, std::tuple{10, 10, 10, 10},
+        std::tuple{1, 1000, 999, 1000}}) {
+    const Ratio r = katz_ratio_ci(fh, fn, bh, bn);
+    EXPECT_LE(r.lo, r.value) << fh << "/" << fn << " vs " << bh << "/" << bn;
+    EXPECT_LE(r.value, r.hi) << fh << "/" << fn << " vs " << bh << "/" << bn;
+    // The correction must only kick in when needed: with nonzero counts
+    // the point estimate is the plain ratio of proportions.
+    if (fh > 0) {
+      EXPECT_EQ(r.value, (static_cast<double>(fh) / fn) /
+                             (static_cast<double>(bh) / bn));
+    }
+  }
 }
 
 TEST(LogRatioCI, ShrinksWithSampleSize) {

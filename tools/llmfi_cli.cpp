@@ -31,6 +31,7 @@ struct CliArgs {
   int trials = 200;
   int inputs = 10;
   int beams = 1;
+  int threads = 1;
   std::uint64_t seed = 2025;
   bool csv = false;
   bool router_only = false;
@@ -49,6 +50,8 @@ void print_usage() {
       "  --trials N       fault-injection trials (default 200)\n"
       "  --inputs N       evaluation inputs cycled (default 10)\n"
       "  --beams N        1 = greedy, >1 = beam search\n"
+      "  --threads N      worker threads for the trial loop (default 1;\n"
+      "                   results are bit-identical for any value)\n"
       "  --seed S         campaign seed\n"
       "  --router-only    restrict faults to MoE gate layers\n"
       "  --direct         math task without chain-of-thought\n"
@@ -91,6 +94,8 @@ bool parse_args(int argc, char** argv, CliArgs& args) {
       args.inputs = std::atoi(v);
     } else if (a == "--beams" && (v = need_value(i))) {
       args.beams = std::atoi(v);
+    } else if (a == "--threads" && (v = need_value(i))) {
+      args.threads = std::atoi(v);
     } else if (a == "--seed" && (v = need_value(i))) {
       args.seed = static_cast<std::uint64_t>(std::atoll(v));
     } else {
@@ -127,8 +132,9 @@ int main(int argc, char** argv) {
     }
     return 0;
   }
-  if (args.trials <= 0 || args.inputs <= 0 || args.beams <= 0) {
-    std::fprintf(stderr, "trials/inputs/beams must be positive\n");
+  if (args.trials <= 0 || args.inputs <= 0 || args.beams <= 0 ||
+      args.threads <= 0) {
+    std::fprintf(stderr, "trials/inputs/beams/threads must be positive\n");
     return 2;
   }
 
@@ -140,6 +146,7 @@ int main(int argc, char** argv) {
     cfg.trials = args.trials;
     cfg.n_inputs = args.inputs;
     cfg.seed = args.seed;
+    cfg.threads = args.threads;
     cfg.run.gen.num_beams = args.beams;
     cfg.run.direct_prompt = args.direct;
     if (args.router_only) {
