@@ -1,16 +1,29 @@
 #pragma once
-// Online SDC detection via activation monitoring (Dr.DNA / Ranger-style
-// detection without correction): a LinearHook that *observes* every
-// linear output and raises a flag when values leave a profiled envelope
-// or go non-finite. The ablation bench measures detection coverage
-// (fraction of SDC trials flagged) and the false-positive rate on
-// fault-free runs — the trade-off an HPC operator cares about.
+// Online SDC detection: LinearHooks that *observe* every linear output
+// and raise a latched flag when something looks corrupted. Two schemes,
+// composable through DetectorStack and polled by the generation-level
+// recovery loop (gen::GenerationConfig::detector):
+//
+//  * ActivationDetector (Dr.DNA / Ranger-style): trips when any output
+//    value leaves a profiled per-layer-kind envelope or goes non-finite.
+//    Cheap, but blind to flips that stay inside the envelope.
+//
+//  * ChecksumDetector (ReaLM-style statistical ABFT): verifies each GEMM
+//    y = x·Wᵀ against a precomputed column checksum s[i] = Σ_o W[o][i].
+//    For every output row, Σ_o y[r][o] must equal dot(x_r, s) up to a
+//    tolerance calibrated from fault-free runs (reduced-precision
+//    rounding makes the residual nonzero even without faults — hence
+//    "statistical" ABFT). Catches low-magnitude flips range detection
+//    misses; costs one extra dot product per row.
+//
+// The ablation benches measure the coverage / false-positive / overhead
+// trade-off an HPC operator cares about.
 
 #include "core/mitigation.h"
 
 namespace llmfi::core {
 
-class ActivationDetector : public nn::LinearHook {
+class ActivationDetector : public nn::DetectorHook {
  public:
   // `profile` bounds come from profile_activations(); `next` (optional)
   // is invoked first so an injector upstream still fires.
@@ -20,11 +33,16 @@ class ActivationDetector : public nn::LinearHook {
   void on_linear_output(const nn::LinearId& id, tn::Tensor& y,
                         int pass_index, int row_offset) override;
 
-  bool triggered() const { return triggered_; }
+  bool triggered() const override { return triggered_; }
   // The first layer that tripped the detector (valid when triggered()).
-  const nn::LinearId& trip_site() const { return trip_site_; }
-  int trip_pass() const { return trip_pass_; }
-  void reset();
+  const nn::LinearId& trip_site() const override { return trip_site_; }
+  int trip_pass() const override { return trip_pass_; }
+  void reset() override;
+  std::string_view name() const override { return "range"; }
+  void on_install() override {
+    reset();
+    if (next_ != nullptr) next_->on_install();
+  }
   void set_next(nn::LinearHook* next) { next_ = next; }
 
  private:
@@ -33,6 +51,94 @@ class ActivationDetector : public nn::LinearHook {
   bool triggered_ = false;
   nn::LinearId trip_site_;
   int trip_pass_ = -1;
+};
+
+// Per-layer column checksums plus per-kind residual tolerances, both
+// collected fault-free. Built once per campaign (serially) and shared
+// read-only across worker replicas — LinearId-keyed, so it is valid for
+// any clone() of the profiled engine.
+struct ChecksumProfile {
+  std::map<nn::LinearId, std::vector<float>> col_sum;
+  // layer kind -> max clean |Σy − x·s| residual, inflated by margin.
+  std::map<nn::LayerKind, float> tolerance;
+
+  bool empty() const { return col_sum.empty(); }
+};
+
+// Precomputes column checksums for every FI-eligible linear layer and
+// calibrates per-kind tolerances by running `prompts` fault-free and
+// recording the maximum checksum residual, inflated by `margin`. Layer
+// kinds never exercised by the prompts get an infinite tolerance.
+ChecksumProfile profile_checksums(model::InferenceModel& engine,
+                                  const tok::Vocab& vocab,
+                                  const std::vector<std::string>& prompts,
+                                  float margin = 4.0f);
+
+class ChecksumDetector : public nn::DetectorHook {
+ public:
+  // Keeps a reference to `profile` — it must outlive the detector (the
+  // campaign's DetectionContext owns it). `next` is invoked first.
+  explicit ChecksumDetector(const ChecksumProfile& profile,
+                            nn::LinearHook* next = nullptr);
+
+  void on_linear_output(const nn::LinearId& id, tn::Tensor& y,
+                        int pass_index, int row_offset) override;
+  void on_linear(const nn::LinearId& id, const tn::Tensor& x,
+                 const nn::WeightMatrix& w, tn::Tensor& y, int pass_index,
+                 int row_offset) override;
+
+  bool triggered() const override { return triggered_; }
+  const nn::LinearId& trip_site() const override { return trip_site_; }
+  int trip_pass() const override { return trip_pass_; }
+  void reset() override;
+  std::string_view name() const override { return "checksum"; }
+  void on_install() override {
+    reset();
+    if (next_ != nullptr) next_->on_install();
+  }
+  void set_next(nn::LinearHook* next) { next_ = next; }
+
+ private:
+  const ChecksumProfile& profile_;
+  nn::LinearHook* next_;
+  bool triggered_ = false;
+  nn::LinearId trip_site_;
+  int trip_pass_ = -1;
+};
+
+// Composes several detectors behind one DetectorHook: forwards each
+// linear event to `next` (the injector) first, then to every child, and
+// latches the first child that trips. Children must be constructed with
+// next = nullptr — the stack owns the forwarding order.
+class DetectorStack : public nn::DetectorHook {
+ public:
+  explicit DetectorStack(std::vector<nn::DetectorHook*> detectors,
+                         nn::LinearHook* next = nullptr);
+
+  void on_linear_output(const nn::LinearId& id, tn::Tensor& y,
+                        int pass_index, int row_offset) override;
+  void on_linear(const nn::LinearId& id, const tn::Tensor& x,
+                 const nn::WeightMatrix& w, tn::Tensor& y, int pass_index,
+                 int row_offset) override;
+
+  bool triggered() const override { return triggered_; }
+  const nn::LinearId& trip_site() const override { return trip_site_; }
+  int trip_pass() const override { return trip_pass_; }
+  void reset() override;
+  // Name of the child that tripped first, or "stack" while clean.
+  std::string_view name() const override { return tripped_name_; }
+  void on_install() override;
+  void set_next(nn::LinearHook* next) { next_ = next; }
+
+ private:
+  void latch();
+
+  std::vector<nn::DetectorHook*> detectors_;
+  nn::LinearHook* next_;
+  bool triggered_ = false;
+  nn::LinearId trip_site_;
+  int trip_pass_ = -1;
+  std::string_view tripped_name_ = "stack";
 };
 
 }  // namespace llmfi::core

@@ -38,6 +38,7 @@ class ComputationalFaultInjector : public nn::LinearHook {
   const FiredRecord& record() const { return *record_; }
   // Re-arm for another inference with the same plan.
   void reset() { record_.reset(); }
+  void on_install() override { reset(); }
 
  private:
   FaultPlan plan_;
@@ -48,11 +49,14 @@ class ComputationalFaultInjector : public nn::LinearHook {
 // RAII hook installation: installs `hook` on construction and restores
 // the previously installed hook (usually none) on destruction, so a
 // throwing inference cannot leak a dangling hook pointer into the next
-// trial. Mirrors WeightCorruption's scoping discipline.
+// trial. Mirrors WeightCorruption's scoping discipline. Installation
+// invokes the hook's on_install() lifecycle reset, so trip latches and
+// correction counters can never leak across trials that reuse a hook.
 class LinearHookGuard {
  public:
   LinearHookGuard(model::InferenceModel& m, nn::LinearHook* hook)
       : model_(m), previous_(m.linear_hook()) {
+    if (hook != nullptr) hook->on_install();
     model_.set_linear_hook(hook);
   }
   ~LinearHookGuard() { model_.set_linear_hook(previous_); }

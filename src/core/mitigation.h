@@ -54,6 +54,10 @@ class RangeRestrictionHook : public nn::LinearHook {
   // Number of elements clipped/zeroed since construction or reset.
   std::int64_t corrections() const { return corrections_; }
   void reset_counters() { corrections_ = 0; }
+  void on_install() override {
+    reset_counters();
+    if (next_ != nullptr) next_->on_install();
+  }
   void set_next(nn::LinearHook* next) { next_ = next; }
 
  private:

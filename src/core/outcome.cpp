@@ -7,6 +7,8 @@ std::string_view outcome_name(OutcomeClass c) {
     case OutcomeClass::Masked: return "masked";
     case OutcomeClass::SdcSubtle: return "sdc-subtle";
     case OutcomeClass::SdcDistorted: return "sdc-distorted";
+    case OutcomeClass::DetectedRecovered: return "detected-recovered";
+    case OutcomeClass::DetectedUnrecovered: return "detected-unrecovered";
   }
   return "?";
 }

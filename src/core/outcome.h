@@ -15,6 +15,12 @@ enum class OutcomeClass {
   Masked,
   SdcSubtle,
   SdcDistorted,
+  // Online detection (checksum/range DetectorStack) flagged the trial and
+  // the recovery policy restored the fault-free output...
+  DetectedRecovered,
+  // ...or failed to: flagged, retries exhausted (or recovery disabled by
+  // policy), output still differs from the fault-free run.
+  DetectedUnrecovered,
 };
 
 std::string_view outcome_name(OutcomeClass c);

@@ -6,11 +6,48 @@
 #include <cmath>
 #include <exception>
 #include <mutex>
+#include <optional>
 #include <thread>
 
 #include "core/injector.h"
 
 namespace llmfi::eval {
+
+namespace {
+
+// The metrics whose per-example values are exact 0/1 hits; their ratio
+// CIs use true integer counts, not accumulator means.
+bool is_proportion_metric(std::string_view name) {
+  return name == "accuracy" || name == "exact_match";
+}
+
+// Per-trial detector stack assembled from the campaign's shared
+// read-only profiles. Everything mutable (trip latches) lives in this
+// stack-local bundle, which is what keeps detection compatible with the
+// bit-identical parallel trial loop.
+struct DetectorBundle {
+  std::optional<core::ChecksumDetector> checksum;
+  std::optional<core::ActivationDetector> range;
+  std::optional<core::DetectorStack> stack;
+
+  DetectorBundle(const DetectionConfig& dc, const DetectionContext& ctx,
+                 nn::LinearHook* next) {
+    std::vector<nn::DetectorHook*> children;
+    if (dc.checksum) {
+      this->checksum.emplace(ctx.checksum);
+      children.push_back(&*this->checksum);
+    }
+    if (dc.range) {
+      range.emplace(ctx.activation);
+      children.push_back(&*range);
+    }
+    stack.emplace(std::move(children), next);
+  }
+
+  core::DetectorStack* hook() { return &*stack; }
+};
+
+}  // namespace
 
 double CampaignResult::sdc_rate() const {
   const int n = trials();
@@ -36,10 +73,23 @@ metrics::Ratio CampaignResult::normalized(const std::string& metric) const {
   const auto& f = fit->second;
   const auto& b = bit->second;
   if (metric == "accuracy" || metric == "exact_match") {
-    // Proportions: Katz log CI.
-    const int fh = static_cast<int>(std::lround(f.mean() * f.n()));
-    const int bh = static_cast<int>(std::lround(b.mean() * b.n()));
-    return metrics::katz_ratio_ci(fh, f.n(), bh, b.n());
+    // Proportions: Katz log CI over the *tracked* integer hit counts.
+    // Reconstructing hits as lround(mean * n) re-derives them from a
+    // Welford mean whose round-off can push the product across the .5
+    // boundary — only hand-built results without hit maps fall back to
+    // the reconstruction.
+    const auto fh_it = faulty_hits.find(metric);
+    const auto bh_it = baseline_hits.find(metric);
+    const long long fh =
+        fh_it != faulty_hits.end()
+            ? fh_it->second
+            : static_cast<long long>(std::lround(f.mean() * f.n()));
+    const long long bh =
+        bh_it != baseline_hits.end()
+            ? bh_it->second
+            : static_cast<long long>(std::lround(b.mean() * b.n()));
+    return metrics::katz_ratio_ci(static_cast<int>(fh), f.n(),
+                                  static_cast<int>(bh), b.n());
   }
   return metrics::log_ratio_ci(f.mean(), f.stddev(), f.n(), b.mean(),
                                b.stddev(), b.n());
@@ -49,7 +99,8 @@ TrialOutcome run_trial(model::InferenceModel& engine, const tok::Vocab& vocab,
                        const std::vector<data::Example>& eval_set,
                        const std::vector<ExampleResult>& baselines,
                        const WorkloadSpec& spec, const CampaignConfig& cfg,
-                       const num::Rng& campaign_rng, int trial) {
+                       const num::Rng& campaign_rng, int trial,
+                       const DetectionContext* detect) {
   const int n_inputs = static_cast<int>(baselines.size());
   const int ei = trial % n_inputs;
   const auto& ex = eval_set[static_cast<size_t>(ei)];
@@ -66,10 +117,55 @@ TrialOutcome run_trial(model::InferenceModel& engine, const tok::Vocab& vocab,
   out.example_index = ei;
   out.plan = core::sample_fault(cfg.fault, engine, scope, rng);
 
+  const bool use_detect = detect != nullptr && cfg.detection.enabled();
+
   ExampleResult faulty;
   if (core::is_memory_fault(cfg.fault)) {
-    core::WeightCorruption guard(engine, out.plan);
-    faulty = run_example(engine, vocab, spec, ex, cfg.run);
+    // Persistent faults: recomputing a pass re-reads the same corrupted
+    // weight, so the run is detect-only; recovery is
+    // weight-rescreen-and-restore instead. The screen profiles the
+    // *clean* weights before the corruption lands.
+    std::optional<core::WeightScreen> screen;
+    if (use_detect && cfg.detection.recover) screen.emplace(engine);
+    bool restore_and_rerun = false;
+    {
+      core::WeightCorruption guard(engine, out.plan);
+      if (use_detect) {
+        DetectorBundle det(cfg.detection, *detect, nullptr);
+        RunOptions run = cfg.run;
+        run.gen.detector = det.hook();
+        run.gen.max_recoveries = 0;
+        core::LinearHookGuard hook_guard(engine, det.hook());
+        faulty = run_example(engine, vocab, spec, ex, run);
+        // A detector trip plus a positive weight screen localizes the
+        // fault to memory — the restore (the guard's teardown) is the
+        // repair, the rerun harvests it.
+        restore_and_rerun = screen.has_value() && faulty.detections > 0 &&
+                            screen->scan(cfg.detection.screen_bound) > 0;
+      } else {
+        faulty = run_example(engine, vocab, spec, ex, cfg.run);
+      }
+    }  // corruption restored here
+    if (restore_and_rerun) {
+      const int detections = faulty.detections;
+      const int poisoned_passes = faulty.passes;
+      ExampleResult restored = run_example(engine, vocab, spec, ex, cfg.run);
+      restored.detections = detections;
+      restored.recoveries = detections;
+      restored.recovery_passes = restored.passes;  // the rerun is the cost
+      restored.passes += poisoned_passes;
+      faulty = std::move(restored);
+    }
+  } else if (use_detect) {
+    core::ComputationalFaultInjector injector(out.plan,
+                                              engine.precision().act_dtype);
+    DetectorBundle det(cfg.detection, *detect, &injector);
+    RunOptions run = cfg.run;
+    run.gen.detector = det.hook();
+    run.gen.max_recoveries =
+        cfg.detection.recover ? cfg.detection.max_retries : 0;
+    core::LinearHookGuard guard(engine, det.hook());
+    faulty = run_example(engine, vocab, spec, ex, run);
   } else {
     core::ComputationalFaultInjector injector(
         out.plan, engine.precision().act_dtype);
@@ -88,6 +184,19 @@ TrialOutcome run_trial(model::InferenceModel& engine, const tok::Vocab& vocab,
                     ? core::classify_direct(faulty.correct, signals)
                     : core::classify_generative(faulty.output, base.output,
                                                 signals);
+  // Detected trials under a recovery policy get their own outcome
+  // classes: the run either converged back to the fault-free output or
+  // it did not. Detect-only campaigns keep the base taxonomy so their
+  // SDC counts stay comparable with undetected runs.
+  if (use_detect && cfg.detection.recover && faulty.detections > 0) {
+    out.outcome = (faulty.output == base.output)
+                      ? core::OutcomeClass::DetectedRecovered
+                      : core::OutcomeClass::DetectedUnrecovered;
+  }
+  out.detections = faulty.detections;
+  out.recovery_passes = faulty.recovery_passes;
+  out.passes = faulty.passes;
+  out.unrecovered = faulty.unrecovered_detection;
   out.correct = faulty.correct;
   out.output_matches_baseline = (faulty.output == base.output);
   out.metrics = std::move(faulty.metrics);
@@ -110,6 +219,7 @@ void run_trials_parallel(model::InferenceModel& engine,
                          const std::vector<ExampleResult>& baselines,
                          const WorkloadSpec& spec, const CampaignConfig& cfg,
                          const num::Rng& campaign_rng, int n_threads,
+                         const DetectionContext* detect,
                          std::vector<TrialOutcome>& outcomes) {
   std::vector<model::InferenceModel> replicas;
   replicas.reserve(static_cast<size_t>(n_threads - 1));
@@ -124,8 +234,9 @@ void run_trials_parallel(model::InferenceModel& engine,
     for (int trial = next_trial.fetch_add(1); trial < cfg.trials;
          trial = next_trial.fetch_add(1)) {
       try {
-        outcomes[static_cast<size_t>(trial)] = run_trial(
-            eng, vocab, eval_set, baselines, spec, cfg, campaign_rng, trial);
+        outcomes[static_cast<size_t>(trial)] =
+            run_trial(eng, vocab, eval_set, baselines, spec, cfg,
+                      campaign_rng, trial, detect);
       } catch (...) {
         std::lock_guard<std::mutex> lock(error_mutex);
         if (trial < first_error_trial) {
@@ -162,15 +273,58 @@ CampaignResult run_campaign_on(model::InferenceModel& engine,
       std::min<int>(cfg.n_inputs, static_cast<int>(eval_set.size()));
   if (n_inputs <= 0) throw std::invalid_argument("campaign: no inputs");
 
+  // Detection profiles are collected once, serially, on the clean engine
+  // and shared read-only by every worker replica.
+  std::optional<DetectionContext> detect_ctx;
+  if (cfg.detection.enabled()) {
+    std::vector<std::string> prompts;
+    prompts.reserve(static_cast<size_t>(n_inputs));
+    for (int i = 0; i < n_inputs; ++i) {
+      const auto& ex = eval_set[static_cast<size_t>(i)];
+      prompts.push_back(cfg.run.direct_prompt && !ex.prompt_direct.empty()
+                            ? ex.prompt_direct
+                            : ex.prompt);
+    }
+    detect_ctx.emplace();
+    if (cfg.detection.range) {
+      detect_ctx->activation = core::profile_activations(
+          engine, vocab, prompts, cfg.detection.range_margin);
+    }
+    if (cfg.detection.checksum) {
+      detect_ctx->checksum = core::profile_checksums(
+          engine, vocab, prompts, cfg.detection.checksum_margin);
+    }
+  }
+  const DetectionContext* detect = detect_ctx ? &*detect_ctx : nullptr;
+
   // Fault-free baselines, one per input — always serial: they seed the
-  // trial loop (pass counts bound the fault sampler's scope).
+  // trial loop (pass counts bound the fault sampler's scope). With
+  // detection enabled the baselines run under a detect-only stack:
+  // detectors never modify activations, so the baseline outputs are
+  // unchanged, and any trip is by definition a false positive.
   std::vector<ExampleResult> baselines;
   baselines.reserve(static_cast<size_t>(n_inputs));
   for (int i = 0; i < n_inputs; ++i) {
-    auto base = run_example(engine, vocab, spec,
-                            eval_set[static_cast<size_t>(i)], cfg.run);
+    ExampleResult base;
+    if (detect != nullptr) {
+      DetectorBundle det(cfg.detection, *detect, nullptr);
+      RunOptions run = cfg.run;
+      run.gen.detector = det.hook();
+      run.gen.max_recoveries = 0;
+      core::LinearHookGuard guard(engine, det.hook());
+      base = run_example(engine, vocab, spec,
+                         eval_set[static_cast<size_t>(i)], run);
+      if (base.detections > 0) ++result.baseline_false_positives;
+    } else {
+      base = run_example(engine, vocab, spec,
+                         eval_set[static_cast<size_t>(i)], cfg.run);
+    }
     for (const auto& [name, value] : base.metrics) {
       result.baseline_metrics[name].add(value);
+      if (is_proportion_metric(name)) {
+        auto& hits = result.baseline_hits[name];
+        if (value > 0.5) ++hits;
+      }
     }
     baselines.push_back(std::move(base));
   }
@@ -183,12 +337,13 @@ CampaignResult run_campaign_on(model::InferenceModel& engine,
       std::max(0, cfg.trials)));
   if (n_threads == 1) {
     for (int trial = 0; trial < cfg.trials; ++trial) {
-      outcomes[static_cast<size_t>(trial)] = run_trial(
-          engine, vocab, eval_set, baselines, spec, cfg, campaign_rng, trial);
+      outcomes[static_cast<size_t>(trial)] =
+          run_trial(engine, vocab, eval_set, baselines, spec, cfg,
+                    campaign_rng, trial, detect);
     }
   } else {
     run_trials_parallel(engine, vocab, eval_set, baselines, spec, cfg,
-                        campaign_rng, n_threads, outcomes);
+                        campaign_rng, n_threads, detect, outcomes);
   }
 
   // Deterministic reduction: fold outcomes in trial order, exactly as the
@@ -198,14 +353,27 @@ CampaignResult run_campaign_on(model::InferenceModel& engine,
     auto& o = outcomes[static_cast<size_t>(trial)];
     for (const auto& [name, value] : o.metrics) {
       result.faulty_metrics[name].add(value);
+      if (is_proportion_metric(name)) {
+        auto& hits = result.faulty_hits[name];
+        if (value > 0.5) ++hits;
+      }
     }
     switch (o.outcome) {
       case core::OutcomeClass::Masked: ++result.masked; break;
       case core::OutcomeClass::SdcSubtle: ++result.sdc_subtle; break;
       case core::OutcomeClass::SdcDistorted: ++result.sdc_distorted; break;
+      case core::OutcomeClass::DetectedRecovered:
+        ++result.detected_recovered;
+        break;
+      case core::OutcomeClass::DetectedUnrecovered:
+        ++result.detected_unrecovered;
+        break;
     }
     auto& bit_bucket = result.by_highest_bit[o.plan.highest_bit()];
     ++bit_bucket[static_cast<size_t>(o.outcome)];
+    result.faulty_passes += o.passes;
+    result.recovery_passes += o.recovery_passes;
+    if (o.detections > 0) ++result.trials_detected;
 
     if (cfg.keep_trial_records) {
       TrialRecord rec;
@@ -214,6 +382,8 @@ CampaignResult run_campaign_on(model::InferenceModel& engine,
       rec.outcome = o.outcome;
       rec.correct = o.correct;
       rec.output_matches_baseline = o.output_matches_baseline;
+      rec.detections = o.detections;
+      rec.recovery_passes = o.recovery_passes;
       if (!spec.metrics.empty()) {
         auto it = o.metrics.find(spec.metrics.front().name);
         if (it != o.metrics.end()) rec.primary_metric = it->second;

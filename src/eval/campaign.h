@@ -8,6 +8,7 @@
 #include <string>
 #include <vector>
 
+#include "core/detector.h"
 #include "core/fault_model.h"
 #include "core/fault_plan.h"
 #include "core/outcome.h"
@@ -16,6 +17,31 @@
 #include "metrics/stats.h"
 
 namespace llmfi::eval {
+
+// Online detection/recovery policy for a campaign. Detectors are
+// composed into a per-trial DetectorStack behind the fault injector;
+// recovery is recompute-the-pass for computational faults and
+// weight-rescreen-and-restore for memory faults.
+struct DetectionConfig {
+  bool range = false;     // ActivationDetector (profiled envelope)
+  bool checksum = false;  // ChecksumDetector (statistical ABFT)
+  bool recover = false;   // apply recovery policies on detection
+  int max_retries = 2;    // recompute budget per detection (comp faults)
+  float range_margin = 2.0f;
+  float checksum_margin = 4.0f;
+  float screen_bound = 4.0f;  // WeightScreen bound multiple (mem faults)
+
+  bool enabled() const { return range || checksum; }
+};
+
+// Fault-free profiles the detectors check against. Built once per
+// campaign (serially, before the trial loop) and shared read-only by
+// every worker replica — checksum profiles are LinearId-keyed, so they
+// are valid for any clone() of the profiled engine.
+struct DetectionContext {
+  core::ActivationProfile activation;
+  core::ChecksumProfile checksum;
+};
 
 struct CampaignConfig {
   core::FaultModel fault = core::FaultModel::Comp1Bit;
@@ -37,6 +63,7 @@ struct CampaignConfig {
   // segment, excluding final-answer generation.
   int exclude_final_passes = 0;
   bool keep_trial_records = false;
+  DetectionConfig detection;
 };
 
 struct TrialRecord {
@@ -49,6 +76,10 @@ struct TrialRecord {
   // CoT mechanism (output text changed, answer still correct).
   bool correct = false;
   bool output_matches_baseline = false;
+  // Detector trips observed during the trial and the extra forward
+  // passes its recovery attempts cost (0 with detection disabled).
+  int detections = 0;
+  int recovery_passes = 0;
   std::string output;  // only when keep_trial_records
 };
 
@@ -63,6 +94,10 @@ struct TrialOutcome {
   std::map<std::string, double> metrics;  // faulty run's metric values
   bool correct = false;
   bool output_matches_baseline = false;
+  int detections = 0;       // detector trips during the faulty run
+  int recovery_passes = 0;  // extra forward passes spent recovering
+  int passes = 0;           // total forward passes of the faulty run
+  bool unrecovered = false;
   std::string output;
 };
 
@@ -73,26 +108,47 @@ struct TrialOutcome {
 // campaign state: everything it needs is passed in, everything it
 // produces is returned — which is what makes trials embarrassingly
 // parallel across engine replicas.
+// `detect` supplies the shared fault-free profiles when cfg.detection is
+// enabled (nullptr disables detection regardless of the config).
 TrialOutcome run_trial(model::InferenceModel& engine, const tok::Vocab& vocab,
                        const std::vector<data::Example>& eval_set,
                        const std::vector<ExampleResult>& baselines,
                        const WorkloadSpec& spec, const CampaignConfig& cfg,
-                       const num::Rng& campaign_rng, int trial);
+                       const num::Rng& campaign_rng, int trial,
+                       const DetectionContext* detect = nullptr);
 
 struct CampaignResult {
   CampaignConfig config;
   // Fault-free reference on the same inputs.
   std::map<std::string, metrics::Accumulator> baseline_metrics;
   std::map<std::string, metrics::Accumulator> faulty_metrics;
+  // Exact integer hit counts for the proportion metrics (accuracy /
+  // exact_match), tracked alongside the accumulators so the Katz CI sees
+  // true counts instead of a lossy lround(mean * n) reconstruction.
+  std::map<std::string, long long> baseline_hits;
+  std::map<std::string, long long> faulty_hits;
   int masked = 0;
   int sdc_subtle = 0;
   int sdc_distorted = 0;
-  // Outcome counts keyed by the highest flipped bit (Figs 9-10).
-  std::map<int, std::array<int, 3>> by_highest_bit;
+  int detected_recovered = 0;
+  int detected_unrecovered = 0;
+  // Outcome counts keyed by the highest flipped bit (Figs 9-10), indexed
+  // by static_cast<size_t>(OutcomeClass).
+  std::map<int, std::array<int, 5>> by_highest_bit;
+  // --- detection/recovery accounting (zero when detection disabled) ---
+  int trials_detected = 0;  // trials with >= 1 detector trip
+  long long faulty_passes = 0;    // forward passes across all faulty runs
+  long long recovery_passes = 0;  // of which spent on recovery retries
+  // Baseline (fault-free) examples that tripped the detector: the
+  // numerator of the campaign's false-positive rate.
+  int baseline_false_positives = 0;
   double total_runtime_sec = 0.0;
   std::vector<TrialRecord> records;  // when keep_trial_records
 
-  int trials() const { return masked + sdc_subtle + sdc_distorted; }
+  int trials() const {
+    return masked + sdc_subtle + sdc_distorted + detected_recovered +
+           detected_unrecovered;
+  }
   double sdc_rate() const;
   // Normalized performance (faulty / fault-free) of the named metric
   // with its 95% CI; discrete metrics use the Katz binomial form.

@@ -16,12 +16,17 @@ ExampleResult run_example(model::InferenceModel& m, const tok::Vocab& vocab,
     std::vector<std::vector<tok::TokenId>> options;
     options.reserve(ex.options.size());
     for (const auto& o : ex.options) options.push_back(vocab.encode(o));
-    const auto mc = gen::score_options(m, prompt, options);
+    const auto mc = gen::score_options(m, prompt, options, opt.gen.detector,
+                                       opt.gen.max_recoveries);
     result.chosen_option = mc.chosen;
     result.passes = mc.passes;
     result.output = ex.options[static_cast<size_t>(mc.chosen)];
     result.correct = (mc.chosen == ex.correct);
     result.nonfinite_logits = m.saw_nonfinite_logits();
+    result.detections = mc.detections;
+    result.recoveries = mc.recoveries;
+    result.recovery_passes = mc.recovery_passes;
+    result.unrecovered_detection = mc.unrecovered_detection;
     result.metrics["accuracy"] = result.correct ? 1.0 : 0.0;
     return result;
   }
@@ -39,6 +44,10 @@ ExampleResult run_example(model::InferenceModel& m, const tok::Vocab& vocab,
   result.passes = gr.passes;
   result.hit_max_tokens = gr.hit_max_tokens;
   result.nonfinite_logits = gr.nonfinite_logits;
+  result.detections = gr.detections;
+  result.recoveries = gr.recoveries;
+  result.recovery_passes = gr.recovery_passes;
+  result.unrecovered_detection = gr.unrecovered_detection;
   result.output = vocab.decode(gr.tokens);
 
   if (spec.kind == data::TaskKind::MathGsm) {

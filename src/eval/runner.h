@@ -29,6 +29,11 @@ struct ExampleResult {
   int passes = 0;              // forward passes executed
   bool hit_max_tokens = false;
   bool nonfinite_logits = false;
+  // --- detection/recovery accounting (opt.gen.detector set) ---
+  int detections = 0;
+  int recoveries = 0;
+  int recovery_passes = 0;
+  bool unrecovered_detection = false;
   // metric name -> value for every metric of the workload; discrete
   // tasks report {"accuracy": 0/1}.
   std::map<std::string, double> metrics;

@@ -24,13 +24,70 @@ double token_logprob(const tn::Tensor& logits, tn::Index r, tok::TokenId id) {
   return std::isfinite(lp) ? lp : kPoisonedLogProb;
 }
 
+// Detection/recovery tallies shared by the decode strategies.
+struct RecoveryStats {
+  int detections = 0;
+  int recoveries = 0;
+  int recovery_passes = 0;
+  bool unrecovered = false;
+};
+
+// One forward pass with the detect → recompute-the-pass recovery loop.
+// If the detector trips during the pass, the KV cache is rewound to its
+// pre-pass length and the same pass is recomputed, up to max_recoveries
+// times. A transient (single-shot) fault does not re-fire, so the first
+// recomputation is already clean; a persistent fault trips again and the
+// detection is reported unrecovered once the budget is exhausted.
+tn::Tensor forward_checked(model::InferenceModel& m,
+                           std::span<const tok::TokenId> tokens,
+                           nn::KvCache& cache, int pass_index,
+                           nn::DetectorHook* det, int max_recoveries,
+                           int& passes, RecoveryStats& stats) {
+  const tn::Index len0 = cache.length();
+  // A detector latched by an earlier pass (detect-only mode, or an
+  // unrecoverable fault) must not be counted again for this pass.
+  const bool was_triggered = det != nullptr && det->triggered();
+  const bool nonfinite_before = m.saw_nonfinite_logits();
+  tn::Tensor logits = m.forward(tokens, cache, pass_index);
+  ++passes;
+  if (det == nullptr || was_triggered || !det->triggered()) return logits;
+  ++stats.detections;
+  for (int attempt = 0; attempt < max_recoveries && det->triggered();
+       ++attempt) {
+    cache.truncate(len0);
+    det->reset();
+    // Discard the poisoned pass's diagnostics, but never clear a latch
+    // that predates this pass.
+    if (!nonfinite_before) m.reset_diagnostics();
+    logits = m.forward(tokens, cache, pass_index);
+    ++passes;
+    ++stats.recovery_passes;
+  }
+  if (det->triggered()) {
+    stats.unrecovered = true;
+  } else {
+    ++stats.recoveries;
+  }
+  return logits;
+}
+
+void fold_stats(const RecoveryStats& stats, int& detections, int& recoveries,
+                int& recovery_passes, bool& unrecovered) {
+  detections = stats.detections;
+  recoveries = stats.recoveries;
+  recovery_passes = stats.recovery_passes;
+  unrecovered = stats.unrecovered;
+}
+
 GenerationResult greedy(model::InferenceModel& m,
                         std::span<const tok::TokenId> prompt,
                         const GenerationConfig& cfg) {
   GenerationResult result;
+  RecoveryStats stats;
   auto cache = m.make_cache();
-  tn::Tensor logits = m.forward(prompt, cache, /*pass_index=*/0);
-  result.passes = 1;
+  tn::Tensor logits = forward_checked(m, prompt, cache, /*pass_index=*/0,
+                                      cfg.detector, cfg.max_recoveries,
+                                      result.passes, stats);
   tok::TokenId next =
       static_cast<tok::TokenId>(tn::argmax_row(logits, logits.rows() - 1));
   for (int step = 0; step < cfg.max_new_tokens; ++step) {
@@ -45,11 +102,14 @@ GenerationResult greedy(model::InferenceModel& m,
       break;
     }
     const tok::TokenId input = next;
-    logits = m.forward(std::span(&input, 1), cache, /*pass_index=*/step + 1);
-    ++result.passes;
+    logits = forward_checked(m, std::span(&input, 1), cache,
+                             /*pass_index=*/step + 1, cfg.detector,
+                             cfg.max_recoveries, result.passes, stats);
     next = static_cast<tok::TokenId>(tn::argmax_row(logits, 0));
   }
   result.nonfinite_logits = m.saw_nonfinite_logits();
+  fold_stats(stats, result.detections, result.recoveries,
+             result.recovery_passes, result.unrecovered_detection);
   return result;
 }
 
@@ -80,12 +140,14 @@ GenerationResult beam_search(model::InferenceModel& m,
                              std::span<const tok::TokenId> prompt,
                              const GenerationConfig& cfg) {
   GenerationResult result;
+  RecoveryStats stats;
   const int n_beams = cfg.num_beams;
 
   // Prefill once, then replicate the cache across beams.
   auto cache0 = m.make_cache();
-  tn::Tensor logits = m.forward(prompt, cache0, /*pass_index=*/0);
-  result.passes = 1;
+  tn::Tensor logits = forward_checked(m, prompt, cache0, /*pass_index=*/0,
+                                      cfg.detector, cfg.max_recoveries,
+                                      result.passes, stats);
 
   // Seed beams with the top-n first tokens.
   const tn::Index vocab = logits.cols();
@@ -140,8 +202,9 @@ GenerationResult beam_search(model::InferenceModel& m,
       }
       const tok::TokenId input = b.tokens.back();
       beam_logits[bi] =
-          m.forward(std::span(&input, 1), b.cache, /*pass_index=*/step);
-      ++result.passes;
+          forward_checked(m, std::span(&input, 1), b.cache,
+                          /*pass_index=*/step, cfg.detector,
+                          cfg.max_recoveries, result.passes, stats);
       // Expand with the per-beam top (n_beams + 1) tokens; that is always
       // enough to fill the global top n_beams even if one is <eos>.
       std::vector<std::pair<double, tok::TokenId>> top;
@@ -199,6 +262,8 @@ GenerationResult beam_search(model::InferenceModel& m,
   result.tokens = beams[best].tokens;
   result.hit_max_tokens = !beams[best].finished;
   result.nonfinite_logits = m.saw_nonfinite_logits();
+  fold_stats(stats, result.detections, result.recoveries,
+             result.recovery_passes, result.unrecovered_detection);
   return result;
 }
 
@@ -218,12 +283,14 @@ GenerationResult generate(model::InferenceModel& m,
 
 McResult score_options(
     model::InferenceModel& m, std::span<const tok::TokenId> prompt,
-    const std::vector<std::vector<tok::TokenId>>& options) {
+    const std::vector<std::vector<tok::TokenId>>& options,
+    nn::DetectorHook* detector, int max_recoveries) {
   if (options.empty()) {
     throw std::invalid_argument("score_options: no options");
   }
   m.reset_diagnostics();
   McResult result;
+  RecoveryStats stats;
   for (size_t oi = 0; oi < options.size(); ++oi) {
     const auto& opt = options[oi];
     if (opt.empty()) {
@@ -233,8 +300,8 @@ McResult score_options(
     full.insert(full.end(), opt.begin(), opt.end());
     auto cache = m.make_cache();
     tn::Tensor logits =
-        m.forward(full, cache, /*pass_index=*/static_cast<int>(oi));
-    ++result.passes;
+        forward_checked(m, full, cache, /*pass_index=*/static_cast<int>(oi),
+                        detector, max_recoveries, result.passes, stats);
     // Position prompt_len - 1 + i predicts option token i.
     double score = 0.0;
     const auto p_len = static_cast<tn::Index>(prompt.size());
@@ -247,6 +314,8 @@ McResult score_options(
   result.chosen = static_cast<int>(
       std::max_element(result.scores.begin(), result.scores.end()) -
       result.scores.begin());
+  fold_stats(stats, result.detections, result.recoveries,
+             result.recovery_passes, result.unrecovered_detection);
   return result;
 }
 

@@ -19,6 +19,14 @@ struct GenerationConfig {
   // Beam score = logprob / length^length_penalty (0 disables).
   float length_penalty = 0.0f;
   tok::TokenId eos = 2;
+  // Online fault detection: when set, the detector is polled after every
+  // forward pass; a trip triggers recompute-the-pass recovery (rewind the
+  // KV cache to the pre-pass length and rerun the same pass), up to
+  // `max_recoveries` attempts per detection. With max_recoveries == 0 the
+  // detector only observes (detect-only mode). The detector must already
+  // be installed on the engine; the caller owns its lifetime.
+  nn::DetectorHook* detector = nullptr;
+  int max_recoveries = 0;
 };
 
 struct GenerationResult {
@@ -26,6 +34,11 @@ struct GenerationResult {
   int passes = 0;                    // forward passes executed
   bool hit_max_tokens = false;       // stopped by budget, not <eos>
   bool nonfinite_logits = false;     // engine saw NaN/inf logits
+  // --- detection/recovery accounting (zero when cfg.detector unset) ---
+  int detections = 0;       // detector trips observed
+  int recoveries = 0;       // trips cleared by recomputation
+  int recovery_passes = 0;  // extra forward passes spent on retries
+  bool unrecovered_detection = false;  // some trip survived its retries
 };
 
 // Runs autoregressive decoding. Pass indices are 0 for prefill and
@@ -40,13 +53,21 @@ struct McResult {
   int chosen = -1;
   std::vector<double> scores;  // sum log P(option tokens | prompt)
   int passes = 0;
+  // --- detection/recovery accounting (see GenerationResult) ---
+  int detections = 0;
+  int recoveries = 0;
+  int recovery_passes = 0;
+  bool unrecovered_detection = false;
 };
 
 // Scores each candidate continuation by summed token log-likelihood and
 // picks the argmax — the standard lm-eval multiple-choice protocol.
 // Option i is evaluated in its own forward pass with pass_index == i.
+// `detector`/`max_recoveries` enable the same per-pass detection and
+// recompute-recovery loop as GenerationConfig.
 McResult score_options(
     model::InferenceModel& m, std::span<const tok::TokenId> prompt,
-    const std::vector<std::vector<tok::TokenId>>& options);
+    const std::vector<std::vector<tok::TokenId>>& options,
+    nn::DetectorHook* detector = nullptr, int max_recoveries = 0);
 
 }  // namespace llmfi::gen

@@ -38,16 +38,44 @@ int total_count(const Counts& c) {
   return total;
 }
 
-// Character n-grams over the de-spaced string (standard chrF).
-std::map<std::string, int> char_ngrams(const std::string& text, int n) {
-  std::string compact;
-  for (char c : text) {
-    if (c != ' ') compact += c;
+// Byte length of the UTF-8 sequence starting at `lead`. Invalid lead
+// bytes (stray continuations, 0xF8+) degrade to single-byte units, so
+// malformed input still yields a total ordering instead of UB.
+size_t utf8_unit_len(unsigned char lead) {
+  if (lead < 0x80) return 1;
+  if ((lead & 0xE0) == 0xC0) return 2;
+  if ((lead & 0xF0) == 0xE0) return 3;
+  if ((lead & 0xF8) == 0xF0) return 4;
+  return 1;
+}
+
+// Splits `text` into UTF-8 codepoint units, dropping ASCII spaces. A
+// sequence truncated by the end of the string degrades to its leading
+// byte as a unit.
+std::vector<std::string> utf8_units(const std::string& text) {
+  std::vector<std::string> units;
+  for (size_t i = 0; i < text.size();) {
+    const size_t len =
+        std::min(utf8_unit_len(static_cast<unsigned char>(text[i])),
+                 text.size() - i);
+    if (text[i] != ' ') units.push_back(text.substr(i, len));
+    i += len;
   }
+  return units;
+}
+
+// Character n-grams over the de-spaced string (standard chrF), counted
+// in *codepoints*: byte-based n-grams would split multibyte UTF-8
+// characters mid-sequence and inflate the mismatch between texts that
+// differ in one accented character.
+std::map<std::string, int> char_ngrams(const std::string& text, int n) {
+  const std::vector<std::string> units = utf8_units(text);
   std::map<std::string, int> counts;
-  if (static_cast<int>(compact.size()) < n) return counts;
-  for (size_t i = 0; i + static_cast<size_t>(n) <= compact.size(); ++i) {
-    ++counts[compact.substr(i, static_cast<size_t>(n))];
+  if (static_cast<int>(units.size()) < n) return counts;
+  for (size_t i = 0; i + static_cast<size_t>(n) <= units.size(); ++i) {
+    std::string gram;
+    for (size_t j = 0; j < static_cast<size_t>(n); ++j) gram += units[i + j];
+    ++counts[std::move(gram)];
   }
   return counts;
 }

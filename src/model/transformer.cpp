@@ -140,7 +140,7 @@ tn::Tensor InferenceModel::linear(const nn::WeightMatrix& w,
                                   int pass_index, int row_offset) {
   tn::Tensor y = tn::matmul_bt(x, w.values());
   round_activations(y);
-  if (hook_ != nullptr) hook_->on_linear_output(id, y, pass_index, row_offset);
+  if (hook_ != nullptr) hook_->on_linear(id, x, w, y, pass_index, row_offset);
   if (tracer_) tracer_(id, y);
   return y;
 }

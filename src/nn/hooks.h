@@ -2,10 +2,14 @@
 // Observation/injection hooks on the inference engine — the C++
 // equivalent of the PyTorch forward hooks the paper uses (§3.2).
 
+#include <string_view>
+
 #include "nn/layer_id.h"
 #include "tensor/tensor.h"
 
 namespace llmfi::nn {
+
+class WeightMatrix;
 
 // Called after every linear layer of every transformer block, *after* the
 // output has been rounded into the activation dtype. `y` is mutable: a
@@ -20,6 +24,39 @@ class LinearHook {
   virtual ~LinearHook() = default;
   virtual void on_linear_output(const LinearId& id, tn::Tensor& y,
                                 int pass_index, int row_offset) = 0;
+
+  // Full-operand variant, fired by the engine with the GEMM input `x`
+  // and weight matrix `w` alongside the output. Hooks that only observe
+  // or perturb `y` inherit this forwarding default; ABFT-style checksum
+  // detectors override it to verify y against x and w.
+  virtual void on_linear(const LinearId& id, const tn::Tensor& x,
+                         const WeightMatrix& w, tn::Tensor& y, int pass_index,
+                         int row_offset) {
+    (void)x;
+    (void)w;
+    on_linear_output(id, y, pass_index, row_offset);
+  }
+
+  // Install-lifecycle reset: LinearHookGuard invokes this when the hook
+  // is installed on an engine. Per-trial state (trip latches, correction
+  // counters, fired records) must clear here — and chained hooks must
+  // forward to their `next` — so no detector/injector state leaks from
+  // one trial into the next when callers forget an explicit reset().
+  virtual void on_install() {}
+};
+
+// A LinearHook that additionally reports whether it observed a fault
+// symptom — the contract the generation-level recovery loop polls
+// between forward passes (recompute-the-pass on a trip).
+class DetectorHook : public LinearHook {
+ public:
+  virtual bool triggered() const = 0;
+  // Site/pass of the first trip (valid while triggered()).
+  virtual const LinearId& trip_site() const = 0;
+  virtual int trip_pass() const = 0;
+  // Clears the trip latch so the next pass is judged fresh.
+  virtual void reset() = 0;
+  virtual std::string_view name() const = 0;
 };
 
 // Observes MoE routing decisions (Fig 15: gate-layer faults change expert

@@ -34,6 +34,13 @@ void KvCache::append(int block, const tn::Tensor& k, const tn::Tensor& v) {
   }
 }
 
+void KvCache::truncate(tn::Index new_length) {
+  if (new_length < 0 || new_length > length_) {
+    throw std::invalid_argument("KvCache::truncate: bad length");
+  }
+  length_ = new_length;
+}
+
 void KvCache::reset() { length_ = 0; }
 
 }  // namespace llmfi::nn

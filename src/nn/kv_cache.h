@@ -23,6 +23,11 @@ class KvCache {
   // Marks `new_tokens` more positions valid (call once per forward pass,
   // after all blocks appended).
   void advance(tn::Index new_tokens) { length_ += new_tokens; }
+  // Rolls the valid length back to `new_length` (<= length()); the rows
+  // beyond become junk again and the next append overwrites them. This
+  // is the rewind primitive of pass-level fault recovery: truncate to the
+  // pre-pass length, then recompute the pass.
+  void truncate(tn::Index new_length);
   void reset();
 
   tn::Index max_seq() const { return max_seq_; }

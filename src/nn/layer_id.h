@@ -35,6 +35,13 @@ struct LinearId {
   int expert = -1;      // expert index for Expert* kinds, else -1
 
   bool operator==(const LinearId&) const = default;
+  // Lexicographic (block, kind, expert) order so LinearId can key the
+  // per-layer maps of the checksum-detection profiles.
+  bool operator<(const LinearId& o) const {
+    if (block != o.block) return block < o.block;
+    if (kind != o.kind) return kind < o.kind;
+    return expert < o.expert;
+  }
 };
 
 std::string to_string(const LinearId& id);

@@ -78,4 +78,14 @@ std::string fmt_ratio(const metrics::Ratio& r, int precision) {
          fmt(r.hi, precision) + "]";
 }
 
+std::string fmt_frac(long long count, long long total, int precision) {
+  const std::string head =
+      std::to_string(count) + "/" + std::to_string(total);
+  if (total <= 0) return head + " (-)";
+  return head + " (" +
+         fmt_pct(static_cast<double>(count) / static_cast<double>(total),
+                 precision) +
+         ")";
+}
+
 }  // namespace llmfi::report

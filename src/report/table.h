@@ -32,5 +32,9 @@ std::string fmt(double v, int precision = 4);
 std::string fmt_pct(double fraction, int precision = 2);  // 0.1234 -> "12.34%"
 // "0.9731 [0.9644, 0.9812]"
 std::string fmt_ratio(const metrics::Ratio& r, int precision = 4);
+// Count over total with the percentage, e.g. "17/60 (28.33%)" — the shape
+// of the detection coverage / false-positive columns. A zero denominator
+// prints as "k/0 (-)".
+std::string fmt_frac(long long count, long long total, int precision = 2);
 
 }  // namespace llmfi::report

@@ -5,6 +5,8 @@
 
 #include <gtest/gtest.h>
 
+#include <cmath>
+
 #include "eval/campaign.h"
 #include "numerics/half.h"
 #include "train/trainer.h"
@@ -144,7 +146,7 @@ TEST(Campaign, OutcomeCountsSumToTrials) {
     EXPECT_EQ(r.trials(), 24);
     int bit_total = 0;
     for (const auto& [bit, counts] : r.by_highest_bit) {
-      bit_total += counts[0] + counts[1] + counts[2];
+      for (int c : counts) bit_total += c;
     }
     EXPECT_EQ(bit_total, 24);
     EXPECT_GE(r.sdc_rate(), 0.0);
@@ -201,6 +203,14 @@ void expect_identical_results(const eval::CampaignResult& a,
   EXPECT_EQ(a.masked, b.masked);
   EXPECT_EQ(a.sdc_subtle, b.sdc_subtle);
   EXPECT_EQ(a.sdc_distorted, b.sdc_distorted);
+  EXPECT_EQ(a.detected_recovered, b.detected_recovered);
+  EXPECT_EQ(a.detected_unrecovered, b.detected_unrecovered);
+  EXPECT_EQ(a.trials_detected, b.trials_detected);
+  EXPECT_EQ(a.faulty_passes, b.faulty_passes);
+  EXPECT_EQ(a.recovery_passes, b.recovery_passes);
+  EXPECT_EQ(a.baseline_false_positives, b.baseline_false_positives);
+  EXPECT_EQ(a.baseline_hits, b.baseline_hits);
+  EXPECT_EQ(a.faulty_hits, b.faulty_hits);
   EXPECT_EQ(a.by_highest_bit, b.by_highest_bit);
   const auto expect_identical_metrics =
       [](const std::map<std::string, metrics::Accumulator>& ma,
@@ -232,6 +242,8 @@ void expect_identical_results(const eval::CampaignResult& a,
     EXPECT_EQ(ra.outcome, rb.outcome);
     EXPECT_EQ(ra.correct, rb.correct);
     EXPECT_EQ(ra.output_matches_baseline, rb.output_matches_baseline);
+    EXPECT_EQ(ra.detections, rb.detections);
+    EXPECT_EQ(ra.recovery_passes, rb.recovery_passes);
     EXPECT_EQ(ra.primary_metric, rb.primary_metric);
     EXPECT_EQ(ra.output, rb.output) << "trial " << i;
   }
@@ -290,6 +302,36 @@ TEST(CampaignParallel, MemFaultMatchesSerial) {
   }
 }
 
+// Detection and recovery keep the bit-identical parallel guarantee: the
+// detector stack and retry state are per-trial, the profiles are shared
+// read-only, so any thread count folds to the serial result.
+TEST(CampaignParallel, DetectionRecoveryMatchesSerial) {
+  auto& f = fixture();
+  model::InferenceModel engine(f.weights, {});
+  const auto& spec = eval::workload(data::TaskKind::McFact);
+  const auto& eval_set = f.tasks.at(data::TaskKind::McFact).eval;
+  for (auto fault :
+       {core::FaultModel::Comp1Bit, core::FaultModel::Mem2Bit}) {
+    auto cfg = small_campaign(fault);
+    cfg.keep_trial_records = true;
+    cfg.detection.range = true;
+    cfg.detection.checksum = true;
+    cfg.detection.recover = true;
+    cfg.threads = 1;
+    const auto serial = eval::run_campaign_on(engine, f.world.vocab(),
+                                              eval_set, spec, cfg);
+    for (int threads : {2, 4}) {
+      cfg.threads = threads;
+      const auto parallel = eval::run_campaign_on(engine, f.world.vocab(),
+                                                  eval_set, spec, cfg);
+      SCOPED_TRACE("fault=" +
+                   std::string(core::fault_model_name(fault)) +
+                   " threads=" + std::to_string(threads));
+      expect_identical_results(serial, parallel);
+    }
+  }
+}
+
 TEST(CampaignParallel, MoreThreadsThanTrialsWorks) {
   auto& f = fixture();
   model::InferenceModel engine(f.weights, {});
@@ -301,6 +343,46 @@ TEST(CampaignParallel, MoreThreadsThanTrialsWorks) {
   const auto r = eval::run_campaign_on(engine, f.world.vocab(), eval_set,
                                        spec, cfg);
   EXPECT_EQ(r.trials(), 3);
+}
+
+// Satellite regression: the Katz CI must consume the integer hit counts
+// tracked at fold time, never a lround(mean * n) reconstruction. Here the
+// accumulator state yields mean * n == 16.5, which lround drags up to 17
+// — the old reconstruction — while the tracked count says 16.
+TEST(Campaign, NormalizedUsesTrackedHitCounts) {
+  eval::CampaignResult r;
+  for (int i = 0; i < 33; ++i) r.faulty_metrics["accuracy"].add(0.5);
+  for (int i = 0; i < 10; ++i) {
+    r.baseline_metrics["accuracy"].add(i < 8 ? 1.0 : 0.0);
+  }
+  r.faulty_hits["accuracy"] = 16;
+  r.baseline_hits["accuracy"] = 8;
+  const auto norm = r.normalized("accuracy");
+  const auto want = metrics::katz_ratio_ci(16, 33, 8, 10);
+  const auto drifted = metrics::katz_ratio_ci(17, 33, 8, 10);
+  EXPECT_EQ(norm.value, want.value);
+  EXPECT_EQ(norm.lo, want.lo);
+  EXPECT_EQ(norm.hi, want.hi);
+  EXPECT_NE(norm.value, drifted.value);
+}
+
+TEST(Campaign, HitCountsMatchAccumulatedProportions) {
+  auto& f = fixture();
+  model::InferenceModel engine(f.weights, {});
+  const auto& spec = eval::workload(data::TaskKind::McFact);
+  const auto r = eval::run_campaign_on(
+      engine, f.world.vocab(), f.tasks.at(data::TaskKind::McFact).eval,
+      spec, small_campaign(core::FaultModel::Comp1Bit));
+  // With exact 0/1 inputs the accumulator and the tracked counts agree;
+  // both maps must be populated even when every value is 0.
+  ASSERT_TRUE(r.baseline_hits.count("accuracy"));
+  ASSERT_TRUE(r.faulty_hits.count("accuracy"));
+  const auto& b = r.baseline_metrics.at("accuracy");
+  const auto& ft = r.faulty_metrics.at("accuracy");
+  EXPECT_EQ(r.baseline_hits.at("accuracy"),
+            std::llround(b.mean() * b.n()));
+  EXPECT_EQ(r.faulty_hits.at("accuracy"),
+            std::llround(ft.mean() * ft.n()));
 }
 
 TEST(Campaign, HookClearedAfterCompCampaign) {

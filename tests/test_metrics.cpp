@@ -94,6 +94,32 @@ TEST(ChrfPP, PartialWordOverlapScoresBetweenZeroAndOne) {
   EXPECT_LT(v, 1.0);
 }
 
+TEST(ChrfPP, CountsCodepointsNotBytes) {
+  // "aé" vs "aè": one of two codepoints matches. Char 1-grams give
+  // F2 = 0.5; char 2-grams and word 1-grams give 0; higher orders have
+  // no n-grams on either side and are skipped -> 0.5 / 3 counted orders.
+  // The old byte-based n-grams credited the shared UTF-8 lead byte 0xC3
+  // of é/è as a match (~0.2917 over four orders).
+  EXPECT_NEAR(chrf_pp("a\xC3\xA9", "a\xC3\xA8"), 1.0 / 6.0, 1e-9);
+}
+
+TEST(ChrfPP, MultibyteSelfMatchIsPerfect) {
+  // 5 codepoints in 7 bytes; codepoint counting is what makes the char
+  // 6-gram order empty on both sides (skipped) instead of mismatched.
+  const std::string s = "h\xC3\xA9ll\xC3\xB8s";
+  EXPECT_NEAR(chrf_pp(s, s), 1.0, 1e-9);
+}
+
+TEST(ChrfPP, MalformedUtf8DegradesToBytes) {
+  // Stray continuation / truncated lead bytes fall back to single-byte
+  // units: still a valid total ordering, identical strings score 1.
+  const std::string truncated = "ab\xC3";
+  EXPECT_NEAR(chrf_pp(truncated, truncated), 1.0, 1e-9);
+  const std::string stray = "\xA9x";
+  EXPECT_NEAR(chrf_pp(stray, stray), 1.0, 1e-9);
+  EXPECT_GE(chrf_pp(truncated, "ab"), 0.0);
+}
+
 TEST(RougeL, RewardsLongestCommonSubsequence) {
   // LCS "a b c" of length 3; hyp len 4, ref len 4 -> P=R=F=0.75.
   EXPECT_NEAR(rougeL_f("a x b c", "a b y c"), 0.75, 1e-9);

@@ -217,5 +217,141 @@ TEST(Detector, MantissaFlipStaysUnderRadar) {
   EXPECT_FALSE(det.triggered());
 }
 
+TEST(ChecksumDetector, ProfileCoversEveryLinearLayer) {
+  Fixture f;
+  const auto profile = profile_checksums(f.engine, f.vocab, f.prompts);
+  EXPECT_EQ(profile.col_sum.size(), f.engine.linear_layers().size());
+  for (const auto& [kind, tol] : profile.tolerance) {
+    EXPECT_GT(tol, 0.0f) << nn::layer_kind_name(kind);
+    EXPECT_TRUE(std::isfinite(tol));
+  }
+}
+
+TEST(ChecksumDetector, SilentOnCleanRuns) {
+  Fixture f;
+  const auto profile = profile_checksums(f.engine, f.vocab, f.prompts);
+  ChecksumDetector det(profile);
+  f.engine.set_linear_hook(&det);
+  auto cache = f.engine.make_cache();
+  (void)f.engine.forward(f.vocab.encode("a b c d e"), cache, 0);
+  f.engine.set_linear_hook(nullptr);
+  EXPECT_FALSE(det.triggered());
+}
+
+TEST(ChecksumDetector, CatchesFlipTheRangeDetectorMisses) {
+  // A mid-mantissa flip perturbs one output element by far less than the
+  // profiled envelope — invisible to range monitoring — but it still
+  // moves the row sum away from the weight-column checksum.
+  Fixture f;
+  const auto act = profile_activations(f.engine, f.vocab, f.prompts, 2.0f);
+  const auto sums = profile_checksums(f.engine, f.vocab, f.prompts);
+  FaultPlan plan;
+  plan.model = FaultModel::Comp1Bit;
+  plan.layer = {0, nn::LayerKind::UpProj, -1};
+  plan.pass_index = 0;
+  plan.row_frac = 0.4;
+  plan.out_col = 2;
+  plan.bits = {20};  // mid-mantissa: small, in-envelope perturbation
+  ComputationalFaultInjector injector(plan, num::DType::F32);
+  ActivationDetector range(act, &injector);
+  ChecksumDetector checksum(sums, &range);
+  f.engine.set_linear_hook(&checksum);
+  auto cache = f.engine.make_cache();
+  (void)f.engine.forward(f.vocab.encode("a b c d"), cache, 0);
+  f.engine.set_linear_hook(nullptr);
+  EXPECT_TRUE(injector.fired());
+  EXPECT_FALSE(range.triggered());
+  ASSERT_TRUE(checksum.triggered());
+  EXPECT_EQ(checksum.trip_site().kind, nn::LayerKind::UpProj);
+  EXPECT_EQ(checksum.trip_pass(), 0);
+}
+
+TEST(DetectorStack, LatchesFirstTrippedChildAndItsName) {
+  Fixture f;
+  const auto act = profile_activations(f.engine, f.vocab, f.prompts, 2.0f);
+  const auto sums = profile_checksums(f.engine, f.vocab, f.prompts);
+  FaultPlan plan;
+  plan.model = FaultModel::Comp1Bit;
+  plan.layer = {1, nn::LayerKind::VProj, -1};
+  plan.pass_index = 0;
+  plan.row_frac = 0.0;
+  plan.out_col = 1;
+  plan.bits = {30};  // exponent MSB: trips both detectors
+  ComputationalFaultInjector injector(plan, num::DType::F32);
+  ChecksumDetector checksum(sums);
+  ActivationDetector range(act);
+  DetectorStack stack({&checksum, &range}, &injector);
+  f.engine.set_linear_hook(&stack);
+  auto cache = f.engine.make_cache();
+  (void)f.engine.forward(f.vocab.encode("a b c d"), cache, 0);
+  f.engine.set_linear_hook(nullptr);
+  ASSERT_TRUE(stack.triggered());
+  EXPECT_EQ(stack.name(), "checksum");  // first child in stack order
+  EXPECT_EQ(stack.trip_site().block, 1);
+  EXPECT_EQ(stack.trip_site().kind, nn::LayerKind::VProj);
+  stack.reset();
+  EXPECT_FALSE(stack.triggered());
+  EXPECT_FALSE(checksum.triggered());
+  EXPECT_FALSE(range.triggered());
+  EXPECT_EQ(stack.name(), "stack");
+}
+
+// Satellite regression: detector/hook state must not leak from one trial
+// into the next. Trial 1 trips the detector and clamps values; trial 2
+// reuses the same hook objects through a fresh LinearHookGuard on a
+// fault-free run — the install lifecycle has to start them clean.
+TEST(HookLifecycle, GuardInstallResetsDetectorAndCounters) {
+  Fixture f;
+  model::InferenceModel engine(model::ModelWeights::init(tiny_config()), {});
+  const auto act = profile_activations(engine, f.vocab, f.prompts, 2.0f);
+  const auto sums = profile_checksums(engine, f.vocab, f.prompts);
+  FaultPlan plan;
+  plan.model = FaultModel::Comp1Bit;
+  plan.layer = {0, nn::LayerKind::UpProj, -1};
+  plan.pass_index = 0;
+  plan.row_frac = 0.4;
+  plan.out_col = 2;
+  plan.bits = {30};
+  ComputationalFaultInjector injector(plan, num::DType::F32);
+  ChecksumDetector checksum(sums);
+  ActivationDetector range(act);
+  DetectorStack stack({&checksum, &range}, &injector);
+  RangeRestrictionHook restriction(act, &injector);
+
+  // Trial 1: fault fires, everything trips/corrects.
+  {
+    LinearHookGuard guard(engine, &stack);
+    auto cache = engine.make_cache();
+    (void)engine.forward(f.vocab.encode("a b c d"), cache, 0);
+  }
+  {
+    LinearHookGuard guard(engine, &restriction);
+    auto cache = engine.make_cache();
+    (void)engine.forward(f.vocab.encode("a b c d"), cache, 0);
+  }
+  ASSERT_TRUE(stack.triggered());
+  ASSERT_GE(restriction.corrections(), 1);
+
+  // Trial 2: same hooks, fresh guards, no manual reset. Installation
+  // must clear the trip latch, the correction counter, and re-arm the
+  // injector... which, re-armed, fires again under the restriction hook.
+  {
+    LinearHookGuard guard(engine, &stack);
+    EXPECT_FALSE(stack.triggered());
+    EXPECT_FALSE(checksum.triggered());
+    EXPECT_FALSE(range.triggered());
+    auto cache = engine.make_cache();
+    (void)engine.forward(f.vocab.encode("a b"), cache, /*pass_index=*/3);
+    EXPECT_FALSE(stack.triggered());  // fault targets pass 0 only
+  }
+  {
+    LinearHookGuard guard(engine, &restriction);
+    EXPECT_EQ(restriction.corrections(), 0);
+    auto cache = engine.make_cache();
+    (void)engine.forward(f.vocab.encode("a b"), cache, /*pass_index=*/3);
+    EXPECT_EQ(restriction.corrections(), 0);
+  }
+}
+
 }  // namespace
 }  // namespace llmfi::core

@@ -1,0 +1,237 @@
+// End-to-end tests for the detection & recovery pipeline: KV-cache
+// rewind, recompute-the-pass recovery for transient computational
+// faults, retry-budget exhaustion under persistent weight corruption,
+// and the multiple-choice scoring path.
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+#include "core/detector.h"
+#include "core/injector.h"
+#include "gen/generate.h"
+
+namespace llmfi {
+namespace {
+
+model::ModelConfig tiny_config() {
+  model::ModelConfig cfg;
+  cfg.vocab_size = 32;
+  cfg.d_model = 16;
+  cfg.n_layers = 2;
+  cfg.n_heads = 2;
+  cfg.d_ff = 24;
+  cfg.max_seq = 64;
+  cfg.seed = 88;
+  return cfg;
+}
+
+struct Fixture {
+  tok::Vocab vocab;
+  model::InferenceModel engine;
+  std::vector<std::string> prompts;
+
+  Fixture() : engine(model::ModelWeights::init(tiny_config()), {}) {
+    for (const char* w : {"a", "b", "c", "d", "e", "f"}) vocab.add(w);
+    prompts = {"a b c", "d e f a", "c c b"};
+  }
+};
+
+core::FaultPlan prefill_flip() {
+  // Last prompt row of the final block's down-projection: the corrupted
+  // hidden state feeds the first generated token's logits directly, so
+  // the flip is guaranteed to perturb the greedy output (no masking).
+  core::FaultPlan plan;
+  plan.model = core::FaultModel::Comp1Bit;
+  plan.layer = {1, nn::LayerKind::DownProj, -1};
+  plan.pass_index = 0;
+  plan.row_frac = 1.0;
+  plan.out_col = 2;
+  plan.bits = {30};  // fp32 exponent MSB
+  return plan;
+}
+
+TEST(KvCacheTruncate, RewindsAndReplaysIdentically) {
+  Fixture f;
+  const auto prompt = f.vocab.encode("a b c d");
+  auto cache = f.engine.make_cache();
+  (void)f.engine.forward(prompt, cache, 0);
+  const auto len0 = cache.length();
+  EXPECT_EQ(len0, static_cast<tn::Index>(prompt.size()));
+
+  const std::vector<tok::TokenId> step = {prompt.back()};
+  const auto first = f.engine.forward(step, cache, 1);
+  EXPECT_EQ(cache.length(), len0 + 1);
+
+  cache.truncate(len0);
+  EXPECT_EQ(cache.length(), len0);
+  const auto replay = f.engine.forward(step, cache, 1);
+  ASSERT_EQ(replay.numel(), first.numel());
+  for (tn::Index i = 0; i < first.numel(); ++i) {
+    EXPECT_EQ(replay.flat()[i], first.flat()[i]);
+  }
+}
+
+TEST(KvCacheTruncate, RejectsBadLengths) {
+  Fixture f;
+  auto cache = f.engine.make_cache();
+  (void)f.engine.forward(f.vocab.encode("a b c"), cache, 0);
+  EXPECT_THROW(cache.truncate(-1), std::invalid_argument);
+  EXPECT_THROW(cache.truncate(cache.length() + 1), std::invalid_argument);
+  cache.truncate(0);
+  EXPECT_EQ(cache.length(), 0);
+}
+
+// Satellite acceptance: a detected-and-recovered generation must equal
+// the fault-free run bit for bit. The injector is single-shot, so the
+// first recomputation of the corrupted pass is clean.
+TEST(Recovery, TransientFaultRecoversToFaultFreeOutput) {
+  Fixture f;
+  const auto profile = core::profile_checksums(f.engine, f.vocab, f.prompts);
+  const auto prompt = f.vocab.encode("a b c d");
+  gen::GenerationConfig cfg;
+  cfg.max_new_tokens = 8;
+
+  const auto clean = gen::generate(f.engine, prompt, cfg);
+
+  // Sanity: the same fault without detection perturbs the output.
+  core::ComputationalFaultInjector raw(prefill_flip(), num::DType::F32);
+  gen::GenerationResult faulty;
+  {
+    core::LinearHookGuard guard(f.engine, &raw);
+    faulty = gen::generate(f.engine, prompt, cfg);
+  }
+  EXPECT_TRUE(raw.fired());
+  EXPECT_NE(faulty.tokens, clean.tokens);
+  EXPECT_EQ(faulty.detections, 0);
+
+  core::ComputationalFaultInjector injector(prefill_flip(),
+                                            num::DType::F32);
+  core::ChecksumDetector det(profile, &injector);
+  auto protected_cfg = cfg;
+  protected_cfg.detector = &det;
+  protected_cfg.max_recoveries = 2;
+  gen::GenerationResult recovered;
+  {
+    core::LinearHookGuard guard(f.engine, &det);
+    recovered = gen::generate(f.engine, prompt, protected_cfg);
+  }
+  EXPECT_TRUE(injector.fired());
+  EXPECT_EQ(recovered.tokens, clean.tokens);
+  EXPECT_EQ(recovered.detections, 1);
+  EXPECT_EQ(recovered.recoveries, 1);
+  EXPECT_EQ(recovered.recovery_passes, 1);
+  EXPECT_FALSE(recovered.unrecovered_detection);
+  EXPECT_EQ(recovered.passes, clean.passes + recovered.recovery_passes);
+}
+
+// With a zero retry budget the detector only observes: the corrupted
+// output goes through unchanged and the trip is reported unrecovered.
+TEST(Recovery, DetectOnlyObservesWithoutChangingOutput) {
+  Fixture f;
+  const auto profile = core::profile_checksums(f.engine, f.vocab, f.prompts);
+  const auto prompt = f.vocab.encode("a b c d");
+  gen::GenerationConfig cfg;
+  cfg.max_new_tokens = 8;
+
+  core::ComputationalFaultInjector raw(prefill_flip(), num::DType::F32);
+  gen::GenerationResult faulty;
+  {
+    core::LinearHookGuard guard(f.engine, &raw);
+    faulty = gen::generate(f.engine, prompt, cfg);
+  }
+
+  core::ComputationalFaultInjector injector(prefill_flip(),
+                                            num::DType::F32);
+  core::ChecksumDetector det(profile, &injector);
+  auto observed_cfg = cfg;
+  observed_cfg.detector = &det;
+  observed_cfg.max_recoveries = 0;
+  gen::GenerationResult observed;
+  {
+    core::LinearHookGuard guard(f.engine, &det);
+    observed = gen::generate(f.engine, prompt, observed_cfg);
+  }
+  EXPECT_EQ(observed.tokens, faulty.tokens);
+  EXPECT_EQ(observed.detections, 1);
+  EXPECT_EQ(observed.recoveries, 0);
+  EXPECT_EQ(observed.recovery_passes, 0);
+  EXPECT_TRUE(observed.unrecovered_detection);
+}
+
+// A persistent weight fault re-trips on every recomputation: the retry
+// budget is spent and the detection is reported unrecovered — the
+// campaign layer then escalates to weight rescreen-and-restore.
+TEST(Recovery, PersistentFaultExhaustsRetryBudget) {
+  Fixture f;
+  const auto profile = core::profile_checksums(f.engine, f.vocab, f.prompts);
+  const auto prompt = f.vocab.encode("a b c d");
+
+  core::FaultPlan plan;
+  plan.model = core::FaultModel::Mem2Bit;
+  plan.layer_index = 0;
+  plan.layer = f.engine.linear_layers()[0].id;
+  plan.weight_row = 3;
+  plan.weight_col = 4;
+  plan.bits = {30, 2};
+
+  core::ChecksumDetector det(profile);
+  gen::GenerationConfig cfg;
+  cfg.max_new_tokens = 8;
+  cfg.detector = &det;
+  cfg.max_recoveries = 2;
+  gen::GenerationResult r;
+  {
+    core::WeightCorruption corruption(f.engine, plan);
+    core::LinearHookGuard guard(f.engine, &det);
+    r = gen::generate(f.engine, prompt, cfg);
+  }
+  // The latch stays set after the failed retries, so later passes are
+  // not re-counted as fresh detections.
+  EXPECT_EQ(r.detections, 1);
+  EXPECT_EQ(r.recoveries, 0);
+  EXPECT_EQ(r.recovery_passes, cfg.max_recoveries);
+  EXPECT_TRUE(r.unrecovered_detection);
+
+  // Restored weights: the same detector stays silent on a rerun.
+  core::LinearHookGuard guard(f.engine, &det);
+  const auto after = gen::generate(f.engine, prompt, cfg);
+  EXPECT_EQ(after.detections, 0);
+  EXPECT_FALSE(after.unrecovered_detection);
+}
+
+// The multiple-choice scoring path (what the campaign's MC tasks use)
+// recovers the same way: a transient flip in one option's pass is
+// recomputed and the chosen option matches the fault-free scoring.
+TEST(Recovery, ScoreOptionsRecoversTransientFault) {
+  Fixture f;
+  const auto profile = core::profile_checksums(f.engine, f.vocab, f.prompts);
+  const auto prompt = f.vocab.encode("a b c");
+  const std::vector<std::vector<tok::TokenId>> options = {
+      f.vocab.encode("d e"), f.vocab.encode("b a"), f.vocab.encode("f")};
+
+  const auto clean = gen::score_options(f.engine, prompt, options);
+
+  auto plan = prefill_flip();
+  plan.pass_index = 1;  // option 1's scoring pass
+  core::ComputationalFaultInjector injector(plan, num::DType::F32);
+  core::ChecksumDetector det(profile, &injector);
+  gen::McResult recovered;
+  {
+    core::LinearHookGuard guard(f.engine, &det);
+    recovered = gen::score_options(f.engine, prompt, options, &det,
+                                   /*max_recoveries=*/2);
+  }
+  EXPECT_TRUE(injector.fired());
+  EXPECT_EQ(recovered.detections, 1);
+  EXPECT_EQ(recovered.recoveries, 1);
+  EXPECT_FALSE(recovered.unrecovered_detection);
+  EXPECT_EQ(recovered.chosen, clean.chosen);
+  ASSERT_EQ(recovered.scores.size(), clean.scores.size());
+  for (size_t i = 0; i < clean.scores.size(); ++i) {
+    EXPECT_DOUBLE_EQ(recovered.scores[i], clean.scores[i]);
+  }
+}
+
+}  // namespace
+}  // namespace llmfi

@@ -9,6 +9,7 @@
 //   llmfi_cli ... --csv              # machine-readable output
 //   llmfi_cli ... --router-only      # gate-layer faults (Fig 15 scope)
 //   llmfi_cli ... --direct           # math without chain-of-thought
+//   llmfi_cli ... --detector stack --recovery   # online detect + recover
 
 #include <cstdio>
 #include <cstring>
@@ -33,6 +34,9 @@ struct CliArgs {
   int beams = 1;
   int threads = 1;
   std::uint64_t seed = 2025;
+  std::string detector = "none";  // none | range | checksum | stack
+  bool recovery = false;
+  int retries = 2;
   bool csv = false;
   bool router_only = false;
   bool direct = false;
@@ -53,6 +57,11 @@ void print_usage() {
       "  --threads N      worker threads for the trial loop (default 1;\n"
       "                   results are bit-identical for any value)\n"
       "  --seed S         campaign seed\n"
+      "  --detector D     online detection: none | range | checksum | stack\n"
+      "                   (stack = checksum + range composed)\n"
+      "  --recovery       recover on detection (recompute-the-pass for comp\n"
+      "                   faults, weight-rescreen-and-restore for mem faults)\n"
+      "  --retries N      recompute budget per detection (default 2)\n"
       "  --router-only    restrict faults to MoE gate layers\n"
       "  --direct         math task without chain-of-thought\n"
       "  --csv            CSV output\n"
@@ -98,6 +107,12 @@ bool parse_args(int argc, char** argv, CliArgs& args) {
       args.threads = std::atoi(v);
     } else if (a == "--seed" && (v = need_value(i))) {
       args.seed = static_cast<std::uint64_t>(std::atoll(v));
+    } else if (a == "--detector" && (v = need_value(i))) {
+      args.detector = v;
+    } else if (a == "--recovery") {
+      args.recovery = true;
+    } else if (a == "--retries" && (v = need_value(i))) {
+      args.retries = std::atoi(v);
     } else {
       std::fprintf(stderr, "unknown option: %s\n", a.c_str());
       return false;
@@ -133,8 +148,14 @@ int main(int argc, char** argv) {
     return 0;
   }
   if (args.trials <= 0 || args.inputs <= 0 || args.beams <= 0 ||
-      args.threads <= 0) {
+      args.threads <= 0 || args.retries < 0) {
     std::fprintf(stderr, "trials/inputs/beams/threads must be positive\n");
+    return 2;
+  }
+  if (args.detector != "none" && args.detector != "range" &&
+      args.detector != "checksum" && args.detector != "stack") {
+    std::fprintf(stderr,
+                 "--detector must be none, range, checksum, or stack\n");
     return 2;
   }
 
@@ -149,6 +170,12 @@ int main(int argc, char** argv) {
     cfg.threads = args.threads;
     cfg.run.gen.num_beams = args.beams;
     cfg.run.direct_prompt = args.direct;
+    cfg.detection.range =
+        args.detector == "range" || args.detector == "stack";
+    cfg.detection.checksum =
+        args.detector == "checksum" || args.detector == "stack";
+    cfg.detection.recover = args.recovery;
+    cfg.detection.max_retries = args.retries;
     if (args.router_only) {
       cfg.layer_filter = [](const nn::LinearId& id) {
         return id.kind == nn::LayerKind::Router;
@@ -178,6 +205,20 @@ int main(int argc, char** argv) {
                   "(SDC rate %.2f%%)\n",
                   r.masked, r.sdc_subtle, r.sdc_distorted,
                   100.0 * r.sdc_rate());
+      if (cfg.detection.enabled()) {
+        std::printf(
+            "detection: %d/%d trials flagged, recovered %d, unrecovered %d, "
+            "baseline false positives %d/%d\n",
+            r.trials_detected, r.trials(), r.detected_recovered,
+            r.detected_unrecovered, r.baseline_false_positives, cfg.n_inputs);
+        std::printf("recovery overhead: %lld extra passes over %lld "
+                    "(%.2f%% per-pass)\n",
+                    r.recovery_passes, r.faulty_passes,
+                    r.faulty_passes > 0
+                        ? 100.0 * static_cast<double>(r.recovery_passes) /
+                              static_cast<double>(r.faulty_passes)
+                        : 0.0);
+      }
       std::printf("runtime: %.1fs (%.1f ms/trial)\n", r.total_runtime_sec,
                   1000.0 * r.total_runtime_sec / cfg.trials);
     }
