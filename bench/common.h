@@ -11,6 +11,11 @@
 //                   owns a private engine replica and outcomes reduce in
 //                   trial order. Raise it to the core count to cut
 //                   campaign wall-clock near-linearly.
+// LLMFI_PREFIX_FORK — overrides CampaignConfig::prefix_fork when set
+//                   ("0" disables the baseline-prefix KV fork fast path,
+//                   anything else enables it). Results are bit-identical
+//                   either way; fig_campaign_throughput unsets it to
+//                   keep its own A/B comparison honest.
 // Models come from the shared zoo cache ($LLMFI_MODEL_CACHE or
 // ./model_cache); missing checkpoints are trained on demand.
 

@@ -1,0 +1,130 @@
+// Campaign throughput: prefill tok/s and decode tok/s of the inference
+// engine, then the end-to-end trials/s effect of the baseline-prefix KV
+// fork (DESIGN.md §9) on a transient greedy campaign — fork off vs on,
+// same seed and config, with the outcome counts cross-checked (they must
+// be identical; the fork only skips work whose outputs are known).
+// Machine-readable copy goes to bench_logs/BENCH_campaign.json.
+
+#include <chrono>
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+
+#include "common.h"
+#include "gen/generate.h"
+
+using namespace llmfi;
+
+namespace {
+
+double seconds_since(std::chrono::steady_clock::time_point t0) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+      .count();
+}
+
+}  // namespace
+
+int main() {
+  // The A/B below toggles cfg.prefix_fork directly; an inherited env
+  // override would silently force both arms onto one path.
+  unsetenv("LLMFI_PREFIX_FORK");
+
+  auto& zoo = benchutil::shared_zoo();
+  // Math-with-CoT generations run the most passes per example (>= 8),
+  // which is exactly the regime the prefix fork targets.
+  const auto kind = data::TaskKind::MathGsm;
+  const auto& spec = eval::workload(kind);
+  const auto& eval_set = zoo.task(kind).eval;
+  const auto& vocab = zoo.vocab();
+  model::InferenceModel engine(zoo.get("qilin"),
+                               benchutil::default_precision());
+
+  // --- raw engine throughput -------------------------------------------
+  std::vector<tok::TokenId> prompt = {vocab.bos()};
+  const auto body = vocab.encode(eval_set.front().prompt);
+  prompt.insert(prompt.end(), body.begin(), body.end());
+
+  const int prefill_iters = 30;
+  auto cache = engine.make_cache();
+  auto t0 = std::chrono::steady_clock::now();
+  for (int i = 0; i < prefill_iters; ++i) {
+    cache.reset();
+    auto logits = engine.forward(prompt, cache, 0);
+    cache.advance(static_cast<tn::Index>(prompt.size()));
+  }
+  const double prefill_sec = seconds_since(t0);
+  const double prefill_tok_s =
+      static_cast<double>(prefill_iters) *
+      static_cast<double>(prompt.size()) / prefill_sec;
+
+  const int decode_iters = 10;
+  gen::GenerationConfig gcfg;
+  std::int64_t decoded = 0;
+  t0 = std::chrono::steady_clock::now();
+  for (int i = 0; i < decode_iters; ++i) {
+    decoded += gen::generate(engine, prompt, gcfg).passes;
+  }
+  const double decode_sec = seconds_since(t0);
+  const double decode_tok_s = static_cast<double>(decoded) / decode_sec;
+
+  // --- campaign A/B: prefix fork off vs on -----------------------------
+  auto cfg = benchutil::default_campaign(core::FaultModel::Comp1Bit,
+                                         /*default_trials=*/200,
+                                         /*default_inputs=*/8);
+  cfg.prefix_fork = false;
+  const auto off = eval::run_campaign_on(engine, vocab, eval_set, spec, cfg);
+  cfg.prefix_fork = true;
+  const auto on = eval::run_campaign_on(engine, vocab, eval_set, spec, cfg);
+
+  const bool identical =
+      off.masked == on.masked && off.sdc_subtle == on.sdc_subtle &&
+      off.sdc_distorted == on.sdc_distorted &&
+      off.faulty_hits == on.faulty_hits &&
+      off.faulty_passes == on.faulty_passes &&
+      off.faulty_mean(spec.metrics.front().name) ==
+          on.faulty_mean(spec.metrics.front().name);
+  const double trials_s_off = cfg.trials / off.total_runtime_sec;
+  const double trials_s_on = cfg.trials / on.total_runtime_sec;
+  const double speedup = trials_s_on / trials_s_off;
+  const double passes_per_trial =
+      static_cast<double>(off.faulty_passes) / cfg.trials;
+
+  report::Table t("campaign throughput: qilin / " + spec.dataset +
+                  " / 1bit-comp");
+  t.header({"metric", "value"});
+  t.row({"prefill tok/s", report::fmt(prefill_tok_s)});
+  t.row({"decode tok/s", report::fmt(decode_tok_s)});
+  t.row({"passes/trial", report::fmt(passes_per_trial)});
+  t.row({"trials/s fork off", report::fmt(trials_s_off)});
+  t.row({"trials/s fork on", report::fmt(trials_s_on)});
+  t.row({"speedup", report::fmt(speedup)});
+  t.row({"skipped passes (on)",
+         std::to_string(on.prefix_skipped_passes) + "/" +
+             std::to_string(on.faulty_passes)});
+  t.row({"outcomes identical", benchutil::check(identical)});
+  t.print(std::cout);
+  std::printf("expected shape: speedup >= 2x once passes/trial >= 8; "
+              "outcomes identical must be yes.\n");
+
+  std::filesystem::create_directories("bench_logs");
+  std::ofstream json("bench_logs/BENCH_campaign.json");
+  json << "{\n"
+       << "  \"model\": \"qilin\",\n"
+       << "  \"dataset\": \"" << spec.dataset << "\",\n"
+       << "  \"fault\": \"1bit-comp\",\n"
+       << "  \"trials\": " << cfg.trials << ",\n"
+       << "  \"inputs\": " << cfg.n_inputs << ",\n"
+       << "  \"threads\": " << cfg.threads << ",\n"
+       << "  \"prefill_tok_per_s\": " << prefill_tok_s << ",\n"
+       << "  \"decode_tok_per_s\": " << decode_tok_s << ",\n"
+       << "  \"passes_per_trial\": " << passes_per_trial << ",\n"
+       << "  \"trials_per_s_fork_off\": " << trials_s_off << ",\n"
+       << "  \"trials_per_s_fork_on\": " << trials_s_on << ",\n"
+       << "  \"speedup\": " << speedup << ",\n"
+       << "  \"prefix_skipped_passes\": " << on.prefix_skipped_passes
+       << ",\n"
+       << "  \"faulty_passes\": " << on.faulty_passes << ",\n"
+       << "  \"outcomes_identical\": " << (identical ? "true" : "false")
+       << "\n}\n";
+  return identical ? 0 : 1;
+}

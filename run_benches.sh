@@ -1,7 +1,13 @@
 #!/bin/bash
 # Final bench sweep at higher statistical power.
+# LLMFI_NATIVE=1 rebuilds with -march=native -O3 first (machine-tuned
+# numbers; leave unset for the portable default build).
 set -u
 cd "$(dirname "$0")"
+if [ "${LLMFI_NATIVE:-0}" = "1" ]; then
+  cmake -B build -S . -DLLMFI_NATIVE=ON
+  cmake --build build -j
+fi
 export LLMFI_TRIALS=400 LLMFI_INPUTS=12
 mkdir -p bench_logs
 for b in build/bench/*; do

@@ -4,9 +4,11 @@
 #include <atomic>
 #include <chrono>
 #include <cmath>
+#include <cstdlib>
 #include <exception>
 #include <mutex>
 #include <optional>
+#include <string_view>
 #include <thread>
 
 #include "core/injector.h"
@@ -100,7 +102,8 @@ TrialOutcome run_trial(model::InferenceModel& engine, const tok::Vocab& vocab,
                        const std::vector<ExampleResult>& baselines,
                        const WorkloadSpec& spec, const CampaignConfig& cfg,
                        const num::Rng& campaign_rng, int trial,
-                       const DetectionContext* detect) {
+                       const DetectionContext* detect,
+                       const std::vector<gen::PrefixSnapshot>* snapshots) {
   const int n_inputs = static_cast<int>(baselines.size());
   const int ei = trial % n_inputs;
   const auto& ex = eval_set[static_cast<size_t>(ei)];
@@ -170,7 +173,20 @@ TrialOutcome run_trial(model::InferenceModel& engine, const tok::Vocab& vocab,
     core::ComputationalFaultInjector injector(
         out.plan, engine.precision().act_dtype);
     core::LinearHookGuard guard(engine, &injector);
-    faulty = run_example(engine, vocab, spec, ex, cfg.run);
+    RunOptions run = cfg.run;
+    // Prefix-fork fast path: a transient fault armed at pass t leaves
+    // passes 0..t-1 bit-identical to the baseline, so the trial resumes
+    // from the shared snapshot at pass t under greedy decoding. gen
+    // revalidates every precondition and falls back to a full recompute
+    // (with a one-time warning) on any snapshot/config drift.
+    if (snapshots != nullptr && cfg.run.gen.num_beams == 1 &&
+        out.plan.pass_index >= 1 &&
+        ei < static_cast<int>(snapshots->size()) &&
+        (*snapshots)[static_cast<size_t>(ei)].valid) {
+      run.resume = &(*snapshots)[static_cast<size_t>(ei)];
+      run.start_pass = out.plan.pass_index;
+    }
+    faulty = run_example(engine, vocab, spec, ex, run);
   }
 
   // baseline_empty considers generated tokens only: multiple-choice
@@ -196,6 +212,7 @@ TrialOutcome run_trial(model::InferenceModel& engine, const tok::Vocab& vocab,
   out.detections = faulty.detections;
   out.recovery_passes = faulty.recovery_passes;
   out.passes = faulty.passes;
+  out.skipped_passes = faulty.skipped_passes;
   out.unrecovered = faulty.unrecovered_detection;
   out.correct = faulty.correct;
   out.output_matches_baseline = (faulty.output == base.output);
@@ -220,6 +237,7 @@ void run_trials_parallel(model::InferenceModel& engine,
                          const WorkloadSpec& spec, const CampaignConfig& cfg,
                          const num::Rng& campaign_rng, int n_threads,
                          const DetectionContext* detect,
+                         const std::vector<gen::PrefixSnapshot>* snapshots,
                          std::vector<TrialOutcome>& outcomes) {
   std::vector<model::InferenceModel> replicas;
   replicas.reserve(static_cast<size_t>(n_threads - 1));
@@ -236,7 +254,7 @@ void run_trials_parallel(model::InferenceModel& engine,
       try {
         outcomes[static_cast<size_t>(trial)] =
             run_trial(eng, vocab, eval_set, baselines, spec, cfg,
-                      campaign_rng, trial, detect);
+                      campaign_rng, trial, detect, snapshots);
       } catch (...) {
         std::lock_guard<std::mutex> lock(error_mutex);
         if (trial < first_error_trial) {
@@ -297,11 +315,29 @@ CampaignResult run_campaign_on(model::InferenceModel& engine,
   }
   const DetectionContext* detect = detect_ctx ? &*detect_ctx : nullptr;
 
+  // Prefix-fork applies only where the skipped prefix is provably
+  // baseline-identical: transient compute faults, greedy decoding, no
+  // per-pass detector baselines to reproduce. LLMFI_PREFIX_FORK
+  // overrides the config when set ("0" disables, anything else enables).
+  bool prefix_fork = cfg.prefix_fork;
+  if (const char* v = std::getenv("LLMFI_PREFIX_FORK");
+      v != nullptr && *v != '\0') {
+    prefix_fork = std::string_view(v) != "0";
+  }
+  const bool build_snapshots = prefix_fork &&
+                               !core::is_memory_fault(cfg.fault) &&
+                               !cfg.detection.enabled() &&
+                               cfg.run.gen.num_beams == 1;
+
   // Fault-free baselines, one per input — always serial: they seed the
   // trial loop (pass counts bound the fault sampler's scope). With
   // detection enabled the baselines run under a detect-only stack:
   // detectors never modify activations, so the baseline outputs are
-  // unchanged, and any trip is by definition a false positive.
+  // unchanged, and any trip is by definition a false positive. When the
+  // prefix fork is live, each baseline also captures its PrefixSnapshot,
+  // shared read-only by every worker replica.
+  std::vector<gen::PrefixSnapshot> snapshots(
+      build_snapshots ? static_cast<size_t>(n_inputs) : 0);
   std::vector<ExampleResult> baselines;
   baselines.reserve(static_cast<size_t>(n_inputs));
   for (int i = 0; i < n_inputs; ++i) {
@@ -316,8 +352,10 @@ CampaignResult run_campaign_on(model::InferenceModel& engine,
                          eval_set[static_cast<size_t>(i)], run);
       if (base.detections > 0) ++result.baseline_false_positives;
     } else {
+      RunOptions run = cfg.run;
+      if (build_snapshots) run.capture = &snapshots[static_cast<size_t>(i)];
       base = run_example(engine, vocab, spec,
-                         eval_set[static_cast<size_t>(i)], cfg.run);
+                         eval_set[static_cast<size_t>(i)], run);
     }
     for (const auto& [name, value] : base.metrics) {
       result.baseline_metrics[name].add(value);
@@ -333,17 +371,19 @@ CampaignResult run_campaign_on(model::InferenceModel& engine,
   const int n_threads =
       std::max(1, std::min(cfg.threads, std::max(1, cfg.trials)));
 
+  const std::vector<gen::PrefixSnapshot>* snaps =
+      build_snapshots ? &snapshots : nullptr;
   std::vector<TrialOutcome> outcomes(static_cast<size_t>(
       std::max(0, cfg.trials)));
   if (n_threads == 1) {
     for (int trial = 0; trial < cfg.trials; ++trial) {
       outcomes[static_cast<size_t>(trial)] =
           run_trial(engine, vocab, eval_set, baselines, spec, cfg,
-                    campaign_rng, trial, detect);
+                    campaign_rng, trial, detect, snaps);
     }
   } else {
     run_trials_parallel(engine, vocab, eval_set, baselines, spec, cfg,
-                        campaign_rng, n_threads, detect, outcomes);
+                        campaign_rng, n_threads, detect, snaps, outcomes);
   }
 
   // Deterministic reduction: fold outcomes in trial order, exactly as the
@@ -373,6 +413,7 @@ CampaignResult run_campaign_on(model::InferenceModel& engine,
     ++bit_bucket[static_cast<size_t>(o.outcome)];
     result.faulty_passes += o.passes;
     result.recovery_passes += o.recovery_passes;
+    result.prefix_skipped_passes += o.skipped_passes;
     if (o.detections > 0) ++result.trials_detected;
 
     if (cfg.keep_trial_records) {

@@ -64,6 +64,17 @@ struct CampaignConfig {
   int exclude_final_passes = 0;
   bool keep_trial_records = false;
   DetectionConfig detection;
+  // Prefix-fork fast path (DESIGN.md §9): capture one PrefixSnapshot per
+  // example alongside the baselines and start each transient-compute
+  // trial at its sampled injection pass by forking the baseline's KV
+  // prefix — exact because the trial is bit-identical to the baseline on
+  // every pass before the fault arms. 2bits-mem (persistent from pass
+  // 0), beam search, and detector-enabled campaigns always recompute in
+  // full. The env knob LLMFI_PREFIX_FORK overrides when set ("0"
+  // disables, anything else enables); llmfi_cli exposes
+  // --no-prefix-fork. Results are bit-identical either way — the fork
+  // only skips work whose outputs are already known.
+  bool prefix_fork = true;
 };
 
 struct TrialRecord {
@@ -97,6 +108,9 @@ struct TrialOutcome {
   int detections = 0;       // detector trips during the faulty run
   int recovery_passes = 0;  // extra forward passes spent recovering
   int passes = 0;           // total forward passes of the faulty run
+                            // (prefix-forked trials count skipped passes
+                            // as executed, so this matches a full run)
+  int skipped_passes = 0;   // passes skipped via the prefix fork
   bool unrecovered = false;
   std::string output;
 };
@@ -110,12 +124,19 @@ struct TrialOutcome {
 // parallel across engine replicas.
 // `detect` supplies the shared fault-free profiles when cfg.detection is
 // enabled (nullptr disables detection regardless of the config).
+// `snapshots` supplies the per-example PrefixSnapshots captured with the
+// baselines (nullptr, or an invalid entry, disables the prefix-fork fast
+// path for the trial). They are shared read-only across the worker pool;
+// the forked cache copy is per-trial, so the bit-identical-across-
+// thread-counts guarantee of the parallel driver is preserved.
 TrialOutcome run_trial(model::InferenceModel& engine, const tok::Vocab& vocab,
                        const std::vector<data::Example>& eval_set,
                        const std::vector<ExampleResult>& baselines,
                        const WorkloadSpec& spec, const CampaignConfig& cfg,
                        const num::Rng& campaign_rng, int trial,
-                       const DetectionContext* detect = nullptr);
+                       const DetectionContext* detect = nullptr,
+                       const std::vector<gen::PrefixSnapshot>* snapshots =
+                           nullptr);
 
 struct CampaignResult {
   CampaignConfig config;
@@ -142,6 +163,12 @@ struct CampaignResult {
   // Baseline (fault-free) examples that tripped the detector: the
   // numerator of the campaign's false-positive rate.
   int baseline_false_positives = 0;
+  // Forward passes skipped by the prefix-fork fast path. Like
+  // total_runtime_sec this is a runtime diagnostic, NOT part of the
+  // determinism contract: it differs between fork-enabled and
+  // fork-disabled runs of the same campaign while every result field
+  // above stays bit-identical.
+  long long prefix_skipped_passes = 0;
   double total_runtime_sec = 0.0;
   std::vector<TrialRecord> records;  // when keep_trial_records
 

@@ -17,9 +17,11 @@ ExampleResult run_example(model::InferenceModel& m, const tok::Vocab& vocab,
     options.reserve(ex.options.size());
     for (const auto& o : ex.options) options.push_back(vocab.encode(o));
     const auto mc = gen::score_options(m, prompt, options, opt.gen.detector,
-                                       opt.gen.max_recoveries);
+                                       opt.gen.max_recoveries, opt.capture,
+                                       opt.resume, opt.start_pass);
     result.chosen_option = mc.chosen;
     result.passes = mc.passes;
+    result.skipped_passes = mc.skipped_passes;
     result.output = ex.options[static_cast<size_t>(mc.chosen)];
     result.correct = (mc.chosen == ex.correct);
     result.nonfinite_logits = m.saw_nonfinite_logits();
@@ -39,9 +41,14 @@ ExampleResult run_example(model::InferenceModel& m, const tok::Vocab& vocab,
   const auto body = vocab.encode(prompt_text);
   prompt.insert(prompt.end(), body.begin(), body.end());
 
-  const auto gr = gen::generate(m, prompt, opt.gen);
+  gen::GenerationConfig gen_cfg = opt.gen;
+  gen_cfg.capture = opt.capture;
+  gen_cfg.resume = opt.resume;
+  gen_cfg.start_pass = opt.start_pass;
+  const auto gr = gen::generate(m, prompt, gen_cfg);
   result.tokens = gr.tokens;
   result.passes = gr.passes;
+  result.skipped_passes = gr.skipped_passes;
   result.hit_max_tokens = gr.hit_max_tokens;
   result.nonfinite_logits = gr.nonfinite_logits;
   result.detections = gr.detections;

@@ -18,6 +18,12 @@ struct RunOptions {
   gen::GenerationConfig gen;
   // MathGsm only: use the direct-answer prompt (CoT disabled, §4.3.2).
   bool direct_prompt = false;
+  // Prefix-fork plumbing (DESIGN.md §9), forwarded to gen: `capture`
+  // records a baseline run's snapshot; `resume` + `start_pass` skips the
+  // fault-free prefix of a trial run against that snapshot.
+  gen::PrefixSnapshot* capture = nullptr;
+  const gen::PrefixSnapshot* resume = nullptr;
+  int start_pass = 0;
 };
 
 struct ExampleResult {
@@ -27,6 +33,7 @@ struct ExampleResult {
   int chosen_option = -1;
   bool correct = false;        // discrete tasks (MC, math final answer)
   int passes = 0;              // forward passes executed
+  int skipped_passes = 0;      // of which skipped via prefix fork
   bool hit_max_tokens = false;
   bool nonfinite_logits = false;
   // --- detection/recovery accounting (opt.gen.detector set) ---

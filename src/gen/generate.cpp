@@ -1,7 +1,9 @@
 #include "gen/generate.h"
 
 #include <algorithm>
+#include <atomic>
 #include <cmath>
+#include <cstdio>
 #include <limits>
 #include <stdexcept>
 
@@ -79,18 +81,113 @@ void fold_stats(const RecoveryStats& stats, int& detections, int& recoveries,
   unrecovered = stats.unrecovered;
 }
 
+// A refused prefix-fork resume is a correctness event worth one loud
+// line (it usually means snapshot/config drift), but campaigns run
+// thousands of trials — warn once per process, then fall back silently.
+std::atomic<bool> g_fork_fallback_warned{false};
+
+void warn_fork_fallback(const char* why) {
+  if (!g_fork_fallback_warned.exchange(true)) {
+    std::fprintf(stderr,
+                 "llmfi: prefix-fork resume refused (%s); "
+                 "falling back to full recompute\n",
+                 why);
+  }
+}
+
+bool same_prompt(std::span<const tok::TokenId> prompt,
+                 const std::vector<tok::TokenId>& snap_prompt) {
+  return std::equal(prompt.begin(), prompt.end(), snap_prompt.begin(),
+                    snap_prompt.end());
+}
+
+// Validates every precondition of the greedy resume fast path; returns
+// nullptr (after a one-time warning) when any fails, which sends the
+// caller down the bit-identical full-recompute path.
+const PrefixSnapshot* usable_greedy_resume(
+    std::span<const tok::TokenId> prompt, const GenerationConfig& cfg,
+    const nn::KvCache& target_cache) {
+  const PrefixSnapshot* snap = cfg.resume;
+  if (snap == nullptr || cfg.start_pass < 1) return nullptr;
+  if (cfg.num_beams != 1 || cfg.detector != nullptr) {
+    warn_fork_fallback("resume requires greedy decoding without a detector");
+    return nullptr;
+  }
+  if (!snap->valid) {
+    warn_fork_fallback("snapshot was never captured");
+    return nullptr;
+  }
+  if (snap->nonfinite_logits) {
+    warn_fork_fallback("baseline saw non-finite logits");
+    return nullptr;
+  }
+  if (!same_prompt(prompt, snap->prompt)) {
+    warn_fork_fallback("prompt differs from the captured run");
+    return nullptr;
+  }
+  const int t = cfg.start_pass;
+  if (t >= snap->passes || t > static_cast<int>(snap->tokens.size()) ||
+      t >= static_cast<int>(snap->cache_len_before_pass.size())) {
+    warn_fork_fallback("start_pass beyond the captured trajectory");
+    return nullptr;
+  }
+  if (!snap->cache.has_value() ||
+      !target_cache.fork_compatible(*snap->cache) ||
+      snap->cache_len_before_pass[static_cast<size_t>(t)] >
+          snap->cache->length()) {
+    warn_fork_fallback("snapshot/engine cache shape mismatch");
+    return nullptr;
+  }
+  return snap;
+}
+
 GenerationResult greedy(model::InferenceModel& m,
                         std::span<const tok::TokenId> prompt,
                         const GenerationConfig& cfg) {
   GenerationResult result;
   RecoveryStats stats;
   auto cache = m.make_cache();
-  tn::Tensor logits = forward_checked(m, prompt, cache, /*pass_index=*/0,
-                                      cfg.detector, cfg.max_recoveries,
-                                      result.passes, stats);
-  tok::TokenId next =
-      static_cast<tok::TokenId>(tn::argmax_row(logits, logits.rows() - 1));
-  for (int step = 0; step < cfg.max_new_tokens; ++step) {
+  const PrefixSnapshot* snap = usable_greedy_resume(prompt, cfg, cache);
+  // Recovery retries rewind and recompute passes, so the recorded
+  // per-pass cache lengths would not describe a straight-line replay;
+  // capture is therefore detector-free only. Resumed runs skip passes,
+  // so their capture would be incomplete — ignored as documented.
+  PrefixSnapshot* cap =
+      (cfg.detector == nullptr && snap == nullptr) ? cfg.capture : nullptr;
+  if (cap != nullptr) {
+    *cap = PrefixSnapshot{};
+    cap->prompt.assign(prompt.begin(), prompt.end());
+  }
+
+  tn::Tensor logits;
+  tok::TokenId next;
+  int start_step = 0;
+  if (snap != nullptr) {
+    // Passes 0..start_pass-1 of this run are bit-identical to the
+    // captured baseline: fork its KV prefix, seed its tokens, and run
+    // pass start_pass as the first real forward. The skipped passes
+    // still count in `passes` so accounting matches a full run.
+    const int t = cfg.start_pass;
+    cache.fork_from(*snap->cache,
+                    snap->cache_len_before_pass[static_cast<size_t>(t)]);
+    result.tokens.assign(snap->tokens.begin(), snap->tokens.begin() + t);
+    result.passes = t;
+    result.skipped_passes = t;
+    const tok::TokenId input = snap->tokens[static_cast<size_t>(t - 1)];
+    logits = forward_checked(m, std::span(&input, 1), cache,
+                             /*pass_index=*/t, cfg.detector,
+                             cfg.max_recoveries, result.passes, stats);
+    next = static_cast<tok::TokenId>(tn::argmax_row(logits, 0));
+    start_step = t;
+  } else {
+    if (cap != nullptr) cap->cache_len_before_pass.push_back(cache.length());
+    logits = forward_checked(m, prompt, cache, /*pass_index=*/0,
+                             cfg.detector, cfg.max_recoveries, result.passes,
+                             stats);
+    next =
+        static_cast<tok::TokenId>(tn::argmax_row(logits, logits.rows() - 1));
+  }
+  for (int step = start_step; step < cfg.max_new_tokens; ++step) {
     if (next == cfg.eos) break;
     result.tokens.push_back(next);
     if (step + 1 == cfg.max_new_tokens) {
@@ -102,6 +199,7 @@ GenerationResult greedy(model::InferenceModel& m,
       break;
     }
     const tok::TokenId input = next;
+    if (cap != nullptr) cap->cache_len_before_pass.push_back(cache.length());
     logits = forward_checked(m, std::span(&input, 1), cache,
                              /*pass_index=*/step + 1, cfg.detector,
                              cfg.max_recoveries, result.passes, stats);
@@ -110,6 +208,13 @@ GenerationResult greedy(model::InferenceModel& m,
   result.nonfinite_logits = m.saw_nonfinite_logits();
   fold_stats(stats, result.detections, result.recoveries,
              result.recovery_passes, result.unrecovered_detection);
+  if (cap != nullptr) {
+    cap->tokens = result.tokens;
+    cap->passes = result.passes;
+    cap->nonfinite_logits = result.nonfinite_logits;
+    cap->cache.emplace(std::move(cache));
+    cap->valid = true;
+  }
   return result;
 }
 
@@ -142,6 +247,11 @@ GenerationResult beam_search(model::InferenceModel& m,
   GenerationResult result;
   RecoveryStats stats;
   const int n_beams = cfg.num_beams;
+  if (cfg.resume != nullptr && cfg.start_pass >= 1) {
+    // Beams diverge from the greedy trajectory from pass 1 on, so the
+    // captured prefix is not this run's prefix — always recompute.
+    warn_fork_fallback("resume requires greedy decoding without a detector");
+  }
 
   // Prefill once, then replicate the cache across beams.
   auto cache0 = m.make_cache();
@@ -281,17 +391,67 @@ GenerationResult generate(model::InferenceModel& m,
                             : beam_search(m, prompt, cfg);
 }
 
+namespace {
+
+// Resume preconditions for option scoring: the snapshot must hold one
+// score per option of the same prompt, and the skipped options must have
+// been fault-free and finite — mirrors usable_greedy_resume.
+const PrefixSnapshot* usable_mc_resume(
+    std::span<const tok::TokenId> prompt, size_t n_options,
+    nn::DetectorHook* detector, const PrefixSnapshot* resume,
+    int start_pass) {
+  if (resume == nullptr || start_pass < 1) return nullptr;
+  if (detector != nullptr) {
+    warn_fork_fallback("resume requires greedy decoding without a detector");
+    return nullptr;
+  }
+  if (!resume->valid) {
+    warn_fork_fallback("snapshot was never captured");
+    return nullptr;
+  }
+  if (resume->nonfinite_logits) {
+    warn_fork_fallback("baseline saw non-finite logits");
+    return nullptr;
+  }
+  if (!same_prompt(prompt, resume->prompt)) {
+    warn_fork_fallback("prompt differs from the captured run");
+    return nullptr;
+  }
+  if (resume->option_scores.size() != n_options ||
+      start_pass >= static_cast<int>(n_options)) {
+    warn_fork_fallback("start_pass beyond the captured trajectory");
+    return nullptr;
+  }
+  return resume;
+}
+
+}  // namespace
+
 McResult score_options(
     model::InferenceModel& m, std::span<const tok::TokenId> prompt,
     const std::vector<std::vector<tok::TokenId>>& options,
-    nn::DetectorHook* detector, int max_recoveries) {
+    nn::DetectorHook* detector, int max_recoveries,
+    PrefixSnapshot* capture, const PrefixSnapshot* resume, int start_pass) {
   if (options.empty()) {
     throw std::invalid_argument("score_options: no options");
   }
   m.reset_diagnostics();
   McResult result;
   RecoveryStats stats;
-  for (size_t oi = 0; oi < options.size(); ++oi) {
+  const PrefixSnapshot* snap =
+      usable_mc_resume(prompt, options.size(), detector, resume, start_pass);
+  size_t first = 0;
+  if (snap != nullptr) {
+    // Options [0, start_pass) run before the armed pass, so they are
+    // bit-identical to the baseline — seed their scores and count their
+    // passes as executed, exactly like the greedy prefix skip.
+    first = static_cast<size_t>(start_pass);
+    result.scores.assign(snap->option_scores.begin(),
+                         snap->option_scores.begin() + start_pass);
+    result.passes = start_pass;
+    result.skipped_passes = start_pass;
+  }
+  for (size_t oi = first; oi < options.size(); ++oi) {
     const auto& opt = options[oi];
     if (opt.empty()) {
       throw std::invalid_argument("score_options: empty option");
@@ -316,6 +476,14 @@ McResult score_options(
       result.scores.begin());
   fold_stats(stats, result.detections, result.recoveries,
              result.recovery_passes, result.unrecovered_detection);
+  if (capture != nullptr && detector == nullptr && snap == nullptr) {
+    *capture = PrefixSnapshot{};
+    capture->prompt.assign(prompt.begin(), prompt.end());
+    capture->option_scores = result.scores;
+    capture->passes = result.passes;
+    capture->nonfinite_logits = m.saw_nonfinite_logits();
+    capture->valid = true;
+  }
   return result;
 }
 

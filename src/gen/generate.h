@@ -3,6 +3,7 @@
 // search, beam search (the paper's §4.3.1 resilience comparison), and
 // the option log-likelihood scoring used by multiple-choice tasks.
 
+#include <optional>
 #include <span>
 #include <vector>
 
@@ -10,6 +11,26 @@
 #include "tokenizer/vocab.h"
 
 namespace llmfi::gen {
+
+// Everything a fault-free greedy (or option-scoring) run leaves behind
+// that a later run over the same prompt can reuse: the final KV cache
+// (append-only, so it contains every intermediate pass state as a
+// prefix), the greedy token trajectory, the cache length at entry of
+// each pass, and — for score_options — the per-option scores. A
+// transient-fault trial armed at pass `t` is bit-identical to the
+// baseline on passes 0..t-1, so it can fork the cache prefix, seed the
+// already-decoded tokens, and start its loop at pass t (DESIGN.md §9).
+struct PrefixSnapshot {
+  bool valid = false;  // capture completed on a greedy, detector-free run
+  std::vector<tok::TokenId> prompt;  // the captured run's prompt
+  std::vector<tok::TokenId> tokens;  // greedy trajectory (generative)
+  // cache.length() immediately before each forward pass, indexed by pass.
+  std::vector<tn::Index> cache_len_before_pass;
+  std::optional<nn::KvCache> cache;  // final KV state (generative)
+  std::vector<double> option_scores;  // per-option scores (score_options)
+  int passes = 0;                     // forward passes the capture ran
+  bool nonfinite_logits = false;      // baseline latch; true forbids resume
+};
 
 struct GenerationConfig {
   int max_new_tokens = 40;
@@ -27,11 +48,25 @@ struct GenerationConfig {
   // be installed on the engine; the caller owns its lifetime.
   nn::DetectorHook* detector = nullptr;
   int max_recoveries = 0;
+  // --- prefix-fork (DESIGN.md §9) --------------------------------------
+  // When set, a greedy detector-free run records its snapshot here (the
+  // capture is skipped, leaving valid == false, for beam search and
+  // detector-enabled runs). Ignored on resumed runs.
+  PrefixSnapshot* capture = nullptr;
+  // When set with start_pass >= 1, the run forks `resume`'s KV prefix and
+  // begins at pass start_pass instead of pass 0. Only exact for greedy
+  // decoding without a detector over the same prompt; any precondition
+  // or snapshot/shape mismatch falls back to a full run with a one-time
+  // warning. Skipped passes still count in GenerationResult::passes so
+  // accounting matches a full run bit-for-bit.
+  const PrefixSnapshot* resume = nullptr;
+  int start_pass = 0;
 };
 
 struct GenerationResult {
   std::vector<tok::TokenId> tokens;  // generated tokens (prompt excluded)
   int passes = 0;                    // forward passes executed
+  int skipped_passes = 0;            // of which skipped via prefix fork
   bool hit_max_tokens = false;       // stopped by budget, not <eos>
   bool nonfinite_logits = false;     // engine saw NaN/inf logits
   // --- detection/recovery accounting (zero when cfg.detector unset) ---
@@ -53,6 +88,7 @@ struct McResult {
   int chosen = -1;
   std::vector<double> scores;  // sum log P(option tokens | prompt)
   int passes = 0;
+  int skipped_passes = 0;  // option passes seeded from a snapshot
   // --- detection/recovery accounting (see GenerationResult) ---
   int detections = 0;
   int recoveries = 0;
@@ -64,10 +100,16 @@ struct McResult {
 // picks the argmax — the standard lm-eval multiple-choice protocol.
 // Option i is evaluated in its own forward pass with pass_index == i.
 // `detector`/`max_recoveries` enable the same per-pass detection and
-// recompute-recovery loop as GenerationConfig.
+// recompute-recovery loop as GenerationConfig. `capture` records the
+// per-option scores; `resume` + `start_pass` seeds options
+// [0, start_pass) from the snapshot and scores only the rest (each
+// option runs in a private cache, so no KV forking is involved here —
+// the skipped prefix is the earlier, fault-free option passes).
 McResult score_options(
     model::InferenceModel& m, std::span<const tok::TokenId> prompt,
     const std::vector<std::vector<tok::TokenId>>& options,
-    nn::DetectorHook* detector = nullptr, int max_recoveries = 0);
+    nn::DetectorHook* detector = nullptr, int max_recoveries = 0,
+    PrefixSnapshot* capture = nullptr,
+    const PrefixSnapshot* resume = nullptr, int start_pass = 0);
 
 }  // namespace llmfi::gen

@@ -1,6 +1,8 @@
 #include "nn/kv_cache.h"
 
+#include <algorithm>
 #include <cassert>
+#include <cstddef>
 #include <stdexcept>
 
 namespace llmfi::nn {
@@ -22,16 +24,43 @@ void KvCache::append(int block, const tn::Tensor& k, const tn::Tensor& v) {
   if (length_ + k.rows() > max_seq_) {
     throw std::runtime_error("KvCache overflow: sequence exceeds max_seq");
   }
+  // Rows are contiguous on both sides, so each row is one memcpy-able
+  // span copy instead of a scalar element loop.
   for (tn::Index t = 0; t < k.rows(); ++t) {
-    auto kdst = kb.row(length_ + t);
-    auto vdst = vb.row(length_ + t);
     auto ksrc = k.row(t);
     auto vsrc = v.row(t);
-    for (tn::Index j = 0; j < k.cols(); ++j) {
-      kdst[j] = ksrc[j];
-      vdst[j] = vsrc[j];
-    }
+    std::copy(ksrc.begin(), ksrc.end(), kb.row(length_ + t).begin());
+    std::copy(vsrc.begin(), vsrc.end(), vb.row(length_ + t).begin());
   }
+}
+
+bool KvCache::fork_compatible(const KvCache& src) const {
+  return src.k_.size() == k_.size() && src.max_seq_ == max_seq_ &&
+         src.d_model() == d_model();
+}
+
+void KvCache::fork_from(const KvCache& src, tn::Index prefix_len) {
+  if (!fork_compatible(src)) {
+    throw std::invalid_argument(
+        "KvCache::fork_from: block count / max_seq / d_model mismatch");
+  }
+  if (prefix_len < 0 || prefix_len > src.length_) {
+    throw std::invalid_argument(
+        "KvCache::fork_from: prefix_len outside [0, src.length()]");
+  }
+  // Both caches store [max_seq, d_model] row-major, so the first
+  // prefix_len rows of each block are one contiguous span.
+  const size_t n = static_cast<size_t>(prefix_len) *
+                   static_cast<size_t>(d_model());
+  for (size_t b = 0; b < k_.size(); ++b) {
+    auto ksrc = src.k_[b].flat();
+    auto vsrc = src.v_[b].flat();
+    std::copy(ksrc.begin(), ksrc.begin() + static_cast<std::ptrdiff_t>(n),
+              k_[b].flat().begin());
+    std::copy(vsrc.begin(), vsrc.begin() + static_cast<std::ptrdiff_t>(n),
+              v_[b].flat().begin());
+  }
+  length_ = prefix_len;
 }
 
 void KvCache::truncate(tn::Index new_length) {

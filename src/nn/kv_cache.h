@@ -30,7 +30,24 @@ class KvCache {
   void truncate(tn::Index new_length);
   void reset();
 
+  // True if fork_from(src, ...) would be shape-safe: same block count,
+  // max_seq, and d_model. A mismatch means the snapshot was captured on a
+  // differently-shaped engine — forking would produce shape-valid-but-
+  // wrong caches, so callers use this to fall back to a full recompute.
+  bool fork_compatible(const KvCache& src) const;
+
+  // Copies the first `prefix_len` rows of every block of `src` into this
+  // cache and marks exactly those rows valid. The cache is append-only,
+  // so src's *final* state contains every intermediate pass state as a
+  // prefix — this is the prefix-reuse primitive that lets a transient-
+  // fault trial skip the passes it shares with the fault-free baseline
+  // (DESIGN.md §9). Throws std::invalid_argument on shape mismatch
+  // (fork_compatible) or prefix_len outside [0, src.length()].
+  void fork_from(const KvCache& src, tn::Index prefix_len);
+
   tn::Index max_seq() const { return max_seq_; }
+  int n_blocks() const { return static_cast<int>(k_.size()); }
+  tn::Index d_model() const { return k_.empty() ? 0 : k_.front().cols(); }
 
  private:
   tn::Index max_seq_;

@@ -405,5 +405,101 @@ TEST(Campaign, RejectsEmptyInputs) {
       std::invalid_argument);
 }
 
+// --- prefix-fork fast path (DESIGN.md §9) -------------------------------
+// The contract: CampaignResult is bit-identical with the fork enabled vs
+// disabled — the fork only skips passes whose outputs the baseline
+// already produced. prefix_skipped_passes is the one field allowed to
+// differ (a runtime diagnostic, like total_runtime_sec).
+
+TEST(CampaignPrefixFork, ForkMatchesFullRecomputeAcrossFaultsAndThreads) {
+  auto& f = fixture();
+  model::InferenceModel engine(f.weights, {});
+  const auto& spec = eval::workload(data::TaskKind::QA);
+  const auto& eval_set = f.tasks.at(data::TaskKind::QA).eval;
+  for (auto fault : {core::FaultModel::Comp1Bit, core::FaultModel::Comp2Bit,
+                     core::FaultModel::Mem2Bit}) {
+    auto cfg = small_campaign(fault);
+    cfg.keep_trial_records = true;
+    cfg.threads = 1;
+    cfg.prefix_fork = false;
+    const auto reference = eval::run_campaign_on(engine, f.world.vocab(),
+                                                 eval_set, spec, cfg);
+    EXPECT_EQ(reference.prefix_skipped_passes, 0);
+    cfg.prefix_fork = true;
+    for (int threads : {1, 2, 4}) {
+      cfg.threads = threads;
+      const auto forked = eval::run_campaign_on(engine, f.world.vocab(),
+                                                eval_set, spec, cfg);
+      SCOPED_TRACE("fault=" + std::string(core::fault_model_name(fault)) +
+                   " threads=" + std::to_string(threads));
+      expect_identical_results(reference, forked);
+      if (core::is_memory_fault(fault)) {
+        // Persistent faults corrupt pass 0 onward: nothing to skip.
+        EXPECT_EQ(forked.prefix_skipped_passes, 0);
+      } else {
+        // Trials with pass_index >= 1 exist in this campaign, so the
+        // fast path must actually have skipped work.
+        EXPECT_GT(forked.prefix_skipped_passes, 0);
+      }
+    }
+  }
+}
+
+TEST(CampaignPrefixFork, BeamSearchFallsBackToFullRecompute) {
+  auto& f = fixture();
+  model::InferenceModel engine(f.weights, {});
+  const auto& spec = eval::workload(data::TaskKind::QA);
+  const auto& eval_set = f.tasks.at(data::TaskKind::QA).eval;
+  auto cfg = small_campaign(core::FaultModel::Comp1Bit);
+  cfg.keep_trial_records = true;
+  cfg.run.gen.num_beams = 2;
+  cfg.prefix_fork = false;
+  const auto reference = eval::run_campaign_on(engine, f.world.vocab(),
+                                               eval_set, spec, cfg);
+  cfg.prefix_fork = true;
+  const auto forked = eval::run_campaign_on(engine, f.world.vocab(),
+                                            eval_set, spec, cfg);
+  expect_identical_results(reference, forked);
+  // Beams diverge from the greedy baseline trajectory: no snapshots are
+  // built and no passes are skipped.
+  EXPECT_EQ(forked.prefix_skipped_passes, 0);
+}
+
+TEST(CampaignPrefixFork, McOptionScoringForksAndMatches) {
+  auto& f = fixture();
+  model::InferenceModel engine(f.weights, {});
+  const auto& spec = eval::workload(data::TaskKind::McFact);
+  const auto& eval_set = f.tasks.at(data::TaskKind::McFact).eval;
+  auto cfg = small_campaign(core::FaultModel::Comp2Bit);
+  cfg.keep_trial_records = true;
+  cfg.prefix_fork = false;
+  const auto reference = eval::run_campaign_on(engine, f.world.vocab(),
+                                               eval_set, spec, cfg);
+  cfg.prefix_fork = true;
+  for (int threads : {1, 4}) {
+    cfg.threads = threads;
+    const auto forked = eval::run_campaign_on(engine, f.world.vocab(),
+                                              eval_set, spec, cfg);
+    SCOPED_TRACE("threads=" + std::to_string(threads));
+    expect_identical_results(reference, forked);
+    EXPECT_GT(forked.prefix_skipped_passes, 0);
+  }
+}
+
+TEST(CampaignPrefixFork, DetectionDisablesFork) {
+  auto& f = fixture();
+  model::InferenceModel engine(f.weights, {});
+  const auto& spec = eval::workload(data::TaskKind::QA);
+  const auto& eval_set = f.tasks.at(data::TaskKind::QA).eval;
+  auto cfg = small_campaign(core::FaultModel::Comp1Bit);
+  cfg.detection.range = true;
+  cfg.detection.checksum = true;
+  cfg.prefix_fork = true;
+  const auto r = eval::run_campaign_on(engine, f.world.vocab(), eval_set,
+                                       spec, cfg);
+  // Per-pass detector baselines must execute: nothing may be skipped.
+  EXPECT_EQ(r.prefix_skipped_passes, 0);
+}
+
 }  // namespace
 }  // namespace llmfi

@@ -1,0 +1,317 @@
+// Prefix-fork primitives (DESIGN.md §9): KvCache::fork_from semantics,
+// PrefixSnapshot capture on baseline runs, and the exactness of resumed
+// transient-fault trials — a run forked at the injection pass must be
+// bit-identical to the same run recomputed from pass 0.
+
+#include <gtest/gtest.h>
+
+#include "core/injector.h"
+#include "gen/generate.h"
+#include "model/transformer.h"
+#include "nn/kv_cache.h"
+
+namespace llmfi {
+namespace {
+
+model::ModelConfig tiny_config() {
+  model::ModelConfig cfg;
+  cfg.vocab_size = 24;
+  cfg.d_model = 16;
+  cfg.n_layers = 2;
+  cfg.n_heads = 2;
+  cfg.d_ff = 24;
+  cfg.max_seq = 48;
+  cfg.seed = 55;
+  return cfg;
+}
+
+model::InferenceModel make_engine() {
+  return model::InferenceModel(model::ModelWeights::init(tiny_config()), {});
+}
+
+std::vector<tok::TokenId> tokens(std::initializer_list<int> ids) {
+  std::vector<tok::TokenId> out;
+  for (int i : ids) out.push_back(static_cast<tok::TokenId>(i));
+  return out;
+}
+
+// Fills pass rows with a recognizable value: block*1000 + row*10 + col.
+tn::Tensor marked_rows(tn::Index rows, tn::Index cols, int block,
+                       tn::Index first_row) {
+  tn::Tensor t({rows, cols});
+  for (tn::Index r = 0; r < rows; ++r) {
+    for (tn::Index c = 0; c < cols; ++c) {
+      t.at(r, c) = static_cast<float>(block * 1000 +
+                                      (first_row + r) * 10 + c);
+    }
+  }
+  return t;
+}
+
+nn::KvCache marked_cache(int n_blocks, tn::Index max_seq, tn::Index d,
+                         tn::Index filled) {
+  nn::KvCache cache(n_blocks, max_seq, d);
+  for (int b = 0; b < n_blocks; ++b) {
+    cache.append(b, marked_rows(filled, d, b, 0),
+                 marked_rows(filled, d, b + 7, 0));
+  }
+  cache.advance(filled);
+  return cache;
+}
+
+TEST(KvCacheForkFrom, CopiesExactlyThePrefixRows) {
+  const auto src = marked_cache(/*n_blocks=*/2, /*max_seq=*/8, /*d=*/4,
+                                /*filled=*/6);
+  nn::KvCache dst(2, 8, 4);
+  ASSERT_TRUE(dst.fork_compatible(src));
+  dst.fork_from(src, 3);
+  EXPECT_EQ(dst.length(), 3);
+  for (int b = 0; b < 2; ++b) {
+    for (tn::Index r = 0; r < 3; ++r) {
+      for (tn::Index c = 0; c < 4; ++c) {
+        EXPECT_EQ(dst.keys(b).at(r, c), src.keys(b).at(r, c));
+        EXPECT_EQ(dst.values(b).at(r, c), src.values(b).at(r, c));
+      }
+    }
+  }
+}
+
+TEST(KvCacheForkFrom, WholeLengthAndZeroPrefixAreValid) {
+  const auto src = marked_cache(1, 8, 4, 5);
+  nn::KvCache dst(1, 8, 4);
+  dst.fork_from(src, 5);
+  EXPECT_EQ(dst.length(), 5);
+  dst.fork_from(src, 0);
+  EXPECT_EQ(dst.length(), 0);
+}
+
+TEST(KvCacheForkFrom, ValidatesPrefixLength) {
+  const auto src = marked_cache(1, 8, 4, 5);
+  nn::KvCache dst(1, 8, 4);
+  EXPECT_THROW(dst.fork_from(src, 6), std::invalid_argument);  // > length
+  EXPECT_THROW(dst.fork_from(src, -1), std::invalid_argument);
+}
+
+// Satellite: shape drift between snapshot and engine must be refused,
+// not silently produce a shape-valid-but-wrong cache.
+TEST(KvCacheForkFrom, RefusesShapeMismatch) {
+  const auto src = marked_cache(2, 8, 4, 5);
+  nn::KvCache wrong_blocks(3, 8, 4);
+  nn::KvCache wrong_seq(2, 16, 4);
+  nn::KvCache wrong_d(2, 8, 8);
+  EXPECT_FALSE(wrong_blocks.fork_compatible(src));
+  EXPECT_FALSE(wrong_seq.fork_compatible(src));
+  EXPECT_FALSE(wrong_d.fork_compatible(src));
+  EXPECT_THROW(wrong_blocks.fork_from(src, 2), std::invalid_argument);
+  EXPECT_THROW(wrong_seq.fork_from(src, 2), std::invalid_argument);
+  EXPECT_THROW(wrong_d.fork_from(src, 2), std::invalid_argument);
+}
+
+TEST(KvCacheForkFrom, AppendAfterForkContinuesFromPrefix) {
+  const auto src = marked_cache(1, 8, 4, 6);
+  nn::KvCache dst(1, 8, 4);
+  dst.fork_from(src, 2);
+  dst.append(0, marked_rows(1, 4, 99, 2), marked_rows(1, 4, 99, 2));
+  dst.advance(1);
+  EXPECT_EQ(dst.length(), 3);
+  // Prefix intact, appended row landed at position 2.
+  EXPECT_EQ(dst.keys(0).at(1, 0), src.keys(0).at(1, 0));
+  EXPECT_EQ(dst.keys(0).at(2, 1), marked_rows(1, 4, 99, 2).at(0, 1));
+}
+
+gen::GenerationConfig long_greedy() {
+  gen::GenerationConfig cfg;
+  cfg.max_new_tokens = 10;
+  cfg.eos = 1000;  // unreachable: force a multi-pass generation
+  return cfg;
+}
+
+TEST(GeneratePrefixFork, CaptureRecordsTheBaselineTrajectory) {
+  auto m = make_engine();
+  const auto prompt = tokens({1, 4, 7});
+  gen::PrefixSnapshot snap;
+  auto cfg = long_greedy();
+  cfg.capture = &snap;
+  const auto base = gen::generate(m, prompt, cfg);
+  ASSERT_TRUE(snap.valid);
+  EXPECT_EQ(snap.prompt, tokens({1, 4, 7}));
+  EXPECT_EQ(snap.tokens, base.tokens);
+  EXPECT_EQ(snap.passes, base.passes);
+  EXPECT_FALSE(snap.nonfinite_logits);
+  // One entry per executed pass; prefill enters with an empty cache and
+  // pass t with prompt + t - 1 rows.
+  ASSERT_EQ(static_cast<int>(snap.cache_len_before_pass.size()),
+            base.passes);
+  EXPECT_EQ(snap.cache_len_before_pass.front(), 0);
+  for (int t = 1; t < base.passes; ++t) {
+    EXPECT_EQ(snap.cache_len_before_pass[static_cast<size_t>(t)],
+              static_cast<tn::Index>(prompt.size()) + t - 1);
+  }
+  ASSERT_TRUE(snap.cache.has_value());
+  EXPECT_EQ(snap.cache->length(),
+            static_cast<tn::Index>(prompt.size()) + base.passes - 1);
+}
+
+// The tentpole exactness property: for every possible injection pass t,
+// a trial resumed from the baseline snapshot at pass t is bit-identical
+// to the same trial recomputed from pass 0 — same tokens, same pass
+// accounting, same diagnostics.
+TEST(GeneratePrefixFork, ResumedTransientTrialMatchesFullRecompute) {
+  auto m = make_engine();
+  const auto prompt = tokens({1, 4, 7});
+  gen::PrefixSnapshot snap;
+  auto cfg = long_greedy();
+  cfg.capture = &snap;
+  const auto base = gen::generate(m, prompt, cfg);
+  ASSERT_TRUE(snap.valid);
+  ASSERT_GE(base.passes, 8);  // the multi-pass shape the fork targets
+
+  cfg.capture = nullptr;
+  for (int t = 1; t < base.passes; ++t) {
+    core::FaultPlan plan;
+    plan.model = core::FaultModel::Comp1Bit;
+    plan.layer = m.linear_layers()[0].id;
+    plan.pass_index = t;
+    plan.row_frac = 0.5;
+    plan.out_col = 3;
+    plan.bits = {30};
+
+    gen::GenerationResult full, resumed;
+    {
+      core::ComputationalFaultInjector injector(plan, num::DType::F32);
+      core::LinearHookGuard guard(m, &injector);
+      full = gen::generate(m, prompt, cfg);
+    }
+    {
+      core::ComputationalFaultInjector injector(plan, num::DType::F32);
+      core::LinearHookGuard guard(m, &injector);
+      auto rcfg = cfg;
+      rcfg.resume = &snap;
+      rcfg.start_pass = t;
+      resumed = gen::generate(m, prompt, rcfg);
+    }
+    SCOPED_TRACE("injection pass " + std::to_string(t));
+    EXPECT_EQ(resumed.tokens, full.tokens);
+    EXPECT_EQ(resumed.passes, full.passes);
+    EXPECT_EQ(resumed.hit_max_tokens, full.hit_max_tokens);
+    EXPECT_EQ(resumed.nonfinite_logits, full.nonfinite_logits);
+    EXPECT_EQ(resumed.skipped_passes, t);
+    EXPECT_EQ(full.skipped_passes, 0);
+  }
+}
+
+TEST(GeneratePrefixFork, ShapeDriftFallsBackToFullRecompute) {
+  auto m = make_engine();
+  const auto prompt = tokens({1, 4, 7});
+  auto cfg = long_greedy();
+
+  // Snapshot captured on a differently-shaped engine: same vocab, more
+  // layers — fork_compatible is false, so resume must recompute.
+  auto drifted_cfg = tiny_config();
+  drifted_cfg.n_layers = 3;
+  model::InferenceModel other(model::ModelWeights::init(drifted_cfg), {});
+  gen::PrefixSnapshot foreign;
+  auto capture_cfg = cfg;
+  capture_cfg.capture = &foreign;
+  (void)gen::generate(other, prompt, capture_cfg);
+  ASSERT_TRUE(foreign.valid);
+
+  const auto want = gen::generate(m, prompt, cfg);
+  auto rcfg = cfg;
+  rcfg.resume = &foreign;
+  rcfg.start_pass = 2;
+  const auto got = gen::generate(m, prompt, rcfg);
+  EXPECT_EQ(got.tokens, want.tokens);
+  EXPECT_EQ(got.passes, want.passes);
+  EXPECT_EQ(got.skipped_passes, 0);
+}
+
+TEST(GeneratePrefixFork, PromptMismatchAndInvalidSnapshotFallBack) {
+  auto m = make_engine();
+  auto cfg = long_greedy();
+  gen::PrefixSnapshot snap;
+  auto capture_cfg = cfg;
+  capture_cfg.capture = &snap;
+  (void)gen::generate(m, tokens({1, 4, 7}), capture_cfg);
+  ASSERT_TRUE(snap.valid);
+
+  const auto other_prompt = tokens({2, 5});
+  const auto want = gen::generate(m, other_prompt, cfg);
+  auto rcfg = cfg;
+  rcfg.resume = &snap;
+  rcfg.start_pass = 2;
+  const auto got = gen::generate(m, other_prompt, rcfg);
+  EXPECT_EQ(got.tokens, want.tokens);
+  EXPECT_EQ(got.skipped_passes, 0);
+
+  gen::PrefixSnapshot never_captured;
+  rcfg.resume = &never_captured;
+  const auto got2 = gen::generate(m, other_prompt, rcfg);
+  EXPECT_EQ(got2.tokens, want.tokens);
+  EXPECT_EQ(got2.skipped_passes, 0);
+}
+
+TEST(GeneratePrefixFork, BeamSearchIgnoresResume) {
+  auto m = make_engine();
+  const auto prompt = tokens({1, 4, 7});
+  gen::PrefixSnapshot snap;
+  auto capture_cfg = long_greedy();
+  capture_cfg.capture = &snap;
+  (void)gen::generate(m, prompt, capture_cfg);
+  ASSERT_TRUE(snap.valid);
+
+  auto cfg = long_greedy();
+  cfg.num_beams = 2;
+  const auto want = gen::generate(m, prompt, cfg);
+  auto rcfg = cfg;
+  rcfg.resume = &snap;
+  rcfg.start_pass = 2;
+  const auto got = gen::generate(m, prompt, rcfg);
+  EXPECT_EQ(got.tokens, want.tokens);
+  EXPECT_EQ(got.passes, want.passes);
+  EXPECT_EQ(got.skipped_passes, 0);
+}
+
+TEST(ScoreOptionsPrefixFork, ResumeMatchesFullRecompute) {
+  auto m = make_engine();
+  const auto prompt = tokens({1, 4, 7});
+  const std::vector<std::vector<tok::TokenId>> options = {
+      tokens({3}), tokens({5, 6}), tokens({8}), tokens({9, 2})};
+
+  gen::PrefixSnapshot snap;
+  const auto base = gen::score_options(m, prompt, options, nullptr, 0, &snap);
+  ASSERT_TRUE(snap.valid);
+  EXPECT_EQ(snap.option_scores, base.scores);
+  EXPECT_EQ(snap.passes, static_cast<int>(options.size()));
+
+  for (int t = 1; t < static_cast<int>(options.size()); ++t) {
+    core::FaultPlan plan;
+    plan.model = core::FaultModel::Comp1Bit;
+    plan.layer = m.linear_layers()[0].id;
+    plan.pass_index = t;
+    plan.row_frac = 0.25;
+    plan.out_col = 2;
+    plan.bits = {30};
+
+    gen::McResult full, resumed;
+    {
+      core::ComputationalFaultInjector injector(plan, num::DType::F32);
+      core::LinearHookGuard guard(m, &injector);
+      full = gen::score_options(m, prompt, options);
+    }
+    {
+      core::ComputationalFaultInjector injector(plan, num::DType::F32);
+      core::LinearHookGuard guard(m, &injector);
+      resumed = gen::score_options(m, prompt, options, nullptr, 0, nullptr,
+                                   &snap, t);
+    }
+    SCOPED_TRACE("injection pass " + std::to_string(t));
+    EXPECT_EQ(resumed.chosen, full.chosen);
+    EXPECT_EQ(resumed.scores, full.scores);
+    EXPECT_EQ(resumed.passes, full.passes);
+    EXPECT_EQ(resumed.skipped_passes, t);
+  }
+}
+
+}  // namespace
+}  // namespace llmfi

@@ -37,6 +37,7 @@ struct CliArgs {
   std::string detector = "none";  // none | range | checksum | stack
   bool recovery = false;
   int retries = 2;
+  bool prefix_fork = true;
   bool csv = false;
   bool router_only = false;
   bool direct = false;
@@ -62,6 +63,11 @@ void print_usage() {
       "  --recovery       recover on detection (recompute-the-pass for comp\n"
       "                   faults, weight-rescreen-and-restore for mem faults)\n"
       "  --retries N      recompute budget per detection (default 2)\n"
+      "  --no-prefix-fork disable the baseline-prefix KV fork fast path\n"
+      "                   (transient greedy trials resume at the sampled\n"
+      "                   injection pass by default; results are\n"
+      "                   bit-identical either way — LLMFI_PREFIX_FORK=0\n"
+      "                   is the env equivalent)\n"
       "  --router-only    restrict faults to MoE gate layers\n"
       "  --direct         math task without chain-of-thought\n"
       "  --csv            CSV output\n"
@@ -111,6 +117,8 @@ bool parse_args(int argc, char** argv, CliArgs& args) {
       args.detector = v;
     } else if (a == "--recovery") {
       args.recovery = true;
+    } else if (a == "--no-prefix-fork") {
+      args.prefix_fork = false;
     } else if (a == "--retries" && (v = need_value(i))) {
       args.retries = std::atoi(v);
     } else {
@@ -176,6 +184,7 @@ int main(int argc, char** argv) {
         args.detector == "checksum" || args.detector == "stack";
     cfg.detection.recover = args.recovery;
     cfg.detection.max_retries = args.retries;
+    cfg.prefix_fork = args.prefix_fork;
     if (args.router_only) {
       cfg.layer_filter = [](const nn::LinearId& id) {
         return id.kind == nn::LayerKind::Router;
