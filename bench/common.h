@@ -16,6 +16,13 @@
 //                   anything else enables it). Results are bit-identical
 //                   either way; fig_campaign_throughput unsets it to
 //                   keep its own A/B comparison honest.
+// LLMFI_BATCH     — overrides CampaignConfig::batch when set to an
+//                   integer >= 1: trials route through the
+//                   continuous-batching serve scheduler, up to that many
+//                   decoding per forward pass (DESIGN.md §10). Results
+//                   are bit-identical for any value; ineligible
+//                   campaigns fall back to the sequential loop.
+//                   fig_serve_throughput unsets it for its own A/B.
 // Models come from the shared zoo cache ($LLMFI_MODEL_CACHE or
 // ./model_cache); missing checkpoints are trained on demand.
 

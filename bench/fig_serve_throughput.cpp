@@ -1,0 +1,144 @@
+// Serve throughput: end-to-end trials/s of the batched campaign driver
+// (DESIGN.md §10) against the sequential trial loop on the same
+// transient greedy campaign — batch 1 (fork off and on) vs batch 2/4/8
+// through the continuous-batching scheduler. Outcome counts are
+// cross-checked across every arm: batching and forking only reschedule
+// work whose outputs are already determined, so all arms must agree
+// bit-for-bit. Machine-readable copy goes to bench_logs/BENCH_serve.json.
+
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <vector>
+
+#include "common.h"
+
+using namespace llmfi;
+
+namespace {
+
+struct Arm {
+  std::string name;
+  int batch = 1;
+  bool prefix_fork = true;
+  eval::CampaignResult result;
+};
+
+}  // namespace
+
+int main() {
+  // Each arm sets cfg.batch / cfg.prefix_fork directly; inherited env
+  // overrides would silently force every arm onto one path.
+  unsetenv("LLMFI_PREFIX_FORK");
+  unsetenv("LLMFI_BATCH");
+
+  auto& zoo = benchutil::shared_zoo();
+  // Math-with-CoT runs the most passes per trial, the regime where both
+  // the prefix fork and batched decode have work to save.
+  const auto kind = data::TaskKind::MathGsm;
+  const auto& spec = eval::workload(kind);
+  const auto& eval_set = zoo.task(kind).eval;
+  const auto& vocab = zoo.vocab();
+  model::InferenceModel engine(zoo.get("qilin"),
+                               benchutil::default_precision());
+
+  auto cfg = benchutil::default_campaign(core::FaultModel::Comp1Bit,
+                                         /*default_trials=*/200,
+                                         /*default_inputs=*/8);
+
+  std::vector<Arm> arms = {
+      {"seq fork-off", 1, false, {}},
+      {"seq fork-on", 1, true, {}},
+      {"batch 2", 2, true, {}},
+      {"batch 4", 4, true, {}},
+      {"batch 8", 8, true, {}},
+  };
+  for (auto& arm : arms) {
+    cfg.batch = arm.batch;
+    cfg.prefix_fork = arm.prefix_fork;
+    arm.result = eval::run_campaign_on(engine, vocab, eval_set, spec, cfg);
+  }
+
+  // Identity gate: every arm must reproduce the sequential fork-off
+  // outcomes exactly (the determinism contract of DESIGN.md §§9-10).
+  const auto& ref = arms.front().result;
+  const std::string& metric = spec.metrics.front().name;
+  bool identical = true;
+  for (const auto& arm : arms) {
+    const auto& r = arm.result;
+    identical = identical && r.masked == ref.masked &&
+                r.sdc_subtle == ref.sdc_subtle &&
+                r.sdc_distorted == ref.sdc_distorted &&
+                r.faulty_hits == ref.faulty_hits &&
+                r.faulty_passes == ref.faulty_passes &&
+                r.faulty_mean(metric) == ref.faulty_mean(metric);
+  }
+
+  const double trials_s_ref = cfg.trials / ref.total_runtime_sec;
+  const double passes_per_trial =
+      static_cast<double>(ref.faulty_passes) / cfg.trials;
+
+  report::Table t("serve throughput: qilin / " + spec.dataset +
+                  " / 1bit-comp / " + std::to_string(cfg.trials) +
+                  " trials");
+  t.header({"arm", "trials/s", "speedup", "tok/s effective",
+            "tok/s executed", "skipped passes"});
+  for (const auto& arm : arms) {
+    const auto& r = arm.result;
+    const double trials_s = cfg.trials / r.total_runtime_sec;
+    // Effective throughput counts skipped passes as served (the campaign
+    // got their tokens for free); executed counts only real forwards.
+    const double tok_eff =
+        static_cast<double>(r.faulty_passes) / r.total_runtime_sec;
+    const double tok_exec =
+        static_cast<double>(r.faulty_passes - r.prefix_skipped_passes) /
+        r.total_runtime_sec;
+    t.row({arm.name, report::fmt(trials_s),
+           report::fmt(trials_s / trials_s_ref), report::fmt(tok_eff),
+           report::fmt(tok_exec),
+           std::to_string(r.prefix_skipped_passes) + "/" +
+               std::to_string(r.faulty_passes)});
+  }
+  t.row({"passes/trial", report::fmt(passes_per_trial), "", "", "", ""});
+  t.row({"outcomes identical", benchutil::check(identical), "", "", "", ""});
+  t.print(std::cout);
+  std::printf("expected shape: batch >= 4 reaches >= 1.5x trials/s over "
+              "seq fork-off once passes/trial >= 8; outcomes identical "
+              "must be yes.\n");
+
+  std::filesystem::create_directories("bench_logs");
+  std::ofstream json("bench_logs/BENCH_serve.json");
+  json << "{\n"
+       << "  \"model\": \"qilin\",\n"
+       << "  \"dataset\": \"" << spec.dataset << "\",\n"
+       << "  \"fault\": \"1bit-comp\",\n"
+       << "  \"trials\": " << cfg.trials << ",\n"
+       << "  \"inputs\": " << cfg.n_inputs << ",\n"
+       << "  \"threads\": " << cfg.threads << ",\n"
+       << "  \"passes_per_trial\": " << passes_per_trial << ",\n"
+       << "  \"arms\": [\n";
+  for (size_t i = 0; i < arms.size(); ++i) {
+    const auto& r = arms[i].result;
+    const double trials_s = cfg.trials / r.total_runtime_sec;
+    json << "    {\"name\": \"" << arms[i].name << "\", "
+         << "\"batch\": " << arms[i].batch << ", "
+         << "\"prefix_fork\": " << (arms[i].prefix_fork ? "true" : "false")
+         << ", "
+         << "\"trials_per_s\": " << trials_s << ", "
+         << "\"speedup\": " << trials_s / trials_s_ref << ", "
+         << "\"tok_per_s_effective\": "
+         << static_cast<double>(r.faulty_passes) / r.total_runtime_sec
+         << ", "
+         << "\"tok_per_s_executed\": "
+         << static_cast<double>(r.faulty_passes - r.prefix_skipped_passes) /
+                r.total_runtime_sec
+         << ", "
+         << "\"prefix_skipped_passes\": " << r.prefix_skipped_passes << ", "
+         << "\"faulty_passes\": " << r.faulty_passes << "}"
+         << (i + 1 < arms.size() ? "," : "") << "\n";
+  }
+  json << "  ],\n"
+       << "  \"outcomes_identical\": " << (identical ? "true" : "false")
+       << "\n}\n";
+  return identical ? 0 : 1;
+}

@@ -10,12 +10,27 @@ if [ "${LLMFI_NATIVE:-0}" = "1" ]; then
 fi
 export LLMFI_TRIALS=400 LLMFI_INPUTS=12
 mkdir -p bench_logs
+failed=()
+ran=0
 for b in build/bench/*; do
   [ -x "$b" ] && [ -f "$b" ] || continue
   name=$(basename "$b")
   case "$name" in *.cmake|CMakeFiles|CTestTestfile*) continue;; esac
   echo "=== $name ==="
   timeout 1800 "$b" > "bench_logs/$name.txt" 2>&1
-  echo "exit=$? $(date +%T)"
+  code=$?
+  ran=$((ran + 1))
+  echo "exit=$code $(date +%T)"
+  if [ "$code" -ne 0 ]; then
+    failed+=("$name (exit $code)")
+  fi
 done
-echo ALL_DONE
+# Benches use their exit code as a self-check (identity cross-checks,
+# expected-shape gates); surface any failure instead of burying it in
+# the per-bench logs.
+if [ "${#failed[@]}" -gt 0 ]; then
+  echo "FAILED (${#failed[@]}/$ran):"
+  printf '  %s\n' "${failed[@]}"
+  exit 1
+fi
+echo "ALL_DONE ($ran benches)"

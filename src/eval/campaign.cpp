@@ -4,14 +4,18 @@
 #include <atomic>
 #include <chrono>
 #include <cmath>
+#include <cstdio>
 #include <cstdlib>
 #include <exception>
+#include <memory>
 #include <mutex>
 #include <optional>
+#include <set>
 #include <string_view>
 #include <thread>
 
 #include "core/injector.h"
+#include "serve/scheduler.h"
 
 namespace llmfi::eval {
 
@@ -48,6 +52,59 @@ struct DetectorBundle {
 
   core::DetectorStack* hook() { return &*stack; }
 };
+
+// A campaign config the batch rows cannot express exactly falls back to
+// the sequential trial loop — a correctness-preserving downgrade worth
+// one loud line per process, like gen's prefix-fork fallback warning.
+std::atomic<bool> g_batch_fallback_warned{false};
+
+void warn_batch_fallback(const char* why) {
+  if (!g_batch_fallback_warned.exchange(true)) {
+    std::fprintf(stderr,
+                 "llmfi: batched campaign mode unavailable (%s); "
+                 "falling back to the sequential trial loop\n",
+                 why);
+  }
+}
+
+// Classification + bookkeeping tail shared by the sequential run_trial
+// and the batched serve driver: compares the faulty run against its
+// baseline and fills every TrialOutcome field except plan/example_index.
+void finish_outcome(TrialOutcome& out, ExampleResult faulty,
+                    const ExampleResult& base, const WorkloadSpec& spec,
+                    bool detect_recover) {
+  const bool discrete = spec.style == data::TaskStyle::MultipleChoice ||
+                        spec.kind == data::TaskKind::MathGsm;
+  // baseline_empty considers generated tokens only: multiple-choice
+  // runs never generate tokens, so an empty faulty token stream is
+  // normal there, not a distortion symptom.
+  const auto signals = core::analyze_distortion(
+      faulty.tokens, faulty.nonfinite_logits, faulty.hit_max_tokens,
+      /*baseline_ended=*/!base.hit_max_tokens,
+      /*baseline_empty=*/base.tokens.empty());
+  out.outcome = discrete
+                    ? core::classify_direct(faulty.correct, signals)
+                    : core::classify_generative(faulty.output, base.output,
+                                                signals);
+  // Detected trials under a recovery policy get their own outcome
+  // classes: the run either converged back to the fault-free output or
+  // it did not. Detect-only campaigns keep the base taxonomy so their
+  // SDC counts stay comparable with undetected runs.
+  if (detect_recover && faulty.detections > 0) {
+    out.outcome = (faulty.output == base.output)
+                      ? core::OutcomeClass::DetectedRecovered
+                      : core::OutcomeClass::DetectedUnrecovered;
+  }
+  out.detections = faulty.detections;
+  out.recovery_passes = faulty.recovery_passes;
+  out.passes = faulty.passes;
+  out.skipped_passes = faulty.skipped_passes;
+  out.unrecovered = faulty.unrecovered_detection;
+  out.correct = faulty.correct;
+  out.output_matches_baseline = (faulty.output == base.output);
+  out.metrics = std::move(faulty.metrics);
+  out.output = std::move(faulty.output);
+}
 
 }  // namespace
 
@@ -108,8 +165,6 @@ TrialOutcome run_trial(model::InferenceModel& engine, const tok::Vocab& vocab,
   const int ei = trial % n_inputs;
   const auto& ex = eval_set[static_cast<size_t>(ei)];
   const auto& base = baselines[static_cast<size_t>(ei)];
-  const bool discrete = spec.style == data::TaskStyle::MultipleChoice ||
-                        spec.kind == data::TaskKind::MathGsm;
 
   num::Rng rng = campaign_rng.fork(static_cast<std::uint64_t>(trial));
   core::SamplerScope scope;
@@ -189,35 +244,8 @@ TrialOutcome run_trial(model::InferenceModel& engine, const tok::Vocab& vocab,
     faulty = run_example(engine, vocab, spec, ex, run);
   }
 
-  // baseline_empty considers generated tokens only: multiple-choice
-  // runs never generate tokens, so an empty faulty token stream is
-  // normal there, not a distortion symptom.
-  const auto signals = core::analyze_distortion(
-      faulty.tokens, faulty.nonfinite_logits, faulty.hit_max_tokens,
-      /*baseline_ended=*/!base.hit_max_tokens,
-      /*baseline_empty=*/base.tokens.empty());
-  out.outcome = discrete
-                    ? core::classify_direct(faulty.correct, signals)
-                    : core::classify_generative(faulty.output, base.output,
-                                                signals);
-  // Detected trials under a recovery policy get their own outcome
-  // classes: the run either converged back to the fault-free output or
-  // it did not. Detect-only campaigns keep the base taxonomy so their
-  // SDC counts stay comparable with undetected runs.
-  if (use_detect && cfg.detection.recover && faulty.detections > 0) {
-    out.outcome = (faulty.output == base.output)
-                      ? core::OutcomeClass::DetectedRecovered
-                      : core::OutcomeClass::DetectedUnrecovered;
-  }
-  out.detections = faulty.detections;
-  out.recovery_passes = faulty.recovery_passes;
-  out.passes = faulty.passes;
-  out.skipped_passes = faulty.skipped_passes;
-  out.unrecovered = faulty.unrecovered_detection;
-  out.correct = faulty.correct;
-  out.output_matches_baseline = (faulty.output == base.output);
-  out.metrics = std::move(faulty.metrics);
-  out.output = std::move(faulty.output);
+  finish_outcome(out, std::move(faulty), base, spec,
+                 /*detect_recover=*/use_detect && cfg.detection.recover);
   return out;
 }
 
@@ -263,6 +291,145 @@ void run_trials_parallel(model::InferenceModel& engine,
         }
         return;
       }
+    }
+  };
+
+  std::vector<std::thread> pool;
+  pool.reserve(replicas.size());
+  for (auto& replica : replicas) {
+    pool.emplace_back([&worker, &replica] { worker(replica); });
+  }
+  worker(engine);
+  for (auto& t : pool) t.join();
+  if (first_error) std::rethrow_exception(first_error);
+}
+
+// One in-flight batched trial: the injector (this request's row hook)
+// must outlive the request's completion, so it travels with the request
+// callbacks in a shared context instead of a stack-scoped guard.
+struct BatchTrialCtx {
+  int trial = 0;
+  int ei = 0;
+  TrialOutcome out;
+  std::optional<core::ComputationalFaultInjector> injector;
+};
+
+// Batched trial execution (DESIGN.md §10): same contract and worker
+// topology as run_trials_parallel, but each worker drives a
+// continuous-batching scheduler over its private engine replica instead
+// of a scalar trial loop — up to `batch` trials share every decode
+// forward pass. The atomic counter streams trials into whichever
+// worker's scheduler has a free slot; each outcome still lands at its
+// trial index and every trial's tokens are bit-identical to a
+// sequential run (forward_batch's per-row contract), so the reduction
+// is byte-identical to every other execution mode. Only reachable for
+// transient-compute, detector-free, greedy, generative campaigns — the
+// caller's eligibility gate falls back to sequential otherwise.
+void run_trials_batched(model::InferenceModel& engine,
+                        const tok::Vocab& vocab,
+                        const std::vector<data::Example>& eval_set,
+                        const std::vector<ExampleResult>& baselines,
+                        const WorkloadSpec& spec, const CampaignConfig& cfg,
+                        const num::Rng& campaign_rng, int n_threads,
+                        int batch,
+                        const std::vector<gen::PrefixSnapshot>* snapshots,
+                        std::vector<TrialOutcome>& outcomes) {
+  const int n_inputs = static_cast<int>(baselines.size());
+  // Prompts are per-input, not per-trial — encode them once up front.
+  std::vector<std::vector<tok::TokenId>> prompts;
+  prompts.reserve(baselines.size());
+  for (int i = 0; i < n_inputs; ++i) {
+    prompts.push_back(build_prompt(vocab, eval_set[static_cast<size_t>(i)],
+                                   cfg.run.direct_prompt));
+  }
+
+  std::vector<model::InferenceModel> replicas;
+  replicas.reserve(static_cast<size_t>(n_threads - 1));
+  for (int w = 1; w < n_threads; ++w) replicas.push_back(engine.clone());
+
+  std::atomic<int> next_trial{0};
+  std::mutex error_mutex;
+  std::exception_ptr first_error;
+  int first_error_trial = cfg.trials;
+  const auto record_error = [&](int trial) {
+    std::lock_guard<std::mutex> lock(error_mutex);
+    if (trial < first_error_trial) {
+      first_error_trial = trial;
+      first_error = std::current_exception();
+    }
+  };
+
+  auto worker = [&](model::InferenceModel& eng) {
+    serve::BatchEngine bengine(eng, batch);
+    serve::Scheduler sched(bengine);
+    // Trials this worker has admitted but not completed. An engine
+    // exception aborts the whole scheduler run, so it is attributed to
+    // the earliest trial it can have poisoned.
+    std::set<int> inflight;
+    bool stop = false;
+
+    auto source = [&]() -> std::optional<serve::Request> {
+      if (stop) return std::nullopt;
+      const int trial = next_trial.fetch_add(1);
+      if (trial >= cfg.trials) return std::nullopt;
+      try {
+        const int ei = trial % n_inputs;
+        const auto& base = baselines[static_cast<size_t>(ei)];
+        num::Rng rng = campaign_rng.fork(static_cast<std::uint64_t>(trial));
+        core::SamplerScope scope;
+        scope.layer_filter = cfg.layer_filter;
+        scope.max_passes = std::max(1, base.passes - cfg.exclude_final_passes);
+
+        auto ctx = std::make_shared<BatchTrialCtx>();
+        ctx->trial = trial;
+        ctx->ei = ei;
+        ctx->out.example_index = ei;
+        ctx->out.plan = core::sample_fault(cfg.fault, eng, scope, rng);
+        ctx->injector.emplace(ctx->out.plan, eng.precision().act_dtype);
+
+        serve::Request req;
+        req.id = static_cast<std::uint64_t>(trial);
+        req.prompt = prompts[static_cast<size_t>(ei)];
+        req.max_new_tokens = cfg.run.gen.max_new_tokens;
+        req.eos = cfg.run.gen.eos;
+        req.hook = &*ctx->injector;
+        // Same fork gating as the sequential path; BatchEngine::admit
+        // revalidates via gen::check_greedy_resume and falls back to a
+        // full prefill on any snapshot drift.
+        if (snapshots != nullptr && ctx->out.plan.pass_index >= 1 &&
+            ei < static_cast<int>(snapshots->size()) &&
+            (*snapshots)[static_cast<size_t>(ei)].valid) {
+          req.resume = &(*snapshots)[static_cast<size_t>(ei)];
+          req.start_pass = ctx->out.plan.pass_index;
+        }
+        inflight.insert(trial);
+        req.on_done = [&, ctx](const serve::Completion& c) {
+          ExampleResult faulty;
+          faulty.tokens = c.tokens;
+          faulty.passes = c.passes;
+          faulty.skipped_passes = c.skipped_passes;
+          faulty.hit_max_tokens = c.hit_max_tokens;
+          faulty.nonfinite_logits = c.nonfinite_logits;
+          score_generative(vocab, spec, eval_set[static_cast<size_t>(ctx->ei)],
+                           faulty);
+          finish_outcome(ctx->out, std::move(faulty),
+                         baselines[static_cast<size_t>(ctx->ei)], spec,
+                         /*detect_recover=*/false);
+          outcomes[static_cast<size_t>(ctx->trial)] = std::move(ctx->out);
+          inflight.erase(ctx->trial);
+        };
+        return req;
+      } catch (...) {
+        record_error(trial);
+        stop = true;
+        return std::nullopt;
+      }
+    };
+
+    try {
+      sched.run(source);
+    } catch (...) {
+      record_error(inflight.empty() ? cfg.trials - 1 : *inflight.begin());
     }
   };
 
@@ -329,6 +496,36 @@ CampaignResult run_campaign_on(model::InferenceModel& engine,
                                !cfg.detection.enabled() &&
                                cfg.run.gen.num_beams == 1;
 
+  // Batched trial execution: LLMFI_BATCH overrides the config when set
+  // to an integer >= 1 (anything else is ignored), then the eligibility
+  // gate mirrors the prefix-fork gating — configs the batch rows cannot
+  // reproduce exactly fall back to the sequential loop with a one-time
+  // warning.
+  int batch = std::max(1, cfg.batch);
+  if (const char* v = std::getenv("LLMFI_BATCH"); v != nullptr && *v != '\0') {
+    char* end = nullptr;
+    const long parsed = std::strtol(v, &end, 10);
+    if (end != v && *end == '\0' && parsed >= 1 && parsed <= 4096) {
+      batch = static_cast<int>(parsed);
+    }
+  }
+  if (batch > 1) {
+    const char* why = nullptr;
+    if (core::is_memory_fault(cfg.fault)) {
+      why = "memory faults corrupt engine-global weights";
+    } else if (cfg.detection.enabled()) {
+      why = "detection needs per-pass recovery control";
+    } else if (cfg.run.gen.num_beams != 1) {
+      why = "beam search decodes a single sequence-group";
+    } else if (spec.style == data::TaskStyle::MultipleChoice) {
+      why = "option scoring has no decode loop to batch";
+    }
+    if (why != nullptr) {
+      warn_batch_fallback(why);
+      batch = 1;
+    }
+  }
+
   // Fault-free baselines, one per input — always serial: they seed the
   // trial loop (pass counts bound the fault sampler's scope). With
   // detection enabled the baselines run under a detect-only stack:
@@ -375,7 +572,10 @@ CampaignResult run_campaign_on(model::InferenceModel& engine,
       build_snapshots ? &snapshots : nullptr;
   std::vector<TrialOutcome> outcomes(static_cast<size_t>(
       std::max(0, cfg.trials)));
-  if (n_threads == 1) {
+  if (batch > 1) {
+    run_trials_batched(engine, vocab, eval_set, baselines, spec, cfg,
+                       campaign_rng, n_threads, batch, snaps, outcomes);
+  } else if (n_threads == 1) {
     for (int trial = 0; trial < cfg.trials; ++trial) {
       outcomes[static_cast<size_t>(trial)] =
           run_trial(engine, vocab, eval_set, baselines, spec, cfg,

@@ -75,6 +75,19 @@ struct CampaignConfig {
   // --no-prefix-fork. Results are bit-identical either way — the fork
   // only skips work whose outputs are already known.
   bool prefix_fork = true;
+  // Batched trial execution (DESIGN.md §10): values > 1 route trials
+  // through one continuous-batching serve::Scheduler per worker, with up
+  // to `batch` trials decoding together per forward_batch pass (fault
+  // arming stays scoped to the owning trial's row via its per-request
+  // hook, and fork-eligible trials join the batch at their injection
+  // pass). Results are bit-identical to batch == 1 for any value.
+  // Campaigns the batch rows cannot express exactly — memory faults
+  // (weight corruption is engine-global), detection-enabled runs, beam
+  // search, and multiple-choice workloads — fall back to the sequential
+  // trial loop with a one-time warning, like the prefix-fork fallbacks.
+  // The env knob LLMFI_BATCH overrides when set to an integer >= 1;
+  // llmfi_cli exposes --batch.
+  int batch = 1;
 };
 
 struct TrialRecord {

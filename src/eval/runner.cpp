@@ -4,6 +4,37 @@
 
 namespace llmfi::eval {
 
+std::vector<tok::TokenId> build_prompt(const tok::Vocab& vocab,
+                                       const data::Example& ex,
+                                       bool direct_prompt) {
+  const std::string& prompt_text =
+      (direct_prompt && !ex.prompt_direct.empty()) ? ex.prompt_direct
+                                                   : ex.prompt;
+  std::vector<tok::TokenId> prompt = {vocab.bos()};
+  const auto body = vocab.encode(prompt_text);
+  prompt.insert(prompt.end(), body.begin(), body.end());
+  return prompt;
+}
+
+void score_generative(const tok::Vocab& vocab, const WorkloadSpec& spec,
+                      const data::Example& ex, ExampleResult& result) {
+  result.output = vocab.decode(result.tokens);
+
+  if (spec.kind == data::TaskKind::MathGsm) {
+    const std::string answer = data::extract_final_answer(result.output);
+    result.correct = !answer.empty() && answer == ex.final_answer;
+    result.metrics["accuracy"] = result.correct ? 1.0 : 0.0;
+    return;
+  }
+
+  for (const auto& metric : spec.metrics) {
+    result.metrics[metric.name] = metric.fn(result.output, ex.reference);
+  }
+  // "Correct" for generative quality tasks = exact reference match; only
+  // used for diagnostics, the campaign aggregates the metric values.
+  result.correct = (result.output == ex.reference);
+}
+
 ExampleResult run_example(model::InferenceModel& m, const tok::Vocab& vocab,
                           const WorkloadSpec& spec, const data::Example& ex,
                           const RunOptions& opt) {
@@ -34,12 +65,7 @@ ExampleResult run_example(model::InferenceModel& m, const tok::Vocab& vocab,
   }
 
   // Generative path.
-  const std::string& prompt_text =
-      (opt.direct_prompt && !ex.prompt_direct.empty()) ? ex.prompt_direct
-                                                       : ex.prompt;
-  std::vector<tok::TokenId> prompt = {vocab.bos()};
-  const auto body = vocab.encode(prompt_text);
-  prompt.insert(prompt.end(), body.begin(), body.end());
+  const auto prompt = build_prompt(vocab, ex, opt.direct_prompt);
 
   gen::GenerationConfig gen_cfg = opt.gen;
   gen_cfg.capture = opt.capture;
@@ -55,21 +81,7 @@ ExampleResult run_example(model::InferenceModel& m, const tok::Vocab& vocab,
   result.recoveries = gr.recoveries;
   result.recovery_passes = gr.recovery_passes;
   result.unrecovered_detection = gr.unrecovered_detection;
-  result.output = vocab.decode(gr.tokens);
-
-  if (spec.kind == data::TaskKind::MathGsm) {
-    const std::string answer = data::extract_final_answer(result.output);
-    result.correct = !answer.empty() && answer == ex.final_answer;
-    result.metrics["accuracy"] = result.correct ? 1.0 : 0.0;
-    return result;
-  }
-
-  for (const auto& metric : spec.metrics) {
-    result.metrics[metric.name] = metric.fn(result.output, ex.reference);
-  }
-  // "Correct" for generative quality tasks = exact reference match; only
-  // used for diagnostics, the campaign aggregates the metric values.
-  result.correct = (result.output == ex.reference);
+  score_generative(vocab, spec, ex, result);
   return result;
 }
 

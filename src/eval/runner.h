@@ -50,4 +50,18 @@ ExampleResult run_example(model::InferenceModel& m, const tok::Vocab& vocab,
                           const WorkloadSpec& spec, const data::Example& ex,
                           const RunOptions& opt);
 
+// The generative-task prompt encoding (BOS + tokenized prompt text,
+// honoring the MathGsm direct-answer variant) — shared by run_example
+// and the batched campaign driver, which builds serve::Requests without
+// going through run_example.
+std::vector<tok::TokenId> build_prompt(const tok::Vocab& vocab,
+                                       const data::Example& ex,
+                                       bool direct_prompt);
+
+// Scores a generative run whose token/pass/diagnostic fields are already
+// filled in `result`: decodes the output text and computes correctness
+// and the workload metrics, exactly as run_example's generative tail.
+void score_generative(const tok::Vocab& vocab, const WorkloadSpec& spec,
+                      const data::Example& ex, ExampleResult& result);
+
 }  // namespace llmfi::eval

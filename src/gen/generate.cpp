@@ -107,12 +107,21 @@ bool same_prompt(std::span<const tok::TokenId> prompt,
 const PrefixSnapshot* usable_greedy_resume(
     std::span<const tok::TokenId> prompt, const GenerationConfig& cfg,
     const nn::KvCache& target_cache) {
-  const PrefixSnapshot* snap = cfg.resume;
-  if (snap == nullptr || cfg.start_pass < 1) return nullptr;
+  if (cfg.resume == nullptr || cfg.start_pass < 1) return nullptr;
   if (cfg.num_beams != 1 || cfg.detector != nullptr) {
     warn_fork_fallback("resume requires greedy decoding without a detector");
     return nullptr;
   }
+  return check_greedy_resume(prompt, cfg.resume, cfg.start_pass, target_cache);
+}
+
+}  // namespace
+
+const PrefixSnapshot* check_greedy_resume(
+    std::span<const tok::TokenId> prompt, const PrefixSnapshot* resume,
+    int start_pass, const nn::KvCache& target_cache) {
+  const PrefixSnapshot* snap = resume;
+  if (snap == nullptr || start_pass < 1) return nullptr;
   if (!snap->valid) {
     warn_fork_fallback("snapshot was never captured");
     return nullptr;
@@ -125,7 +134,7 @@ const PrefixSnapshot* usable_greedy_resume(
     warn_fork_fallback("prompt differs from the captured run");
     return nullptr;
   }
-  const int t = cfg.start_pass;
+  const int t = start_pass;
   if (t >= snap->passes || t > static_cast<int>(snap->tokens.size()) ||
       t >= static_cast<int>(snap->cache_len_before_pass.size())) {
     warn_fork_fallback("start_pass beyond the captured trajectory");
@@ -140,6 +149,8 @@ const PrefixSnapshot* usable_greedy_resume(
   }
   return snap;
 }
+
+namespace {
 
 GenerationResult greedy(model::InferenceModel& m,
                         std::span<const tok::TokenId> prompt,

@@ -76,6 +76,16 @@ struct GenerationResult {
   bool unrecovered_detection = false;  // some trip survived its retries
 };
 
+// Validates the snapshot/trajectory/cache-shape preconditions of the
+// greedy prefix-fork resume, shared by generate() and the serve-layer
+// BatchEngine (which forks baseline prefixes at request admission).
+// Returns the snapshot when resuming at `start_pass` over `prompt` into
+// `target_cache` is exact, else nullptr after a one-time warning. The
+// caller must separately guarantee greedy decoding without a detector.
+const PrefixSnapshot* check_greedy_resume(
+    std::span<const tok::TokenId> prompt, const PrefixSnapshot* resume,
+    int start_pass, const nn::KvCache& target_cache);
+
 // Runs autoregressive decoding. Pass indices are 0 for prefill and
 // 1, 2, ... per decode iteration (all beams of one iteration share the
 // pass index; a single-shot computational fault therefore hits exactly

@@ -37,6 +37,39 @@ void softmax_span(std::span<float> v) {
   for (float& x : v) x *= inv;
 }
 
+// Multi-head attention for ONE query row against `ctx` cached positions.
+// This is the shared per-row kernel of both the sequential attention()
+// loop and forward_batch(): one fixed reduction order per (head, output
+// dim), independent of how many other rows share the pass.
+void attend_row(std::span<const float> qrow, std::span<float> orow,
+                const tn::Tensor& keys, const tn::Tensor& values,
+                tn::Index ctx, int n_heads, tn::Index d_head,
+                std::vector<float>& scores) {
+  const float scale = 1.0f / std::sqrt(static_cast<float>(d_head));
+  scores.resize(static_cast<size_t>(ctx));
+  for (int h = 0; h < n_heads; ++h) {
+    const tn::Index off = static_cast<tn::Index>(h) * d_head;
+    for (tn::Index j = 0; j < ctx; ++j) {
+      auto krow = keys.row(j);
+      float acc = 0.0f;
+      for (tn::Index i = 0; i < d_head; ++i) {
+        acc += qrow[off + i] * krow[off + i];
+      }
+      scores[static_cast<size_t>(j)] = acc * scale;
+    }
+    softmax_span(scores);
+    for (tn::Index i = 0; i < d_head; ++i) orow[off + i] = 0.0f;
+    for (tn::Index j = 0; j < ctx; ++j) {
+      const float p = scores[static_cast<size_t>(j)];
+      if (p == 0.0f) continue;
+      auto vrow = values.row(j);
+      for (tn::Index i = 0; i < d_head; ++i) {
+        orow[off + i] += p * vrow[off + i];
+      }
+    }
+  }
+}
+
 }  // namespace
 
 InferenceModel::InferenceModel(const ModelWeights& w,
@@ -145,45 +178,60 @@ tn::Tensor InferenceModel::linear(const nn::WeightMatrix& w,
   return y;
 }
 
+tn::Tensor InferenceModel::linear_hooked(const nn::WeightMatrix& w,
+                                         const tn::Tensor& x,
+                                         const nn::LinearId& id,
+                                         int pass_index, int row_offset,
+                                         nn::LinearHook* hook) {
+  tn::Tensor y = tn::matmul_bt(x, w.values());
+  round_activations(y);
+  if (hook != nullptr) hook->on_linear(id, x, w, y, pass_index, row_offset);
+  return y;
+}
+
+tn::Tensor InferenceModel::linear_batch(const nn::WeightMatrix& w,
+                                        const tn::Tensor& x,
+                                        const nn::LinearId& id,
+                                        std::span<BatchRow> rows,
+                                        std::span<const int> pos) {
+  tn::Tensor y = tn::matmul_bt(x, w.values());
+  round_activations(y);
+  // Per-row hook dispatch: each hooked row is copied into 1-row scratch
+  // tensors so the hook sees the same shapes, pass_index, and row_offset
+  // as in a single-sequence decode pass (rows()==1 makes the injector's
+  // row_frac resolution land on row 0 either way). Mutations the hook
+  // makes to its y view are copied back into the batch.
+  for (size_t r = 0; r < rows.size(); ++r) {
+    nn::LinearHook* hook = rows[r].hook;
+    if (hook == nullptr) continue;
+    const auto t = static_cast<tn::Index>(r);
+    tn::Tensor xrow({1, x.cols()});
+    tn::Tensor yrow({1, y.cols()});
+    auto xs = x.row(t);
+    auto ys = y.row(t);
+    std::copy(xs.begin(), xs.end(), xrow.row(0).begin());
+    std::copy(ys.begin(), ys.end(), yrow.row(0).begin());
+    hook->on_linear(id, xrow, w, yrow, rows[r].pass_index,
+                    pos[r]);
+    auto yd = yrow.row(0);
+    std::copy(yd.begin(), yd.end(), y.row(t).begin());
+  }
+  return y;
+}
+
 tn::Tensor InferenceModel::attention(const tn::Tensor& q, int block,
                                      const nn::KvCache& cache,
                                      tn::Index prev_len) const {
   const tn::Index t_new = q.rows();
-  const int n_heads = config_.n_heads;
-  const tn::Index d_head = config_.d_head();
-  const float scale = 1.0f / std::sqrt(static_cast<float>(d_head));
   const tn::Tensor& keys = cache.keys(block);
   const tn::Tensor& values = cache.values(block);
 
   tn::Tensor out({t_new, q.cols()});
   std::vector<float> scores;
   for (tn::Index t = 0; t < t_new; ++t) {
-    const tn::Index abs_pos = prev_len + t;
-    const tn::Index ctx = abs_pos + 1;  // causal: attend positions 0..abs
-    scores.resize(static_cast<size_t>(ctx));
-    auto qrow = q.row(t);
-    auto orow = out.row(t);
-    for (int h = 0; h < n_heads; ++h) {
-      const tn::Index off = static_cast<tn::Index>(h) * d_head;
-      for (tn::Index j = 0; j < ctx; ++j) {
-        auto krow = keys.row(j);
-        float acc = 0.0f;
-        for (tn::Index i = 0; i < d_head; ++i) {
-          acc += qrow[off + i] * krow[off + i];
-        }
-        scores[static_cast<size_t>(j)] = acc * scale;
-      }
-      softmax_span(scores);
-      for (tn::Index i = 0; i < d_head; ++i) orow[off + i] = 0.0f;
-      for (tn::Index j = 0; j < ctx; ++j) {
-        const float p = scores[static_cast<size_t>(j)];
-        if (p == 0.0f) continue;
-        auto vrow = values.row(j);
-        for (tn::Index i = 0; i < d_head; ++i) {
-          orow[off + i] += p * vrow[off + i];
-        }
-      }
-    }
+    const tn::Index ctx = prev_len + t + 1;  // causal: positions 0..abs
+    attend_row(q.row(t), out.row(t), keys, values, ctx, config_.n_heads,
+               config_.d_head(), scores);
   }
   return out;
 }
@@ -262,6 +310,159 @@ tn::Tensor InferenceModel::moe_mlp(BlockStorage& blk, int block_idx,
   }
   round_activations(out);
   return out;
+}
+
+tn::Tensor InferenceModel::dense_mlp_batch(BlockStorage& blk, int block_idx,
+                                           const tn::Tensor& h,
+                                           std::span<BatchRow> rows,
+                                           std::span<const int> pos) {
+  tn::Tensor g = linear_batch(blk.mlp[0], h,
+                              {block_idx, nn::LayerKind::GateProj, -1}, rows,
+                              pos);
+  tn::Tensor u = linear_batch(blk.mlp[1], h,
+                              {block_idx, nn::LayerKind::UpProj, -1}, rows,
+                              pos);
+  tn::silu_inplace(g);
+  tn::mul_inplace(g, u);
+  round_activations(g);
+  return linear_batch(blk.mlp[2], g,
+                      {block_idx, nn::LayerKind::DownProj, -1}, rows, pos);
+}
+
+tn::Tensor InferenceModel::moe_mlp_batch(BlockStorage& blk, int block_idx,
+                                         const tn::Tensor& h,
+                                         std::span<BatchRow> rows,
+                                         std::span<const int> pos) {
+  const int n_experts = config_.n_experts;
+  const int top_k = config_.top_k;
+  tn::Tensor router_logits = linear_batch(
+      blk.router[0], h, {block_idx, nn::LayerKind::Router, -1}, rows, pos);
+
+  // From here the sequential path is already per-row (router softmax,
+  // top-k, and every expert linear run on single-token views), so the
+  // batch variant only swaps in each row's own hook and position.
+  tn::Tensor out({h.rows(), h.cols()});
+  std::vector<float> probs(static_cast<size_t>(n_experts));
+  std::vector<int> order(static_cast<size_t>(n_experts));
+  std::vector<int> chosen;
+  for (tn::Index t = 0; t < h.rows(); ++t) {
+    const auto r = static_cast<size_t>(t);
+    auto lrow = router_logits.row(t);
+    std::copy(lrow.begin(), lrow.end(), probs.begin());
+    softmax_span(probs);
+    for (int e = 0; e < n_experts; ++e) order[static_cast<size_t>(e)] = e;
+    std::partial_sort(order.begin(), order.begin() + top_k, order.end(),
+                      [&probs](int a, int b) {
+                        return probs[static_cast<size_t>(a)] >
+                               probs[static_cast<size_t>(b)];
+                      });
+    chosen.assign(order.begin(), order.begin() + top_k);
+    if (expert_obs_ != nullptr) {
+      expert_obs_->on_expert_selection(block_idx, pos[r], chosen);
+    }
+    float mass = 0.0f;
+    for (int e : chosen) mass += probs[static_cast<size_t>(e)];
+    if (mass <= 0.0f) mass = 1.0f;
+
+    tn::Tensor hrow({1, h.cols()});
+    auto hsrc = h.row(t);
+    std::copy(hsrc.begin(), hsrc.end(), hrow.row(0).begin());
+
+    auto orow = out.row(t);
+    for (int rank = 0; rank < top_k; ++rank) {
+      const int e = chosen[static_cast<size_t>(rank)];
+      auto& ex = blk.experts[static_cast<size_t>(e)];
+      const float weight = probs[static_cast<size_t>(e)] / mass;
+      tn::Tensor g = linear_hooked(ex.gate, hrow,
+                                   {block_idx, nn::LayerKind::ExpertGate, e},
+                                   rows[r].pass_index, pos[r], rows[r].hook);
+      tn::Tensor u = linear_hooked(ex.up, hrow,
+                                   {block_idx, nn::LayerKind::ExpertUp, e},
+                                   rows[r].pass_index, pos[r], rows[r].hook);
+      tn::silu_inplace(g);
+      tn::mul_inplace(g, u);
+      round_activations(g);
+      tn::Tensor d = linear_hooked(ex.down, g,
+                                   {block_idx, nn::LayerKind::ExpertDown, e},
+                                   rows[r].pass_index, pos[r], rows[r].hook);
+      auto drow = d.row(0);
+      for (tn::Index j = 0; j < h.cols(); ++j) orow[j] += weight * drow[j];
+    }
+  }
+  round_activations(out);
+  return out;
+}
+
+tn::Tensor InferenceModel::forward_batch(std::span<BatchRow> rows) {
+  const auto t_new = static_cast<tn::Index>(rows.size());
+  assert(t_new > 0);
+  const tn::Index d = config_.d_model;
+
+  // Row r's absolute position is its own cache length; captured once
+  // because appends below do not advance the caches until the pass ends.
+  std::vector<int> pos(rows.size());
+  for (size_t r = 0; r < rows.size(); ++r) {
+    pos[r] = static_cast<int>(rows[r].cache->length());
+  }
+
+  tn::Tensor x({t_new, d});
+  for (tn::Index t = 0; t < t_new; ++t) {
+    const auto id = rows[static_cast<size_t>(t)].token;
+    assert(id >= 0 && id < config_.vocab_size);
+    auto src = embedding_.row(id);
+    std::copy(src.begin(), src.end(), x.row(t).begin());
+  }
+
+  for (int b = 0; b < config_.n_layers; ++b) {
+    auto& blk = blocks_[static_cast<size_t>(b)];
+    tn::Tensor h = tn::rmsnorm_rows(x, blk.norm1, config_.norm_eps);
+    round_activations(h);
+
+    tn::Tensor q =
+        linear_batch(blk.wq, h, {b, nn::LayerKind::QProj, -1}, rows, pos);
+    tn::Tensor k =
+        linear_batch(blk.wk, h, {b, nn::LayerKind::KProj, -1}, rows, pos);
+    tn::Tensor v =
+        linear_batch(blk.wv, h, {b, nn::LayerKind::VProj, -1}, rows, pos);
+    nn::apply_rope_rows(q, config_.n_heads, pos, config_.rope_theta);
+    nn::apply_rope_rows(k, config_.n_heads, pos, config_.rope_theta);
+    for (tn::Index t = 0; t < t_new; ++t) {
+      rows[static_cast<size_t>(t)].cache->append_row(b, k.row(t), v.row(t));
+    }
+
+    tn::Tensor attn({t_new, d});
+    std::vector<float> scores;
+    for (tn::Index t = 0; t < t_new; ++t) {
+      const auto& cache = *rows[static_cast<size_t>(t)].cache;
+      const tn::Index ctx = static_cast<tn::Index>(pos[static_cast<size_t>(t)]) + 1;
+      attend_row(q.row(t), attn.row(t), cache.keys(b), cache.values(b), ctx,
+                 config_.n_heads, config_.d_head(), scores);
+    }
+    round_activations(attn);
+    tn::Tensor o =
+        linear_batch(blk.wo, attn, {b, nn::LayerKind::OProj, -1}, rows, pos);
+    tn::add_inplace(x, o);
+
+    tn::Tensor h2 = tn::rmsnorm_rows(x, blk.norm2, config_.norm_eps);
+    round_activations(h2);
+    tn::Tensor m = config_.moe ? moe_mlp_batch(blk, b, h2, rows, pos)
+                               : dense_mlp_batch(blk, b, h2, rows, pos);
+    tn::add_inplace(x, m);
+  }
+  for (auto& r : rows) r.cache->advance(1);
+
+  tn::Tensor xf = tn::rmsnorm_rows(x, final_norm_, config_.norm_eps);
+  round_activations(xf);
+  tn::Tensor logits = tn::matmul_bt(xf, embedding_);
+  for (tn::Index t = 0; t < t_new; ++t) {
+    for (float v2 : logits.row(t)) {
+      if (!std::isfinite(v2)) {
+        rows[static_cast<size_t>(t)].nonfinite = true;
+        break;
+      }
+    }
+  }
+  return logits;
 }
 
 tn::Tensor InferenceModel::forward(std::span<const tok::TokenId> tokens,

@@ -54,6 +54,36 @@ class InferenceModel {
   tn::Tensor forward(std::span<const tok::TokenId> tokens, nn::KvCache& cache,
                      int pass_index);
 
+  // --- batched decode ----------------------------------------------------
+  // One active sequence's slice of a batched decode pass. Each row brings
+  // its own KV cache (so its attention context is private), its own
+  // per-sequence pass index, and optionally its own fault hook (serve
+  // scopes fault arming to the owning request's row this way).
+  // `nonfinite` is an output: set if this row's logits contained NaN/inf.
+  struct BatchRow {
+    nn::KvCache* cache = nullptr;
+    tok::TokenId token = 0;
+    int pass_index = 0;
+    nn::LinearHook* hook = nullptr;
+    bool nonfinite = false;
+  };
+
+  // Runs ONE decode pass — one new token per sequence — over all rows at
+  // once and returns logits [rows.size(), vocab]. Every op in the stack
+  // (matmul_bt dot loops, rmsnorm, silu/mul, rounding, RoPE, attention,
+  // argmax downstream) treats rows independently with a fixed per-row
+  // reduction order, so row r's logits are bit-identical to what
+  // forward({rows[r].token}, *rows[r].cache, rows[r].pass_index) would
+  // produce on that cache — for any batch size or row order. Appends one
+  // position to (and advances) every row's cache.
+  //
+  // Per-row semantics replace the engine-level surfaces here: the
+  // engine's set_linear_hook()/tracer are NOT fired (each row's
+  // rows[r].hook is, with that row's pass_index and position, on a 1-row
+  // view exactly as the sequential decode path shows it), and nonfinite
+  // logits set rows[r].nonfinite instead of saw_nonfinite_logits().
+  tn::Tensor forward_batch(std::span<BatchRow> rows);
+
   // --- hook surface ----------------------------------------------------
   void set_linear_hook(nn::LinearHook* hook) { hook_ = hook; }
   nn::LinearHook* linear_hook() const { return hook_; }
@@ -100,12 +130,31 @@ class InferenceModel {
 
   tn::Tensor linear(const nn::WeightMatrix& w, const tn::Tensor& x,
                     const nn::LinearId& id, int pass_index, int row_offset);
+  // linear() minus the engine hook/tracer: fires only the explicit
+  // per-row `hook` (may be null). The batched expert path uses this so a
+  // request's fault hook never sees another request's rows.
+  tn::Tensor linear_hooked(const nn::WeightMatrix& w, const tn::Tensor& x,
+                           const nn::LinearId& id, int pass_index,
+                           int row_offset, nn::LinearHook* hook);
+  // Batched linear with per-row hook dispatch: one matmul over the whole
+  // batch, then each hooked row is shown to its hook as a [1, n] view
+  // (copied out and back) so hook row resolution matches sequential
+  // decode bit-for-bit. `pos[r]` is row r's absolute position.
+  tn::Tensor linear_batch(const nn::WeightMatrix& w, const tn::Tensor& x,
+                          const nn::LinearId& id, std::span<BatchRow> rows,
+                          std::span<const int> pos);
   tn::Tensor attention(const tn::Tensor& q, int block,
                        const nn::KvCache& cache, tn::Index prev_len) const;
   tn::Tensor dense_mlp(BlockStorage& blk, int block_idx, const tn::Tensor& h,
                        int pass_index, int row_offset);
   tn::Tensor moe_mlp(BlockStorage& blk, int block_idx, const tn::Tensor& h,
                      int pass_index, int row_offset);
+  tn::Tensor dense_mlp_batch(BlockStorage& blk, int block_idx,
+                             const tn::Tensor& h, std::span<BatchRow> rows,
+                             std::span<const int> pos);
+  tn::Tensor moe_mlp_batch(BlockStorage& blk, int block_idx,
+                           const tn::Tensor& h, std::span<BatchRow> rows,
+                           std::span<const int> pos);
   void round_activations(tn::Tensor& x) const;
 
   ModelConfig config_;

@@ -34,6 +34,19 @@ void KvCache::append(int block, const tn::Tensor& k, const tn::Tensor& v) {
   }
 }
 
+void KvCache::append_row(int block, std::span<const float> k,
+                         std::span<const float> v) {
+  auto& kb = k_.at(static_cast<size_t>(block));
+  auto& vb = v_.at(static_cast<size_t>(block));
+  assert(static_cast<tn::Index>(k.size()) == kb.cols());
+  assert(static_cast<tn::Index>(v.size()) == vb.cols());
+  if (length_ + 1 > max_seq_) {
+    throw std::runtime_error("KvCache overflow: sequence exceeds max_seq");
+  }
+  std::copy(k.begin(), k.end(), kb.row(length_).begin());
+  std::copy(v.begin(), v.end(), vb.row(length_).begin());
+}
+
 bool KvCache::fork_compatible(const KvCache& src) const {
   return src.k_.size() == k_.size() && src.max_seq_ == max_seq_ &&
          src.d_model() == d_model();

@@ -1,6 +1,7 @@
 #pragma once
 // Per-block key/value cache for autoregressive decoding.
 
+#include <span>
 #include <vector>
 
 #include "tensor/tensor.h"
@@ -9,10 +10,22 @@ namespace llmfi::nn {
 
 class KvCache {
  public:
+  // Capacity invariant: every per-block tensor is allocated at its full
+  // [max_seq, d_model] size here, up front, and never resized afterwards.
+  // append/append_row only write into that storage, so keys()/values()
+  // data pointers stay stable for the cache's whole lifetime and batched
+  // decode (src/serve/) never reallocates mid-pass. A retired serve slot
+  // reuses its cache via reset() instead of reconstructing it.
   KvCache(int n_blocks, tn::Index max_seq, tn::Index d_model);
 
   // Appends the rows of k/v (shape [new_tokens, d_model]) for `block`.
   void append(int block, const tn::Tensor& k, const tn::Tensor& v);
+
+  // Single-row append for batched decode: k/v are one token's [d_model]
+  // span for `block`. Identical effect to append() with 1-row tensors,
+  // without materializing them.
+  void append_row(int block, std::span<const float> k,
+                  std::span<const float> v);
 
   // Cached keys/values for `block` as [length, d_model] views copied into
   // tensors (the engine consumes whole matrices for the GEMMs).

@@ -33,4 +33,33 @@ void apply_rope(tn::Tensor& x, int n_heads, int pos_offset, float theta,
   }
 }
 
+void apply_rope_rows(tn::Tensor& x, int n_heads,
+                     std::span<const int> positions, float theta) {
+  assert(x.rank() == 2);
+  assert(static_cast<size_t>(x.rows()) == positions.size());
+  const tn::Index d_model = x.cols();
+  assert(d_model % n_heads == 0);
+  const tn::Index d_head = d_model / n_heads;
+  assert(d_head % 2 == 0);
+
+  for (tn::Index t = 0; t < x.rows(); ++t) {
+    const auto pos = static_cast<float>(positions[static_cast<size_t>(t)]);
+    auto row = x.row(t);
+    for (int h = 0; h < n_heads; ++h) {
+      float* head = row.data() + static_cast<tn::Index>(h) * d_head;
+      for (tn::Index i = 0; i < d_head / 2; ++i) {
+        const float freq = std::pow(
+            theta, -2.0f * static_cast<float>(i) / static_cast<float>(d_head));
+        const float angle = pos * freq;
+        const float c = std::cos(angle);
+        const float s = std::sin(angle);
+        const float a = head[2 * i];
+        const float b = head[2 * i + 1];
+        head[2 * i] = a * c - b * s;
+        head[2 * i + 1] = a * s + b * c;
+      }
+    }
+  }
+}
+
 }  // namespace llmfi::nn

@@ -1,6 +1,8 @@
 #pragma once
 // Rotary position embeddings (Llama-style), applied in place to Q/K.
 
+#include <span>
+
 #include "tensor/tensor.h"
 
 namespace llmfi::nn {
@@ -12,5 +14,14 @@ namespace llmfi::nn {
 // exactly the transposed Jacobian, i.e. the backward pass.
 void apply_rope(tn::Tensor& x, int n_heads, int pos_offset,
                 float theta = 10000.0f, bool inverse = false);
+
+// Batched-decode variant: row i corresponds to absolute position
+// positions[i] (each row is one token of a *different* sequence). Row i
+// is rotated exactly as apply_rope would rotate a [1, d_model] tensor
+// with pos_offset == positions[i], so a batched pass stays bit-identical
+// to the per-sequence path.
+void apply_rope_rows(tn::Tensor& x, int n_heads,
+                     std::span<const int> positions,
+                     float theta = 10000.0f);
 
 }  // namespace llmfi::nn

@@ -1,0 +1,155 @@
+#include "serve/batch_engine.h"
+
+#include <stdexcept>
+#include <utility>
+
+#include "core/injector.h"
+#include "tensor/ops.h"
+
+namespace llmfi::serve {
+
+BatchEngine::BatchEngine(model::InferenceModel& m, int max_batch)
+    : model_(m) {
+  if (max_batch < 1) {
+    throw std::invalid_argument("BatchEngine: max_batch must be >= 1");
+  }
+  slots_.reserve(static_cast<size_t>(max_batch));
+  for (int i = 0; i < max_batch; ++i) slots_.emplace_back(m.make_cache());
+}
+
+void BatchEngine::retire(Slot& slot, bool hit_max,
+                         std::vector<Completion>& done) {
+  Completion c;
+  c.id = slot.req.id;
+  c.tokens = std::move(slot.tokens);
+  c.passes = slot.passes;
+  c.skipped_passes = slot.skipped;
+  c.hit_max_tokens = hit_max;
+  c.nonfinite_logits = slot.nonfinite;
+  ++stats_.completed;
+  stats_.generated_tokens += c.tokens.size();
+  slot.active = false;
+  --active_;
+  if (slot.req.on_done) slot.req.on_done(c);
+  done.push_back(std::move(c));
+}
+
+bool BatchEngine::accept_or_retire(Slot& slot, std::vector<Completion>& done) {
+  // Mirrors gen::generate()'s greedy loop-top for `next` at step_idx,
+  // check for check — any divergence here would break the bit-identity
+  // contract with the sequential path.
+  if (slot.step_idx >= slot.req.max_new_tokens) {
+    retire(slot, /*hit_max=*/false, done);  // zero-budget: loop never ran
+    return false;
+  }
+  if (slot.next == slot.req.eos) {
+    retire(slot, /*hit_max=*/false, done);
+    return false;
+  }
+  slot.tokens.push_back(slot.next);
+  if (slot.step_idx + 1 == slot.req.max_new_tokens) {
+    retire(slot, /*hit_max=*/true, done);
+    return false;
+  }
+  if (slot.cache.length() + 1 > slot.cache.max_seq()) {
+    retire(slot, /*hit_max=*/true, done);
+    return false;
+  }
+  return true;  // decode pass step_idx + 1 on `next` is pending
+}
+
+void BatchEngine::admit(Request req, std::vector<Completion>& done) {
+  if (active_ >= capacity()) {
+    throw std::runtime_error("BatchEngine::admit: no free slot");
+  }
+  Slot* slot = nullptr;
+  for (auto& s : slots_) {
+    if (!s.active) {
+      slot = &s;
+      break;
+    }
+  }
+  slot->active = true;
+  ++active_;
+  slot->req = std::move(req);
+  slot->tokens.clear();
+  slot->cache.reset();
+  slot->passes = 0;
+  slot->skipped = 0;
+  slot->nonfinite = false;
+  ++stats_.admitted;
+  stats_.max_active = std::max(stats_.max_active, active_);
+
+  const gen::PrefixSnapshot* snap = gen::check_greedy_resume(
+      slot->req.prompt, slot->req.resume, slot->req.start_pass, slot->cache);
+
+  // The admission pass runs single-sequence on the shared engine, so the
+  // request's hook is scoped with the same RAII guard the sequential
+  // campaign path uses (on_install() re-arms it), and the engine-level
+  // nonfinite latch is isolated into this slot.
+  tn::Tensor logits;
+  {
+    core::LinearHookGuard guard(model_, slot->req.hook);
+    model_.reset_diagnostics();
+    if (snap != nullptr) {
+      // Forked admission: passes 0..start_pass-1 are bit-identical to
+      // the captured baseline — fork the KV prefix, seed its tokens, and
+      // make pass start_pass the admission forward.
+      const int t = slot->req.start_pass;
+      slot->cache.fork_from(*snap->cache,
+                            snap->cache_len_before_pass[static_cast<size_t>(t)]);
+      slot->tokens.assign(snap->tokens.begin(), snap->tokens.begin() + t);
+      slot->passes = t;
+      slot->skipped = t;
+      const tok::TokenId input = snap->tokens[static_cast<size_t>(t - 1)];
+      logits = model_.forward(std::span(&input, 1), slot->cache, t);
+      ++slot->passes;
+      slot->next = static_cast<tok::TokenId>(tn::argmax_row(logits, 0));
+      slot->step_idx = t;
+      ++stats_.forked_admissions;
+    } else {
+      logits = model_.forward(slot->req.prompt, slot->cache, /*pass_index=*/0);
+      ++slot->passes;
+      slot->next =
+          static_cast<tok::TokenId>(tn::argmax_row(logits, logits.rows() - 1));
+      slot->step_idx = 0;
+    }
+    slot->nonfinite = model_.saw_nonfinite_logits();
+    model_.reset_diagnostics();
+  }
+  ++stats_.admission_passes;
+  accept_or_retire(*slot, done);
+}
+
+void BatchEngine::step(std::vector<Completion>& done) {
+  std::vector<Slot*> live;
+  std::vector<model::InferenceModel::BatchRow> rows;
+  live.reserve(slots_.size());
+  rows.reserve(slots_.size());
+  for (auto& s : slots_) {
+    if (!s.active) continue;
+    live.push_back(&s);
+    rows.push_back({.cache = &s.cache,
+                    .token = s.next,
+                    .pass_index = s.step_idx + 1,
+                    .hook = s.req.hook,
+                    .nonfinite = false});
+  }
+  if (rows.empty()) return;
+
+  tn::Tensor logits = model_.forward_batch(rows);
+  ++stats_.decode_batches;
+  stats_.decode_rows += rows.size();
+
+  for (size_t r = 0; r < live.size(); ++r) {
+    Slot& s = *live[r];
+    ++s.passes;
+    s.nonfinite = s.nonfinite || rows[r].nonfinite;
+    s.next = static_cast<tok::TokenId>(
+        tn::argmax_row(logits, static_cast<tn::Index>(r)));
+    ++s.step_idx;
+    accept_or_retire(s, done);
+  }
+}
+
+}  // namespace llmfi::serve

@@ -1,0 +1,121 @@
+#pragma once
+// Batched greedy decoding over one InferenceModel: up to `max_batch`
+// sequences advance one token per step() through a single
+// forward_batch() pass. Each active sequence owns a slot with its own
+// KV cache and optional per-request fault hook, so every token it emits
+// is bit-identical to a single-sequence gen::generate() greedy run of
+// the same request — batching changes wall-clock, never outputs
+// (DESIGN.md §10).
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "gen/generate.h"
+#include "model/transformer.h"
+
+namespace llmfi::serve {
+
+// Terminal state of one request, delivered via Request::on_done and the
+// `done` out-params. Field semantics match gen::GenerationResult so the
+// campaign layer can reuse its classification path unchanged.
+struct Completion {
+  std::uint64_t id = 0;
+  std::vector<tok::TokenId> tokens;  // generated tokens (prompt excluded)
+  int passes = 0;                    // forward passes, skipped included
+  int skipped_passes = 0;            // seeded via prefix-fork admission
+  bool hit_max_tokens = false;
+  bool nonfinite_logits = false;
+};
+
+struct Request {
+  std::uint64_t id = 0;
+  std::vector<tok::TokenId> prompt;
+  int max_new_tokens = 40;
+  tok::TokenId eos = 2;
+  // Per-request fault hook (e.g. a ComputationalFaultInjector): fired
+  // only on this request's rows — during the admission pass via
+  // LinearHookGuard, during batched decode via BatchRow::hook — with
+  // this request's own pass indices. Caller owns the lifetime; it must
+  // outlive the request's completion.
+  nn::LinearHook* hook = nullptr;
+  // Prefix-fork admission (DESIGN.md §9): when set with start_pass >= 1
+  // and every gen::check_greedy_resume precondition holds, admission
+  // forks the snapshot's KV prefix and the request joins the batch at
+  // pass start_pass; otherwise it falls back to a full prefill with the
+  // shared one-time warning. Skipped passes count in Completion::passes.
+  const gen::PrefixSnapshot* resume = nullptr;
+  int start_pass = 0;
+  // Invoked exactly once, when the request retires (from admit() if it
+  // completes immediately, else from step()).
+  std::function<void(const Completion&)> on_done;
+};
+
+struct EngineStats {
+  std::uint64_t admitted = 0;
+  std::uint64_t forked_admissions = 0;  // admissions that forked a prefix
+  std::uint64_t admission_passes = 0;   // prefill / fork catch-up passes
+  std::uint64_t decode_batches = 0;     // forward_batch() calls
+  std::uint64_t decode_rows = 0;        // rows summed over those calls
+  std::uint64_t completed = 0;
+  std::uint64_t generated_tokens = 0;
+  int max_active = 0;  // peak concurrently-active slots
+};
+
+class BatchEngine {
+ public:
+  // The engine reference must outlive this object. While requests are in
+  // flight the BatchEngine owns the engine's linear-hook slot and
+  // nonfinite-diagnostics latch (admission passes scope per-request
+  // hooks with LinearHookGuard and reset diagnostics around the pass);
+  // callers must not install their own concurrently.
+  BatchEngine(model::InferenceModel& m, int max_batch);
+
+  int capacity() const { return static_cast<int>(slots_.size()); }
+  int active() const { return active_; }
+
+  // Admits one request into a free slot (throws std::runtime_error when
+  // full) and runs its admission pass — prefill pass 0, or the forked
+  // pass start_pass. A request that terminates immediately (EOS as its
+  // first decoded token, zero token budget, cache exhausted) retires
+  // straight into `done` without ever occupying a decode row.
+  void admit(Request req, std::vector<Completion>& done);
+
+  // Runs one batched decode pass over every active slot (ascending slot
+  // order) and retires rows that hit EOS or a budget/cache limit,
+  // appending their completions to `done` in that same slot order.
+  void step(std::vector<Completion>& done);
+
+  const EngineStats& stats() const { return stats_; }
+
+ private:
+  struct Slot {
+    nn::KvCache cache;  // constructed once, reset() on reuse — the
+                        // KvCache capacity invariant keeps its storage
+                        // stable for the engine's whole lifetime
+    bool active = false;
+    Request req;
+    std::vector<tok::TokenId> tokens;
+    tok::TokenId next = 0;  // decoded, not yet accepted (greedy `next`)
+    int step_idx = 0;       // greedy loop variable for `next`
+    int passes = 0;
+    int skipped = 0;
+    bool nonfinite = false;
+
+    explicit Slot(nn::KvCache c) : cache(std::move(c)) {}
+  };
+
+  // The greedy loop-top on `slot.next`: EOS / token-budget / cache-limit
+  // checks and token acceptance, in exactly gen::generate()'s order.
+  // Returns false (after retiring the slot into `done`) when the request
+  // terminated, true when a decode pass for `next` is pending.
+  bool accept_or_retire(Slot& slot, std::vector<Completion>& done);
+  void retire(Slot& slot, bool hit_max, std::vector<Completion>& done);
+
+  model::InferenceModel& model_;
+  std::vector<Slot> slots_;
+  int active_ = 0;
+  EngineStats stats_;
+};
+
+}  // namespace llmfi::serve

@@ -1,0 +1,47 @@
+#include "serve/scheduler.h"
+
+#include <utility>
+
+namespace llmfi::serve {
+
+void Scheduler::submit(Request req) {
+  queue_.push_back(std::move(req));
+  ++stats_.submitted;
+}
+
+std::vector<Completion> Scheduler::run(Source source) {
+  std::vector<Completion> done;
+  bool source_dry = (source == nullptr);
+  bool stepped = false;
+
+  const auto fill = [&] {
+    while (engine_.active() < engine_.capacity()) {
+      if (queue_.empty() && !source_dry) {
+        if (auto r = source()) {
+          queue_.push_back(std::move(*r));
+          ++stats_.submitted;
+        } else {
+          source_dry = true;
+        }
+      }
+      if (queue_.empty()) break;
+      Request r = std::move(queue_.front());
+      queue_.pop_front();
+      if (stepped) ++stats_.backfills;
+      engine_.admit(std::move(r), done);
+    }
+  };
+
+  for (;;) {
+    fill();
+    // fill() only returns with no active slot once the queue and source
+    // are both exhausted (instantly-retiring admissions keep it pulling).
+    if (engine_.active() == 0) break;
+    engine_.step(done);
+    stepped = true;
+  }
+  stats_.completed += done.size();
+  return done;
+}
+
+}  // namespace llmfi::serve

@@ -1,0 +1,53 @@
+#pragma once
+// Continuous-batching scheduler over one BatchEngine: requests queue up,
+// free slots admit greedily, every step() retires finished sequences and
+// the freed slots backfill from the queue before the next pass — the
+// standard continuous-batching loop (ScaleLLM/vLLM) in its deterministic
+// single-threaded form. Completion order is a pure function of the
+// request sequence: slots fill lowest-index-first and retire in slot
+// order within a pass, so repeated runs are byte-identical.
+
+#include <deque>
+#include <functional>
+#include <optional>
+
+#include "serve/batch_engine.h"
+
+namespace llmfi::serve {
+
+struct SchedulerStats {
+  std::uint64_t submitted = 0;  // submit() calls + source pulls
+  std::uint64_t completed = 0;
+  std::uint64_t backfills = 0;  // admissions after the first decode step
+                                // (slots freed mid-run and refilled)
+};
+
+class Scheduler {
+ public:
+  explicit Scheduler(BatchEngine& engine) : engine_(engine) {}
+
+  // Enqueues a request for the next run() (no admission happens here).
+  void submit(Request req);
+
+  // Lazy request feed: pulled once per free slot until it returns
+  // nullopt (then never again within this run). This is how the campaign
+  // layer streams trials from its shared atomic counter without
+  // materializing them all up front.
+  using Source = std::function<std::optional<Request>()>;
+
+  // Drains the queue and `source` to completion: fill free slots, run
+  // one batched decode pass, retire + backfill, repeat until idle.
+  // Returns every completion in retirement order (per-request callbacks
+  // fire from inside, as documented on Request::on_done).
+  std::vector<Completion> run(Source source = nullptr);
+
+  const SchedulerStats& stats() const { return stats_; }
+  const EngineStats& engine_stats() const { return engine_.stats(); }
+
+ private:
+  BatchEngine& engine_;
+  std::deque<Request> queue_;
+  SchedulerStats stats_;
+};
+
+}  // namespace llmfi::serve

@@ -3,7 +3,7 @@
 // Runs one fault-injection campaign with everything configurable from
 // the command line, printing an aligned table (or CSV):
 //
-//   llmfi_cli --model qilin --dataset gsm8k-syn --fault 2bits-mem \
+//   llmfi_cli --model qilin --dataset gsm8k-syn --fault 2bits-mem
 //             --trials 500 --inputs 20 --dtype bf16 --beams 1 --seed 7
 //   llmfi_cli --list                 # models and datasets
 //   llmfi_cli ... --csv              # machine-readable output
@@ -33,6 +33,7 @@ struct CliArgs {
   int inputs = 10;
   int beams = 1;
   int threads = 1;
+  int batch = 1;
   std::uint64_t seed = 2025;
   std::string detector = "none";  // none | range | checksum | stack
   bool recovery = false;
@@ -57,6 +58,12 @@ void print_usage() {
       "  --beams N        1 = greedy, >1 = beam search\n"
       "  --threads N      worker threads for the trial loop (default 1;\n"
       "                   results are bit-identical for any value)\n"
+      "  --batch N        continuous-batching width per worker (default 1;\n"
+      "                   N > 1 decodes up to N trials per forward pass via\n"
+      "                   the serve scheduler — results are bit-identical\n"
+      "                   for any value; ineligible campaigns fall back to\n"
+      "                   the sequential loop with a warning; LLMFI_BATCH\n"
+      "                   is the env equivalent)\n"
       "  --seed S         campaign seed\n"
       "  --detector D     online detection: none | range | checksum | stack\n"
       "                   (stack = checksum + range composed)\n"
@@ -111,6 +118,8 @@ bool parse_args(int argc, char** argv, CliArgs& args) {
       args.beams = std::atoi(v);
     } else if (a == "--threads" && (v = need_value(i))) {
       args.threads = std::atoi(v);
+    } else if (a == "--batch" && (v = need_value(i))) {
+      args.batch = std::atoi(v);
     } else if (a == "--seed" && (v = need_value(i))) {
       args.seed = static_cast<std::uint64_t>(std::atoll(v));
     } else if (a == "--detector" && (v = need_value(i))) {
@@ -156,8 +165,9 @@ int main(int argc, char** argv) {
     return 0;
   }
   if (args.trials <= 0 || args.inputs <= 0 || args.beams <= 0 ||
-      args.threads <= 0 || args.retries < 0) {
-    std::fprintf(stderr, "trials/inputs/beams/threads must be positive\n");
+      args.threads <= 0 || args.batch <= 0 || args.retries < 0) {
+    std::fprintf(stderr,
+                 "trials/inputs/beams/threads/batch must be positive\n");
     return 2;
   }
   if (args.detector != "none" && args.detector != "range" &&
@@ -176,6 +186,7 @@ int main(int argc, char** argv) {
     cfg.n_inputs = args.inputs;
     cfg.seed = args.seed;
     cfg.threads = args.threads;
+    cfg.batch = args.batch;
     cfg.run.gen.num_beams = args.beams;
     cfg.run.direct_prompt = args.direct;
     cfg.detection.range =
