@@ -23,6 +23,18 @@
 //                   are bit-identical for any value; ineligible
 //                   campaigns fall back to the sequential loop.
 //                   fig_serve_throughput unsets it for its own A/B.
+// Observability knobs (DESIGN.md §11) — campaigns are byte-identical
+// with these on or off; they only watch:
+// LLMFI_TRACE     — write a Chrome trace-event JSON (Perfetto-loadable)
+//                   of phase spans to the named file. Armed once per
+//                   process by benchutil::init_obs_from_env; llmfi_cli
+//                   exposes --trace.
+// LLMFI_METRICS   — export the obs metrics registry to the named file:
+//                   .prom/.txt gets Prometheus text, anything else JSON.
+//                   llmfi_cli exposes --metrics.
+// LLMFI_PROGRESS  — periodic campaign progress line on stderr ("0"
+//                   disables, anything else enables; overrides
+//                   CampaignConfig::progress). llmfi_cli: --progress.
 // Models come from the shared zoo cache ($LLMFI_MODEL_CACHE or
 // ./model_cache); missing checkpoints are trained on demand.
 
@@ -35,9 +47,30 @@
 
 #include "eval/campaign.h"
 #include "eval/model_zoo.h"
+#include "obs/obs.h"
 #include "report/table.h"
 
 namespace llmfi::benchutil {
+
+// LLMFI_TRACE / LLMFI_METRICS plumbing shared by every bench binary:
+// armed once per process (first default_campaign() call) and written out
+// at exit. No-op when neither knob is set.
+inline obs::EnvConfig& obs_env_config() {
+  static obs::EnvConfig cfg;
+  return cfg;
+}
+
+inline void init_obs_from_env() {
+  static const bool once = [] {
+    obs_env_config() = obs::init_from_env();
+    const auto& cfg = obs_env_config();
+    if (cfg.trace_path || cfg.metrics_path) {
+      std::atexit(+[] { obs::write_outputs(obs_env_config()); });
+    }
+    return true;
+  }();
+  (void)once;
+}
 
 // Non-negative integer knob from the environment. Unset (or empty) means
 // the fallback; anything unparseable — junk, trailing garbage, negative,
@@ -74,6 +107,7 @@ inline model::PrecisionConfig default_precision() {
 inline eval::CampaignConfig default_campaign(core::FaultModel fault,
                                              int default_trials = 60,
                                              int default_inputs = 8) {
+  init_obs_from_env();
   eval::CampaignConfig cfg;
   cfg.fault = fault;
   cfg.trials = env_int("LLMFI_TRIALS", default_trials);

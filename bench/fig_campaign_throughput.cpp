@@ -12,6 +12,7 @@
 
 #include "common.h"
 #include "gen/generate.h"
+#include "report/bench_meta.h"
 
 using namespace llmfi;
 
@@ -25,6 +26,7 @@ double seconds_since(std::chrono::steady_clock::time_point t0) {
 }  // namespace
 
 int main() {
+  const auto bench_t0 = std::chrono::steady_clock::now();
   // The A/B below toggles cfg.prefix_fork directly; an inherited env
   // override would silently force both arms onto one path.
   unsetenv("LLMFI_PREFIX_FORK");
@@ -109,6 +111,8 @@ int main() {
   std::filesystem::create_directories("bench_logs");
   std::ofstream json("bench_logs/BENCH_campaign.json");
   json << "{\n"
+       << "  \"meta\": "
+       << report::bench_metadata(seconds_since(bench_t0)).json() << ",\n"
        << "  \"model\": \"qilin\",\n"
        << "  \"dataset\": \"" << spec.dataset << "\",\n"
        << "  \"fault\": \"1bit-comp\",\n"

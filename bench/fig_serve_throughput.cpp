@@ -6,12 +6,14 @@
 // work whose outputs are already determined, so all arms must agree
 // bit-for-bit. Machine-readable copy goes to bench_logs/BENCH_serve.json.
 
+#include <chrono>
 #include <cstdlib>
 #include <filesystem>
 #include <fstream>
 #include <vector>
 
 #include "common.h"
+#include "report/bench_meta.h"
 
 using namespace llmfi;
 
@@ -27,6 +29,7 @@ struct Arm {
 }  // namespace
 
 int main() {
+  const auto bench_t0 = std::chrono::steady_clock::now();
   // Each arm sets cfg.batch / cfg.prefix_fork directly; inherited env
   // overrides would silently force every arm onto one path.
   unsetenv("LLMFI_PREFIX_FORK");
@@ -82,7 +85,7 @@ int main() {
                   " / 1bit-comp / " + std::to_string(cfg.trials) +
                   " trials");
   t.header({"arm", "trials/s", "speedup", "tok/s effective",
-            "tok/s executed", "skipped passes"});
+            "tok/s executed", "skipped passes", "occupancy"});
   for (const auto& arm : arms) {
     const auto& r = arm.result;
     const double trials_s = cfg.trials / r.total_runtime_sec;
@@ -97,10 +100,14 @@ int main() {
            report::fmt(trials_s / trials_s_ref), report::fmt(tok_eff),
            report::fmt(tok_exec),
            std::to_string(r.prefix_skipped_passes) + "/" +
-               std::to_string(r.faulty_passes)});
+               std::to_string(r.faulty_passes),
+           r.serve_stats.active
+               ? report::fmt(r.serve_stats.mean_batch_occupancy())
+               : std::string("-")});
   }
-  t.row({"passes/trial", report::fmt(passes_per_trial), "", "", "", ""});
-  t.row({"outcomes identical", benchutil::check(identical), "", "", "", ""});
+  t.row({"passes/trial", report::fmt(passes_per_trial), "", "", "", "", ""});
+  t.row({"outcomes identical", benchutil::check(identical), "", "", "", "",
+         ""});
   t.print(std::cout);
   std::printf("expected shape: batch >= 4 reaches >= 1.5x trials/s over "
               "seq fork-off once passes/trial >= 8; outcomes identical "
@@ -108,7 +115,12 @@ int main() {
 
   std::filesystem::create_directories("bench_logs");
   std::ofstream json("bench_logs/BENCH_serve.json");
+  const double bench_sec =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                    bench_t0)
+          .count();
   json << "{\n"
+       << "  \"meta\": " << report::bench_metadata(bench_sec).json() << ",\n"
        << "  \"model\": \"qilin\",\n"
        << "  \"dataset\": \"" << spec.dataset << "\",\n"
        << "  \"fault\": \"1bit-comp\",\n"
@@ -134,7 +146,10 @@ int main() {
                 r.total_runtime_sec
          << ", "
          << "\"prefix_skipped_passes\": " << r.prefix_skipped_passes << ", "
-         << "\"faulty_passes\": " << r.faulty_passes << "}"
+         << "\"faulty_passes\": " << r.faulty_passes << ", "
+         << "\"mean_batch_occupancy\": "
+         << r.serve_stats.mean_batch_occupancy() << ", "
+         << "\"batch_backfills\": " << r.serve_stats.backfills << "}"
          << (i + 1 < arms.size() ? "," : "") << "\n";
   }
   json << "  ],\n"

@@ -4,6 +4,11 @@
 // see how far the corruption spread — a memory fault corrupts an entire
 // output *column* and then the whole next layer; a computational fault
 // corrupts one *row* and is largely masked by the next normalization.
+//
+// NOT to be confused with the *runtime* tracer (src/obs/trace.h), which
+// records wall-clock phase spans as Chrome trace-event JSON. core::
+// traces corruption spread through activations; obs:: traces time.
+// See the README glossary.
 
 #include <span>
 #include <vector>

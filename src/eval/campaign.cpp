@@ -15,6 +15,7 @@
 #include <thread>
 
 #include "core/injector.h"
+#include "obs/obs.h"
 #include "serve/scheduler.h"
 
 namespace llmfi::eval {
@@ -161,6 +162,7 @@ TrialOutcome run_trial(model::InferenceModel& engine, const tok::Vocab& vocab,
                        const num::Rng& campaign_rng, int trial,
                        const DetectionContext* detect,
                        const std::vector<gen::PrefixSnapshot>* snapshots) {
+  obs::TraceScope trial_span("trial", trial);
   const int n_inputs = static_cast<int>(baselines.size());
   const int ei = trial % n_inputs;
   const auto& ex = eval_set[static_cast<size_t>(ei)];
@@ -266,7 +268,8 @@ void run_trials_parallel(model::InferenceModel& engine,
                          const num::Rng& campaign_rng, int n_threads,
                          const DetectionContext* detect,
                          const std::vector<gen::PrefixSnapshot>* snapshots,
-                         std::vector<TrialOutcome>& outcomes) {
+                         std::vector<TrialOutcome>& outcomes,
+                         obs::ProgressReporter* progress) {
   std::vector<model::InferenceModel> replicas;
   replicas.reserve(static_cast<size_t>(n_threads - 1));
   for (int w = 1; w < n_threads; ++w) replicas.push_back(engine.clone());
@@ -283,6 +286,13 @@ void run_trials_parallel(model::InferenceModel& engine,
         outcomes[static_cast<size_t>(trial)] =
             run_trial(eng, vocab, eval_set, baselines, spec, cfg,
                       campaign_rng, trial, detect, snapshots);
+        // Trial boundary: fold this thread's span buffer into the global
+        // trace and tick the progress line.
+        if (obs::trace_enabled()) obs::trace_flush_thread();
+        if (progress != nullptr) {
+          progress->add(static_cast<std::size_t>(
+              outcomes[static_cast<size_t>(trial)].outcome));
+        }
       } catch (...) {
         std::lock_guard<std::mutex> lock(error_mutex);
         if (trial < first_error_trial) {
@@ -333,7 +343,9 @@ void run_trials_batched(model::InferenceModel& engine,
                         const num::Rng& campaign_rng, int n_threads,
                         int batch,
                         const std::vector<gen::PrefixSnapshot>* snapshots,
-                        std::vector<TrialOutcome>& outcomes) {
+                        std::vector<TrialOutcome>& outcomes,
+                        obs::ProgressReporter* progress,
+                        CampaignResult::ServeStats& serve_stats) {
   const int n_inputs = static_cast<int>(baselines.size());
   // Prompts are per-input, not per-trial — encode them once up front.
   std::vector<std::vector<tok::TokenId>> prompts;
@@ -415,8 +427,15 @@ void run_trials_batched(model::InferenceModel& engine,
           finish_outcome(ctx->out, std::move(faulty),
                          baselines[static_cast<size_t>(ctx->ei)], spec,
                          /*detect_recover=*/false);
+          const auto outcome_class = ctx->out.outcome;
           outcomes[static_cast<size_t>(ctx->trial)] = std::move(ctx->out);
           inflight.erase(ctx->trial);
+          // Trial boundary (retirement): fold this worker's span buffer
+          // and tick the progress line.
+          if (obs::trace_enabled()) obs::trace_flush_thread();
+          if (progress != nullptr) {
+            progress->add(static_cast<std::size_t>(outcome_class));
+          }
         };
         return req;
       } catch (...) {
@@ -430,6 +449,25 @@ void run_trials_batched(model::InferenceModel& engine,
       sched.run(source);
     } catch (...) {
       record_error(inflight.empty() ? cfg.trials - 1 : *inflight.begin());
+    }
+    // Per-worker scheduler/engine counters fold into the campaign-level
+    // diagnostics (error_mutex doubles as the stats lock — it is idle by
+    // the time a worker drains).
+    {
+      const auto& ss = sched.stats();
+      const auto& es = sched.engine_stats();
+      std::lock_guard<std::mutex> lock(error_mutex);
+      serve_stats.active = true;
+      serve_stats.submitted += ss.submitted;
+      serve_stats.completed += ss.completed;
+      serve_stats.backfills += ss.backfills;
+      serve_stats.admitted += es.admitted;
+      serve_stats.forked_admissions += es.forked_admissions;
+      serve_stats.admission_passes += es.admission_passes;
+      serve_stats.decode_batches += es.decode_batches;
+      serve_stats.decode_rows += es.decode_rows;
+      serve_stats.generated_tokens += es.generated_tokens;
+      serve_stats.max_active = std::max(serve_stats.max_active, es.max_active);
     }
   };
 
@@ -462,6 +500,7 @@ CampaignResult run_campaign_on(model::InferenceModel& engine,
   // and shared read-only by every worker replica.
   std::optional<DetectionContext> detect_ctx;
   if (cfg.detection.enabled()) {
+    obs::TraceScope profile_span("detector_profile");
     std::vector<std::string> prompts;
     prompts.reserve(static_cast<size_t>(n_inputs));
     for (int i = 0; i < n_inputs; ++i) {
@@ -538,6 +577,7 @@ CampaignResult run_campaign_on(model::InferenceModel& engine,
   std::vector<ExampleResult> baselines;
   baselines.reserve(static_cast<size_t>(n_inputs));
   for (int i = 0; i < n_inputs; ++i) {
+    obs::TraceScope baseline_span("baseline", i);
     ExampleResult base;
     if (detect != nullptr) {
       DetectorBundle det(cfg.detection, *detect, nullptr);
@@ -568,23 +608,48 @@ CampaignResult run_campaign_on(model::InferenceModel& engine,
   const int n_threads =
       std::max(1, std::min(cfg.threads, std::max(1, cfg.trials)));
 
+  // Progress reporting (LLMFI_PROGRESS overrides the config knob): a
+  // periodic stderr line ticked from whichever worker retires each
+  // trial. Tally columns are the outcome classes, indexed by their enum
+  // value — the same index the reduction below switches on.
+  std::optional<obs::ProgressReporter> progress_rep;
+  if (obs::progress_from_env(cfg.progress) && cfg.trials > 0) {
+    std::vector<std::string> tally_names;
+    for (int c = 0; c < 5; ++c) {
+      tally_names.emplace_back(
+          core::outcome_name(static_cast<core::OutcomeClass>(c)));
+    }
+    progress_rep.emplace("campaign", static_cast<std::uint64_t>(cfg.trials),
+                         std::move(tally_names));
+  }
+  obs::ProgressReporter* progress =
+      progress_rep ? &*progress_rep : nullptr;
+
   const std::vector<gen::PrefixSnapshot>* snaps =
       build_snapshots ? &snapshots : nullptr;
   std::vector<TrialOutcome> outcomes(static_cast<size_t>(
       std::max(0, cfg.trials)));
   if (batch > 1) {
     run_trials_batched(engine, vocab, eval_set, baselines, spec, cfg,
-                       campaign_rng, n_threads, batch, snaps, outcomes);
+                       campaign_rng, n_threads, batch, snaps, outcomes,
+                       progress, result.serve_stats);
   } else if (n_threads == 1) {
     for (int trial = 0; trial < cfg.trials; ++trial) {
       outcomes[static_cast<size_t>(trial)] =
           run_trial(engine, vocab, eval_set, baselines, spec, cfg,
                     campaign_rng, trial, detect, snaps);
+      if (obs::trace_enabled()) obs::trace_flush_thread();
+      if (progress != nullptr) {
+        progress->add(static_cast<std::size_t>(
+            outcomes[static_cast<size_t>(trial)].outcome));
+      }
     }
   } else {
     run_trials_parallel(engine, vocab, eval_set, baselines, spec, cfg,
-                        campaign_rng, n_threads, detect, snaps, outcomes);
+                        campaign_rng, n_threads, detect, snaps, outcomes,
+                        progress);
   }
+  if (progress_rep) progress_rep->finish();
 
   // Deterministic reduction: fold outcomes in trial order, exactly as the
   // serial loop would, so counts, accumulators, buckets, and records are
@@ -616,6 +681,27 @@ CampaignResult run_campaign_on(model::InferenceModel& engine,
     result.prefix_skipped_passes += o.skipped_passes;
     if (o.detections > 0) ++result.trials_detected;
 
+    // Per-trial campaign telemetry, recorded here in the serial fold so
+    // the registry contents are deterministic too (same trial order as
+    // the counters above).
+    if (obs::metrics_enabled()) {
+      obs::count("campaign_trials_total");
+      obs::count(std::string("campaign_outcome_total{outcome=\"") +
+                 std::string(core::outcome_name(o.outcome)) + "\"}");
+      obs::count(std::string("campaign_site_total{site=\"") +
+                 std::string(nn::layer_kind_name(o.plan.layer.kind)) + "\"}");
+      obs::count(std::string("campaign_bit_total{bit=\"") +
+                 std::to_string(o.plan.highest_bit()) + "\"}");
+      obs::observe("campaign_injection_pass", obs::small_count_buckets(),
+                   static_cast<double>(o.plan.pass_index));
+      obs::observe("campaign_recovery_passes", obs::small_count_buckets(),
+                   static_cast<double>(o.recovery_passes));
+      obs::count("campaign_detections_total",
+                 static_cast<std::uint64_t>(o.detections));
+      obs::count("campaign_skipped_passes_total",
+                 static_cast<std::uint64_t>(o.skipped_passes));
+    }
+
     if (cfg.keep_trial_records) {
       TrialRecord rec;
       rec.plan = o.plan;
@@ -638,6 +724,17 @@ CampaignResult run_campaign_on(model::InferenceModel& engine,
       std::chrono::duration<double>(std::chrono::steady_clock::now() -
                                     t_start)
           .count();
+  if (obs::metrics_enabled()) {
+    obs::gauge_set("campaign_runtime_sec", result.total_runtime_sec);
+    obs::count("campaign_baseline_false_positives_total",
+               static_cast<std::uint64_t>(result.baseline_false_positives));
+    if (result.serve_stats.active) {
+      obs::gauge_set("campaign_batch_occupancy_mean",
+                     result.serve_stats.mean_batch_occupancy());
+      obs::count("campaign_batch_backfills_total",
+                 result.serve_stats.backfills);
+    }
+  }
   return result;
 }
 

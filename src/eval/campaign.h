@@ -4,6 +4,7 @@
 // the fault-free baseline on the same inputs.
 
 #include <array>
+#include <cstdint>
 #include <map>
 #include <string>
 #include <vector>
@@ -88,6 +89,13 @@ struct CampaignConfig {
   // The env knob LLMFI_BATCH overrides when set to an integer >= 1;
   // llmfi_cli exposes --batch.
   int batch = 1;
+  // Periodic campaign progress line on stderr (done/total, trials/s,
+  // ETA, outcome tallies), safe under the parallel worker pool. The env
+  // knob LLMFI_PROGRESS overrides when set ("0" disables, anything else
+  // enables); llmfi_cli exposes --progress. Progress output never
+  // touches results — it is excluded from the determinism contract the
+  // same way total_runtime_sec is.
+  bool progress = false;
 };
 
 struct TrialRecord {
@@ -183,6 +191,33 @@ struct CampaignResult {
   // above stays bit-identical.
   long long prefix_skipped_passes = 0;
   double total_runtime_sec = 0.0;
+  // Continuous-batching counters summed over the per-worker schedulers
+  // when batch > 1 (all zero otherwise; `active` marks a batched run).
+  // Runtime diagnostics like total_runtime_sec — the per-trial totals
+  // (admitted, completed, generated_tokens) are deterministic, but
+  // decode_batches / decode_rows / backfills / max_active depend on how
+  // trials interleave across scheduler slots, so the whole struct is
+  // excluded from the determinism contract.
+  struct ServeStats {
+    bool active = false;
+    std::uint64_t submitted = 0;
+    std::uint64_t completed = 0;
+    std::uint64_t backfills = 0;
+    std::uint64_t admitted = 0;
+    std::uint64_t forked_admissions = 0;
+    std::uint64_t admission_passes = 0;
+    std::uint64_t decode_batches = 0;
+    std::uint64_t decode_rows = 0;
+    std::uint64_t generated_tokens = 0;
+    int max_active = 0;  // peak per-worker concurrently-active slots
+    double mean_batch_occupancy() const {
+      return decode_batches > 0
+                 ? static_cast<double>(decode_rows) /
+                       static_cast<double>(decode_batches)
+                 : 0.0;
+    }
+  };
+  ServeStats serve_stats;
   std::vector<TrialRecord> records;  // when keep_trial_records
 
   int trials() const {

@@ -2,6 +2,8 @@
 
 #include <stdexcept>
 
+#include "obs/trace.h"
+
 namespace llmfi::eval {
 
 std::vector<tok::TokenId> build_prompt(const tok::Vocab& vocab,
@@ -38,6 +40,7 @@ void score_generative(const tok::Vocab& vocab, const WorkloadSpec& spec,
 ExampleResult run_example(model::InferenceModel& m, const tok::Vocab& vocab,
                           const WorkloadSpec& spec, const data::Example& ex,
                           const RunOptions& opt) {
+  obs::TraceScope example_span("example");
   ExampleResult result;
 
   if (spec.style == data::TaskStyle::MultipleChoice) {

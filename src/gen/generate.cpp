@@ -7,6 +7,7 @@
 #include <limits>
 #include <stdexcept>
 
+#include "obs/trace.h"
 #include "tensor/ops.h"
 
 namespace llmfi::gen {
@@ -44,7 +45,9 @@ tn::Tensor forward_checked(model::InferenceModel& m,
                            std::span<const tok::TokenId> tokens,
                            nn::KvCache& cache, int pass_index,
                            nn::DetectorHook* det, int max_recoveries,
-                           int& passes, RecoveryStats& stats) {
+                           int& passes, RecoveryStats& stats,
+                           const char* span_name) {
+  obs::TraceScope span(span_name, pass_index);
   const tn::Index len0 = cache.length();
   // A detector latched by an earlier pass (detect-only mode, or an
   // unrecoverable fault) must not be counted again for this pass.
@@ -54,8 +57,10 @@ tn::Tensor forward_checked(model::InferenceModel& m,
   ++passes;
   if (det == nullptr || was_triggered || !det->triggered()) return logits;
   ++stats.detections;
+  obs::trace_instant("detector_trip", pass_index);
   for (int attempt = 0; attempt < max_recoveries && det->triggered();
        ++attempt) {
+    obs::TraceScope rewind("recovery_rewind", pass_index);
     cache.truncate(len0);
     det->reset();
     // Discard the poisoned pass's diagnostics, but never clear a latch
@@ -179,22 +184,26 @@ GenerationResult greedy(model::InferenceModel& m,
     // pass start_pass as the first real forward. The skipped passes
     // still count in `passes` so accounting matches a full run.
     const int t = cfg.start_pass;
-    cache.fork_from(*snap->cache,
-                    snap->cache_len_before_pass[static_cast<size_t>(t)]);
+    {
+      obs::TraceScope fork("prefix_fork_resume", t);
+      cache.fork_from(*snap->cache,
+                      snap->cache_len_before_pass[static_cast<size_t>(t)]);
+    }
     result.tokens.assign(snap->tokens.begin(), snap->tokens.begin() + t);
     result.passes = t;
     result.skipped_passes = t;
     const tok::TokenId input = snap->tokens[static_cast<size_t>(t - 1)];
     logits = forward_checked(m, std::span(&input, 1), cache,
                              /*pass_index=*/t, cfg.detector,
-                             cfg.max_recoveries, result.passes, stats);
+                             cfg.max_recoveries, result.passes, stats,
+                             "decode");
     next = static_cast<tok::TokenId>(tn::argmax_row(logits, 0));
     start_step = t;
   } else {
     if (cap != nullptr) cap->cache_len_before_pass.push_back(cache.length());
     logits = forward_checked(m, prompt, cache, /*pass_index=*/0,
                              cfg.detector, cfg.max_recoveries, result.passes,
-                             stats);
+                             stats, "prefill");
     next =
         static_cast<tok::TokenId>(tn::argmax_row(logits, logits.rows() - 1));
   }
@@ -213,13 +222,16 @@ GenerationResult greedy(model::InferenceModel& m,
     if (cap != nullptr) cap->cache_len_before_pass.push_back(cache.length());
     logits = forward_checked(m, std::span(&input, 1), cache,
                              /*pass_index=*/step + 1, cfg.detector,
-                             cfg.max_recoveries, result.passes, stats);
+                             cfg.max_recoveries, result.passes, stats,
+                             "decode");
     next = static_cast<tok::TokenId>(tn::argmax_row(logits, 0));
   }
   result.nonfinite_logits = m.saw_nonfinite_logits();
   fold_stats(stats, result.detections, result.recoveries,
              result.recovery_passes, result.unrecovered_detection);
   if (cap != nullptr) {
+    obs::TraceScope capture("prefix_capture",
+                            static_cast<std::int64_t>(result.passes));
     cap->tokens = result.tokens;
     cap->passes = result.passes;
     cap->nonfinite_logits = result.nonfinite_logits;
@@ -268,7 +280,7 @@ GenerationResult beam_search(model::InferenceModel& m,
   auto cache0 = m.make_cache();
   tn::Tensor logits = forward_checked(m, prompt, cache0, /*pass_index=*/0,
                                       cfg.detector, cfg.max_recoveries,
-                                      result.passes, stats);
+                                      result.passes, stats, "prefill");
 
   // Seed beams with the top-n first tokens.
   const tn::Index vocab = logits.cols();
@@ -325,7 +337,7 @@ GenerationResult beam_search(model::InferenceModel& m,
       beam_logits[bi] =
           forward_checked(m, std::span(&input, 1), b.cache,
                           /*pass_index=*/step, cfg.detector,
-                          cfg.max_recoveries, result.passes, stats);
+                          cfg.max_recoveries, result.passes, stats, "decode");
       // Expand with the per-beam top (n_beams + 1) tokens; that is always
       // enough to fill the global top n_beams even if one is <eos>.
       std::vector<std::pair<double, tok::TokenId>> top;
@@ -472,7 +484,8 @@ McResult score_options(
     auto cache = m.make_cache();
     tn::Tensor logits =
         forward_checked(m, full, cache, /*pass_index=*/static_cast<int>(oi),
-                        detector, max_recoveries, result.passes, stats);
+                        detector, max_recoveries, result.passes, stats,
+                        "score_option");
     // Position prompt_len - 1 + i predicts option token i.
     double score = 0.0;
     const auto p_len = static_cast<tn::Index>(prompt.size());

@@ -7,6 +7,7 @@
 
 #include "numerics/half.h"
 #include "nn/rope.h"
+#include "obs/trace.h"
 #include "tensor/ops.h"
 
 namespace llmfi::model {
@@ -418,36 +419,42 @@ tn::Tensor InferenceModel::forward_batch(std::span<BatchRow> rows) {
     tn::Tensor h = tn::rmsnorm_rows(x, blk.norm1, config_.norm_eps);
     round_activations(h);
 
-    tn::Tensor q =
-        linear_batch(blk.wq, h, {b, nn::LayerKind::QProj, -1}, rows, pos);
-    tn::Tensor k =
-        linear_batch(blk.wk, h, {b, nn::LayerKind::KProj, -1}, rows, pos);
-    tn::Tensor v =
-        linear_batch(blk.wv, h, {b, nn::LayerKind::VProj, -1}, rows, pos);
-    nn::apply_rope_rows(q, config_.n_heads, pos, config_.rope_theta);
-    nn::apply_rope_rows(k, config_.n_heads, pos, config_.rope_theta);
-    for (tn::Index t = 0; t < t_new; ++t) {
-      rows[static_cast<size_t>(t)].cache->append_row(b, k.row(t), v.row(t));
+    {
+      obs::TraceScope attn_span("attn", b);
+      tn::Tensor q =
+          linear_batch(blk.wq, h, {b, nn::LayerKind::QProj, -1}, rows, pos);
+      tn::Tensor k =
+          linear_batch(blk.wk, h, {b, nn::LayerKind::KProj, -1}, rows, pos);
+      tn::Tensor v =
+          linear_batch(blk.wv, h, {b, nn::LayerKind::VProj, -1}, rows, pos);
+      nn::apply_rope_rows(q, config_.n_heads, pos, config_.rope_theta);
+      nn::apply_rope_rows(k, config_.n_heads, pos, config_.rope_theta);
+      for (tn::Index t = 0; t < t_new; ++t) {
+        rows[static_cast<size_t>(t)].cache->append_row(b, k.row(t), v.row(t));
+      }
+
+      tn::Tensor attn({t_new, d});
+      std::vector<float> scores;
+      for (tn::Index t = 0; t < t_new; ++t) {
+        const auto& cache = *rows[static_cast<size_t>(t)].cache;
+        const tn::Index ctx = static_cast<tn::Index>(pos[static_cast<size_t>(t)]) + 1;
+        attend_row(q.row(t), attn.row(t), cache.keys(b), cache.values(b), ctx,
+                   config_.n_heads, config_.d_head(), scores);
+      }
+      round_activations(attn);
+      tn::Tensor o =
+          linear_batch(blk.wo, attn, {b, nn::LayerKind::OProj, -1}, rows, pos);
+      tn::add_inplace(x, o);
     }
 
-    tn::Tensor attn({t_new, d});
-    std::vector<float> scores;
-    for (tn::Index t = 0; t < t_new; ++t) {
-      const auto& cache = *rows[static_cast<size_t>(t)].cache;
-      const tn::Index ctx = static_cast<tn::Index>(pos[static_cast<size_t>(t)]) + 1;
-      attend_row(q.row(t), attn.row(t), cache.keys(b), cache.values(b), ctx,
-                 config_.n_heads, config_.d_head(), scores);
+    {
+      obs::TraceScope ffn_span("ffn", b);
+      tn::Tensor h2 = tn::rmsnorm_rows(x, blk.norm2, config_.norm_eps);
+      round_activations(h2);
+      tn::Tensor m = config_.moe ? moe_mlp_batch(blk, b, h2, rows, pos)
+                                 : dense_mlp_batch(blk, b, h2, rows, pos);
+      tn::add_inplace(x, m);
     }
-    round_activations(attn);
-    tn::Tensor o =
-        linear_batch(blk.wo, attn, {b, nn::LayerKind::OProj, -1}, rows, pos);
-    tn::add_inplace(x, o);
-
-    tn::Tensor h2 = tn::rmsnorm_rows(x, blk.norm2, config_.norm_eps);
-    round_activations(h2);
-    tn::Tensor m = config_.moe ? moe_mlp_batch(blk, b, h2, rows, pos)
-                               : dense_mlp_batch(blk, b, h2, rows, pos);
-    tn::add_inplace(x, m);
   }
   for (auto& r : rows) r.cache->advance(1);
 
@@ -486,30 +493,36 @@ tn::Tensor InferenceModel::forward(std::span<const tok::TokenId> tokens,
     tn::Tensor h = tn::rmsnorm_rows(x, blk.norm1, config_.norm_eps);
     round_activations(h);
 
-    tn::Tensor q = linear(blk.wq, h, {b, nn::LayerKind::QProj, -1},
-                          pass_index, row_offset);
-    tn::Tensor k = linear(blk.wk, h, {b, nn::LayerKind::KProj, -1},
-                          pass_index, row_offset);
-    tn::Tensor v = linear(blk.wv, h, {b, nn::LayerKind::VProj, -1},
-                          pass_index, row_offset);
-    nn::apply_rope(q, config_.n_heads, static_cast<int>(prev_len),
-                   config_.rope_theta);
-    nn::apply_rope(k, config_.n_heads, static_cast<int>(prev_len),
-                   config_.rope_theta);
-    cache.append(b, k, v);
+    {
+      obs::TraceScope attn_span("attn", b);
+      tn::Tensor q = linear(blk.wq, h, {b, nn::LayerKind::QProj, -1},
+                            pass_index, row_offset);
+      tn::Tensor k = linear(blk.wk, h, {b, nn::LayerKind::KProj, -1},
+                            pass_index, row_offset);
+      tn::Tensor v = linear(blk.wv, h, {b, nn::LayerKind::VProj, -1},
+                            pass_index, row_offset);
+      nn::apply_rope(q, config_.n_heads, static_cast<int>(prev_len),
+                     config_.rope_theta);
+      nn::apply_rope(k, config_.n_heads, static_cast<int>(prev_len),
+                     config_.rope_theta);
+      cache.append(b, k, v);
 
-    tn::Tensor attn = attention(q, b, cache, prev_len);
-    round_activations(attn);
-    tn::Tensor o = linear(blk.wo, attn, {b, nn::LayerKind::OProj, -1},
-                          pass_index, row_offset);
-    tn::add_inplace(x, o);
+      tn::Tensor attn = attention(q, b, cache, prev_len);
+      round_activations(attn);
+      tn::Tensor o = linear(blk.wo, attn, {b, nn::LayerKind::OProj, -1},
+                            pass_index, row_offset);
+      tn::add_inplace(x, o);
+    }
 
-    tn::Tensor h2 = tn::rmsnorm_rows(x, blk.norm2, config_.norm_eps);
-    round_activations(h2);
-    tn::Tensor m = config_.moe
-                       ? moe_mlp(blk, b, h2, pass_index, row_offset)
-                       : dense_mlp(blk, b, h2, pass_index, row_offset);
-    tn::add_inplace(x, m);
+    {
+      obs::TraceScope ffn_span("ffn", b);
+      tn::Tensor h2 = tn::rmsnorm_rows(x, blk.norm2, config_.norm_eps);
+      round_activations(h2);
+      tn::Tensor m = config_.moe
+                         ? moe_mlp(blk, b, h2, pass_index, row_offset)
+                         : dense_mlp(blk, b, h2, pass_index, row_offset);
+      tn::add_inplace(x, m);
+    }
   }
   cache.advance(t_new);
 

@@ -1,0 +1,258 @@
+#include "obs/metrics.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <ostream>
+#include <sstream>
+#include <stdexcept>
+
+namespace llmfi::obs {
+
+namespace detail {
+std::atomic<bool> g_metrics_enabled{false};
+}  // namespace detail
+
+void metrics_start() {
+  Registry::global().reset();
+  detail::g_metrics_enabled.store(true, std::memory_order_relaxed);
+}
+
+void metrics_stop() {
+  detail::g_metrics_enabled.store(false, std::memory_order_relaxed);
+}
+
+// --- Histogram -----------------------------------------------------------
+
+Histogram::Histogram(std::vector<double> bounds)
+    : bounds_(std::move(bounds)), buckets_(bounds_.size() + 1) {
+  if (!std::is_sorted(bounds_.begin(), bounds_.end())) {
+    throw std::invalid_argument("Histogram: bounds must be ascending");
+  }
+}
+
+void Histogram::observe(double v) {
+  const auto it = std::lower_bound(bounds_.begin(), bounds_.end(), v);
+  const auto idx = static_cast<std::size_t>(it - bounds_.begin());
+  buckets_[idx].fetch_add(1, std::memory_order_relaxed);
+  count_.fetch_add(1, std::memory_order_relaxed);
+  sum_.fetch_add(v, std::memory_order_relaxed);
+}
+
+double Histogram::mean() const {
+  const auto n = count();
+  return n > 0 ? sum() / static_cast<double>(n) : 0.0;
+}
+
+double Histogram::quantile(double q) const {
+  const auto n = count();
+  if (n == 0) return 0.0;
+  q = std::min(1.0, std::max(0.0, q));
+  const double rank = q * static_cast<double>(n);
+  std::uint64_t cum = 0;
+  for (std::size_t i = 0; i < buckets_.size(); ++i) {
+    const std::uint64_t in_bucket = bucket_count(i);
+    if (in_bucket == 0) continue;
+    if (static_cast<double>(cum + in_bucket) >= rank) {
+      const double lo = i == 0 ? 0.0 : bounds_[i - 1];
+      // The +inf bucket has no upper edge; report its lower edge.
+      if (i == bounds_.size()) return lo;
+      const double hi = bounds_[i];
+      const double frac =
+          (rank - static_cast<double>(cum)) / static_cast<double>(in_bucket);
+      return lo + (hi - lo) * std::min(1.0, std::max(0.0, frac));
+    }
+    cum += in_bucket;
+  }
+  return bounds_.empty() ? 0.0 : bounds_.back();
+}
+
+void Histogram::reset() {
+  for (auto& b : buckets_) b.store(0, std::memory_order_relaxed);
+  count_.store(0, std::memory_order_relaxed);
+  sum_.store(0.0, std::memory_order_relaxed);
+}
+
+// --- Registry ------------------------------------------------------------
+
+Registry& Registry::global() {
+  static Registry r;
+  return r;
+}
+
+Counter& Registry::counter(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto& e = entries_[name];
+  if (!e.counter) e.counter = std::make_unique<Counter>();
+  return *e.counter;
+}
+
+Gauge& Registry::gauge(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto& e = entries_[name];
+  if (!e.gauge) e.gauge = std::make_unique<Gauge>();
+  return *e.gauge;
+}
+
+Histogram& Registry::histogram(const std::string& name,
+                               std::vector<double> bounds) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto& e = entries_[name];
+  if (!e.histogram) {
+    e.histogram = std::make_unique<Histogram>(std::move(bounds));
+  }
+  return *e.histogram;
+}
+
+void Registry::reset() {
+  std::lock_guard<std::mutex> lock(mu_);
+  entries_.clear();
+}
+
+namespace {
+
+// %g-style shortest representation; integral values print without a
+// trailing ".0" so golden tests read naturally.
+std::string fmt_num(double v) {
+  if (!std::isfinite(v)) return v > 0 ? "1e999" : "-1e999";  // never emitted
+  if (v == static_cast<double>(static_cast<long long>(v)) &&
+      std::fabs(v) < 1e15) {
+    return std::to_string(static_cast<long long>(v));
+  }
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.9g", v);
+  return buf;
+}
+
+// Instrument names carry embedded label quotes (`x_total{a="b"}`);
+// JSON keys must escape them.
+std::string json_escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    if (c == '"' || c == '\\') out += '\\';
+    out += c;
+  }
+  return out;
+}
+
+// Prometheus sample lines need the label block (if any) merged with
+// extra labels like `le`. "name{a=\"b\"}" + (le, 5) ->
+// "name_bucket{a=\"b\",le=\"5\"}".
+std::string prom_name(const std::string& name, const std::string& suffix,
+                      const std::string& extra_label = "") {
+  const auto brace = name.find('{');
+  std::string base =
+      brace == std::string::npos ? name : name.substr(0, brace);
+  std::string labels =
+      brace == std::string::npos
+          ? ""
+          : name.substr(brace + 1, name.size() - brace - 2);  // strip {}
+  base += suffix;
+  if (!extra_label.empty()) {
+    labels = labels.empty() ? extra_label : labels + "," + extra_label;
+  }
+  return labels.empty() ? base : base + "{" + labels + "}";
+}
+
+}  // namespace
+
+void Registry::write_json(std::ostream& os) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  os << "{\n";
+  bool first = true;
+  for (const auto& [name, e] : entries_) {
+    if (!first) os << ",\n";
+    first = false;
+    os << "  \"" << json_escape(name) << "\": ";
+    if (e.counter) {
+      os << e.counter->value();
+    } else if (e.gauge) {
+      os << fmt_num(e.gauge->value());
+    } else if (e.histogram) {
+      const auto& h = *e.histogram;
+      os << "{\"count\": " << h.count() << ", \"sum\": " << fmt_num(h.sum())
+         << ", \"mean\": " << fmt_num(h.mean())
+         << ", \"p50\": " << fmt_num(h.quantile(0.50))
+         << ", \"p95\": " << fmt_num(h.quantile(0.95))
+         << ", \"p99\": " << fmt_num(h.quantile(0.99)) << ", \"buckets\": [";
+      for (std::size_t i = 0; i < h.n_buckets(); ++i) {
+        const std::string le =
+            i < h.bounds().size() ? fmt_num(h.bounds()[i]) : "+Inf";
+        os << (i ? ", " : "") << "{\"le\": \"" << le
+           << "\", \"n\": " << h.bucket_count(i) << "}";
+      }
+      os << "]}";
+    } else {
+      os << "null";
+    }
+  }
+  os << "\n}\n";
+}
+
+void Registry::write_prometheus(std::ostream& os) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (const auto& [name, e] : entries_) {
+    if (e.counter) {
+      os << prom_name(name, "") << " " << e.counter->value() << "\n";
+    } else if (e.gauge) {
+      os << prom_name(name, "") << " " << fmt_num(e.gauge->value()) << "\n";
+    } else if (e.histogram) {
+      const auto& h = *e.histogram;
+      std::uint64_t cum = 0;
+      for (std::size_t i = 0; i < h.n_buckets(); ++i) {
+        cum += h.bucket_count(i);
+        const std::string le =
+            i < h.bounds().size() ? fmt_num(h.bounds()[i]) : "+Inf";
+        os << prom_name(name, "_bucket", "le=\"" + le + "\"") << " " << cum
+           << "\n";
+      }
+      os << prom_name(name, "_sum") << " " << fmt_num(h.sum()) << "\n";
+      os << prom_name(name, "_count") << " " << h.count() << "\n";
+    }
+  }
+}
+
+std::string Registry::json() const {
+  std::ostringstream os;
+  write_json(os);
+  return os.str();
+}
+
+std::string Registry::prometheus() const {
+  std::ostringstream os;
+  write_prometheus(os);
+  return os.str();
+}
+
+// --- gated shorthands ----------------------------------------------------
+
+void count(const std::string& name, std::uint64_t n) {
+  if (metrics_enabled()) Registry::global().counter(name).inc(n);
+}
+
+void gauge_set(const std::string& name, double v) {
+  if (metrics_enabled()) Registry::global().gauge(name).set(v);
+}
+
+void observe(const std::string& name, std::vector<double> bounds, double v) {
+  if (metrics_enabled()) {
+    Registry::global().histogram(name, std::move(bounds)).observe(v);
+  }
+}
+
+const std::vector<double>& latency_us_buckets() {
+  static const std::vector<double> b{
+      10,     20,     50,      100,     200,     500,     1000,   2000,
+      5000,   10000,  20000,   50000,   100000,  200000,  500000, 1000000,
+      2000000, 5000000, 10000000};
+  return b;
+}
+
+const std::vector<double>& small_count_buckets() {
+  static const std::vector<double> b{0,  1,  2,  3,  4,  6,  8,
+                                     12, 16, 24, 32, 48, 64, 128};
+  return b;
+}
+
+}  // namespace llmfi::obs

@@ -1,0 +1,143 @@
+#pragma once
+// Metrics registry (DESIGN.md §11): counters, gauges, and fixed-bucket
+// histograms with p50/p95/p99 summaries, exported as JSON and as
+// Prometheus text exposition. Campaigns record per-trial telemetry
+// (injection site/bit/pass, outcome class, detector verdicts, recovery
+// passes, prefix-fork savings) and the serve layer records latencies
+// (queue wait, time-to-first-token, per-token decode, batch occupancy).
+//
+// Overhead contract: like the tracer, every instrumented site checks
+// metrics_enabled() — one relaxed atomic load — before touching the
+// registry or reading a clock; disabled runs pay nothing else.
+// Instruments are lock-free atomics, so recording from the campaign
+// worker pool is safe and never serializes the workers. Observations
+// never feed back into results: CampaignResult is byte-identical with
+// metrics on or off.
+//
+// Naming follows Prometheus conventions: snake_case with a unit suffix
+// (_total for counters, _us for microsecond histograms). Labels are
+// embedded in the instrument name (e.g. `outcome_total{outcome="masked"}`)
+// — the registry treats the full string as the key, which serializes
+// correctly in both export formats.
+
+#include <atomic>
+#include <cstdint>
+#include <iosfwd>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace llmfi::obs {
+
+namespace detail {
+extern std::atomic<bool> g_metrics_enabled;
+}
+
+inline bool metrics_enabled() {
+  return detail::g_metrics_enabled.load(std::memory_order_relaxed);
+}
+
+// Resets the global registry and starts recording.
+void metrics_start();
+// Stops recording; accumulated values are retained for export.
+void metrics_stop();
+
+class Counter {
+ public:
+  void inc(std::uint64_t n = 1) {
+    v_.fetch_add(n, std::memory_order_relaxed);
+  }
+  std::uint64_t value() const { return v_.load(std::memory_order_relaxed); }
+  void reset() { v_.store(0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<std::uint64_t> v_{0};
+};
+
+class Gauge {
+ public:
+  void set(double v) { v_.store(v, std::memory_order_relaxed); }
+  double value() const { return v_.load(std::memory_order_relaxed); }
+  void reset() { v_.store(0.0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<double> v_{0.0};
+};
+
+// Fixed-bucket histogram: `bounds` are inclusive upper bounds in
+// ascending order; an implicit +inf bucket catches the rest. Quantiles
+// are estimated by linear interpolation within the containing bucket
+// (Prometheus histogram_quantile semantics), so p50/p95/p99 are
+// summaries of the bucket layout, not exact order statistics.
+class Histogram {
+ public:
+  explicit Histogram(std::vector<double> bounds);
+
+  void observe(double v);
+  std::uint64_t count() const { return count_.load(std::memory_order_relaxed); }
+  double sum() const { return sum_.load(std::memory_order_relaxed); }
+  double mean() const;
+  double quantile(double q) const;  // q in [0, 1]
+
+  const std::vector<double>& bounds() const { return bounds_; }
+  std::uint64_t bucket_count(std::size_t i) const {
+    return buckets_[i].load(std::memory_order_relaxed);
+  }
+  std::size_t n_buckets() const { return buckets_.size(); }  // bounds + inf
+  void reset();
+
+ private:
+  std::vector<double> bounds_;
+  std::vector<std::atomic<std::uint64_t>> buckets_;  // bounds_.size() + 1
+  std::atomic<std::uint64_t> count_{0};
+  std::atomic<double> sum_{0.0};
+};
+
+// Name-keyed instrument store. Lookup takes a mutex; instrument handles
+// are stable for the registry's lifetime, so hot paths resolve once and
+// record through the pointer. Exports list instruments in name order,
+// which keeps the JSON/Prometheus output deterministic for golden tests.
+class Registry {
+ public:
+  Counter& counter(const std::string& name);
+  Gauge& gauge(const std::string& name);
+  // Returns the existing histogram when `name` is already registered
+  // (the bounds of the first registration win).
+  Histogram& histogram(const std::string& name, std::vector<double> bounds);
+
+  void write_json(std::ostream& os) const;
+  void write_prometheus(std::ostream& os) const;
+  std::string json() const;
+  std::string prometheus() const;
+
+  // Drops every registered instrument. Handles returned before the reset
+  // are invalidated — metrics_start() calls this, so resolve instruments
+  // after starting, not across runs.
+  void reset();
+
+  static Registry& global();
+
+ private:
+  struct Entry {
+    std::unique_ptr<Counter> counter;
+    std::unique_ptr<Gauge> gauge;
+    std::unique_ptr<Histogram> histogram;
+  };
+  mutable std::mutex mu_;
+  // Sorted by name (std::map) for deterministic export order.
+  std::map<std::string, Entry> entries_;
+};
+
+// Shorthands against the global registry, gated on metrics_enabled():
+// no-ops (beyond the flag check) when metrics are off.
+void count(const std::string& name, std::uint64_t n = 1);
+void gauge_set(const std::string& name, double v);
+void observe(const std::string& name, std::vector<double> bounds, double v);
+
+// Shared bucket layouts (microsecond latencies; small nonneg integers).
+const std::vector<double>& latency_us_buckets();
+const std::vector<double>& small_count_buckets();
+
+}  // namespace llmfi::obs

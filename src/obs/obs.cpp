@@ -1,0 +1,66 @@
+#include "obs/obs.h"
+
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <string_view>
+
+namespace llmfi::obs {
+
+namespace {
+
+std::optional<std::string> env_path(const char* name) {
+  const char* v = std::getenv(name);
+  if (v == nullptr || *v == '\0') return std::nullopt;
+  return std::string(v);
+}
+
+bool prometheus_path(std::string_view path) {
+  return path.ends_with(".prom") || path.ends_with(".txt");
+}
+
+}  // namespace
+
+EnvConfig init_from_env() {
+  EnvConfig cfg;
+  cfg.trace_path = env_path("LLMFI_TRACE");
+  cfg.metrics_path = env_path("LLMFI_METRICS");
+  if (cfg.trace_path) trace_start();
+  if (cfg.metrics_path) metrics_start();
+  return cfg;
+}
+
+bool write_outputs(const EnvConfig& cfg) {
+  bool ok = true;
+  if (cfg.trace_path) {
+    if (!trace_write_json_file(*cfg.trace_path)) {
+      std::fprintf(stderr, "llmfi: failed to write trace to %s\n",
+                   cfg.trace_path->c_str());
+      ok = false;
+    }
+  }
+  if (cfg.metrics_path) {
+    std::ofstream os(*cfg.metrics_path);
+    if (os) {
+      if (prometheus_path(*cfg.metrics_path)) {
+        Registry::global().write_prometheus(os);
+      } else {
+        Registry::global().write_json(os);
+      }
+    }
+    if (!os.good()) {
+      std::fprintf(stderr, "llmfi: failed to write metrics to %s\n",
+                   cfg.metrics_path->c_str());
+      ok = false;
+    }
+  }
+  return ok;
+}
+
+bool progress_from_env(bool fallback) {
+  const char* v = std::getenv("LLMFI_PROGRESS");
+  if (v == nullptr || *v == '\0') return fallback;
+  return std::string_view(v) != "0";
+}
+
+}  // namespace llmfi::obs

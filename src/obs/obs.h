@@ -1,0 +1,46 @@
+#pragma once
+// Umbrella header + env-knob plumbing for the observability subsystem
+// (DESIGN.md §11). The three pieces:
+//   obs/trace.h    — runtime tracer (Chrome trace-event JSON spans)
+//   obs/metrics.h  — counters / gauges / histograms, JSON + Prometheus
+//   obs/progress.h — periodic stderr progress line
+//
+// Environment knobs (equivalents of the llmfi_cli/llmfi_serve flags):
+//   LLMFI_TRACE=<file>    collect spans, write Chrome trace JSON to file
+//   LLMFI_METRICS=<file>  collect metrics; file ending in .prom or .txt
+//                         gets Prometheus text exposition, anything else
+//                         gets JSON
+//   LLMFI_PROGRESS=1      periodic campaign progress line on stderr
+//                         ("0" disables; overrides CampaignConfig)
+
+#include <optional>
+#include <string>
+
+#include "obs/metrics.h"
+#include "obs/progress.h"
+#include "obs/trace.h"
+
+namespace llmfi::obs {
+
+// Paths harvested from the environment by init_from_env().
+struct EnvConfig {
+  std::optional<std::string> trace_path;    // LLMFI_TRACE
+  std::optional<std::string> metrics_path;  // LLMFI_METRICS
+};
+
+// Reads LLMFI_TRACE / LLMFI_METRICS and enables the corresponding
+// collectors (empty values are ignored). The caller owns writing the
+// files out — usually via write_outputs() at process exit.
+EnvConfig init_from_env();
+
+// Writes the trace / metrics files named in `cfg` (no-op for unset
+// entries). Metrics paths ending in ".prom" or ".txt" get Prometheus
+// text exposition; everything else gets JSON. Returns false if any
+// write failed.
+bool write_outputs(const EnvConfig& cfg);
+
+// True when LLMFI_PROGRESS is set to anything but "0"; `fallback` when
+// unset or empty.
+bool progress_from_env(bool fallback);
+
+}  // namespace llmfi::obs

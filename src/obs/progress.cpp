@@ -1,0 +1,96 @@
+#include "obs/progress.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <sstream>
+
+namespace llmfi::obs {
+
+namespace {
+
+std::int64_t us_since(std::chrono::steady_clock::time_point t0) {
+  return std::chrono::duration_cast<std::chrono::microseconds>(
+             std::chrono::steady_clock::now() - t0)
+      .count();
+}
+
+}  // namespace
+
+ProgressReporter::ProgressReporter(
+    std::string label, std::uint64_t total,
+    std::vector<std::string> tally_names, double interval_sec,
+    std::function<void(const std::string&)> sink)
+    : label_(std::move(label)),
+      total_(total),
+      tally_names_(std::move(tally_names)),
+      tallies_(tally_names_.size()),
+      start_(std::chrono::steady_clock::now()),
+      next_emit_us_(static_cast<std::int64_t>(interval_sec * 1e6)),
+      interval_sec_(interval_sec),
+      sink_(std::move(sink)) {}
+
+ProgressReporter::~ProgressReporter() { finish(); }
+
+void ProgressReporter::add(std::size_t tally_index) {
+  if (tally_index < tallies_.size()) {
+    tallies_[tally_index].fetch_add(1, std::memory_order_relaxed);
+  }
+  done_.fetch_add(1, std::memory_order_relaxed);
+
+  const std::int64_t now = us_since(start_);
+  std::int64_t due = next_emit_us_.load(std::memory_order_relaxed);
+  if (now < due) return;
+  // One winner per interval; losers skip — they would only repeat the
+  // same counters a few microseconds later.
+  const std::int64_t interval_us = std::max<std::int64_t>(
+      static_cast<std::int64_t>(interval_sec_ * 1e6), 0);
+  if (!next_emit_us_.compare_exchange_strong(due, now + interval_us,
+                                             std::memory_order_relaxed)) {
+    return;
+  }
+  std::lock_guard<std::mutex> lock(emit_mu_);
+  if (!finished_) emit_locked(/*final_line=*/false);
+}
+
+void ProgressReporter::finish() {
+  std::lock_guard<std::mutex> lock(emit_mu_);
+  if (finished_) return;
+  finished_ = true;
+  emit_locked(/*final_line=*/true);
+}
+
+void ProgressReporter::emit_locked(bool final_line) {
+  // Counters are read under emit_mu_, so successive lines can only see
+  // non-decreasing values — the monotonicity the tests assert.
+  const std::uint64_t done = done_.load(std::memory_order_relaxed);
+  const double sec = static_cast<double>(us_since(start_)) * 1e-6;
+  const double rate = sec > 0 ? static_cast<double>(done) / sec : 0.0;
+  std::ostringstream line;
+  line << std::fixed;
+  line.precision(1);
+  line << "llmfi: " << label_ << (final_line ? " done: " : " ") << done
+       << "/" << total_;
+  if (!final_line && total_ > 0) {
+    line << " (" << 100.0 * static_cast<double>(done) /
+                        static_cast<double>(total_)
+         << "%)";
+  }
+  line << ", " << rate << "/s";
+  if (final_line) {
+    line << ", " << sec << "s";
+  } else if (rate > 0 && done < total_) {
+    line << ", ETA " << static_cast<double>(total_ - done) / rate << "s";
+  }
+  for (std::size_t i = 0; i < tally_names_.size(); ++i) {
+    line << (i == 0 ? " | " : " ") << tally_names_[i] << " "
+         << tallies_[i].load(std::memory_order_relaxed);
+  }
+  const std::string s = line.str();
+  if (sink_) {
+    sink_(s);
+  } else {
+    std::fprintf(stderr, "%s\n", s.c_str());
+  }
+}
+
+}  // namespace llmfi::obs

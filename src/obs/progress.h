@@ -1,0 +1,62 @@
+#pragma once
+// Campaign progress reporting (DESIGN.md §11): a periodic single-line
+// status — items done/total, rate, ETA, and named outcome tallies —
+// emitted to stderr (or a test sink). Safe under the parallel campaign
+// worker pool: tallies are relaxed atomics, emission is serialized by a
+// mutex that is only contended when the report interval has elapsed, and
+// every emitted line reads the counters under that mutex, so reported
+// counts are monotone non-decreasing across lines.
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace llmfi::obs {
+
+class ProgressReporter {
+ public:
+  // Lines go to `sink`, or to stderr when null. `interval_sec <= 0`
+  // emits on every add() (used by tests). `tally_names` fixes the
+  // outcome columns; add() indexes into it.
+  ProgressReporter(std::string label, std::uint64_t total,
+                   std::vector<std::string> tally_names,
+                   double interval_sec = 1.0,
+                   std::function<void(const std::string&)> sink = nullptr);
+  ~ProgressReporter();  // emits the final line (idempotent with finish())
+
+  ProgressReporter(const ProgressReporter&) = delete;
+  ProgressReporter& operator=(const ProgressReporter&) = delete;
+
+  // Marks one item done under tally `tally_index` (out-of-range indexes
+  // count toward the total only). Thread-safe.
+  void add(std::size_t tally_index);
+
+  // Emits the final "done" line once; later calls (and the destructor)
+  // are no-ops.
+  void finish();
+
+  std::uint64_t done() const {
+    return done_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  void emit_locked(bool final_line);  // requires emit_mu_ held
+
+  std::string label_;
+  std::uint64_t total_;
+  std::vector<std::string> tally_names_;
+  std::vector<std::atomic<std::uint64_t>> tallies_;
+  std::atomic<std::uint64_t> done_{0};
+  std::chrono::steady_clock::time_point start_;
+  std::atomic<std::int64_t> next_emit_us_;
+  double interval_sec_;
+  std::function<void(const std::string&)> sink_;
+  std::mutex emit_mu_;
+  bool finished_ = false;  // under emit_mu_
+};
+
+}  // namespace llmfi::obs

@@ -1,0 +1,172 @@
+#include "obs/trace.h"
+
+#include <chrono>
+#include <fstream>
+#include <mutex>
+#include <ostream>
+#include <sstream>
+#include <vector>
+
+namespace llmfi::obs {
+
+namespace detail {
+std::atomic<bool> g_trace_enabled{false};
+}  // namespace detail
+
+namespace {
+
+struct TraceEvent {
+  const char* name;    // literal; "E" events reuse the begin's name slot
+  std::int64_t ts_us;  // microseconds since the process trace epoch
+  std::int64_t arg;
+  int tid;
+  char ph;  // 'B', 'E', or 'i'
+  bool has_arg;
+};
+
+// One steady-clock epoch for the whole process so timestamps from every
+// thread share an axis.
+std::chrono::steady_clock::time_point trace_epoch() {
+  static const auto epoch = std::chrono::steady_clock::now();
+  return epoch;
+}
+
+std::int64_t now_us() {
+  return std::chrono::duration_cast<std::chrono::microseconds>(
+             std::chrono::steady_clock::now() - trace_epoch())
+      .count();
+}
+
+std::mutex g_mutex;                   // guards g_events and tid handout
+std::vector<TraceEvent> g_events;     // folded events, flush order
+std::atomic<int> g_next_tid{1};
+std::atomic<std::uint64_t> g_generation{0};  // bumped by trace_clear
+
+// Per-thread buffer. The destructor folds leftovers so short-lived
+// worker threads never lose events, even if the driver forgets to
+// flush at a trial boundary.
+struct ThreadBuffer {
+  std::vector<TraceEvent> events;
+  int tid = g_next_tid.fetch_add(1, std::memory_order_relaxed);
+  // Events buffered before a trace_clear() belong to the previous trace;
+  // the generation stamp lets flush discard them instead of leaking them
+  // into the new one.
+  std::uint64_t generation = g_generation.load(std::memory_order_relaxed);
+
+  void flush() {
+    if (events.empty()) return;
+    std::lock_guard<std::mutex> lock(g_mutex);
+    if (generation == g_generation.load(std::memory_order_relaxed)) {
+      g_events.insert(g_events.end(), events.begin(), events.end());
+    }
+    events.clear();
+    generation = g_generation.load(std::memory_order_relaxed);
+  }
+
+  ~ThreadBuffer() { flush(); }
+};
+
+ThreadBuffer& thread_buffer() {
+  thread_local ThreadBuffer buf;
+  return buf;
+}
+
+void push_event(const char* name, char ph, std::int64_t arg, bool has_arg) {
+  auto& buf = thread_buffer();
+  const std::uint64_t gen = g_generation.load(std::memory_order_relaxed);
+  if (buf.generation != gen) {
+    buf.events.clear();  // stale events from before a trace_clear()
+    buf.generation = gen;
+  }
+  buf.events.push_back(
+      TraceEvent{name, now_us(), arg, buf.tid, ph, has_arg});
+}
+
+void json_escape(std::ostream& os, const char* s) {
+  for (; *s != '\0'; ++s) {
+    const char c = *s;
+    if (c == '"' || c == '\\') {
+      os << '\\' << c;
+    } else if (static_cast<unsigned char>(c) < 0x20) {
+      os << "\\u00" << "0123456789abcdef"[(c >> 4) & 0xf]
+         << "0123456789abcdef"[c & 0xf];
+    } else {
+      os << c;
+    }
+  }
+}
+
+}  // namespace
+
+namespace detail {
+
+void trace_begin(const char* name, std::int64_t arg, bool has_arg) {
+  push_event(name, 'B', arg, has_arg);
+}
+
+void trace_end() { push_event("", 'E', 0, false); }
+
+void trace_instant_event(const char* name, std::int64_t arg, bool has_arg) {
+  push_event(name, 'i', arg, has_arg);
+}
+
+}  // namespace detail
+
+void trace_start() {
+  trace_clear();
+  detail::g_trace_enabled.store(true, std::memory_order_relaxed);
+}
+
+void trace_stop() {
+  detail::g_trace_enabled.store(false, std::memory_order_relaxed);
+}
+
+void trace_clear() {
+  std::lock_guard<std::mutex> lock(g_mutex);
+  g_generation.fetch_add(1, std::memory_order_relaxed);
+  g_events.clear();
+  // This thread's own buffer can be invalidated eagerly; other threads
+  // notice the generation bump on their next push or flush.
+  thread_buffer().events.clear();
+  thread_buffer().generation = g_generation.load(std::memory_order_relaxed);
+}
+
+void trace_flush_thread() { thread_buffer().flush(); }
+
+std::size_t trace_event_count() {
+  trace_flush_thread();
+  std::lock_guard<std::mutex> lock(g_mutex);
+  return g_events.size();
+}
+
+void trace_write_json(std::ostream& os) {
+  trace_flush_thread();
+  std::lock_guard<std::mutex> lock(g_mutex);
+  os << "{\"traceEvents\":[\n";
+  for (std::size_t i = 0; i < g_events.size(); ++i) {
+    const auto& e = g_events[i];
+    os << "{\"name\":\"";
+    json_escape(os, e.ph == 'E' ? "" : e.name);
+    os << "\",\"ph\":\"" << e.ph << "\",\"ts\":" << e.ts_us
+       << ",\"pid\":1,\"tid\":" << e.tid;
+    if (e.ph == 'i') os << ",\"s\":\"t\"";  // thread-scoped instant
+    if (e.has_arg) os << ",\"args\":{\"v\":" << e.arg << "}";
+    os << "}" << (i + 1 < g_events.size() ? "," : "") << "\n";
+  }
+  os << "]}\n";
+}
+
+bool trace_write_json_file(const std::string& path) {
+  std::ofstream os(path);
+  if (!os) return false;
+  trace_write_json(os);
+  return os.good();
+}
+
+std::string trace_json() {
+  std::ostringstream os;
+  trace_write_json(os);
+  return os.str();
+}
+
+}  // namespace llmfi::obs

@@ -1,0 +1,101 @@
+#pragma once
+// Runtime tracer (DESIGN.md §11): scoped phase spans — prefill, per-pass
+// decode, attention/FFN, detector checks, recovery rewinds, prefix-fork
+// capture/resume, scheduler admission/retirement — collected into
+// per-thread buffers and exported as Chrome trace-event JSON, loadable
+// in chrome://tracing or Perfetto (ui.perfetto.dev).
+//
+// NOT to be confused with core::tracer (src/core/tracer.h), which is the
+// error-PROPAGATION tracer of paper Figs 5-6: it captures layer outputs
+// and diffs clean vs faulty activations. obs:: traces *time*, core::
+// traces *corruption spread*. See the README glossary.
+//
+// Overhead contract: when tracing is disabled (the default), every entry
+// point reduces to one relaxed atomic load and a predicted-not-taken
+// branch — no clock reads, no allocation, no locks. Instrumented code
+// must therefore never perturb results: spans only read the steady
+// clock, so campaign outputs are byte-identical with tracing on or off.
+//
+// Thread model: each thread appends events to a private thread_local
+// buffer (no contention on the hot path). Buffers are folded into the
+// global event list by trace_flush_thread() — the campaign drivers call
+// it at trial boundaries — and automatically when a thread exits.
+// trace_write_json() flushes the calling thread and serializes whatever
+// has been folded so far; per-thread event order is preserved, so B/E
+// pairs stay well-nested within each tid.
+
+#include <atomic>
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+
+namespace llmfi::obs {
+
+namespace detail {
+extern std::atomic<bool> g_trace_enabled;
+void trace_begin(const char* name, std::int64_t arg, bool has_arg);
+void trace_end();
+void trace_instant_event(const char* name, std::int64_t arg, bool has_arg);
+}  // namespace detail
+
+inline bool trace_enabled() {
+  return detail::g_trace_enabled.load(std::memory_order_relaxed);
+}
+
+// Clears any buffered events and starts collecting.
+void trace_start();
+// Stops collecting; buffered events are retained for trace_write_json.
+void trace_stop();
+// Drops all buffered events (global and this thread's).
+void trace_clear();
+
+// Folds the calling thread's buffer into the global event list.
+void trace_flush_thread();
+
+// Number of events folded so far (flushes the calling thread first).
+std::size_t trace_event_count();
+
+// Serializes the collected events as Chrome trace-event JSON. Flushes
+// the calling thread's buffer first; other threads must have flushed
+// (or exited) for their events to appear.
+void trace_write_json(std::ostream& os);
+// Convenience: write to `path`; returns false on I/O failure.
+bool trace_write_json_file(const std::string& path);
+std::string trace_json();
+
+// RAII scoped span: emits a "B" event on construction and the matching
+// "E" on destruction. `name` must be a string literal (or otherwise
+// outlive the trace) — the tracer stores the pointer, not a copy.
+class TraceScope {
+ public:
+  explicit TraceScope(const char* name) {
+    if (trace_enabled()) {
+      armed_ = true;
+      detail::trace_begin(name, 0, /*has_arg=*/false);
+    }
+  }
+  TraceScope(const char* name, std::int64_t arg) {
+    if (trace_enabled()) {
+      armed_ = true;
+      detail::trace_begin(name, arg, /*has_arg=*/true);
+    }
+  }
+  ~TraceScope() {
+    if (armed_) detail::trace_end();
+  }
+  TraceScope(const TraceScope&) = delete;
+  TraceScope& operator=(const TraceScope&) = delete;
+
+ private:
+  bool armed_ = false;
+};
+
+// Zero-duration marker (phase "i": detector trips, retirements, ...).
+inline void trace_instant(const char* name) {
+  if (trace_enabled()) detail::trace_instant_event(name, 0, false);
+}
+inline void trace_instant(const char* name, std::int64_t arg) {
+  if (trace_enabled()) detail::trace_instant_event(name, arg, true);
+}
+
+}  // namespace llmfi::obs

@@ -1,0 +1,119 @@
+#include "report/bench_meta.h"
+
+#include <unistd.h>
+
+#include <array>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <ctime>
+#include <sstream>
+#include <string_view>
+
+namespace llmfi::report {
+
+namespace {
+
+// Trimmed first line of `cmd`'s stdout, or "" on any failure. Used only
+// for `git rev-parse` — bench binaries run from a checkout.
+std::string capture_line(const char* cmd) {
+  FILE* pipe = ::popen(cmd, "r");
+  if (pipe == nullptr) return "";
+  std::array<char, 128> buf{};
+  std::string out;
+  if (std::fgets(buf.data(), static_cast<int>(buf.size()), pipe) != nullptr) {
+    out = buf.data();
+  }
+  ::pclose(pipe);
+  while (!out.empty() && (out.back() == '\n' || out.back() == '\r' ||
+                          out.back() == ' ')) {
+    out.pop_back();
+  }
+  return out;
+}
+
+std::string resolve_git_sha() {
+  // CI exports the SHA directly; fall back to asking git, then give up.
+  if (const char* sha = std::getenv("GITHUB_SHA");
+      sha != nullptr && *sha != '\0') {
+    return sha;
+  }
+  std::string sha = capture_line("git rev-parse HEAD 2>/dev/null");
+  return sha.empty() ? "unknown" : sha;
+}
+
+std::string utc_timestamp() {
+  const std::time_t now = std::time(nullptr);
+  std::tm tm{};
+  if (gmtime_r(&now, &tm) == nullptr) return "unknown";
+  char buf[32];
+  std::strftime(buf, sizeof(buf), "%Y-%m-%dT%H:%M:%SZ", &tm);
+  return buf;
+}
+
+std::string resolve_hostname() {
+  char buf[256];
+  if (::gethostname(buf, sizeof(buf)) != 0) return "unknown";
+  buf[sizeof(buf) - 1] = '\0';
+  return buf;
+}
+
+int env_int_or(const char* name, int fallback) {
+  const char* v = std::getenv(name);
+  if (v == nullptr || *v == '\0') return fallback;
+  char* end = nullptr;
+  const long parsed = std::strtol(v, &end, 10);
+  if (end == v || *end != '\0' || parsed < 1 || parsed > 1 << 20) {
+    return fallback;
+  }
+  return static_cast<int>(parsed);
+}
+
+std::string json_escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    if (c == '"' || c == '\\') {
+      out.push_back('\\');
+      out.push_back(c);
+    } else if (static_cast<unsigned char>(c) < 0x20) {
+      char buf[8];
+      std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+      out += buf;
+    } else {
+      out.push_back(c);
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+BenchMetadata bench_metadata(double wall_clock_sec) {
+  BenchMetadata meta;
+  meta.git_sha = resolve_git_sha();
+  meta.timestamp = utc_timestamp();
+  meta.hostname = resolve_hostname();
+  meta.threads = env_int_or("LLMFI_THREADS", 1);
+  meta.batch = env_int_or("LLMFI_BATCH", 1);
+  if (const char* v = std::getenv("LLMFI_PREFIX_FORK");
+      v != nullptr && *v != '\0') {
+    meta.prefix_fork = std::string_view(v) != "0";
+  }
+  meta.wall_clock_sec = wall_clock_sec;
+  return meta;
+}
+
+std::string BenchMetadata::json() const {
+  std::ostringstream os;
+  os << "{\"git_sha\": \"" << json_escape(git_sha) << "\", "
+     << "\"timestamp\": \"" << json_escape(timestamp) << "\", "
+     << "\"hostname\": \"" << json_escape(hostname) << "\", "
+     << "\"threads\": " << threads << ", "
+     << "\"batch\": " << batch << ", "
+     << "\"prefix_fork\": " << (prefix_fork ? "true" : "false") << ", "
+     << "\"wall_clock_sec\": " << wall_clock_sec << "}";
+  return os.str();
+}
+
+}  // namespace llmfi::report

@@ -1,0 +1,30 @@
+#pragma once
+// Provenance metadata stamped into every bench_logs/BENCH_*.json: git
+// SHA, ISO-8601 UTC timestamp, hostname, the campaign-execution env
+// knobs in force (threads / batch / prefix-fork), and the bench's own
+// wall-clock. Makes a bench log self-describing — a number without the
+// commit and knobs that produced it is not reproducible evidence.
+
+#include <string>
+
+namespace llmfi::report {
+
+struct BenchMetadata {
+  std::string git_sha;       // "unknown" when git/CI metadata is absent
+  std::string timestamp;     // ISO-8601 UTC, e.g. "2026-08-06T12:34:56Z"
+  std::string hostname;      // "unknown" when unavailable
+  int threads = 1;           // LLMFI_THREADS in force (1 when unset)
+  int batch = 1;             // LLMFI_BATCH in force (1 when unset)
+  bool prefix_fork = true;   // LLMFI_PREFIX_FORK in force
+  double wall_clock_sec = 0.0;
+
+  // The metadata block as a JSON object (no trailing newline), for
+  // splicing into a hand-built bench log under a "meta" key.
+  std::string json() const;
+};
+
+// Collects the metadata at call time. `wall_clock_sec` is the bench's
+// own measured duration — metadata collection does not time anything.
+BenchMetadata bench_metadata(double wall_clock_sec);
+
+}  // namespace llmfi::report

@@ -1,12 +1,27 @@
 #include "serve/batch_engine.h"
 
+#include <chrono>
 #include <stdexcept>
 #include <utility>
 
 #include "core/injector.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "tensor/ops.h"
 
 namespace llmfi::serve {
+
+namespace {
+
+// Steady-clock µs for obs latency metrics; only called when metrics are
+// enabled, so the disabled path stays clock-free.
+std::int64_t steady_us() {
+  return std::chrono::duration_cast<std::chrono::microseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+}  // namespace
 
 BatchEngine::BatchEngine(model::InferenceModel& m, int max_batch)
     : model_(m) {
@@ -30,6 +45,7 @@ void BatchEngine::retire(Slot& slot, bool hit_max,
   stats_.generated_tokens += c.tokens.size();
   slot.active = false;
   --active_;
+  obs::trace_instant("retire", static_cast<std::int64_t>(c.id));
   if (slot.req.on_done) slot.req.on_done(c);
   done.push_back(std::move(c));
 }
@@ -87,6 +103,9 @@ void BatchEngine::admit(Request req, std::vector<Completion>& done) {
   // request's hook is scoped with the same RAII guard the sequential
   // campaign path uses (on_install() re-arms it), and the engine-level
   // nonfinite latch is isolated into this slot.
+  obs::TraceScope admit_span("admission",
+                             static_cast<std::int64_t>(slot->req.id));
+  const std::int64_t admit_t0 = obs::metrics_enabled() ? steady_us() : 0;
   tn::Tensor logits;
   {
     core::LinearHookGuard guard(model_, slot->req.hook);
@@ -96,8 +115,12 @@ void BatchEngine::admit(Request req, std::vector<Completion>& done) {
       // the captured baseline — fork the KV prefix, seed its tokens, and
       // make pass start_pass the admission forward.
       const int t = slot->req.start_pass;
-      slot->cache.fork_from(*snap->cache,
-                            snap->cache_len_before_pass[static_cast<size_t>(t)]);
+      {
+        obs::TraceScope fork("prefix_fork_resume", t);
+        slot->cache.fork_from(
+            *snap->cache,
+            snap->cache_len_before_pass[static_cast<size_t>(t)]);
+      }
       slot->tokens.assign(snap->tokens.begin(), snap->tokens.begin() + t);
       slot->passes = t;
       slot->skipped = t;
@@ -118,6 +141,18 @@ void BatchEngine::admit(Request req, std::vector<Completion>& done) {
     model_.reset_diagnostics();
   }
   ++stats_.admission_passes;
+  if (obs::metrics_enabled()) {
+    const std::int64_t now = steady_us();
+    // Time to first token: queue wait (when stamped) + admission pass.
+    const std::int64_t from =
+        slot->req.enqueue_us >= 0 ? slot->req.enqueue_us : admit_t0;
+    obs::observe("serve_ttft_us", obs::latency_us_buckets(),
+                 static_cast<double>(now - from));
+    if (slot->req.enqueue_us >= 0) {
+      obs::observe("serve_queue_wait_us", obs::latency_us_buckets(),
+                   static_cast<double>(admit_t0 - slot->req.enqueue_us));
+    }
+  }
   accept_or_retire(*slot, done);
 }
 
@@ -137,9 +172,19 @@ void BatchEngine::step(std::vector<Completion>& done) {
   }
   if (rows.empty()) return;
 
+  obs::TraceScope step_span("decode_step",
+                            static_cast<std::int64_t>(rows.size()));
+  const std::int64_t step_t0 = obs::metrics_enabled() ? steady_us() : 0;
   tn::Tensor logits = model_.forward_batch(rows);
   ++stats_.decode_batches;
   stats_.decode_rows += rows.size();
+  if (obs::metrics_enabled()) {
+    const double us = static_cast<double>(steady_us() - step_t0);
+    obs::observe("serve_decode_token_us", obs::latency_us_buckets(),
+                 us / static_cast<double>(rows.size()));
+    obs::observe("serve_batch_occupancy", obs::small_count_buckets(),
+                 static_cast<double>(rows.size()));
+  }
 
   for (size_t r = 0; r < live.size(); ++r) {
     Slot& s = *live[r];

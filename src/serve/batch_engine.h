@@ -49,6 +49,11 @@ struct Request {
   // Invoked exactly once, when the request retires (from admit() if it
   // completes immediately, else from step()).
   std::function<void(const Completion&)> on_done;
+  // Steady-clock enqueue stamp (µs), set by Scheduler::submit / source
+  // pulls only while obs metrics are enabled; feeds the queue-wait
+  // histogram. Never read by the decode path, so it cannot perturb
+  // outputs. -1 = unstamped.
+  std::int64_t enqueue_us = -1;
 };
 
 struct EngineStats {

@@ -1,10 +1,28 @@
 #include "serve/scheduler.h"
 
+#include <chrono>
 #include <utility>
+
+#include "obs/metrics.h"
 
 namespace llmfi::serve {
 
+namespace {
+
+// Queue-wait stamping is metrics-only: the decode path never reads
+// enqueue_us, so clock reads stay off the disabled hot path.
+void stamp_enqueue(Request& req) {
+  if (obs::metrics_enabled()) {
+    req.enqueue_us = std::chrono::duration_cast<std::chrono::microseconds>(
+                         std::chrono::steady_clock::now().time_since_epoch())
+                         .count();
+  }
+}
+
+}  // namespace
+
 void Scheduler::submit(Request req) {
+  stamp_enqueue(req);
   queue_.push_back(std::move(req));
   ++stats_.submitted;
 }
@@ -18,6 +36,7 @@ std::vector<Completion> Scheduler::run(Source source) {
     while (engine_.active() < engine_.capacity()) {
       if (queue_.empty() && !source_dry) {
         if (auto r = source()) {
+          stamp_enqueue(*r);
           queue_.push_back(std::move(*r));
           ++stats_.submitted;
         } else {

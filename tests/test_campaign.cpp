@@ -9,6 +9,7 @@
 
 #include "eval/campaign.h"
 #include "numerics/half.h"
+#include "obs/obs.h"
 #include "train/trainer.h"
 
 namespace llmfi {
@@ -499,6 +500,84 @@ TEST(CampaignPrefixFork, DetectionDisablesFork) {
                                        spec, cfg);
   // Per-pass detector baselines must execute: nothing may be skipped.
   EXPECT_EQ(r.prefix_skipped_passes, 0);
+}
+
+// --- observability (DESIGN.md §11) --------------------------------------
+// The obs contract: tracing, metrics, and the progress reporter watch
+// the campaign without touching it. One reference run with every
+// collector off must be reproduced byte-for-byte by obs-on runs across
+// the whole execution matrix — threads x batch x prefix fork.
+
+TEST(ObsParallel, CampaignIdenticalWithObsOnAcrossThreadsBatchFork) {
+  auto& f = fixture();
+  model::InferenceModel engine(f.weights, {});
+  const auto& spec = eval::workload(data::TaskKind::QA);
+  const auto& eval_set = f.tasks.at(data::TaskKind::QA).eval;
+  // Transient greedy campaign: eligible for both the prefix fork and the
+  // batched serve driver, so every cell of the matrix takes its real path.
+  auto cfg = small_campaign(core::FaultModel::Comp1Bit);
+  cfg.trials = 12;
+  cfg.keep_trial_records = true;
+
+  ASSERT_FALSE(obs::trace_enabled());
+  ASSERT_FALSE(obs::metrics_enabled());
+  const auto reference = eval::run_campaign_on(engine, f.world.vocab(),
+                                               eval_set, spec, cfg);
+
+  for (bool fork : {false, true}) {
+    for (int batch : {1, 4}) {
+      for (int threads : {1, 2, 4}) {
+        cfg.prefix_fork = fork;
+        cfg.batch = batch;
+        cfg.threads = threads;
+        cfg.progress = false;  // reporter exercised separately in test_obs
+        obs::trace_start();
+        obs::metrics_start();
+        const auto observed = eval::run_campaign_on(engine, f.world.vocab(),
+                                                    eval_set, spec, cfg);
+        obs::trace_stop();
+        obs::metrics_stop();
+        SCOPED_TRACE("fork=" + std::to_string(fork) +
+                     " batch=" + std::to_string(batch) +
+                     " threads=" + std::to_string(threads));
+        expect_identical_results(reference, observed);
+        // The collectors actually collected: spans from every trial and
+        // the per-trial outcome tallies.
+        EXPECT_GT(obs::trace_event_count(), 0u);
+        EXPECT_EQ(obs::Registry::global().counter("campaign_trials_total")
+                      .value(),
+                  static_cast<std::uint64_t>(cfg.trials));
+      }
+    }
+  }
+  obs::trace_clear();
+}
+
+// Serve stats are runtime diagnostics outside the determinism contract,
+// but when the batched driver runs they must be populated and coherent.
+TEST(Campaign, BatchedRunPopulatesServeStats) {
+  auto& f = fixture();
+  model::InferenceModel engine(f.weights, {});
+  const auto& spec = eval::workload(data::TaskKind::QA);
+  const auto& eval_set = f.tasks.at(data::TaskKind::QA).eval;
+  auto cfg = small_campaign(core::FaultModel::Comp1Bit);
+  cfg.trials = 12;
+  cfg.batch = 4;
+  const auto r = eval::run_campaign_on(engine, f.world.vocab(), eval_set,
+                                       spec, cfg);
+  ASSERT_TRUE(r.serve_stats.active);
+  EXPECT_EQ(r.serve_stats.completed, static_cast<std::uint64_t>(cfg.trials));
+  EXPECT_GT(r.serve_stats.decode_batches, 0u);
+  EXPECT_GE(r.serve_stats.decode_rows, r.serve_stats.decode_batches);
+  EXPECT_GT(r.serve_stats.mean_batch_occupancy(), 0.0);
+  EXPECT_LE(r.serve_stats.mean_batch_occupancy(), 4.0);
+  EXPECT_GE(r.serve_stats.max_active, 1);
+
+  // The sequential loop leaves them inactive.
+  cfg.batch = 1;
+  const auto seq = eval::run_campaign_on(engine, f.world.vocab(), eval_set,
+                                         spec, cfg);
+  EXPECT_FALSE(seq.serve_stats.active);
 }
 
 }  // namespace

@@ -1,0 +1,472 @@
+// Observability subsystem tests (DESIGN.md §11): trace files must be
+// valid JSON with well-nested B/E spans per thread, metrics exports are
+// pinned by goldens in both formats, histogram quantiles follow the
+// bucket-interpolation semantics, and the progress reporter stays
+// monotone under concurrent add()s. The ObsParallel suite runs under
+// ThreadSanitizer via the tsan_campaign target.
+
+#include <gtest/gtest.h>
+
+#include <cctype>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <map>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "obs/obs.h"
+
+namespace llmfi {
+namespace {
+
+// --- minimal JSON validator ---------------------------------------------
+// Recursive-descent syntax check — no DOM, just "is this parseable".
+// Enough to guarantee chrome://tracing / Perfetto will load the file.
+class JsonValidator {
+ public:
+  explicit JsonValidator(const std::string& s) : s_(s) {}
+
+  bool valid() {
+    ws();
+    if (!value()) return false;
+    ws();
+    return pos_ == s_.size();
+  }
+
+ private:
+  bool value() {
+    if (pos_ >= s_.size()) return false;
+    switch (s_[pos_]) {
+      case '{': return object();
+      case '[': return array();
+      case '"': return string();
+      case 't': return literal("true");
+      case 'f': return literal("false");
+      case 'n': return literal("null");
+      default: return number();
+    }
+  }
+  bool object() {
+    ++pos_;  // '{'
+    ws();
+    if (peek() == '}') { ++pos_; return true; }
+    while (true) {
+      ws();
+      if (!string()) return false;
+      ws();
+      if (peek() != ':') return false;
+      ++pos_;
+      ws();
+      if (!value()) return false;
+      ws();
+      if (peek() == ',') { ++pos_; continue; }
+      if (peek() == '}') { ++pos_; return true; }
+      return false;
+    }
+  }
+  bool array() {
+    ++pos_;  // '['
+    ws();
+    if (peek() == ']') { ++pos_; return true; }
+    while (true) {
+      ws();
+      if (!value()) return false;
+      ws();
+      if (peek() == ',') { ++pos_; continue; }
+      if (peek() == ']') { ++pos_; return true; }
+      return false;
+    }
+  }
+  bool string() {
+    if (peek() != '"') return false;
+    ++pos_;
+    while (pos_ < s_.size() && s_[pos_] != '"') {
+      if (s_[pos_] == '\\') {
+        if (pos_ + 1 >= s_.size()) return false;
+        ++pos_;
+      }
+      ++pos_;
+    }
+    if (pos_ >= s_.size()) return false;
+    ++pos_;  // closing quote
+    return true;
+  }
+  bool number() {
+    const std::size_t start = pos_;
+    if (peek() == '-') ++pos_;
+    while (pos_ < s_.size() &&
+           (std::isdigit(static_cast<unsigned char>(s_[pos_])) ||
+            s_[pos_] == '.' || s_[pos_] == 'e' || s_[pos_] == 'E' ||
+            s_[pos_] == '+' || s_[pos_] == '-')) {
+      ++pos_;
+    }
+    return pos_ > start;
+  }
+  bool literal(const char* kw) {
+    const std::size_t len = std::char_traits<char>::length(kw);
+    if (s_.compare(pos_, len, kw) != 0) return false;
+    pos_ += len;
+    return true;
+  }
+  char peek() const { return pos_ < s_.size() ? s_[pos_] : '\0'; }
+  void ws() {
+    while (pos_ < s_.size() &&
+           (s_[pos_] == ' ' || s_[pos_] == '\n' || s_[pos_] == '\t' ||
+            s_[pos_] == '\r')) {
+      ++pos_;
+    }
+  }
+
+  const std::string& s_;
+  std::size_t pos_ = 0;
+};
+
+// --- trace event extraction ---------------------------------------------
+// trace_write_json emits one event per line; pull the fields the nesting
+// checks need with plain string scans.
+struct Ev {
+  std::string name;
+  char ph = '?';
+  long long ts = 0;
+  int tid = 0;
+};
+
+std::string field(const std::string& line, const std::string& key) {
+  const auto k = line.find("\"" + key + "\":");
+  if (k == std::string::npos) return "";
+  std::size_t v = k + key.size() + 3;
+  std::size_t end = v;
+  if (line[v] == '"') {
+    ++v;
+    end = line.find('"', v);
+  } else {
+    end = line.find_first_of(",}", v);
+  }
+  return line.substr(v, end - v);
+}
+
+std::vector<Ev> parse_events(const std::string& json) {
+  std::vector<Ev> events;
+  std::istringstream is(json);
+  std::string line;
+  while (std::getline(is, line)) {
+    if (line.rfind("{\"name\":", 0) != 0) continue;
+    Ev e;
+    e.name = field(line, "name");
+    e.ph = field(line, "ph")[0];
+    e.ts = std::atoll(field(line, "ts").c_str());
+    e.tid = std::atoi(field(line, "tid").c_str());
+    events.push_back(std::move(e));
+  }
+  return events;
+}
+
+// Every tid's B/E events must pair up like parentheses, and timestamps
+// must be non-decreasing within a tid (per-thread order is preserved).
+void expect_well_nested(const std::vector<Ev>& events) {
+  std::map<int, int> depth;
+  std::map<int, long long> last_ts;
+  for (const auto& e : events) {
+    auto it = last_ts.find(e.tid);
+    if (it != last_ts.end()) {
+      EXPECT_LE(it->second, e.ts);
+    }
+    last_ts[e.tid] = e.ts;
+    if (e.ph == 'B') {
+      ++depth[e.tid];
+    } else if (e.ph == 'E') {
+      ASSERT_GT(depth[e.tid], 0) << "E without matching B on tid " << e.tid;
+      --depth[e.tid];
+    }
+  }
+  for (const auto& [tid, d] : depth) {
+    EXPECT_EQ(d, 0) << "unclosed span on tid " << tid;
+  }
+}
+
+// --- tracer --------------------------------------------------------------
+
+TEST(Trace, DisabledByDefaultRecordsNothing) {
+  obs::trace_clear();
+  ASSERT_FALSE(obs::trace_enabled());
+  {
+    obs::TraceScope s("phantom");
+    obs::trace_instant("ghost", 7);
+  }
+  EXPECT_EQ(obs::trace_event_count(), 0u);
+}
+
+TEST(Trace, JsonIsValidAndSpansWellNested) {
+  obs::trace_start();
+  {
+    obs::TraceScope outer("trial", 0);
+    {
+      obs::TraceScope inner("prefill");
+      obs::trace_instant("detector_trip", 3);
+    }
+    obs::TraceScope tail("decode", 1);
+  }
+  obs::trace_stop();
+  const std::string json = obs::trace_json();
+  EXPECT_TRUE(JsonValidator(json).valid()) << json;
+
+  const auto events = parse_events(json);
+  // trial B, prefill B, instant, prefill E, decode B, decode E, trial E.
+  ASSERT_EQ(events.size(), 7u);
+  expect_well_nested(events);
+  EXPECT_EQ(events[0].name, "trial");
+  EXPECT_EQ(events[0].ph, 'B');
+  EXPECT_EQ(events[2].ph, 'i');
+  EXPECT_EQ(events[2].name, "detector_trip");
+  obs::trace_clear();
+}
+
+TEST(Trace, ClearDropsBufferedEvents) {
+  obs::trace_start();
+  { obs::TraceScope s("span"); }
+  EXPECT_EQ(obs::trace_event_count(), 2u);
+  obs::trace_clear();
+  EXPECT_EQ(obs::trace_event_count(), 0u);
+  obs::trace_stop();
+}
+
+TEST(ObsParallel, ThreadedSpansStayWellNestedPerTid) {
+  obs::trace_start();
+  constexpr int kThreads = 4;
+  constexpr int kIters = 25;
+  std::vector<std::thread> workers;
+  for (int t = 0; t < kThreads; ++t) {
+    workers.emplace_back([] {
+      for (int i = 0; i < kIters; ++i) {
+        obs::TraceScope trial("trial", i);
+        {
+          obs::TraceScope attn("attn", i);
+          obs::trace_instant("retire", i);
+        }
+        obs::trace_flush_thread();  // mid-stream flush, as campaigns do
+      }
+      obs::trace_flush_thread();
+    });
+  }
+  for (auto& w : workers) w.join();
+  obs::trace_stop();
+
+  const std::string json = obs::trace_json();
+  EXPECT_TRUE(JsonValidator(json).valid());
+  const auto events = parse_events(json);
+  EXPECT_EQ(events.size(),
+            static_cast<std::size_t>(kThreads) * kIters * 5);
+  expect_well_nested(events);
+  std::map<int, int> per_tid;
+  for (const auto& e : events) ++per_tid[e.tid];
+  EXPECT_EQ(per_tid.size(), static_cast<std::size_t>(kThreads));
+  obs::trace_clear();
+}
+
+// --- metrics -------------------------------------------------------------
+
+TEST(Metrics, DisabledShorthandsAreNoOps) {
+  obs::metrics_start();
+  obs::metrics_stop();  // registry now empty and disabled
+  obs::count("ghost_total");
+  obs::gauge_set("ghost_gauge", 1.0);
+  obs::observe("ghost_us", {1, 2}, 1.5);
+  EXPECT_EQ(obs::Registry::global().json(), "{\n\n}\n");
+}
+
+TEST(Metrics, GoldenJsonExport) {
+  obs::metrics_start();
+  obs::count("campaign_trials_total", 3);
+  obs::gauge_set("campaign_runtime_sec", 1.5);
+  // Labeled name: the embedded quotes must come out escaped in the key.
+  obs::count("outcome_total{outcome=\"masked\"}", 2);
+  obs::observe("lat_us", {10, 20, 50}, 5);
+  obs::observe("lat_us", {10, 20, 50}, 15);
+  obs::observe("lat_us", {10, 20, 50}, 100);
+  obs::metrics_stop();
+
+  const std::string json = obs::Registry::global().json();
+  EXPECT_TRUE(JsonValidator(json).valid()) << json;
+  EXPECT_EQ(json,
+            "{\n"
+            "  \"campaign_runtime_sec\": 1.5,\n"
+            "  \"campaign_trials_total\": 3,\n"
+            "  \"lat_us\": {\"count\": 3, \"sum\": 120, \"mean\": 40, "
+            "\"p50\": 15, \"p95\": 50, \"p99\": 50, \"buckets\": "
+            "[{\"le\": \"10\", \"n\": 1}, {\"le\": \"20\", \"n\": 1}, "
+            "{\"le\": \"50\", \"n\": 0}, {\"le\": \"+Inf\", \"n\": 1}]},\n"
+            "  \"outcome_total{outcome=\\\"masked\\\"}\": 2\n"
+            "}\n");
+}
+
+TEST(Metrics, GoldenPrometheusExport) {
+  obs::metrics_start();
+  obs::count("outcome_total{outcome=\"masked\"}", 2);
+  obs::observe("lat_us", {10, 20}, 5);
+  obs::observe("lat_us", {10, 20}, 15);
+  obs::observe("lat_us", {10, 20}, 30);
+  obs::metrics_stop();
+
+  // Histogram buckets are cumulative; the name-embedded label block is
+  // carried through and merged with `le`.
+  EXPECT_EQ(obs::Registry::global().prometheus(),
+            "lat_us_bucket{le=\"10\"} 1\n"
+            "lat_us_bucket{le=\"20\"} 2\n"
+            "lat_us_bucket{le=\"+Inf\"} 3\n"
+            "lat_us_sum 50\n"
+            "lat_us_count 3\n"
+            "outcome_total{outcome=\"masked\"} 2\n");
+}
+
+TEST(Metrics, HistogramQuantilesInterpolate) {
+  obs::Histogram h({10.0, 20.0, 50.0});
+  for (int i = 0; i < 10; ++i) h.observe(15.0);  // all in (10, 20]
+  // rank = q * 10 lands inside the (10, 20] bucket; interpolation maps
+  // the in-bucket fraction linearly onto the bucket edges.
+  EXPECT_DOUBLE_EQ(h.quantile(0.5), 15.0);
+  EXPECT_DOUBLE_EQ(h.quantile(1.0), 20.0);
+  h.observe(1000.0);  // +inf bucket has no upper edge: reports lower edge
+  EXPECT_DOUBLE_EQ(h.quantile(1.0), 50.0);
+  EXPECT_EQ(h.count(), 11u);
+  EXPECT_DOUBLE_EQ(h.mean(), (10 * 15.0 + 1000.0) / 11.0);
+}
+
+TEST(ObsParallel, CountersAggregateAcrossThreads) {
+  obs::metrics_start();
+  constexpr int kThreads = 4;
+  constexpr int kIters = 1000;
+  std::vector<std::thread> workers;
+  for (int t = 0; t < kThreads; ++t) {
+    workers.emplace_back([] {
+      for (int i = 0; i < kIters; ++i) {
+        obs::count("par_total");
+        obs::observe("par_us", {10, 100}, static_cast<double>(i % 200));
+      }
+    });
+  }
+  for (auto& w : workers) w.join();
+  obs::metrics_stop();
+  auto& reg = obs::Registry::global();
+  EXPECT_EQ(reg.counter("par_total").value(),
+            static_cast<std::uint64_t>(kThreads) * kIters);
+  EXPECT_EQ(reg.histogram("par_us", {10, 100}).count(),
+            static_cast<std::uint64_t>(kThreads) * kIters);
+}
+
+// --- progress ------------------------------------------------------------
+
+// Pull "<done>/<total>" out of a progress line: digits immediately
+// before the first '/'.
+std::uint64_t parse_done(const std::string& line) {
+  const auto slash = line.find('/');
+  EXPECT_NE(slash, std::string::npos) << line;
+  std::size_t start = slash;
+  while (start > 0 &&
+         std::isdigit(static_cast<unsigned char>(line[start - 1]))) {
+    --start;
+  }
+  return std::strtoull(line.substr(start, slash - start).c_str(), nullptr,
+                       10);
+}
+
+TEST(Progress, FinalLineReportsEveryItemAndTally) {
+  std::vector<std::string> lines;
+  {
+    obs::ProgressReporter rep("unit", 6, {"ok", "bad"},
+                              /*interval_sec=*/3600.0,
+                              [&](const std::string& s) {
+                                lines.push_back(s);
+                              });
+    for (int i = 0; i < 6; ++i) rep.add(static_cast<std::size_t>(i % 2));
+    rep.finish();
+    rep.finish();  // idempotent; destructor must not emit again either
+  }
+  ASSERT_EQ(lines.size(), 1u);  // interval never elapsed: final line only
+  EXPECT_NE(lines[0].find("done: 6/6"), std::string::npos) << lines[0];
+  EXPECT_NE(lines[0].find("ok 3"), std::string::npos) << lines[0];
+  EXPECT_NE(lines[0].find("bad 3"), std::string::npos) << lines[0];
+}
+
+TEST(ObsParallel, ProgressCountsMonotoneUnderConcurrency) {
+  constexpr int kThreads = 4;
+  constexpr int kIters = 200;
+  std::vector<std::string> lines;  // sink calls are serialized by emit_mu_
+  {
+    obs::ProgressReporter rep(
+        "par", static_cast<std::uint64_t>(kThreads) * kIters,
+        {"a", "b", "c"}, /*interval_sec=*/0.0,
+        [&](const std::string& s) { lines.push_back(s); });
+    std::vector<std::thread> workers;
+    for (int t = 0; t < kThreads; ++t) {
+      workers.emplace_back([&rep] {
+        for (int i = 0; i < kIters; ++i) {
+          rep.add(static_cast<std::size_t>(i % 3));
+        }
+      });
+    }
+    for (auto& w : workers) w.join();
+    rep.finish();
+  }
+  ASSERT_GE(lines.size(), 2u);
+  std::uint64_t prev = 0;
+  for (const auto& line : lines) {
+    const std::uint64_t done = parse_done(line);
+    EXPECT_GE(done, prev) << line;
+    prev = done;
+  }
+  EXPECT_EQ(prev, static_cast<std::uint64_t>(kThreads) * kIters);
+}
+
+// --- env knobs / file outputs -------------------------------------------
+
+TEST(Obs, EnvKnobsArmCollectorsAndWriteFiles) {
+  const std::string trace_path = ::testing::TempDir() + "obs_trace.json";
+  const std::string prom_path = ::testing::TempDir() + "obs_metrics.prom";
+  setenv("LLMFI_TRACE", trace_path.c_str(), 1);
+  setenv("LLMFI_METRICS", prom_path.c_str(), 1);
+  const obs::EnvConfig cfg = obs::init_from_env();
+  unsetenv("LLMFI_TRACE");
+  unsetenv("LLMFI_METRICS");
+  ASSERT_TRUE(cfg.trace_path.has_value());
+  ASSERT_TRUE(cfg.metrics_path.has_value());
+  EXPECT_TRUE(obs::trace_enabled());
+  EXPECT_TRUE(obs::metrics_enabled());
+
+  { obs::TraceScope s("env_span", 1); }
+  obs::count("env_total", 4);
+  obs::trace_stop();
+  obs::metrics_stop();
+  EXPECT_TRUE(obs::write_outputs(cfg));
+
+  std::ifstream tf(trace_path);
+  std::stringstream tbuf;
+  tbuf << tf.rdbuf();
+  EXPECT_TRUE(JsonValidator(tbuf.str()).valid());
+  expect_well_nested(parse_events(tbuf.str()));
+
+  std::ifstream mf(prom_path);
+  std::stringstream mbuf;
+  mbuf << mf.rdbuf();
+  EXPECT_NE(mbuf.str().find("env_total 4"), std::string::npos)
+      << mbuf.str();
+  obs::trace_clear();
+  std::remove(trace_path.c_str());
+  std::remove(prom_path.c_str());
+}
+
+TEST(Obs, ProgressEnvOverridesFallback) {
+  unsetenv("LLMFI_PROGRESS");
+  EXPECT_FALSE(obs::progress_from_env(false));
+  EXPECT_TRUE(obs::progress_from_env(true));
+  setenv("LLMFI_PROGRESS", "0", 1);
+  EXPECT_FALSE(obs::progress_from_env(true));
+  setenv("LLMFI_PROGRESS", "1", 1);
+  EXPECT_TRUE(obs::progress_from_env(false));
+  unsetenv("LLMFI_PROGRESS");
+}
+
+}  // namespace
+}  // namespace llmfi

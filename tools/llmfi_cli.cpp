@@ -18,6 +18,7 @@
 
 #include "eval/campaign.h"
 #include "eval/model_zoo.h"
+#include "obs/obs.h"
 #include "report/table.h"
 
 using namespace llmfi;
@@ -44,6 +45,9 @@ struct CliArgs {
   bool direct = false;
   bool list = false;
   bool help = false;
+  std::string trace_file;    // --trace FILE (Chrome trace-event JSON)
+  std::string metrics_file;  // --metrics FILE (.prom/.txt => Prometheus)
+  bool progress = false;     // --progress (periodic stderr line)
 };
 
 void print_usage() {
@@ -78,7 +82,18 @@ void print_usage() {
       "  --router-only    restrict faults to MoE gate layers\n"
       "  --direct         math task without chain-of-thought\n"
       "  --csv            CSV output\n"
-      "  --list           list models and datasets, then exit\n");
+      "  --list           list models and datasets, then exit\n"
+      "  --trace FILE     write a Chrome trace-event JSON of phase spans\n"
+      "                   (load in Perfetto / chrome://tracing; env\n"
+      "                   equivalent LLMFI_TRACE)\n"
+      "  --metrics FILE   export campaign/serve metrics; FILE ending in\n"
+      "                   .prom or .txt selects Prometheus text, anything\n"
+      "                   else JSON (env equivalent LLMFI_METRICS)\n"
+      "  --progress       periodic progress line on stderr (done/total,\n"
+      "                   trials/s, ETA, outcome tallies; env equivalent\n"
+      "                   LLMFI_PROGRESS=1)\n"
+      "                   Observability never perturbs results: outputs\n"
+      "                   are byte-identical with these on or off.\n");
 }
 
 bool parse_args(int argc, char** argv, CliArgs& args) {
@@ -130,6 +145,12 @@ bool parse_args(int argc, char** argv, CliArgs& args) {
       args.prefix_fork = false;
     } else if (a == "--retries" && (v = need_value(i))) {
       args.retries = std::atoi(v);
+    } else if (a == "--trace" && (v = need_value(i))) {
+      args.trace_file = v;
+    } else if (a == "--metrics" && (v = need_value(i))) {
+      args.metrics_file = v;
+    } else if (a == "--progress") {
+      args.progress = true;
     } else {
       std::fprintf(stderr, "unknown option: %s\n", a.c_str());
       return false;
@@ -177,6 +198,18 @@ int main(int argc, char** argv) {
     return 2;
   }
 
+  // Arm observability before the campaign: flags win, env fills gaps
+  // (LLMFI_TRACE / LLMFI_METRICS). Neither perturbs results.
+  obs::EnvConfig obs_cfg = obs::init_from_env();
+  if (!args.trace_file.empty()) {
+    obs_cfg.trace_path = args.trace_file;
+    obs::trace_start();
+  }
+  if (!args.metrics_file.empty()) {
+    obs_cfg.metrics_path = args.metrics_file;
+    obs::metrics_start();
+  }
+
   try {
     eval::Zoo zoo;
     const auto& spec = eval::workload(args.dataset);
@@ -196,6 +229,7 @@ int main(int argc, char** argv) {
     cfg.detection.recover = args.recovery;
     cfg.detection.max_retries = args.retries;
     cfg.prefix_fork = args.prefix_fork;
+    cfg.progress = args.progress;
     if (args.router_only) {
       cfg.layer_filter = [](const nn::LinearId& id) {
         return id.kind == nn::LayerKind::Router;
@@ -239,9 +273,20 @@ int main(int argc, char** argv) {
                               static_cast<double>(r.faulty_passes)
                         : 0.0);
       }
+      if (r.serve_stats.active) {
+        std::printf(
+            "serve: admitted %llu (forked %llu), completed %llu, "
+            "backfills %llu, mean batch occupancy %.2f\n",
+            static_cast<unsigned long long>(r.serve_stats.admitted),
+            static_cast<unsigned long long>(r.serve_stats.forked_admissions),
+            static_cast<unsigned long long>(r.serve_stats.completed),
+            static_cast<unsigned long long>(r.serve_stats.backfills),
+            r.serve_stats.mean_batch_occupancy());
+      }
       std::printf("runtime: %.1fs (%.1f ms/trial)\n", r.total_runtime_sec,
                   1000.0 * r.total_runtime_sec / cfg.trials);
     }
+    obs::write_outputs(obs_cfg);
     return 0;
   } catch (const std::exception& e) {
     std::fprintf(stderr, "error: %s\n", e.what());

@@ -19,6 +19,7 @@
 #include "eval/model_zoo.h"
 #include "eval/runner.h"
 #include "eval/workloads.h"
+#include "obs/obs.h"
 #include "serve/scheduler.h"
 
 using namespace llmfi;
@@ -33,6 +34,8 @@ struct CliArgs {
   int max_new = 40;
   int n = 8;  // prompts taken from the head of the eval set
   bool help = false;
+  std::string trace_file;    // --trace FILE
+  std::string metrics_file;  // --metrics FILE
 };
 
 void print_usage() {
@@ -45,7 +48,12 @@ void print_usage() {
       "  --batch N       scheduler slots, i.e. sequences decoding per\n"
       "                  forward_batch pass (default 4)\n"
       "  --max-new N     token budget per request (default 40)\n"
-      "  --n N           number of prompts to submit (default 8)\n");
+      "  --n N           number of prompts to submit (default 8)\n"
+      "  --trace FILE    Chrome trace-event JSON of admission/decode spans\n"
+      "                  (Perfetto-loadable; env LLMFI_TRACE)\n"
+      "  --metrics FILE  export serve latency metrics — queue wait, TTFT,\n"
+      "                  per-token decode, batch occupancy; .prom/.txt gets\n"
+      "                  Prometheus text, else JSON (env LLMFI_METRICS)\n");
 }
 
 bool parse_args(int argc, char** argv, CliArgs& args) {
@@ -73,6 +81,10 @@ bool parse_args(int argc, char** argv, CliArgs& args) {
       args.max_new = std::atoi(v);
     } else if (a == "--n" && (v = need_value(i))) {
       args.n = std::atoi(v);
+    } else if (a == "--trace" && (v = need_value(i))) {
+      args.trace_file = v;
+    } else if (a == "--metrics" && (v = need_value(i))) {
+      args.metrics_file = v;
     } else {
       std::fprintf(stderr, "unknown option: %s\n", a.c_str());
       return false;
@@ -96,6 +108,17 @@ int main(int argc, char** argv) {
   if (args.batch <= 0 || args.max_new < 0 || args.n <= 0) {
     std::fprintf(stderr, "batch/n must be positive, max-new >= 0\n");
     return 2;
+  }
+
+  // Arm observability before serving: flags win, env fills gaps.
+  obs::EnvConfig obs_cfg = obs::init_from_env();
+  if (!args.trace_file.empty()) {
+    obs_cfg.trace_path = args.trace_file;
+    obs::trace_start();
+  }
+  if (!args.metrics_file.empty()) {
+    obs_cfg.metrics_path = args.metrics_file;
+    obs::metrics_start();
   }
 
   try {
@@ -160,6 +183,28 @@ int main(int argc, char** argv) {
     std::printf("max active       %d\n", es.max_active);
     std::printf("generated tokens %llu\n",
                 static_cast<unsigned long long>(es.generated_tokens));
+    if (obs::metrics_enabled()) {
+      // Latency summary straight from the metrics registry — the same
+      // histograms --metrics exports.
+      auto& reg = obs::Registry::global();
+      std::printf("--- latency (us, bucket-interpolated) ---\n");
+      for (const char* name :
+           {"serve_queue_wait_us", "serve_ttft_us", "serve_decode_token_us"}) {
+        auto& h = reg.histogram(name, obs::latency_us_buckets());
+        if (h.count() == 0) continue;
+        std::printf("%-22s p50 %.0f  p95 %.0f  p99 %.0f  mean %.0f  (n=%llu)\n",
+                    name, h.quantile(0.50), h.quantile(0.95),
+                    h.quantile(0.99), h.mean(),
+                    static_cast<unsigned long long>(h.count()));
+      }
+      auto& occ =
+          reg.histogram("serve_batch_occupancy", obs::small_count_buckets());
+      if (occ.count() > 0) {
+        std::printf("%-22s mean %.2f rows/batch\n", "serve_batch_occupancy",
+                    occ.mean());
+      }
+    }
+    obs::write_outputs(obs_cfg);
     return 0;
   } catch (const std::exception& e) {
     std::fprintf(stderr, "error: %s\n", e.what());
