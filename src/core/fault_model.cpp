@@ -10,6 +10,7 @@ std::string_view fault_model_name(FaultModel m) {
     case FaultModel::Comp1Bit: return "1bit-comp";
     case FaultModel::Comp2Bit: return "2bits-comp";
     case FaultModel::Mem2Bit: return "2bits-mem";
+    case FaultModel::KvBit: return "kv-bit";
   }
   return "?";
 }
@@ -18,6 +19,7 @@ FaultModel parse_fault_model(std::string_view name) {
   if (name == "1bit-comp") return FaultModel::Comp1Bit;
   if (name == "2bits-comp") return FaultModel::Comp2Bit;
   if (name == "2bits-mem") return FaultModel::Mem2Bit;
+  if (name == "kv-bit") return FaultModel::KvBit;
   throw std::invalid_argument("unknown fault model: " + std::string(name));
 }
 

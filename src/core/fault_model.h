@@ -5,6 +5,12 @@
 //   2bits-comp — double-bit flip, same site,
 //   2bits-mem — double-bit flip in one stored weight, persisting for the
 //               whole inference (the ECC-uncorrectable memory fault).
+// Plus one model beyond the paper's scope (motivated by the KV-resident
+// soft-error findings in PAPERS.md):
+//   kv-bit   — single-bit flip in one already-cached K/V element at a
+//              sampled (block, position, dim), landing at the start of a
+//              sampled decode pass and persisting for the rest of the
+//              sequence: every later pass attends over the flipped row.
 
 #include <string_view>
 
@@ -14,14 +20,21 @@ enum class FaultModel {
   Comp1Bit,
   Comp2Bit,
   Mem2Bit,
+  KvBit,
 };
 
 constexpr bool is_memory_fault(FaultModel m) {
   return m == FaultModel::Mem2Bit;
 }
 
+// KV faults are their own class: transient in origin (one flip at one
+// pass, like comp faults) but persistent in effect (the corrupted state
+// is re-read every later pass, like mem faults). Recovery must flush
+// and refill the cache, not recompute the pass.
+constexpr bool is_kv_fault(FaultModel m) { return m == FaultModel::KvBit; }
+
 constexpr int fault_bit_count(FaultModel m) {
-  return m == FaultModel::Comp1Bit ? 1 : 2;
+  return m == FaultModel::Comp1Bit || m == FaultModel::KvBit ? 1 : 2;
 }
 
 std::string_view fault_model_name(FaultModel m);

@@ -13,6 +13,41 @@ int FaultPlan::highest_bit() const {
 
 FaultPlan sample_fault(FaultModel model, model::InferenceModel& m,
                        const SamplerScope& scope, num::Rng& rng) {
+  if (is_kv_fault(model)) {
+    // KV faults target a cache plane, not a weight matrix. The sites
+    // are the per-block K and V planes, labeled with the block's
+    // KProj/VProj ids so site-keyed metrics aggregate naturally;
+    // layer_index stays -1 (there is no linear_layers entry to index).
+    std::vector<nn::LinearId> sites;
+    for (int b = 0; b < m.config().n_layers; ++b) {
+      for (auto kind : {nn::LayerKind::KProj, nn::LayerKind::VProj}) {
+        const nn::LinearId id{b, kind, -1};
+        if (!scope.layer_filter || scope.layer_filter(id)) {
+          sites.push_back(id);
+        }
+      }
+    }
+    if (sites.empty()) {
+      throw std::invalid_argument("sample_fault: no eligible KV planes");
+    }
+    FaultPlan plan;
+    plan.model = model;
+    plan.layer = sites[rng.uniform_u64(sites.size())];
+    plan.layer_index = -1;
+    const int width = num::dtype_info(m.precision().act_dtype).total_bits;
+    plan.bits.push_back(static_cast<int>(
+        rng.uniform_u64(static_cast<std::uint64_t>(width))));
+    // Pass >= 1: the flip lands at the start of a decode pass, once the
+    // prefill rows are cached. The victim (position, dim) resolves
+    // against the live cache length at fire time via row_frac/out_col.
+    plan.pass_index = 1 + static_cast<int>(rng.uniform_u64(
+        static_cast<std::uint64_t>(std::max(1, scope.max_passes - 1))));
+    plan.row_frac = rng.uniform();
+    plan.out_col = static_cast<tn::Index>(rng.uniform_u64(
+        static_cast<std::uint64_t>(m.config().d_model)));
+    return plan;
+  }
+
   auto layers = m.linear_layers();
   std::vector<int> eligible;
   for (int i = 0; i < static_cast<int>(layers.size()); ++i) {

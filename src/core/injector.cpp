@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cassert>
 
+#include "nn/kv_cache.h"
 #include "numerics/bitflip.h"
 
 namespace llmfi::core {
@@ -35,6 +36,41 @@ void ComputationalFaultInjector::on_linear_output(const nn::LinearId& id,
   y.at(rec.row, rec.col) =
       num::flip_float_bits(rec.old_value, act_dtype_, plan_.bits);
   rec.new_value = y.at(rec.row, rec.col);
+  record_ = rec;
+}
+
+KvBitFaultInjector::KvBitFaultInjector(FaultPlan plan, num::DType act_dtype)
+    : plan_(std::move(plan)), act_dtype_(act_dtype) {
+  assert(is_kv_fault(plan_.model));
+}
+
+void KvBitFaultInjector::on_pass_begin(nn::KvCache& cache, int pass_index) {
+  if (record_.has_value()) return;  // single shot
+  if (pass_index != plan_.pass_index) return;
+  const tn::Index len = cache.length();
+  if (len <= 0) return;  // nothing cached yet: the flip lands in
+                         // unused storage and is masked by definition
+  const int block = std::min(plan_.layer.block, cache.n_blocks() - 1);
+  const bool value_plane = plan_.layer.kind == nn::LayerKind::VProj;
+
+  FiredRecord rec;
+  rec.pass_index = pass_index;
+  rec.row = std::min<tn::Index>(
+      len - 1,
+      static_cast<tn::Index>(plan_.row_frac * static_cast<double>(len)));
+  rec.col = std::min<tn::Index>(plan_.out_col, cache.d_model() - 1);
+  rec.old_value = value_plane ? cache.value_at(block, rec.row, rec.col)
+                              : cache.key_at(block, rec.row, rec.col);
+  // Cached K/V rows hold post-RoPE fp32 values; the flip models storage
+  // at the serving dtype, so the element is rounded into act_dtype,
+  // flipped there, and decoded back.
+  rec.new_value = num::flip_float_bits(rec.old_value, act_dtype_,
+                                       plan_.bits);
+  if (value_plane) {
+    cache.set_value_at(block, rec.row, rec.col, rec.new_value);
+  } else {
+    cache.set_key_at(block, rec.row, rec.col, rec.new_value);
+  }
   record_ = rec;
 }
 

@@ -46,6 +46,35 @@ class ComputationalFaultInjector : public nn::LinearHook {
   std::optional<FiredRecord> record_;
 };
 
+// Flips plan.bits in one already-cached K/V element at the start of the
+// planned pass, before the pass reads the cache. The victim is resolved
+// at fire time against the live cache: block and K-vs-V plane from
+// plan.layer (KProj/VProj), position = row_frac scaled over the current
+// length, dim = out_col. Persistent by construction — the cache re-reads
+// the flipped row on every later pass — and single-shot: recovery reruns
+// that flush the cache start clean (FiredRecord.row is the position,
+// .col the dim). A pass that finds the cache empty fires nothing (the
+// fault lands in unused storage: masked).
+class KvBitFaultInjector : public nn::KvPassHook {
+ public:
+  // `act_dtype` is the representation the flip happens in: the cached
+  // element is rounded into the serving dtype, bit-flipped there, and
+  // decoded back — the KV cache is stored at activation precision.
+  KvBitFaultInjector(FaultPlan plan, num::DType act_dtype);
+
+  void on_pass_begin(nn::KvCache& cache, int pass_index) override;
+
+  bool fired() const { return record_.has_value(); }
+  const FiredRecord& record() const { return *record_; }
+  // Re-arm for another inference with the same plan.
+  void reset() { record_.reset(); }
+
+ private:
+  FaultPlan plan_;
+  num::DType act_dtype_;
+  std::optional<FiredRecord> record_;
+};
+
 // RAII hook installation: installs `hook` on construction and restores
 // the previously installed hook (usually none) on destruction, so a
 // throwing inference cannot leak a dangling hook pointer into the next

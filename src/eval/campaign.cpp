@@ -161,7 +161,8 @@ TrialOutcome run_trial(model::InferenceModel& engine, const tok::Vocab& vocab,
                        const WorkloadSpec& spec, const CampaignConfig& cfg,
                        const num::Rng& campaign_rng, int trial,
                        const DetectionContext* detect,
-                       const std::vector<gen::PrefixSnapshot>* snapshots) {
+                       const std::vector<gen::PrefixSnapshot>* snapshots,
+                       std::shared_ptr<nn::PagePool> kv_pool) {
   obs::TraceScope trial_span("trial", trial);
   const int n_inputs = static_cast<int>(baselines.size());
   const int ei = trial % n_inputs;
@@ -179,8 +180,60 @@ TrialOutcome run_trial(model::InferenceModel& engine, const tok::Vocab& vocab,
 
   const bool use_detect = detect != nullptr && cfg.detection.enabled();
 
+  // Every run this trial performs draws its caches from the shared page
+  // pool when one is set (null leaves the contiguous layout). Values are
+  // bit-identical either way, so the arms below stay oblivious to it.
+  RunOptions base_run = cfg.run;
+  base_run.gen.kv_pool = kv_pool;
+
   ExampleResult faulty;
-  if (core::is_memory_fault(cfg.fault)) {
+  if (core::is_kv_fault(cfg.fault)) {
+    // KV-bit faults are transient in origin (one flip, one pass) but
+    // persistent in effect: every later pass re-reads the corrupted row.
+    // The injector is a per-pass cache hook, not a linear hook, so it
+    // rides GenerationConfig::kv_hook instead of the engine's hook slot.
+    core::KvBitFaultInjector injector(out.plan, engine.precision().act_dtype);
+    RunOptions run = base_run;
+    run.gen.kv_hook = &injector;
+    if (use_detect) {
+      // Detect-only during the run: recompute-the-pass rewinds appends,
+      // not already-cached rows, so in-pass retries would re-read the
+      // same corrupted element forever — max_recoveries stays 0.
+      DetectorBundle det(cfg.detection, *detect, nullptr);
+      run.gen.detector = det.hook();
+      run.gen.max_recoveries = 0;
+      core::LinearHookGuard guard(engine, det.hook());
+      faulty = run_example(engine, vocab, spec, ex, run);
+      if (cfg.detection.recover && faulty.detections > 0) {
+        // Flush-and-refill recovery: restart the inference on a fresh
+        // cache. The single-shot injector already fired, so the rerun
+        // recomputes every K/V row clean — the KV analogue of the
+        // memory arm's restore-and-rerun, with the same accounting.
+        const int detections = faulty.detections;
+        const int poisoned_passes = faulty.passes;
+        ExampleResult restored = run_example(engine, vocab, spec, ex,
+                                             base_run);
+        restored.detections = detections;
+        restored.recoveries = detections;
+        restored.recovery_passes = restored.passes;  // the rerun is the cost
+        restored.passes += poisoned_passes;
+        faulty = std::move(restored);
+      }
+    } else {
+      // Same prefix-fork gating as the transient-compute arm: the flip
+      // fires at the start of pass t (>= 1 by construction), so passes
+      // 0..t-1 are bit-identical to the baseline and the forked prefix
+      // holds exactly the rows the injector corrupts.
+      if (snapshots != nullptr && cfg.run.gen.num_beams == 1 &&
+          out.plan.pass_index >= 1 &&
+          ei < static_cast<int>(snapshots->size()) &&
+          (*snapshots)[static_cast<size_t>(ei)].valid) {
+        run.resume = &(*snapshots)[static_cast<size_t>(ei)];
+        run.start_pass = out.plan.pass_index;
+      }
+      faulty = run_example(engine, vocab, spec, ex, run);
+    }
+  } else if (core::is_memory_fault(cfg.fault)) {
     // Persistent faults: recomputing a pass re-reads the same corrupted
     // weight, so the run is detect-only; recovery is
     // weight-rescreen-and-restore instead. The screen profiles the
@@ -192,7 +245,7 @@ TrialOutcome run_trial(model::InferenceModel& engine, const tok::Vocab& vocab,
       core::WeightCorruption guard(engine, out.plan);
       if (use_detect) {
         DetectorBundle det(cfg.detection, *detect, nullptr);
-        RunOptions run = cfg.run;
+        RunOptions run = base_run;
         run.gen.detector = det.hook();
         run.gen.max_recoveries = 0;
         core::LinearHookGuard hook_guard(engine, det.hook());
@@ -203,13 +256,13 @@ TrialOutcome run_trial(model::InferenceModel& engine, const tok::Vocab& vocab,
         restore_and_rerun = screen.has_value() && faulty.detections > 0 &&
                             screen->scan(cfg.detection.screen_bound) > 0;
       } else {
-        faulty = run_example(engine, vocab, spec, ex, cfg.run);
+        faulty = run_example(engine, vocab, spec, ex, base_run);
       }
     }  // corruption restored here
     if (restore_and_rerun) {
       const int detections = faulty.detections;
       const int poisoned_passes = faulty.passes;
-      ExampleResult restored = run_example(engine, vocab, spec, ex, cfg.run);
+      ExampleResult restored = run_example(engine, vocab, spec, ex, base_run);
       restored.detections = detections;
       restored.recoveries = detections;
       restored.recovery_passes = restored.passes;  // the rerun is the cost
@@ -220,7 +273,7 @@ TrialOutcome run_trial(model::InferenceModel& engine, const tok::Vocab& vocab,
     core::ComputationalFaultInjector injector(out.plan,
                                               engine.precision().act_dtype);
     DetectorBundle det(cfg.detection, *detect, &injector);
-    RunOptions run = cfg.run;
+    RunOptions run = base_run;
     run.gen.detector = det.hook();
     run.gen.max_recoveries =
         cfg.detection.recover ? cfg.detection.max_retries : 0;
@@ -230,7 +283,7 @@ TrialOutcome run_trial(model::InferenceModel& engine, const tok::Vocab& vocab,
     core::ComputationalFaultInjector injector(
         out.plan, engine.precision().act_dtype);
     core::LinearHookGuard guard(engine, &injector);
-    RunOptions run = cfg.run;
+    RunOptions run = base_run;
     // Prefix-fork fast path: a transient fault armed at pass t leaves
     // passes 0..t-1 bit-identical to the baseline, so the trial resumes
     // from the shared snapshot at pass t under greedy decoding. gen
@@ -268,6 +321,7 @@ void run_trials_parallel(model::InferenceModel& engine,
                          const num::Rng& campaign_rng, int n_threads,
                          const DetectionContext* detect,
                          const std::vector<gen::PrefixSnapshot>* snapshots,
+                         const std::shared_ptr<nn::PagePool>& kv_pool,
                          std::vector<TrialOutcome>& outcomes,
                          obs::ProgressReporter* progress) {
   std::vector<model::InferenceModel> replicas;
@@ -285,7 +339,7 @@ void run_trials_parallel(model::InferenceModel& engine,
       try {
         outcomes[static_cast<size_t>(trial)] =
             run_trial(eng, vocab, eval_set, baselines, spec, cfg,
-                      campaign_rng, trial, detect, snapshots);
+                      campaign_rng, trial, detect, snapshots, kv_pool);
         // Trial boundary: fold this thread's span buffer into the global
         // trace and tick the progress line.
         if (obs::trace_enabled()) obs::trace_flush_thread();
@@ -343,6 +397,7 @@ void run_trials_batched(model::InferenceModel& engine,
                         const num::Rng& campaign_rng, int n_threads,
                         int batch,
                         const std::vector<gen::PrefixSnapshot>* snapshots,
+                        const std::shared_ptr<nn::PagePool>& kv_pool,
                         std::vector<TrialOutcome>& outcomes,
                         obs::ProgressReporter* progress,
                         CampaignResult::ServeStats& serve_stats) {
@@ -372,7 +427,10 @@ void run_trials_batched(model::InferenceModel& engine,
   };
 
   auto worker = [&](model::InferenceModel& eng) {
-    serve::BatchEngine bengine(eng, batch);
+    // A null kv_pool leaves the slots contiguous; a live one makes every
+    // forked admission alias the snapshot's prefix pages and puts the
+    // scheduler's page-budget gate (queue-when-dry) in play.
+    serve::BatchEngine bengine(eng, batch, kv_pool);
     serve::Scheduler sched(bengine);
     // Trials this worker has admitted but not completed. An engine
     // exception aborts the whole scheduler run, so it is attributed to
@@ -554,6 +612,8 @@ CampaignResult run_campaign_on(model::InferenceModel& engine,
       why = "memory faults corrupt engine-global weights";
     } else if (cfg.detection.enabled()) {
       why = "detection needs per-pass recovery control";
+    } else if (core::is_kv_fault(cfg.fault)) {
+      why = "kv faults hook per-pass cache state the batch rows do not fire";
     } else if (cfg.run.gen.num_beams != 1) {
       why = "beam search decodes a single sequence-group";
     } else if (spec.style == data::TaskStyle::MultipleChoice) {
@@ -563,6 +623,55 @@ CampaignResult run_campaign_on(model::InferenceModel& engine,
       warn_batch_fallback(why);
       batch = 1;
     }
+  }
+
+  const int n_threads =
+      std::max(1, std::min(cfg.threads, std::max(1, cfg.trials)));
+
+  // Paged KV cache (DESIGN.md §12): LLMFI_KV_PAGES overrides the config
+  // knob when set to an integer >= 0 (0 keeps the contiguous oracle).
+  int kv_pages = std::max(0, cfg.kv_pages);
+  if (const char* v = std::getenv("LLMFI_KV_PAGES");
+      v != nullptr && *v != '\0') {
+    char* end = nullptr;
+    const long parsed = std::strtol(v, &end, 10);
+    if (end != v && *end == '\0' && parsed >= 0 && parsed <= (1L << 28)) {
+      kv_pages = static_cast<int>(parsed);
+    }
+  }
+  std::shared_ptr<nn::PagePool> kv_pool;
+  if (kv_pages > 0) {
+    // The sequential arms have no admission gate, so the pool must cover
+    // the campaign's worst case: every concurrently-live cache fully
+    // paged out. That is the baseline snapshots (held for the whole
+    // trial loop) plus, per worker, the batch slots or beam copies (beam
+    // expansion transiently doubles them) and a scratch cache for the
+    // boundary pages a fork acquires before releasing the old table.
+    // Undersized budgets clamp up with one loud line — only the serve
+    // scheduler, with its can_admit gate, is built to ride a genuinely
+    // tight pool (queue-when-dry), and it exercises that under its own
+    // budget in llmfi_serve, not here.
+    const auto& mc = engine.config();
+    const long long per_seq =
+        static_cast<long long>(mc.n_layers) *
+        static_cast<long long>(nn::PagePool::pages_for(
+            mc.max_seq, nn::PagePool::kDefaultPageRows));
+    const long long beams = std::max(1, cfg.run.gen.num_beams);
+    const long long concurrent =
+        (build_snapshots ? n_inputs : 0) +
+        static_cast<long long>(n_threads) * (batch + 2 * beams) + 1;
+    const long long floor_pages = per_seq * concurrent;
+    long long pages = kv_pages;
+    if (pages < floor_pages) {
+      std::fprintf(stderr,
+                   "llmfi: kv-pages %lld is below the campaign's worst-case "
+                   "working set; clamping to %lld\n",
+                   pages, floor_pages);
+      pages = floor_pages;
+    }
+    kv_pool = std::make_shared<nn::PagePool>(static_cast<int>(pages),
+                                             nn::PagePool::kDefaultPageRows,
+                                             mc.d_model);
   }
 
   // Fault-free baselines, one per input — always serial: they seed the
@@ -582,6 +691,7 @@ CampaignResult run_campaign_on(model::InferenceModel& engine,
     if (detect != nullptr) {
       DetectorBundle det(cfg.detection, *detect, nullptr);
       RunOptions run = cfg.run;
+      run.gen.kv_pool = kv_pool;
       run.gen.detector = det.hook();
       run.gen.max_recoveries = 0;
       core::LinearHookGuard guard(engine, det.hook());
@@ -590,6 +700,9 @@ CampaignResult run_campaign_on(model::InferenceModel& engine,
       if (base.detections > 0) ++result.baseline_false_positives;
     } else {
       RunOptions run = cfg.run;
+      // Snapshots captured on the pool let every trial fork alias the
+      // baseline's prefix pages instead of copying rows.
+      run.gen.kv_pool = kv_pool;
       if (build_snapshots) run.capture = &snapshots[static_cast<size_t>(i)];
       base = run_example(engine, vocab, spec,
                          eval_set[static_cast<size_t>(i)], run);
@@ -605,8 +718,6 @@ CampaignResult run_campaign_on(model::InferenceModel& engine,
   }
 
   const num::Rng campaign_rng(cfg.seed);
-  const int n_threads =
-      std::max(1, std::min(cfg.threads, std::max(1, cfg.trials)));
 
   // Progress reporting (LLMFI_PROGRESS overrides the config knob): a
   // periodic stderr line ticked from whichever worker retires each
@@ -631,13 +742,13 @@ CampaignResult run_campaign_on(model::InferenceModel& engine,
       std::max(0, cfg.trials)));
   if (batch > 1) {
     run_trials_batched(engine, vocab, eval_set, baselines, spec, cfg,
-                       campaign_rng, n_threads, batch, snaps, outcomes,
-                       progress, result.serve_stats);
+                       campaign_rng, n_threads, batch, snaps, kv_pool,
+                       outcomes, progress, result.serve_stats);
   } else if (n_threads == 1) {
     for (int trial = 0; trial < cfg.trials; ++trial) {
       outcomes[static_cast<size_t>(trial)] =
           run_trial(engine, vocab, eval_set, baselines, spec, cfg,
-                    campaign_rng, trial, detect, snaps);
+                    campaign_rng, trial, detect, snaps, kv_pool);
       if (obs::trace_enabled()) obs::trace_flush_thread();
       if (progress != nullptr) {
         progress->add(static_cast<std::size_t>(
@@ -646,8 +757,8 @@ CampaignResult run_campaign_on(model::InferenceModel& engine,
     }
   } else {
     run_trials_parallel(engine, vocab, eval_set, baselines, spec, cfg,
-                        campaign_rng, n_threads, detect, snaps, outcomes,
-                        progress);
+                        campaign_rng, n_threads, detect, snaps, kv_pool,
+                        outcomes, progress);
   }
   if (progress_rep) progress_rep->finish();
 

@@ -6,6 +6,7 @@
 #include <array>
 #include <cstdint>
 #include <map>
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -89,6 +90,17 @@ struct CampaignConfig {
   // The env knob LLMFI_BATCH overrides when set to an integer >= 1;
   // llmfi_cli exposes --batch.
   int batch = 1;
+  // Paged KV cache (DESIGN.md §12): values > 0 back every generation
+  // cache — baselines, snapshots, trials, and batched serve slots — with
+  // one shared fixed-size PagePool of that many pages, so prefix forks
+  // alias pages instead of copying rows. Undersized budgets are clamped
+  // up to the campaign's worst-case working set with a one-time warning
+  // (the sequential trial loop must never die of pool exhaustion; the
+  // serve scheduler exercises queue-when-dry on its own admission
+  // budget). 0 keeps the contiguous layout — the bit-exact oracle:
+  // results are byte-identical either way. Env knob LLMFI_KV_PAGES
+  // overrides when set (0 disables); llmfi_cli exposes --kv-pages.
+  int kv_pages = 0;
   // Periodic campaign progress line on stderr (done/total, trials/s,
   // ETA, outcome tallies), safe under the parallel worker pool. The env
   // knob LLMFI_PROGRESS overrides when set ("0" disables, anything else
@@ -150,6 +162,9 @@ struct TrialOutcome {
 // path for the trial). They are shared read-only across the worker pool;
 // the forked cache copy is per-trial, so the bit-identical-across-
 // thread-counts guarantee of the parallel driver is preserved.
+// `kv_pool`, when set, backs the trial's generation caches (the paged
+// layout; the snapshots must have been captured on the same pool for
+// forks to alias pages).
 TrialOutcome run_trial(model::InferenceModel& engine, const tok::Vocab& vocab,
                        const std::vector<data::Example>& eval_set,
                        const std::vector<ExampleResult>& baselines,
@@ -157,7 +172,8 @@ TrialOutcome run_trial(model::InferenceModel& engine, const tok::Vocab& vocab,
                        const num::Rng& campaign_rng, int trial,
                        const DetectionContext* detect = nullptr,
                        const std::vector<gen::PrefixSnapshot>* snapshots =
-                           nullptr);
+                           nullptr,
+                       std::shared_ptr<nn::PagePool> kv_pool = nullptr);
 
 struct CampaignResult {
   CampaignConfig config;

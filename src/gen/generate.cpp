@@ -46,8 +46,15 @@ tn::Tensor forward_checked(model::InferenceModel& m,
                            nn::KvCache& cache, int pass_index,
                            nn::DetectorHook* det, int max_recoveries,
                            int& passes, RecoveryStats& stats,
-                           const char* span_name) {
+                           const char* span_name,
+                           nn::KvPassHook* kv_hook = nullptr) {
   obs::TraceScope span(span_name, pass_index);
+  // The KV pass hook fires once per *logical* pass, before the forward
+  // reads the cache; the recovery loop below re-runs the pass without
+  // re-firing it. A kv-bit flip therefore lands in rows older than the
+  // rewind point (truncate only drops this pass's appends), which is
+  // exactly why recompute-the-pass cannot scrub it.
+  if (kv_hook != nullptr) kv_hook->on_pass_begin(cache, pass_index);
   const tn::Index len0 = cache.length();
   // A detector latched by an earlier pass (detect-only mode, or an
   // unrecoverable fault) must not be counted again for this pass.
@@ -162,7 +169,7 @@ GenerationResult greedy(model::InferenceModel& m,
                         const GenerationConfig& cfg) {
   GenerationResult result;
   RecoveryStats stats;
-  auto cache = m.make_cache();
+  auto cache = cfg.kv_pool ? m.make_cache(cfg.kv_pool) : m.make_cache();
   const PrefixSnapshot* snap = usable_greedy_resume(prompt, cfg, cache);
   // Recovery retries rewind and recompute passes, so the recorded
   // per-pass cache lengths would not describe a straight-line replay;
@@ -196,14 +203,14 @@ GenerationResult greedy(model::InferenceModel& m,
     logits = forward_checked(m, std::span(&input, 1), cache,
                              /*pass_index=*/t, cfg.detector,
                              cfg.max_recoveries, result.passes, stats,
-                             "decode");
+                             "decode", cfg.kv_hook);
     next = static_cast<tok::TokenId>(tn::argmax_row(logits, 0));
     start_step = t;
   } else {
     if (cap != nullptr) cap->cache_len_before_pass.push_back(cache.length());
     logits = forward_checked(m, prompt, cache, /*pass_index=*/0,
                              cfg.detector, cfg.max_recoveries, result.passes,
-                             stats, "prefill");
+                             stats, "prefill", cfg.kv_hook);
     next =
         static_cast<tok::TokenId>(tn::argmax_row(logits, logits.rows() - 1));
   }
@@ -223,7 +230,7 @@ GenerationResult greedy(model::InferenceModel& m,
     logits = forward_checked(m, std::span(&input, 1), cache,
                              /*pass_index=*/step + 1, cfg.detector,
                              cfg.max_recoveries, result.passes, stats,
-                             "decode");
+                             "decode", cfg.kv_hook);
     next = static_cast<tok::TokenId>(tn::argmax_row(logits, 0));
   }
   result.nonfinite_logits = m.saw_nonfinite_logits();
@@ -276,11 +283,13 @@ GenerationResult beam_search(model::InferenceModel& m,
     warn_fork_fallback("resume requires greedy decoding without a detector");
   }
 
-  // Prefill once, then replicate the cache across beams.
-  auto cache0 = m.make_cache();
+  // Prefill once, then replicate the cache across beams (paged beams
+  // share the prefill pages copy-on-write).
+  auto cache0 = cfg.kv_pool ? m.make_cache(cfg.kv_pool) : m.make_cache();
   tn::Tensor logits = forward_checked(m, prompt, cache0, /*pass_index=*/0,
                                       cfg.detector, cfg.max_recoveries,
-                                      result.passes, stats, "prefill");
+                                      result.passes, stats, "prefill",
+                                      cfg.kv_hook);
 
   // Seed beams with the top-n first tokens.
   const tn::Index vocab = logits.cols();
@@ -334,10 +343,14 @@ GenerationResult beam_search(model::InferenceModel& m,
         continue;
       }
       const tok::TokenId input = b.tokens.back();
+      // kv_hook is single-shot across beams: like a comp fault, one
+      // pass of one beam takes the flip (its cache is privatized via
+      // COW before the write when pages are shared).
       beam_logits[bi] =
           forward_checked(m, std::span(&input, 1), b.cache,
                           /*pass_index=*/step, cfg.detector,
-                          cfg.max_recoveries, result.passes, stats, "decode");
+                          cfg.max_recoveries, result.passes, stats, "decode",
+                          cfg.kv_hook);
       // Expand with the per-beam top (n_beams + 1) tokens; that is always
       // enough to fill the global top n_beams even if one is <eos>.
       std::vector<std::pair<double, tok::TokenId>> top;

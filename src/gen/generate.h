@@ -61,6 +61,18 @@ struct GenerationConfig {
   // accounting matches a full run bit-for-bit.
   const PrefixSnapshot* resume = nullptr;
   int start_pass = 0;
+  // --- paged KV (DESIGN.md §12) ----------------------------------------
+  // When set, generation caches draw their rows from this pool instead
+  // of allocating contiguous [max_seq, d_model] blocks. Numerics are
+  // bit-identical either way; with the snapshot captured on the same
+  // pool, a resume fork aliases the prefix pages instead of copying
+  // rows.
+  std::shared_ptr<nn::PagePool> kv_pool;
+  // When set, fired once at the start of every logical forward pass with
+  // the live cache — the kv-bit fault-injection surface. Detector
+  // recompute retries re-run a pass without re-firing it. The caller
+  // owns the hook's lifetime and per-trial re-arming.
+  nn::KvPassHook* kv_hook = nullptr;
 };
 
 struct GenerationResult {

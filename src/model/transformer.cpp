@@ -43,7 +43,7 @@ void softmax_span(std::span<float> v) {
 // loop and forward_batch(): one fixed reduction order per (head, output
 // dim), independent of how many other rows share the pass.
 void attend_row(std::span<const float> qrow, std::span<float> orow,
-                const tn::Tensor& keys, const tn::Tensor& values,
+                const nn::KvView& keys, const nn::KvView& values,
                 tn::Index ctx, int n_heads, tn::Index d_head,
                 std::vector<float>& scores) {
   const float scale = 1.0f / std::sqrt(static_cast<float>(d_head));
@@ -51,7 +51,7 @@ void attend_row(std::span<const float> qrow, std::span<float> orow,
   for (int h = 0; h < n_heads; ++h) {
     const tn::Index off = static_cast<tn::Index>(h) * d_head;
     for (tn::Index j = 0; j < ctx; ++j) {
-      auto krow = keys.row(j);
+      const float* krow = keys.row(j);
       float acc = 0.0f;
       for (tn::Index i = 0; i < d_head; ++i) {
         acc += qrow[off + i] * krow[off + i];
@@ -63,7 +63,7 @@ void attend_row(std::span<const float> qrow, std::span<float> orow,
     for (tn::Index j = 0; j < ctx; ++j) {
       const float p = scores[static_cast<size_t>(j)];
       if (p == 0.0f) continue;
-      auto vrow = values.row(j);
+      const float* vrow = values.row(j);
       for (tn::Index i = 0; i < d_head; ++i) {
         orow[off + i] += p * vrow[off + i];
       }
@@ -154,6 +154,12 @@ nn::KvCache InferenceModel::make_cache() const {
   return nn::KvCache(config_.n_layers, config_.max_seq, config_.d_model);
 }
 
+nn::KvCache InferenceModel::make_cache(
+    std::shared_ptr<nn::PagePool> pool) const {
+  return nn::KvCache(config_.n_layers, config_.max_seq, config_.d_model,
+                     std::move(pool));
+}
+
 void InferenceModel::round_activations(tn::Tensor& x) const {
   switch (prec_.act_dtype) {
     case num::DType::F32:
@@ -224,8 +230,10 @@ tn::Tensor InferenceModel::attention(const tn::Tensor& q, int block,
                                      const nn::KvCache& cache,
                                      tn::Index prev_len) const {
   const tn::Index t_new = q.rows();
-  const tn::Tensor& keys = cache.keys(block);
-  const tn::Tensor& values = cache.values(block);
+  // Views are taken after this block's appends: a paged append may have
+  // acquired or copy-on-write-remapped pages.
+  const nn::KvView keys = cache.key_view(block);
+  const nn::KvView values = cache.value_view(block);
 
   tn::Tensor out({t_new, q.cols()});
   std::vector<float> scores;
@@ -438,8 +446,9 @@ tn::Tensor InferenceModel::forward_batch(std::span<BatchRow> rows) {
       for (tn::Index t = 0; t < t_new; ++t) {
         const auto& cache = *rows[static_cast<size_t>(t)].cache;
         const tn::Index ctx = static_cast<tn::Index>(pos[static_cast<size_t>(t)]) + 1;
-        attend_row(q.row(t), attn.row(t), cache.keys(b), cache.values(b), ctx,
-                   config_.n_heads, config_.d_head(), scores);
+        attend_row(q.row(t), attn.row(t), cache.key_view(b),
+                   cache.value_view(b), ctx, config_.n_heads,
+                   config_.d_head(), scores);
       }
       round_activations(attn);
       tn::Tensor o =

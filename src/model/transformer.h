@@ -45,6 +45,10 @@ class InferenceModel {
   const PrecisionConfig& precision() const { return prec_; }
 
   nn::KvCache make_cache() const;
+  // Paged variant: the cache draws its rows from `pool` (shared with
+  // every other sequence on the same budget). Bit-identical numerics to
+  // the contiguous layout — only the storage map differs.
+  nn::KvCache make_cache(std::shared_ptr<nn::PagePool> pool) const;
 
   // Runs the model over `tokens` (appended after whatever the cache
   // already holds) and returns logits [tokens.size(), vocab].

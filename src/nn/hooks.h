@@ -10,6 +10,7 @@
 namespace llmfi::nn {
 
 class WeightMatrix;
+class KvCache;
 
 // Called after every linear layer of every transformer block, *after* the
 // output has been rounded into the activation dtype. `y` is mutable: a
@@ -57,6 +58,21 @@ class DetectorHook : public LinearHook {
   // Clears the trip latch so the next pass is judged fresh.
   virtual void reset() = 0;
   virtual std::string_view name() const = 0;
+};
+
+// Fired once at the start of every checked forward pass, before the
+// pass reads the cache, with the live KvCache and the pass index. This
+// is the kv-bit fault-injection surface: an injector flips a bit in an
+// already-cached K/V element at its sampled pass, and the corruption
+// persists for the rest of the sequence (every later pass attends over
+// the flipped row). Pass-level recovery rewinds *appends*, not prior
+// rows, so a tripped detector cannot scrub it — only a cache
+// flush-and-refill can. The hook fires once per logical pass: detector
+// recompute loops re-run the pass body without re-firing it.
+class KvPassHook {
+ public:
+  virtual ~KvPassHook() = default;
+  virtual void on_pass_begin(KvCache& cache, int pass_index) = 0;
 };
 
 // Observes MoE routing decisions (Fig 15: gate-layer faults change expert

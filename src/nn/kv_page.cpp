@@ -1,0 +1,65 @@
+#include "nn/kv_page.h"
+
+#include <stdexcept>
+
+namespace llmfi::nn {
+
+PagePool::PagePool(int n_pages, tn::Index page_rows, tn::Index d_model)
+    : n_pages_(n_pages),
+      page_rows_(page_rows),
+      d_model_(d_model),
+      page_elems_(static_cast<std::size_t>(page_rows) *
+                  static_cast<std::size_t>(d_model)) {
+  if (n_pages <= 0 || page_rows <= 0 || d_model <= 0) {
+    throw std::invalid_argument("PagePool: n_pages/page_rows/d_model must "
+                                "be positive");
+  }
+  k_data_.resize(static_cast<std::size_t>(n_pages) * page_elems_);
+  v_data_.resize(static_cast<std::size_t>(n_pages) * page_elems_);
+  refs_ = std::make_unique<std::atomic<int>[]>(
+      static_cast<std::size_t>(n_pages));
+  free_.reserve(static_cast<std::size_t>(n_pages));
+  // LIFO pop order hands out page 0 first.
+  for (int p = n_pages - 1; p >= 0; --p) {
+    refs_[static_cast<std::size_t>(p)].store(0, std::memory_order_relaxed);
+    free_.push_back(p);
+  }
+}
+
+int PagePool::acquire() {
+  std::lock_guard<std::mutex> lock(free_mu_);
+  if (free_.empty()) return -1;
+  const int page = free_.back();
+  free_.pop_back();
+  refs_[static_cast<std::size_t>(page)].store(1, std::memory_order_relaxed);
+  return page;
+}
+
+void PagePool::add_ref(int page) {
+  refs_[static_cast<std::size_t>(page)].fetch_add(
+      1, std::memory_order_relaxed);
+}
+
+void PagePool::release(int page) {
+  // acq_rel: the last owner may have written page data; the next
+  // acquirer must see those writes (and the free-list mutex pairs with
+  // this on the reuse path).
+  const int prev = refs_[static_cast<std::size_t>(page)].fetch_sub(
+      1, std::memory_order_acq_rel);
+  if (prev == 1) {
+    std::lock_guard<std::mutex> lock(free_mu_);
+    free_.push_back(page);
+  }
+}
+
+int PagePool::ref_count(int page) const {
+  return refs_[static_cast<std::size_t>(page)].load(
+      std::memory_order_relaxed);
+}
+
+int PagePool::free_pages() const {
+  std::lock_guard<std::mutex> lock(free_mu_);
+  return static_cast<int>(free_.size());
+}
+
+}  // namespace llmfi::nn

@@ -1,0 +1,89 @@
+#pragma once
+// Fixed-size page pool backing the paged KvCache layout (DESIGN.md §12).
+//
+// A pool owns N pages; each page stores `page_rows` rows of one block's
+// K plane plus the matching V plane (a row is d_model floats). Caches
+// hold pages by index through per-block page tables and share them by
+// refcount: forking a prefix aliases whole pages instead of copying
+// rows, and copy-on-write isolates a sequence the moment it writes into
+// a shared page. The pool is the serve/campaign memory budget — when
+// the free list is dry, acquire() fails and the scheduler queues
+// instead of admitting.
+//
+// Thread safety: acquire/release/add_ref are safe to call concurrently
+// (campaign workers fork from one shared baseline snapshot). Refcounts
+// are atomics and the free list is mutex-protected; page *data* access
+// is deliberately unsynchronized — a page is either exclusively owned
+// (single writer) or shared read-only (COW copies before any write), so
+// readers never race a writer.
+
+#include <atomic>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+#include "tensor/tensor.h"
+
+namespace llmfi::nn {
+
+class PagePool {
+ public:
+  static constexpr tn::Index kDefaultPageRows = 16;
+
+  PagePool(int n_pages, tn::Index page_rows, tn::Index d_model);
+  PagePool(const PagePool&) = delete;
+  PagePool& operator=(const PagePool&) = delete;
+
+  // Pops a free page with refcount 1, or returns -1 when the pool is
+  // dry. Free pages are handed out LIFO; page identity never affects
+  // numerics, only which storage backs a row.
+  int acquire();
+  // Registers one more shared owner of `page`.
+  void add_ref(int page);
+  // Drops one owner; the last release returns the page to the free list.
+  void release(int page);
+  int ref_count(int page) const;
+
+  int n_pages() const { return n_pages_; }
+  // Approximate under concurrent acquire/release; exact when quiescent.
+  int free_pages() const;
+
+  tn::Index page_rows() const { return page_rows_; }
+  tn::Index d_model() const { return d_model_; }
+
+  // Base pointer of one page's K (resp. V) plane: page_rows x d_model
+  // floats, row-major. Stable for as long as the page is held.
+  float* key_page(int page) {
+    return k_data_.data() + static_cast<std::size_t>(page) * page_elems_;
+  }
+  const float* key_page(int page) const {
+    return k_data_.data() + static_cast<std::size_t>(page) * page_elems_;
+  }
+  float* value_page(int page) {
+    return v_data_.data() + static_cast<std::size_t>(page) * page_elems_;
+  }
+  const float* value_page(int page) const {
+    return v_data_.data() + static_cast<std::size_t>(page) * page_elems_;
+  }
+  // Whole-plane base pointers, for the branch-once KvView row lookup.
+  const float* key_base() const { return k_data_.data(); }
+  const float* value_base() const { return v_data_.data(); }
+
+  // Pages needed to hold `rows` rows at `page_rows` rows per page.
+  static tn::Index pages_for(tn::Index rows, tn::Index page_rows) {
+    return (rows + page_rows - 1) / page_rows;
+  }
+
+ private:
+  int n_pages_;
+  tn::Index page_rows_;
+  tn::Index d_model_;
+  std::size_t page_elems_;  // page_rows * d_model
+  std::vector<float> k_data_;
+  std::vector<float> v_data_;
+  std::unique_ptr<std::atomic<int>[]> refs_;
+  mutable std::mutex free_mu_;
+  std::vector<int> free_;  // LIFO free list
+};
+
+}  // namespace llmfi::nn

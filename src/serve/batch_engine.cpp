@@ -1,5 +1,6 @@
 #include "serve/batch_engine.h"
 
+#include <algorithm>
 #include <chrono>
 #include <stdexcept>
 #include <utility>
@@ -32,6 +33,32 @@ BatchEngine::BatchEngine(model::InferenceModel& m, int max_batch)
   for (int i = 0; i < max_batch; ++i) slots_.emplace_back(m.make_cache());
 }
 
+BatchEngine::BatchEngine(model::InferenceModel& m, int max_batch,
+                         std::shared_ptr<nn::PagePool> pool)
+    : model_(m), pool_(std::move(pool)) {
+  if (max_batch < 1) {
+    throw std::invalid_argument("BatchEngine: max_batch must be >= 1");
+  }
+  slots_.reserve(static_cast<size_t>(max_batch));
+  for (int i = 0; i < max_batch; ++i) {
+    slots_.emplace_back(pool_ ? m.make_cache(pool_) : m.make_cache());
+  }
+}
+
+bool BatchEngine::can_admit(const Request& req) const {
+  if (active_ >= capacity()) return false;
+  if (!pool_) return true;
+  const nn::KvCache& probe = slots_.front().cache;
+  const tn::Index worst_len = std::min<tn::Index>(
+      probe.max_seq(), static_cast<tn::Index>(req.prompt.size()) +
+                           static_cast<tn::Index>(std::max(req.max_new_tokens,
+                                                           0)));
+  const tn::Index need =
+      static_cast<tn::Index>(probe.n_blocks()) *
+      nn::PagePool::pages_for(worst_len, pool_->page_rows());
+  return need <= static_cast<tn::Index>(pool_->free_pages());
+}
+
 void BatchEngine::retire(Slot& slot, bool hit_max,
                          std::vector<Completion>& done) {
   Completion c;
@@ -45,6 +72,10 @@ void BatchEngine::retire(Slot& slot, bool hit_max,
   stats_.generated_tokens += c.tokens.size();
   slot.active = false;
   --active_;
+  // Paged slots hand their pages back immediately so a retiring sequence
+  // frees budget for the scheduler's next can_admit() check; contiguous
+  // slots keep their storage (reset() on reuse is enough and cheaper).
+  if (slot.cache.paged()) slot.cache.reset();
   obs::trace_instant("retire", static_cast<std::int64_t>(c.id));
   if (slot.req.on_done) slot.req.on_done(c);
   done.push_back(std::move(c));
@@ -144,11 +175,15 @@ void BatchEngine::admit(Request req, std::vector<Completion>& done) {
   if (obs::metrics_enabled()) {
     const std::int64_t now = steady_us();
     // Time to first token: queue wait (when stamped) + admission pass.
+    // Strictly positive stamps only: -1 is the unstamped default and 0
+    // is the stale zero-initialized stamp a caller-built Request carries
+    // when metrics were off at submit time — observing either would fold
+    // a bogus multi-decade "wait" into the histograms.
     const std::int64_t from =
-        slot->req.enqueue_us >= 0 ? slot->req.enqueue_us : admit_t0;
+        slot->req.enqueue_us > 0 ? slot->req.enqueue_us : admit_t0;
     obs::observe("serve_ttft_us", obs::latency_us_buckets(),
                  static_cast<double>(now - from));
-    if (slot->req.enqueue_us >= 0) {
+    if (slot->req.enqueue_us > 0) {
       obs::observe("serve_queue_wait_us", obs::latency_us_buckets(),
                    static_cast<double>(admit_t0 - slot->req.enqueue_us));
     }

@@ -9,6 +9,7 @@
 
 #include <cstdint>
 #include <functional>
+#include <memory>
 #include <vector>
 
 #include "gen/generate.h"
@@ -75,9 +76,24 @@ class BatchEngine {
   // hooks with LinearHookGuard and reset diagnostics around the pass);
   // callers must not install their own concurrently.
   BatchEngine(model::InferenceModel& m, int max_batch);
+  // Paged slots: every slot cache draws rows from `pool` (DESIGN.md §12),
+  // so forked admissions alias the snapshot's prefix pages instead of
+  // copying them. Outputs stay bit-identical to the contiguous layout;
+  // only the admission budget (can_admit) changes.
+  BatchEngine(model::InferenceModel& m, int max_batch,
+              std::shared_ptr<nn::PagePool> pool);
 
   int capacity() const { return static_cast<int>(slots_.size()); }
   int active() const { return active_; }
+
+  // True when admitting `req` now cannot exhaust the page pool: a free
+  // slot exists and the pool holds the request's worst-case page count
+  // (every block paged out to min(max_seq, prompt + max_new_tokens)
+  // rows). Deliberately conservative — prefix forks that would alias
+  // most of those pages still reserve the full count — so a true return
+  // is a guarantee, not an estimate. Always true on a free slot for
+  // contiguous (non-pooled) engines.
+  bool can_admit(const Request& req) const;
 
   // Admits one request into a free slot (throws std::runtime_error when
   // full) and runs its admission pass — prefill pass 0, or the forked
@@ -95,9 +111,12 @@ class BatchEngine {
 
  private:
   struct Slot {
-    nn::KvCache cache;  // constructed once, reset() on reuse — the
-                        // KvCache capacity invariant keeps its storage
-                        // stable for the engine's whole lifetime
+    nn::KvCache cache;  // constructed once, reset() on reuse. Contiguous
+                        // caches keep their allocation for the engine's
+                        // whole lifetime (the storage invariant in
+                        // kv_cache.h); paged caches instead release every
+                        // page on reset()/retire so idle slots never
+                        // starve the shared pool.
     bool active = false;
     Request req;
     std::vector<tok::TokenId> tokens;
@@ -118,6 +137,7 @@ class BatchEngine {
   void retire(Slot& slot, bool hit_max, std::vector<Completion>& done);
 
   model::InferenceModel& model_;
+  std::shared_ptr<nn::PagePool> pool_;  // null for contiguous slots
   std::vector<Slot> slots_;
   int active_ = 0;
   EngineStats stats_;

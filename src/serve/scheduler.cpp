@@ -10,7 +10,10 @@ namespace llmfi::serve {
 namespace {
 
 // Queue-wait stamping is metrics-only: the decode path never reads
-// enqueue_us, so clock reads stay off the disabled hot path.
+// enqueue_us, so clock reads stay off the disabled hot path. When
+// metrics are off the field keeps whatever the caller left in it — -1
+// (the Request default) or a stale 0 from zero-initialization — which is
+// why the observe sites in batch_engine.cpp only trust stamps > 0.
 void stamp_enqueue(Request& req) {
   if (obs::metrics_enabled()) {
     req.enqueue_us = std::chrono::duration_cast<std::chrono::microseconds>(
@@ -44,6 +47,18 @@ std::vector<Completion> Scheduler::run(Source source) {
         }
       }
       if (queue_.empty()) break;
+      // Page-budget gate (DESIGN.md §12): when the pool cannot cover the
+      // head request's worst case, leave it queued and let the active
+      // sequences retire pages — unless the engine is idle, where
+      // waiting would deadlock (run() exits on active == 0 and nothing
+      // else frees pages). The idle force-admit relies on can_admit
+      // being conservative: the request may still fit, and if it truly
+      // cannot, the pool-exhausted error surfaces at the caller instead
+      // of a silent hang.
+      if (!engine_.can_admit(queue_.front()) && engine_.active() > 0) {
+        ++stats_.deferred_admissions;
+        break;
+      }
       Request r = std::move(queue_.front());
       queue_.pop_front();
       if (stepped) ++stats_.backfills;

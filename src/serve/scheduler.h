@@ -20,6 +20,12 @@ struct SchedulerStats {
   std::uint64_t completed = 0;
   std::uint64_t backfills = 0;  // admissions after the first decode step
                                 // (slots freed mid-run and refilled)
+  // fill() rounds that stopped short because the engine's KV page budget
+  // (BatchEngine::can_admit) could not cover the next request — the
+  // request waited in queue for retiring sequences to release pages.
+  // One deferral per fill round, so a request stuck across many decode
+  // steps counts once per step it sat out. Always 0 without a page pool.
+  std::uint64_t deferred_admissions = 0;
 };
 
 class Scheduler {

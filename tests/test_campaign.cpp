@@ -580,5 +580,174 @@ TEST(Campaign, BatchedRunPopulatesServeStats) {
   EXPECT_FALSE(seq.serve_stats.active);
 }
 
+// --- paged KV cache (DESIGN.md §12) -------------------------------------
+// The tentpole contract: kv_pages > 0 changes where cache rows live,
+// never what they hold. One contiguous-oracle run must be reproduced
+// byte-for-byte by paged runs across the whole execution matrix —
+// threads x batch x prefix fork — where forks alias shared pages across
+// worker threads and COW isolates every trial's writes.
+
+TEST(CampaignParallelPaged, PagingIsByteIdenticalAcrossThreadsBatchFork) {
+  auto& f = fixture();
+  model::InferenceModel engine(f.weights, {});
+  const auto& spec = eval::workload(data::TaskKind::QA);
+  const auto& eval_set = f.tasks.at(data::TaskKind::QA).eval;
+  auto cfg = small_campaign(core::FaultModel::Comp1Bit);
+  cfg.trials = 12;
+  cfg.keep_trial_records = true;
+  cfg.kv_pages = 0;  // the contiguous oracle
+  const auto oracle = eval::run_campaign_on(engine, f.world.vocab(),
+                                            eval_set, spec, cfg);
+  for (bool fork : {false, true}) {
+    for (int batch : {1, 4}) {
+      for (int threads : {1, 2, 4}) {
+        cfg.prefix_fork = fork;
+        cfg.batch = batch;
+        cfg.threads = threads;
+        cfg.kv_pages = 4096;  // ample: no clamp, no queue-when-dry
+        const auto paged = eval::run_campaign_on(engine, f.world.vocab(),
+                                                 eval_set, spec, cfg);
+        SCOPED_TRACE("fork=" + std::to_string(fork) +
+                     " batch=" + std::to_string(batch) +
+                     " threads=" + std::to_string(threads));
+        expect_identical_results(oracle, paged);
+      }
+    }
+  }
+}
+
+TEST(CampaignParallelPaged, UndersizedBudgetClampsUpAndStaysIdentical) {
+  auto& f = fixture();
+  model::InferenceModel engine(f.weights, {});
+  const auto& spec = eval::workload(data::TaskKind::QA);
+  const auto& eval_set = f.tasks.at(data::TaskKind::QA).eval;
+  auto cfg = small_campaign(core::FaultModel::Comp1Bit);
+  cfg.trials = 12;
+  cfg.keep_trial_records = true;
+  cfg.kv_pages = 0;
+  const auto oracle = eval::run_campaign_on(engine, f.world.vocab(),
+                                            eval_set, spec, cfg);
+  // 1 page cannot hold one sequence, let alone snapshots + workers: the
+  // campaign must clamp the pool up (with a warning) rather than die of
+  // exhaustion mid-trial — and still reproduce the oracle exactly.
+  cfg.kv_pages = 1;
+  cfg.threads = 2;
+  const auto paged = eval::run_campaign_on(engine, f.world.vocab(),
+                                           eval_set, spec, cfg);
+  expect_identical_results(oracle, paged);
+}
+
+// --- kv-bit fault model --------------------------------------------------
+
+TEST(Campaign, KvBitCampaignRunsEndToEnd) {
+  auto& f = fixture();
+  model::InferenceModel engine(f.weights, {});
+  const auto& spec = eval::workload(data::TaskKind::QA);
+  const auto& eval_set = f.tasks.at(data::TaskKind::QA).eval;
+  auto cfg = small_campaign(core::FaultModel::KvBit);
+  cfg.keep_trial_records = true;
+  const auto r = eval::run_campaign_on(engine, f.world.vocab(), eval_set,
+                                       spec, cfg);
+  EXPECT_EQ(r.trials(), cfg.trials);
+  ASSERT_EQ(r.records.size(), static_cast<size_t>(cfg.trials));
+  for (const auto& rec : r.records) {
+    // Sites are K/V cache planes, labeled through the projection that
+    // produced them; the flip always lands at a decode pass (>= 1).
+    EXPECT_TRUE(rec.plan.layer.kind == nn::LayerKind::KProj ||
+                rec.plan.layer.kind == nn::LayerKind::VProj);
+    EXPECT_EQ(rec.plan.layer_index, -1);
+    EXPECT_GE(rec.plan.pass_index, 1);
+    EXPECT_EQ(rec.plan.bits.size(), 1u);
+  }
+  // kv-bit trials are fork-eligible (the flip fires at the start of its
+  // pass, after the forked prefix is in place).
+  EXPECT_GT(r.prefix_skipped_passes, 0);
+  // The cache hook never rides the engine's linear-hook slot.
+  EXPECT_EQ(engine.linear_hook(), nullptr);
+}
+
+TEST(CampaignParallel, KvBitMatchesSerialAndPagedOracle) {
+  auto& f = fixture();
+  model::InferenceModel engine(f.weights, {});
+  const auto& spec = eval::workload(data::TaskKind::QA);
+  const auto& eval_set = f.tasks.at(data::TaskKind::QA).eval;
+  auto cfg = small_campaign(core::FaultModel::KvBit);
+  cfg.keep_trial_records = true;
+  cfg.threads = 1;
+  const auto serial = eval::run_campaign_on(engine, f.world.vocab(),
+                                            eval_set, spec, cfg);
+  for (int threads : {2, 4}) {
+    for (int kv_pages : {0, 4096}) {
+      cfg.threads = threads;
+      cfg.kv_pages = kv_pages;
+      const auto parallel = eval::run_campaign_on(engine, f.world.vocab(),
+                                                  eval_set, spec, cfg);
+      SCOPED_TRACE("threads=" + std::to_string(threads) +
+                   " kv_pages=" + std::to_string(kv_pages));
+      expect_identical_results(serial, parallel);
+    }
+  }
+}
+
+TEST(Campaign, KvBitBatchedModeFallsBackToSequential) {
+  auto& f = fixture();
+  model::InferenceModel engine(f.weights, {});
+  const auto& spec = eval::workload(data::TaskKind::QA);
+  const auto& eval_set = f.tasks.at(data::TaskKind::QA).eval;
+  auto cfg = small_campaign(core::FaultModel::KvBit);
+  cfg.keep_trial_records = true;
+  const auto sequential = eval::run_campaign_on(engine, f.world.vocab(),
+                                                eval_set, spec, cfg);
+  // Batch rows never fire the per-pass cache hook, so kv-bit campaigns
+  // must take the sequential fallback — and match it exactly.
+  cfg.batch = 4;
+  const auto batched = eval::run_campaign_on(engine, f.world.vocab(),
+                                             eval_set, spec, cfg);
+  EXPECT_FALSE(batched.serve_stats.active);
+  expect_identical_results(sequential, batched);
+}
+
+TEST(Campaign, KvBitDetectionAndFlushRefillRecovery) {
+  auto& f = fixture();
+  model::InferenceModel engine(f.weights, {});
+  const auto& spec = eval::workload(data::TaskKind::QA);
+  const auto& eval_set = f.tasks.at(data::TaskKind::QA).eval;
+  auto cfg = small_campaign(core::FaultModel::KvBit);
+  cfg.keep_trial_records = true;
+  cfg.detection.range = true;
+  cfg.detection.checksum = true;
+  cfg.detection.recover = true;
+  const auto r = eval::run_campaign_on(engine, f.world.vocab(), eval_set,
+                                       spec, cfg);
+  EXPECT_EQ(r.trials(), cfg.trials);
+  // Detection disables the prefix fork (per-pass detector baselines).
+  EXPECT_EQ(r.prefix_skipped_passes, 0);
+  // Flush-and-refill accounting: a detected trial reran from scratch, so
+  // its recovery cost is a whole fresh inference; undetected trials keep
+  // the base taxonomy.
+  int detected = 0;
+  for (const auto& rec : r.records) {
+    if (rec.detections > 0) {
+      ++detected;
+      EXPECT_TRUE(rec.outcome == core::OutcomeClass::DetectedRecovered ||
+                  rec.outcome == core::OutcomeClass::DetectedUnrecovered);
+      EXPECT_GT(rec.recovery_passes, 0);
+    } else {
+      EXPECT_TRUE(rec.outcome == core::OutcomeClass::Masked ||
+                  rec.outcome == core::OutcomeClass::SdcSubtle ||
+                  rec.outcome == core::OutcomeClass::SdcDistorted);
+      EXPECT_EQ(rec.recovery_passes, 0);
+    }
+  }
+  EXPECT_EQ(r.trials_detected, detected);
+  EXPECT_EQ(r.detected_recovered + r.detected_unrecovered, detected);
+  // The single-shot injector must not refire on the rerun: a recovered
+  // trial's output matched the fault-free baseline.
+  // (Checksum ABFT is largely blind to KV corruption — it verifies each
+  // linear against its own inputs, and a corrupted cache row is just
+  // another input — so detections here come from the range detector.
+  // Zero detections is a legitimate result on this small model.)
+}
+
 }  // namespace
 }  // namespace llmfi

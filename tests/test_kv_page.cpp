@@ -1,0 +1,394 @@
+// Paged KV cache (DESIGN.md §12): PagePool acquire/release/refcount
+// semantics, bit-identity of the paged layout against the contiguous
+// oracle, copy-on-write isolation of forked caches, pool-exhaustion
+// behavior, and the kv-bit fault injector's firing rules.
+
+#include <gtest/gtest.h>
+
+#include "core/injector.h"
+#include "gen/generate.h"
+#include "model/transformer.h"
+#include "nn/kv_cache.h"
+#include "nn/kv_page.h"
+#include "numerics/bitflip.h"
+
+namespace llmfi {
+namespace {
+
+std::shared_ptr<nn::PagePool> small_pool(int pages = 32,
+                                         tn::Index page_rows = 4,
+                                         tn::Index d = 4) {
+  return std::make_shared<nn::PagePool>(pages, page_rows, d);
+}
+
+tn::Tensor marked_rows(tn::Index rows, tn::Index cols, int block,
+                       tn::Index first_row) {
+  tn::Tensor t({rows, cols});
+  for (tn::Index r = 0; r < rows; ++r) {
+    for (tn::Index c = 0; c < cols; ++c) {
+      t.at(r, c) =
+          static_cast<float>(block * 1000 + (first_row + r) * 10 + c);
+    }
+  }
+  return t;
+}
+
+// Appends `filled` marked rows to every block (paged or contiguous).
+void fill_cache(nn::KvCache& cache, tn::Index filled) {
+  const tn::Index start = cache.length();
+  for (int b = 0; b < cache.n_blocks(); ++b) {
+    cache.append(b, marked_rows(filled, cache.d_model(), b, start),
+                 marked_rows(filled, cache.d_model(), b + 7, start));
+  }
+  cache.advance(filled);
+}
+
+// --- PagePool ----------------------------------------------------------
+
+TEST(PagePool, AcquireReleaseRoundTrip) {
+  nn::PagePool pool(3, 4, 8);
+  EXPECT_EQ(pool.n_pages(), 3);
+  EXPECT_EQ(pool.free_pages(), 3);
+  const int a = pool.acquire();
+  const int b = pool.acquire();
+  ASSERT_GE(a, 0);
+  ASSERT_GE(b, 0);
+  EXPECT_NE(a, b);
+  EXPECT_EQ(pool.free_pages(), 1);
+  EXPECT_EQ(pool.ref_count(a), 1);
+  pool.release(a);
+  EXPECT_EQ(pool.free_pages(), 2);
+  pool.release(b);
+  EXPECT_EQ(pool.free_pages(), 3);
+}
+
+TEST(PagePool, SharedPagesReleaseOnLastRef) {
+  nn::PagePool pool(2, 4, 8);
+  const int p = pool.acquire();
+  pool.add_ref(p);
+  EXPECT_EQ(pool.ref_count(p), 2);
+  pool.release(p);
+  EXPECT_EQ(pool.ref_count(p), 1);
+  EXPECT_EQ(pool.free_pages(), 1);  // still held by the other ref
+  pool.release(p);
+  EXPECT_EQ(pool.free_pages(), 2);
+}
+
+TEST(PagePool, AcquireReturnsMinusOneWhenDry) {
+  nn::PagePool pool(1, 4, 8);
+  EXPECT_GE(pool.acquire(), 0);
+  EXPECT_EQ(pool.acquire(), -1);
+}
+
+TEST(PagePool, PagesForIsCeilDiv) {
+  EXPECT_EQ(nn::PagePool::pages_for(0, 4), 0);
+  EXPECT_EQ(nn::PagePool::pages_for(1, 4), 1);
+  EXPECT_EQ(nn::PagePool::pages_for(4, 4), 1);
+  EXPECT_EQ(nn::PagePool::pages_for(5, 4), 2);
+  EXPECT_EQ(nn::PagePool::pages_for(160, 16), 10);
+}
+
+TEST(PagePool, RejectsBadGeometry) {
+  EXPECT_THROW(nn::PagePool(0, 4, 8), std::invalid_argument);
+  EXPECT_THROW(nn::PagePool(1, 0, 8), std::invalid_argument);
+  EXPECT_THROW(nn::PagePool(1, 4, 0), std::invalid_argument);
+}
+
+// --- paged KvCache vs the contiguous oracle ----------------------------
+
+TEST(KvPagedCache, RowsAreBitwiseIdenticalToContiguous) {
+  auto pool = small_pool();
+  nn::KvCache paged(2, 12, 4, pool);
+  nn::KvCache flat(2, 12, 4);
+  fill_cache(paged, 7);  // crosses a page boundary (page_rows = 4)
+  fill_cache(flat, 7);
+  ASSERT_EQ(paged.length(), flat.length());
+  for (int b = 0; b < 2; ++b) {
+    const auto pk = paged.key_view(b);
+    const auto fk = flat.key_view(b);
+    const auto pv = paged.value_view(b);
+    const auto fv = flat.value_view(b);
+    for (tn::Index r = 0; r < paged.length(); ++r) {
+      for (tn::Index c = 0; c < 4; ++c) {
+        EXPECT_EQ(pk.row(r)[c], fk.row(r)[c]) << b << " " << r << " " << c;
+        EXPECT_EQ(pv.row(r)[c], fv.row(r)[c]);
+        EXPECT_EQ(paged.key_at(b, r, c), flat.key_at(b, r, c));
+        EXPECT_EQ(paged.value_at(b, r, c), flat.value_at(b, r, c));
+      }
+    }
+  }
+}
+
+TEST(KvPagedCache, WholeMatrixAccessorsThrowOnPagedLayout) {
+  auto pool = small_pool();
+  nn::KvCache paged(1, 8, 4, pool);
+  fill_cache(paged, 2);
+  EXPECT_THROW(paged.keys(0), std::logic_error);
+  EXPECT_THROW(paged.values(0), std::logic_error);
+}
+
+TEST(KvPagedCache, AppendPastPoolCapacityThrowsRuntimeError) {
+  // 2 pages of 4 rows, 1 block: the 9th row has nowhere to live.
+  auto pool = small_pool(/*pages=*/2);
+  nn::KvCache paged(1, 32, 4, pool);
+  fill_cache(paged, 8);
+  tn::Tensor one = marked_rows(1, 4, 0, 8);
+  EXPECT_THROW(paged.append(0, one, one), std::runtime_error);
+}
+
+TEST(KvPagedCache, TruncateAndResetReleasePages) {
+  auto pool = small_pool();
+  const int total = pool->free_pages();
+  nn::KvCache paged(2, 16, 4, pool);
+  fill_cache(paged, 9);  // 3 pages per block
+  EXPECT_EQ(paged.pages_held(), 6);
+  EXPECT_EQ(pool->free_pages(), total - 6);
+  paged.truncate(4);  // 1 full + 0 partial rows per block → 1 page each
+  EXPECT_EQ(paged.pages_held(), 2);
+  EXPECT_EQ(pool->free_pages(), total - 2);
+  // Satellite: truncate-then-append must reuse the boundary page, not
+  // leak or re-acquire the released ones.
+  fill_cache(paged, 3);
+  EXPECT_EQ(paged.length(), 7);
+  EXPECT_EQ(paged.pages_held(), 4);
+  EXPECT_EQ(paged.key_at(0, 4, 1), marked_rows(1, 4, 0, 4).at(0, 1));
+  paged.reset();
+  EXPECT_EQ(paged.pages_held(), 0);
+  EXPECT_EQ(pool->free_pages(), total);
+}
+
+TEST(KvPagedCache, DestructionReturnsPagesToThePool) {
+  auto pool = small_pool();
+  const int total = pool->free_pages();
+  {
+    nn::KvCache paged(1, 16, 4, pool);
+    fill_cache(paged, 6);
+    EXPECT_LT(pool->free_pages(), total);
+  }
+  EXPECT_EQ(pool->free_pages(), total);
+}
+
+// --- fork aliasing + copy-on-write -------------------------------------
+
+TEST(KvPagedCache, ForkAliasesFullPrefixPages) {
+  auto pool = small_pool();
+  nn::KvCache src(2, 16, 4, pool);
+  fill_cache(src, 10);  // 3 pages per block (4+4+2)
+  const int free_before = pool->free_pages();
+  nn::KvCache dst(2, 16, 4, pool);
+  dst.fork_from(src, 8);  // exactly 2 full pages per block, no boundary
+  // Aliased pages cost nothing: only a boundary page would be acquired.
+  EXPECT_EQ(pool->free_pages(), free_before);
+  EXPECT_EQ(dst.length(), 8);
+  for (int b = 0; b < 2; ++b) {
+    for (tn::Index r = 0; r < 8; ++r) {
+      EXPECT_EQ(dst.key_at(b, r, 2), src.key_at(b, r, 2));
+    }
+  }
+
+  // A fork ending mid-page deep-copies only that boundary page.
+  nn::KvCache dst2(2, 16, 4, pool);
+  dst2.fork_from(src, 6);  // 1 full page + 2 boundary rows per block
+  EXPECT_EQ(pool->free_pages(), free_before - 2);
+  for (int b = 0; b < 2; ++b) {
+    for (tn::Index r = 0; r < 6; ++r) {
+      EXPECT_EQ(dst2.value_at(b, r, 3), src.value_at(b, r, 3));
+    }
+  }
+}
+
+TEST(KvPagedCache, CowWriteIsolatesForkFromBaseline) {
+  auto pool = small_pool();
+  nn::KvCache src(1, 16, 4, pool);
+  fill_cache(src, 8);
+  nn::KvCache dst(1, 16, 4, pool);
+  dst.fork_from(src, 8);  // both tables alias the same 2 pages
+  const float original = src.key_at(0, 1, 1);
+  dst.set_key_at(0, 1, 1, 555.0f);  // shared page → COW remap first
+  EXPECT_EQ(dst.key_at(0, 1, 1), 555.0f);
+  EXPECT_EQ(src.key_at(0, 1, 1), original) << "fork write leaked into src";
+  // And appends into the forked cache never touch the source either.
+  fill_cache(dst, 1);
+  EXPECT_EQ(src.length(), 8);
+}
+
+TEST(KvPagedCache, SelfForkTruncatesWithoutReleasingLiveRows) {
+  auto pool = small_pool();
+  nn::KvCache cache(2, 16, 4, pool);
+  fill_cache(cache, 9);
+  const float keep = cache.key_at(0, 4, 0);
+  cache.fork_from(cache, 5);  // satellite: self-fork must be valid
+  EXPECT_EQ(cache.length(), 5);
+  EXPECT_EQ(cache.key_at(0, 4, 0), keep);
+  EXPECT_EQ(cache.pages_held(), 4);  // 2 pages per block cover 5 rows
+}
+
+TEST(KvPagedCache, ZeroPrefixForkReleasesEverything) {
+  auto pool = small_pool();
+  const int total = pool->free_pages();
+  nn::KvCache src(1, 16, 4, pool);
+  fill_cache(src, 6);
+  nn::KvCache dst(1, 16, 4, pool);
+  dst.fork_from(src, 6);
+  dst.fork_from(src, 0);  // satellite: prefix_len == 0 degenerate
+  EXPECT_EQ(dst.length(), 0);
+  EXPECT_EQ(dst.pages_held(), 0);
+  src.reset();
+  EXPECT_EQ(pool->free_pages(), total);
+}
+
+TEST(KvPagedCache, CopySharesPagesAndMoveTransfersThem) {
+  auto pool = small_pool();
+  nn::KvCache a(1, 16, 4, pool);
+  fill_cache(a, 5);
+  const int held = a.pages_held();
+  const int free_before = pool->free_pages();
+  {
+    nn::KvCache b(a);  // beam-search style copy: refcount, no data copy
+    EXPECT_EQ(b.pages_held(), held);
+    EXPECT_EQ(pool->free_pages(), free_before);
+    EXPECT_EQ(b.key_at(0, 3, 2), a.key_at(0, 3, 2));
+    nn::KvCache c(std::move(b));
+    EXPECT_EQ(c.pages_held(), held);
+  }
+  EXPECT_EQ(pool->free_pages(), free_before);  // copies all released
+  EXPECT_EQ(a.key_at(0, 3, 2), marked_rows(1, 4, 0, 3).at(0, 2));
+}
+
+TEST(KvPagedCache, ContiguousToPagedForkFallsBackToRowCopy) {
+  const int d = 4;
+  nn::KvCache flat(2, 16, d);
+  fill_cache(flat, 6);
+  auto pool = small_pool();
+  nn::KvCache paged(2, 16, d, pool);
+  ASSERT_TRUE(paged.fork_compatible(flat));
+  paged.fork_from(flat, 5);
+  EXPECT_EQ(paged.length(), 5);
+  for (int b = 0; b < 2; ++b) {
+    for (tn::Index r = 0; r < 5; ++r) {
+      EXPECT_EQ(paged.key_at(b, r, 1), flat.key_at(b, r, 1));
+      EXPECT_EQ(paged.value_at(b, r, 1), flat.value_at(b, r, 1));
+    }
+  }
+}
+
+// Satellite regression: fork_compatible on zero-length caches must
+// compare the constructor geometry, not the (empty) storage — the old
+// d_model() == 0 degenerate accepted any pairing.
+TEST(KvPagedCache, ForkCompatibleUsesConstructorGeometryWhenEmpty) {
+  nn::KvCache a(2, 8, 4);
+  nn::KvCache b(2, 8, 16);  // same blocks/seq, different d_model
+  EXPECT_FALSE(a.fork_compatible(b));
+  EXPECT_FALSE(b.fork_compatible(a));
+  nn::KvCache c(2, 8, 4);
+  EXPECT_TRUE(a.fork_compatible(c));
+  EXPECT_TRUE(a.fork_compatible(a));
+}
+
+// --- engine-level bit-identity -----------------------------------------
+
+model::ModelConfig tiny_config() {
+  model::ModelConfig cfg;
+  cfg.vocab_size = 24;
+  cfg.d_model = 16;
+  cfg.n_layers = 2;
+  cfg.n_heads = 2;
+  cfg.d_ff = 24;
+  cfg.max_seq = 48;
+  cfg.seed = 55;
+  return cfg;
+}
+
+TEST(KvPagedGenerate, GreedyAndBeamMatchContiguousBitwise) {
+  model::InferenceModel m(model::ModelWeights::init(tiny_config()), {});
+  const std::vector<tok::TokenId> prompt = {3, 5, 7, 2, 11};
+  for (int beams : {1, 3}) {
+    gen::GenerationConfig flat_cfg;
+    flat_cfg.max_new_tokens = 12;
+    flat_cfg.num_beams = beams;
+    flat_cfg.eos = 1000;  // force a long generation
+    auto paged_cfg = flat_cfg;
+    paged_cfg.kv_pool = std::make_shared<nn::PagePool>(
+        /*n_pages=*/64, nn::PagePool::kDefaultPageRows,
+        tiny_config().d_model);
+    const auto a = gen::generate(m, prompt, flat_cfg);
+    const auto b = gen::generate(m, prompt, paged_cfg);
+    SCOPED_TRACE("beams=" + std::to_string(beams));
+    EXPECT_EQ(a.tokens, b.tokens);
+    EXPECT_EQ(a.passes, b.passes);
+    EXPECT_EQ(a.hit_max_tokens, b.hit_max_tokens);
+  }
+}
+
+// --- kv-bit injector ---------------------------------------------------
+
+core::FaultPlan kv_plan(int block, nn::LayerKind kind, int pass,
+                        double row_frac, tn::Index dim) {
+  core::FaultPlan plan;
+  plan.model = core::FaultModel::KvBit;
+  plan.layer = nn::LinearId{block, kind, -1};
+  plan.pass_index = pass;
+  plan.row_frac = row_frac;
+  plan.out_col = dim;
+  plan.bits = {30};  // high exponent bit: unmissable value change
+  return plan;
+}
+
+TEST(KvBitInjector, FiresOnceAtThePlannedPass) {
+  nn::KvCache cache(2, 16, 4);
+  fill_cache(cache, 6);
+  core::KvBitFaultInjector inj(kv_plan(1, nn::LayerKind::KProj, 2, 0.5, 3),
+                               num::DType::F32);
+  inj.on_pass_begin(cache, 1);  // wrong pass: no-op
+  EXPECT_FALSE(inj.fired());
+  const float before = cache.key_at(1, 3, 3);
+  inj.on_pass_begin(cache, 2);
+  ASSERT_TRUE(inj.fired());
+  EXPECT_EQ(inj.record().pass_index, 2);
+  EXPECT_EQ(inj.record().row, 3);  // row_frac 0.5 of length 6
+  EXPECT_EQ(inj.record().col, 3);
+  EXPECT_EQ(inj.record().old_value, before);
+  EXPECT_EQ(cache.key_at(1, 3, 3), inj.record().new_value);
+  EXPECT_NE(cache.key_at(1, 3, 3), before);
+  // Single shot: a recovery rerun reaching the same pass index again
+  // must not re-corrupt the refilled cache.
+  const float after = cache.key_at(1, 3, 3);
+  inj.on_pass_begin(cache, 2);
+  EXPECT_EQ(cache.key_at(1, 3, 3), after);
+  inj.reset();
+  EXPECT_FALSE(inj.fired());
+}
+
+TEST(KvBitInjector, ValuePlaneAndEmptyCacheSemantics) {
+  nn::KvCache cache(1, 16, 4);
+  core::KvBitFaultInjector inj(kv_plan(0, nn::LayerKind::VProj, 1, 0.0, 2),
+                               num::DType::F32);
+  inj.on_pass_begin(cache, 1);  // empty cache: masked, nothing fired
+  EXPECT_FALSE(inj.fired());
+  fill_cache(cache, 4);
+  const float before = cache.value_at(0, 0, 2);
+  inj.on_pass_begin(cache, 1);
+  ASSERT_TRUE(inj.fired());
+  EXPECT_EQ(cache.value_at(0, 0, 2), inj.record().new_value);
+  EXPECT_NE(cache.value_at(0, 0, 2), before);
+  // Key plane untouched.
+  EXPECT_EQ(cache.key_at(0, 0, 2), marked_rows(1, 4, 0, 0).at(0, 2));
+}
+
+TEST(KvBitInjector, CowIsolatesCorruptionFromForkSource) {
+  auto pool = small_pool();
+  nn::KvCache src(1, 16, 4, pool);
+  fill_cache(src, 8);
+  nn::KvCache trial(1, 16, 4, pool);
+  trial.fork_from(src, 8);
+  core::KvBitFaultInjector inj(kv_plan(0, nn::LayerKind::KProj, 1, 0.25, 1),
+                               num::DType::F32);
+  inj.on_pass_begin(trial, 1);
+  ASSERT_TRUE(inj.fired());
+  // The trial sees the flip; the shared baseline snapshot must not.
+  EXPECT_EQ(trial.key_at(0, inj.record().row, 1), inj.record().new_value);
+  EXPECT_EQ(src.key_at(0, inj.record().row, 1), inj.record().old_value);
+}
+
+}  // namespace
+}  // namespace llmfi

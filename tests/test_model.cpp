@@ -180,7 +180,29 @@ TEST(KvCache, OverflowThrows) {
   cache.append(0, kv, kv);
   cache.advance(3);
   tn::Tensor kv2({2, 8});
-  EXPECT_THROW(cache.append(0, kv2, kv2), std::runtime_error);
+  // Cache misuse (overflow, shape mismatch, bad fork bounds) throws
+  // std::invalid_argument uniformly; std::runtime_error is reserved for
+  // environmental failures like page-pool exhaustion.
+  EXPECT_THROW(cache.append(0, kv2, kv2), std::invalid_argument);
+}
+
+TEST(KvCache, ShapeMismatchThrowsInEveryBuildType) {
+  // These used to be assert()s, which vanish under NDEBUG and let a
+  // malformed append silently corrupt the cache in Release builds.
+  nn::KvCache cache(2, 8, 8);
+  tn::Tensor bad_cols({1, 4});
+  tn::Tensor ok({1, 8});
+  EXPECT_THROW(cache.append(0, bad_cols, ok), std::invalid_argument);
+  EXPECT_THROW(cache.append(0, ok, bad_cols), std::invalid_argument);
+  EXPECT_THROW(cache.append(0, tn::Tensor({2, 8}), ok),
+               std::invalid_argument);  // k/v row mismatch
+  EXPECT_THROW(cache.append(2, ok, ok), std::invalid_argument);  // bad block
+  std::vector<float> short_row(4, 0.0f);
+  std::vector<float> full_row(8, 0.0f);
+  EXPECT_THROW(cache.append_row(0, short_row, full_row),
+               std::invalid_argument);
+  EXPECT_THROW(cache.append_row(0, full_row, short_row),
+               std::invalid_argument);
 }
 
 TEST(InferenceModel, ForwardIsDeterministic) {

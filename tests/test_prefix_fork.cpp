@@ -119,6 +119,60 @@ TEST(KvCacheForkFrom, AppendAfterForkContinuesFromPrefix) {
   EXPECT_EQ(dst.keys(0).at(2, 1), marked_rows(1, 4, 99, 2).at(0, 1));
 }
 
+// Satellite: fork_from(*this, n) is the truncate degenerate. The old
+// implementation std::copy'd a block onto itself (self-overlap UB in the
+// contiguous layout, released-while-read pages in the paged one).
+TEST(KvCacheForkFrom, SelfForkIsTruncate) {
+  auto cache = marked_cache(2, 8, 4, 6);
+  const float keep = cache.keys(1).at(3, 2);
+  cache.fork_from(cache, 4);
+  EXPECT_EQ(cache.length(), 4);
+  EXPECT_EQ(cache.keys(1).at(3, 2), keep);
+  cache.fork_from(cache, 0);
+  EXPECT_EQ(cache.length(), 0);
+}
+
+// Satellite regression: a zero-length cache used to report d_model() == 0
+// (read from the empty tensor vector), so fork_compatible accepted any
+// pairing of empty caches. Geometry now comes from the constructor.
+TEST(KvCacheForkFrom, EmptyCachesStillCompareDModel) {
+  nn::KvCache a(2, 8, 4);
+  nn::KvCache b(2, 8, 16);
+  EXPECT_EQ(a.d_model(), 4);
+  EXPECT_EQ(b.d_model(), 16);
+  EXPECT_FALSE(a.fork_compatible(b));
+  const auto src = marked_cache(2, 8, 16, 3);
+  EXPECT_THROW(a.fork_from(src, 2), std::invalid_argument);
+}
+
+// Paged forks must deliver fork_from's exact contract too: the fast path
+// (page aliasing + boundary copy) is an optimization, not a semantic.
+TEST(KvCacheForkFrom, PagedForkMatchesContiguousForkRowForRow) {
+  auto pool = std::make_shared<nn::PagePool>(32, /*page_rows=*/4,
+                                             /*d_model=*/4);
+  const auto flat_src = marked_cache(2, 8, 4, 6);
+  nn::KvCache paged_src(2, 8, 4, pool);
+  for (int b = 0; b < 2; ++b) {
+    paged_src.append(b, marked_rows(6, 4, b, 0), marked_rows(6, 4, b + 7, 0));
+  }
+  paged_src.advance(6);
+  for (tn::Index prefix : {0, 3, 4, 6}) {  // mid-page, page-exact, full
+    nn::KvCache flat_dst(2, 8, 4);
+    nn::KvCache paged_dst(2, 8, 4, pool);
+    flat_dst.fork_from(flat_src, prefix);
+    paged_dst.fork_from(paged_src, prefix);
+    ASSERT_EQ(paged_dst.length(), flat_dst.length());
+    for (int b = 0; b < 2; ++b) {
+      for (tn::Index r = 0; r < prefix; ++r) {
+        for (tn::Index c = 0; c < 4; ++c) {
+          EXPECT_EQ(paged_dst.key_at(b, r, c), flat_dst.key_at(b, r, c));
+          EXPECT_EQ(paged_dst.value_at(b, r, c), flat_dst.value_at(b, r, c));
+        }
+      }
+    }
+  }
+}
+
 gen::GenerationConfig long_greedy() {
   gen::GenerationConfig cfg;
   cfg.max_new_tokens = 10;

@@ -84,11 +84,12 @@ TEST(KvCacheServe, StorageStableAndAppendRowMatchesAppend) {
       expect_rows_bitwise_equal(a.values(blk), t, b.values(blk), t);
     }
   }
-  // Both flavors throw on overflow instead of growing.
+  // Both flavors throw on overflow instead of growing (invalid_argument,
+  // like every other cache-misuse error).
   tn::Tensor k({1, 4});
   tn::Tensor v({1, 4});
-  EXPECT_THROW(a.append(0, k, v), std::runtime_error);
-  EXPECT_THROW(b.append_row(0, k.row(0), v.row(0)), std::runtime_error);
+  EXPECT_THROW(a.append(0, k, v), std::invalid_argument);
+  EXPECT_THROW(b.append_row(0, k.row(0), v.row(0)), std::invalid_argument);
 }
 
 // --- forward_batch ------------------------------------------------------

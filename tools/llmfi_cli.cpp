@@ -35,6 +35,7 @@ struct CliArgs {
   int beams = 1;
   int threads = 1;
   int batch = 1;
+  int kv_pages = 0;
   std::uint64_t seed = 2025;
   std::string detector = "none";  // none | range | checksum | stack
   bool recovery = false;
@@ -55,7 +56,10 @@ void print_usage() {
       "usage: llmfi_cli [options]\n"
       "  --model NAME     zoo model (default qilin; --list shows all)\n"
       "  --dataset NAME   workload dataset (default gsm8k-syn)\n"
-      "  --fault MODEL    1bit-comp | 2bits-comp | 2bits-mem\n"
+      "  --fault MODEL    1bit-comp | 2bits-comp | 2bits-mem | kv-bit\n"
+      "                   (--fault-model is accepted as an alias; kv-bit\n"
+      "                   flips one cached K/V element at a sampled pass —\n"
+      "                   transient in origin, persistent in effect)\n"
       "  --dtype D        fp32 | fp16 | bf16 | int8 | int4\n"
       "  --trials N       fault-injection trials (default 200)\n"
       "  --inputs N       evaluation inputs cycled (default 10)\n"
@@ -68,6 +72,12 @@ void print_usage() {
       "                   for any value; ineligible campaigns fall back to\n"
       "                   the sequential loop with a warning; LLMFI_BATCH\n"
       "                   is the env equivalent)\n"
+      "  --kv-pages N     back every KV cache with a shared N-page pool\n"
+      "                   (DESIGN.md §12: prefix forks alias pages via\n"
+      "                   copy-on-write; undersized budgets are clamped up\n"
+      "                   with a warning; 0 = contiguous layout — results\n"
+      "                   are byte-identical either way; LLMFI_KV_PAGES is\n"
+      "                   the env equivalent)\n"
       "  --seed S         campaign seed\n"
       "  --detector D     online detection: none | range | checksum | stack\n"
       "                   (stack = checksum + range composed)\n"
@@ -121,7 +131,8 @@ bool parse_args(int argc, char** argv, CliArgs& args) {
       args.model = v;
     } else if (a == "--dataset" && (v = need_value(i))) {
       args.dataset = v;
-    } else if (a == "--fault" && (v = need_value(i))) {
+    } else if ((a == "--fault" || a == "--fault-model") &&
+               (v = need_value(i))) {
       args.fault = v;
     } else if (a == "--dtype" && (v = need_value(i))) {
       args.dtype = v;
@@ -135,6 +146,8 @@ bool parse_args(int argc, char** argv, CliArgs& args) {
       args.threads = std::atoi(v);
     } else if (a == "--batch" && (v = need_value(i))) {
       args.batch = std::atoi(v);
+    } else if (a == "--kv-pages" && (v = need_value(i))) {
+      args.kv_pages = std::atoi(v);
     } else if (a == "--seed" && (v = need_value(i))) {
       args.seed = static_cast<std::uint64_t>(std::atoll(v));
     } else if (a == "--detector" && (v = need_value(i))) {
@@ -186,9 +199,11 @@ int main(int argc, char** argv) {
     return 0;
   }
   if (args.trials <= 0 || args.inputs <= 0 || args.beams <= 0 ||
-      args.threads <= 0 || args.batch <= 0 || args.retries < 0) {
+      args.threads <= 0 || args.batch <= 0 || args.retries < 0 ||
+      args.kv_pages < 0) {
     std::fprintf(stderr,
-                 "trials/inputs/beams/threads/batch must be positive\n");
+                 "trials/inputs/beams/threads/batch must be positive "
+                 "(kv-pages >= 0)\n");
     return 2;
   }
   if (args.detector != "none" && args.detector != "range" &&
@@ -220,6 +235,7 @@ int main(int argc, char** argv) {
     cfg.seed = args.seed;
     cfg.threads = args.threads;
     cfg.batch = args.batch;
+    cfg.kv_pages = args.kv_pages;
     cfg.run.gen.num_beams = args.beams;
     cfg.run.direct_prompt = args.direct;
     cfg.detection.range =

@@ -13,6 +13,7 @@
 
 #include <cstdio>
 #include <cstring>
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -31,6 +32,7 @@ struct CliArgs {
   std::string dataset = "gsm8k-syn";
   std::string dtype = "bf16";
   int batch = 4;
+  int kv_pages = 0;
   int max_new = 40;
   int n = 8;  // prompts taken from the head of the eval set
   bool help = false;
@@ -47,6 +49,11 @@ void print_usage() {
       "  --dtype D       fp32 | fp16 | bf16 | int8 | int4 (default bf16)\n"
       "  --batch N       scheduler slots, i.e. sequences decoding per\n"
       "                  forward_batch pass (default 4)\n"
+      "  --kv-pages N    back the slot KV caches with a shared N-page pool\n"
+      "                  (DESIGN.md §12); when the pool cannot cover a\n"
+      "                  request's worst case the scheduler queues it until\n"
+      "                  retiring sequences release pages. 0 = contiguous\n"
+      "                  slots (default); outputs are identical either way\n"
       "  --max-new N     token budget per request (default 40)\n"
       "  --n N           number of prompts to submit (default 8)\n"
       "  --trace FILE    Chrome trace-event JSON of admission/decode spans\n"
@@ -77,6 +84,8 @@ bool parse_args(int argc, char** argv, CliArgs& args) {
       args.dtype = v;
     } else if (a == "--batch" && (v = need_value(i))) {
       args.batch = std::atoi(v);
+    } else if (a == "--kv-pages" && (v = need_value(i))) {
+      args.kv_pages = std::atoi(v);
     } else if (a == "--max-new" && (v = need_value(i))) {
       args.max_new = std::atoi(v);
     } else if (a == "--n" && (v = need_value(i))) {
@@ -105,8 +114,10 @@ int main(int argc, char** argv) {
     print_usage();
     return 0;
   }
-  if (args.batch <= 0 || args.max_new < 0 || args.n <= 0) {
-    std::fprintf(stderr, "batch/n must be positive, max-new >= 0\n");
+  if (args.batch <= 0 || args.max_new < 0 || args.n <= 0 ||
+      args.kv_pages < 0) {
+    std::fprintf(stderr,
+                 "batch/n must be positive, max-new/kv-pages >= 0\n");
     return 2;
   }
 
@@ -138,7 +149,16 @@ int main(int argc, char** argv) {
     const auto& eval_set = zoo.task(spec.kind).eval;
     const int n = std::min<int>(args.n, static_cast<int>(eval_set.size()));
 
-    serve::BatchEngine bengine(engine, args.batch);
+    // A page pool (when requested) makes the scheduler's page-budget
+    // gate live: requests the pool cannot cover wait in queue instead of
+    // dying of pool exhaustion mid-decode.
+    std::shared_ptr<nn::PagePool> pool;
+    if (args.kv_pages > 0) {
+      pool = std::make_shared<nn::PagePool>(args.kv_pages,
+                                            nn::PagePool::kDefaultPageRows,
+                                            engine.config().d_model);
+    }
+    serve::BatchEngine bengine(engine, args.batch, pool);
     serve::Scheduler sched(bengine);
     for (int i = 0; i < n; ++i) {
       serve::Request req;
@@ -172,6 +192,11 @@ int main(int argc, char** argv) {
                 static_cast<unsigned long long>(ss.completed));
     std::printf("backfills        %llu\n",
                 static_cast<unsigned long long>(ss.backfills));
+    if (pool) {
+      std::printf("deferred admits  %llu (kv pages: %d total, %d free)\n",
+                  static_cast<unsigned long long>(ss.deferred_admissions),
+                  pool->n_pages(), pool->free_pages());
+    }
     std::printf("--- engine ---\n");
     std::printf("admission passes %llu\n",
                 static_cast<unsigned long long>(es.admission_passes));
