@@ -52,6 +52,39 @@
 
 namespace llmfi::benchutil {
 
+// Build-type tag stamped into bench logs ("Release" when NDEBUG was
+// defined for this TU, "DEBUG" otherwise).
+inline const char* build_type_tag() {
+#ifdef NDEBUG
+  return "Release";
+#else
+  return "DEBUG";
+#endif
+}
+
+// Benches measure runtime performance; a no-NDEBUG build (-O0 default,
+// asserts live) produces numbers an order of magnitude off that must
+// not land in bench_logs looking like real evidence. Refuse to run
+// unless LLMFI_ALLOW_DEBUG_BENCH=1 explicitly overrides — and then warn
+// loudly so the log's origin is self-incriminating (the JSON meta also
+// carries build_type_tag()).
+inline void require_release_build() {
+#ifndef NDEBUG
+  const char* allow = std::getenv("LLMFI_ALLOW_DEBUG_BENCH");
+  if (allow == nullptr || std::string(allow) != "1") {
+    std::fprintf(stderr,
+                 "llmfi: refusing to bench a non-Release build (NDEBUG "
+                 "unset). Reconfigure with -DCMAKE_BUILD_TYPE=Release, or "
+                 "set LLMFI_ALLOW_DEBUG_BENCH=1 to override.\n");
+    std::exit(3);
+  }
+  std::fprintf(stderr,
+               "llmfi: WARNING: benching a DEBUG build "
+               "(LLMFI_ALLOW_DEBUG_BENCH=1); numbers are not comparable "
+               "to Release logs.\n");
+#endif
+}
+
 // LLMFI_TRACE / LLMFI_METRICS plumbing shared by every bench binary:
 // armed once per process (first default_campaign() call) and written out
 // at exit. No-op when neither knob is set.
@@ -62,6 +95,7 @@ inline obs::EnvConfig& obs_env_config() {
 
 inline void init_obs_from_env() {
   static const bool once = [] {
+    require_release_build();
     obs_env_config() = obs::init_from_env();
     const auto& cfg = obs_env_config();
     if (cfg.trace_path || cfg.metrics_path) {

@@ -1,15 +1,38 @@
 // Runtime microbenchmarks (google-benchmark): GEMM kernels, decode
 // throughput, FI hook overhead, dtype rounding, quantization.
 // These are runtime-performance numbers, not model-quality numbers.
+//
+// Before the google-benchmark suite runs, main() executes the kernel
+// harness: every tiered kernel (matmul_bt, fused rmsnorm+matmul,
+// int8/int4 qmatmul) is gate-checked against its reference reduction
+// and then timed per tier, and the per-kernel GFLOP/s land in
+// bench_logs/BENCH_kernels.json (meta via report::bench_metadata). The
+// harness exits nonzero if a gate fails or if the best tier does not
+// clear 3x the naive matmul_bt at 256x256 in a Release build.
+// LLMFI_KERNEL_HARNESS=0 skips it (CI's sanitizer jobs, filter probes).
 
 #include <benchmark/benchmark.h>
 
+#include <chrono>
+#include <cmath>
+#include <cstdio>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "common.h"
 #include "core/injector.h"
 #include "eval/model_zoo.h"
 #include "eval/runner.h"
 #include "gen/generate.h"
 #include "numerics/half.h"
+#include "quant/qmatmul.h"
 #include "quant/quantized_matrix.h"
+#include "report/bench_meta.h"
+#include "tensor/kernels.h"
 #include "tensor/ops.h"
 
 using namespace llmfi;
@@ -23,16 +46,72 @@ tn::Tensor random_matrix(tn::Index r, tn::Index c, std::uint64_t seed) {
   return t;
 }
 
+// ---- tiered-kernel google-benchmarks ---------------------------------
+
 void BM_MatmulBt(benchmark::State& state) {
   const auto n = static_cast<tn::Index>(state.range(0));
+  const auto tier = static_cast<tn::KernelTier>(state.range(1));
   const tn::Tensor a = random_matrix(n, n, 1);
   const tn::Tensor b = random_matrix(n, n, 2);
   for (auto _ : state) {
-    benchmark::DoNotOptimize(tn::matmul_bt(a, b));
+    benchmark::DoNotOptimize(tn::matmul_bt_tier(a, b, tier));
   }
   state.SetItemsProcessed(state.iterations() * 2 * n * n * n);
+  state.SetLabel(tn::kernel_tier_name(tier));
 }
-BENCHMARK(BM_MatmulBt)->Arg(64)->Arg(128)->Arg(256);
+
+void BM_QMatmulBt(benchmark::State& state) {
+  const auto n = static_cast<tn::Index>(state.range(0));
+  const auto tier = static_cast<tn::KernelTier>(state.range(1));
+  const auto dtype =
+      state.range(2) == 4 ? num::DType::I4 : num::DType::I8;
+  const tn::Tensor x = random_matrix(n, n, 1);
+  const quant::QuantizedMatrix q(random_matrix(n, n, 2), dtype, 32);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(quant::qmatmul_bt(x, q, tier));
+  }
+  state.SetItemsProcessed(state.iterations() * 2 * n * n * n);
+  state.SetLabel(std::string(tn::kernel_tier_name(tier)) +
+                 (dtype == num::DType::I4 ? "/i4" : "/i8"));
+}
+
+void BM_FusedRmsnormMatmul(benchmark::State& state) {
+  const auto n = static_cast<tn::Index>(state.range(0));
+  const auto tier = static_cast<tn::KernelTier>(state.range(1));
+  const tn::Tensor x = random_matrix(4, n, 1);
+  const tn::Tensor gain = random_matrix(1, n, 2);
+  const tn::Tensor w0 = random_matrix(n, n, 3);
+  const tn::Tensor w1 = random_matrix(n, n, 4);
+  const tn::Tensor* ws[] = {&w0, &w1};
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        tn::fused_rmsnorm_matmul_bt(x, gain, 1e-5f, ws, tier));
+  }
+  state.SetItemsProcessed(state.iterations() * 2 * (2 * 4 * n * n));
+  state.SetLabel(tn::kernel_tier_name(tier));
+}
+
+void register_tiered_benches() {
+  std::vector<tn::KernelTier> tiers = {tn::KernelTier::Reference,
+                                       tn::KernelTier::Portable};
+  if (tn::cpu_supports_avx2()) tiers.push_back(tn::KernelTier::Avx2);
+  for (tn::KernelTier tier : tiers) {
+    const auto t = static_cast<std::int64_t>(tier);
+    auto* mm = benchmark::RegisterBenchmark("BM_MatmulBt", BM_MatmulBt);
+    auto* fu = benchmark::RegisterBenchmark("BM_FusedRmsnormMatmul",
+                                            BM_FusedRmsnormMatmul);
+    auto* q8 = benchmark::RegisterBenchmark("BM_QMatmulBt", BM_QMatmulBt);
+    auto* q4 = benchmark::RegisterBenchmark("BM_QMatmulBt", BM_QMatmulBt);
+    for (std::int64_t n : {64, 128, 256}) {
+      mm->Args({n, t});
+      fu->Args({n, t});
+      q8->Args({n, t, 8});
+      q4->Args({n, t, 4});
+    }
+  }
+}
+
+// ---- dtype / model microbenches (unchanged surface) ------------------
 
 void BM_Fp16RoundTrip(benchmark::State& state) {
   num::Rng rng(3);
@@ -120,6 +199,211 @@ void BM_WeightCorruptionGuard(benchmark::State& state) {
 }
 BENCHMARK(BM_WeightCorruptionGuard);
 
+// ---- kernel harness --------------------------------------------------
+// Gate every fast kernel against its reference reduction, then time it
+// and record GFLOP/s. One JSON row per (kernel, tier, size).
+
+struct HarnessRow {
+  std::string kernel;
+  std::string tier;
+  tn::Index m, k, n;
+  double gflops = 0.0;
+  double speedup_vs_reference = 0.0;
+};
+
+double time_gflops(const std::function<void()>& fn, double flop) {
+  using clock = std::chrono::steady_clock;
+  // Warm once, then pick a rep count targeting ~100 ms of work.
+  auto t0 = clock::now();
+  fn();
+  double once = std::chrono::duration<double>(clock::now() - t0).count();
+  int reps = once > 0 ? static_cast<int>(0.1 / once) : 1000;
+  if (reps < 3) reps = 3;
+  if (reps > 2000) reps = 2000;
+  t0 = clock::now();
+  for (int r = 0; r < reps; ++r) fn();
+  const double sec =
+      std::chrono::duration<double>(clock::now() - t0).count() / reps;
+  return flop / sec / 1e9;
+}
+
+// Returns rows for one kernel family across tiers; aborts (exit 1) on a
+// gate violation.
+int run_kernel_harness() {
+  const auto t0 = std::chrono::steady_clock::now();
+  std::vector<tn::KernelTier> fast_tiers = {tn::KernelTier::Portable};
+  if (tn::cpu_supports_avx2()) fast_tiers.push_back(tn::KernelTier::Avx2);
+  const std::vector<tn::Index> sizes = {64, 128, 256};
+
+  std::vector<HarnessRow> rows;
+  bool gate_ok = true;
+  double best_speedup_256 = 0.0;
+
+  for (tn::Index n : sizes) {
+    const tn::Tensor a = random_matrix(n, n, 1);
+    const tn::Tensor b = random_matrix(n, n, 2);
+    const double flop = 2.0 * n * n * n;
+
+    const tn::Tensor ref = tn::matmul_bt_reference(a, b);
+    const double ref_gflops =
+        time_gflops([&] { benchmark::DoNotOptimize(
+                        tn::matmul_bt_reference(a, b)); },
+                    flop);
+    rows.push_back({"matmul_bt", "reference", n, n, n, ref_gflops, 1.0});
+
+    for (tn::KernelTier tier : fast_tiers) {
+      const tn::Tensor fast = tn::matmul_bt_tier(a, b, tier);
+      const auto gate = tn::check_matmul_bt_gate(a, b, ref, fast);
+      if (!gate.ok()) {
+        std::fprintf(stderr,
+                     "kernel harness: matmul_bt %s gate FAILED at n=%lld "
+                     "(%lld violations, worst excess %.3g)\n",
+                     tn::kernel_tier_name(tier), static_cast<long long>(n),
+                     static_cast<long long>(gate.violations),
+                     gate.worst_excess);
+        gate_ok = false;
+        continue;
+      }
+      const double g = time_gflops(
+          [&] { benchmark::DoNotOptimize(tn::matmul_bt_tier(a, b, tier)); },
+          flop);
+      const double speedup = g / ref_gflops;
+      rows.push_back(
+          {"matmul_bt", tn::kernel_tier_name(tier), n, n, n, g, speedup});
+      if (n == 256 && speedup > best_speedup_256) best_speedup_256 = speedup;
+    }
+
+    // Quantized matmul: gate against the scalar grouped reference (same
+    // reduction shape), tolerance envelope from the dequantized weight.
+    for (num::DType dtype : {num::DType::I8, num::DType::I4}) {
+      const quant::QuantizedMatrix q(b, dtype, 32);
+      const std::string name =
+          dtype == num::DType::I8 ? "qmatmul_i8" : "qmatmul_i4";
+      const tn::Tensor qref =
+          quant::qmatmul_bt(a, q, tn::KernelTier::Reference);
+      const double qr_gflops = time_gflops(
+          [&] {
+            benchmark::DoNotOptimize(
+                quant::qmatmul_bt(a, q, tn::KernelTier::Reference));
+          },
+          flop);
+      rows.push_back({name, "reference", n, n, n, qr_gflops, 1.0});
+      const tn::Tensor deq = q.dequantize();
+      for (tn::KernelTier tier : fast_tiers) {
+        const tn::Tensor fast = quant::qmatmul_bt(a, q, tier);
+        const auto gate = tn::check_matmul_bt_gate(a, deq, qref, fast);
+        if (!gate.ok()) {
+          std::fprintf(stderr,
+                       "kernel harness: %s %s gate FAILED at n=%lld\n",
+                       name.c_str(), tn::kernel_tier_name(tier),
+                       static_cast<long long>(n));
+          gate_ok = false;
+          continue;
+        }
+        const double g = time_gflops(
+            [&] {
+              benchmark::DoNotOptimize(quant::qmatmul_bt(a, q, tier));
+            },
+            flop);
+        rows.push_back(
+            {name, tn::kernel_tier_name(tier), n, n, n, g, g / qr_gflops});
+      }
+    }
+
+    // Fused rmsnorm+matmul must be BIT-identical to the unfused pair at
+    // every tier (same dot kernels, same norm arithmetic).
+    {
+      const tn::Tensor gain = random_matrix(1, n, 7);
+      const tn::Tensor* ws[] = {&b};
+      std::vector<tn::KernelTier> fused_tiers = {tn::KernelTier::Reference};
+      fused_tiers.insert(fused_tiers.end(), fast_tiers.begin(),
+                         fast_tiers.end());
+      for (tn::KernelTier tier : fused_tiers) {
+        const tn::Tensor h = tn::rmsnorm_rows(a, gain, 1e-5f);
+        const tn::Tensor unfused = tn::matmul_bt_tier(h, b, tier);
+        const auto fused =
+            tn::fused_rmsnorm_matmul_bt(a, gain, 1e-5f, ws, tier);
+        bool identical = true;
+        for (tn::Index i = 0; i < n * n; ++i) {
+          const float x = fused[0].data()[i], y = unfused.data()[i];
+          if (std::memcmp(&x, &y, sizeof(float)) != 0) identical = false;
+        }
+        if (!identical) {
+          std::fprintf(stderr,
+                       "kernel harness: fused rmsnorm+matmul not "
+                       "bit-identical at tier %s, n=%lld\n",
+                       tn::kernel_tier_name(tier),
+                       static_cast<long long>(n));
+          gate_ok = false;
+          continue;
+        }
+        const double g = time_gflops(
+            [&] {
+              benchmark::DoNotOptimize(
+                  tn::fused_rmsnorm_matmul_bt(a, gain, 1e-5f, ws, tier));
+            },
+            flop);
+        rows.push_back({"fused_rmsnorm_matmul", tn::kernel_tier_name(tier),
+                        n, n, n, g, 0.0});
+      }
+    }
+  }
+
+  const double secs = std::chrono::duration<double>(
+                          std::chrono::steady_clock::now() - t0)
+                          .count();
+  std::filesystem::create_directories("bench_logs");
+  std::ofstream json("bench_logs/BENCH_kernels.json");
+  json << "{\n  \"meta\": " << report::bench_metadata(secs).json() << ",\n"
+       << "  \"build\": \"" << benchutil::build_type_tag() << "\",\n"
+       << "  \"gate_ok\": " << (gate_ok ? "true" : "false") << ",\n"
+       << "  \"kernels\": [\n";
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    const auto& r = rows[i];
+    json << "    {\"kernel\": \"" << r.kernel << "\", \"tier\": \""
+         << r.tier << "\", \"m\": " << r.m << ", \"k\": " << r.k
+         << ", \"n\": " << r.n << ", \"gflops\": " << r.gflops
+         << ", \"speedup_vs_reference\": " << r.speedup_vs_reference
+         << "}" << (i + 1 < rows.size() ? "," : "") << "\n";
+  }
+  json << "  ]\n}\n";
+  json.close();
+
+  std::printf("kernel harness: %zu rows -> bench_logs/BENCH_kernels.json "
+              "(best matmul_bt speedup at 256: %.2fx)\n",
+              rows.size(), best_speedup_256);
+  if (!gate_ok) return 1;
+#ifdef NDEBUG
+  // The acceptance floor only binds in Release: a -O0 reference loop is
+  // slow enough to make any speedup number meaningless.
+  if (best_speedup_256 < 3.0) {
+    std::fprintf(stderr,
+                 "kernel harness: best tier is only %.2fx reference at "
+                 "256x256 (< 3x floor)\n",
+                 best_speedup_256);
+    return 1;
+  }
+#endif
+  return 0;
+}
+
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  benchutil::require_release_build();
+  // Our build type, distinct from google-benchmark's own "built as
+  // DEBUG" self-report (which describes the prebuilt library binary,
+  // not this code).
+  std::printf("llmfi build: %s\n", benchutil::build_type_tag());
+  const char* harness = std::getenv("LLMFI_KERNEL_HARNESS");
+  if (harness == nullptr || std::string(harness) != "0") {
+    const int rc = run_kernel_harness();
+    if (rc != 0) return rc;
+  }
+  register_tiered_benches();
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

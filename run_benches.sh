@@ -10,6 +10,16 @@ if [ "${LLMFI_NATIVE:-0}" = "1" ]; then
 fi
 export LLMFI_TRIALS=400 LLMFI_INPUTS=12
 mkdir -p bench_logs
+# Refuse to sweep a Debug build: bench/common.h's require_release_build
+# makes every bench exit 3 when NDEBUG is unset (LLMFI_ALLOW_DEBUG_BENCH=1
+# overrides). Probe once up front so the failure is one line here, not 28
+# misleading log files.
+if ! LLMFI_KERNEL_HARNESS=0 build/bench/micro_perf \
+    --benchmark_filter='MatchesNoBenchmark' > /dev/null 2>&1; then
+  echo "run_benches.sh: micro_perf probe failed — Debug build? Reconfigure" \
+       "with -DCMAKE_BUILD_TYPE=Release (or LLMFI_ALLOW_DEBUG_BENCH=1)."
+  exit 3
+fi
 failed=()
 ran=0
 for b in build/bench/*; do

@@ -8,6 +8,8 @@
 #include "numerics/half.h"
 #include "nn/rope.h"
 #include "obs/trace.h"
+#include "quant/qmatmul.h"
+#include "tensor/kernels.h"
 #include "tensor/ops.h"
 
 namespace llmfi::model {
@@ -175,10 +177,50 @@ void InferenceModel::round_activations(tn::Tensor& x) const {
   }
 }
 
+tn::Tensor InferenceModel::project(const nn::WeightMatrix& w,
+                                   const tn::Tensor& x) const {
+  const tn::KernelTier tier = tn::kernel_tier();
+  if (tier != tn::KernelTier::Reference && w.quantized() != nullptr) {
+    return quant::qmatmul_bt(x, *w.quantized(), tier);
+  }
+  return tn::matmul_bt_tier(x, w.values(), tier);
+}
+
+bool InferenceModel::fuse_eligible() const {
+  // Quantized weights are excluded so the fast tiers keep routing them
+  // through the integer qmatmul path rather than the fused fp32 product.
+  return hook_ == nullptr && !tracer_ &&
+         prec_.act_dtype == num::DType::F32 &&
+         !num::is_quantized_dtype(prec_.weight_dtype);
+}
+
+void InferenceModel::qkv_fused(BlockStorage& blk, const tn::Tensor& x,
+                               tn::Tensor* q, tn::Tensor* k,
+                               tn::Tensor* v) const {
+  const tn::Tensor* ws[3] = {&blk.wq.values(), &blk.wk.values(),
+                             &blk.wv.values()};
+  auto ys = tn::fused_rmsnorm_matmul_bt(x, blk.norm1, config_.norm_eps, ws,
+                                        tn::kernel_tier());
+  *q = std::move(ys[0]);
+  *k = std::move(ys[1]);
+  *v = std::move(ys[2]);
+}
+
+tn::Tensor InferenceModel::dense_mlp_fused(BlockStorage& blk,
+                                           const tn::Tensor& x) const {
+  const tn::Tensor* ws[2] = {&blk.mlp[0].values(), &blk.mlp[1].values()};
+  auto ys = tn::fused_rmsnorm_matmul_bt(x, blk.norm2, config_.norm_eps, ws,
+                                        tn::kernel_tier());
+  tn::Tensor& g = ys[0];
+  tn::silu_inplace(g);
+  tn::mul_inplace(g, ys[1]);
+  return project(blk.mlp[2], g);
+}
+
 tn::Tensor InferenceModel::linear(const nn::WeightMatrix& w,
                                   const tn::Tensor& x, const nn::LinearId& id,
                                   int pass_index, int row_offset) {
-  tn::Tensor y = tn::matmul_bt(x, w.values());
+  tn::Tensor y = project(w, x);
   round_activations(y);
   if (hook_ != nullptr) hook_->on_linear(id, x, w, y, pass_index, row_offset);
   if (tracer_) tracer_(id, y);
@@ -190,7 +232,7 @@ tn::Tensor InferenceModel::linear_hooked(const nn::WeightMatrix& w,
                                          const nn::LinearId& id,
                                          int pass_index, int row_offset,
                                          nn::LinearHook* hook) {
-  tn::Tensor y = tn::matmul_bt(x, w.values());
+  tn::Tensor y = project(w, x);
   round_activations(y);
   if (hook != nullptr) hook->on_linear(id, x, w, y, pass_index, row_offset);
   return y;
@@ -201,7 +243,7 @@ tn::Tensor InferenceModel::linear_batch(const nn::WeightMatrix& w,
                                         const nn::LinearId& id,
                                         std::span<BatchRow> rows,
                                         std::span<const int> pos) {
-  tn::Tensor y = tn::matmul_bt(x, w.values());
+  tn::Tensor y = project(w, x);
   round_activations(y);
   // Per-row hook dispatch: each hooked row is copied into 1-row scratch
   // tensors so the hook sees the same shapes, pass_index, and row_offset
@@ -422,19 +464,26 @@ tn::Tensor InferenceModel::forward_batch(std::span<BatchRow> rows) {
     std::copy(src.begin(), src.end(), x.row(t).begin());
   }
 
+  // Batched fusion eligibility is per-pass: every row must be unhooked
+  // (a single armed fault hook needs the unfused per-row dispatch).
+  bool any_hook = false;
+  for (const auto& r : rows) any_hook = any_hook || r.hook != nullptr;
+  const bool fuse = !any_hook && prec_.act_dtype == num::DType::F32 &&
+                    !num::is_quantized_dtype(prec_.weight_dtype);
   for (int b = 0; b < config_.n_layers; ++b) {
     auto& blk = blocks_[static_cast<size_t>(b)];
-    tn::Tensor h = tn::rmsnorm_rows(x, blk.norm1, config_.norm_eps);
-    round_activations(h);
-
     {
       obs::TraceScope attn_span("attn", b);
-      tn::Tensor q =
-          linear_batch(blk.wq, h, {b, nn::LayerKind::QProj, -1}, rows, pos);
-      tn::Tensor k =
-          linear_batch(blk.wk, h, {b, nn::LayerKind::KProj, -1}, rows, pos);
-      tn::Tensor v =
-          linear_batch(blk.wv, h, {b, nn::LayerKind::VProj, -1}, rows, pos);
+      tn::Tensor q, k, v;
+      if (fuse) {
+        qkv_fused(blk, x, &q, &k, &v);
+      } else {
+        tn::Tensor h = tn::rmsnorm_rows(x, blk.norm1, config_.norm_eps);
+        round_activations(h);
+        q = linear_batch(blk.wq, h, {b, nn::LayerKind::QProj, -1}, rows, pos);
+        k = linear_batch(blk.wk, h, {b, nn::LayerKind::KProj, -1}, rows, pos);
+        v = linear_batch(blk.wv, h, {b, nn::LayerKind::VProj, -1}, rows, pos);
+      }
       nn::apply_rope_rows(q, config_.n_heads, pos, config_.rope_theta);
       nn::apply_rope_rows(k, config_.n_heads, pos, config_.rope_theta);
       for (tn::Index t = 0; t < t_new; ++t) {
@@ -458,10 +507,15 @@ tn::Tensor InferenceModel::forward_batch(std::span<BatchRow> rows) {
 
     {
       obs::TraceScope ffn_span("ffn", b);
-      tn::Tensor h2 = tn::rmsnorm_rows(x, blk.norm2, config_.norm_eps);
-      round_activations(h2);
-      tn::Tensor m = config_.moe ? moe_mlp_batch(blk, b, h2, rows, pos)
-                                 : dense_mlp_batch(blk, b, h2, rows, pos);
+      tn::Tensor m;
+      if (fuse && !config_.moe) {
+        m = dense_mlp_fused(blk, x);
+      } else {
+        tn::Tensor h2 = tn::rmsnorm_rows(x, blk.norm2, config_.norm_eps);
+        round_activations(h2);
+        m = config_.moe ? moe_mlp_batch(blk, b, h2, rows, pos)
+                        : dense_mlp_batch(blk, b, h2, rows, pos);
+      }
       tn::add_inplace(x, m);
     }
   }
@@ -497,19 +551,27 @@ tn::Tensor InferenceModel::forward(std::span<const tok::TokenId> tokens,
     std::copy(src.begin(), src.end(), x.row(t).begin());
   }
 
+  // When nothing observes the normalized intermediates, norm1/norm2 fuse
+  // with their input projections (bit-identical to the unfused pair at
+  // every kernel tier — see fused_rmsnorm_matmul_bt).
+  const bool fuse = fuse_eligible();
   for (int b = 0; b < config_.n_layers; ++b) {
     auto& blk = blocks_[static_cast<size_t>(b)];
-    tn::Tensor h = tn::rmsnorm_rows(x, blk.norm1, config_.norm_eps);
-    round_activations(h);
-
     {
       obs::TraceScope attn_span("attn", b);
-      tn::Tensor q = linear(blk.wq, h, {b, nn::LayerKind::QProj, -1},
-                            pass_index, row_offset);
-      tn::Tensor k = linear(blk.wk, h, {b, nn::LayerKind::KProj, -1},
-                            pass_index, row_offset);
-      tn::Tensor v = linear(blk.wv, h, {b, nn::LayerKind::VProj, -1},
-                            pass_index, row_offset);
+      tn::Tensor q, k, v;
+      if (fuse) {
+        qkv_fused(blk, x, &q, &k, &v);
+      } else {
+        tn::Tensor h = tn::rmsnorm_rows(x, blk.norm1, config_.norm_eps);
+        round_activations(h);
+        q = linear(blk.wq, h, {b, nn::LayerKind::QProj, -1}, pass_index,
+                   row_offset);
+        k = linear(blk.wk, h, {b, nn::LayerKind::KProj, -1}, pass_index,
+                   row_offset);
+        v = linear(blk.wv, h, {b, nn::LayerKind::VProj, -1}, pass_index,
+                   row_offset);
+      }
       nn::apply_rope(q, config_.n_heads, static_cast<int>(prev_len),
                      config_.rope_theta);
       nn::apply_rope(k, config_.n_heads, static_cast<int>(prev_len),
@@ -525,11 +587,15 @@ tn::Tensor InferenceModel::forward(std::span<const tok::TokenId> tokens,
 
     {
       obs::TraceScope ffn_span("ffn", b);
-      tn::Tensor h2 = tn::rmsnorm_rows(x, blk.norm2, config_.norm_eps);
-      round_activations(h2);
-      tn::Tensor m = config_.moe
-                         ? moe_mlp(blk, b, h2, pass_index, row_offset)
-                         : dense_mlp(blk, b, h2, pass_index, row_offset);
+      tn::Tensor m;
+      if (fuse && !config_.moe) {
+        m = dense_mlp_fused(blk, x);
+      } else {
+        tn::Tensor h2 = tn::rmsnorm_rows(x, blk.norm2, config_.norm_eps);
+        round_activations(h2);
+        m = config_.moe ? moe_mlp(blk, b, h2, pass_index, row_offset)
+                        : dense_mlp(blk, b, h2, pass_index, row_offset);
+      }
       tn::add_inplace(x, m);
     }
   }

@@ -132,6 +132,25 @@ class InferenceModel {
 
   void build_linear_refs();
 
+  // The weight product behind every linear layer: dispatches on the
+  // active kernel tier (tensor/kernels.h). On the fast tiers, quantized
+  // weights route through quant::qmatmul_bt — the int8/int4 payloads are
+  // consumed directly, no dequantized fp32 matrix in the product. The
+  // Reference tier always reads w.values() so campaign numerics stay on
+  // the naive oracle loop.
+  tn::Tensor project(const nn::WeightMatrix& w, const tn::Tensor& x) const;
+  // True when the fused RMSNorm+projection entry point may replace the
+  // rmsnorm -> linear pair: nothing observes the normalized intermediate
+  // (no engine hook, no tracer) and activation rounding is a no-op
+  // (fp32). The fusion is bit-identical to the unfused pair at every
+  // kernel tier, so eligibility is about observability, not numerics.
+  bool fuse_eligible() const;
+  // Fused norm1 + wq/wk/wv input projections for one pass.
+  void qkv_fused(BlockStorage& blk, const tn::Tensor& x, tn::Tensor* q,
+                 tn::Tensor* k, tn::Tensor* v) const;
+  // Fused norm2 + gate/up, then SiLU-gate and the down projection.
+  tn::Tensor dense_mlp_fused(BlockStorage& blk, const tn::Tensor& x) const;
+
   tn::Tensor linear(const nn::WeightMatrix& w, const tn::Tensor& x,
                     const nn::LinearId& id, int pass_index, int row_offset);
   // linear() minus the engine hook/tracer: fires only the explicit

@@ -1,0 +1,70 @@
+#include "quant/qmatmul.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace llmfi::quant {
+
+namespace {
+
+// Scalar grouped loop: the reference reduction order for the quantized
+// compute path (sequential within each group, groups folded in order).
+void qgemm_bt_reference(const float* pa, tn::Index m, tn::Index k,
+                        const std::int8_t* pw, const float* pscales,
+                        tn::Index groups_per_row, int group_size,
+                        tn::Index n, float* pc) {
+  for (tn::Index i = 0; i < m; ++i) {
+    const float* a = pa + i * k;
+    float* c = pc + i * n;
+    for (tn::Index j = 0; j < n; ++j) {
+      const std::int8_t* w = pw + j * k;
+      const float* scales = pscales + j * groups_per_row;
+      float y = 0.0f;
+      for (tn::Index g = 0; g < groups_per_row; ++g) {
+        const tn::Index l0 = g * group_size;
+        const tn::Index l1 = std::min(k, l0 + group_size);
+        float partial = 0.0f;
+        for (tn::Index l = l0; l < l1; ++l) {
+          partial += a[l] * static_cast<float>(w[l]);
+        }
+        y += partial * scales[g];
+      }
+      c[j] = y;
+    }
+  }
+}
+
+}  // namespace
+
+tn::Tensor qmatmul_bt(const tn::Tensor& x, const QuantizedMatrix& q,
+                      tn::KernelTier tier) {
+  if (x.rank() != 2) {
+    throw std::invalid_argument("qmatmul_bt: x must be 2-D");
+  }
+  const tn::Index m = x.rows(), k = x.cols(), n = q.rows();
+  if (q.cols() != k) {
+    throw std::invalid_argument("qmatmul_bt: inner dim mismatch");
+  }
+  tn::Tensor y({m, n});
+  const std::int8_t* pw = q.payloads().data();
+  const float* pscales = q.scales().data();
+  switch (tier) {
+    case tn::KernelTier::Reference:
+      qgemm_bt_reference(x.data(), m, k, pw, pscales, q.groups_per_row(),
+                         q.group_size(), n, y.data());
+      break;
+    case tn::KernelTier::Portable:
+      tn::detail::qgemm_bt_portable(x.data(), m, k, pw, pscales,
+                                    q.groups_per_row(), q.group_size(), n,
+                                    y.data());
+      break;
+    case tn::KernelTier::Avx2:
+      tn::detail::qgemm_bt_avx2(x.data(), m, k, pw, pscales,
+                                q.groups_per_row(), q.group_size(), n,
+                                y.data());
+      break;
+  }
+  return y;
+}
+
+}  // namespace llmfi::quant

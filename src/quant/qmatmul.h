@@ -1,0 +1,31 @@
+#pragma once
+// Quantized matmul: y = x @ W^T where W stays in its GPTQ-style group
+// storage (int8/int4 payloads + fp16-rounded per-group scales). The
+// weight is consumed in integer form — no dequantized fp32 matrix is
+// materialized — mirroring real W8A16/W4A16 serving kernels where the
+// dequantization happens inside the dot product, per group:
+//
+//   y[t, o] = sum_g scale(o, g) * (sum_{c in g} x[t, c] * payload(o, c))
+//
+// Fault semantics fall out naturally: a payload-bit flip lands in the
+// integer operand the kernel reads (bounded by scale * 2^bits, the Fig
+// 17 / Observation #8 mechanism), and a scale-bit flip perturbs exactly
+// one group's multiplier. The per-group factored reduction differs from
+// dequantize-then-GEMM by bounded rounding drift; the "fast ≡ reference"
+// gate for this path compares against matmul_bt_reference on
+// QuantizedMatrix::dequantize() (see tests/test_quant.cpp).
+
+#include "quant/quantized_matrix.h"
+#include "tensor/kernels.h"
+#include "tensor/tensor.h"
+
+namespace llmfi::quant {
+
+// y[m, rows] = x[m, cols] @ Q^T at the given kernel tier. Reference is
+// the scalar grouped loop; Portable/Avx2 vectorize the in-group partial
+// dot (the AVX2 path widens 8 int8 payloads to fp32 lanes per FMA).
+// Each tier has one fixed reduction order per output element.
+tn::Tensor qmatmul_bt(const tn::Tensor& x, const QuantizedMatrix& q,
+                      tn::KernelTier tier);
+
+}  // namespace llmfi::quant

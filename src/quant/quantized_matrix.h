@@ -49,6 +49,13 @@ class QuantizedMatrix {
   // Full dequantized matrix.
   tn::Tensor dequantize() const;
 
+  // Raw storage views for the quantized matmul kernels (quant/qmatmul.h):
+  // row-major sign-extended payloads [rows, cols] and per-group scales
+  // [rows, groups_per_row]. The kernels consume these directly — no fp32
+  // weight copy is materialized on the quantized compute path.
+  std::span<const std::int8_t> payloads() const { return payload_; }
+  std::span<const float> scales() const { return scales_; }
+
   // Mean |w - dequant(w)| against reference weights (test/diagnostic aid).
   double mean_abs_error(const tn::Tensor& reference) const;
 

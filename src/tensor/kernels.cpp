@@ -1,0 +1,318 @@
+#include "tensor/kernels.h"
+
+#include <atomic>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <limits>
+#include <stdexcept>
+
+#include "tensor/ops.h"
+
+namespace llmfi::tn {
+
+namespace {
+
+KernelTier tier_from_env() {
+  const char* v = std::getenv("LLMFI_KERNEL");
+  if (v == nullptr || *v == '\0') return KernelTier::Reference;
+  KernelTier t;
+  if (!parse_kernel_tier(v, &t)) {
+    std::fprintf(stderr,
+                 "llmfi: LLMFI_KERNEL=\"%s\" is not one of "
+                 "reference|portable|avx2|auto\n",
+                 v);
+    std::exit(2);
+  }
+  if (t == KernelTier::Avx2 && !cpu_supports_avx2()) {
+    std::fprintf(stderr,
+                 "llmfi: LLMFI_KERNEL=avx2 but this CPU lacks AVX2/FMA; "
+                 "falling back to portable\n");
+    return KernelTier::Portable;
+  }
+  return t;
+}
+
+std::atomic<KernelTier>& tier_slot() {
+  static std::atomic<KernelTier> slot{tier_from_env()};
+  return slot;
+}
+
+}  // namespace
+
+const char* kernel_tier_name(KernelTier t) {
+  switch (t) {
+    case KernelTier::Reference:
+      return "reference";
+    case KernelTier::Portable:
+      return "portable";
+    case KernelTier::Avx2:
+      return "avx2";
+  }
+  return "?";
+}
+
+bool parse_kernel_tier(const std::string& name, KernelTier* out) {
+  if (name == "reference") {
+    *out = KernelTier::Reference;
+  } else if (name == "portable") {
+    *out = KernelTier::Portable;
+  } else if (name == "avx2") {
+    *out = KernelTier::Avx2;
+  } else if (name == "auto") {
+    *out = best_supported_tier();
+  } else {
+    return false;
+  }
+  return true;
+}
+
+bool cpu_supports_avx2() {
+#if defined(__x86_64__) || defined(__i386__)
+  return __builtin_cpu_supports("avx2") && __builtin_cpu_supports("fma");
+#else
+  return false;
+#endif
+}
+
+KernelTier best_supported_tier() {
+  return cpu_supports_avx2() ? KernelTier::Avx2 : KernelTier::Portable;
+}
+
+KernelTier kernel_tier() {
+  return tier_slot().load(std::memory_order_relaxed);
+}
+
+void set_kernel_tier(KernelTier t) {
+  if (t == KernelTier::Avx2 && !cpu_supports_avx2()) {
+    throw std::invalid_argument(
+        "set_kernel_tier: this CPU lacks AVX2/FMA support");
+  }
+  tier_slot().store(t, std::memory_order_relaxed);
+}
+
+namespace detail {
+
+// Portable microkernel: 4 B-rows per block, 8 source-level accumulator
+// lanes per row. The independent lanes make the reduction reassociation
+// explicit in the source, so -O2/-O3 vectorizes it without -ffast-math;
+// without SIMD hardware it still wins on instruction-level parallelism.
+void gemm_bt_portable(const float* pa, Index m, Index k, const float* pb,
+                      Index n, float* pc) {
+  constexpr Index kLanes = 8;
+  for (Index i = 0; i < m; ++i) {
+    const float* a = pa + i * k;
+    float* c = pc + i * n;
+    Index j = 0;
+    for (; j + 4 <= n; j += 4) {
+      const float* b0 = pb + j * k;
+      const float* b1 = b0 + k;
+      const float* b2 = b1 + k;
+      const float* b3 = b2 + k;
+      float acc0[kLanes] = {0}, acc1[kLanes] = {0};
+      float acc2[kLanes] = {0}, acc3[kLanes] = {0};
+      Index l = 0;
+      for (; l + kLanes <= k; l += kLanes) {
+        for (Index u = 0; u < kLanes; ++u) {
+          const float av = a[l + u];
+          acc0[u] += av * b0[l + u];
+          acc1[u] += av * b1[l + u];
+          acc2[u] += av * b2[l + u];
+          acc3[u] += av * b3[l + u];
+        }
+      }
+      float s0 = 0.0f, s1 = 0.0f, s2 = 0.0f, s3 = 0.0f;
+      for (Index u = 0; u < kLanes; ++u) {
+        s0 += acc0[u];
+        s1 += acc1[u];
+        s2 += acc2[u];
+        s3 += acc3[u];
+      }
+      for (; l < k; ++l) {
+        const float av = a[l];
+        s0 += av * b0[l];
+        s1 += av * b1[l];
+        s2 += av * b2[l];
+        s3 += av * b3[l];
+      }
+      c[j] = s0;
+      c[j + 1] = s1;
+      c[j + 2] = s2;
+      c[j + 3] = s3;
+    }
+    for (; j < n; ++j) {
+      const float* b = pb + j * k;
+      float acc[kLanes] = {0};
+      Index l = 0;
+      for (; l + kLanes <= k; l += kLanes) {
+        for (Index u = 0; u < kLanes; ++u) acc[u] += a[l + u] * b[l + u];
+      }
+      float s = 0.0f;
+      for (Index u = 0; u < kLanes; ++u) s += acc[u];
+      for (; l < k; ++l) s += a[l] * b[l];
+      c[j] = s;
+    }
+  }
+}
+
+void qgemm_bt_portable(const float* pa, Index m, Index k,
+                       const std::int8_t* pw, const float* pscales,
+                       Index groups_per_row, int group_size, Index n,
+                       float* pc) {
+  constexpr Index kLanes = 8;
+  for (Index i = 0; i < m; ++i) {
+    const float* a = pa + i * k;
+    float* c = pc + i * n;
+    for (Index j = 0; j < n; ++j) {
+      const std::int8_t* w = pw + j * k;
+      const float* scales = pscales + j * groups_per_row;
+      float y = 0.0f;
+      for (Index g = 0; g < groups_per_row; ++g) {
+        const Index l0 = g * group_size;
+        const Index l1 = std::min(k, l0 + group_size);
+        float acc[kLanes] = {0};
+        Index l = l0;
+        for (; l + kLanes <= l1; l += kLanes) {
+          for (Index u = 0; u < kLanes; ++u) {
+            acc[u] += a[l + u] * static_cast<float>(w[l + u]);
+          }
+        }
+        float partial = 0.0f;
+        for (Index u = 0; u < kLanes; ++u) partial += acc[u];
+        for (; l < l1; ++l) partial += a[l] * static_cast<float>(w[l]);
+        y += partial * scales[g];
+      }
+      c[j] = y;
+    }
+  }
+}
+
+}  // namespace detail
+
+Tensor matmul_bt_tier(const Tensor& a, const Tensor& b, KernelTier tier) {
+  if (tier == KernelTier::Reference) return matmul_bt_reference(a, b);
+  if (a.rank() != 2 || b.rank() != 2) {
+    throw std::invalid_argument("matmul_bt: tensors must be 2-D");
+  }
+  const Index m = a.rows(), k = a.cols(), n = b.rows();
+  if (b.cols() != k) {
+    throw std::invalid_argument("matmul_bt: inner dim mismatch");
+  }
+  Tensor c({m, n});
+  if (tier == KernelTier::Avx2) {
+    detail::gemm_bt_avx2(a.data(), m, k, b.data(), n, c.data());
+  } else {
+    detail::gemm_bt_portable(a.data(), m, k, b.data(), n, c.data());
+  }
+  return c;
+}
+
+std::vector<Tensor> fused_rmsnorm_matmul_bt(const Tensor& x,
+                                            const Tensor& gain, float eps,
+                                            std::span<const Tensor* const> ws,
+                                            KernelTier tier) {
+  if (x.rank() != 2) {
+    throw std::invalid_argument("fused_rmsnorm_matmul_bt: x must be 2-D");
+  }
+  const Index m = x.rows(), k = x.cols();
+  if (gain.numel() != k) {
+    throw std::invalid_argument("fused_rmsnorm_matmul_bt: gain size mismatch");
+  }
+  std::vector<Tensor> ys;
+  ys.reserve(ws.size());
+  for (const Tensor* w : ws) {
+    if (w->rank() != 2 || w->cols() != k) {
+      throw std::invalid_argument(
+          "fused_rmsnorm_matmul_bt: weight inner dim mismatch");
+    }
+    ys.emplace_back(std::vector<Index>{m, w->rows()});
+  }
+
+  // One normalized row at a time, feeding every projection while the row
+  // is hot. The normalization replicates rmsnorm_rows float-for-float
+  // (sequential ss accumulation, in[j] * inv * gain[j]) so the fusion is
+  // bit-identical to the unfused pair at any tier — including the IEEE
+  // corruption semantics (inf input -> ss inf -> NaN out; huge finite
+  // input -> collapse toward 0) the fault studies rely on.
+  std::vector<float> h(static_cast<size_t>(k));
+  for (Index i = 0; i < m; ++i) {
+    auto in = x.row(i);
+    float ss = 0.0f;
+    for (float v : in) ss += v * v;
+    const float rms = std::sqrt(ss / static_cast<float>(k) + eps);
+    const float inv = 1.0f / rms;
+    for (Index j = 0; j < k; ++j) {
+      h[static_cast<size_t>(j)] = in[static_cast<size_t>(j)] * inv * gain[j];
+    }
+    for (size_t wi = 0; wi < ws.size(); ++wi) {
+      const Tensor& w = *ws[wi];
+      const Index n = w.rows();
+      float* crow = ys[wi].data() + i * n;
+      switch (tier) {
+        case KernelTier::Reference:
+          // The naive dot loop of matmul_bt_reference, row-at-a-time.
+          for (Index j = 0; j < n; ++j) {
+            const float* brow = w.data() + j * k;
+            float acc = 0.0f;
+            for (Index l = 0; l < k; ++l) acc += h[static_cast<size_t>(l)] * brow[l];
+            crow[j] = acc;
+          }
+          break;
+        case KernelTier::Portable:
+          detail::gemm_bt_portable(h.data(), 1, k, w.data(), n, crow);
+          break;
+        case KernelTier::Avx2:
+          detail::gemm_bt_avx2(h.data(), 1, k, w.data(), n, crow);
+          break;
+      }
+    }
+  }
+  return ys;
+}
+
+KernelGateResult check_matmul_bt_gate(const Tensor& a, const Tensor& b,
+                                      const Tensor& ref, const Tensor& fast,
+                                      double term_factor) {
+  const Index m = a.rows(), k = a.cols(), n = b.rows();
+  if (ref.rows() != m || ref.cols() != n || fast.rows() != m ||
+      fast.cols() != n || b.cols() != k) {
+    throw std::invalid_argument("check_matmul_bt_gate: shape mismatch");
+  }
+  constexpr double kEps = std::numeric_limits<float>::epsilon();
+  KernelGateResult res;
+  for (Index i = 0; i < m; ++i) {
+    const float* arow = a.data() + i * k;
+    for (Index j = 0; j < n; ++j) {
+      const float r = ref.at(i, j);
+      const float f = fast.at(i, j);
+      if (!std::isfinite(r)) {
+        // Reordering may legally turn inf into NaN (inf - inf) but must
+        // never bring a corrupted element back to a finite value.
+        if (std::isfinite(f)) {
+          ++res.violations;
+          res.worst_excess = std::numeric_limits<double>::infinity();
+        }
+        continue;
+      }
+      const float* brow = b.data() + j * k;
+      double terms = 0.0;
+      for (Index l = 0; l < k; ++l) {
+        terms += std::fabs(static_cast<double>(arow[l]) * brow[l]);
+      }
+      const double bound = term_factor * kEps * terms + 1e-30;
+      const double diff = std::fabs(static_cast<double>(f) - r);
+      if (!(diff <= bound)) {  // catches NaN in `fast` too
+        ++res.violations;
+        res.worst_excess = std::max(
+            res.worst_excess, std::isfinite(diff) ? diff / bound
+                                                  : std::numeric_limits<double>::infinity());
+      } else if (bound > 0.0) {
+        res.worst_excess = std::max(res.worst_excess, diff / bound);
+      }
+    }
+  }
+  return res;
+}
+
+}  // namespace llmfi::tn

@@ -1,0 +1,156 @@
+// AVX2/FMA microkernels behind tn::detail. Compiled with per-function
+// target attributes so the translation unit builds (and links) on any
+// x86-64 toolchain without changing global codegen flags; callers gate
+// on cpu_supports_avx2() before dispatching here. On non-x86 targets
+// these symbols abort — best_supported_tier() never selects them.
+
+#include "tensor/kernels.h"
+
+#include <cstdio>
+#include <cstdlib>
+
+#if defined(__x86_64__) || defined(__i386__)
+#include <immintrin.h>
+#endif
+
+namespace llmfi::tn::detail {
+
+#if defined(__x86_64__) || defined(__i386__)
+
+namespace {
+
+// Horizontal fold of four 8-lane accumulators into [s0, s1, s2, s3].
+__attribute__((target("avx2,fma"))) inline __m128 hsum4(__m256 acc0,
+                                                        __m256 acc1,
+                                                        __m256 acc2,
+                                                        __m256 acc3) {
+  const __m256 h01 = _mm256_hadd_ps(acc0, acc1);
+  const __m256 h0123 = _mm256_hadd_ps(h01, _mm256_hadd_ps(acc2, acc3));
+  return _mm_add_ps(_mm256_castps256_ps128(h0123),
+                    _mm256_extractf128_ps(h0123, 1));
+}
+
+__attribute__((target("avx2,fma"))) inline float hsum1(__m256 acc) {
+  const __m128 lo = _mm_add_ps(_mm256_castps256_ps128(acc),
+                               _mm256_extractf128_ps(acc, 1));
+  const __m128 sh = _mm_add_ps(lo, _mm_movehl_ps(lo, lo));
+  const __m128 s = _mm_add_ss(sh, _mm_shuffle_ps(sh, sh, 0x55));
+  return _mm_cvtss_f32(s);
+}
+
+// One A row against 4-wide blocks of B rows; fixed reduction order per
+// output element (8-lane FMA partials, hadd fold, then the scalar tail).
+__attribute__((target("avx2,fma"))) void gemm_bt_row_avx2(const float* a,
+                                                          Index k,
+                                                          const float* pb,
+                                                          Index n, float* c) {
+  Index j = 0;
+  for (; j + 4 <= n; j += 4) {
+    const float* b0 = pb + j * k;
+    const float* b1 = b0 + k;
+    const float* b2 = b1 + k;
+    const float* b3 = b2 + k;
+    __m256 acc0 = _mm256_setzero_ps();
+    __m256 acc1 = _mm256_setzero_ps();
+    __m256 acc2 = _mm256_setzero_ps();
+    __m256 acc3 = _mm256_setzero_ps();
+    Index l = 0;
+    for (; l + 8 <= k; l += 8) {
+      const __m256 va = _mm256_loadu_ps(a + l);
+      acc0 = _mm256_fmadd_ps(va, _mm256_loadu_ps(b0 + l), acc0);
+      acc1 = _mm256_fmadd_ps(va, _mm256_loadu_ps(b1 + l), acc1);
+      acc2 = _mm256_fmadd_ps(va, _mm256_loadu_ps(b2 + l), acc2);
+      acc3 = _mm256_fmadd_ps(va, _mm256_loadu_ps(b3 + l), acc3);
+    }
+    float s[4];
+    _mm_storeu_ps(s, hsum4(acc0, acc1, acc2, acc3));
+    for (; l < k; ++l) {
+      const float av = a[l];
+      s[0] += av * b0[l];
+      s[1] += av * b1[l];
+      s[2] += av * b2[l];
+      s[3] += av * b3[l];
+    }
+    c[j] = s[0];
+    c[j + 1] = s[1];
+    c[j + 2] = s[2];
+    c[j + 3] = s[3];
+  }
+  for (; j < n; ++j) {
+    const float* b = pb + j * k;
+    __m256 acc = _mm256_setzero_ps();
+    Index l = 0;
+    for (; l + 8 <= k; l += 8) {
+      acc = _mm256_fmadd_ps(_mm256_loadu_ps(a + l), _mm256_loadu_ps(b + l),
+                            acc);
+    }
+    float s = hsum1(acc);
+    for (; l < k; ++l) s += a[l] * b[l];
+    c[j] = s;
+  }
+}
+
+__attribute__((target("avx2,fma"))) void qgemm_bt_row_avx2(
+    const float* a, Index k, const std::int8_t* pw, const float* pscales,
+    Index groups_per_row, int group_size, Index n, float* c) {
+  for (Index j = 0; j < n; ++j) {
+    const std::int8_t* w = pw + j * k;
+    const float* scales = pscales + j * groups_per_row;
+    float y = 0.0f;
+    for (Index g = 0; g < groups_per_row; ++g) {
+      const Index l0 = g * group_size;
+      const Index l1 = l0 + group_size < k ? l0 + group_size : k;
+      __m256 acc = _mm256_setzero_ps();
+      Index l = l0;
+      for (; l + 8 <= l1; l += 8) {
+        // 8 sign-extended int8 payloads -> fp32 lanes, FMA with the
+        // activation row: the weight is consumed in its integer storage
+        // form, never materialized as an fp32 matrix.
+        const __m128i bytes =
+            _mm_loadl_epi64(reinterpret_cast<const __m128i*>(w + l));
+        const __m256 wf =
+            _mm256_cvtepi32_ps(_mm256_cvtepi8_epi32(bytes));
+        acc = _mm256_fmadd_ps(_mm256_loadu_ps(a + l), wf, acc);
+      }
+      float partial = hsum1(acc);
+      for (; l < l1; ++l) partial += a[l] * static_cast<float>(w[l]);
+      y += partial * scales[g];
+    }
+    c[j] = y;
+  }
+}
+
+}  // namespace
+
+void gemm_bt_avx2(const float* a, Index m, Index k, const float* b, Index n,
+                  float* c) {
+  for (Index i = 0; i < m; ++i) {
+    gemm_bt_row_avx2(a + i * k, k, b, n, c + i * n);
+  }
+}
+
+void qgemm_bt_avx2(const float* a, Index m, Index k, const std::int8_t* w,
+                   const float* scales, Index groups_per_row, int group_size,
+                   Index n, float* c) {
+  for (Index i = 0; i < m; ++i) {
+    qgemm_bt_row_avx2(a + i * k, k, w, scales, groups_per_row, group_size, n,
+                      c + i * n);
+  }
+}
+
+#else  // non-x86: unreachable stubs (cpu_supports_avx2() is false)
+
+void gemm_bt_avx2(const float*, Index, Index, const float*, Index, float*) {
+  std::fprintf(stderr, "llmfi: AVX2 kernel called on a non-x86 build\n");
+  std::abort();
+}
+
+void qgemm_bt_avx2(const float*, Index, Index, const std::int8_t*,
+                   const float*, Index, int, Index, float*) {
+  std::fprintf(stderr, "llmfi: AVX2 kernel called on a non-x86 build\n");
+  std::abort();
+}
+
+#endif
+
+}  // namespace llmfi::tn::detail

@@ -4,6 +4,9 @@
 #include <cmath>
 #include <limits>
 #include <stdexcept>
+#include <vector>
+
+#include "tensor/kernels.h"
 
 namespace llmfi::tn {
 
@@ -18,6 +21,27 @@ void check_2d(const Tensor& t, const char* what) {
 // Parallelize only when the work amortizes thread startup.
 constexpr Index kParallelFlops = 1 << 16;
 
+// Per-row all-finite flags for the accumulating GEMMs' zero-skip fast
+// path. Skipping `0 * row` is only IEEE-legal when the row is known
+// finite: 0 * inf and 0 * NaN are NaN contributions that the skip would
+// silently drop, breaking the fault-propagation semantics documented on
+// softmax_rows_inplace (a masked corruption would look like a masked
+// fault in the campaign data).
+std::vector<unsigned char> finite_rows(const float* p, Index rows,
+                                       Index cols) {
+  std::vector<unsigned char> finite(static_cast<size_t>(rows), 1);
+  for (Index r = 0; r < rows; ++r) {
+    const float* row = p + r * cols;
+    for (Index j = 0; j < cols; ++j) {
+      if (!std::isfinite(row[j])) {
+        finite[static_cast<size_t>(r)] = 0;
+        break;
+      }
+    }
+  }
+  return finite;
+}
+
 }  // namespace
 
 Tensor matmul(const Tensor& a, const Tensor& b) {
@@ -29,13 +53,14 @@ Tensor matmul(const Tensor& a, const Tensor& b) {
   const float* pa = a.data();
   const float* pb = b.data();
   float* pc = c.data();
+  const auto b_finite = finite_rows(pb, k, n);
   const bool parallel = m * n * k >= kParallelFlops;
 #pragma omp parallel for schedule(static) if (parallel)
   for (Index i = 0; i < m; ++i) {
     float* crow = pc + i * n;
     for (Index l = 0; l < k; ++l) {
       const float av = pa[i * k + l];
-      if (av == 0.0f) continue;
+      if (av == 0.0f && b_finite[static_cast<size_t>(l)]) continue;
       const float* brow = pb + l * n;
       for (Index j = 0; j < n; ++j) crow[j] += av * brow[j];
     }
@@ -44,6 +69,10 @@ Tensor matmul(const Tensor& a, const Tensor& b) {
 }
 
 Tensor matmul_bt(const Tensor& a, const Tensor& b) {
+  return matmul_bt_tier(a, b, kernel_tier());
+}
+
+Tensor matmul_bt_reference(const Tensor& a, const Tensor& b) {
   check_2d(a, "matmul_bt lhs");
   check_2d(b, "matmul_bt rhs");
   const Index m = a.rows(), k = a.cols(), n = b.rows();
@@ -80,13 +109,14 @@ Tensor matmul_at(const Tensor& a, const Tensor& b) {
   const float* pa = a.data();
   const float* pb = b.data();
   float* pc = c.data();
+  const auto b_finite = finite_rows(pb, m, k);
   const bool parallel = m * n * k >= kParallelFlops;
 #pragma omp parallel for schedule(static) if (parallel)
   for (Index j = 0; j < n; ++j) {
     float* crow = pc + j * k;
     for (Index i = 0; i < m; ++i) {
       const float av = pa[i * n + j];
-      if (av == 0.0f) continue;
+      if (av == 0.0f && b_finite[static_cast<size_t>(i)]) continue;
       const float* brow = pb + i * k;
       for (Index l = 0; l < k; ++l) crow[l] += av * brow[l];
     }
@@ -231,7 +261,13 @@ ValueStats value_stats(const Tensor& x, float extreme_threshold) {
   if (x.numel() == 0) return s;
   s.min = std::numeric_limits<float>::infinity();
   s.max = -std::numeric_limits<float>::infinity();
-  double sum = 0.0, sumsq = 0.0;
+  // Welford's online moments. The textbook sumsq/n - mean^2 form
+  // cancels catastrophically when mean^2 >> variance — exactly the
+  // large-mean corrupted-activation regime the range detector profiles
+  // (a tensor shifted to ~1e6 by a fault would report stddev 0 or even
+  // a negative variance clamped to 0). Welford subtracts the running
+  // mean before squaring, so the accumulated m2 stays well-scaled.
+  double mean = 0.0, m2 = 0.0;
   Index finite_count = 0;
   for (float v : x.flat()) {
     if (!std::isfinite(v)) {
@@ -242,16 +278,14 @@ ValueStats value_stats(const Tensor& x, float extreme_threshold) {
     if (std::fabs(v) > extreme_threshold) ++s.extreme;
     s.min = std::min(s.min, v);
     s.max = std::max(s.max, v);
-    sum += v;
-    sumsq += static_cast<double>(v) * v;
     ++finite_count;
+    const double delta = static_cast<double>(v) - mean;
+    mean += delta / static_cast<double>(finite_count);
+    m2 += delta * (static_cast<double>(v) - mean);
   }
   if (finite_count > 0) {
-    s.mean = sum / static_cast<double>(finite_count);
-    const double var =
-        std::max(0.0, sumsq / static_cast<double>(finite_count) -
-                          s.mean * s.mean);
-    s.stddev = std::sqrt(var);
+    s.mean = mean;
+    s.stddev = std::sqrt(std::max(0.0, m2 / static_cast<double>(finite_count)));
   }
   return s;
 }

@@ -9,15 +9,25 @@
 
 namespace llmfi::tn {
 
-// C[m,n] = A[m,k] @ B[k,n].
+// C[m,n] = A[m,k] @ B[k,n]. Zero elements of A may skip their update
+// only when the corresponding B row is all-finite: 0 * inf and 0 * NaN
+// are NaN contributions under IEEE semantics, and dropping them would
+// mask corruption the fault studies need to see propagate.
 Tensor matmul(const Tensor& a, const Tensor& b);
 
 // C[m,n] = A[m,k] @ B[n,k]^T. This is the Linear-layer form: weights are
 // stored [out_features, in_features] so a memory fault in weight row `o`
 // corrupts output column `o` for every token (the paper's Fig 5 pattern).
+// Dispatches to the active kernel tier (tensor/kernels.h); the default
+// Reference tier is matmul_bt_reference below.
 Tensor matmul_bt(const Tensor& a, const Tensor& b);
 
+// The naive sequential-reduction dot loop: the oracle tier every fast
+// kernel is gated against ("fast ≡ reference", DESIGN.md §13).
+Tensor matmul_bt_reference(const Tensor& a, const Tensor& b);
+
 // C[n,k] = A[m,n]^T @ B[m,k]. Used by backward passes (dW = dY^T @ X).
+// Same zero-skip-only-when-finite rule as matmul.
 Tensor matmul_at(const Tensor& a, const Tensor& b);
 
 // y += bias broadcast over rows. bias has b.numel() == y.cols().

@@ -10,6 +10,7 @@
 #include "eval/campaign.h"
 #include "numerics/half.h"
 #include "obs/obs.h"
+#include "tensor/kernels.h"
 #include "train/trainer.h"
 
 namespace llmfi {
@@ -613,6 +614,35 @@ TEST(CampaignParallelPaged, PagingIsByteIdenticalAcrossThreadsBatchFork) {
         expect_identical_results(oracle, paged);
       }
     }
+  }
+}
+
+TEST(CampaignParallelPaged, ByteIdenticalWithFastKernelsEnabled) {
+  // The paging/threads/batch identity matrix must hold at ANY pinned
+  // kernel tier, not just the Reference default: the tier changes the
+  // numbers a trial computes, but every execution shape at one tier must
+  // still agree byte-for-byte. Pin the fastest tier this host has and
+  // re-run a slice of the matrix against a same-tier oracle.
+  auto& f = fixture();
+  model::InferenceModel engine(f.weights, {});
+  const auto& spec = eval::workload(data::TaskKind::QA);
+  const auto& eval_set = f.tasks.at(data::TaskKind::QA).eval;
+  tn::ScopedKernelTier pin(tn::best_supported_tier());
+  auto cfg = small_campaign(core::FaultModel::Comp1Bit);
+  cfg.trials = 12;
+  cfg.keep_trial_records = true;
+  cfg.kv_pages = 0;
+  const auto oracle = eval::run_campaign_on(engine, f.world.vocab(),
+                                            eval_set, spec, cfg);
+  for (int threads : {2, 4}) {
+    cfg.prefix_fork = true;
+    cfg.batch = 4;
+    cfg.threads = threads;
+    cfg.kv_pages = 4096;
+    const auto paged = eval::run_campaign_on(engine, f.world.vocab(),
+                                             eval_set, spec, cfg);
+    SCOPED_TRACE("threads=" + std::to_string(threads));
+    expect_identical_results(oracle, paged);
   }
 }
 

@@ -1,0 +1,215 @@
+// Tests for the tiered GEMM kernel layer (DESIGN.md §13): tier
+// parsing/dispatch, the "fast ≡ reference" tolerance gate on every
+// dispatch path this host can execute, non-finite propagation (SIMD
+// reordering must never mask corruption), and bit-identity of the fused
+// RMSNorm+matmul entry point against its unfused pair.
+//
+// CI runs this binary three times — LLMFI_KERNEL unset, =portable, and
+// =avx2 — so the env-knob test below pins the startup dispatch on both
+// fast paths, not just whichever this build's default resolves to.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdlib>
+#include <cstring>
+#include <limits>
+#include <vector>
+
+#include "numerics/rng.h"
+#include "tensor/kernels.h"
+#include "tensor/ops.h"
+
+namespace llmfi::tn {
+namespace {
+
+Tensor random_matrix(Index r, Index c, std::uint64_t seed) {
+  num::Rng rng(seed);
+  Tensor t({r, c});
+  for (float& v : t.flat()) v = static_cast<float>(rng.normal(0.0, 1.0));
+  return t;
+}
+
+std::vector<KernelTier> fast_tiers() {
+  std::vector<KernelTier> tiers = {KernelTier::Portable};
+  if (cpu_supports_avx2()) tiers.push_back(KernelTier::Avx2);
+  return tiers;
+}
+
+bool bit_equal(const Tensor& a, const Tensor& b) {
+  if (a.shape() != b.shape()) return false;
+  return std::memcmp(a.data(), b.data(),
+                     sizeof(float) * static_cast<size_t>(a.numel())) == 0;
+}
+
+TEST(KernelTier, NamesAndParseRoundTrip) {
+  for (KernelTier t :
+       {KernelTier::Reference, KernelTier::Portable, KernelTier::Avx2}) {
+    KernelTier parsed;
+    ASSERT_TRUE(parse_kernel_tier(kernel_tier_name(t), &parsed));
+    EXPECT_EQ(parsed, t);
+  }
+  KernelTier out;
+  EXPECT_TRUE(parse_kernel_tier("auto", &out));
+  EXPECT_EQ(out, best_supported_tier());
+  EXPECT_FALSE(parse_kernel_tier("", &out));
+  EXPECT_FALSE(parse_kernel_tier("sse9", &out));
+  EXPECT_FALSE(parse_kernel_tier("Portable", &out));  // case-sensitive
+}
+
+TEST(KernelTier, BestSupportedIsExecutable) {
+  const KernelTier best = best_supported_tier();
+  EXPECT_NE(best, KernelTier::Reference);
+  if (!cpu_supports_avx2()) EXPECT_EQ(best, KernelTier::Portable);
+  // Must be settable without throwing.
+  ScopedKernelTier pin(best);
+  EXPECT_EQ(kernel_tier(), best);
+}
+
+TEST(KernelTier, HonorsEnvKnobAtStartup) {
+  // The process-wide tier is initialized once from LLMFI_KERNEL. Every
+  // tier change in this binary goes through ScopedKernelTier (restored),
+  // so by the time this test runs kernel_tier() is the startup value.
+  const char* env = std::getenv("LLMFI_KERNEL");
+  if (env == nullptr || *env == '\0') {
+    EXPECT_EQ(kernel_tier(), KernelTier::Reference);
+  } else {
+    KernelTier want;
+    ASSERT_TRUE(parse_kernel_tier(env, &want));
+    if (want == KernelTier::Avx2 && !cpu_supports_avx2()) {
+      want = KernelTier::Portable;  // documented warn-and-fall-back
+    }
+    EXPECT_EQ(kernel_tier(), want);
+  }
+}
+
+TEST(KernelTier, ScopedPinRestores) {
+  const KernelTier before = kernel_tier();
+  {
+    ScopedKernelTier pin(KernelTier::Portable);
+    EXPECT_EQ(kernel_tier(), KernelTier::Portable);
+    {
+      ScopedKernelTier inner(KernelTier::Reference);
+      EXPECT_EQ(kernel_tier(), KernelTier::Reference);
+    }
+    EXPECT_EQ(kernel_tier(), KernelTier::Portable);
+  }
+  EXPECT_EQ(kernel_tier(), before);
+}
+
+TEST(KernelTier, SetThrowsForUnsupportedAvx2) {
+  if (cpu_supports_avx2()) GTEST_SKIP() << "host supports AVX2";
+  EXPECT_THROW(set_kernel_tier(KernelTier::Avx2), std::invalid_argument);
+}
+
+TEST(KernelDispatch, MatmulBtFollowsProcessTier) {
+  const Tensor a = random_matrix(5, 19, 1);
+  const Tensor b = random_matrix(7, 19, 2);
+  for (KernelTier tier : fast_tiers()) {
+    ScopedKernelTier pin(tier);
+    EXPECT_TRUE(bit_equal(matmul_bt(a, b), matmul_bt_tier(a, b, tier)));
+  }
+  ScopedKernelTier pin(KernelTier::Reference);
+  EXPECT_TRUE(bit_equal(matmul_bt(a, b), matmul_bt_reference(a, b)));
+}
+
+TEST(KernelGate, FastTiersStayInsideReferenceEnvelope) {
+  // Ragged shapes on purpose: lane tails (k % 8), block tails (n % 4),
+  // and the degenerate k=1 reduction all take different code paths.
+  const struct {
+    Index m, k, n;
+  } shapes[] = {{3, 33, 5}, {4, 8, 4}, {2, 1, 3}, {8, 64, 8}, {1, 257, 9}};
+  for (const auto& s : shapes) {
+    const Tensor a = random_matrix(s.m, s.k, 11 + s.k);
+    const Tensor b = random_matrix(s.n, s.k, 23 + s.n);
+    const Tensor ref = matmul_bt_reference(a, b);
+    for (KernelTier tier : fast_tiers()) {
+      const Tensor fast = matmul_bt_tier(a, b, tier);
+      const auto gate = check_matmul_bt_gate(a, b, ref, fast);
+      EXPECT_TRUE(gate.ok())
+          << kernel_tier_name(tier) << " m=" << s.m << " k=" << s.k
+          << " n=" << s.n << ": " << gate.violations
+          << " violations, worst excess " << gate.worst_excess;
+    }
+  }
+}
+
+TEST(KernelGate, CatchesACorruptedElement) {
+  const Tensor a = random_matrix(4, 16, 3);
+  const Tensor b = random_matrix(4, 16, 4);
+  const Tensor ref = matmul_bt_reference(a, b);
+  Tensor bad = ref;
+  bad.at(2, 1) += 1.0f;  // far outside any rounding envelope
+  const auto gate = check_matmul_bt_gate(a, b, ref, bad);
+  EXPECT_FALSE(gate.ok());
+  EXPECT_EQ(gate.violations, 1);
+  EXPECT_GT(gate.worst_excess, 1.0);
+  // NaN in fast where the reference is finite is corruption, not drift.
+  Tensor nan_fast = ref;
+  nan_fast.at(0, 0) = std::numeric_limits<float>::quiet_NaN();
+  EXPECT_FALSE(check_matmul_bt_gate(a, b, ref, nan_fast).ok());
+}
+
+TEST(KernelGate, NonFinitePropagatesOnEveryTier) {
+  // A fault-poisoned activation (inf / NaN) must reach the output on the
+  // fast tiers too: reordering may legally turn inf into NaN, but a
+  // finite result where the reference is non-finite masks the fault.
+  Tensor a = random_matrix(3, 12, 5);
+  a.at(0, 4) = std::numeric_limits<float>::infinity();
+  a.at(1, 7) = std::numeric_limits<float>::quiet_NaN();
+  const Tensor b = random_matrix(5, 12, 6);
+  const Tensor ref = matmul_bt_reference(a, b);
+  for (Index j = 0; j < 5; ++j) {
+    ASSERT_FALSE(std::isfinite(ref.at(0, j)));
+    ASSERT_TRUE(std::isnan(ref.at(1, j)));
+  }
+  for (KernelTier tier : fast_tiers()) {
+    const Tensor fast = matmul_bt_tier(a, b, tier);
+    const auto gate = check_matmul_bt_gate(a, b, ref, fast);
+    EXPECT_TRUE(gate.ok()) << kernel_tier_name(tier);
+    for (Index j = 0; j < 5; ++j) {
+      EXPECT_FALSE(std::isfinite(fast.at(0, j))) << kernel_tier_name(tier);
+      EXPECT_FALSE(std::isfinite(fast.at(1, j))) << kernel_tier_name(tier);
+    }
+  }
+}
+
+TEST(FusedKernel, BitIdenticalToUnfusedPairAtEveryTier) {
+  const Tensor x = random_matrix(3, 21, 7);  // ragged k on purpose
+  const Tensor gain = random_matrix(1, 21, 8);
+  const Tensor w0 = random_matrix(6, 21, 9);
+  const Tensor w1 = random_matrix(4, 21, 10);
+  const Tensor w2 = random_matrix(5, 21, 11);
+  const Tensor* ws[] = {&w0, &w1, &w2};
+  const float eps = 1e-5f;
+  std::vector<KernelTier> tiers = {KernelTier::Reference};
+  for (KernelTier t : fast_tiers()) tiers.push_back(t);
+  for (KernelTier tier : tiers) {
+    const Tensor h = rmsnorm_rows(x, gain, eps);
+    const auto fused = fused_rmsnorm_matmul_bt(x, gain, eps, ws, tier);
+    ASSERT_EQ(fused.size(), 3u);
+    for (size_t w = 0; w < 3; ++w) {
+      EXPECT_TRUE(bit_equal(fused[w], matmul_bt_tier(h, *ws[w], tier)))
+          << kernel_tier_name(tier) << " weight " << w;
+    }
+  }
+}
+
+TEST(FusedKernel, ValidatesShapes) {
+  const Tensor x = random_matrix(2, 8, 1);
+  const Tensor gain = random_matrix(1, 8, 2);
+  const Tensor w_ok = random_matrix(3, 8, 3);
+  const Tensor w_bad = random_matrix(3, 9, 4);
+  const Tensor* bad[] = {&w_ok, &w_bad};
+  EXPECT_THROW(
+      fused_rmsnorm_matmul_bt(x, gain, 1e-5f, bad, KernelTier::Reference),
+      std::invalid_argument);
+  const Tensor gain_bad = random_matrix(1, 7, 5);
+  const Tensor* ok[] = {&w_ok};
+  EXPECT_THROW(
+      fused_rmsnorm_matmul_bt(x, gain_bad, 1e-5f, ok, KernelTier::Reference),
+      std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace llmfi::tn

@@ -8,7 +8,10 @@
 
 #include "numerics/half.h"
 #include "numerics/rng.h"
+#include "quant/qmatmul.h"
 #include "quant/quantized_matrix.h"
+#include "tensor/kernels.h"
+#include "tensor/ops.h"
 
 namespace llmfi::quant {
 namespace {
@@ -164,6 +167,89 @@ TEST(Quant, Int4CoarserThanInt8) {
   QuantizedMatrix q8(w, num::DType::I8, 32);
   QuantizedMatrix q4(w, num::DType::I4, 32);
   EXPECT_LT(q8.mean_abs_error(w), q4.mean_abs_error(w));
+}
+
+// --- quantized matmul (kernel layer) ------------------------------------
+
+std::vector<tn::KernelTier> available_fast_tiers() {
+  std::vector<tn::KernelTier> tiers = {tn::KernelTier::Portable};
+  if (tn::cpu_supports_avx2()) tiers.push_back(tn::KernelTier::Avx2);
+  return tiers;
+}
+
+tn::Tensor random_acts(tn::Index r, tn::Index c, std::uint64_t seed) {
+  num::Rng rng(seed);
+  tn::Tensor t({r, c});
+  for (float& v : t.flat()) v = static_cast<float>(rng.normal(0.0, 1.0));
+  return t;
+}
+
+TEST_P(QuantDtype, QMatmulReferenceMatchesDequantizedGemmWithinGate) {
+  // The grouped factored reduction (partial * scale per group) differs
+  // from dequantize-then-GEMM only by reordering/rounding; the kernel
+  // tolerance gate bounds that drift. Ragged column count on purpose:
+  // 50 = 3 full groups of 16 + a tail group of 2.
+  const tn::Tensor w = random_weights(20, 50, 13);
+  QuantizedMatrix q(w, GetParam(), 16);
+  const tn::Tensor x = random_acts(5, 50, 14);
+  const tn::Tensor deq = q.dequantize();
+  const tn::Tensor flat = tn::matmul_bt_reference(x, deq);
+  const tn::Tensor grouped = qmatmul_bt(x, q, tn::KernelTier::Reference);
+  const auto gate = tn::check_matmul_bt_gate(x, deq, flat, grouped);
+  EXPECT_TRUE(gate.ok()) << gate.violations << " violations, worst excess "
+                         << gate.worst_excess;
+}
+
+TEST_P(QuantDtype, QMatmulFastTiersMatchReferenceWithinGate) {
+  const tn::Tensor w = random_weights(12, 37, 15);  // ragged: 37 = 2*16+5
+  QuantizedMatrix q(w, GetParam(), 16);
+  const tn::Tensor x = random_acts(3, 37, 16);
+  const tn::Tensor deq = q.dequantize();
+  const tn::Tensor ref = qmatmul_bt(x, q, tn::KernelTier::Reference);
+  for (tn::KernelTier tier : available_fast_tiers()) {
+    const tn::Tensor fast = qmatmul_bt(x, q, tier);
+    const auto gate = tn::check_matmul_bt_gate(x, deq, ref, fast);
+    EXPECT_TRUE(gate.ok())
+        << tn::kernel_tier_name(tier) << ": " << gate.violations
+        << " violations, worst excess " << gate.worst_excess;
+  }
+}
+
+TEST_P(QuantDtype, QMatmulSeesPayloadFlipOnEveryTier) {
+  // The fault surface: the kernel reads the same int8 storage that
+  // flip_payload_bits mutates, so a flipped payload must move exactly
+  // the output column owned by that weight row — on every tier, without
+  // any dequantized fp32 copy refreshing stale values.
+  const tn::Tensor w = random_weights(6, 32, 17);
+  QuantizedMatrix q(w, GetParam(), 8);
+  const tn::Tensor x = random_acts(2, 32, 18);
+  std::vector<tn::KernelTier> tiers = {tn::KernelTier::Reference};
+  for (tn::KernelTier t : available_fast_tiers()) tiers.push_back(t);
+  std::vector<tn::Tensor> before;
+  for (tn::KernelTier t : tiers) before.push_back(qmatmul_bt(x, q, t));
+  const int msb[1] = {(GetParam() == num::DType::I8) ? 6 : 3};
+  q.flip_payload_bits(3, 5, msb);  // weight row 3 -> output column 3
+  for (size_t i = 0; i < tiers.size(); ++i) {
+    const tn::Tensor after = qmatmul_bt(x, q, tiers[i]);
+    for (tn::Index r = 0; r < 2; ++r) {
+      EXPECT_NE(after.at(r, 3), before[i].at(r, 3))
+          << tn::kernel_tier_name(tiers[i]);
+      for (tn::Index j = 0; j < 6; ++j) {
+        if (j == 3) continue;
+        EXPECT_EQ(after.at(r, j), before[i].at(r, j))
+            << tn::kernel_tier_name(tiers[i]) << " col " << j;
+      }
+    }
+  }
+  q.flip_payload_bits(3, 5, msb);  // restore
+}
+
+TEST(QMatmul, ValidatesShapes) {
+  const tn::Tensor w = random_weights(4, 16, 19);
+  QuantizedMatrix q(w, num::DType::I8, 8);
+  const tn::Tensor wrong_k = random_acts(2, 15, 20);
+  EXPECT_THROW(qmatmul_bt(wrong_k, q, tn::KernelTier::Reference),
+               std::invalid_argument);
 }
 
 }  // namespace

@@ -75,6 +75,64 @@ TEST(Ops, MatmulVariantsAgree) {
   for (Index i = 0; i < e1.numel(); ++i) EXPECT_NEAR(e1[i], e2[i], 1e-4);
 }
 
+TEST(Ops, MatmulZeroTimesNonFiniteIsNaN) {
+  // IEEE semantics the zero-skip optimization must not break: 0 * inf
+  // and 0 * NaN are NaN, so a zero activation multiplied into a
+  // corrupted (non-finite) weight row still poisons the output. The skip
+  // is only legal when the B row is verified all-finite.
+  const float inf = std::numeric_limits<float>::infinity();
+  const float nan = std::numeric_limits<float>::quiet_NaN();
+
+  Tensor a = Tensor::from_rows(1, 2, {0.0f, 1.0f});
+  Tensor b = Tensor::from_rows(2, 2, {inf, 1.0f, 1.0f, 1.0f});
+  Tensor c = matmul(a, b);
+  EXPECT_TRUE(std::isnan(c.at(0, 0)));  // 0*inf + 1*1
+  EXPECT_FLOAT_EQ(c.at(0, 1), 1.0f);    // 0*1 + 1*1 — finite column intact
+
+  Tensor b2 = Tensor::from_rows(2, 2, {nan, 1.0f, 1.0f, 1.0f});
+  Tensor c2 = matmul(a, b2);
+  EXPECT_TRUE(std::isnan(c2.at(0, 0)));  // 0*NaN + 1*1
+
+  // Skipping genuinely all-finite rows must still be exact: a zero
+  // activation contributes exactly nothing.
+  Tensor b3 = Tensor::from_rows(2, 2, {3.0f, 4.0f, 5.0f, 6.0f});
+  Tensor c3 = matmul(a, b3);
+  EXPECT_FLOAT_EQ(c3.at(0, 0), 5.0f);
+  EXPECT_FLOAT_EQ(c3.at(0, 1), 6.0f);
+}
+
+TEST(Ops, MatmulAtZeroTimesNonFiniteIsNaN) {
+  // Same IEEE rule for the transposed variant (gradient accumulation
+  // path): c[j,l] = sum_i a[i,j] * b[i,l] must not skip a[i,j] == 0 when
+  // b's row i holds inf/NaN.
+  const float nan = std::numeric_limits<float>::quiet_NaN();
+  Tensor a = Tensor::from_rows(2, 1, {0.0f, 1.0f});
+  Tensor b = Tensor::from_rows(2, 2, {nan, 2.0f, 3.0f, 4.0f});
+  Tensor c = matmul_at(a, b);
+  EXPECT_TRUE(std::isnan(c.at(0, 0)));  // 0*NaN + 1*3
+  // Column 1 pairs the zero with the finite b.at(0, 1) = 2; the 0*2 term
+  // contributes nothing: 0*2 + 1*4 = 4.
+  EXPECT_FLOAT_EQ(c.at(0, 1), 4.0f);
+}
+
+TEST(Ops, ValueStatsStddevStableAtLargeMean) {
+  // The sumsq/n - mean^2 formulation catastrophically cancels when the
+  // mean dwarfs the spread — exactly the corrupted-activation regime
+  // (values ~1e6 after an exponent flip) the Fig 5/6 maps summarize.
+  // Welford keeps full precision.
+  Tensor x = Tensor::from_rows(1, 3, {1e6f, 1e6f + 1.0f, 1e6f + 2.0f});
+  const auto s = value_stats(x, 1e9f);
+  EXPECT_NEAR(s.mean, 1e6 + 1.0, 1e-3);
+  EXPECT_NEAR(s.stddev, std::sqrt(2.0 / 3.0), 1e-6);
+
+  // And an even harsher mean where the naive formula returns garbage
+  // (or NaN from a negative variance).
+  Tensor y = Tensor::from_rows(1, 2, {1e8f, 1e8f + 8.0f});
+  const auto sy = value_stats(y, 1e9f);
+  EXPECT_NEAR(sy.stddev, 4.0, 1e-5);
+  EXPECT_FALSE(std::isnan(sy.stddev));
+}
+
 TEST(Ops, MatmulShapeChecks) {
   Tensor a({2, 3}), b({4, 5});
   EXPECT_THROW(matmul(a, b), std::invalid_argument);
