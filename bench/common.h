@@ -23,6 +23,12 @@
 //                   are bit-identical for any value; ineligible
 //                   campaigns fall back to the sequential loop.
 //                   fig_serve_throughput unsets it for its own A/B.
+// LLMFI_TP        — overrides CampaignConfig::tp when set to an integer
+//                   >= 1: every engine shards its per-block projections
+//                   across that many threads (DESIGN.md §14). Results
+//                   are byte-identical for any value; note threads x tp
+//                   compute threads run concurrently, so size the
+//                   product to the core count.
 // Observability knobs (DESIGN.md §11) — campaigns are byte-identical
 // with these on or off; they only watch:
 // LLMFI_TRACE     — write a Chrome trace-event JSON (Perfetto-loadable)

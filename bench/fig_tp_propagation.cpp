@@ -1,0 +1,118 @@
+// Tensor-parallel fault propagation (DESIGN.md §14): how a bit flipped
+// in a shard's partial sum (tp-partial) or mid-reduction (tp-reduce)
+// propagates, against the single-device 1bit-comp baseline on the same
+// model/workload/trial budget. The tp models flip pre-rounding fp32
+// register state in the two row-parallel products only, so their
+// site population and bit width (32) differ from comp's — the
+// comparison is outcome *distribution*, not trial-by-trial. Identity
+// gate: a tp-partial campaign must be byte-identical at TP=1 and TP=2
+// (sharding reassigns work, never bits). Machine-readable copy goes to
+// bench_logs/BENCH_tp_propagation.json.
+
+#include <chrono>
+#include <filesystem>
+#include <fstream>
+#include <vector>
+
+#include "common.h"
+#include "report/bench_meta.h"
+
+using namespace llmfi;
+
+namespace {
+
+struct Arm {
+  core::FaultModel fault;
+  eval::CampaignResult result;
+};
+
+}  // namespace
+
+int main() {
+  const auto bench_t0 = std::chrono::steady_clock::now();
+  auto& zoo = benchutil::shared_zoo();
+  const auto kind = data::TaskKind::QA;
+  const auto& spec = eval::workload(kind);
+  const auto& eval_set = zoo.task(kind).eval;
+  const auto& vocab = zoo.vocab();
+  model::InferenceModel engine(zoo.get("qilin"),
+                               benchutil::default_precision());
+
+  std::vector<Arm> arms = {{core::FaultModel::Comp1Bit, {}},
+                           {core::FaultModel::TpPartial, {}},
+                           {core::FaultModel::TpReduce, {}}};
+  for (auto& arm : arms) {
+    auto cfg = benchutil::default_campaign(arm.fault, /*default_trials=*/150,
+                                           /*default_inputs=*/8);
+    arm.result = eval::run_campaign_on(engine, vocab, eval_set, spec, cfg);
+  }
+
+  // Identity gate: rerun the tp-partial campaign sharded — TP only
+  // changes which thread computes a segment, never the outcome bits.
+  auto cfg_tp2 = benchutil::default_campaign(core::FaultModel::TpPartial,
+                                             /*default_trials=*/150,
+                                             /*default_inputs=*/8);
+  cfg_tp2.tp = 2;
+  const auto tp2 = eval::run_campaign_on(engine, vocab, eval_set, spec,
+                                         cfg_tp2);
+  const auto& tp1 = arms[1].result;
+  const bool identical = tp2.masked == tp1.masked &&
+                         tp2.sdc_subtle == tp1.sdc_subtle &&
+                         tp2.sdc_distorted == tp1.sdc_distorted &&
+                         tp2.by_highest_bit == tp1.by_highest_bit &&
+                         tp2.faulty_hits == tp1.faulty_hits;
+
+  const std::string& metric = spec.metrics.front().name;
+  report::Table t("tp fault propagation: qilin / " + spec.dataset + " / " +
+                  std::to_string(arms[0].result.trials()) + " trials/arm");
+  t.header({"fault", "masked", "sdc-subtle", "sdc-distorted", "sdc rate",
+            "normalized " + metric});
+  for (const auto& arm : arms) {
+    const auto& r = arm.result;
+    t.row({std::string(core::fault_model_name(arm.fault)),
+           std::to_string(r.masked), std::to_string(r.sdc_subtle),
+           std::to_string(r.sdc_distorted), report::fmt(r.sdc_rate()),
+           report::fmt_ratio(r.normalized(metric))});
+  }
+  t.row({"tp1 == tp2 outcomes", benchutil::check(identical), "", "", "", ""});
+  t.print(std::cout);
+  std::printf("expected shape: tp faults flip fp32 partial state, so their "
+              "high-exponent flips (bits 24-30) drive SDCs the way comp's "
+              "exponent flips do; tp-reduce lands later in the fold and "
+              "masks at least as often as tp-partial; identity must be "
+              "yes.\n");
+
+  std::filesystem::create_directories("bench_logs");
+  std::ofstream json("bench_logs/BENCH_tp_propagation.json");
+  const double bench_sec =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                    bench_t0)
+          .count();
+  json << "{\n"
+       << "  \"meta\": " << report::bench_metadata(bench_sec).json() << ",\n"
+       << "  \"model\": \"qilin\",\n"
+       << "  \"dataset\": \"" << spec.dataset << "\",\n"
+       << "  \"arms\": [\n";
+  for (size_t i = 0; i < arms.size(); ++i) {
+    const auto& r = arms[i].result;
+    json << "    {\"fault\": \"" << core::fault_model_name(arms[i].fault)
+         << "\", "
+         << "\"trials\": " << r.trials() << ", "
+         << "\"masked\": " << r.masked << ", "
+         << "\"sdc_subtle\": " << r.sdc_subtle << ", "
+         << "\"sdc_distorted\": " << r.sdc_distorted << ", "
+         << "\"sdc_rate\": " << r.sdc_rate() << ", "
+         << "\"by_highest_bit\": {";
+    bool first = true;
+    for (const auto& [bit, counts] : r.by_highest_bit) {
+      json << (first ? "" : ", ") << "\"" << bit << "\": ["
+           << counts[0] << ", " << counts[1] << ", " << counts[2] << "]";
+      first = false;
+    }
+    json << "}}" << (i + 1 < arms.size() ? "," : "") << "\n";
+  }
+  json << "  ],\n"
+       << "  \"tp1_tp2_identical\": " << (identical ? "true" : "false")
+       << "\n}\n";
+  return identical ? 0 : 1;
+}

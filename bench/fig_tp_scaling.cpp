@@ -1,0 +1,198 @@
+// Tensor-parallel scaling (DESIGN.md §14): single-sequence decode tok/s
+// and prefill GFLOP/s at TP = 1/2/4/8 on a model large enough for the
+// shard work to dominate the barrier cost (the zoo models are far too
+// small — a 32-wide block hands each shard a few hundred FLOPs). The
+// hard gate is identity: every TP degree must reproduce the TP=1 token
+// stream and final-pass logits byte-for-byte, the invariant everything
+// in §14 is built around. The speedup row is reported and stamped into
+// bench_logs/BENCH_tp.json; the >= 1.6x-at-TP=4 expectation only
+// applies on >= 4 hardware threads (a 1-core box serializes the shards
+// and the JSON's hardware_concurrency says so).
+
+#include <chrono>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <thread>
+#include <vector>
+
+#include "common.h"
+#include "model/transformer.h"
+#include "report/bench_meta.h"
+#include "tensor/kernels.h"
+
+using namespace llmfi;
+
+namespace {
+
+constexpr int kPrefillTokens = 16;
+constexpr int kDecodeSteps = 48;
+
+model::ModelConfig bench_config() {
+  model::ModelConfig cfg;
+  cfg.vocab_size = 128;
+  cfg.d_model = 512;
+  cfg.n_layers = 4;
+  cfg.n_heads = 8;
+  cfg.d_ff = 2048;
+  cfg.max_seq = 128;
+  cfg.seed = 41;
+  return cfg;
+}
+
+// Matmul FLOPs per token through the stack (attention's score/mix terms
+// are O(d * ctx) and negligible next to the projections at this shape).
+double flops_per_token(const model::ModelConfig& c) {
+  const double d = static_cast<double>(c.d_model);
+  const double ff = static_cast<double>(c.d_ff);
+  return c.n_layers * (8.0 * d * d + 6.0 * d * ff) +
+         2.0 * d * static_cast<double>(c.vocab_size);
+}
+
+struct TpRun {
+  int tp = 1;
+  double prefill_gflops = 0.0;
+  double decode_tok_s = 0.0;
+  std::vector<tok::TokenId> tokens;
+  tn::Tensor last_logits;
+};
+
+tok::TokenId argmax_row(const tn::Tensor& logits, tn::Index row) {
+  tok::TokenId best = 0;
+  float best_v = logits.at(row, 0);
+  for (tn::Index j = 1; j < logits.cols(); ++j) {
+    if (logits.at(row, j) > best_v) {
+      best_v = logits.at(row, j);
+      best = static_cast<tok::TokenId>(j);
+    }
+  }
+  return best;
+}
+
+TpRun run_tp(const model::ModelWeights& weights,
+             const model::ModelConfig& cfg, int tp) {
+  model::InferenceModel engine(weights, {});
+  engine.set_tensor_parallel(tp);
+
+  std::vector<tok::TokenId> prompt;
+  for (int i = 0; i < kPrefillTokens; ++i) {
+    prompt.push_back(static_cast<tok::TokenId>((i * 7 + 3) % cfg.vocab_size));
+  }
+
+  // Warmup: one full prefill+decode pass populates every lazy path.
+  {
+    nn::KvCache cache = engine.make_cache();
+    auto logits = engine.forward(prompt, cache, 0);
+    (void)engine.forward({{argmax_row(logits, logits.rows() - 1)}}, cache, 1);
+  }
+
+  TpRun run;
+  run.tp = tp;
+  nn::KvCache cache = engine.make_cache();
+  const auto t0 = std::chrono::steady_clock::now();
+  tn::Tensor logits = engine.forward(prompt, cache, 0);
+  const auto t1 = std::chrono::steady_clock::now();
+  const double prefill_sec = std::chrono::duration<double>(t1 - t0).count();
+  run.prefill_gflops = kPrefillTokens * flops_per_token(cfg) /
+                       prefill_sec / 1e9;
+
+  tok::TokenId next = argmax_row(logits, logits.rows() - 1);
+  const auto d0 = std::chrono::steady_clock::now();
+  for (int step = 1; step <= kDecodeSteps; ++step) {
+    run.tokens.push_back(next);
+    logits = engine.forward({{next}}, cache, step);
+    next = argmax_row(logits, 0);
+  }
+  const auto d1 = std::chrono::steady_clock::now();
+  const double decode_sec = std::chrono::duration<double>(d1 - d0).count();
+  run.decode_tok_s = kDecodeSteps / decode_sec;
+  run.last_logits = std::move(logits);
+  return run;
+}
+
+}  // namespace
+
+int main() {
+  benchutil::init_obs_from_env();
+  const auto bench_t0 = std::chrono::steady_clock::now();
+  // Perf runs want the fastest tier; an explicit LLMFI_KERNEL (already
+  // consumed by the tier init) still wins so reference-tier A/Bs work.
+  if (std::getenv("LLMFI_KERNEL") == nullptr) {
+    tn::set_kernel_tier(tn::best_supported_tier());
+  }
+
+  const auto cfg = bench_config();
+  const auto weights = model::ModelWeights::init(cfg);
+  const unsigned hc = std::thread::hardware_concurrency();
+
+  std::vector<TpRun> runs;
+  for (int tp : {1, 2, 4, 8}) {
+    runs.push_back(run_tp(weights, cfg, tp));
+  }
+
+  // Identity gate: same tokens, same final-pass logits, at every degree.
+  const auto& ref = runs.front();
+  bool identical = true;
+  for (const auto& r : runs) {
+    identical = identical && r.tokens == ref.tokens &&
+                r.last_logits.rows() == ref.last_logits.rows() &&
+                std::memcmp(r.last_logits.data(), ref.last_logits.data(),
+                            sizeof(float) * static_cast<size_t>(
+                                                ref.last_logits.numel())) == 0;
+  }
+
+  report::Table t("tp scaling: d_model=" + std::to_string(cfg.d_model) +
+                  " n_layers=" + std::to_string(cfg.n_layers) +
+                  " d_ff=" + std::to_string(cfg.d_ff) + " / " +
+                  tn::kernel_tier_name(tn::kernel_tier()) + " tier / " +
+                  std::to_string(hc) + " hw threads");
+  t.header({"tp", "decode tok/s", "speedup", "prefill GFLOP/s", "speedup"});
+  for (const auto& r : runs) {
+    t.row({std::to_string(r.tp), report::fmt(r.decode_tok_s),
+           report::fmt(r.decode_tok_s / ref.decode_tok_s),
+           report::fmt(r.prefill_gflops),
+           report::fmt(r.prefill_gflops / ref.prefill_gflops)});
+  }
+  t.row({"tokens+logits identical", benchutil::check(identical), "", "", ""});
+  t.print(std::cout);
+
+  double speedup_tp4 = 0.0;
+  for (const auto& r : runs) {
+    if (r.tp == 4) speedup_tp4 = r.decode_tok_s / ref.decode_tok_s;
+  }
+  std::printf("expected shape: decode speedup at TP=4 >= 1.6x on >= 4 "
+              "hardware threads (this box has %u); identity must be yes "
+              "at every degree.\n", hc);
+
+  std::filesystem::create_directories("bench_logs");
+  std::ofstream json("bench_logs/BENCH_tp.json");
+  const double bench_sec =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                    bench_t0)
+          .count();
+  json << "{\n"
+       << "  \"meta\": " << report::bench_metadata(bench_sec).json() << ",\n"
+       << "  \"d_model\": " << cfg.d_model << ",\n"
+       << "  \"n_layers\": " << cfg.n_layers << ",\n"
+       << "  \"d_ff\": " << cfg.d_ff << ",\n"
+       << "  \"kernel_tier\": \"" << tn::kernel_tier_name(tn::kernel_tier())
+       << "\",\n"
+       << "  \"hardware_concurrency\": " << hc << ",\n"
+       << "  \"prefill_tokens\": " << kPrefillTokens << ",\n"
+       << "  \"decode_steps\": " << kDecodeSteps << ",\n"
+       << "  \"runs\": [\n";
+  for (size_t i = 0; i < runs.size(); ++i) {
+    const auto& r = runs[i];
+    json << "    {\"tp\": " << r.tp << ", "
+         << "\"decode_tok_per_s\": " << r.decode_tok_s << ", "
+         << "\"decode_speedup\": " << r.decode_tok_s / ref.decode_tok_s
+         << ", "
+         << "\"prefill_gflop_per_s\": " << r.prefill_gflops << ", "
+         << "\"prefill_speedup\": " << r.prefill_gflops / ref.prefill_gflops
+         << "}" << (i + 1 < runs.size() ? "," : "") << "\n";
+  }
+  json << "  ],\n"
+       << "  \"decode_speedup_tp4\": " << speedup_tp4 << ",\n"
+       << "  \"identical\": " << (identical ? "true" : "false") << "\n}\n";
+  return identical ? 0 : 1;
+}

@@ -11,6 +11,8 @@ std::string_view fault_model_name(FaultModel m) {
     case FaultModel::Comp2Bit: return "2bits-comp";
     case FaultModel::Mem2Bit: return "2bits-mem";
     case FaultModel::KvBit: return "kv-bit";
+    case FaultModel::TpPartial: return "tp-partial";
+    case FaultModel::TpReduce: return "tp-reduce";
   }
   return "?";
 }
@@ -20,6 +22,8 @@ FaultModel parse_fault_model(std::string_view name) {
   if (name == "2bits-comp") return FaultModel::Comp2Bit;
   if (name == "2bits-mem") return FaultModel::Mem2Bit;
   if (name == "kv-bit") return FaultModel::KvBit;
+  if (name == "tp-partial") return FaultModel::TpPartial;
+  if (name == "tp-reduce") return FaultModel::TpReduce;
   throw std::invalid_argument("unknown fault model: " + std::string(name));
 }
 

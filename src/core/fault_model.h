@@ -11,6 +11,17 @@
 //              sampled (block, position, dim), landing at the start of a
 //              sampled decode pass and persisting for the rest of the
 //              sequence: every later pass attends over the flipped row.
+// And the tensor-parallel pair (DESIGN.md §14): production serving
+// shards the attention-output / MLP-down products into per-shard
+// partial sums folded by a reduction — two new places for a transient
+// flip to land that single-device models cannot express:
+//   tp-partial — single-bit flip in one segment's partial sum (fp32
+//                register state) after the partial GEMMs, before any
+//                reduction: the corruption rides one shard's
+//                contribution through the whole fold.
+//   tp-reduce  — single-bit flip in a surviving node after one tree
+//                level of the reduction: the corruption enters midway,
+//                skipping the earlier folds.
 
 #include <string_view>
 
@@ -21,6 +32,8 @@ enum class FaultModel {
   Comp2Bit,
   Mem2Bit,
   KvBit,
+  TpPartial,
+  TpReduce,
 };
 
 constexpr bool is_memory_fault(FaultModel m) {
@@ -33,8 +46,18 @@ constexpr bool is_memory_fault(FaultModel m) {
 // and refill the cache, not recompute the pass.
 constexpr bool is_kv_fault(FaultModel m) { return m == FaultModel::KvBit; }
 
+// Tensor-parallel faults are transient like comp faults (one flip at
+// one pass) but land in the pre-rounding fp32 partial/reduction state
+// of the row-parallel products rather than in a layer's rounded output.
+// Recovery therefore composes exactly like comp: recompute the pass.
+constexpr bool is_tp_fault(FaultModel m) {
+  return m == FaultModel::TpPartial || m == FaultModel::TpReduce;
+}
+
 constexpr int fault_bit_count(FaultModel m) {
-  return m == FaultModel::Comp1Bit || m == FaultModel::KvBit ? 1 : 2;
+  return m == FaultModel::Comp1Bit || m == FaultModel::KvBit || is_tp_fault(m)
+             ? 1
+             : 2;
 }
 
 std::string_view fault_model_name(FaultModel m);

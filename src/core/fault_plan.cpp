@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <stdexcept>
 
+#include "shard/parallel_linear.h"
+
 namespace llmfi::core {
 
 int FaultPlan::highest_bit() const {
@@ -52,6 +54,15 @@ FaultPlan sample_fault(FaultModel model, model::InferenceModel& m,
   std::vector<int> eligible;
   for (int i = 0; i < static_cast<int>(layers.size()); ++i) {
     const auto& id = layers[static_cast<size_t>(i)].id;
+    if (is_tp_fault(model)) {
+      // Only the row-parallel products retain partial sums: the
+      // attention-output projection and the dense MLP down projection
+      // (expert MLPs stay replicated — see project_tp).
+      if (id.kind != nn::LayerKind::OProj &&
+          id.kind != nn::LayerKind::DownProj) {
+        continue;
+      }
+    }
     if (!scope.layer_filter || scope.layer_filter(id)) eligible.push_back(i);
   }
   if (eligible.empty()) {
@@ -67,10 +78,13 @@ FaultPlan sample_fault(FaultModel model, model::InferenceModel& m,
   const int n_bits = fault_bit_count(model);
   // Memory faults flip stored weight bits (storage width incl. quantized
   // payload); computational faults flip activation bits (activation
-  // dtype width).
+  // dtype width); tensor-parallel faults flip partial-sum bits, which
+  // are fp32 register state regardless of the activation dtype (the
+  // rounding happens after the reduction completes).
   const int width =
-      is_memory_fault(model)
-          ? ref.weights->storage_bits()
+      is_memory_fault(model) ? ref.weights->storage_bits()
+      : is_tp_fault(model)
+          ? 32
           : num::dtype_info(m.precision().act_dtype).total_bits;
   while (static_cast<int>(plan.bits.size()) < n_bits) {
     const int b = static_cast<int>(rng.uniform_u64(
@@ -91,6 +105,20 @@ FaultPlan sample_fault(FaultModel model, model::InferenceModel& m,
     plan.row_frac = rng.uniform();
     plan.out_col = static_cast<tn::Index>(
         rng.uniform_u64(static_cast<std::uint64_t>(ref.weights->rows())));
+    if (is_tp_fault(model)) {
+      const int segments =
+          shard::RowParallelLinear::segment_count(ref.weights->cols());
+      plan.segment =
+          static_cast<int>(rng.uniform_u64(static_cast<std::uint64_t>(
+              std::max(1, segments))));
+      if (model == FaultModel::TpReduce) {
+        int levels = 0;
+        for (int stride = 1; stride < segments; stride *= 2) ++levels;
+        plan.reduce_level =
+            static_cast<int>(rng.uniform_u64(static_cast<std::uint64_t>(
+                std::max(1, levels))));
+      }
+    }
   }
   return plan;
 }

@@ -27,6 +27,16 @@ struct FaultPlan {
   double row_frac = 0.0;
   tn::Index out_col = 0;
 
+  // Tensor-parallel faults (pass/row_frac/out_col above still place the
+  // flip in (pass, row, neuron) terms). For tp-partial, `segment` is the
+  // K-grid segment whose partial sum is hit. For tp-reduce,
+  // `reduce_level` picks the tree level (clamped to the product's depth
+  // at fire time) and `segment` becomes a rank into that level's
+  // surviving nodes — sampled as a rank so the plan stays valid for any
+  // K width's grid.
+  int segment = -1;
+  int reduce_level = -1;
+
   // Bit positions within the storage representation (1 or 2, distinct).
   std::vector<int> bits;
 

@@ -74,6 +74,64 @@ void KvBitFaultInjector::on_pass_begin(nn::KvCache& cache, int pass_index) {
   record_ = rec;
 }
 
+TpFaultInjector::TpFaultInjector(FaultPlan plan) : plan_(std::move(plan)) {
+  assert(is_tp_fault(plan_.model));
+}
+
+void TpFaultInjector::flip_in(tn::Tensor& partial, int pass_index) {
+  FiredRecord rec;
+  rec.pass_index = pass_index;
+  rec.row = std::min<tn::Index>(
+      partial.rows() - 1,
+      static_cast<tn::Index>(plan_.row_frac *
+                             static_cast<double>(partial.rows())));
+  rec.col = std::min<tn::Index>(plan_.out_col, partial.cols() - 1);
+  rec.old_value = partial.at(rec.row, rec.col);
+  // Partials are accumulated in fp32 regardless of the serving dtype —
+  // they are pre-rounding register state — so the flip always acts on
+  // the fp32 representation.
+  partial.at(rec.row, rec.col) =
+      num::flip_float_bits(rec.old_value, num::DType::F32, plan_.bits);
+  rec.new_value = partial.at(rec.row, rec.col);
+  record_ = rec;
+}
+
+void TpFaultInjector::on_partials(const nn::LinearId& id,
+                                  std::span<tn::Tensor> partials,
+                                  int pass_index, int row_offset) {
+  (void)row_offset;
+  if (plan_.model != FaultModel::TpPartial) return;
+  if (record_.has_value()) return;  // single shot
+  if (pass_index != plan_.pass_index) return;
+  if (!(id == plan_.layer)) return;
+  if (partials.empty()) return;
+  const auto g = std::min<size_t>(static_cast<size_t>(std::max(0, plan_.segment)),
+                                  partials.size() - 1);
+  flip_in(partials[g], pass_index);
+}
+
+void TpFaultInjector::on_reduce_level(const nn::LinearId& id, int level,
+                                      int n_levels,
+                                      std::span<tn::Tensor> partials,
+                                      std::span<const int> survivors,
+                                      int pass_index, int row_offset) {
+  (void)row_offset;
+  if (plan_.model != FaultModel::TpReduce) return;
+  if (record_.has_value()) return;  // single shot
+  if (pass_index != plan_.pass_index) return;
+  if (!(id == plan_.layer)) return;
+  if (survivors.empty()) return;
+  // Clamp the planned level into this product's actual depth (the plan
+  // was sampled against the target layer's grid, but small K widths can
+  // shrink the tree), then resolve the planned segment as a rank into
+  // the level's surviving nodes.
+  const int target_level = std::min(plan_.reduce_level, n_levels - 1);
+  if (level != target_level) return;
+  const auto rank = static_cast<size_t>(std::max(0, plan_.segment)) %
+                    survivors.size();
+  flip_in(partials[static_cast<size_t>(survivors[rank])], pass_index);
+}
+
 WeightCorruption::WeightCorruption(model::InferenceModel& m,
                                    const FaultPlan& plan)
     : model_(m), plan_(plan) {

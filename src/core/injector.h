@@ -75,6 +75,38 @@ class KvBitFaultInjector : public nn::KvPassHook {
   std::optional<FiredRecord> record_;
 };
 
+// Flips plan.bits in the fp32 partial-sum state of a row-parallel
+// product (tp-partial / tp-reduce, DESIGN.md §14). tp-partial corrupts
+// one segment's partial after the partial GEMMs and before any fold;
+// tp-reduce corrupts a surviving node after one tree level, so the flip
+// enters midway through the reduction. Single-shot like the
+// computational injector; the victim (row, col) resolves from
+// row_frac/out_col at fire time, the segment/node from plan.segment
+// clamped (or rank-resolved) against the product's actual grid.
+class TpFaultInjector : public nn::ShardHook {
+ public:
+  explicit TpFaultInjector(FaultPlan plan);
+
+  void on_partials(const nn::LinearId& id, std::span<tn::Tensor> partials,
+                   int pass_index, int row_offset) override;
+  void on_reduce_level(const nn::LinearId& id, int level, int n_levels,
+                       std::span<tn::Tensor> partials,
+                       std::span<const int> survivors, int pass_index,
+                       int row_offset) override;
+
+  bool fired() const { return record_.has_value(); }
+  const FiredRecord& record() const { return *record_; }
+  // Re-arm for another inference with the same plan.
+  void reset() { record_.reset(); }
+  void on_install() override { reset(); }
+
+ private:
+  void flip_in(tn::Tensor& partial, int pass_index);
+
+  FaultPlan plan_;
+  std::optional<FiredRecord> record_;
+};
+
 // RAII hook installation: installs `hook` on construction and restores
 // the previously installed hook (usually none) on destruction, so a
 // throwing inference cannot leak a dangling hook pointer into the next
@@ -96,6 +128,27 @@ class LinearHookGuard {
  private:
   model::InferenceModel& model_;
   nn::LinearHook* previous_;
+};
+
+// RAII shard-hook installation, mirroring LinearHookGuard: installs the
+// hook (arming the engine's serial/observable reduce mode) and restores
+// the previous hook on destruction, with the same on_install() lifecycle
+// reset.
+class ShardHookGuard {
+ public:
+  ShardHookGuard(model::InferenceModel& m, nn::ShardHook* hook)
+      : model_(m), previous_(m.shard_hook()) {
+    if (hook != nullptr) hook->on_install();
+    model_.set_shard_hook(hook);
+  }
+  ~ShardHookGuard() { model_.set_shard_hook(previous_); }
+
+  ShardHookGuard(const ShardHookGuard&) = delete;
+  ShardHookGuard& operator=(const ShardHookGuard&) = delete;
+
+ private:
+  model::InferenceModel& model_;
+  nn::ShardHook* previous_;
 };
 
 // RAII weight corruption: applies the plan's bit flips to the stored

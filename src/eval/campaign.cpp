@@ -59,6 +59,41 @@ struct DetectorBundle {
 // one loud line per process, like gen's prefix-fork fallback warning.
 std::atomic<bool> g_batch_fallback_warned{false};
 
+// LLMFI_THREADS-style worker counts and LLMFI_TP multiply: threads
+// workers each drive a tp-wide shard group. Oversubscription is
+// correctness-neutral (byte-identical results) but silently serializes
+// the speedup, so it earns one loud line per process.
+std::atomic<bool> g_thread_product_warned{false};
+
+void warn_thread_product(int threads, int tp) {
+  const unsigned hc = std::thread::hardware_concurrency();
+  if (hc == 0) return;
+  if (static_cast<long long>(threads) * tp <= static_cast<long long>(hc)) {
+    return;
+  }
+  if (!g_thread_product_warned.exchange(true)) {
+    std::fprintf(stderr,
+                 "llmfi: threads (%d) x tp (%d) = %d exceeds hardware "
+                 "concurrency (%u); expect oversubscription, not speedup\n",
+                 threads, tp, threads * tp, hc);
+  }
+}
+
+// RAII tensor-parallel arming: campaigns set the caller's engine (worker
+// replicas clone it afterwards, inheriting the degree) and restore the
+// prior value on every exit path.
+struct TpScope {
+  model::InferenceModel& engine;
+  int previous;
+  TpScope(model::InferenceModel& m, int tp)
+      : engine(m), previous(m.tensor_parallel()) {
+    engine.set_tensor_parallel(tp);
+  }
+  ~TpScope() { engine.set_tensor_parallel(previous); }
+  TpScope(const TpScope&) = delete;
+  TpScope& operator=(const TpScope&) = delete;
+};
+
 void warn_batch_fallback(const char* why) {
   if (!g_batch_fallback_warned.exchange(true)) {
     std::fprintf(stderr,
@@ -268,6 +303,34 @@ TrialOutcome run_trial(model::InferenceModel& engine, const tok::Vocab& vocab,
       restored.recovery_passes = restored.passes;  // the rerun is the cost
       restored.passes += poisoned_passes;
       faulty = std::move(restored);
+    }
+  } else if (core::is_tp_fault(cfg.fault)) {
+    // Tensor-parallel faults land inside the row-parallel products, so
+    // the injector rides the shard hook instead of the linear hook —
+    // which leaves the linear-hook slot free for the detector stack, and
+    // means detection composes with injection by construction (the
+    // detectors see the already-corrupted post-reduction output, exactly
+    // as they would a comp fault). Transient like comp faults, so
+    // recompute-the-pass recovery and the prefix fork apply unchanged.
+    core::TpFaultInjector injector(out.plan);
+    core::ShardHookGuard guard(engine, &injector);
+    RunOptions run = base_run;
+    if (use_detect) {
+      DetectorBundle det(cfg.detection, *detect, nullptr);
+      run.gen.detector = det.hook();
+      run.gen.max_recoveries =
+          cfg.detection.recover ? cfg.detection.max_retries : 0;
+      core::LinearHookGuard hook_guard(engine, det.hook());
+      faulty = run_example(engine, vocab, spec, ex, run);
+    } else {
+      if (snapshots != nullptr && cfg.run.gen.num_beams == 1 &&
+          out.plan.pass_index >= 1 &&
+          ei < static_cast<int>(snapshots->size()) &&
+          (*snapshots)[static_cast<size_t>(ei)].valid) {
+        run.resume = &(*snapshots)[static_cast<size_t>(ei)];
+        run.start_pass = out.plan.pass_index;
+      }
+      faulty = run_example(engine, vocab, spec, ex, run);
     }
   } else if (use_detect) {
     core::ComputationalFaultInjector injector(out.plan,
@@ -614,6 +677,8 @@ CampaignResult run_campaign_on(model::InferenceModel& engine,
       why = "detection needs per-pass recovery control";
     } else if (core::is_kv_fault(cfg.fault)) {
       why = "kv faults hook per-pass cache state the batch rows do not fire";
+    } else if (core::is_tp_fault(cfg.fault)) {
+      why = "tp faults hook the shard reduction the batch rows do not fire";
     } else if (cfg.run.gen.num_beams != 1) {
       why = "beam search decodes a single sequence-group";
     } else if (spec.style == data::TaskStyle::MultipleChoice) {
@@ -627,6 +692,21 @@ CampaignResult run_campaign_on(model::InferenceModel& engine,
 
   const int n_threads =
       std::max(1, std::min(cfg.threads, std::max(1, cfg.trials)));
+
+  // Tensor parallelism (DESIGN.md §14): LLMFI_TP overrides the config
+  // knob when set to an integer >= 1. Purely a wall-clock knob — results
+  // are byte-identical at any degree — armed on the caller's engine so
+  // every worker replica clones it, and restored on return.
+  int tp = std::max(1, cfg.tp);
+  if (const char* v = std::getenv("LLMFI_TP"); v != nullptr && *v != '\0') {
+    char* end = nullptr;
+    const long parsed = std::strtol(v, &end, 10);
+    if (end != v && *end == '\0' && parsed >= 1 && parsed <= 64) {
+      tp = static_cast<int>(parsed);
+    }
+  }
+  warn_thread_product(n_threads, tp);
+  TpScope tp_scope(engine, tp);
 
   // Paged KV cache (DESIGN.md §12): LLMFI_KV_PAGES overrides the config
   // knob when set to an integer >= 0 (0 keeps the contiguous oracle).

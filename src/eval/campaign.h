@@ -101,6 +101,19 @@ struct CampaignConfig {
   // results are byte-identical either way. Env knob LLMFI_KV_PAGES
   // overrides when set (0 disables); llmfi_cli exposes --kv-pages.
   int kv_pages = 0;
+  // Tensor parallelism (DESIGN.md §14): every engine in the campaign —
+  // the caller's and each worker replica — shards its per-block
+  // projections across this many threads. Results are byte-identical for
+  // any value (the reduction order is pinned by the segmented-product
+  // contract), so like `threads` this is purely a wall-clock knob; the
+  // two multiply (threads * tp concurrent compute threads), and the
+  // campaign warns once when the product oversubscribes the hardware.
+  // The env knob LLMFI_TP overrides when set to an integer >= 1;
+  // llmfi_cli exposes --tp. The caller's engine is restored to its prior
+  // TP degree when the campaign returns. tp-partial / tp-reduce
+  // campaigns run at any tp value, including 1 — the row-parallel
+  // products (their injection surface) always execute.
+  int tp = 1;
   // Periodic campaign progress line on stderr (done/total, trials/s,
   // ETA, outcome tallies), safe under the parallel worker pool. The env
   // knob LLMFI_PROGRESS overrides when set ("0" disables, anything else

@@ -3,12 +3,14 @@
 #include <algorithm>
 #include <cassert>
 #include <cmath>
+#include <cstdio>
 #include <limits>
 
 #include "numerics/half.h"
 #include "nn/rope.h"
 #include "obs/trace.h"
 #include "quant/qmatmul.h"
+#include "shard/parallel_linear.h"
 #include "tensor/kernels.h"
 #include "tensor/ops.h"
 
@@ -40,17 +42,18 @@ void softmax_span(std::span<float> v) {
   for (float& x : v) x *= inv;
 }
 
-// Multi-head attention for ONE query row against `ctx` cached positions.
-// This is the shared per-row kernel of both the sequential attention()
-// loop and forward_batch(): one fixed reduction order per (head, output
-// dim), independent of how many other rows share the pass.
+// Multi-head attention for ONE query row against `ctx` cached positions,
+// restricted to heads [h0, h1). This is the shared per-row kernel of the
+// sequential attention() loop, forward_batch(), and the tensor-parallel
+// head-range split: one fixed reduction order per (head, output dim),
+// independent of how many other rows — or shards — share the pass.
 void attend_row(std::span<const float> qrow, std::span<float> orow,
                 const nn::KvView& keys, const nn::KvView& values,
-                tn::Index ctx, int n_heads, tn::Index d_head,
+                tn::Index ctx, int h0, int h1, tn::Index d_head,
                 std::vector<float>& scores) {
   const float scale = 1.0f / std::sqrt(static_cast<float>(d_head));
   scores.resize(static_cast<size_t>(ctx));
-  for (int h = 0; h < n_heads; ++h) {
+  for (int h = h0; h < h1; ++h) {
     const tn::Index off = static_cast<tn::Index>(h) * d_head;
     for (tn::Index j = 0; j < ctx; ++j) {
       const float* krow = keys.row(j);
@@ -124,7 +127,24 @@ InferenceModel InferenceModel::clone() const {
   copy.final_norm_ = final_norm_;
   copy.blocks_ = blocks_;
   copy.build_linear_refs();
+  // Replicas keep the TP degree (with their own worker pool) — outputs
+  // are TP-invariant, so this only preserves the perf shape.
+  if (tp_ > 1) copy.set_tensor_parallel(tp_);
   return copy;
+}
+
+void InferenceModel::set_tensor_parallel(int n) {
+  if (n < 1) n = 1;
+  if (n > 1 && num::is_quantized_dtype(prec_.weight_dtype)) {
+    std::fprintf(stderr,
+                 "llmfi: tensor parallelism is unavailable for quantized "
+                 "weight storage (the grouped integer product has no sharded "
+                 "form); keeping TP=1\n");
+    n = 1;
+  }
+  if (n == tp_ && (n == 1 || group_ != nullptr)) return;
+  tp_ = n;
+  group_ = n > 1 ? std::make_unique<shard::ShardGroup>(n) : nullptr;
 }
 
 // FI target registry (order: block-major, layer kind within block).
@@ -186,10 +206,54 @@ tn::Tensor InferenceModel::project(const nn::WeightMatrix& w,
   return tn::matmul_bt_tier(x, w.values(), tier);
 }
 
+tn::Tensor InferenceModel::project_tp(const nn::WeightMatrix& w,
+                                      const tn::Tensor& x,
+                                      const nn::LinearId& id, int pass_index,
+                                      int row_offset,
+                                      nn::ShardHook* shard_hook) {
+  const tn::KernelTier tier = tn::kernel_tier();
+  if (tier != tn::KernelTier::Reference && w.quantized() != nullptr) {
+    // Quantized fast-tier products keep the grouped integer kernel.
+    // Engines with quantized storage never shard (set_tensor_parallel
+    // refuses), and tp faults observe only the fp32 product — campaigns
+    // run the Reference tier, which takes the segmented path below.
+    return quant::qmatmul_bt(x, *w.quantized(), tier);
+  }
+  switch (id.kind) {
+    case nn::LayerKind::OProj:
+    case nn::LayerKind::DownProj:
+      // Row-parallel at *every* TP degree: the segmented K-split and
+      // its fixed-order tree reduce ARE the engine's numerics for these
+      // two products (DESIGN.md §14) — sharding only reassigns which
+      // thread computes each segment, so TP never changes bits.
+      return shard::RowParallelLinear::run(group_.get(), x, w.values(), tier,
+                                           shard_hook, id, pass_index,
+                                           row_offset);
+    case nn::LayerKind::QProj:
+    case nn::LayerKind::KProj:
+    case nn::LayerKind::VProj:
+    case nn::LayerKind::GateProj:
+    case nn::LayerKind::UpProj:
+      // Column-parallel when a group is attached; the slice kernels are
+      // bit-identical to the unsharded product.
+      if (group_ != nullptr) {
+        return shard::ColumnParallelLinear::run(group_.get(), x, w.values(),
+                                                tier);
+      }
+      return tn::matmul_bt_tier(x, w.values(), tier);
+    default:
+      // Router and expert MLPs stay replicated: expert products are
+      // tiny per-token [1, d] slices where a barrier would dominate.
+      return tn::matmul_bt_tier(x, w.values(), tier);
+  }
+}
+
 bool InferenceModel::fuse_eligible() const {
   // Quantized weights are excluded so the fast tiers keep routing them
   // through the integer qmatmul path rather than the fused fp32 product.
-  return hook_ == nullptr && !tracer_ &&
+  // An armed shard hook also disables fusion: tp faults need the
+  // unfused per-layer dispatch to fire inside the down projection.
+  return hook_ == nullptr && !tracer_ && shard_hook_ == nullptr &&
          prec_.act_dtype == num::DType::F32 &&
          !num::is_quantized_dtype(prec_.weight_dtype);
 }
@@ -199,28 +263,31 @@ void InferenceModel::qkv_fused(BlockStorage& blk, const tn::Tensor& x,
                                tn::Tensor* v) const {
   const tn::Tensor* ws[3] = {&blk.wq.values(), &blk.wk.values(),
                              &blk.wv.values()};
-  auto ys = tn::fused_rmsnorm_matmul_bt(x, blk.norm1, config_.norm_eps, ws,
-                                        tn::kernel_tier());
+  auto ys = shard::ColumnParallelLinear::run_fused(
+      group_.get(), x, blk.norm1, config_.norm_eps, ws, tn::kernel_tier());
   *q = std::move(ys[0]);
   *k = std::move(ys[1]);
   *v = std::move(ys[2]);
 }
 
-tn::Tensor InferenceModel::dense_mlp_fused(BlockStorage& blk,
-                                           const tn::Tensor& x) const {
+tn::Tensor InferenceModel::dense_mlp_fused(BlockStorage& blk, int block_idx,
+                                           const tn::Tensor& x) {
   const tn::Tensor* ws[2] = {&blk.mlp[0].values(), &blk.mlp[1].values()};
-  auto ys = tn::fused_rmsnorm_matmul_bt(x, blk.norm2, config_.norm_eps, ws,
-                                        tn::kernel_tier());
+  auto ys = shard::ColumnParallelLinear::run_fused(
+      group_.get(), x, blk.norm2, config_.norm_eps, ws, tn::kernel_tier());
   tn::Tensor& g = ys[0];
   tn::silu_inplace(g);
   tn::mul_inplace(g, ys[1]);
-  return project(blk.mlp[2], g);
+  // Fusion requires shard_hook_ == nullptr (fuse_eligible), so the down
+  // product here never fires it.
+  return project_tp(blk.mlp[2], g, {block_idx, nn::LayerKind::DownProj, -1}, 0,
+                    0, nullptr);
 }
 
 tn::Tensor InferenceModel::linear(const nn::WeightMatrix& w,
                                   const tn::Tensor& x, const nn::LinearId& id,
                                   int pass_index, int row_offset) {
-  tn::Tensor y = project(w, x);
+  tn::Tensor y = project_tp(w, x, id, pass_index, row_offset, shard_hook_);
   round_activations(y);
   if (hook_ != nullptr) hook_->on_linear(id, x, w, y, pass_index, row_offset);
   if (tracer_) tracer_(id, y);
@@ -232,7 +299,7 @@ tn::Tensor InferenceModel::linear_hooked(const nn::WeightMatrix& w,
                                          const nn::LinearId& id,
                                          int pass_index, int row_offset,
                                          nn::LinearHook* hook) {
-  tn::Tensor y = project(w, x);
+  tn::Tensor y = project_tp(w, x, id, pass_index, row_offset, nullptr);
   round_activations(y);
   if (hook != nullptr) hook->on_linear(id, x, w, y, pass_index, row_offset);
   return y;
@@ -243,7 +310,11 @@ tn::Tensor InferenceModel::linear_batch(const nn::WeightMatrix& w,
                                         const nn::LinearId& id,
                                         std::span<BatchRow> rows,
                                         std::span<const int> pos) {
-  tn::Tensor y = project(w, x);
+  // The engine shard hook is NOT fired on the batch path (mirroring the
+  // engine linear hook/tracer): tp-fault campaigns run sequential
+  // trials. The product itself is the same segmented/sharded dispatch,
+  // so batch rows stay bit-identical to sequential decode.
+  tn::Tensor y = project_tp(w, x, id, 0, 0, nullptr);
   round_activations(y);
   // Per-row hook dispatch: each hooked row is copied into 1-row scratch
   // tensors so the hook sees the same shapes, pass_index, and row_offset
@@ -278,11 +349,27 @@ tn::Tensor InferenceModel::attention(const tn::Tensor& q, int block,
   const nn::KvView values = cache.value_view(block);
 
   tn::Tensor out({t_new, q.cols()});
-  std::vector<float> scores;
-  for (tn::Index t = 0; t < t_new; ++t) {
-    const tn::Index ctx = prev_len + t + 1;  // causal: positions 0..abs
-    attend_row(q.row(t), out.row(t), keys, values, ctx, config_.n_heads,
-               config_.d_head(), scores);
+  if (group_ == nullptr || group_->size() < 2) {
+    std::vector<float> scores;
+    for (tn::Index t = 0; t < t_new; ++t) {
+      const tn::Index ctx = prev_len + t + 1;  // causal: positions 0..abs
+      attend_row(q.row(t), out.row(t), keys, values, ctx, 0, config_.n_heads,
+                 config_.d_head(), scores);
+    }
+  } else {
+    // Head-parallel: shard s computes heads [hb[s], hb[s+1]) of every
+    // row — per-head math is untouched, so the split is bit-exact.
+    const std::vector<int> hb =
+        shard::head_bounds(config_.n_heads, group_->size());
+    group_->run([&](int s) {
+      std::vector<float> scores;
+      for (tn::Index t = 0; t < t_new; ++t) {
+        const tn::Index ctx = prev_len + t + 1;
+        attend_row(q.row(t), out.row(t), keys, values, ctx,
+                   hb[static_cast<size_t>(s)], hb[static_cast<size_t>(s) + 1],
+                   config_.d_head(), scores);
+      }
+    });
   }
   return out;
 }
@@ -468,7 +555,8 @@ tn::Tensor InferenceModel::forward_batch(std::span<BatchRow> rows) {
   // (a single armed fault hook needs the unfused per-row dispatch).
   bool any_hook = false;
   for (const auto& r : rows) any_hook = any_hook || r.hook != nullptr;
-  const bool fuse = !any_hook && prec_.act_dtype == num::DType::F32 &&
+  const bool fuse = !any_hook && shard_hook_ == nullptr &&
+                    prec_.act_dtype == num::DType::F32 &&
                     !num::is_quantized_dtype(prec_.weight_dtype);
   for (int b = 0; b < config_.n_layers; ++b) {
     auto& blk = blocks_[static_cast<size_t>(b)];
@@ -490,14 +578,38 @@ tn::Tensor InferenceModel::forward_batch(std::span<BatchRow> rows) {
         rows[static_cast<size_t>(t)].cache->append_row(b, k.row(t), v.row(t));
       }
 
+      // Views are captured once on the driver (the appends above may
+      // have remapped pages); shards then read them concurrently.
+      std::vector<nn::KvView> kviews, vviews;
+      kviews.reserve(rows.size());
+      vviews.reserve(rows.size());
+      for (const auto& r : rows) {
+        kviews.push_back(r.cache->key_view(b));
+        vviews.push_back(r.cache->value_view(b));
+      }
       tn::Tensor attn({t_new, d});
-      std::vector<float> scores;
-      for (tn::Index t = 0; t < t_new; ++t) {
-        const auto& cache = *rows[static_cast<size_t>(t)].cache;
-        const tn::Index ctx = static_cast<tn::Index>(pos[static_cast<size_t>(t)]) + 1;
-        attend_row(q.row(t), attn.row(t), cache.key_view(b),
-                   cache.value_view(b), ctx, config_.n_heads,
-                   config_.d_head(), scores);
+      if (group_ == nullptr || group_->size() < 2) {
+        std::vector<float> scores;
+        for (tn::Index t = 0; t < t_new; ++t) {
+          const auto r = static_cast<size_t>(t);
+          const tn::Index ctx = static_cast<tn::Index>(pos[r]) + 1;
+          attend_row(q.row(t), attn.row(t), kviews[r], vviews[r], ctx, 0,
+                     config_.n_heads, config_.d_head(), scores);
+        }
+      } else {
+        const std::vector<int> hb =
+            shard::head_bounds(config_.n_heads, group_->size());
+        group_->run([&](int s) {
+          std::vector<float> scores;
+          for (tn::Index t = 0; t < t_new; ++t) {
+            const auto r = static_cast<size_t>(t);
+            const tn::Index ctx = static_cast<tn::Index>(pos[r]) + 1;
+            attend_row(q.row(t), attn.row(t), kviews[r], vviews[r], ctx,
+                       hb[static_cast<size_t>(s)],
+                       hb[static_cast<size_t>(s) + 1], config_.d_head(),
+                       scores);
+          }
+        });
       }
       round_activations(attn);
       tn::Tensor o =
@@ -509,7 +621,7 @@ tn::Tensor InferenceModel::forward_batch(std::span<BatchRow> rows) {
       obs::TraceScope ffn_span("ffn", b);
       tn::Tensor m;
       if (fuse && !config_.moe) {
-        m = dense_mlp_fused(blk, x);
+        m = dense_mlp_fused(blk, b, x);
       } else {
         tn::Tensor h2 = tn::rmsnorm_rows(x, blk.norm2, config_.norm_eps);
         round_activations(h2);
@@ -589,7 +701,7 @@ tn::Tensor InferenceModel::forward(std::span<const tok::TokenId> tokens,
       obs::TraceScope ffn_span("ffn", b);
       tn::Tensor m;
       if (fuse && !config_.moe) {
-        m = dense_mlp_fused(blk, x);
+        m = dense_mlp_fused(blk, b, x);
       } else {
         tn::Tensor h2 = tn::rmsnorm_rows(x, blk.norm2, config_.norm_eps);
         round_activations(h2);

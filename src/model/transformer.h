@@ -15,6 +15,7 @@
 #include "nn/kv_cache.h"
 #include "nn/layer_id.h"
 #include "nn/weight_matrix.h"
+#include "shard/shard_group.h"
 #include "tokenizer/vocab.h"
 
 namespace llmfi::model {
@@ -88,6 +89,28 @@ class InferenceModel {
   // logits set rows[r].nonfinite instead of saw_nonfinite_logits().
   tn::Tensor forward_batch(std::span<BatchRow> rows);
 
+  // --- tensor parallelism ------------------------------------------------
+  // Shards the per-block projections and attention across `n` threads
+  // (DESIGN.md §14): qkv/gate/up column-parallel, attention by head
+  // ranges, attn-out/down row-parallel on the fixed segment grid.
+  // Outputs are byte-identical to TP=1 at every kernel tier — the
+  // reduction order is pinned by the segmented-product contract, so TP
+  // only changes wall-clock time, never bits. n <= 1 (the default)
+  // releases the worker pool. Quantized weight storage keeps TP at 1
+  // (the grouped-int product has no sharded form); a warning is printed
+  // once per engine.
+  void set_tensor_parallel(int n);
+  int tensor_parallel() const { return tp_; }
+
+  // Injection surface inside the row-parallel products (tp-partial /
+  // tp-reduce fault models). While armed, fused paths are disabled and
+  // the partial-sum reduction runs serially so every tree level is
+  // observable; outputs without an injecting hook remain byte-identical.
+  // Fired only by the sequential forward() path — tp-fault campaigns
+  // fall back to sequential trials, like detection does.
+  void set_shard_hook(nn::ShardHook* hook) { shard_hook_ = hook; }
+  nn::ShardHook* shard_hook() const { return shard_hook_; }
+
   // --- hook surface ----------------------------------------------------
   void set_linear_hook(nn::LinearHook* hook) { hook_ = hook; }
   nn::LinearHook* linear_hook() const { return hook_; }
@@ -139,6 +162,14 @@ class InferenceModel {
   // Reference tier always reads w.values() so campaign numerics stay on
   // the naive oracle loop.
   tn::Tensor project(const nn::WeightMatrix& w, const tn::Tensor& x) const;
+  // project() with the tensor-parallel split applied by layer kind:
+  // OProj/DownProj go through the segmented row-parallel product (which
+  // also fires `shard_hook` when non-null), the other block projections
+  // are column-parallel when a group is attached, and everything else
+  // (router, experts, quantized fast-tier products) stays replicated.
+  tn::Tensor project_tp(const nn::WeightMatrix& w, const tn::Tensor& x,
+                        const nn::LinearId& id, int pass_index,
+                        int row_offset, nn::ShardHook* shard_hook);
   // True when the fused RMSNorm+projection entry point may replace the
   // rmsnorm -> linear pair: nothing observes the normalized intermediate
   // (no engine hook, no tracer) and activation rounding is a no-op
@@ -149,7 +180,8 @@ class InferenceModel {
   void qkv_fused(BlockStorage& blk, const tn::Tensor& x, tn::Tensor* q,
                  tn::Tensor* k, tn::Tensor* v) const;
   // Fused norm2 + gate/up, then SiLU-gate and the down projection.
-  tn::Tensor dense_mlp_fused(BlockStorage& blk, const tn::Tensor& x) const;
+  tn::Tensor dense_mlp_fused(BlockStorage& blk, int block_idx,
+                             const tn::Tensor& x);
 
   tn::Tensor linear(const nn::WeightMatrix& w, const tn::Tensor& x,
                     const nn::LinearId& id, int pass_index, int row_offset);
@@ -189,8 +221,14 @@ class InferenceModel {
 
   nn::LinearHook* hook_ = nullptr;
   nn::ExpertObserver* expert_obs_ = nullptr;
+  nn::ShardHook* shard_hook_ = nullptr;
   TraceFn tracer_;
   bool saw_nonfinite_logits_ = false;
+
+  // Tensor-parallel state: group_ is live iff tp_ > 1. unique_ptr keeps
+  // the engine movable (ShardGroup owns threads and is not).
+  int tp_ = 1;
+  std::unique_ptr<shard::ShardGroup> group_;
 };
 
 }  // namespace llmfi::model

@@ -60,6 +60,43 @@ class DetectorHook : public LinearHook {
   virtual std::string_view name() const = 0;
 };
 
+// Injection surface inside the segmented row-parallel product (the
+// attention-output and MLP-down projections, DESIGN.md §14). The
+// product is computed as a fixed grid of K-range partial sums folded by
+// a deterministic binary tree; this hook observes (and may corrupt)
+// that intermediate state before it is rounded into the activation
+// dtype — the tensor-parallel analogue of LinearHook's post-GEMM view.
+//
+// `partials[g]` is segment g's partial C (shape [rows, cols], fp32
+// register state). on_partials fires once per product after the partial
+// GEMMs complete and before any reduction; on_reduce_level fires after
+// each tree level folds, with `survivors` listing the segment indices
+// still live (level `level` of `n_levels`; survivors of the last level
+// == {0}, the finished product). While a shard hook is armed the engine
+// runs the reduction serially on the driver thread so every level is
+// observable; the fold order — and therefore the output bits — is the
+// same one the sharded and serial paths always use.
+class ShardHook {
+ public:
+  virtual ~ShardHook() = default;
+  virtual void on_partials(const LinearId& id, std::span<tn::Tensor> partials,
+                           int pass_index, int row_offset) = 0;
+  virtual void on_reduce_level(const LinearId& id, int level, int n_levels,
+                               std::span<tn::Tensor> partials,
+                               std::span<const int> survivors, int pass_index,
+                               int row_offset) {
+    (void)id;
+    (void)level;
+    (void)n_levels;
+    (void)partials;
+    (void)survivors;
+    (void)pass_index;
+    (void)row_offset;
+  }
+  // Same install-lifecycle contract as LinearHook::on_install.
+  virtual void on_install() {}
+};
+
 // Fired once at the start of every checked forward pass, before the
 // pass reads the cache, with the live KvCache and the pass index. This
 // is the kv-bit fault-injection surface: an injector flips a bit in an

@@ -1,0 +1,193 @@
+#include "shard/parallel_linear.h"
+
+#include <stdexcept>
+#include <utility>
+
+#include "obs/trace.h"
+
+namespace llmfi::shard {
+
+std::vector<tn::Index> column_bounds(tn::Index n, int shards) {
+  if (shards < 1) shards = 1;
+  std::vector<tn::Index> bounds(static_cast<size_t>(shards) + 1);
+  for (int s = 0; s <= shards; ++s) {
+    // Interior bounds round down to the fast-tier block width so every
+    // slice keeps the 4-row block grouping of the full product.
+    tn::Index b = n * s / shards;
+    bounds[static_cast<size_t>(s)] = (s == 0 || s == shards) ? b : b & ~tn::Index{3};
+  }
+  return bounds;
+}
+
+std::vector<int> head_bounds(int n_heads, int shards) {
+  if (shards < 1) shards = 1;
+  std::vector<int> bounds(static_cast<size_t>(shards) + 1);
+  for (int s = 0; s <= shards; ++s) {
+    bounds[static_cast<size_t>(s)] = n_heads * s / shards;
+  }
+  return bounds;
+}
+
+tn::Tensor ColumnParallelLinear::run(ShardGroup* group, const tn::Tensor& x,
+                                     const tn::Tensor& w,
+                                     tn::KernelTier tier) {
+  if (group == nullptr || group->size() < 2) {
+    return tn::matmul_bt_tier(x, w, tier);
+  }
+  if (x.rank() != 2 || w.rank() != 2 || w.cols() != x.cols()) {
+    throw std::invalid_argument("ColumnParallelLinear: shape mismatch");
+  }
+  const tn::Index m = x.rows(), k = x.cols(), n = w.rows();
+  tn::Tensor y({m, n});
+  const std::vector<tn::Index> bounds = column_bounds(n, group->size());
+  group->run([&](int s) {
+    tn::matmul_bt_cols(x.data(), m, k, w.data(), bounds[static_cast<size_t>(s)],
+                       bounds[static_cast<size_t>(s) + 1], y.data(), n, tier);
+  });
+  return y;
+}
+
+std::vector<tn::Tensor> ColumnParallelLinear::run_fused(
+    ShardGroup* group, const tn::Tensor& x, const tn::Tensor& gain, float eps,
+    std::span<const tn::Tensor* const> ws, tn::KernelTier tier) {
+  if (group == nullptr || group->size() < 2) {
+    return tn::fused_rmsnorm_matmul_bt(x, gain, eps, ws, tier);
+  }
+  const tn::Index m = x.rows(), n = ws.empty() ? 0 : ws[0]->rows();
+  std::vector<tn::Tensor> ys;
+  std::vector<float*> cs;
+  ys.reserve(ws.size());
+  cs.reserve(ws.size());
+  for (const tn::Tensor* w : ws) {
+    if (w->rows() != n) {
+      // The fused shape always projects to one width (wq/wk/wv or
+      // gate/up); a mixed set would need per-weight bounds.
+      throw std::invalid_argument(
+          "ColumnParallelLinear: fused projections must share an output "
+          "width");
+    }
+    ys.emplace_back(std::vector<tn::Index>{m, n});
+    cs.push_back(ys.back().data());
+  }
+  const std::vector<tn::Index> bounds = column_bounds(n, group->size());
+  group->run([&](int s) {
+    tn::fused_rmsnorm_matmul_bt_cols(x, gain, eps, ws, tier,
+                                     bounds[static_cast<size_t>(s)],
+                                     bounds[static_cast<size_t>(s) + 1],
+                                     std::span<float* const>(cs), n);
+  });
+  return ys;
+}
+
+namespace {
+
+// One tree level restricted to a column range [c0, c1): fold src into
+// dst elementwise, row-major. The per-element add order depends only on
+// the level sequence, never on how columns are split across shards.
+void fold_cols(tn::Tensor& dst, const tn::Tensor& src, tn::Index c0,
+               tn::Index c1) {
+  const tn::Index m = dst.rows(), n = dst.cols();
+  float* d = dst.data();
+  const float* s = src.data();
+  for (tn::Index i = 0; i < m; ++i) {
+    for (tn::Index c = c0; c < c1; ++c) d[i * n + c] += s[i * n + c];
+  }
+}
+
+int reduce_levels(int segments) {
+  int levels = 0;
+  for (int stride = 1; stride < segments; stride *= 2) ++levels;
+  return levels;
+}
+
+}  // namespace
+
+void RowParallelLinear::reduce_tree(std::span<tn::Tensor> partials,
+                                    nn::ShardHook* hook,
+                                    const nn::LinearId& id, int pass_index,
+                                    int row_offset) {
+  const int segments = static_cast<int>(partials.size());
+  const int n_levels = reduce_levels(segments);
+  int level = 0;
+  for (int stride = 1; stride < segments; stride *= 2, ++level) {
+    for (int g = 0; g + stride < segments; g += 2 * stride) {
+      fold_cols(partials[static_cast<size_t>(g)],
+                partials[static_cast<size_t>(g + stride)], 0,
+                partials[static_cast<size_t>(g)].cols());
+    }
+    if (hook != nullptr) {
+      std::vector<int> survivors;
+      for (int g = 0; g < segments; g += 2 * stride) survivors.push_back(g);
+      hook->on_reduce_level(id, level, n_levels, partials,
+                            std::span<const int>(survivors), pass_index,
+                            row_offset);
+    }
+  }
+}
+
+tn::Tensor RowParallelLinear::run(ShardGroup* group, const tn::Tensor& x,
+                                  const tn::Tensor& w, tn::KernelTier tier,
+                                  nn::ShardHook* hook, const nn::LinearId& id,
+                                  int pass_index, int row_offset) {
+  if (x.rank() != 2 || w.rank() != 2 || w.cols() != x.cols()) {
+    throw std::invalid_argument("RowParallelLinear: shape mismatch");
+  }
+  const tn::Index m = x.rows(), k = x.cols(), n = w.rows();
+  const int segments = segment_count(k);
+  const bool sharded = group != nullptr && group->size() > 1;
+
+  // The partials live on the fixed segment grid whether or not a group
+  // is attached: the serial path below *is* the oracle, and sharding
+  // only reassigns which thread computes each segment.
+  std::vector<tn::Tensor> partials;
+  partials.reserve(static_cast<size_t>(segments));
+  for (int g = 0; g < segments; ++g) {
+    partials.emplace_back(std::vector<tn::Index>{m, n});
+  }
+  auto compute_segment = [&](int g) {
+    const tn::Index k0 = segment_begin(k, g);
+    const tn::Index k1 = segment_begin(k, g + 1);
+    tn::matmul_bt_krange(x.data(), m, k, k0, k1, w.data(), k, n,
+                         partials[static_cast<size_t>(g)].data(), n, tier);
+  };
+  if (sharded) {
+    const int shards = group->size();
+    group->run([&](int s) {
+      const int g0 = segments * s / shards;
+      const int g1 = segments * (s + 1) / shards;
+      for (int g = g0; g < g1; ++g) compute_segment(g);
+    });
+  } else {
+    for (int g = 0; g < segments; ++g) compute_segment(g);
+  }
+
+  if (hook != nullptr) {
+    hook->on_partials(id, std::span<tn::Tensor>(partials), pass_index,
+                      row_offset);
+  }
+
+  {
+    obs::TraceScope span("shard_reduce", segments);
+    if (hook != nullptr || !sharded) {
+      // Hooked reduces run serially so every tree level is observable;
+      // the fold order is the same one the sharded path uses.
+      reduce_tree(std::span<tn::Tensor>(partials), hook, id, pass_index,
+                  row_offset);
+    } else {
+      const std::vector<tn::Index> bounds = column_bounds(n, group->size());
+      group->run([&](int s) {
+        const tn::Index c0 = bounds[static_cast<size_t>(s)];
+        const tn::Index c1 = bounds[static_cast<size_t>(s) + 1];
+        for (int stride = 1; stride < segments; stride *= 2) {
+          for (int g = 0; g + stride < segments; g += 2 * stride) {
+            fold_cols(partials[static_cast<size_t>(g)],
+                      partials[static_cast<size_t>(g + stride)], c0, c1);
+          }
+        }
+      });
+    }
+  }
+  return std::move(partials[0]);
+}
+
+}  // namespace llmfi::shard

@@ -1,0 +1,93 @@
+#pragma once
+// Column/row-parallel linear products over a ShardGroup (DESIGN.md
+// §14) — the ScaleLLM-style tensor-parallel split, specialized for the
+// resilience study's one non-negotiable invariant: every TP degree
+// (including "no group at all", the serial oracle) produces
+// byte-identical outputs.
+//
+//   ColumnParallelLinear splits B^T's output columns: shard s computes
+//   y[:, bounds[s]:bounds[s+1]) through the same per-tier kernel bodies
+//   matmul_bt_tier runs, writing disjoint slices of one shared output
+//   (the all-gather is the shared buffer). Bounds are 4-aligned so the
+//   fast tiers' block grouping stays in phase with the full product.
+//
+//   RowParallelLinear splits the K dimension — but on a *fixed* segment
+//   grid (kSegments, independent of TP degree), with the partial sums
+//   folded by a deterministic binary tree. Sharding only changes which
+//   thread computes a segment, never the grid or the fold order, so the
+//   reduction is bit-identical regardless of worker count or timing.
+//   The retained partials and the tree levels are the tp-partial /
+//   tp-reduce fault-injection surface (nn::ShardHook).
+
+#include <span>
+#include <vector>
+
+#include "nn/hooks.h"
+#include "nn/layer_id.h"
+#include "shard/shard_group.h"
+#include "tensor/kernels.h"
+#include "tensor/tensor.h"
+
+namespace llmfi::shard {
+
+// Even split of n output columns over `shards`, every interior bound
+// rounded down to a multiple of 4 (the fast-tier block width; see
+// tn::matmul_bt_cols), first bound 0, last bound n.
+std::vector<tn::Index> column_bounds(tn::Index n, int shards);
+
+// Even split of attention heads over `shards` for sharding the
+// attend-per-head loop; ragged head counts spread the remainder.
+std::vector<int> head_bounds(int n_heads, int shards);
+
+class ColumnParallelLinear {
+ public:
+  // y = x @ w^T with the output columns computed in shard slices;
+  // group == nullptr (or size 1) computes every slice on the caller.
+  // Bit-identical to tn::matmul_bt_tier(x, w, tier) at any shard count.
+  static tn::Tensor run(ShardGroup* group, const tn::Tensor& x,
+                        const tn::Tensor& w, tn::KernelTier tier);
+
+  // Fused RMSNorm + multi-projection variant (the block input shape,
+  // norm -> wq/wk/wv or norm -> gate/up). Bit-identical to
+  // tn::fused_rmsnorm_matmul_bt at any shard count.
+  static std::vector<tn::Tensor> run_fused(ShardGroup* group,
+                                           const tn::Tensor& x,
+                                           const tn::Tensor& gain, float eps,
+                                           std::span<const tn::Tensor* const> ws,
+                                           tn::KernelTier tier);
+};
+
+class RowParallelLinear {
+ public:
+  // The fixed K-split grid. Must be >= the largest supported TP degree
+  // and a power of two (the tree reduce strides through it); changing
+  // it changes the oracle's bits, so it is part of the numeric contract.
+  static constexpr int kSegments = 8;
+
+  static int segment_count(tn::Index k) {
+    return k < kSegments ? static_cast<int>(k < 1 ? 1 : k) : kSegments;
+  }
+  static tn::Index segment_begin(tn::Index k, int g) {
+    return k * g / segment_count(k);
+  }
+
+  // y = x @ w^T computed as segment_count(k) K-range partials folded by
+  // the fixed-order tree. `hook` (nullable) fires on_partials after the
+  // partial GEMMs and on_reduce_level after each tree level; while
+  // hooked the reduce runs serially on the caller so level state is
+  // observable — the fold order (and therefore the bits) is unchanged.
+  // `id`/`pass_index`/`row_offset` only label the hook callbacks.
+  static tn::Tensor run(ShardGroup* group, const tn::Tensor& x,
+                        const tn::Tensor& w, tn::KernelTier tier,
+                        nn::ShardHook* hook, const nn::LinearId& id,
+                        int pass_index, int row_offset);
+
+  // The deterministic tree fold over already-computed partials, serial,
+  // firing `hook` per level; leaves the result in partials[0]. Exposed
+  // for the reduce-determinism tests and the tp-reduce injector spec.
+  static void reduce_tree(std::span<tn::Tensor> partials, nn::ShardHook* hook,
+                          const nn::LinearId& id, int pass_index,
+                          int row_offset);
+};
+
+}  // namespace llmfi::shard

@@ -1,0 +1,137 @@
+#include "shard/shard_group.h"
+
+#include <chrono>
+#include <utility>
+
+#include "obs/metrics.h"
+#include "obs/trace.h"
+
+namespace llmfi::shard {
+
+namespace {
+
+// Spin budget before the driver parks on the condition variable. The
+// collective ops are tens of microseconds, so the barrier usually
+// resolves within the spin window and the CV path only covers preempted
+// workers.
+constexpr int kSpinIters = 20000;
+
+}  // namespace
+
+ShardGroup::ShardGroup(int n_shards) : n_(n_shards < 1 ? 1 : n_shards) {
+  errors_.resize(static_cast<size_t>(n_));
+  workers_.reserve(static_cast<size_t>(n_ - 1));
+  for (int s = 1; s < n_; ++s) {
+    workers_.emplace_back([this, s] { worker_loop(s); });
+  }
+}
+
+ShardGroup::~ShardGroup() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stop_ = true;
+  }
+  work_cv_.notify_all();
+  for (std::thread& t : workers_) t.join();
+}
+
+void ShardGroup::worker_loop(int shard) {
+  std::uint64_t seen = 0;
+  for (;;) {
+    const std::function<void(int)>* op = nullptr;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      work_cv_.wait(lock, [&] { return stop_ || epoch_ > seen; });
+      if (stop_) return;
+      seen = epoch_;
+      op = op_;
+    }
+    try {
+      (*op)(shard);
+    } catch (...) {
+      // Published before the countdown's release decrement, so the
+      // driver reads it safely after the barrier.
+      errors_[static_cast<size_t>(shard)] = std::current_exception();
+    }
+    if (pending_.fetch_sub(1, std::memory_order_acq_rel) == 1) {
+      // Last worker out. Acquiring mu_ before the notify closes the
+      // driver's check-then-park window: the driver evaluates its wait
+      // predicate under mu_, so it either sees pending_ == 0 there or
+      // is already parked when this notify fires.
+      std::lock_guard<std::mutex> lock(mu_);
+      done_cv_.notify_one();
+    }
+  }
+}
+
+void ShardGroup::run(const std::function<void(int)>& fn) {
+  if (n_ == 1) {
+    fn(0);
+    return;
+  }
+  obs::TraceScope span("shard_dispatch", n_);
+
+  // Per-op shard imbalance (max-min wall time across shards) is the
+  // load-balance health signal; timing costs two clock reads per shard,
+  // so it is captured only when the metrics registry is armed.
+  const bool timed = obs::metrics_enabled();
+  std::vector<double> shard_us(timed ? static_cast<size_t>(n_) : 0, 0.0);
+  const std::function<void(int)> op = [&](int s) {
+    if (!timed) {
+      fn(s);
+      return;
+    }
+    const auto t0 = std::chrono::steady_clock::now();
+    fn(s);
+    const auto t1 = std::chrono::steady_clock::now();
+    shard_us[static_cast<size_t>(s)] =
+        std::chrono::duration<double, std::micro>(t1 - t0).count();
+  };
+
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    for (auto& e : errors_) e = nullptr;
+    op_ = &op;
+    pending_.store(n_ - 1, std::memory_order_release);
+    ++epoch_;
+  }
+  work_cv_.notify_all();
+
+  // Shard 0 is the caller.
+  try {
+    op(0);
+  } catch (...) {
+    errors_[0] = std::current_exception();
+  }
+
+  // Barrier: spin briefly for the common fast case, then park.
+  if (pending_.load(std::memory_order_acquire) != 0) {
+    bool done = false;
+    for (int i = 0; i < kSpinIters && !done; ++i) {
+      done = pending_.load(std::memory_order_acquire) == 0;
+    }
+    if (!done) {
+      std::unique_lock<std::mutex> lock(mu_);
+      done_cv_.wait(lock, [&] {
+        return pending_.load(std::memory_order_acquire) == 0;
+      });
+    }
+  }
+
+  if (timed) {
+    double lo = shard_us[0], hi = shard_us[0];
+    for (double v : shard_us) {
+      lo = v < lo ? v : lo;
+      hi = v > hi ? v : hi;
+    }
+    obs::gauge_set("shard_imbalance_us", hi - lo);
+  }
+
+  for (int s = 0; s < n_; ++s) {
+    if (errors_[static_cast<size_t>(s)]) {
+      std::rethrow_exception(errors_[static_cast<size_t>(s)]);
+    }
+  }
+}
+
+}  // namespace llmfi::shard

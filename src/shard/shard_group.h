@@ -1,0 +1,61 @@
+#pragma once
+// Persistent tensor-parallel worker pool (DESIGN.md §14).
+//
+// A ShardGroup of size N owns N-1 worker threads, spawned once; the
+// calling thread participates as shard 0 so TP=N uses exactly N cores.
+// Each run() is one collective op: every shard executes fn(shard_index)
+// and run() returns after all shards finish. Dispatch is an epoch
+// counter under a mutex/condvar; completion is an atomic countdown the
+// driver spins on briefly before parking — a per-op barrier must cost
+// microseconds, not a scheduler round-trip, because a decode pass
+// dispatches dozens of collective ops per token.
+//
+// run() never runs concurrently with itself (the engine issues ops
+// sequentially from the driver thread) and exceptions thrown by any
+// shard are captured and rethrown on the caller, lowest shard first.
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <exception>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace llmfi::shard {
+
+class ShardGroup {
+ public:
+  // n_shards < 2 still builds a valid (worker-less) group; run() then
+  // just calls fn(0) inline.
+  explicit ShardGroup(int n_shards);
+  ~ShardGroup();
+  ShardGroup(const ShardGroup&) = delete;
+  ShardGroup& operator=(const ShardGroup&) = delete;
+
+  int size() const { return n_; }
+
+  // Executes fn(s) for every shard s in [0, size()), shard 0 on the
+  // calling thread, and returns once all shards complete. Rethrows the
+  // lowest-numbered shard's exception if any shard threw. Not
+  // reentrant.
+  void run(const std::function<void(int)>& fn);
+
+ private:
+  void worker_loop(int shard);
+
+  int n_ = 1;
+  std::vector<std::thread> workers_;
+
+  std::mutex mu_;
+  std::condition_variable work_cv_;  // driver -> workers: new op posted
+  std::condition_variable done_cv_;  // workers -> driver: op finished
+  const std::function<void(int)>* op_ = nullptr;
+  std::uint64_t epoch_ = 0;      // bumps once per posted op
+  std::atomic<int> pending_{0};  // workers still inside the op
+  bool stop_ = false;
+  std::vector<std::exception_ptr> errors_;
+};
+
+}  // namespace llmfi::shard

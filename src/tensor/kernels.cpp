@@ -156,6 +156,80 @@ void gemm_bt_portable(const float* pa, Index m, Index k, const float* pb,
   }
 }
 
+__attribute__((noinline)) void gemm_bt_reference_range(
+    const float* pa, Index m, Index lda, Index k0, Index k1, const float* pb,
+    Index ldb, Index j0, Index j1, float* pc, Index ldc) {
+  for (Index i = 0; i < m; ++i) {
+    const float* arow = pa + i * lda;
+    float* crow = pc + i * ldc;
+    for (Index j = j0; j < j1; ++j) {
+      const float* brow = pb + j * ldb;
+      float acc = 0.0f;
+      for (Index l = k0; l < k1; ++l) acc += arow[l] * brow[l];
+      crow[j] = acc;
+    }
+  }
+}
+
+void gemm_bt_krange_portable(const float* pa, Index m, Index lda, Index k0,
+                             Index k1, const float* pb, Index ldb, Index n,
+                             float* pc, Index ldc) {
+  constexpr Index kLanes = 8;
+  for (Index i = 0; i < m; ++i) {
+    const float* a = pa + i * lda;
+    float* c = pc + i * ldc;
+    Index j = 0;
+    for (; j + 4 <= n; j += 4) {
+      const float* b0 = pb + j * ldb;
+      const float* b1 = b0 + ldb;
+      const float* b2 = b1 + ldb;
+      const float* b3 = b2 + ldb;
+      float acc0[kLanes] = {0}, acc1[kLanes] = {0};
+      float acc2[kLanes] = {0}, acc3[kLanes] = {0};
+      Index l = k0;
+      for (; l + kLanes <= k1; l += kLanes) {
+        for (Index u = 0; u < kLanes; ++u) {
+          const float av = a[l + u];
+          acc0[u] += av * b0[l + u];
+          acc1[u] += av * b1[l + u];
+          acc2[u] += av * b2[l + u];
+          acc3[u] += av * b3[l + u];
+        }
+      }
+      float s0 = 0.0f, s1 = 0.0f, s2 = 0.0f, s3 = 0.0f;
+      for (Index u = 0; u < kLanes; ++u) {
+        s0 += acc0[u];
+        s1 += acc1[u];
+        s2 += acc2[u];
+        s3 += acc3[u];
+      }
+      for (; l < k1; ++l) {
+        const float av = a[l];
+        s0 += av * b0[l];
+        s1 += av * b1[l];
+        s2 += av * b2[l];
+        s3 += av * b3[l];
+      }
+      c[j] = s0;
+      c[j + 1] = s1;
+      c[j + 2] = s2;
+      c[j + 3] = s3;
+    }
+    for (; j < n; ++j) {
+      const float* b = pb + j * ldb;
+      float acc[kLanes] = {0};
+      Index l = k0;
+      for (; l + kLanes <= k1; l += kLanes) {
+        for (Index u = 0; u < kLanes; ++u) acc[u] += a[l + u] * b[l + u];
+      }
+      float s = 0.0f;
+      for (Index u = 0; u < kLanes; ++u) s += acc[u];
+      for (; l < k1; ++l) s += a[l] * b[l];
+      c[j] = s;
+    }
+  }
+}
+
 void qgemm_bt_portable(const float* pa, Index m, Index k,
                        const std::int8_t* pw, const float* pscales,
                        Index groups_per_row, int group_size, Index n,
@@ -208,6 +282,43 @@ Tensor matmul_bt_tier(const Tensor& a, const Tensor& b, KernelTier tier) {
   return c;
 }
 
+void matmul_bt_cols(const float* a, Index m, Index k, const float* b, Index j0,
+                    Index j1, float* c, Index ldc, KernelTier tier) {
+  if (j0 >= j1) return;
+  if (tier == KernelTier::Reference) {
+    detail::gemm_bt_reference_range(a, m, k, 0, k, b, k, j0, j1, c, ldc);
+    return;
+  }
+  // Per-row calls into the full-K kernels on the packed B-row subrange:
+  // the slice reuses the exact kernel bodies matmul_bt_tier runs, and a
+  // 4-aligned j0 keeps the block/remainder grouping in phase with the
+  // full product (the bit-identity precondition — see kernels.h).
+  for (Index i = 0; i < m; ++i) {
+    float* crow = c + i * ldc + j0;
+    if (tier == KernelTier::Avx2) {
+      detail::gemm_bt_avx2(a + i * k, 1, k, b + j0 * k, j1 - j0, crow);
+    } else {
+      detail::gemm_bt_portable(a + i * k, 1, k, b + j0 * k, j1 - j0, crow);
+    }
+  }
+}
+
+void matmul_bt_krange(const float* a, Index m, Index lda, Index k0, Index k1,
+                      const float* b, Index ldb, Index n, float* c, Index ldc,
+                      KernelTier tier) {
+  switch (tier) {
+    case KernelTier::Reference:
+      detail::gemm_bt_reference_range(a, m, lda, k0, k1, b, ldb, 0, n, c, ldc);
+      break;
+    case KernelTier::Portable:
+      detail::gemm_bt_krange_portable(a, m, lda, k0, k1, b, ldb, n, c, ldc);
+      break;
+    case KernelTier::Avx2:
+      detail::gemm_bt_krange_avx2(a, m, lda, k0, k1, b, ldb, n, c, ldc);
+      break;
+  }
+}
+
 std::vector<Tensor> fused_rmsnorm_matmul_bt(const Tensor& x,
                                             const Tensor& gain, float eps,
                                             std::span<const Tensor* const> ws,
@@ -251,13 +362,11 @@ std::vector<Tensor> fused_rmsnorm_matmul_bt(const Tensor& x,
       float* crow = ys[wi].data() + i * n;
       switch (tier) {
         case KernelTier::Reference:
-          // The naive dot loop of matmul_bt_reference, row-at-a-time.
-          for (Index j = 0; j < n; ++j) {
-            const float* brow = w.data() + j * k;
-            float acc = 0.0f;
-            for (Index l = 0; l < k; ++l) acc += h[static_cast<size_t>(l)] * brow[l];
-            crow[j] = acc;
-          }
+          // The naive dot loop of matmul_bt_reference, row-at-a-time —
+          // the same out-of-line body, so the fused/unfused/sharded
+          // Reference paths share one codegen of the reduction loop.
+          detail::gemm_bt_reference_range(h.data(), 1, k, 0, k, w.data(), k, 0,
+                                          n, crow, n);
           break;
         case KernelTier::Portable:
           detail::gemm_bt_portable(h.data(), 1, k, w.data(), n, crow);
@@ -269,6 +378,47 @@ std::vector<Tensor> fused_rmsnorm_matmul_bt(const Tensor& x,
     }
   }
   return ys;
+}
+
+void fused_rmsnorm_matmul_bt_cols(const Tensor& x, const Tensor& gain,
+                                  float eps, std::span<const Tensor* const> ws,
+                                  KernelTier tier, Index j0, Index j1,
+                                  std::span<float* const> cs, Index ldc) {
+  if (x.rank() != 2) {
+    throw std::invalid_argument("fused_rmsnorm_matmul_bt_cols: x must be 2-D");
+  }
+  const Index m = x.rows(), k = x.cols();
+  if (gain.numel() != k) {
+    throw std::invalid_argument(
+        "fused_rmsnorm_matmul_bt_cols: gain size mismatch");
+  }
+  if (cs.size() != ws.size()) {
+    throw std::invalid_argument(
+        "fused_rmsnorm_matmul_bt_cols: output count mismatch");
+  }
+  // Each shard normalizes every row itself (identical float ops, so
+  // identical bits — cheaper than a barrier between the norm and the
+  // projections) and computes its column slice of each projection.
+  std::vector<float> h(static_cast<size_t>(k));
+  for (Index i = 0; i < m; ++i) {
+    auto in = x.row(i);
+    float ss = 0.0f;
+    for (float v : in) ss += v * v;
+    const float rms = std::sqrt(ss / static_cast<float>(k) + eps);
+    const float inv = 1.0f / rms;
+    for (Index j = 0; j < k; ++j) {
+      h[static_cast<size_t>(j)] = in[static_cast<size_t>(j)] * inv * gain[j];
+    }
+    for (size_t wi = 0; wi < ws.size(); ++wi) {
+      const Tensor& w = *ws[wi];
+      if (w.rank() != 2 || w.cols() != k || j1 > w.rows()) {
+        throw std::invalid_argument(
+            "fused_rmsnorm_matmul_bt_cols: weight shape mismatch");
+      }
+      matmul_bt_cols(h.data(), 1, k, w.data(), j0, j1, cs[wi] + i * ldc, ldc,
+                     tier);
+    }
+  }
 }
 
 KernelGateResult check_matmul_bt_gate(const Tensor& a, const Tensor& b,

@@ -108,6 +108,40 @@ KernelGateResult check_matmul_bt_gate(const Tensor& a, const Tensor& b,
                                       const Tensor& ref, const Tensor& fast,
                                       double term_factor = 64.0);
 
+// Tensor-parallel kernel entry points (DESIGN.md §14). Both preserve
+// the per-element reduction-order contract that makes sharded forward
+// passes byte-identical to the serial oracle:
+//
+//   matmul_bt_cols computes the output-column slice [j0, j1) of
+//   A @ B^T by calling the *same* per-tier kernel bodies as
+//   matmul_bt_tier on the packed B-row subrange. When j0 is 4-aligned
+//   the fast tiers' 4-row block grouping lands on the same elements as
+//   in the full product, so the slice is bit-identical to those columns
+//   of matmul_bt_tier — the column-parallel all-gather invariant.
+//
+//   matmul_bt_krange computes a partial product over the K-range
+//   [k0, k1) into a caller-provided [m, n] buffer (B rows read at their
+//   full stride ldb, so corrupted weight storage stays visible). Its
+//   reduction order depends only on (tier, k-range): the segmented
+//   row-parallel product calls it once per grid segment at every TP
+//   degree, sharded or serial, and folds the partials in a fixed tree.
+void matmul_bt_cols(const float* a, Index m, Index k, const float* b, Index j0,
+                    Index j1, float* c, Index ldc, KernelTier tier);
+void matmul_bt_krange(const float* a, Index m, Index lda, Index k0, Index k1,
+                      const float* b, Index ldb, Index n, float* c, Index ldc,
+                      KernelTier tier);
+
+// Column slice of fused_rmsnorm_matmul_bt: computes output columns
+// [j0, j1) of every projection, writing into cs[w] (row stride ldc) at
+// column offset j0. Row normalization replicates the fused kernel
+// float-for-float; the products go through matmul_bt_cols, so with
+// 4-aligned j0 the slice is bit-identical to those columns of the full
+// fused product.
+void fused_rmsnorm_matmul_bt_cols(const Tensor& x, const Tensor& gain,
+                                  float eps, std::span<const Tensor* const> ws,
+                                  KernelTier tier, Index j0, Index j1,
+                                  std::span<float* const> cs, Index ldc);
+
 namespace detail {
 // Raw-pointer kernels shared with the quantized matmul (qmatmul builds
 // its AVX2 path on the same per-group primitives; raw signatures keep
@@ -117,6 +151,27 @@ void gemm_bt_portable(const float* a, Index m, Index k, const float* b,
                       Index n, float* c);
 void gemm_bt_avx2(const float* a, Index m, Index k, const float* b, Index n,
                   float* c);
+
+// The Reference tier's naive sequential dot loop over an arbitrary
+// K-range [k0, k1) and B-row range [j0, j1), with explicit strides.
+// matmul_bt_reference, the fused Reference branch, and every sharded
+// Reference slice/partial all route through this one (noinline) body,
+// so the campaign oracle has exactly one codegen of its reduction loop.
+void gemm_bt_reference_range(const float* a, Index m, Index lda, Index k0,
+                             Index k1, const float* b, Index ldb, Index j0,
+                             Index j1, float* c, Index ldc);
+
+// K-range variants of the fast-tier kernels: same lane blocking as
+// gemm_bt_portable / gemm_bt_avx2 but summing only l in [k0, k1), with
+// A rows at stride lda and B rows at stride ldb. Used exclusively for
+// the segmented row-parallel partials — their reduction order is fixed
+// per (tier, k-range) and never compared against the full-K kernels.
+void gemm_bt_krange_portable(const float* a, Index m, Index lda, Index k0,
+                             Index k1, const float* b, Index ldb, Index n,
+                             float* c, Index ldc);
+void gemm_bt_krange_avx2(const float* a, Index m, Index lda, Index k0,
+                         Index k1, const float* b, Index ldb, Index n, float* c,
+                         Index ldc);
 
 // Group-scaled integer GEMM: for each output (i, j),
 //   c[i,j] = sum_g scales[j * groups_per_row + g] *

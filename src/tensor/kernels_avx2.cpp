@@ -120,12 +120,72 @@ __attribute__((target("avx2,fma"))) void qgemm_bt_row_avx2(
   }
 }
 
+// K-range partial for the segmented row-parallel product: identical
+// blocking and fold order to gemm_bt_row_avx2 but restricted to
+// l in [k0, k1), with B rows read at their full stride ldb.
+__attribute__((target("avx2,fma"))) void gemm_bt_krange_row_avx2(
+    const float* a, Index k0, Index k1, const float* pb, Index ldb, Index n,
+    float* c) {
+  Index j = 0;
+  for (; j + 4 <= n; j += 4) {
+    const float* b0 = pb + j * ldb;
+    const float* b1 = b0 + ldb;
+    const float* b2 = b1 + ldb;
+    const float* b3 = b2 + ldb;
+    __m256 acc0 = _mm256_setzero_ps();
+    __m256 acc1 = _mm256_setzero_ps();
+    __m256 acc2 = _mm256_setzero_ps();
+    __m256 acc3 = _mm256_setzero_ps();
+    Index l = k0;
+    for (; l + 8 <= k1; l += 8) {
+      const __m256 va = _mm256_loadu_ps(a + l);
+      acc0 = _mm256_fmadd_ps(va, _mm256_loadu_ps(b0 + l), acc0);
+      acc1 = _mm256_fmadd_ps(va, _mm256_loadu_ps(b1 + l), acc1);
+      acc2 = _mm256_fmadd_ps(va, _mm256_loadu_ps(b2 + l), acc2);
+      acc3 = _mm256_fmadd_ps(va, _mm256_loadu_ps(b3 + l), acc3);
+    }
+    float s[4];
+    _mm_storeu_ps(s, hsum4(acc0, acc1, acc2, acc3));
+    for (; l < k1; ++l) {
+      const float av = a[l];
+      s[0] += av * b0[l];
+      s[1] += av * b1[l];
+      s[2] += av * b2[l];
+      s[3] += av * b3[l];
+    }
+    c[j] = s[0];
+    c[j + 1] = s[1];
+    c[j + 2] = s[2];
+    c[j + 3] = s[3];
+  }
+  for (; j < n; ++j) {
+    const float* b = pb + j * ldb;
+    __m256 acc = _mm256_setzero_ps();
+    Index l = k0;
+    for (; l + 8 <= k1; l += 8) {
+      acc = _mm256_fmadd_ps(_mm256_loadu_ps(a + l), _mm256_loadu_ps(b + l),
+                            acc);
+    }
+    float s = hsum1(acc);
+    for (; l < k1; ++l) s += a[l] * b[l];
+    c[j] = s;
+  }
+}
+
 }  // namespace
 
 void gemm_bt_avx2(const float* a, Index m, Index k, const float* b, Index n,
                   float* c) {
   for (Index i = 0; i < m; ++i) {
     gemm_bt_row_avx2(a + i * k, k, b, n, c + i * n);
+  }
+}
+
+void gemm_bt_krange_avx2(const float* a, Index m, Index lda, Index k0,
+                         Index k1, const float* b, Index ldb, Index n, float* c,
+                         Index ldc) {
+  for (Index i = 0; i < m; ++i) {
+    gemm_bt_krange_row_avx2(a + i * lda, k0, k1, b, ldb, n, c + i * ldc);
   }
 }
 
@@ -141,6 +201,12 @@ void qgemm_bt_avx2(const float* a, Index m, Index k, const std::int8_t* w,
 #else  // non-x86: unreachable stubs (cpu_supports_avx2() is false)
 
 void gemm_bt_avx2(const float*, Index, Index, const float*, Index, float*) {
+  std::fprintf(stderr, "llmfi: AVX2 kernel called on a non-x86 build\n");
+  std::abort();
+}
+
+void gemm_bt_krange_avx2(const float*, Index, Index, Index, Index,
+                         const float*, Index, Index, float*, Index) {
   std::fprintf(stderr, "llmfi: AVX2 kernel called on a non-x86 build\n");
   std::abort();
 }

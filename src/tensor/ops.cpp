@@ -84,16 +84,15 @@ Tensor matmul_bt_reference(const Tensor& a, const Tensor& b) {
   const float* pb = b.data();
   float* pc = c.data();
   const bool parallel = m * n * k >= kParallelFlops;
+  // Rows go through the shared out-of-line reference kernel so this
+  // oracle, the fused Reference branch, and the tensor-parallel slices
+  // all run one codegen of the same sequential reduction loop
+  // (per-row results are scheduling-independent, so the OpenMP split
+  // never changes bits).
 #pragma omp parallel for schedule(static) if (parallel)
   for (Index i = 0; i < m; ++i) {
-    const float* arow = pa + i * k;
-    float* crow = pc + i * n;
-    for (Index j = 0; j < n; ++j) {
-      const float* brow = pb + j * k;
-      float acc = 0.0f;
-      for (Index l = 0; l < k; ++l) acc += arow[l] * brow[l];
-      crow[j] = acc;
-    }
+    detail::gemm_bt_reference_range(pa + i * k, 1, k, 0, k, pb, k, 0, n,
+                                    pc + i * n, n);
   }
   return c;
 }

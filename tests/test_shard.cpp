@@ -1,0 +1,602 @@
+// Tensor-parallel sharded forward (DESIGN.md §14): the split/reduce
+// primitives, the byte-identity of sharded vs unsharded inference at
+// every kernel tier, the deterministic reduction order under adversarial
+// worker timing (the ShardParallel suite, run under TSan in CI), the
+// tp-partial / tp-reduce injector semantics, and campaign byte-identity
+// across the full threads x batch x tp x fork execution grid.
+
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <cstring>
+#include <thread>
+#include <vector>
+
+#include "core/injector.h"
+#include "eval/campaign.h"
+#include "gen/generate.h"
+#include "model/transformer.h"
+#include "numerics/rng.h"
+#include "shard/parallel_linear.h"
+#include "shard/shard_group.h"
+#include "tensor/kernels.h"
+
+namespace llmfi {
+namespace {
+
+std::vector<tn::KernelTier> available_tiers() {
+  std::vector<tn::KernelTier> tiers{tn::KernelTier::Reference,
+                                    tn::KernelTier::Portable};
+  if (tn::best_supported_tier() == tn::KernelTier::Avx2) {
+    tiers.push_back(tn::KernelTier::Avx2);
+  }
+  return tiers;
+}
+
+tn::Tensor random_tensor(tn::Index rows, tn::Index cols, std::uint64_t seed) {
+  num::Rng rng(seed);
+  tn::Tensor t({rows, cols});
+  for (tn::Index i = 0; i < t.numel(); ++i) {
+    t.flat()[i] = static_cast<float>(rng.uniform() * 2.0 - 1.0);
+  }
+  return t;
+}
+
+bool same_bytes(const tn::Tensor& a, const tn::Tensor& b) {
+  if (a.rows() != b.rows() || a.cols() != b.cols()) return false;
+  return std::memcmp(a.data(), b.data(),
+                     sizeof(float) * static_cast<size_t>(a.numel())) == 0;
+}
+
+// Ragged on purpose: 6 heads over 4 shards, d_ff not a multiple of the
+// shard count, so every bounds computation exercises uneven splits.
+model::ModelConfig ragged_config(bool moe = false) {
+  model::ModelConfig cfg;
+  cfg.vocab_size = 48;
+  cfg.d_model = 48;
+  cfg.n_layers = 2;
+  cfg.n_heads = 6;
+  cfg.d_ff = 84;
+  cfg.moe = moe;
+  cfg.n_experts = 4;
+  cfg.top_k = 2;
+  cfg.max_seq = 64;
+  cfg.seed = 77;
+  return cfg;
+}
+
+model::InferenceModel make_engine(const model::ModelConfig& cfg, int tp = 1) {
+  model::InferenceModel m(model::ModelWeights::init(cfg), {});
+  if (tp > 1) m.set_tensor_parallel(tp);
+  return m;
+}
+
+std::vector<tok::TokenId> tokens(std::initializer_list<int> ids) {
+  std::vector<tok::TokenId> out;
+  for (int i : ids) out.push_back(static_cast<tok::TokenId>(i));
+  return out;
+}
+
+// Prefill + a few decode passes; returns the logits of every pass
+// concatenated row-wise so one byte-compare covers the whole run.
+std::vector<tn::Tensor> run_passes(model::InferenceModel& m) {
+  std::vector<tn::Tensor> logits;
+  nn::KvCache cache = m.make_cache();
+  logits.push_back(m.forward(tokens({1, 4, 7, 2, 9}), cache, 0));
+  for (int pass = 1; pass <= 3; ++pass) {
+    logits.push_back(m.forward(tokens({3 + pass}), cache, pass));
+  }
+  return logits;
+}
+
+// ---------------------------------------------------------------------------
+// Split bounds
+
+TEST(ShardBounds, ColumnBoundsCoverAndAlign) {
+  for (tn::Index n : {1, 3, 7, 8, 48, 84, 117}) {
+    for (int shards : {1, 2, 3, 4, 8}) {
+      const auto b = shard::column_bounds(n, shards);
+      ASSERT_EQ(static_cast<int>(b.size()), shards + 1);
+      EXPECT_EQ(b.front(), 0);
+      EXPECT_EQ(b.back(), n);
+      for (size_t i = 1; i < b.size(); ++i) {
+        EXPECT_LE(b[i - 1], b[i]);
+        if (i != b.size() - 1) {
+          EXPECT_EQ(b[i] % 4, 0);
+        }
+      }
+    }
+  }
+}
+
+TEST(ShardBounds, HeadBoundsSpreadRemainder) {
+  const auto b = shard::head_bounds(6, 4);
+  ASSERT_EQ(b.size(), 5u);
+  EXPECT_EQ(b.front(), 0);
+  EXPECT_EQ(b.back(), 6);
+  for (size_t i = 1; i < b.size(); ++i) {
+    EXPECT_GE(b[i] - b[i - 1], 1);
+    EXPECT_LE(b[i] - b[i - 1], 2);
+  }
+}
+
+TEST(ShardBounds, SegmentGridIsIndependentOfShardCount) {
+  EXPECT_EQ(shard::RowParallelLinear::segment_count(48), 8);
+  EXPECT_EQ(shard::RowParallelLinear::segment_count(5), 5);
+  EXPECT_EQ(shard::RowParallelLinear::segment_count(1), 1);
+  EXPECT_EQ(shard::RowParallelLinear::segment_begin(48, 0), 0);
+  EXPECT_EQ(shard::RowParallelLinear::segment_begin(48, 8), 48);
+}
+
+// ---------------------------------------------------------------------------
+// Kernel lemmas: the slices recompose the full product byte-for-byte.
+
+TEST(ShardKernels, ColumnSlicesMatchFullProductAtEveryTier) {
+  const auto a = random_tensor(5, 48, 11);
+  const auto b = random_tensor(84, 48, 12);
+  for (auto tier : available_tiers()) {
+    const auto full = tn::matmul_bt_tier(a, b, tier);
+    for (int shards : {1, 2, 3, 4}) {
+      tn::Tensor sliced({a.rows(), b.rows()});
+      const auto bounds = shard::column_bounds(b.rows(), shards);
+      for (int s = 0; s < shards; ++s) {
+        tn::matmul_bt_cols(a.data(), a.rows(), a.cols(), b.data(), bounds[s],
+                           bounds[s + 1], sliced.data(), sliced.cols(), tier);
+      }
+      EXPECT_TRUE(same_bytes(full, sliced))
+          << "tier " << tn::kernel_tier_name(tier) << " shards " << shards;
+    }
+  }
+}
+
+TEST(ShardKernels, ColumnParallelMatchesMatmulAtEveryShardCount) {
+  const auto x = random_tensor(4, 48, 21);
+  const auto w = random_tensor(84, 48, 22);
+  for (auto tier : available_tiers()) {
+    const auto oracle = tn::matmul_bt_tier(x, w, tier);
+    for (int shards : {2, 3, 4}) {
+      shard::ShardGroup group(shards);
+      const auto y = shard::ColumnParallelLinear::run(&group, x, w, tier);
+      EXPECT_TRUE(same_bytes(oracle, y))
+          << "tier " << tn::kernel_tier_name(tier) << " shards " << shards;
+    }
+  }
+}
+
+TEST(ShardKernels, RowParallelShardedMatchesSerialAtEveryTier) {
+  const auto x = random_tensor(3, 84, 31);
+  const auto w = random_tensor(48, 84, 32);
+  const nn::LinearId id{0, nn::LayerKind::OProj, -1};
+  for (auto tier : available_tiers()) {
+    const auto serial = shard::RowParallelLinear::run(
+        nullptr, x, w, tier, nullptr, id, 0, 0);
+    for (int shards : {2, 3, 4}) {
+      shard::ShardGroup group(shards);
+      const auto y = shard::RowParallelLinear::run(&group, x, w, tier,
+                                                   nullptr, id, 0, 0);
+      EXPECT_TRUE(same_bytes(serial, y))
+          << "tier " << tn::kernel_tier_name(tier) << " shards " << shards;
+    }
+  }
+}
+
+TEST(ShardKernels, FusedColumnParallelMatchesUnfused) {
+  const auto x = random_tensor(3, 48, 41);
+  const auto gain = random_tensor(1, 48, 42);
+  const auto w0 = random_tensor(84, 48, 43);
+  const auto w1 = random_tensor(84, 48, 44);
+  const std::vector<const tn::Tensor*> ws{&w0, &w1};
+  for (auto tier : available_tiers()) {
+    const auto oracle =
+        tn::fused_rmsnorm_matmul_bt(x, gain, 1e-5f, ws, tier);
+    for (int shards : {2, 4}) {
+      shard::ShardGroup group(shards);
+      const auto ys = shard::ColumnParallelLinear::run_fused(
+          &group, x, gain, 1e-5f, ws, tier);
+      ASSERT_EQ(ys.size(), oracle.size());
+      for (size_t i = 0; i < ys.size(); ++i) {
+        EXPECT_TRUE(same_bytes(oracle[i], ys[i]))
+            << "tier " << tn::kernel_tier_name(tier) << " weight " << i;
+      }
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Engine-level identity: TP never changes a bit.
+
+TEST(ShardForward, ForwardIsByteIdenticalAcrossTpDegrees) {
+  const auto cfg = ragged_config();
+  for (auto tier : available_tiers()) {
+    tn::ScopedKernelTier scoped(tier);
+    auto base_engine = make_engine(cfg);
+    const auto base = run_passes(base_engine);
+    for (int tp : {2, 3, 4}) {
+      auto tp_engine = make_engine(cfg, tp);
+      const auto got = run_passes(tp_engine);
+      ASSERT_EQ(base.size(), got.size());
+      for (size_t p = 0; p < base.size(); ++p) {
+        EXPECT_TRUE(same_bytes(base[p], got[p]))
+            << "tier " << tn::kernel_tier_name(tier) << " tp " << tp
+            << " pass " << p;
+      }
+    }
+  }
+}
+
+TEST(ShardForward, MoeForwardIsByteIdenticalAcrossTpDegrees) {
+  const auto cfg = ragged_config(/*moe=*/true);
+  auto base_engine = make_engine(cfg);
+  const auto base = run_passes(base_engine);
+  for (int tp : {2, 4}) {
+    auto tp_engine = make_engine(cfg, tp);
+    const auto got = run_passes(tp_engine);
+    ASSERT_EQ(base.size(), got.size());
+    for (size_t p = 0; p < base.size(); ++p) {
+      EXPECT_TRUE(same_bytes(base[p], got[p])) << "tp " << tp << " pass " << p;
+    }
+  }
+}
+
+TEST(ShardForward, ForwardBatchIsByteIdenticalAcrossTpDegrees) {
+  const auto cfg = ragged_config();
+  auto run_batched = [&](model::InferenceModel& m) {
+    std::vector<nn::KvCache> caches;
+    for (int r = 0; r < 3; ++r) caches.push_back(m.make_cache());
+    // Diverge the rows' contexts with per-row prefills first.
+    for (int r = 0; r < 3; ++r) {
+      nn::KvCache& c = caches[static_cast<size_t>(r)];
+      (void)m.forward(tokens({1 + r, 5, 9 - r}), c, 0);
+    }
+    std::vector<tn::Tensor> logits;
+    for (int pass = 1; pass <= 2; ++pass) {
+      std::vector<model::InferenceModel::BatchRow> rows(3);
+      for (int r = 0; r < 3; ++r) {
+        rows[static_cast<size_t>(r)].cache = &caches[static_cast<size_t>(r)];
+        rows[static_cast<size_t>(r)].token =
+            static_cast<tok::TokenId>(2 + r + pass);
+        rows[static_cast<size_t>(r)].pass_index = pass;
+      }
+      logits.push_back(m.forward_batch(rows));
+    }
+    return logits;
+  };
+  auto base_engine = make_engine(cfg);
+  const auto base = run_batched(base_engine);
+  for (int tp : {2, 4}) {
+    auto tp_engine = make_engine(cfg, tp);
+    const auto got = run_batched(tp_engine);
+    ASSERT_EQ(base.size(), got.size());
+    for (size_t p = 0; p < base.size(); ++p) {
+      EXPECT_TRUE(same_bytes(base[p], got[p])) << "tp " << tp << " pass " << p;
+    }
+  }
+}
+
+TEST(ShardForward, CloneCarriesTpAndStaysIdentical) {
+  const auto cfg = ragged_config();
+  auto base_engine = make_engine(cfg);
+  auto tp_engine = make_engine(cfg, 4);
+  auto replica = tp_engine.clone();
+  EXPECT_EQ(replica.tensor_parallel(), 4);
+  const auto base = run_passes(base_engine);
+  const auto got = run_passes(replica);
+  for (size_t p = 0; p < base.size(); ++p) {
+    EXPECT_TRUE(same_bytes(base[p], got[p])) << "pass " << p;
+  }
+}
+
+TEST(ShardForward, QuantizedEngineRefusesTp) {
+  auto m = model::InferenceModel(
+      model::ModelWeights::init(ragged_config()),
+      model::PrecisionConfig::for_dtype(num::DType::I8));
+  m.set_tensor_parallel(4);
+  EXPECT_EQ(m.tensor_parallel(), 1);
+}
+
+TEST(ShardGenerate, GreedyAndBeamTokensIdenticalAcrossTp) {
+  const auto cfg = ragged_config();
+  for (int beams : {1, 3}) {
+    gen::GenerationConfig gc;
+    gc.max_new_tokens = 12;
+    gc.num_beams = beams;
+    gc.eos = -1;  // run the full budget
+    auto base_engine = make_engine(cfg);
+    const auto base = gen::generate(base_engine, tokens({1, 4, 7}), gc);
+    auto tp_engine = make_engine(cfg, 4);
+    const auto got = gen::generate(tp_engine, tokens({1, 4, 7}), gc);
+    EXPECT_EQ(base.tokens, got.tokens) << "beams " << beams;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// ShardParallel: determinism under adversarial worker timing (TSan'd in
+// CI alongside CampaignParallel/ServeParallel).
+
+TEST(ShardParallel, ReduceOrderSurvivesTimingFuzz) {
+  const auto x = random_tensor(2, 84, 51);
+  const auto w = random_tensor(48, 84, 52);
+  const nn::LinearId id{0, nn::LayerKind::DownProj, -1};
+  const auto tier = tn::best_supported_tier();
+  const auto serial = shard::RowParallelLinear::run(
+      nullptr, x, w, tier, nullptr, id, 0, 0);
+  shard::ShardGroup group(4);
+  for (int rep = 0; rep < 32; ++rep) {
+    // Skew worker timing with a per-(rep, shard) pseudo-random stall
+    // before the real op; the reduction order must not care who
+    // finishes when.
+    group.run([&](int s) {
+      const unsigned stall =
+          (static_cast<unsigned>(rep) * 2654435761u + static_cast<unsigned>(s))
+              % 180u;
+      std::this_thread::sleep_for(std::chrono::microseconds(stall));
+    });
+    const auto y = shard::RowParallelLinear::run(&group, x, w, tier, nullptr,
+                                                 id, 0, 0);
+    ASSERT_TRUE(same_bytes(serial, y)) << "rep " << rep;
+  }
+}
+
+TEST(ShardParallel, RepeatedShardedForwardIsByteStable) {
+  auto engine = make_engine(ragged_config(), 4);
+  const auto first = run_passes(engine);
+  for (int rep = 0; rep < 8; ++rep) {
+    const auto again = run_passes(engine);
+    for (size_t p = 0; p < first.size(); ++p) {
+      ASSERT_TRUE(same_bytes(first[p], again[p]))
+          << "rep " << rep << " pass " << p;
+    }
+  }
+}
+
+TEST(ShardParallel, WorkerExceptionsPropagateLowestShardFirst) {
+  shard::ShardGroup group(4);
+  try {
+    group.run([](int s) {
+      if (s == 1 || s == 3) {
+        throw std::runtime_error("shard " + std::to_string(s));
+      }
+    });
+    FAIL() << "expected the shard exception to propagate";
+  } catch (const std::runtime_error& e) {
+    EXPECT_STREQ(e.what(), "shard 1");
+  }
+  // The group must stay usable after an op threw.
+  std::atomic<int> ran{0};
+  group.run([&](int) { ran.fetch_add(1); });
+  EXPECT_EQ(ran.load(), 4);
+}
+
+// ---------------------------------------------------------------------------
+// tp-partial / tp-reduce injector semantics.
+
+core::FaultPlan tp_plan(core::FaultModel model, nn::LayerKind kind) {
+  core::FaultPlan plan;
+  plan.model = model;
+  plan.layer = nn::LinearId{0, kind, -1};
+  plan.pass_index = 0;
+  plan.row_frac = 0.0;
+  plan.out_col = 3;
+  plan.bits = {20};
+  plan.segment = 1;
+  plan.reduce_level = 0;
+  return plan;
+}
+
+TEST(TpInjector, PartialFlipMovesExactlyOneOutputElement) {
+  const auto x = random_tensor(2, 84, 61);
+  const auto w = random_tensor(48, 84, 62);
+  const nn::LinearId id{0, nn::LayerKind::OProj, -1};
+  const auto clean = shard::RowParallelLinear::run(
+      nullptr, x, w, tn::KernelTier::Reference, nullptr, id, 0, 0);
+  core::TpFaultInjector injector(
+      tp_plan(core::FaultModel::TpPartial, nn::LayerKind::OProj));
+  const auto faulty = shard::RowParallelLinear::run(
+      nullptr, x, w, tn::KernelTier::Reference, &injector, id, 0, 0);
+  ASSERT_TRUE(injector.fired());
+  EXPECT_EQ(injector.record().row, 0);
+  EXPECT_EQ(injector.record().col, 3);
+  int diffs = 0;
+  for (tn::Index r = 0; r < clean.rows(); ++r) {
+    for (tn::Index c = 0; c < clean.cols(); ++c) {
+      if (clean.at(r, c) != faulty.at(r, c)) ++diffs;
+    }
+  }
+  // One partial-sum element flipped -> exactly one output element moves
+  // (the fold is elementwise).
+  EXPECT_EQ(diffs, 1);
+  EXPECT_NE(clean.at(0, 3), faulty.at(0, 3));
+}
+
+TEST(TpInjector, ReduceFlipTargetsOneLevelAndFiresOnce) {
+  const auto x = random_tensor(2, 84, 71);
+  const auto w = random_tensor(48, 84, 72);
+  const nn::LinearId id{0, nn::LayerKind::DownProj, -1};
+  const auto clean = shard::RowParallelLinear::run(
+      nullptr, x, w, tn::KernelTier::Reference, nullptr, id, 0, 0);
+  auto plan = tp_plan(core::FaultModel::TpReduce, nn::LayerKind::DownProj);
+  plan.reduce_level = 99;  // clamps to the last level at fire time
+  core::TpFaultInjector injector(plan);
+  const auto faulty = shard::RowParallelLinear::run(
+      nullptr, x, w, tn::KernelTier::Reference, &injector, id, 0, 0);
+  ASSERT_TRUE(injector.fired());
+  EXPECT_FALSE(same_bytes(clean, faulty));
+  // Single shot: a second product through the same armed injector stays
+  // clean.
+  const auto second = shard::RowParallelLinear::run(
+      nullptr, x, w, tn::KernelTier::Reference, &injector, id, 1, 0);
+  EXPECT_TRUE(same_bytes(clean, second));
+  injector.on_install();  // reset re-arms
+  EXPECT_FALSE(injector.fired());
+}
+
+TEST(TpInjector, EngineLevelInjectionPerturbsLogits) {
+  auto engine = make_engine(ragged_config(), 2);
+  auto clean_engine = make_engine(ragged_config(), 2);
+  const auto clean = run_passes(clean_engine);
+  auto plan = tp_plan(core::FaultModel::TpPartial, nn::LayerKind::OProj);
+  plan.bits = {30};  // high exponent bit: guaranteed visible
+  core::TpFaultInjector injector(plan);
+  core::ShardHookGuard guard(engine, &injector);
+  const auto faulty = run_passes(engine);
+  EXPECT_TRUE(injector.fired());
+  bool any_diff = false;
+  for (size_t p = 0; p < clean.size(); ++p) {
+    if (!same_bytes(clean[p], faulty[p])) any_diff = true;
+  }
+  EXPECT_TRUE(any_diff);
+}
+
+TEST(TpInjector, SamplerTargetsOnlyRowParallelSites) {
+  auto engine = make_engine(ragged_config(/*moe=*/true));
+  num::Rng rng(7);
+  core::SamplerScope scope;
+  scope.max_passes = 4;
+  for (int i = 0; i < 64; ++i) {
+    const auto plan = core::sample_fault(core::FaultModel::TpPartial, engine,
+                                         scope, rng);
+    EXPECT_TRUE(plan.layer.kind == nn::LayerKind::OProj ||
+                plan.layer.kind == nn::LayerKind::DownProj);
+    EXPECT_GE(plan.segment, 0);
+    EXPECT_LT(plan.segment, shard::RowParallelLinear::kSegments);
+    ASSERT_EQ(plan.bits.size(), 1u);
+    EXPECT_GE(plan.bits[0], 0);
+    EXPECT_LT(plan.bits[0], 32);
+    const auto rplan = core::sample_fault(core::FaultModel::TpReduce, engine,
+                                          scope, rng);
+    EXPECT_GE(rplan.reduce_level, 0);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Campaign byte-identity across the execution grid, and tp campaigns
+// end to end. Untrained weights: determinism, not accuracy, is on trial.
+
+struct CampaignFixture {
+  data::World world;
+  data::TaskData task;
+  model::ModelWeights weights;
+
+  CampaignFixture() : weights(model::ModelWeights::init(config())) {
+    data::GenOptions opt;
+    opt.train_n = 4;
+    opt.eval_n = 6;
+    task = data::make_task(world, data::TaskKind::QA, opt);
+  }
+
+  model::ModelConfig config() const {
+    auto cfg = ragged_config();
+    cfg.vocab_size = world.vocab().size();
+    cfg.max_seq = 160;
+    return cfg;
+  }
+};
+
+CampaignFixture& campaign_fixture() {
+  static CampaignFixture f;
+  return f;
+}
+
+void expect_same_outcomes(const eval::CampaignResult& a,
+                          const eval::CampaignResult& b) {
+  EXPECT_EQ(a.masked, b.masked);
+  EXPECT_EQ(a.sdc_subtle, b.sdc_subtle);
+  EXPECT_EQ(a.sdc_distorted, b.sdc_distorted);
+  EXPECT_EQ(a.by_highest_bit, b.by_highest_bit);
+  EXPECT_EQ(a.faulty_hits, b.faulty_hits);
+  ASSERT_EQ(a.records.size(), b.records.size());
+  for (size_t i = 0; i < a.records.size(); ++i) {
+    EXPECT_EQ(a.records[i].output, b.records[i].output) << "trial " << i;
+    EXPECT_EQ(a.records[i].outcome, b.records[i].outcome) << "trial " << i;
+  }
+}
+
+TEST(ShardCampaign, ByteIdenticalAcrossThreadsBatchTpAndFork) {
+  auto& f = campaign_fixture();
+  const auto& spec = eval::workload(data::TaskKind::QA);
+  eval::CampaignConfig cfg;
+  cfg.fault = core::FaultModel::Comp1Bit;
+  cfg.trials = 12;
+  cfg.n_inputs = 3;
+  cfg.seed = 1234;
+  cfg.keep_trial_records = true;
+  cfg.run.gen.max_new_tokens = 8;
+
+  model::InferenceModel engine(f.weights, {});
+  const auto base =
+      eval::run_campaign_on(engine, f.world.vocab(), f.task.eval, spec, cfg);
+  EXPECT_EQ(engine.tensor_parallel(), 1);  // TpScope restored
+
+  for (int threads : {1, 2}) {
+    for (int tp : {1, 2, 4}) {
+      for (int batch : {1, 4}) {
+        for (bool fork : {false, true}) {
+          auto c = cfg;
+          c.threads = threads;
+          c.tp = tp;
+          c.batch = batch;
+          c.prefix_fork = fork;
+          model::InferenceModel e(f.weights, {});
+          const auto got = eval::run_campaign_on(e, f.world.vocab(),
+                                                 f.task.eval, spec, c);
+          SCOPED_TRACE("threads=" + std::to_string(threads) +
+                       " tp=" + std::to_string(tp) +
+                       " batch=" + std::to_string(batch) +
+                       " fork=" + std::to_string(fork));
+          expect_same_outcomes(base, got);
+        }
+      }
+    }
+  }
+}
+
+TEST(ShardCampaign, TpFaultCampaignsRunEndToEndAndStayDeterministic) {
+  auto& f = campaign_fixture();
+  const auto& spec = eval::workload(data::TaskKind::QA);
+  for (auto fault : {core::FaultModel::TpPartial, core::FaultModel::TpReduce}) {
+    eval::CampaignConfig cfg;
+    cfg.fault = fault;
+    cfg.trials = 10;
+    cfg.n_inputs = 3;
+    cfg.seed = 555;
+    cfg.keep_trial_records = true;
+    cfg.run.gen.max_new_tokens = 8;
+    model::InferenceModel e1(f.weights, {});
+    const auto a =
+        eval::run_campaign_on(e1, f.world.vocab(), f.task.eval, spec, cfg);
+    EXPECT_EQ(a.trials(), cfg.trials);
+    // Identity across TP degrees: tp only changes who computes.
+    auto cfg2 = cfg;
+    cfg2.tp = 2;
+    model::InferenceModel e2(f.weights, {});
+    const auto b =
+        eval::run_campaign_on(e2, f.world.vocab(), f.task.eval, spec, cfg2);
+    SCOPED_TRACE(std::string("fault ") +
+                 std::string(core::fault_model_name(fault)));
+    expect_same_outcomes(a, b);
+    for (const auto& rec : a.records) {
+      EXPECT_TRUE(rec.plan.layer.kind == nn::LayerKind::OProj ||
+                  rec.plan.layer.kind == nn::LayerKind::DownProj);
+    }
+  }
+}
+
+TEST(ShardCampaign, TpFaultsComposeWithDetection) {
+  auto& f = campaign_fixture();
+  const auto& spec = eval::workload(data::TaskKind::QA);
+  eval::CampaignConfig cfg;
+  cfg.fault = core::FaultModel::TpPartial;
+  cfg.trials = 8;
+  cfg.n_inputs = 2;
+  cfg.seed = 99;
+  cfg.run.gen.max_new_tokens = 8;
+  cfg.detection.range = true;
+  cfg.detection.recover = true;
+  model::InferenceModel engine(f.weights, {});
+  const auto r =
+      eval::run_campaign_on(engine, f.world.vocab(), f.task.eval, spec, cfg);
+  EXPECT_EQ(r.trials(), cfg.trials);
+}
+
+}  // namespace
+}  // namespace llmfi

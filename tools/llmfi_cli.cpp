@@ -35,6 +35,7 @@ struct CliArgs {
   int beams = 1;
   int threads = 1;
   int batch = 1;
+  int tp = 1;
   int kv_pages = 0;
   std::uint64_t seed = 2025;
   std::string detector = "none";  // none | range | checksum | stack
@@ -56,10 +57,14 @@ void print_usage() {
       "usage: llmfi_cli [options]\n"
       "  --model NAME     zoo model (default qilin; --list shows all)\n"
       "  --dataset NAME   workload dataset (default gsm8k-syn)\n"
-      "  --fault MODEL    1bit-comp | 2bits-comp | 2bits-mem | kv-bit\n"
+      "  --fault MODEL    1bit-comp | 2bits-comp | 2bits-mem | kv-bit |\n"
+      "                   tp-partial | tp-reduce\n"
       "                   (--fault-model is accepted as an alias; kv-bit\n"
       "                   flips one cached K/V element at a sampled pass —\n"
-      "                   transient in origin, persistent in effect)\n"
+      "                   transient in origin, persistent in effect;\n"
+      "                   tp-partial / tp-reduce flip a bit in a shard's\n"
+      "                   partial sum / in the reduction tree of the\n"
+      "                   row-parallel products, DESIGN.md §14)\n"
       "  --dtype D        fp32 | fp16 | bf16 | int8 | int4\n"
       "  --trials N       fault-injection trials (default 200)\n"
       "  --inputs N       evaluation inputs cycled (default 10)\n"
@@ -72,6 +77,11 @@ void print_usage() {
       "                   for any value; ineligible campaigns fall back to\n"
       "                   the sequential loop with a warning; LLMFI_BATCH\n"
       "                   is the env equivalent)\n"
+      "  --tp N           tensor-parallel shards per engine (default 1;\n"
+      "                   results are byte-identical for any value — the\n"
+      "                   reduction order is pinned, DESIGN.md §14; note\n"
+      "                   threads x tp compute threads run concurrently;\n"
+      "                   LLMFI_TP is the env equivalent)\n"
       "  --kv-pages N     back every KV cache with a shared N-page pool\n"
       "                   (DESIGN.md §12: prefix forks alias pages via\n"
       "                   copy-on-write; undersized budgets are clamped up\n"
@@ -146,6 +156,8 @@ bool parse_args(int argc, char** argv, CliArgs& args) {
       args.threads = std::atoi(v);
     } else if (a == "--batch" && (v = need_value(i))) {
       args.batch = std::atoi(v);
+    } else if (a == "--tp" && (v = need_value(i))) {
+      args.tp = std::atoi(v);
     } else if (a == "--kv-pages" && (v = need_value(i))) {
       args.kv_pages = std::atoi(v);
     } else if (a == "--seed" && (v = need_value(i))) {
@@ -199,10 +211,10 @@ int main(int argc, char** argv) {
     return 0;
   }
   if (args.trials <= 0 || args.inputs <= 0 || args.beams <= 0 ||
-      args.threads <= 0 || args.batch <= 0 || args.retries < 0 ||
-      args.kv_pages < 0) {
+      args.threads <= 0 || args.batch <= 0 || args.tp <= 0 ||
+      args.retries < 0 || args.kv_pages < 0) {
     std::fprintf(stderr,
-                 "trials/inputs/beams/threads/batch must be positive "
+                 "trials/inputs/beams/threads/batch/tp must be positive "
                  "(kv-pages >= 0)\n");
     return 2;
   }
@@ -235,6 +247,7 @@ int main(int argc, char** argv) {
     cfg.seed = args.seed;
     cfg.threads = args.threads;
     cfg.batch = args.batch;
+    cfg.tp = args.tp;
     cfg.kv_pages = args.kv_pages;
     cfg.run.gen.num_beams = args.beams;
     cfg.run.direct_prompt = args.direct;

@@ -32,6 +32,7 @@ struct CliArgs {
   std::string dataset = "gsm8k-syn";
   std::string dtype = "bf16";
   int batch = 4;
+  int tp = 1;
   int kv_pages = 0;
   int max_new = 40;
   int n = 8;  // prompts taken from the head of the eval set
@@ -49,6 +50,10 @@ void print_usage() {
       "  --dtype D       fp32 | fp16 | bf16 | int8 | int4 (default bf16)\n"
       "  --batch N       scheduler slots, i.e. sequences decoding per\n"
       "                  forward_batch pass (default 4)\n"
+      "  --tp N          tensor-parallel shards inside every forward pass\n"
+      "                  (default 1; tokens are byte-identical for any\n"
+      "                  value — DESIGN.md §14; LLMFI_TP has no effect\n"
+      "                  here, serve takes the flag only)\n"
       "  --kv-pages N    back the slot KV caches with a shared N-page pool\n"
       "                  (DESIGN.md §12); when the pool cannot cover a\n"
       "                  request's worst case the scheduler queues it until\n"
@@ -84,6 +89,8 @@ bool parse_args(int argc, char** argv, CliArgs& args) {
       args.dtype = v;
     } else if (a == "--batch" && (v = need_value(i))) {
       args.batch = std::atoi(v);
+    } else if (a == "--tp" && (v = need_value(i))) {
+      args.tp = std::atoi(v);
     } else if (a == "--kv-pages" && (v = need_value(i))) {
       args.kv_pages = std::atoi(v);
     } else if (a == "--max-new" && (v = need_value(i))) {
@@ -114,10 +121,10 @@ int main(int argc, char** argv) {
     print_usage();
     return 0;
   }
-  if (args.batch <= 0 || args.max_new < 0 || args.n <= 0 ||
+  if (args.batch <= 0 || args.tp <= 0 || args.max_new < 0 || args.n <= 0 ||
       args.kv_pages < 0) {
     std::fprintf(stderr,
-                 "batch/n must be positive, max-new/kv-pages >= 0\n");
+                 "batch/tp/n must be positive, max-new/kv-pages >= 0\n");
     return 2;
   }
 
@@ -145,6 +152,7 @@ int main(int argc, char** argv) {
     const auto prec =
         model::PrecisionConfig::for_dtype(num::parse_dtype(args.dtype));
     model::InferenceModel engine(zoo.get(args.model), prec);
+    engine.set_tensor_parallel(args.tp);
     const auto& vocab = zoo.vocab();
     const auto& eval_set = zoo.task(spec.kind).eval;
     const int n = std::min<int>(args.n, static_cast<int>(eval_set.size()));
