@@ -1,0 +1,240 @@
+// Serving tail latency under load (DESIGN.md §15): an in-process
+// llmfi_serve instance (epoll HTTP/SSE front-end over the batch
+// scheduler, ephemeral port) driven by the closed/open-loop load
+// generator. Arms cover one closed-loop sweep plus Poisson and bursty
+// open-loop arrivals — open-loop latency is measured from scheduled
+// arrival (coordinated-omission safe) — and a fault arm that injects
+// per-request 1bit-comp faults with the checksum detector watching.
+// Clean arms verify every streamed token against the sequential
+// gen::generate() oracle; any mismatch fails the bench. Machine-readable
+// copy goes to bench_logs/BENCH_net.json.
+
+#include <chrono>
+#include <filesystem>
+#include <fstream>
+#include <memory>
+#include <optional>
+#include <random>
+#include <vector>
+
+#include "common.h"
+#include "core/detector.h"
+#include "core/injector.h"
+#include "gen/generate.h"
+#include "net/loadgen.h"
+#include "net/server.h"
+#include "report/bench_meta.h"
+#include "serve/scheduler.h"
+
+using namespace llmfi;
+
+namespace {
+
+// Per-request fault/detector context; constructed and called back on the
+// server's engine thread only, so the shared RNGs need no lock.
+struct BenchHookCtx : net::RequestHookCtx {
+  std::optional<core::ComputationalFaultInjector> injector;
+  std::optional<core::ChecksumDetector> checksum;
+  nn::LinearHook* head = nullptr;
+
+  nn::LinearHook* linear_hook() override { return head; }
+
+  std::string on_complete(const serve::Completion&) override {
+    if (!checksum) return {};
+    if (!checksum->triggered()) return "clean";
+    obs::count("net_detector_trips_total");
+    return std::string(checksum->name());
+  }
+};
+
+}  // namespace
+
+int main() {
+  const auto bench_t0 = std::chrono::steady_clock::now();
+  benchutil::init_obs_from_env();
+  obs::metrics_start();  // net_* counters feed the JSON log
+
+  auto& zoo = benchutil::shared_zoo();
+  const auto& spec = eval::workload(data::TaskKind::MathGsm);
+  const auto& eval_set = zoo.task(data::TaskKind::MathGsm).eval;
+  const auto& vocab = zoo.vocab();
+  model::InferenceModel engine(zoo.get("qilin"),
+                               benchutil::default_precision());
+
+  constexpr int kMaxNew = 16;
+  constexpr int kSessions = 8;
+  constexpr int kRequests = 64;
+  constexpr int kBatch = 4;
+  constexpr int kKvPages = 128;
+
+  // Prompt set + sequential oracle (computed fault-free, up front).
+  std::vector<net::LoadPrompt> prompts;
+  for (size_t i = 0; i < eval_set.size() && i < 8; ++i) {
+    net::LoadPrompt p;
+    p.ids = eval::build_prompt(vocab, eval_set[i], /*direct_prompt=*/false);
+    gen::GenerationConfig gcfg;
+    gcfg.max_new_tokens = kMaxNew;
+    gcfg.eos = vocab.eos();
+    p.expect = gen::generate(engine, p.ids, gcfg).tokens;
+    prompts.push_back(std::move(p));
+  }
+
+  // Checksum profile for the fault arm, also fault-free.
+  std::vector<std::string> profile_prompts;
+  for (size_t i = 0; i < eval_set.size() && i < 10; ++i) {
+    profile_prompts.push_back(eval_set[i].prompt);
+  }
+  const core::ChecksumProfile sum_profile =
+      core::profile_checksums(engine, vocab, profile_prompts);
+
+  auto make_arm = [&](const char* name, net::ArrivalMode mode, bool verify) {
+    net::LoadArmConfig cfg;
+    cfg.name = name;
+    cfg.mode = mode;
+    cfg.sessions = kSessions;
+    cfg.requests = kRequests;
+    cfg.rate_hz = 64.0;
+    cfg.on_sec = 0.25;
+    cfg.off_sec = 0.25;
+    cfg.max_new_tokens = kMaxNew;
+    cfg.slo_ttft_ms = 250.0;
+    cfg.slo_token_ms = 100.0;
+    cfg.verify = verify;
+    return cfg;
+  };
+
+  std::vector<net::LoadArmResult> arms;
+
+  // Clean server: closed-loop plus both open-loop shapes, every streamed
+  // token checked against the oracle.
+  {
+    auto pool = std::make_shared<nn::PagePool>(
+        kKvPages, nn::PagePool::kDefaultPageRows, engine.config().d_model);
+    serve::BatchEngine bengine(engine, kBatch, pool);
+    serve::Scheduler sched(bengine);
+    net::ServerConfig scfg;
+    scfg.port = 0;
+    scfg.max_new_tokens = kMaxNew;
+    net::Server server(scfg, {sched, vocab, kMaxNew, {}});
+    server.start();
+    for (const auto& [name, mode] :
+         {std::pair<const char*, net::ArrivalMode>{"closed clean",
+                                                   net::ArrivalMode::Closed},
+          {"poisson clean", net::ArrivalMode::Poisson},
+          {"bursty clean", net::ArrivalMode::Bursty}}) {
+      arms.push_back(net::run_load_arm(
+          "127.0.0.1", server.port(), prompts, make_arm(name, mode, true)));
+    }
+    server.request_drain();
+    server.wait();
+  }
+
+  // Fault arm: fresh scheduler over the same engine, per-request
+  // 1bit-comp injections with the checksum detector chained in front.
+  // Tokens may legitimately diverge, so identity verification is off;
+  // the arm exists to price detection + faults into the tail.
+  double faults_injected = 0.0;
+  double detector_trips = 0.0;
+  {
+    num::Rng rng(2025);
+    std::mt19937_64 rate_rng(0x9e3779b97f4a7c15ull);
+    net::HookFactory factory = [&](std::uint64_t) {
+      auto ctx = std::make_unique<BenchHookCtx>();
+      if (std::uniform_real_distribution<double>(0.0, 1.0)(rate_rng) < 0.5) {
+        core::SamplerScope scope;
+        scope.max_passes = kMaxNew;
+        ctx->injector.emplace(
+            core::sample_fault(core::FaultModel::Comp1Bit, engine, scope, rng),
+            engine.precision().act_dtype);
+        obs::count("net_faults_injected_total");
+      }
+      ctx->checksum.emplace(sum_profile,
+                            ctx->injector ? &*ctx->injector : nullptr);
+      ctx->head = &*ctx->checksum;
+      return ctx;
+    };
+    auto pool = std::make_shared<nn::PagePool>(
+        kKvPages, nn::PagePool::kDefaultPageRows, engine.config().d_model);
+    serve::BatchEngine bengine(engine, kBatch, pool);
+    serve::Scheduler sched(bengine);
+    net::ServerConfig scfg;
+    scfg.port = 0;
+    scfg.max_new_tokens = kMaxNew;
+    net::Server server(scfg, {sched, vocab, kMaxNew, std::move(factory)});
+    server.start();
+    arms.push_back(net::run_load_arm(
+        "127.0.0.1", server.port(), prompts,
+        make_arm("closed 1bit-comp+checksum", net::ArrivalMode::Closed,
+                 false)));
+    server.request_drain();
+    server.wait();
+    faults_injected =
+        obs::Registry::global().counter("net_faults_injected_total").value();
+    detector_trips =
+        obs::Registry::global().counter("net_detector_trips_total").value();
+  }
+
+  bool identity_ok = true;
+  bool complete_ok = true;
+  for (const auto& r : arms) {
+    identity_ok = identity_ok && r.mismatches == 0;
+    complete_ok =
+        complete_ok && r.errors == 0 && r.completed == r.requests;
+  }
+
+  report::Table t("net tail latency: qilin / " + spec.dataset + " / batch " +
+                  std::to_string(kBatch) + " / " + std::to_string(kSessions) +
+                  " sessions x " + std::to_string(kRequests) + " reqs");
+  t.header({"arm", "mode", "ttft p50/p95/p99 ms", "gap p95 ms",
+            "e2e p95 ms", "slo", "goodput rps", "tok/s"});
+  for (const auto& r : arms) {
+    t.row({r.name, r.mode,
+           report::fmt(r.ttft_ms_p50) + "/" + report::fmt(r.ttft_ms_p95) +
+               "/" + report::fmt(r.ttft_ms_p99),
+           report::fmt(r.token_gap_ms_p95), report::fmt(r.e2e_ms_p95),
+           report::fmt(r.slo_attainment), report::fmt(r.goodput_rps),
+           report::fmt(r.throughput_tok_s)});
+  }
+  t.row({"identity (clean arms)", benchutil::check(identity_ok), "", "", "",
+         "", "", ""});
+  t.row({"all streams completed", benchutil::check(complete_ok), "", "", "",
+         "", "", ""});
+  t.row({"faults/trips", report::fmt(faults_injected) + "/" +
+                             report::fmt(detector_trips),
+         "", "", "", "", "", ""});
+  t.print(std::cout);
+  std::printf("expected shape: clean arms report 0 mismatches with slo "
+              "attainment near 1; the fault arm completes every stream "
+              "with detector trips <= faults injected.\n");
+
+  std::filesystem::create_directories("bench_logs");
+  std::ofstream json("bench_logs/BENCH_net.json");
+  const double bench_sec =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                    bench_t0)
+          .count();
+  json << "{\n"
+       << "  \"bench\": \"net_latency\",\n"
+       << "  \"meta\": " << report::bench_metadata(bench_sec).json() << ",\n"
+       << "  \"model\": \"qilin\",\n"
+       << "  \"dataset\": \"" << spec.dataset << "\",\n"
+       << "  \"batch\": " << kBatch << ",\n"
+       << "  \"kv_pages\": " << kKvPages << ",\n"
+       << "  \"sessions\": " << kSessions << ",\n"
+       << "  \"requests_per_arm\": " << kRequests << ",\n"
+       << "  \"max_new_tokens\": " << kMaxNew << ",\n"
+       << "  \"fault_arm\": {\"fault\": \"1bit-comp\", \"rate\": 0.5, "
+       << "\"detector\": \"checksum\", \"faults_injected\": "
+       << faults_injected << ", \"detector_trips\": " << detector_trips
+       << "},\n"
+       << "  \"arms\": [\n";
+  for (size_t i = 0; i < arms.size(); ++i) {
+    json << "    " << arms[i].json() << (i + 1 < arms.size() ? "," : "")
+         << "\n";
+  }
+  json << "  ],\n"
+       << "  \"identity_ok\": " << (identity_ok ? "true" : "false") << ",\n"
+       << "  \"complete_ok\": " << (complete_ok ? "true" : "false") << "\n"
+       << "}\n";
+  return identity_ok && complete_ok ? 0 : 1;
+}

@@ -35,6 +35,42 @@ for b in build/bench/*; do
     failed+=("$name (exit $code)")
   fi
 done
+# Two-process serving smoke: real llmfi_serve over a socket (the
+# fig_net_latency bench is in-process), loadgen identity gate against
+# it, then a graceful SIGTERM drain. Skipped if the tools were not
+# built.
+if [ -x build/tools/llmfi_serve ] && [ -x build/tools/llmfi_loadgen ]; then
+  echo "=== net_loadgen_smoke ==="
+  build/tools/llmfi_serve --port 0 --batch 4 --kv-pages 128 \
+      > bench_logs/net_serve_smoke.txt 2>&1 &
+  serve_pid=$!
+  port=""
+  for _ in $(seq 1 100); do
+    port=$(sed -n 's/.*listening on [0-9.]*:\([0-9]*\)$/\1/p' \
+           bench_logs/net_serve_smoke.txt 2>/dev/null)
+    [ -n "$port" ] && break
+    kill -0 "$serve_pid" 2>/dev/null || break
+    sleep 0.2
+  done
+  if [ -n "$port" ]; then
+    timeout 600 build/tools/llmfi_loadgen --port "$port" --mode closed \
+        --sessions 8 --requests 64 \
+        > bench_logs/net_loadgen_smoke.txt 2>&1
+    code=$?
+  else
+    echo "run_benches.sh: llmfi_serve never reported a port" \
+         >> bench_logs/net_loadgen_smoke.txt
+    code=1
+  fi
+  kill -TERM "$serve_pid" 2>/dev/null
+  wait "$serve_pid"
+  serve_code=$?
+  ran=$((ran + 1))
+  echo "exit=$code serve_exit=$serve_code $(date +%T)"
+  if [ "$code" -ne 0 ] || [ "$serve_code" -ne 0 ]; then
+    failed+=("net_loadgen_smoke (loadgen $code, serve $serve_code)")
+  fi
+fi
 # Benches use their exit code as a self-check (identity cross-checks,
 # expected-shape gates); surface any failure instead of burying it in
 # the per-bench logs.

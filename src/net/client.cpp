@@ -1,0 +1,141 @@
+#include "net/client.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+namespace llmfi::net {
+
+HttpClient::~HttpClient() { close(); }
+
+bool HttpClient::connect(const std::string& host, int port) {
+  close();
+  fd_ = ::socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC, 0);
+  if (fd_ < 0) return false;
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(static_cast<std::uint16_t>(port));
+  if (::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1 ||
+      ::connect(fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    close();
+    return false;
+  }
+  const int one = 1;
+  ::setsockopt(fd_, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+  parser_ = HttpResponseParser{};
+  return true;
+}
+
+void HttpClient::close() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+bool HttpClient::send_all(std::string_view data) {
+  std::size_t off = 0;
+  while (off < data.size()) {
+    const ssize_t w = ::send(fd_, data.data() + off, data.size() - off,
+                             MSG_NOSIGNAL);
+    if (w > 0) {
+      off += static_cast<std::size_t>(w);
+      continue;
+    }
+    if (w < 0 && errno == EINTR) continue;
+    return false;
+  }
+  return true;
+}
+
+std::optional<HttpResponse> HttpClient::fail() {
+  close();
+  parser_ = HttpResponseParser{};
+  return std::nullopt;
+}
+
+std::optional<HttpResponse> HttpClient::request(std::string_view method,
+                                                std::string_view target,
+                                                std::string_view content_type,
+                                                std::string_view body) {
+  if (fd_ < 0) return std::nullopt;
+  std::string req(method);
+  req += ' ';
+  req += target;
+  req += " HTTP/1.1\r\nHost: llmfi\r\n";
+  if (!content_type.empty()) {
+    req += "Content-Type: ";
+    req += content_type;
+    req += "\r\n";
+  }
+  if (!body.empty() || method == "POST") {
+    req += "Content-Length: ";
+    req += std::to_string(body.size());
+    req += "\r\n";
+  }
+  req += "\r\n";
+  req += body;
+  if (!send_all(req)) return fail();
+
+  char buf[8192];
+  while (!parser_.done()) {
+    const ssize_t r = ::recv(fd_, buf, sizeof(buf), 0);
+    if (r <= 0) {
+      if (r < 0 && errno == EINTR) continue;
+      return fail();
+    }
+    if (parser_.feed(std::string_view(buf, static_cast<std::size_t>(r))) !=
+        HttpError::Ok) {
+      return fail();
+    }
+  }
+  HttpResponse resp = parser_.response();
+  if (parser_.reset() != HttpError::Ok) return fail();
+  return resp;
+}
+
+std::optional<HttpResponse> HttpClient::post_sse(
+    std::string_view target, std::string_view body,
+    const std::function<bool(const std::string&)>& on_event) {
+  if (fd_ < 0) return std::nullopt;
+  std::string req = "POST ";
+  req += target;
+  req += " HTTP/1.1\r\nHost: llmfi\r\nContent-Type: application/json\r\n";
+  req += "Content-Length: ";
+  req += std::to_string(body.size());
+  req += "\r\n\r\n";
+  req += body;
+  if (!send_all(req)) return fail();
+
+  SseParser sse;
+  char buf[8192];
+  while (!parser_.done()) {
+    const ssize_t r = ::recv(fd_, buf, sizeof(buf), 0);
+    if (r <= 0) {
+      if (r < 0 && errno == EINTR) continue;
+      return fail();
+    }
+    if (parser_.feed(std::string_view(buf, static_cast<std::size_t>(r))) !=
+        HttpError::Ok) {
+      return fail();
+    }
+    if (!parser_.headers_done()) continue;
+    for (std::string& ev : sse.feed(parser_.body_delta())) {
+      if (!on_event(ev)) return fail();  // caller-requested disconnect
+    }
+  }
+  // Flush any events completed by the final read.
+  for (std::string& ev : sse.feed(parser_.body_delta())) {
+    if (!on_event(ev)) return fail();
+  }
+  HttpResponse resp = parser_.response();
+  if (parser_.reset() != HttpError::Ok) return fail();
+  return resp;
+}
+
+}  // namespace llmfi::net

@@ -1,0 +1,54 @@
+#pragma once
+// Blocking HTTP/1.1 client connection for the load generator, the
+// loopback tests, and CI smoke runs. One instance = one TCP connection;
+// requests are issued sequentially over it (keep-alive), and SSE
+// responses stream their events through a callback as bytes arrive so
+// callers can timestamp tokens mid-download.
+
+#include <functional>
+#include <optional>
+#include <string>
+#include <string_view>
+
+#include "net/http.h"
+
+namespace llmfi::net {
+
+class HttpClient {
+ public:
+  HttpClient() = default;
+  ~HttpClient();
+  HttpClient(const HttpClient&) = delete;
+  HttpClient& operator=(const HttpClient&) = delete;
+
+  bool connect(const std::string& host, int port);
+  void close();
+  bool connected() const { return fd_ >= 0; }
+
+  // Sends one request and blocks until the full response is parsed.
+  // `content_type` may be empty for bodyless GETs. nullopt on
+  // transport or parse failure (the connection is closed then).
+  std::optional<HttpResponse> request(std::string_view method,
+                                      std::string_view target,
+                                      std::string_view content_type = {},
+                                      std::string_view body = {});
+
+  // POSTs `body` and streams the SSE response: `on_event` fires once
+  // per complete SSE data payload, in arrival order, while the response
+  // is still downloading. Returning false from the callback aborts the
+  // stream (the connection closes — the server sees a mid-stream
+  // disconnect), and post_sse returns nullopt. Otherwise returns the
+  // response with the full de-chunked body.
+  std::optional<HttpResponse> post_sse(
+      std::string_view target, std::string_view body,
+      const std::function<bool(const std::string&)>& on_event);
+
+ private:
+  bool send_all(std::string_view data);
+  std::optional<HttpResponse> fail();  // close + reset + nullopt
+
+  int fd_ = -1;
+  HttpResponseParser parser_;
+};
+
+}  // namespace llmfi::net

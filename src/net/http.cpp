@@ -1,0 +1,675 @@
+#include "net/http.h"
+
+#include <algorithm>
+#include <cctype>
+#include <cstdio>
+#include <cstdlib>
+
+namespace llmfi::net {
+
+namespace {
+
+char lower(char c) {
+  return static_cast<char>(std::tolower(static_cast<unsigned char>(c)));
+}
+
+std::string to_lower(std::string_view s) {
+  std::string out(s);
+  std::transform(out.begin(), out.end(), out.begin(),
+                 [](char c) { return lower(c); });
+  return out;
+}
+
+std::string_view trim(std::string_view s) {
+  while (!s.empty() && (s.front() == ' ' || s.front() == '\t')) {
+    s.remove_prefix(1);
+  }
+  while (!s.empty() && (s.back() == ' ' || s.back() == '\t')) {
+    s.remove_suffix(1);
+  }
+  return s;
+}
+
+// Pops one line (terminated by '\n', optional preceding '\r' stripped)
+// off the front of `buf`. Returns nullopt when no full line is buffered.
+std::optional<std::string> pop_line(std::string& buf) {
+  const auto nl = buf.find('\n');
+  if (nl == std::string::npos) return std::nullopt;
+  std::string line = buf.substr(0, nl);
+  if (!line.empty() && line.back() == '\r') line.pop_back();
+  buf.erase(0, nl + 1);
+  return line;
+}
+
+// Splits "Name: value" into the headers map (lower-cased name, trimmed
+// value). Returns false on a malformed header line.
+bool parse_header_line(const std::string& line,
+                       std::map<std::string, std::string>& headers) {
+  const auto colon = line.find(':');
+  if (colon == std::string::npos || colon == 0) return false;
+  std::string name = to_lower(trim(std::string_view(line).substr(0, colon)));
+  if (name.empty()) return false;
+  headers[std::move(name)] =
+      std::string(trim(std::string_view(line).substr(colon + 1)));
+  return true;
+}
+
+bool parse_size(std::string_view s, std::size_t& out, int base = 10) {
+  if (s.empty()) return false;
+  char* end = nullptr;
+  std::string tmp(s);
+  errno = 0;
+  const unsigned long long v = std::strtoull(tmp.c_str(), &end, base);
+  if (errno != 0 || end == tmp.c_str() || *end != '\0') return false;
+  out = static_cast<std::size_t>(v);
+  return true;
+}
+
+}  // namespace
+
+std::string_view status_text(int code) {
+  switch (code) {
+    case 200: return "OK";
+    case 204: return "No Content";
+    case 400: return "Bad Request";
+    case 404: return "Not Found";
+    case 405: return "Method Not Allowed";
+    case 411: return "Length Required";
+    case 413: return "Payload Too Large";
+    case 431: return "Request Header Fields Too Large";
+    case 500: return "Internal Server Error";
+    case 503: return "Service Unavailable";
+    default: return "Unknown";
+  }
+}
+
+bool iequals(std::string_view a, std::string_view b) {
+  if (a.size() != b.size()) return false;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    if (lower(a[i]) != lower(b[i])) return false;
+  }
+  return true;
+}
+
+// --- HttpRequest ---------------------------------------------------------
+
+std::string_view HttpRequest::header(std::string_view name) const {
+  const auto it = headers.find(to_lower(name));
+  return it == headers.end() ? std::string_view{}
+                             : std::string_view(it->second);
+}
+
+bool HttpRequest::keep_alive() const {
+  const auto conn = header("connection");
+  if (iequals(conn, "close")) return false;
+  if (version == "HTTP/1.0") return iequals(conn, "keep-alive");
+  return true;  // HTTP/1.1 default
+}
+
+// --- HttpRequestParser ---------------------------------------------------
+
+HttpError HttpRequestParser::feed(std::string_view data) {
+  if (state_ == State::Error) return HttpError::BadRequest;
+  buf_.append(data);
+  return parse_buffered();
+}
+
+HttpError HttpRequestParser::reset() {
+  state_ = State::RequestLine;
+  header_bytes_ = 0;
+  content_length_ = 0;
+  req_ = HttpRequest{};
+  return parse_buffered();  // pipelined bytes already buffered
+}
+
+HttpError HttpRequestParser::parse_buffered() {
+  for (;;) {
+    switch (state_) {
+      case State::RequestLine: {
+        if (header_bytes_ + buf_.size() > limits_.max_header_bytes &&
+            buf_.find('\n') == std::string::npos) {
+          return fail(HttpError::HeadersTooLarge);
+        }
+        auto line = pop_line(buf_);
+        if (!line) return HttpError::Ok;
+        header_bytes_ += line->size() + 2;
+        if (header_bytes_ > limits_.max_header_bytes) {
+          return fail(HttpError::HeadersTooLarge);
+        }
+        if (line->empty()) continue;  // tolerate leading blank line(s)
+        const auto sp1 = line->find(' ');
+        const auto sp2 = line->rfind(' ');
+        if (sp1 == std::string::npos || sp2 == sp1) {
+          return fail(HttpError::BadRequest);
+        }
+        req_.method = line->substr(0, sp1);
+        req_.target = line->substr(sp1 + 1, sp2 - sp1 - 1);
+        req_.version = line->substr(sp2 + 1);
+        if (req_.method != "GET" && req_.method != "POST") {
+          return fail(HttpError::BadMethod);
+        }
+        if (req_.target.empty() || req_.target.front() != '/' ||
+            req_.version.rfind("HTTP/", 0) != 0) {
+          return fail(HttpError::BadRequest);
+        }
+        state_ = State::Headers;
+        break;
+      }
+      case State::Headers: {
+        if (header_bytes_ + buf_.size() > limits_.max_header_bytes &&
+            buf_.find('\n') == std::string::npos) {
+          return fail(HttpError::HeadersTooLarge);
+        }
+        auto line = pop_line(buf_);
+        if (!line) return HttpError::Ok;
+        header_bytes_ += line->size() + 2;
+        if (header_bytes_ > limits_.max_header_bytes) {
+          return fail(HttpError::HeadersTooLarge);
+        }
+        if (!line->empty()) {
+          if (!parse_header_line(*line, req_.headers)) {
+            return fail(HttpError::BadRequest);
+          }
+          break;
+        }
+        // Blank line: headers complete. Resolve the body length.
+        const auto cl = req_.header("content-length");
+        if (cl.empty()) {
+          if (req_.method == "POST") return fail(HttpError::LengthRequired);
+          content_length_ = 0;
+        } else if (!parse_size(cl, content_length_)) {
+          return fail(HttpError::BadRequest);
+        }
+        if (content_length_ > limits_.max_body_bytes) {
+          return fail(HttpError::BodyTooLarge);
+        }
+        state_ = content_length_ == 0 ? State::Done : State::Body;
+        break;
+      }
+      case State::Body: {
+        if (buf_.size() < content_length_) return HttpError::Ok;
+        req_.body = buf_.substr(0, content_length_);
+        buf_.erase(0, content_length_);
+        state_ = State::Done;
+        break;
+      }
+      case State::Done:
+        return HttpError::Ok;
+      case State::Error:
+        return HttpError::BadRequest;
+    }
+  }
+}
+
+// --- HttpResponseParser --------------------------------------------------
+
+std::string_view HttpResponse::header(std::string_view name) const {
+  const auto it = headers.find(to_lower(name));
+  return it == headers.end() ? std::string_view{}
+                             : std::string_view(it->second);
+}
+
+HttpError HttpResponseParser::feed(std::string_view data) {
+  if (state_ == State::Error) return HttpError::BadRequest;
+  buf_.append(data);
+  return parse_buffered();
+}
+
+HttpError HttpResponseParser::reset() {
+  state_ = State::StatusLine;
+  chunk_phase_ = ChunkPhase::Size;
+  chunk_remaining_ = 0;
+  header_bytes_ = 0;
+  content_length_ = 0;
+  until_close_ = false;
+  delta_mark_ = 0;
+  resp_ = HttpResponse{};
+  return parse_buffered();
+}
+
+HttpError HttpResponseParser::parse_buffered() {
+  for (;;) {
+    switch (state_) {
+      case State::StatusLine: {
+        auto line = pop_line(buf_);
+        if (!line) return HttpError::Ok;
+        header_bytes_ += line->size() + 2;
+        if (line->empty()) continue;
+        const auto sp1 = line->find(' ');
+        if (sp1 == std::string::npos || line->rfind("HTTP/", 0) != 0) {
+          return fail(HttpError::BadRequest);
+        }
+        resp_.version = line->substr(0, sp1);
+        resp_.status = std::atoi(line->c_str() + sp1 + 1);
+        if (resp_.status < 100 || resp_.status > 599) {
+          return fail(HttpError::BadRequest);
+        }
+        state_ = State::Headers;
+        break;
+      }
+      case State::Headers: {
+        auto line = pop_line(buf_);
+        if (!line) {
+          return header_bytes_ + buf_.size() > limits_.max_header_bytes
+                     ? fail(HttpError::HeadersTooLarge)
+                     : HttpError::Ok;
+        }
+        header_bytes_ += line->size() + 2;
+        if (header_bytes_ > limits_.max_header_bytes) {
+          return fail(HttpError::HeadersTooLarge);
+        }
+        if (!line->empty()) {
+          if (!parse_header_line(*line, resp_.headers)) {
+            return fail(HttpError::BadRequest);
+          }
+          break;
+        }
+        if (iequals(resp_.header("transfer-encoding"), "chunked")) {
+          state_ = State::Chunked;
+          chunk_phase_ = ChunkPhase::Size;
+        } else if (const auto cl = resp_.header("content-length");
+                   !cl.empty()) {
+          if (!parse_size(cl, content_length_)) {
+            return fail(HttpError::BadRequest);
+          }
+          if (content_length_ > limits_.max_body_bytes) {
+            return fail(HttpError::BodyTooLarge);
+          }
+          state_ = content_length_ == 0 ? State::Done : State::Body;
+        } else {
+          until_close_ = true;  // body runs to connection close
+          state_ = State::Body;
+        }
+        break;
+      }
+      case State::Body: {
+        if (until_close_) {
+          resp_.body.append(buf_);
+          buf_.clear();
+          if (resp_.body.size() > limits_.max_body_bytes) {
+            return fail(HttpError::BodyTooLarge);
+          }
+          return HttpError::Ok;  // finalized by feed_eof semantics upstream
+        }
+        const std::size_t need = content_length_ - resp_.body.size();
+        const std::size_t take = std::min(need, buf_.size());
+        resp_.body.append(buf_, 0, take);
+        buf_.erase(0, take);
+        if (resp_.body.size() == content_length_) state_ = State::Done;
+        if (state_ != State::Done) return HttpError::Ok;
+        break;
+      }
+      case State::Chunked: {
+        switch (chunk_phase_) {
+          case ChunkPhase::Size: {
+            auto line = pop_line(buf_);
+            if (!line) return HttpError::Ok;
+            // Drop chunk extensions (";...") per RFC 7230 §4.1.
+            const auto semi = line->find(';');
+            if (semi != std::string::npos) line->erase(semi);
+            std::size_t sz = 0;
+            if (!parse_size(trim(*line), sz, 16)) {
+              return fail(HttpError::BadRequest);
+            }
+            chunk_remaining_ = sz;
+            chunk_phase_ = sz == 0 ? ChunkPhase::Trailer : ChunkPhase::Data;
+            break;
+          }
+          case ChunkPhase::Data: {
+            const std::size_t take = std::min(chunk_remaining_, buf_.size());
+            resp_.body.append(buf_, 0, take);
+            buf_.erase(0, take);
+            chunk_remaining_ -= take;
+            if (resp_.body.size() > limits_.max_body_bytes) {
+              return fail(HttpError::BodyTooLarge);
+            }
+            if (chunk_remaining_ > 0) return HttpError::Ok;
+            chunk_phase_ = ChunkPhase::DataCrlf;
+            break;
+          }
+          case ChunkPhase::DataCrlf: {
+            auto line = pop_line(buf_);
+            if (!line) return HttpError::Ok;
+            if (!line->empty()) return fail(HttpError::BadRequest);
+            chunk_phase_ = ChunkPhase::Size;
+            break;
+          }
+          case ChunkPhase::Trailer: {
+            auto line = pop_line(buf_);
+            if (!line) return HttpError::Ok;
+            if (line->empty()) state_ = State::Done;
+            break;
+          }
+        }
+        break;
+      }
+      case State::Done:
+        return HttpError::Ok;
+      case State::Error:
+        return HttpError::BadRequest;
+    }
+  }
+}
+
+// --- serialization -------------------------------------------------------
+
+std::string make_response(int status, std::string_view content_type,
+                          std::string_view body, bool keep_alive) {
+  std::string out;
+  out.reserve(128 + body.size());
+  out += "HTTP/1.1 ";
+  out += std::to_string(status);
+  out += ' ';
+  out += status_text(status);
+  out += "\r\n";
+  if (!content_type.empty()) {
+    out += "Content-Type: ";
+    out += content_type;
+    out += "\r\n";
+  }
+  out += "Content-Length: ";
+  out += std::to_string(body.size());
+  out += "\r\nConnection: ";
+  out += keep_alive ? "keep-alive" : "close";
+  out += "\r\n\r\n";
+  out += body;
+  return out;
+}
+
+std::string make_stream_headers(int status, std::string_view content_type,
+                                bool keep_alive) {
+  std::string out;
+  out += "HTTP/1.1 ";
+  out += std::to_string(status);
+  out += ' ';
+  out += status_text(status);
+  out += "\r\nContent-Type: ";
+  out += content_type;
+  out += "\r\nCache-Control: no-cache\r\nTransfer-Encoding: chunked\r\n";
+  out += "Connection: ";
+  out += keep_alive ? "keep-alive" : "close";
+  out += "\r\n\r\n";
+  return out;
+}
+
+std::string chunk(std::string_view payload) {
+  char size_line[24];
+  std::snprintf(size_line, sizeof(size_line), "%zx\r\n", payload.size());
+  std::string out(size_line);
+  out += payload;
+  out += "\r\n";
+  return out;
+}
+
+std::string_view last_chunk() { return "0\r\n\r\n"; }
+
+// --- SSE -----------------------------------------------------------------
+
+std::string sse_event(std::string_view payload) {
+  std::string out;
+  out.reserve(payload.size() + 16);
+  std::size_t start = 0;
+  for (;;) {
+    const auto nl = payload.find('\n', start);
+    out += "data: ";
+    out += payload.substr(start, nl == std::string_view::npos
+                                     ? std::string_view::npos
+                                     : nl - start);
+    out += '\n';
+    if (nl == std::string_view::npos) break;
+    start = nl + 1;
+  }
+  out += '\n';
+  return out;
+}
+
+std::vector<std::string> SseParser::feed(std::string_view data) {
+  buf_.append(data);
+  std::vector<std::string> out;
+  for (;;) {
+    const auto nl = buf_.find('\n');
+    if (nl == std::string::npos) break;
+    std::string line = buf_.substr(0, nl);
+    buf_.erase(0, nl + 1);
+    if (!line.empty() && line.back() == '\r') line.pop_back();
+    if (line.empty()) {
+      // Event boundary: emit accumulated data lines, if any.
+      if (!event_.empty()) {
+        out.push_back(std::move(event_));
+        event_.clear();
+        have_data_ = false;
+      } else if (have_data_) {
+        out.emplace_back();  // explicit empty "data:" event
+        have_data_ = false;
+      }
+      continue;
+    }
+    if (line.rfind("data:", 0) == 0) {
+      std::string_view v(line);
+      v.remove_prefix(5);
+      if (!v.empty() && v.front() == ' ') v.remove_prefix(1);
+      if (have_data_) event_ += '\n';
+      event_.append(v);
+      have_data_ = true;
+    }
+    // Other fields (event:, id:, retry:, comments) are ignored.
+  }
+  return out;
+}
+
+// --- minimal JSON --------------------------------------------------------
+
+namespace {
+
+std::size_t skip_ws(std::string_view s, std::size_t i) {
+  while (i < s.size() && (s[i] == ' ' || s[i] == '\t' || s[i] == '\n' ||
+                          s[i] == '\r')) {
+    ++i;
+  }
+  return i;
+}
+
+// Parses the JSON string starting at s[i] == '"'. Returns the decoded
+// text and the index one past the closing quote.
+std::optional<std::pair<std::string, std::size_t>> parse_json_string(
+    std::string_view s, std::size_t i) {
+  if (i >= s.size() || s[i] != '"') return std::nullopt;
+  std::string out;
+  ++i;
+  while (i < s.size()) {
+    const char c = s[i];
+    if (c == '"') return std::make_pair(std::move(out), i + 1);
+    if (c != '\\') {
+      out += c;
+      ++i;
+      continue;
+    }
+    if (i + 1 >= s.size()) return std::nullopt;
+    const char e = s[i + 1];
+    i += 2;
+    switch (e) {
+      case '"': out += '"'; break;
+      case '\\': out += '\\'; break;
+      case '/': out += '/'; break;
+      case 'b': out += '\b'; break;
+      case 'f': out += '\f'; break;
+      case 'n': out += '\n'; break;
+      case 'r': out += '\r'; break;
+      case 't': out += '\t'; break;
+      case 'u': {
+        if (i + 4 > s.size()) return std::nullopt;
+        unsigned cp = 0;
+        for (int k = 0; k < 4; ++k) {
+          const char h = s[i + static_cast<std::size_t>(k)];
+          cp <<= 4;
+          if (h >= '0' && h <= '9') cp |= static_cast<unsigned>(h - '0');
+          else if (h >= 'a' && h <= 'f') cp |= static_cast<unsigned>(h - 'a' + 10);
+          else if (h >= 'A' && h <= 'F') cp |= static_cast<unsigned>(h - 'A' + 10);
+          else return std::nullopt;
+        }
+        i += 4;
+        // BMP-only UTF-8 encoding; surrogates come out as-is (the
+        // word-level vocab never produces them).
+        if (cp < 0x80) {
+          out += static_cast<char>(cp);
+        } else if (cp < 0x800) {
+          out += static_cast<char>(0xC0 | (cp >> 6));
+          out += static_cast<char>(0x80 | (cp & 0x3F));
+        } else {
+          out += static_cast<char>(0xE0 | (cp >> 12));
+          out += static_cast<char>(0x80 | ((cp >> 6) & 0x3F));
+          out += static_cast<char>(0x80 | (cp & 0x3F));
+        }
+        break;
+      }
+      default:
+        return std::nullopt;
+    }
+  }
+  return std::nullopt;
+}
+
+// Index one past the value starting at s[i] (string / number / literal /
+// object / array), or nullopt on malformed input.
+std::optional<std::size_t> value_end(std::string_view s, std::size_t i) {
+  if (i >= s.size()) return std::nullopt;
+  const char c = s[i];
+  if (c == '"') {
+    const auto str = parse_json_string(s, i);
+    if (!str) return std::nullopt;
+    return str->second;
+  }
+  if (c == '{' || c == '[') {
+    int depth = 0;
+    bool in_str = false;
+    while (i < s.size()) {
+      const char d = s[i];
+      if (in_str) {
+        if (d == '\\') ++i;
+        else if (d == '"') in_str = false;
+      } else if (d == '"') {
+        in_str = true;
+      } else if (d == '{' || d == '[') {
+        ++depth;
+      } else if (d == '}' || d == ']') {
+        --depth;
+        if (depth == 0) return i + 1;
+      }
+      ++i;
+    }
+    return std::nullopt;
+  }
+  // number / true / false / null: scan to the next delimiter
+  std::size_t j = i;
+  while (j < s.size() && s[j] != ',' && s[j] != '}' && s[j] != ']' &&
+         s[j] != ' ' && s[j] != '\t' && s[j] != '\n' && s[j] != '\r') {
+    ++j;
+  }
+  return j == i ? std::nullopt : std::optional<std::size_t>(j);
+}
+
+// Raw text of the value for top-level `key` in the object `json`.
+std::optional<std::string_view> find_raw(std::string_view json,
+                                         std::string_view key) {
+  std::size_t i = skip_ws(json, 0);
+  if (i >= json.size() || json[i] != '{') return std::nullopt;
+  i = skip_ws(json, i + 1);
+  if (i < json.size() && json[i] == '}') return std::nullopt;
+  for (;;) {
+    const auto k = parse_json_string(json, i);
+    if (!k) return std::nullopt;
+    i = skip_ws(json, k->second);
+    if (i >= json.size() || json[i] != ':') return std::nullopt;
+    i = skip_ws(json, i + 1);
+    const auto ve = value_end(json, i);
+    if (!ve) return std::nullopt;
+    if (k->first == key) return json.substr(i, *ve - i);
+    i = skip_ws(json, *ve);
+    if (i >= json.size()) return std::nullopt;
+    if (json[i] == '}') return std::nullopt;
+    if (json[i] != ',') return std::nullopt;
+    i = skip_ws(json, i + 1);
+  }
+}
+
+}  // namespace
+
+std::optional<std::string> json_string_field(std::string_view json,
+                                             std::string_view key) {
+  const auto raw = find_raw(json, key);
+  if (!raw || raw->empty() || raw->front() != '"') return std::nullopt;
+  const auto str = parse_json_string(*raw, 0);
+  if (!str) return std::nullopt;
+  return str->first;
+}
+
+std::optional<std::int64_t> json_int_field(std::string_view json,
+                                           std::string_view key) {
+  const auto raw = find_raw(json, key);
+  if (!raw) return std::nullopt;
+  std::string tmp(*raw);
+  char* end = nullptr;
+  errno = 0;
+  const long long v = std::strtoll(tmp.c_str(), &end, 10);
+  if (errno != 0 || end == tmp.c_str() || *end != '\0') return std::nullopt;
+  return static_cast<std::int64_t>(v);
+}
+
+std::optional<bool> json_bool_field(std::string_view json,
+                                    std::string_view key) {
+  const auto raw = find_raw(json, key);
+  if (!raw) return std::nullopt;
+  if (*raw == "true") return true;
+  if (*raw == "false") return false;
+  return std::nullopt;
+}
+
+std::optional<std::vector<std::int64_t>> json_int_array_field(
+    std::string_view json, std::string_view key) {
+  const auto raw = find_raw(json, key);
+  if (!raw || raw->empty() || raw->front() != '[') return std::nullopt;
+  std::vector<std::int64_t> out;
+  std::string_view s = *raw;
+  std::size_t i = skip_ws(s, 1);
+  if (i < s.size() && s[i] == ']') return out;
+  for (;;) {
+    std::size_t j = i;
+    while (j < s.size() && (s[j] == '-' || (s[j] >= '0' && s[j] <= '9'))) {
+      ++j;
+    }
+    if (j == i) return std::nullopt;
+    std::string tmp(s.substr(i, j - i));
+    out.push_back(std::strtoll(tmp.c_str(), nullptr, 10));
+    i = skip_ws(s, j);
+    if (i >= s.size()) return std::nullopt;
+    if (s[i] == ']') return out;
+    if (s[i] != ',') return std::nullopt;
+    i = skip_ws(s, i + 1);
+  }
+}
+
+std::string json_escape(std::string_view s) {
+  std::string out;
+  out.reserve(s.size() + 8);
+  for (const char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char hex[8];
+          std::snprintf(hex, sizeof(hex), "\\u%04x",
+                        static_cast<unsigned>(static_cast<unsigned char>(c)));
+          out += hex;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+}  // namespace llmfi::net

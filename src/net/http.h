@@ -1,0 +1,215 @@
+#pragma once
+// Dependency-free HTTP/1.1 plumbing for the serving front-end
+// (DESIGN.md §15): an incremental request parser (the server side), an
+// incremental response parser with chunked-transfer decoding (the
+// client / loadgen side), response serialization, SSE event framing,
+// and the minimal JSON field extraction the completion endpoint needs.
+//
+// Both parsers are push-style state machines: feed() consumes bytes in
+// any fragmentation — one byte at a time is a tested case — and
+// `done()` flips when one full message has been assembled. Leftover
+// bytes after a message (pipelined requests, the next response on a
+// kept-alive connection) stay buffered; reset() re-arms the machine on
+// the residue. Hard limits (header bytes, body bytes) turn pathological
+// inputs into typed errors instead of unbounded buffering.
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace llmfi::net {
+
+// Parse outcome of one feed() call. Ok means "made progress, need more
+// bytes or done() is now true"; everything else is terminal for the
+// connection (the server maps these onto 4xx responses).
+enum class HttpError {
+  Ok,
+  BadRequest,       // malformed request line / header / chunk framing
+  BadMethod,        // method token is not GET or POST
+  HeadersTooLarge,  // request line + headers exceed max_header_bytes
+  BodyTooLarge,     // Content-Length (or accumulated body) exceeds limit
+  LengthRequired,   // POST without a Content-Length header
+};
+
+// HTTP status line text for the subset of codes the server emits.
+std::string_view status_text(int code);
+
+// Case-insensitive ASCII string compare (header field names).
+bool iequals(std::string_view a, std::string_view b);
+
+struct HttpLimits {
+  std::size_t max_header_bytes = 16 * 1024;
+  std::size_t max_body_bytes = 1 << 20;
+};
+
+// --- server side: requests ----------------------------------------------
+
+struct HttpRequest {
+  std::string method;   // "GET" / "POST"
+  std::string target;   // origin-form, e.g. "/v1/completions"
+  std::string version;  // "HTTP/1.1"
+  // Lower-cased field name -> value (last occurrence wins; the server
+  // never needs list-valued headers).
+  std::map<std::string, std::string> headers;
+  std::string body;
+
+  std::string_view header(std::string_view name) const;
+  bool keep_alive() const;  // Connection / HTTP-version default
+};
+
+class HttpRequestParser {
+ public:
+  explicit HttpRequestParser(HttpLimits limits = {}) : limits_(limits) {}
+
+  // Consumes `data`. Returns Ok while the message is incomplete or just
+  // completed; any other value is a protocol error and the parser stays
+  // in the error state until reset().
+  HttpError feed(std::string_view data);
+
+  bool done() const { return state_ == State::Done; }
+  const HttpRequest& request() const { return req_; }
+
+  // Re-arms for the next message on the same connection, preserving any
+  // bytes fed beyond the previous message (HTTP pipelining): those are
+  // re-parsed immediately, so done() may be true again on return.
+  HttpError reset();
+
+ private:
+  enum class State { RequestLine, Headers, Body, Done, Error };
+
+  HttpError parse_buffered();
+  HttpError fail(HttpError e) {
+    state_ = State::Error;
+    return e;
+  }
+
+  HttpLimits limits_;
+  State state_ = State::RequestLine;
+  std::string buf_;          // unconsumed input
+  std::size_t header_bytes_ = 0;
+  std::size_t content_length_ = 0;
+  HttpRequest req_;
+};
+
+// --- client side: responses ---------------------------------------------
+
+struct HttpResponse {
+  int status = 0;
+  std::string version;
+  std::map<std::string, std::string> headers;  // lower-cased names
+  std::string body;  // de-chunked when Transfer-Encoding: chunked
+
+  std::string_view header(std::string_view name) const;
+};
+
+// Incremental response parser. For streaming (SSE) responses the caller
+// polls body_delta(): bytes appended to `body` since the last poll, so
+// a loadgen session can timestamp tokens as they arrive rather than at
+// message end.
+class HttpResponseParser {
+ public:
+  explicit HttpResponseParser(HttpLimits limits = {}) : limits_(limits) {}
+
+  HttpError feed(std::string_view data);
+  bool done() const { return state_ == State::Done; }
+  // True once the status line + headers have been parsed (body may
+  // still be streaming).
+  bool headers_done() const {
+    return state_ == State::Body || state_ == State::Chunked ||
+           state_ == State::Done;
+  }
+  const HttpResponse& response() const { return resp_; }
+
+  // Body bytes appended since the previous body_delta() call.
+  std::string_view body_delta() {
+    std::string_view d(resp_.body);
+    d.remove_prefix(delta_mark_);
+    delta_mark_ = resp_.body.size();
+    return d;
+  }
+
+  HttpError reset();  // next response on the same connection
+
+ private:
+  enum class State { StatusLine, Headers, Body, Chunked, Done, Error };
+  enum class ChunkPhase { Size, Data, DataCrlf, Trailer };
+
+  HttpError parse_buffered();
+  HttpError fail(HttpError e) {
+    state_ = State::Error;
+    return e;
+  }
+
+  HttpLimits limits_;
+  State state_ = State::StatusLine;
+  ChunkPhase chunk_phase_ = ChunkPhase::Size;
+  std::size_t chunk_remaining_ = 0;
+  std::string buf_;
+  std::size_t header_bytes_ = 0;
+  std::size_t content_length_ = 0;
+  bool until_close_ = false;  // no length, no chunking: body ends at EOF
+  std::size_t delta_mark_ = 0;
+  HttpResponse resp_;
+};
+
+// --- serialization -------------------------------------------------------
+
+// Fixed-length response: status line, standard headers, Content-Length,
+// body. `content_type` may be empty for bodyless responses.
+std::string make_response(int status, std::string_view content_type,
+                          std::string_view body, bool keep_alive = true);
+
+// Header block opening a chunked streaming response (SSE): no
+// Content-Length; the body is emitted as chunks and closed by
+// last_chunk(). Includes no-cache headers per the SSE convention.
+std::string make_stream_headers(int status, std::string_view content_type,
+                                bool keep_alive = true);
+
+// One chunk of a chunked transfer body (hex size line + payload + CRLF).
+std::string chunk(std::string_view payload);
+// The terminating zero chunk.
+std::string_view last_chunk();
+
+// --- SSE -----------------------------------------------------------------
+
+// Frames one payload as a Server-Sent Event: "data: <payload>\n\n".
+// Multi-line payloads get one "data:" line each, per the SSE spec.
+std::string sse_event(std::string_view payload);
+
+// Incremental SSE stream splitter: feed body bytes, get back the data
+// payloads of every complete event (joined with '\n' for multi-line
+// data). Non-"data" fields (comments, event names) are ignored.
+class SseParser {
+ public:
+  // Returns the payloads completed by this feed, in order.
+  std::vector<std::string> feed(std::string_view data);
+
+ private:
+  std::string buf_;     // partial line carried across feeds
+  std::string event_;   // accumulated data lines of the open event
+  bool have_data_ = false;
+};
+
+// --- minimal JSON field extraction --------------------------------------
+// Tolerant single-level field lookup over a JSON object: enough for the
+// completion endpoint's request body ({"prompt": ..., "prompt_ids":
+// [...], "max_new_tokens": N}) and the loadgen's event payloads, not a
+// general parser. Nested objects are not searched; a key appearing only
+// inside a nested object or array is not found.
+
+std::optional<std::string> json_string_field(std::string_view json,
+                                             std::string_view key);
+std::optional<std::int64_t> json_int_field(std::string_view json,
+                                           std::string_view key);
+std::optional<bool> json_bool_field(std::string_view json,
+                                    std::string_view key);
+std::optional<std::vector<std::int64_t>> json_int_array_field(
+    std::string_view json, std::string_view key);
+
+// Escapes a string for embedding inside a JSON string literal.
+std::string json_escape(std::string_view s);
+
+}  // namespace llmfi::net

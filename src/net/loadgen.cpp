@@ -1,0 +1,243 @@
+#include "net/loadgen.h"
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cmath>
+#include <mutex>
+#include <random>
+#include <thread>
+
+#include "net/client.h"
+
+namespace llmfi::net {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double ms_between(Clock::time_point a, Clock::time_point b) {
+  return std::chrono::duration<double, std::milli>(b - a).count();
+}
+
+// Exact nearest-rank percentile over a sample set (sorts in place).
+double percentile(std::vector<double>& v, double q) {
+  if (v.empty()) return 0.0;
+  std::sort(v.begin(), v.end());
+  const auto rank = static_cast<std::size_t>(
+      std::ceil(q * static_cast<double>(v.size())));
+  return v[std::min(v.size() - 1, rank == 0 ? 0 : rank - 1)];
+}
+
+// Precomputed arrival offsets (seconds from arm start) for open-loop
+// modes; deterministic in the arm seed.
+std::vector<double> arrival_schedule(const LoadArmConfig& cfg) {
+  std::vector<double> at;
+  if (cfg.mode == ArrivalMode::Closed) return at;
+  at.reserve(static_cast<std::size_t>(cfg.requests));
+  std::mt19937_64 rng(cfg.seed);
+  std::exponential_distribution<double> exp(std::max(cfg.rate_hz, 1e-9));
+  double t = 0.0;
+  if (cfg.mode == ArrivalMode::Poisson) {
+    while (at.size() < static_cast<std::size_t>(cfg.requests)) {
+      t += exp(rng);
+      at.push_back(t);
+    }
+  } else {  // Bursty: Poisson while ON, silent OFF gaps between phases
+    double phase_end = cfg.on_sec;
+    while (at.size() < static_cast<std::size_t>(cfg.requests)) {
+      t += exp(rng);
+      if (t >= phase_end) {
+        t = phase_end + cfg.off_sec;  // jump the OFF gap
+        phase_end = t + cfg.on_sec;
+        continue;
+      }
+      at.push_back(t);
+    }
+  }
+  return at;
+}
+
+std::string completion_body(const LoadPrompt& p, int max_new) {
+  std::string body = "{\"prompt_ids\":[";
+  for (std::size_t i = 0; i < p.ids.size(); ++i) {
+    if (i > 0) body += ',';
+    body += std::to_string(p.ids[i]);
+  }
+  body += "],\"max_new_tokens\":";
+  body += std::to_string(max_new);
+  body += "}";
+  return body;
+}
+
+struct Sample {
+  bool completed = false;
+  bool mismatch = false;
+  bool error = false;
+  int n_tokens = 0;
+  double ttft_ms = 0.0;
+  double e2e_ms = 0.0;
+  std::vector<double> gaps_ms;  // inter-token arrival gaps
+};
+
+}  // namespace
+
+std::string LoadArmResult::json() const {
+  std::string out = "{";
+  out += "\"name\":\"" + name + "\",\"mode\":\"" + mode + "\"";
+  char buf[256];
+  std::snprintf(buf, sizeof(buf),
+                ",\"requests\":%d,\"completed\":%d,\"errors\":%d,"
+                "\"mismatches\":%d,\"wall_sec\":%.3f,\"tokens\":%llu",
+                requests, completed, errors, mismatches, wall_sec,
+                static_cast<unsigned long long>(tokens));
+  out += buf;
+  std::snprintf(buf, sizeof(buf),
+                ",\"ttft_ms\":{\"p50\":%.3f,\"p95\":%.3f,\"p99\":%.3f}",
+                ttft_ms_p50, ttft_ms_p95, ttft_ms_p99);
+  out += buf;
+  std::snprintf(buf, sizeof(buf),
+                ",\"token_gap_ms\":{\"p50\":%.3f,\"p95\":%.3f,\"p99\":%.3f}",
+                token_gap_ms_p50, token_gap_ms_p95, token_gap_ms_p99);
+  out += buf;
+  std::snprintf(buf, sizeof(buf),
+                ",\"e2e_ms\":{\"p50\":%.3f,\"p95\":%.3f,\"p99\":%.3f}",
+                e2e_ms_p50, e2e_ms_p95, e2e_ms_p99);
+  out += buf;
+  std::snprintf(buf, sizeof(buf),
+                ",\"slo_attainment\":%.4f,\"goodput_rps\":%.3f,"
+                "\"throughput_tok_s\":%.3f}",
+                slo_attainment, goodput_rps, throughput_tok_s);
+  out += buf;
+  return out;
+}
+
+LoadArmResult run_load_arm(const std::string& host, int port,
+                           const std::vector<LoadPrompt>& prompts,
+                           const LoadArmConfig& cfg) {
+  const std::vector<double> arrivals = arrival_schedule(cfg);
+  std::vector<Sample> samples(static_cast<std::size_t>(cfg.requests));
+  std::atomic<int> next{0};
+  const Clock::time_point t0 = Clock::now();
+
+  auto worker = [&] {
+    HttpClient client;
+    for (;;) {
+      const int i = next.fetch_add(1);
+      if (i >= cfg.requests) break;
+      Sample& s = samples[static_cast<std::size_t>(i)];
+      const LoadPrompt& p =
+          prompts[static_cast<std::size_t>(i) % prompts.size()];
+
+      // Open loop: latency is measured from the scheduled arrival, and
+      // the worker waits out any schedule slack before sending.
+      Clock::time_point base = t0;
+      if (cfg.mode != ArrivalMode::Closed) {
+        base = t0 + std::chrono::duration_cast<Clock::duration>(
+                        std::chrono::duration<double>(
+                            arrivals[static_cast<std::size_t>(i)]));
+        std::this_thread::sleep_until(base);
+      }
+      if (!client.connected() && !client.connect(host, port)) {
+        s.error = true;
+        continue;
+      }
+      if (cfg.mode == ArrivalMode::Closed) base = Clock::now();
+
+      std::vector<tok::TokenId> got;
+      Clock::time_point prev = base;
+      bool first = true;
+      bool saw_done = false;
+      bool saw_cancelled = false;
+      const auto on_event = [&](const std::string& ev) {
+        if (ev == "[DONE]") return true;
+        if (json_bool_field(ev, "done").value_or(false)) {
+          saw_done = true;
+          saw_cancelled = json_bool_field(ev, "cancelled").value_or(false);
+          return true;
+        }
+        if (const auto tid = json_int_field(ev, "token_id")) {
+          const Clock::time_point now = Clock::now();
+          if (first) {
+            s.ttft_ms = ms_between(base, now);
+            first = false;
+          } else {
+            s.gaps_ms.push_back(ms_between(prev, now));
+          }
+          prev = now;
+          got.push_back(static_cast<tok::TokenId>(*tid));
+        }
+        return true;
+      };
+      const auto resp = client.post_sse(
+          "/v1/completions", completion_body(p, cfg.max_new_tokens),
+          on_event);
+      const Clock::time_point end = Clock::now();
+      if (!resp || resp->status != 200 || !saw_done || saw_cancelled) {
+        s.error = true;
+        client.close();
+        continue;
+      }
+      s.completed = true;
+      s.n_tokens = static_cast<int>(got.size());
+      s.e2e_ms = ms_between(base, end);
+      if (cfg.verify && !p.expect.empty()) s.mismatch = (got != p.expect);
+    }
+  };
+
+  std::vector<std::thread> threads;
+  threads.reserve(static_cast<std::size_t>(cfg.sessions));
+  for (int i = 0; i < cfg.sessions; ++i) threads.emplace_back(worker);
+  for (auto& t : threads) t.join();
+  const double wall =
+      std::chrono::duration<double>(Clock::now() - t0).count();
+
+  LoadArmResult r;
+  r.name = cfg.name;
+  r.mode = cfg.mode == ArrivalMode::Closed
+               ? "closed"
+               : (cfg.mode == ArrivalMode::Poisson ? "poisson" : "bursty");
+  r.requests = cfg.requests;
+  r.wall_sec = wall;
+  std::vector<double> ttfts, gaps, e2es;
+  int slo_met = 0;
+  for (const Sample& s : samples) {
+    if (s.error) ++r.errors;
+    if (!s.completed) continue;
+    ++r.completed;
+    if (s.mismatch) ++r.mismatches;
+    r.tokens += static_cast<std::uint64_t>(s.n_tokens);
+    ttfts.push_back(s.ttft_ms);
+    e2es.push_back(s.e2e_ms);
+    double gap_sum = 0.0;
+    for (const double g : s.gaps_ms) {
+      gaps.push_back(g);
+      gap_sum += g;
+    }
+    const double mean_gap =
+        s.gaps_ms.empty() ? 0.0
+                          : gap_sum / static_cast<double>(s.gaps_ms.size());
+    if (s.ttft_ms <= cfg.slo_ttft_ms && mean_gap <= cfg.slo_token_ms) {
+      ++slo_met;
+    }
+  }
+  r.ttft_ms_p50 = percentile(ttfts, 0.50);
+  r.ttft_ms_p95 = percentile(ttfts, 0.95);
+  r.ttft_ms_p99 = percentile(ttfts, 0.99);
+  r.token_gap_ms_p50 = percentile(gaps, 0.50);
+  r.token_gap_ms_p95 = percentile(gaps, 0.95);
+  r.token_gap_ms_p99 = percentile(gaps, 0.99);
+  r.e2e_ms_p50 = percentile(e2es, 0.50);
+  r.e2e_ms_p95 = percentile(e2es, 0.95);
+  r.e2e_ms_p99 = percentile(e2es, 0.99);
+  r.slo_attainment =
+      r.completed > 0
+          ? static_cast<double>(slo_met) / static_cast<double>(r.completed)
+          : 0.0;
+  r.goodput_rps = wall > 0.0 ? static_cast<double>(slo_met) / wall : 0.0;
+  r.throughput_tok_s =
+      wall > 0.0 ? static_cast<double>(r.tokens) / wall : 0.0;
+  return r;
+}
+
+}  // namespace llmfi::net

@@ -1,0 +1,77 @@
+#pragma once
+// Closed- and open-loop load generator over the HTTP/SSE client
+// (DESIGN.md §15): N concurrent sessions drive /v1/completions on a
+// running server, timestamp every streamed token at arrival, verify
+// token identity against a caller-supplied oracle, and reduce the
+// per-request samples to exact (order-statistic) tail percentiles plus
+// SLO attainment and goodput.
+//
+// Open-loop arms measure latency from each request's *scheduled*
+// arrival time, not its send time, so a stalled server inflates the
+// tail instead of silently thinning the arrival process (the
+// coordinated-omission trap). Arrival schedules are precomputed from
+// the arm's seed, so an arm is reproducible load-shape-wise even
+// though wall-clock latencies vary run to run.
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "tokenizer/vocab.h"
+
+namespace llmfi::net {
+
+struct LoadPrompt {
+  std::vector<tok::TokenId> ids;     // sent as prompt_ids
+  std::vector<tok::TokenId> expect;  // sequential-oracle tokens; empty =
+                                     // skip identity verification
+};
+
+enum class ArrivalMode {
+  Closed,   // each session fires its next request on completion
+  Poisson,  // open loop: exponential inter-arrivals at rate_hz
+  Bursty,   // open loop: ON/OFF phases, Poisson at rate_hz while ON
+};
+
+struct LoadArmConfig {
+  std::string name = "arm";
+  ArrivalMode mode = ArrivalMode::Closed;
+  int sessions = 8;       // concurrent connections (worker threads)
+  int requests = 64;      // total requests issued by the arm
+  double rate_hz = 32.0;  // open-loop mean arrival rate (while ON)
+  double on_sec = 0.5;    // bursty: ON phase length
+  double off_sec = 0.5;   // bursty: OFF gap length
+  int max_new_tokens = 16;
+  double slo_ttft_ms = 200.0;   // per-request TTFT SLO
+  double slo_token_ms = 100.0;  // per-request mean inter-token gap SLO
+  std::uint64_t seed = 1234;    // arrival schedule + prompt ordering
+  bool verify = true;           // compare streamed ids to the oracle
+};
+
+struct LoadArmResult {
+  std::string name;
+  std::string mode;
+  int requests = 0;
+  int completed = 0;   // streams that finished with a done event
+  int errors = 0;      // transport/parse failures
+  int mismatches = 0;  // requests whose tokens diverged from the oracle
+  double wall_sec = 0.0;
+  double ttft_ms_p50 = 0.0, ttft_ms_p95 = 0.0, ttft_ms_p99 = 0.0;
+  double token_gap_ms_p50 = 0.0, token_gap_ms_p95 = 0.0,
+         token_gap_ms_p99 = 0.0;
+  double e2e_ms_p50 = 0.0, e2e_ms_p95 = 0.0, e2e_ms_p99 = 0.0;
+  double slo_attainment = 0.0;  // fraction of completed meeting both SLOs
+  double goodput_rps = 0.0;     // SLO-met completions per wall second
+  double throughput_tok_s = 0.0;
+  std::uint64_t tokens = 0;
+
+  std::string json() const;  // one JSON object (BENCH_net.json arm entry)
+};
+
+// Runs one arm against host:port. Prompts are assigned round-robin by
+// request index. Blocks until every request resolved.
+LoadArmResult run_load_arm(const std::string& host, int port,
+                           const std::vector<LoadPrompt>& prompts,
+                           const LoadArmConfig& cfg);
+
+}  // namespace llmfi::net

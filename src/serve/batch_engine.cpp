@@ -60,7 +60,7 @@ bool BatchEngine::can_admit(const Request& req) const {
 }
 
 void BatchEngine::retire(Slot& slot, bool hit_max,
-                         std::vector<Completion>& done) {
+                         std::vector<Completion>& done, bool cancelled) {
   Completion c;
   c.id = slot.req.id;
   c.tokens = std::move(slot.tokens);
@@ -68,7 +68,12 @@ void BatchEngine::retire(Slot& slot, bool hit_max,
   c.skipped_passes = slot.skipped;
   c.hit_max_tokens = hit_max;
   c.nonfinite_logits = slot.nonfinite;
-  ++stats_.completed;
+  c.cancelled = cancelled;
+  if (cancelled) {
+    ++stats_.cancelled;
+  } else {
+    ++stats_.completed;
+  }
   stats_.generated_tokens += c.tokens.size();
   slot.active = false;
   --active_;
@@ -94,6 +99,10 @@ bool BatchEngine::accept_or_retire(Slot& slot, std::vector<Completion>& done) {
     return false;
   }
   slot.tokens.push_back(slot.next);
+  if (slot.req.on_token) {
+    slot.req.on_token(slot.req.id,
+                      static_cast<int>(slot.tokens.size()) - 1, slot.next);
+  }
   if (slot.step_idx + 1 == slot.req.max_new_tokens) {
     retire(slot, /*hit_max=*/true, done);
     return false;
@@ -189,6 +198,16 @@ void BatchEngine::admit(Request req, std::vector<Completion>& done) {
     }
   }
   accept_or_retire(*slot, done);
+}
+
+bool BatchEngine::cancel(std::uint64_t id, std::vector<Completion>& done) {
+  for (auto& s : slots_) {
+    if (s.active && s.req.id == id) {
+      retire(s, /*hit_max=*/false, done, /*cancelled=*/true);
+      return true;
+    }
+  }
+  return false;
 }
 
 void BatchEngine::step(std::vector<Completion>& done) {

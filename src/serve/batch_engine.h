@@ -27,6 +27,9 @@ struct Completion {
   int skipped_passes = 0;            // seeded via prefix-fork admission
   bool hit_max_tokens = false;
   bool nonfinite_logits = false;
+  // Retired via cancel() (client disconnect, shutdown) rather than
+  // EOS / budget: `tokens` holds whatever was decoded before the cut.
+  bool cancelled = false;
 };
 
 struct Request {
@@ -47,8 +50,15 @@ struct Request {
   // shared one-time warning. Skipped passes count in Completion::passes.
   const gen::PrefixSnapshot* resume = nullptr;
   int start_pass = 0;
+  // Streaming callback, fired once per *newly decoded* accepted token
+  // (index counts from 0) — the serve front-end turns these into SSE
+  // events. Tokens seeded by a prefix-fork admission replay baseline
+  // output and do not fire; live serving never forks, so a network
+  // client sees every token. Observation-only: firing order and token
+  // values are identical whether or not the callback is set.
+  std::function<void(std::uint64_t id, int index, tok::TokenId tok)> on_token;
   // Invoked exactly once, when the request retires (from admit() if it
-  // completes immediately, else from step()).
+  // completes immediately, else from step() / cancel()).
   std::function<void(const Completion&)> on_done;
   // Steady-clock enqueue stamp (µs), set by Scheduler::submit / source
   // pulls only while obs metrics are enabled; feeds the queue-wait
@@ -63,7 +73,8 @@ struct EngineStats {
   std::uint64_t admission_passes = 0;   // prefill / fork catch-up passes
   std::uint64_t decode_batches = 0;     // forward_batch() calls
   std::uint64_t decode_rows = 0;        // rows summed over those calls
-  std::uint64_t completed = 0;
+  std::uint64_t completed = 0;  // EOS / budget retirements (not cancels)
+  std::uint64_t cancelled = 0;  // cancel() retirements
   std::uint64_t generated_tokens = 0;
   int max_active = 0;  // peak concurrently-active slots
 };
@@ -107,6 +118,16 @@ class BatchEngine {
   // appending their completions to `done` in that same slot order.
   void step(std::vector<Completion>& done);
 
+  // Cancels the active request with this id: the slot retires
+  // immediately with Completion::cancelled set (on_done still fires,
+  // with the tokens decoded so far) and a paged slot hands its KV pages
+  // back to the pool before returning — the client-disconnect path must
+  // free budget for queued requests right away, not at the next reuse.
+  // Returns false when no active slot carries the id. Must not be
+  // called from inside a step() callback (retirement mutates the slot
+  // the pass may still reference).
+  bool cancel(std::uint64_t id, std::vector<Completion>& done);
+
   const EngineStats& stats() const { return stats_; }
 
  private:
@@ -134,7 +155,8 @@ class BatchEngine {
   // Returns false (after retiring the slot into `done`) when the request
   // terminated, true when a decode pass for `next` is pending.
   bool accept_or_retire(Slot& slot, std::vector<Completion>& done);
-  void retire(Slot& slot, bool hit_max, std::vector<Completion>& done);
+  void retire(Slot& slot, bool hit_max, std::vector<Completion>& done,
+              bool cancelled = false);
 
   model::InferenceModel& model_;
   std::shared_ptr<nn::PagePool> pool_;  // null for contiguous slots

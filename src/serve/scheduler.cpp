@@ -1,6 +1,7 @@
 #include "serve/scheduler.h"
 
 #include <chrono>
+#include <stdexcept>
 #include <utility>
 
 #include "obs/metrics.h"
@@ -9,6 +10,12 @@ namespace llmfi::serve {
 
 namespace {
 
+std::int64_t steady_us() {
+  return std::chrono::duration_cast<std::chrono::microseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
 // Queue-wait stamping is metrics-only: the decode path never reads
 // enqueue_us, so clock reads stay off the disabled hot path. When
 // metrics are off the field keeps whatever the caller left in it — -1
@@ -16,18 +23,51 @@ namespace {
 // why the observe sites in batch_engine.cpp only trust stamps > 0.
 void stamp_enqueue(Request& req) {
   if (obs::metrics_enabled()) {
-    req.enqueue_us = std::chrono::duration_cast<std::chrono::microseconds>(
-                         std::chrono::steady_clock::now().time_since_epoch())
-                         .count();
+    req.enqueue_us = steady_us();
   }
 }
 
 }  // namespace
 
 void Scheduler::submit(Request req) {
+  if (draining_) {
+    throw std::logic_error("Scheduler::submit: scheduler is draining");
+  }
   stamp_enqueue(req);
   queue_.push_back(std::move(req));
   ++stats_.submitted;
+}
+
+void Scheduler::fill(Source* source, bool* source_dry, bool count_backfill,
+                     std::vector<Completion>& done) {
+  while (engine_.active() < engine_.capacity()) {
+    if (queue_.empty() && source != nullptr && !*source_dry) {
+      if (auto r = (*source)()) {
+        stamp_enqueue(*r);
+        queue_.push_back(std::move(*r));
+        ++stats_.submitted;
+      } else {
+        *source_dry = true;
+      }
+    }
+    if (queue_.empty()) break;
+    // Page-budget gate (DESIGN.md §12): when the pool cannot cover the
+    // head request's worst case, leave it queued and let the active
+    // sequences retire pages — unless the engine is idle, where
+    // waiting would deadlock (run() exits on active == 0 and nothing
+    // else frees pages). The idle force-admit relies on can_admit
+    // being conservative: the request may still fit, and if it truly
+    // cannot, the pool-exhausted error surfaces at the caller instead
+    // of a silent hang.
+    if (!engine_.can_admit(queue_.front()) && engine_.active() > 0) {
+      ++stats_.deferred_admissions;
+      break;
+    }
+    Request r = std::move(queue_.front());
+    queue_.pop_front();
+    if (count_backfill) ++stats_.backfills;
+    engine_.admit(std::move(r), done);
+  }
 }
 
 std::vector<Completion> Scheduler::run(Source source) {
@@ -35,39 +75,8 @@ std::vector<Completion> Scheduler::run(Source source) {
   bool source_dry = (source == nullptr);
   bool stepped = false;
 
-  const auto fill = [&] {
-    while (engine_.active() < engine_.capacity()) {
-      if (queue_.empty() && !source_dry) {
-        if (auto r = source()) {
-          stamp_enqueue(*r);
-          queue_.push_back(std::move(*r));
-          ++stats_.submitted;
-        } else {
-          source_dry = true;
-        }
-      }
-      if (queue_.empty()) break;
-      // Page-budget gate (DESIGN.md §12): when the pool cannot cover the
-      // head request's worst case, leave it queued and let the active
-      // sequences retire pages — unless the engine is idle, where
-      // waiting would deadlock (run() exits on active == 0 and nothing
-      // else frees pages). The idle force-admit relies on can_admit
-      // being conservative: the request may still fit, and if it truly
-      // cannot, the pool-exhausted error surfaces at the caller instead
-      // of a silent hang.
-      if (!engine_.can_admit(queue_.front()) && engine_.active() > 0) {
-        ++stats_.deferred_admissions;
-        break;
-      }
-      Request r = std::move(queue_.front());
-      queue_.pop_front();
-      if (stepped) ++stats_.backfills;
-      engine_.admit(std::move(r), done);
-    }
-  };
-
   for (;;) {
-    fill();
+    fill(source ? &source : nullptr, &source_dry, stepped, done);
     // fill() only returns with no active slot once the queue and source
     // are both exhausted (instantly-retiring admissions keep it pulling).
     if (engine_.active() == 0) break;
@@ -76,6 +85,50 @@ std::vector<Completion> Scheduler::run(Source source) {
   }
   stats_.completed += done.size();
   return done;
+}
+
+bool Scheduler::tick(std::vector<Completion>& done) {
+  const std::size_t before = done.size();
+  fill(nullptr, nullptr, ticked_, done);
+  if (engine_.active() > 0) {
+    engine_.step(done);
+    ticked_ = true;
+  }
+  // Per-tick completion accounting (run() sums once at exit instead;
+  // the two driving modes must not be mixed on one scheduler).
+  for (std::size_t i = before; i < done.size(); ++i) {
+    if (!done[i].cancelled) ++stats_.completed;
+  }
+  return !idle();
+}
+
+bool Scheduler::cancel(std::uint64_t id, std::vector<Completion>& done) {
+  for (auto it = queue_.begin(); it != queue_.end(); ++it) {
+    if (it->id != id) continue;
+    // Consume the enqueue stamp on this non-admission exit path: the
+    // request really did wait in queue, so the sample is legitimate —
+    // and clearing the stamp afterwards guarantees no path can observe
+    // it twice (admission was previously the only sink, so a cancelled
+    // request's stamp would otherwise leak out of the scheduler live).
+    if (obs::metrics_enabled() && it->enqueue_us > 0) {
+      obs::observe("serve_queue_wait_us", obs::latency_us_buckets(),
+                   static_cast<double>(steady_us() - it->enqueue_us));
+    }
+    it->enqueue_us = -1;
+    Completion c;
+    c.id = id;
+    c.cancelled = true;
+    if (it->on_done) it->on_done(c);
+    queue_.erase(it);
+    ++stats_.cancelled;
+    done.push_back(std::move(c));
+    return true;
+  }
+  if (engine_.cancel(id, done)) {
+    ++stats_.cancelled;
+    return true;
+  }
+  return false;
 }
 
 }  // namespace llmfi::serve

@@ -12,6 +12,7 @@
 
 #include "eval/campaign.h"
 #include "numerics/half.h"
+#include "obs/metrics.h"
 #include "serve/scheduler.h"
 #include "tensor/ops.h"
 #include "train/trainer.h"
@@ -552,6 +553,128 @@ TEST(ServeParallelCampaign, IneligibleConfigsFallBackToSequential) {
                                                 eval_set, spec, cfg);
     expect_identical_results(serial, fallback);
   }
+}
+
+// --- server-mode lifecycle: tick / cancel / drain / on_token -------------
+
+TEST(SchedulerLifecycle, OnTokenStreamsEveryDecodedTokenInOrder) {
+  auto m = make_engine();
+  serve::BatchEngine engine(m, 2);
+  serve::Scheduler sched(engine);
+  std::vector<std::pair<int, tok::TokenId>> streamed;
+  serve::Request req;
+  req.id = 3;
+  req.prompt = tokens({1, 4, 7});
+  req.max_new_tokens = 6;
+  req.eos = 1000;
+  req.on_token = [&streamed](std::uint64_t id, int index, tok::TokenId t) {
+    EXPECT_EQ(id, 3u);
+    streamed.emplace_back(index, t);
+  };
+  sched.submit(std::move(req));
+  const auto done = sched.run();
+  ASSERT_EQ(done.size(), 1u);
+
+  // Every accepted token streamed exactly once, indices dense from 0,
+  // values identical to the completion and the sequential oracle.
+  ASSERT_EQ(streamed.size(), done[0].tokens.size());
+  for (size_t i = 0; i < streamed.size(); ++i) {
+    EXPECT_EQ(streamed[i].first, static_cast<int>(i));
+    EXPECT_EQ(streamed[i].second, done[0].tokens[i]);
+  }
+  gen::GenerationConfig cfg;
+  cfg.max_new_tokens = 6;
+  cfg.eos = 1000;
+  EXPECT_EQ(done[0].tokens, gen::generate(m, tokens({1, 4, 7}), cfg).tokens);
+}
+
+TEST(SchedulerLifecycle, CancelQueuedAndActiveReleasesPagesImmediately) {
+  auto m = make_engine();
+  auto pool = std::make_shared<nn::PagePool>(
+      64, nn::PagePool::kDefaultPageRows, tiny_config().d_model);
+  const int total_pages = pool->free_pages();
+  serve::BatchEngine engine(m, 2, pool);
+  serve::Scheduler sched(engine);
+  std::vector<std::uint64_t> done_ids;
+  const auto mk = [&done_ids](std::uint64_t id) {
+    serve::Request r;
+    r.id = id;
+    r.prompt = tokens({static_cast<int>(4 + id), 5});
+    r.max_new_tokens = 12;
+    r.eos = 1000;
+    r.on_done = [&done_ids](const serve::Completion& c) {
+      done_ids.push_back(c.id);
+    };
+    return r;
+  };
+  for (std::uint64_t id = 0; id < 4; ++id) sched.submit(mk(id));
+
+  std::vector<serve::Completion> out;
+  ASSERT_TRUE(sched.tick(out));  // admits 0 and 1; 2 and 3 wait in queue
+  EXPECT_EQ(sched.active(), 2);
+  EXPECT_EQ(sched.queued(), 2u);
+  const int pages_during = pool->free_pages();
+  EXPECT_LT(pages_during, total_pages);
+
+  // Queued cancel: synthetic completion, the engine never sees it.
+  ASSERT_TRUE(sched.cancel(3, out));
+  EXPECT_EQ(sched.queued(), 1u);
+  // Active cancel: the slot retires now and its pages return to the
+  // pool now, not at the next slot reuse.
+  ASSERT_TRUE(sched.cancel(0, out));
+  EXPECT_EQ(sched.active(), 1);
+  EXPECT_GT(pool->free_pages(), pages_during);
+  // Unknown id: the benign race with retirement, not an error.
+  EXPECT_FALSE(sched.cancel(99, out));
+
+  ASSERT_EQ(out.size(), 2u);
+  EXPECT_EQ(out[0].id, 3u);
+  EXPECT_TRUE(out[0].cancelled);
+  EXPECT_TRUE(out[0].tokens.empty());
+  EXPECT_EQ(out[1].id, 0u);
+  EXPECT_TRUE(out[1].cancelled);
+
+  // Drain: new work throws, existing work runs to completion.
+  sched.drain();
+  EXPECT_TRUE(sched.draining());
+  EXPECT_THROW(sched.submit(mk(7)), std::logic_error);
+  while (sched.tick(out)) {
+  }
+  EXPECT_TRUE(sched.idle());
+  EXPECT_EQ(pool->free_pages(), total_pages);
+  EXPECT_EQ(sched.stats().cancelled, 2u);
+  EXPECT_EQ(sched.stats().completed, 2u);
+  EXPECT_EQ(engine.stats().cancelled, 1u);
+  EXPECT_EQ(done_ids.size(), 4u);
+}
+
+TEST(SchedulerLifecycle, QueuedCancelConsumesQueueWaitStamp) {
+  obs::metrics_start();
+  auto m = make_engine();
+  serve::BatchEngine engine(m, 1);
+  serve::Scheduler sched(engine);
+  auto& hist = obs::Registry::global().histogram("serve_queue_wait_us",
+                                                 obs::latency_us_buckets());
+  for (std::uint64_t id = 0; id < 2; ++id) {
+    serve::Request r;
+    r.id = id;
+    r.prompt = tokens({static_cast<int>(5 + id)});
+    r.max_new_tokens = 4;
+    r.eos = 1000;
+    sched.submit(std::move(r));
+  }
+  EXPECT_EQ(hist.count(), 0u);  // stamps are consumed on exit, not entry
+  std::vector<serve::Completion> out;
+  ASSERT_TRUE(sched.tick(out));  // admits request 0 (capacity 1)
+  EXPECT_EQ(hist.count(), 1u);
+  // A request cancelled while queued must still surface its queue wait —
+  // admission is no longer the only stamp sink.
+  ASSERT_TRUE(sched.cancel(1, out));
+  EXPECT_EQ(hist.count(), 2u);
+  while (sched.tick(out)) {
+  }
+  EXPECT_EQ(hist.count(), 2u);
+  obs::metrics_stop();
 }
 
 }  // namespace

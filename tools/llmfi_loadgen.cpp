@@ -1,0 +1,232 @@
+// llmfi_loadgen — closed/open-loop load generator for llmfi_serve.
+//
+// Drives /v1/completions on a running server with N concurrent
+// sessions, verifies every streamed token against the sequential
+// gen::generate() oracle (computed locally with the same model/dtype),
+// and reports SLO-tracked tail latency: TTFT / per-token gap / e2e
+// p50-p95-p99, SLO attainment, and goodput.
+//
+//   llmfi_loadgen --port 8080 --mode closed --sessions 8 --requests 64
+//   llmfi_loadgen --port 8080 --mode poisson --rate 24 --json out.json
+//
+// Exit code is nonzero on any identity mismatch, transport error, or
+// incomplete stream — CI uses it as the loopback identity gate.
+
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "eval/model_zoo.h"
+#include "eval/runner.h"
+#include "eval/workloads.h"
+#include "gen/generate.h"
+#include "net/loadgen.h"
+#include "report/bench_meta.h"
+
+using namespace llmfi;
+
+namespace {
+
+struct CliArgs {
+  std::string host = "127.0.0.1";
+  int port = 8080;
+  std::string name = "loadgen";
+  std::string mode = "closed";  // closed | poisson | bursty
+  std::string model = "qilin";
+  std::string dataset = "gsm8k-syn";
+  std::string dtype = "bf16";
+  int sessions = 8;
+  int requests = 64;
+  double rate = 32.0;
+  double on_sec = 0.5;
+  double off_sec = 0.5;
+  int prompts = 8;
+  int max_new = 16;
+  double slo_ttft_ms = 500.0;
+  double slo_token_ms = 250.0;
+  std::uint64_t seed = 1234;
+  bool verify = true;
+  std::string json_path;
+  bool help = false;
+};
+
+void print_usage() {
+  std::printf(
+      "usage: llmfi_loadgen [options]\n"
+      "  --host ADDR       server address (default 127.0.0.1)\n"
+      "  --port N          server port (default 8080)\n"
+      "  --name S          arm name in the report (default loadgen)\n"
+      "  --mode M          closed | poisson | bursty (default closed)\n"
+      "  --model NAME      oracle model — must match the server's\n"
+      "  --dataset NAME    oracle workload — must match the server's\n"
+      "  --dtype D         oracle dtype — must match the server's\n"
+      "  --sessions N      concurrent connections (default 8)\n"
+      "  --requests N      total requests (default 64)\n"
+      "  --rate HZ         open-loop arrival rate (default 32)\n"
+      "  --on-sec S        bursty ON phase length (default 0.5)\n"
+      "  --off-sec S       bursty OFF gap length (default 0.5)\n"
+      "  --prompts N       distinct prompts cycled round-robin (default 8)\n"
+      "  --max-new N       token budget per request (default 16)\n"
+      "  --slo-ttft-ms X   per-request TTFT SLO (default 500)\n"
+      "  --slo-token-ms X  per-request mean token-gap SLO (default 250)\n"
+      "  --seed N          arrival-schedule seed (default 1234)\n"
+      "  --no-verify       skip oracle identity verification\n"
+      "  --json FILE       write the arm as a BENCH-format JSON log\n");
+}
+
+bool parse_args(int argc, char** argv, CliArgs& args) {
+  auto need_value = [&](int& i) -> const char* {
+    if (i + 1 >= argc) {
+      std::fprintf(stderr, "missing value for %s\n", argv[i]);
+      return nullptr;
+    }
+    return argv[++i];
+  };
+  for (int i = 1; i < argc; ++i) {
+    const std::string a = argv[i];
+    const char* v = nullptr;
+    if (a == "--help" || a == "-h") {
+      args.help = true;
+    } else if (a == "--host" && (v = need_value(i))) {
+      args.host = v;
+    } else if (a == "--port" && (v = need_value(i))) {
+      args.port = std::atoi(v);
+    } else if (a == "--name" && (v = need_value(i))) {
+      args.name = v;
+    } else if (a == "--mode" && (v = need_value(i))) {
+      args.mode = v;
+    } else if (a == "--model" && (v = need_value(i))) {
+      args.model = v;
+    } else if (a == "--dataset" && (v = need_value(i))) {
+      args.dataset = v;
+    } else if (a == "--dtype" && (v = need_value(i))) {
+      args.dtype = v;
+    } else if (a == "--sessions" && (v = need_value(i))) {
+      args.sessions = std::atoi(v);
+    } else if (a == "--requests" && (v = need_value(i))) {
+      args.requests = std::atoi(v);
+    } else if (a == "--rate" && (v = need_value(i))) {
+      args.rate = std::atof(v);
+    } else if (a == "--on-sec" && (v = need_value(i))) {
+      args.on_sec = std::atof(v);
+    } else if (a == "--off-sec" && (v = need_value(i))) {
+      args.off_sec = std::atof(v);
+    } else if (a == "--prompts" && (v = need_value(i))) {
+      args.prompts = std::atoi(v);
+    } else if (a == "--max-new" && (v = need_value(i))) {
+      args.max_new = std::atoi(v);
+    } else if (a == "--slo-ttft-ms" && (v = need_value(i))) {
+      args.slo_ttft_ms = std::atof(v);
+    } else if (a == "--slo-token-ms" && (v = need_value(i))) {
+      args.slo_token_ms = std::atof(v);
+    } else if (a == "--seed" && (v = need_value(i))) {
+      args.seed = static_cast<std::uint64_t>(std::atoll(v));
+    } else if (a == "--no-verify") {
+      args.verify = false;
+    } else if (a == "--json" && (v = need_value(i))) {
+      args.json_path = v;
+    } else {
+      std::fprintf(stderr, "unknown option: %s\n", a.c_str());
+      return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  CliArgs args;
+  if (!parse_args(argc, argv, args)) {
+    print_usage();
+    return 2;
+  }
+  if (args.help) {
+    print_usage();
+    return 0;
+  }
+  if (args.sessions <= 0 || args.requests <= 0 || args.prompts <= 0 ||
+      args.max_new <= 0 || args.port <= 0 || args.rate <= 0.0) {
+    std::fprintf(stderr, "sessions/requests/prompts/max-new/port/rate must "
+                         "be positive\n");
+    return 2;
+  }
+  net::LoadArmConfig cfg;
+  if (args.mode == "closed") {
+    cfg.mode = net::ArrivalMode::Closed;
+  } else if (args.mode == "poisson") {
+    cfg.mode = net::ArrivalMode::Poisson;
+  } else if (args.mode == "bursty") {
+    cfg.mode = net::ArrivalMode::Bursty;
+  } else {
+    std::fprintf(stderr, "--mode must be closed, poisson, or bursty\n");
+    return 2;
+  }
+
+  try {
+    // Build the prompt set and (unless --no-verify) the sequential
+    // oracle with the same model/dtype the server runs.
+    eval::Zoo zoo;
+    const auto& spec = eval::workload(args.dataset);
+    const auto prec =
+        model::PrecisionConfig::for_dtype(num::parse_dtype(args.dtype));
+    model::InferenceModel engine(zoo.get(args.model), prec);
+    const auto& vocab = zoo.vocab();
+    const auto& eval_set = zoo.task(spec.kind).eval;
+    const int n_prompts =
+        std::min<int>(args.prompts, static_cast<int>(eval_set.size()));
+
+    std::vector<net::LoadPrompt> prompts;
+    for (int i = 0; i < n_prompts; ++i) {
+      net::LoadPrompt p;
+      p.ids = eval::build_prompt(vocab, eval_set[static_cast<size_t>(i)],
+                                 /*direct_prompt=*/false);
+      if (args.verify) {
+        gen::GenerationConfig gcfg;
+        gcfg.max_new_tokens = args.max_new;
+        gcfg.eos = vocab.eos();
+        p.expect = gen::generate(engine, p.ids, gcfg).tokens;
+      }
+      prompts.push_back(std::move(p));
+    }
+
+    cfg.name = args.name;
+    cfg.sessions = args.sessions;
+    cfg.requests = args.requests;
+    cfg.rate_hz = args.rate;
+    cfg.on_sec = args.on_sec;
+    cfg.off_sec = args.off_sec;
+    cfg.max_new_tokens = args.max_new;
+    cfg.slo_ttft_ms = args.slo_ttft_ms;
+    cfg.slo_token_ms = args.slo_token_ms;
+    cfg.seed = args.seed;
+    cfg.verify = args.verify;
+
+    const net::LoadArmResult r =
+        net::run_load_arm(args.host, args.port, prompts, cfg);
+    std::printf("%s\n", r.json().c_str());
+
+    if (!args.json_path.empty()) {
+      std::ofstream out(args.json_path);
+      out << "{\n  \"bench\": \"net_loadgen\",\n  \"meta\": "
+          << report::bench_metadata(r.wall_sec).json() << ",\n  \"arms\": [\n"
+          << "    " << r.json() << "\n  ]\n}\n";
+    }
+
+    if (r.mismatches > 0) {
+      std::fprintf(stderr, "FAILED: %d identity mismatches\n", r.mismatches);
+      return 1;
+    }
+    if (r.errors > 0 || r.completed != r.requests) {
+      std::fprintf(stderr, "FAILED: %d/%d completed, %d errors\n",
+                   r.completed, r.requests, r.errors);
+      return 1;
+    }
+    return 0;
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 1;
+  }
+}

@@ -1,25 +1,38 @@
-// llmfi_serve — continuous-batching inference demo.
+// llmfi_serve — HTTP/SSE streaming inference server (DESIGN.md §15).
 //
-// Feeds a workload's evaluation prompts through the serve::Scheduler,
-// streaming each completion as it retires and finishing with the
-// engine/scheduler counters, so the batched path (DESIGN.md §10) can be
-// exercised and eyeballed outside a campaign:
+// Wraps the continuous-batching scheduler in the epoll front-end:
+// POST /v1/completions streams tokens back as Server-Sent Events,
+// GET /metrics serves the obs Prometheus registry, GET /healthz reports
+// occupancy and queue depth, and SIGTERM/SIGINT drain gracefully
+// (in-flight streams finish, new work gets 503).
 //
-//   llmfi_serve --model qilin --dataset gsm8k-syn --batch 4 --n 12
-//   llmfi_serve --dtype fp16 --max-new 64
+//   llmfi_serve --model qilin --port 8080 --batch 4 --kv-pages 64
+//   llmfi_serve --port 0                  # ephemeral; port on stdout
+//   llmfi_serve --fault 1bit-comp --fault-rate 0.3 --detector checksum
 //
-// Every token printed is bit-identical to a single-sequence greedy
-// gen::generate() of the same prompt, whatever --batch is.
+// Every streamed token is bit-identical to a single-sequence greedy
+// gen::generate() of the same prompt, whatever --batch is — the loadgen
+// verifies exactly that. Fault flags inject per-request faults under
+// live load; serving supports the computational models (1bit-comp,
+// 2bits-comp) per request plus 2bits-mem as one server-lifetime weight
+// corruption. kv-bit and tp-* need per-row cache/shard hooks the
+// batched engine does not route, so serving rejects them.
 
+#include <csignal>
 #include <cstdio>
 #include <cstring>
 #include <memory>
+#include <optional>
+#include <random>
 #include <string>
 #include <vector>
 
+#include "core/detector.h"
+#include "core/injector.h"
 #include "eval/model_zoo.h"
 #include "eval/runner.h"
 #include "eval/workloads.h"
+#include "net/server.h"
 #include "obs/obs.h"
 #include "serve/scheduler.h"
 
@@ -31,41 +44,54 @@ struct CliArgs {
   std::string model = "qilin";
   std::string dataset = "gsm8k-syn";
   std::string dtype = "bf16";
+  std::string host = "127.0.0.1";
+  int port = 8080;
   int batch = 4;
   int tp = 1;
   int kv_pages = 0;
-  int max_new = 40;
-  int n = 8;  // prompts taken from the head of the eval set
+  int max_new = 64;  // server-side cap and default budget
+  std::string fault = "none";
+  double fault_rate = 1.0;
+  std::string detector = "none";  // none | range | checksum | stack
+  std::uint64_t seed = 2024;
   bool help = false;
-  std::string trace_file;    // --trace FILE
-  std::string metrics_file;  // --metrics FILE
+  std::string trace_file;
+  std::string metrics_file;
 };
 
 void print_usage() {
   std::printf(
       "usage: llmfi_serve [options]\n"
-      "  --model NAME    zoo model (default qilin)\n"
-      "  --dataset NAME  workload whose eval prompts to serve (default\n"
-      "                  gsm8k-syn; must be a generative workload)\n"
-      "  --dtype D       fp32 | fp16 | bf16 | int8 | int4 (default bf16)\n"
-      "  --batch N       scheduler slots, i.e. sequences decoding per\n"
-      "                  forward_batch pass (default 4)\n"
-      "  --tp N          tensor-parallel shards inside every forward pass\n"
-      "                  (default 1; tokens are byte-identical for any\n"
-      "                  value — DESIGN.md §14; LLMFI_TP has no effect\n"
-      "                  here, serve takes the flag only)\n"
-      "  --kv-pages N    back the slot KV caches with a shared N-page pool\n"
-      "                  (DESIGN.md §12); when the pool cannot cover a\n"
-      "                  request's worst case the scheduler queues it until\n"
-      "                  retiring sequences release pages. 0 = contiguous\n"
-      "                  slots (default); outputs are identical either way\n"
-      "  --max-new N     token budget per request (default 40)\n"
-      "  --n N           number of prompts to submit (default 8)\n"
-      "  --trace FILE    Chrome trace-event JSON of admission/decode spans\n"
-      "                  (Perfetto-loadable; env LLMFI_TRACE)\n"
-      "  --metrics FILE  export serve latency metrics — queue wait, TTFT,\n"
-      "                  per-token decode, batch occupancy; .prom/.txt gets\n"
-      "                  Prometheus text, else JSON (env LLMFI_METRICS)\n");
+      "  --model NAME      zoo model (default qilin)\n"
+      "  --dataset NAME    workload backing /metrics profiling + text\n"
+      "                    prompts (default gsm8k-syn; generative only)\n"
+      "  --dtype D         fp32 | fp16 | bf16 | int8 | int4 (default bf16)\n"
+      "  --host ADDR       bind address (default 127.0.0.1)\n"
+      "  --port N          listen port; 0 binds an ephemeral port and\n"
+      "                    prints it on stdout (default 8080)\n"
+      "  --batch N         scheduler slots (default 4)\n"
+      "  --tp N            tensor-parallel shards per forward pass\n"
+      "                    (default 1; outputs identical for any value)\n"
+      "  --kv-pages N      shared paged-KV pool; 0 = contiguous slots\n"
+      "                    (default). Requests the pool cannot cover wait\n"
+      "                    in queue (DESIGN.md §12)\n"
+      "  --max-new N       per-request token budget cap and default\n"
+      "                    (default 64)\n"
+      "  --fault MODEL     none | 1bit-comp | 2bits-comp | 2bits-mem —\n"
+      "                    inject faults under live load. Comp models\n"
+      "                    sample a fresh per-request fault; 2bits-mem\n"
+      "                    corrupts one weight for the server's lifetime.\n"
+      "                    kv-bit / tp-* are not routable per-request in\n"
+      "                    the batched engine and are rejected\n"
+      "  --fault-rate P    fraction of requests that get a comp fault\n"
+      "                    (default 1.0)\n"
+      "  --detector D      none | range | checksum | stack — per-request\n"
+      "                    online detection; verdict rides the SSE done\n"
+      "                    event as \"detector\"\n"
+      "  --seed N          fault-sampling seed (default 2024)\n"
+      "  --trace FILE      Chrome trace-event JSON (env LLMFI_TRACE)\n"
+      "  --metrics FILE    metrics export on exit; /metrics serves the\n"
+      "                    live registry regardless (env LLMFI_METRICS)\n");
 }
 
 bool parse_args(int argc, char** argv, CliArgs& args) {
@@ -87,6 +113,10 @@ bool parse_args(int argc, char** argv, CliArgs& args) {
       args.dataset = v;
     } else if (a == "--dtype" && (v = need_value(i))) {
       args.dtype = v;
+    } else if (a == "--host" && (v = need_value(i))) {
+      args.host = v;
+    } else if (a == "--port" && (v = need_value(i))) {
+      args.port = std::atoi(v);
     } else if (a == "--batch" && (v = need_value(i))) {
       args.batch = std::atoi(v);
     } else if (a == "--tp" && (v = need_value(i))) {
@@ -95,8 +125,15 @@ bool parse_args(int argc, char** argv, CliArgs& args) {
       args.kv_pages = std::atoi(v);
     } else if (a == "--max-new" && (v = need_value(i))) {
       args.max_new = std::atoi(v);
-    } else if (a == "--n" && (v = need_value(i))) {
-      args.n = std::atoi(v);
+    } else if ((a == "--fault" || a == "--fault-model") &&
+               (v = need_value(i))) {
+      args.fault = v;
+    } else if (a == "--fault-rate" && (v = need_value(i))) {
+      args.fault_rate = std::atof(v);
+    } else if (a == "--detector" && (v = need_value(i))) {
+      args.detector = v;
+    } else if (a == "--seed" && (v = need_value(i))) {
+      args.seed = static_cast<std::uint64_t>(std::atoll(v));
     } else if (a == "--trace" && (v = need_value(i))) {
       args.trace_file = v;
     } else if (a == "--metrics" && (v = need_value(i))) {
@@ -107,6 +144,37 @@ bool parse_args(int argc, char** argv, CliArgs& args) {
     }
   }
   return true;
+}
+
+// Per-request fault/detector context. Construction and every callback
+// run on the server's engine thread, so the shared RNG needs no lock.
+struct ServeHookCtx : net::RequestHookCtx {
+  std::optional<core::ComputationalFaultInjector> injector;
+  std::optional<core::ActivationDetector> range;
+  std::optional<core::ChecksumDetector> checksum;
+  std::optional<core::DetectorStack> stack;
+  nn::LinearHook* head = nullptr;
+
+  nn::LinearHook* linear_hook() override { return head; }
+
+  std::string on_complete(const serve::Completion&) override {
+    const nn::DetectorHook* det =
+        stack ? static_cast<const nn::DetectorHook*>(&*stack)
+              : (range ? static_cast<const nn::DetectorHook*>(&*range)
+                       : (checksum
+                              ? static_cast<const nn::DetectorHook*>(&*checksum)
+                              : nullptr));
+    if (det == nullptr) return {};
+    if (!det->triggered()) return "clean";
+    obs::count("net_detector_trips_total");
+    return std::string(det->name());
+  }
+};
+
+net::Server* g_server = nullptr;
+
+void on_signal(int) {
+  if (g_server != nullptr) g_server->request_drain();
 }
 
 }  // namespace
@@ -121,31 +189,35 @@ int main(int argc, char** argv) {
     print_usage();
     return 0;
   }
-  if (args.batch <= 0 || args.tp <= 0 || args.max_new < 0 || args.n <= 0 ||
-      args.kv_pages < 0) {
+  if (args.batch <= 0 || args.tp <= 0 || args.max_new <= 0 ||
+      args.kv_pages < 0 || args.port < 0 || args.fault_rate < 0.0 ||
+      args.fault_rate > 1.0) {
     std::fprintf(stderr,
-                 "batch/tp/n must be positive, max-new/kv-pages >= 0\n");
+                 "batch/tp/max-new must be positive, kv-pages/port >= 0, "
+                 "fault-rate in [0,1]\n");
+    return 2;
+  }
+  if (args.detector != "none" && args.detector != "range" &&
+      args.detector != "checksum" && args.detector != "stack") {
+    std::fprintf(stderr, "--detector must be none, range, checksum, stack\n");
     return 2;
   }
 
-  // Arm observability before serving: flags win, env fills gaps.
   obs::EnvConfig obs_cfg = obs::init_from_env();
   if (!args.trace_file.empty()) {
     obs_cfg.trace_path = args.trace_file;
     obs::trace_start();
   }
-  if (!args.metrics_file.empty()) {
-    obs_cfg.metrics_path = args.metrics_file;
-    obs::metrics_start();
-  }
+  if (!args.metrics_file.empty()) obs_cfg.metrics_path = args.metrics_file;
+  // /metrics must serve live data, so the registry records regardless of
+  // whether an export path was given.
+  obs::metrics_start();
 
   try {
     eval::Zoo zoo;
     const auto& spec = eval::workload(args.dataset);
     if (spec.style == data::TaskStyle::MultipleChoice) {
-      std::fprintf(stderr,
-                   "%s is a multiple-choice workload; serving needs a "
-                   "generative one\n",
+      std::fprintf(stderr, "%s is multiple-choice; serving needs generative\n",
                    args.dataset.c_str());
       return 2;
     }
@@ -155,11 +227,89 @@ int main(int argc, char** argv) {
     engine.set_tensor_parallel(args.tp);
     const auto& vocab = zoo.vocab();
     const auto& eval_set = zoo.task(spec.kind).eval;
-    const int n = std::min<int>(args.n, static_cast<int>(eval_set.size()));
 
-    // A page pool (when requested) makes the scheduler's page-budget
-    // gate live: requests the pool cannot cover wait in queue instead of
-    // dying of pool exhaustion mid-decode.
+    // Fault plumbing. Comp models sample per request in the hook
+    // factory; 2bits-mem corrupts one weight for the whole lifetime.
+    std::optional<core::FaultModel> fault;
+    if (args.fault != "none") {
+      fault = core::parse_fault_model(args.fault);
+      if (core::is_kv_fault(*fault) || core::is_tp_fault(*fault)) {
+        std::fprintf(stderr,
+                     "--fault %s is not routable per-request in the batched "
+                     "engine; use 1bit-comp, 2bits-comp or 2bits-mem\n",
+                     args.fault.c_str());
+        return 2;
+      }
+    }
+    num::Rng rng(args.seed);
+    std::mt19937_64 rate_rng(args.seed ^ 0x9e3779b97f4a7c15ull);
+    std::unique_ptr<core::WeightCorruption> mem_fault;
+    if (fault && core::is_memory_fault(*fault)) {
+      core::SamplerScope scope;
+      scope.max_passes = 1;
+      const core::FaultPlan plan =
+          core::sample_fault(*fault, engine, scope, rng);
+      mem_fault = std::make_unique<core::WeightCorruption>(engine, plan);
+      std::printf("llmfi_serve: 2bits-mem corruption armed (%.6g -> %.6g)\n",
+                  mem_fault->old_value(), mem_fault->new_value());
+    }
+
+    // Detector profiles: collected once, fault-free, before serving.
+    core::ActivationProfile act_profile;
+    core::ChecksumProfile sum_profile;
+    const bool want_range =
+        args.detector == "range" || args.detector == "stack";
+    const bool want_checksum =
+        args.detector == "checksum" || args.detector == "stack";
+    if (want_range || want_checksum) {
+      std::vector<std::string> prompts;
+      for (size_t i = 0; i < eval_set.size() && i < 10; ++i) {
+        prompts.push_back(eval_set[i].prompt);
+      }
+      if (want_range) {
+        act_profile = core::profile_activations(engine, vocab, prompts);
+      }
+      if (want_checksum) {
+        sum_profile = core::profile_checksums(engine, vocab, prompts);
+      }
+    }
+
+    net::HookFactory factory;
+    if ((fault && !core::is_memory_fault(*fault)) || want_range ||
+        want_checksum) {
+      const bool comp_fault = fault && !core::is_memory_fault(*fault);
+      factory = [&, comp_fault](std::uint64_t) {
+        auto ctx = std::make_unique<ServeHookCtx>();
+        if (comp_fault &&
+            std::uniform_real_distribution<double>(0.0, 1.0)(rate_rng) <
+                args.fault_rate) {
+          core::SamplerScope scope;
+          scope.max_passes = args.max_new;
+          ctx->injector.emplace(core::sample_fault(*fault, engine, scope, rng),
+                                engine.precision().act_dtype);
+          obs::count("net_faults_injected_total");
+        }
+        nn::LinearHook* tail = ctx->injector ? &*ctx->injector : nullptr;
+        if (want_range && want_checksum) {
+          ctx->range.emplace(act_profile);
+          ctx->checksum.emplace(sum_profile);
+          ctx->stack.emplace(
+              std::vector<nn::DetectorHook*>{&*ctx->range, &*ctx->checksum},
+              tail);
+          ctx->head = &*ctx->stack;
+        } else if (want_range) {
+          ctx->range.emplace(act_profile, tail);
+          ctx->head = &*ctx->range;
+        } else if (want_checksum) {
+          ctx->checksum.emplace(sum_profile, tail);
+          ctx->head = &*ctx->checksum;
+        } else {
+          ctx->head = tail;
+        }
+        return ctx;
+      };
+    }
+
     std::shared_ptr<nn::PagePool> pool;
     if (args.kv_pages > 0) {
       pool = std::make_shared<nn::PagePool>(args.kv_pages,
@@ -168,74 +318,43 @@ int main(int argc, char** argv) {
     }
     serve::BatchEngine bengine(engine, args.batch, pool);
     serve::Scheduler sched(bengine);
-    for (int i = 0; i < n; ++i) {
-      serve::Request req;
-      req.id = static_cast<std::uint64_t>(i);
-      req.prompt = eval::build_prompt(vocab, eval_set[static_cast<size_t>(i)],
-                                      /*direct_prompt=*/false);
-      req.max_new_tokens = args.max_new;
-      req.eos = vocab.eos();
-      // Stream each completion the moment its request retires — possibly
-      // out of submission order, which is the point of the demo.
-      req.on_done = [&vocab](const serve::Completion& c) {
-        std::printf("[#%llu] %s%s\n",
-                    static_cast<unsigned long long>(c.id),
-                    vocab.decode(c.tokens).c_str(),
-                    c.hit_max_tokens ? " ..." : "");
-      };
-      sched.submit(std::move(req));
-    }
-    sched.run();
+
+    net::ServerConfig cfg;
+    cfg.host = args.host;
+    cfg.port = args.port;
+    cfg.max_new_tokens = args.max_new;
+    net::Server server(
+        cfg, {sched, vocab, std::min(args.max_new, 32), std::move(factory)});
+    server.start();
+    g_server = &server;
+    struct sigaction sa{};
+    sa.sa_handler = on_signal;
+    ::sigaction(SIGTERM, &sa, nullptr);
+    ::sigaction(SIGINT, &sa, nullptr);
+
+    // Scripts (CI, run_benches.sh) parse this line for the bound port.
+    std::printf("llmfi_serve listening on %s:%d\n", args.host.c_str(),
+                server.port());
+    std::fflush(stdout);
+    server.wait();
+    g_server = nullptr;
 
     const auto& es = bengine.stats();
     const auto& ss = sched.stats();
-    const double rows_per_batch =
-        es.decode_batches > 0 ? static_cast<double>(es.decode_rows) /
-                                    static_cast<double>(es.decode_batches)
-                              : 0.0;
-    std::printf("\n--- scheduler ---\n");
-    std::printf("submitted        %llu\n",
-                static_cast<unsigned long long>(ss.submitted));
-    std::printf("completed        %llu\n",
-                static_cast<unsigned long long>(ss.completed));
-    std::printf("backfills        %llu\n",
-                static_cast<unsigned long long>(ss.backfills));
+    const auto& ns = server.stats();
+    std::printf("llmfi_serve drained: %llu completed, %llu cancelled, "
+                "%llu tokens; http %llu reqs (%llu bad, %llu 503), "
+                "%llu disconnect cancels\n",
+                static_cast<unsigned long long>(ss.completed),
+                static_cast<unsigned long long>(ss.cancelled),
+                static_cast<unsigned long long>(es.generated_tokens),
+                static_cast<unsigned long long>(ns.requests.load()),
+                static_cast<unsigned long long>(ns.bad_requests.load()),
+                static_cast<unsigned long long>(ns.rejected_draining.load()),
+                static_cast<unsigned long long>(ns.disconnect_cancels.load()));
     if (pool) {
-      std::printf("deferred admits  %llu (kv pages: %d total, %d free)\n",
-                  static_cast<unsigned long long>(ss.deferred_admissions),
-                  pool->n_pages(), pool->free_pages());
-    }
-    std::printf("--- engine ---\n");
-    std::printf("admission passes %llu\n",
-                static_cast<unsigned long long>(es.admission_passes));
-    std::printf("decode batches   %llu\n",
-                static_cast<unsigned long long>(es.decode_batches));
-    std::printf("decode rows      %llu (%.2f rows/batch, capacity %d)\n",
-                static_cast<unsigned long long>(es.decode_rows),
-                rows_per_batch, bengine.capacity());
-    std::printf("max active       %d\n", es.max_active);
-    std::printf("generated tokens %llu\n",
-                static_cast<unsigned long long>(es.generated_tokens));
-    if (obs::metrics_enabled()) {
-      // Latency summary straight from the metrics registry — the same
-      // histograms --metrics exports.
-      auto& reg = obs::Registry::global();
-      std::printf("--- latency (us, bucket-interpolated) ---\n");
-      for (const char* name :
-           {"serve_queue_wait_us", "serve_ttft_us", "serve_decode_token_us"}) {
-        auto& h = reg.histogram(name, obs::latency_us_buckets());
-        if (h.count() == 0) continue;
-        std::printf("%-22s p50 %.0f  p95 %.0f  p99 %.0f  mean %.0f  (n=%llu)\n",
-                    name, h.quantile(0.50), h.quantile(0.95),
-                    h.quantile(0.99), h.mean(),
-                    static_cast<unsigned long long>(h.count()));
-      }
-      auto& occ =
-          reg.histogram("serve_batch_occupancy", obs::small_count_buckets());
-      if (occ.count() > 0) {
-        std::printf("%-22s mean %.2f rows/batch\n", "serve_batch_occupancy",
-                    occ.mean());
-      }
+      std::printf("kv pages: %d total, %d free\n", pool->n_pages(),
+                  pool->free_pages());
     }
     obs::write_outputs(obs_cfg);
     return 0;
