@@ -115,7 +115,7 @@ int main() {
     net::ServerConfig scfg;
     scfg.port = 0;
     scfg.max_new_tokens = kMaxNew;
-    net::Server server(scfg, {sched, vocab, kMaxNew, {}});
+    net::Server server(scfg, {sched, vocab, kMaxNew, {}, {}});
     server.start();
     for (const auto& [name, mode] :
          {std::pair<const char*, net::ArrivalMode>{"closed clean",
@@ -160,7 +160,7 @@ int main() {
     net::ServerConfig scfg;
     scfg.port = 0;
     scfg.max_new_tokens = kMaxNew;
-    net::Server server(scfg, {sched, vocab, kMaxNew, std::move(factory)});
+    net::Server server(scfg, {sched, vocab, kMaxNew, std::move(factory), {}});
     server.start();
     arms.push_back(net::run_load_arm(
         "127.0.0.1", server.port(), prompts,

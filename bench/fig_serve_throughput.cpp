@@ -6,6 +6,7 @@
 // work whose outputs are already determined, so all arms must agree
 // bit-for-bit. Machine-readable copy goes to bench_logs/BENCH_serve.json.
 
+#include <algorithm>
 #include <chrono>
 #include <cstdlib>
 #include <filesystem>
@@ -13,6 +14,7 @@
 #include <vector>
 
 #include "common.h"
+#include "obs/recorder.h"
 #include "report/bench_meta.h"
 
 using namespace llmfi;
@@ -62,20 +64,54 @@ int main() {
     arm.result = eval::run_campaign_on(engine, vocab, eval_set, spec, cfg);
   }
 
+  // Recorder overhead gate (DESIGN.md §16): the fault flight recorder
+  // must cost < 3% of recorder-off decode throughput at batch 4.
+  // Best-of-3 per arm damps scheduler/allocator noise — a single run's
+  // jitter on this tiny model exceeds the recorder's real cost.
+  cfg.batch = 4;
+  cfg.prefix_fork = true;
+  double rec_off_tok_s = 0.0, rec_on_tok_s = 0.0;
+  eval::CampaignResult recorder_result;
+  for (int rep = 0; rep < 3; ++rep) {
+    const auto r = eval::run_campaign_on(engine, vocab, eval_set, spec, cfg);
+    const double tok_s =
+        static_cast<double>(r.faulty_passes - r.prefix_skipped_passes) /
+        r.total_runtime_sec;
+    rec_off_tok_s = std::max(rec_off_tok_s, tok_s);
+  }
+  obs::recorder_start();
+  for (int rep = 0; rep < 3; ++rep) {
+    auto r = eval::run_campaign_on(engine, vocab, eval_set, spec, cfg);
+    const double tok_s =
+        static_cast<double>(r.faulty_passes - r.prefix_skipped_passes) /
+        r.total_runtime_sec;
+    rec_on_tok_s = std::max(rec_on_tok_s, tok_s);
+    recorder_result = std::move(r);
+  }
+  obs::recorder_stop();
+  obs::recorder_clear();
+  const double recorder_overhead =
+      rec_off_tok_s > 0.0 ? 1.0 - rec_on_tok_s / rec_off_tok_s : 0.0;
+  const bool recorder_ok = recorder_overhead <= 0.03;
+
   // Identity gate: every arm must reproduce the sequential fork-off
-  // outcomes exactly (the determinism contract of DESIGN.md §§9-10).
+  // outcomes exactly (the determinism contract of DESIGN.md §§9-10) —
+  // including the recorder-on arm, whose events must never feed back
+  // into results.
   const auto& ref = arms.front().result;
   const std::string& metric = spec.metrics.front().name;
   bool identical = true;
+  const auto matches_ref = [&](const eval::CampaignResult& r) {
+    return r.masked == ref.masked && r.sdc_subtle == ref.sdc_subtle &&
+           r.sdc_distorted == ref.sdc_distorted &&
+           r.faulty_hits == ref.faulty_hits &&
+           r.faulty_passes == ref.faulty_passes &&
+           r.faulty_mean(metric) == ref.faulty_mean(metric);
+  };
   for (const auto& arm : arms) {
-    const auto& r = arm.result;
-    identical = identical && r.masked == ref.masked &&
-                r.sdc_subtle == ref.sdc_subtle &&
-                r.sdc_distorted == ref.sdc_distorted &&
-                r.faulty_hits == ref.faulty_hits &&
-                r.faulty_passes == ref.faulty_passes &&
-                r.faulty_mean(metric) == ref.faulty_mean(metric);
+    identical = identical && matches_ref(arm.result);
   }
+  identical = identical && matches_ref(recorder_result);
 
   const double trials_s_ref = cfg.trials / ref.total_runtime_sec;
   const double passes_per_trial =
@@ -108,10 +144,15 @@ int main() {
   t.row({"passes/trial", report::fmt(passes_per_trial), "", "", "", "", ""});
   t.row({"outcomes identical", benchutil::check(identical), "", "", "", "",
          ""});
+  t.row({"recorder overhead",
+         report::fmt(recorder_overhead * 100.0) + "% (" +
+             report::fmt(rec_off_tok_s) + " -> " + report::fmt(rec_on_tok_s) +
+             " tok/s)",
+         benchutil::check(recorder_ok), "", "", "", ""});
   t.print(std::cout);
   std::printf("expected shape: batch >= 4 reaches >= 1.5x trials/s over "
               "seq fork-off once passes/trial >= 8; outcomes identical "
-              "must be yes.\n");
+              "must be yes; recorder overhead must stay <= 3%%.\n");
 
   std::filesystem::create_directories("bench_logs");
   std::ofstream json("bench_logs/BENCH_serve.json");
@@ -153,7 +194,12 @@ int main() {
          << (i + 1 < arms.size() ? "," : "") << "\n";
   }
   json << "  ],\n"
+       << "  \"recorder\": {\"tok_per_s_off\": " << rec_off_tok_s
+       << ", \"tok_per_s_on\": " << rec_on_tok_s
+       << ", \"overhead_frac\": " << recorder_overhead
+       << ", \"within_3pct\": " << (recorder_ok ? "true" : "false")
+       << "},\n"
        << "  \"outcomes_identical\": " << (identical ? "true" : "false")
        << "\n}\n";
-  return identical ? 0 : 1;
+  return identical && recorder_ok ? 0 : 1;
 }

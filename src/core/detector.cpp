@@ -3,9 +3,19 @@
 #include <cmath>
 #include <limits>
 
+#include "obs/recorder.h"
+
 namespace llmfi::core {
 
 namespace {
+
+// First-trip flight-recorder event, shared by every detector scheme.
+// Observation-only: fires after triggered_ is latched and reads nothing
+// back, so detection verdicts are identical with the recorder on/off.
+void record_trip(const nn::LinearId& site, int pass_index) {
+  obs::record_event(obs::RecType::DetectorTrip, pass_index,
+                    static_cast<std::int64_t>(site.kind), site.block);
+}
 
 // Checksum residual of one output row: |Σ_o y[r][o] − dot(x_r, s)|.
 // y = x·Wᵀ means Σ_o y[r][o] = Σ_i x[r][i]·(Σ_o W[o][i]) = dot(x_r, s)
@@ -53,6 +63,7 @@ void ActivationDetector::on_linear_output(const nn::LinearId& id,
       triggered_ = true;
       trip_site_ = id;
       trip_pass_ = pass_index;
+      record_trip(id, pass_index);
       return;
     }
   }
@@ -159,6 +170,7 @@ void ChecksumDetector::on_linear(const nn::LinearId& id, const tn::Tensor& x,
       triggered_ = true;
       trip_site_ = id;
       trip_pass_ = pass_index;
+      record_trip(id, pass_index);
       return;
     }
   }

@@ -5,8 +5,20 @@
 
 #include "nn/kv_cache.h"
 #include "numerics/bitflip.h"
+#include "obs/recorder.h"
 
 namespace llmfi::core {
+
+namespace {
+
+// Flight-recorder stamp for the moment a planned flip actually lands.
+// Fires after the tensor is already mutated and reads nothing back.
+void record_fired(const FiredRecord& rec) {
+  obs::record_event(obs::RecType::InjectFired, rec.pass_index, rec.row,
+                    rec.col);
+}
+
+}  // namespace
 
 ComputationalFaultInjector::ComputationalFaultInjector(FaultPlan plan,
                                                        num::DType act_dtype)
@@ -37,6 +49,7 @@ void ComputationalFaultInjector::on_linear_output(const nn::LinearId& id,
       num::flip_float_bits(rec.old_value, act_dtype_, plan_.bits);
   rec.new_value = y.at(rec.row, rec.col);
   record_ = rec;
+  record_fired(rec);
 }
 
 KvBitFaultInjector::KvBitFaultInjector(FaultPlan plan, num::DType act_dtype)
@@ -72,6 +85,7 @@ void KvBitFaultInjector::on_pass_begin(nn::KvCache& cache, int pass_index) {
     cache.set_key_at(block, rec.row, rec.col, rec.new_value);
   }
   record_ = rec;
+  record_fired(rec);
 }
 
 TpFaultInjector::TpFaultInjector(FaultPlan plan) : plan_(std::move(plan)) {
@@ -94,6 +108,7 @@ void TpFaultInjector::flip_in(tn::Tensor& partial, int pass_index) {
       num::flip_float_bits(rec.old_value, num::DType::F32, plan_.bits);
   rec.new_value = partial.at(rec.row, rec.col);
   record_ = rec;
+  record_fired(rec);
 }
 
 void TpFaultInjector::on_partials(const nn::LinearId& id,
@@ -141,6 +156,10 @@ WeightCorruption::WeightCorruption(model::InferenceModel& m,
   old_value_ = w.values().at(plan_.weight_row, plan_.weight_col);
   w.flip_bits(plan_.weight_row, plan_.weight_col, plan_.bits);
   new_value_ = w.values().at(plan_.weight_row, plan_.weight_col);
+  // Lifetime corruption lands before any forward runs, so the fired
+  // event is not pass-scoped (pass -1); row/col name the weight element.
+  obs::record_event(obs::RecType::InjectFired, /*pass=*/-1,
+                    plan_.weight_row, plan_.weight_col);
 }
 
 WeightCorruption::~WeightCorruption() {

@@ -140,6 +140,16 @@ void finish_outcome(TrialOutcome& out, ExampleResult faulty,
   out.output_matches_baseline = (faulty.output == base.output);
   out.metrics = std::move(faulty.metrics);
   out.output = std::move(faulty.output);
+  // Anomalous verdicts (corruption escaped, or detection failed to
+  // recover) trigger the flight recorder's first-anomaly dump so the
+  // trial's causal event chain survives for postmortem (DESIGN.md §16).
+  // Read-only on `out`, so classification is identical recorder on/off.
+  if (obs::recorder_enabled() &&
+      (out.outcome == core::OutcomeClass::SdcSubtle ||
+       out.outcome == core::OutcomeClass::SdcDistorted ||
+       out.outcome == core::OutcomeClass::DetectedUnrecovered)) {
+    obs::recorder_note_anomaly(obs::current_context().trial_id);
+  }
 }
 
 }  // namespace
@@ -198,6 +208,12 @@ TrialOutcome run_trial(model::InferenceModel& engine, const tok::Vocab& vocab,
                        const DetectionContext* detect,
                        const std::vector<gen::PrefixSnapshot>* snapshots,
                        std::shared_ptr<nn::PagePool> kv_pool) {
+  // Trial-scoped observability context: every span, recorder event, and
+  // detector trip below carries this trial id. Sequential trials have no
+  // HTTP identity, so trace/request ids stay 0.
+  obs::RequestContext trial_ctx;
+  trial_ctx.trial_id = trial;
+  obs::ContextScope trial_cscope(trial_ctx);
   obs::TraceScope trial_span("trial", trial);
   const int n_inputs = static_cast<int>(baselines.size());
   const int ei = trial % n_inputs;
@@ -212,6 +228,11 @@ TrialOutcome run_trial(model::InferenceModel& engine, const tok::Vocab& vocab,
   TrialOutcome out;
   out.example_index = ei;
   out.plan = core::sample_fault(cfg.fault, engine, scope, rng);
+  if (obs::recorder_enabled()) {
+    obs::record_event(obs::RecType::InjectArmed, out.plan.pass_index,
+                      static_cast<std::int64_t>(out.plan.model),
+                      out.plan.layer.block);
+  }
 
   const bool use_detect = detect != nullptr && cfg.detection.enabled();
 
@@ -526,6 +547,18 @@ void run_trials_batched(model::InferenceModel& engine,
         req.max_new_tokens = cfg.run.gen.max_new_tokens;
         req.eos = cfg.run.gen.eos;
         req.hook = &*ctx->injector;
+        // Same trial-scoped identity as the sequential path — the batch
+        // engine pushes it around this request's admission, decode rows,
+        // and retirement, so finish_outcome's anomaly hook sees the
+        // trial id via current_context().
+        req.ctx.trial_id = trial;
+        if (obs::recorder_enabled()) {
+          obs::ContextScope armed_scope(req.ctx);
+          obs::record_event(obs::RecType::InjectArmed,
+                            ctx->out.plan.pass_index,
+                            static_cast<std::int64_t>(ctx->out.plan.model),
+                            ctx->out.plan.layer.block);
+        }
         // Same fork gating as the sequential path; BatchEngine::admit
         // revalidates via gen::check_greedy_resume and falls back to a
         // full prefill on any snapshot drift.

@@ -7,6 +7,7 @@
 #include <limits>
 #include <stdexcept>
 
+#include "obs/recorder.h"
 #include "obs/trace.h"
 #include "tensor/ops.h"
 
@@ -68,6 +69,7 @@ tn::Tensor forward_checked(model::InferenceModel& m,
   for (int attempt = 0; attempt < max_recoveries && det->triggered();
        ++attempt) {
     obs::TraceScope rewind("recovery_rewind", pass_index);
+    obs::record_event(obs::RecType::RecoveryRewind, pass_index, attempt + 1);
     cache.truncate(len0);
     det->reset();
     // Discard the poisoned pass's diagnostics, but never clear a latch
@@ -79,8 +81,12 @@ tn::Tensor forward_checked(model::InferenceModel& m,
   }
   if (det->triggered()) {
     stats.unrecovered = true;
+    obs::record_event(obs::RecType::DetectorVerdict, pass_index, /*a0=*/0,
+                      stats.detections);
   } else {
     ++stats.recoveries;
+    obs::record_event(obs::RecType::DetectorVerdict, pass_index, /*a0=*/1,
+                      stats.detections);
   }
   return logits;
 }
@@ -193,8 +199,10 @@ GenerationResult greedy(model::InferenceModel& m,
     const int t = cfg.start_pass;
     {
       obs::TraceScope fork("prefix_fork_resume", t);
-      cache.fork_from(*snap->cache,
-                      snap->cache_len_before_pass[static_cast<size_t>(t)]);
+      const auto fork_len =
+          snap->cache_len_before_pass[static_cast<size_t>(t)];
+      obs::record_event(obs::RecType::KvFork, t, fork_len);
+      cache.fork_from(*snap->cache, fork_len);
     }
     result.tokens.assign(snap->tokens.begin(), snap->tokens.begin() + t);
     result.passes = t;
@@ -234,6 +242,9 @@ GenerationResult greedy(model::InferenceModel& m,
     next = static_cast<tok::TokenId>(tn::argmax_row(logits, 0));
   }
   result.nonfinite_logits = m.saw_nonfinite_logits();
+  if (result.nonfinite_logits) {
+    obs::record_event(obs::RecType::Nonfinite, result.passes);
+  }
   fold_stats(stats, result.detections, result.recoveries,
              result.recovery_passes, result.unrecovered_detection);
   if (cap != nullptr) {

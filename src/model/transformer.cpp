@@ -8,6 +8,7 @@
 
 #include "numerics/half.h"
 #include "nn/rope.h"
+#include "obs/context.h"
 #include "obs/trace.h"
 #include "quant/qmatmul.h"
 #include "shard/parallel_linear.h"
@@ -324,6 +325,10 @@ tn::Tensor InferenceModel::linear_batch(const nn::WeightMatrix& w,
   for (size_t r = 0; r < rows.size(); ++r) {
     nn::LinearHook* hook = rows[r].hook;
     if (hook == nullptr) continue;
+    // Attribute anything the hook records (injections, detector trips)
+    // to the request owning row r — see obs::RowContextGuard in the
+    // serve layer. Observation-only: never read by the dispatch itself.
+    obs::RowContextScope rctx(static_cast<int>(r));
     const auto t = static_cast<tn::Index>(r);
     tn::Tensor xrow({1, x.cols()});
     tn::Tensor yrow({1, y.cols()});
@@ -485,6 +490,9 @@ tn::Tensor InferenceModel::moe_mlp_batch(BlockStorage& blk, int block_idx,
   std::vector<int> chosen;
   for (tn::Index t = 0; t < h.rows(); ++t) {
     const auto r = static_cast<size_t>(t);
+    // Row context for the per-row expert linears below (same contract as
+    // the linear_batch per-row dispatch).
+    obs::RowContextScope rctx(static_cast<int>(t));
     auto lrow = router_logits.row(t);
     std::copy(lrow.begin(), lrow.end(), probs.begin());
     softmax_span(probs);

@@ -75,6 +75,8 @@ struct Sample {
   bool mismatch = false;
   bool error = false;
   int n_tokens = 0;
+  std::int64_t server_id = -1;  // engine request id from the done event
+  double sched_sec = 0.0;       // arrival offset from arm start
   double ttft_ms = 0.0;
   double e2e_ms = 0.0;
   std::vector<double> gaps_ms;  // inter-token arrival gaps
@@ -106,9 +108,21 @@ std::string LoadArmResult::json() const {
   out += buf;
   std::snprintf(buf, sizeof(buf),
                 ",\"slo_attainment\":%.4f,\"goodput_rps\":%.3f,"
-                "\"throughput_tok_s\":%.3f}",
+                "\"throughput_tok_s\":%.3f",
                 slo_attainment, goodput_rps, throughput_tok_s);
   out += buf;
+  out += ",\"worst_ttft\":[";
+  for (std::size_t i = 0; i < worst.size(); ++i) {
+    const RequestRecord& w = worst[i];
+    if (i > 0) out += ',';
+    std::snprintf(buf, sizeof(buf),
+                  "{\"index\":%d,\"server_id\":%lld,\"sched_sec\":%.3f,"
+                  "\"ttft_ms\":%.3f,\"gap_p99_ms\":%.3f,\"e2e_ms\":%.3f}",
+                  w.index, static_cast<long long>(w.server_id), w.sched_sec,
+                  w.ttft_ms, w.gap_p99_ms, w.e2e_ms);
+    out += buf;
+  }
+  out += "]}";
   return out;
 }
 
@@ -143,6 +157,8 @@ LoadArmResult run_load_arm(const std::string& host, int port,
         continue;
       }
       if (cfg.mode == ArrivalMode::Closed) base = Clock::now();
+      s.sched_sec =
+          std::chrono::duration<double>(base - t0).count();
 
       std::vector<tok::TokenId> got;
       Clock::time_point prev = base;
@@ -154,6 +170,7 @@ LoadArmResult run_load_arm(const std::string& host, int port,
         if (json_bool_field(ev, "done").value_or(false)) {
           saw_done = true;
           saw_cancelled = json_bool_field(ev, "cancelled").value_or(false);
+          s.server_id = json_int_field(ev, "id").value_or(-1);
           return true;
         }
         if (const auto tid = json_int_field(ev, "token_id")) {
@@ -201,7 +218,8 @@ LoadArmResult run_load_arm(const std::string& host, int port,
   r.wall_sec = wall;
   std::vector<double> ttfts, gaps, e2es;
   int slo_met = 0;
-  for (const Sample& s : samples) {
+  for (std::size_t si = 0; si < samples.size(); ++si) {
+    const Sample& s = samples[si];
     if (s.error) ++r.errors;
     if (!s.completed) continue;
     ++r.completed;
@@ -209,6 +227,17 @@ LoadArmResult run_load_arm(const std::string& host, int port,
     r.tokens += static_cast<std::uint64_t>(s.n_tokens);
     ttfts.push_back(s.ttft_ms);
     e2es.push_back(s.e2e_ms);
+    {
+      RequestRecord rec;
+      rec.index = static_cast<int>(si);
+      rec.server_id = s.server_id;
+      rec.sched_sec = s.sched_sec;
+      rec.ttft_ms = s.ttft_ms;
+      std::vector<double> own = s.gaps_ms;
+      rec.gap_p99_ms = percentile(own, 0.99);
+      rec.e2e_ms = s.e2e_ms;
+      r.worst.push_back(rec);
+    }
     double gap_sum = 0.0;
     for (const double g : s.gaps_ms) {
       gaps.push_back(g);
@@ -237,6 +266,14 @@ LoadArmResult run_load_arm(const std::string& host, int port,
   r.goodput_rps = wall > 0.0 ? static_cast<double>(slo_met) / wall : 0.0;
   r.throughput_tok_s =
       wall > 0.0 ? static_cast<double>(r.tokens) / wall : 0.0;
+  // Worst-TTFT dump: keep the 10 slowest-to-first-token requests (ties
+  // broken by arm index for a stable order).
+  std::sort(r.worst.begin(), r.worst.end(),
+            [](const RequestRecord& a, const RequestRecord& b) {
+              if (a.ttft_ms != b.ttft_ms) return a.ttft_ms > b.ttft_ms;
+              return a.index < b.index;
+            });
+  if (r.worst.size() > 10) r.worst.resize(10);
   return r;
 }
 

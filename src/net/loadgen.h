@@ -48,6 +48,19 @@ struct LoadArmConfig {
   bool verify = true;           // compare streamed ids to the oracle
 };
 
+// One completed request's identity + latency record, kept for the
+// worst-TTFT dump: `server_id` is the engine-assigned request id the SSE
+// done event reported, so a tail outlier here can be joined against the
+// server's GET /v1/requests/<id> flight-recorder timeline.
+struct RequestRecord {
+  int index = 0;            // arm-side request index
+  std::int64_t server_id = -1;  // server request id (-1 = not reported)
+  double sched_sec = 0.0;   // scheduled arrival, seconds from arm start
+  double ttft_ms = 0.0;
+  double gap_p99_ms = 0.0;  // p99 inter-token gap within this request
+  double e2e_ms = 0.0;
+};
+
 struct LoadArmResult {
   std::string name;
   std::string mode;
@@ -64,6 +77,9 @@ struct LoadArmResult {
   double goodput_rps = 0.0;     // SLO-met completions per wall second
   double throughput_tok_s = 0.0;
   std::uint64_t tokens = 0;
+  // The (up to) 10 completed requests with the worst TTFT, worst first —
+  // the outliers a tail-latency postmortem starts from.
+  std::vector<RequestRecord> worst;
 
   std::string json() const;  // one JSON object (BENCH_net.json arm entry)
 };

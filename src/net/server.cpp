@@ -9,11 +9,16 @@
 #include <unistd.h>
 
 #include <cerrno>
+#include <chrono>
+#include <cstdlib>
 #include <cstring>
+#include <optional>
 #include <stdexcept>
 #include <utility>
 
 #include "obs/metrics.h"
+#include "obs/recorder.h"
+#include "obs/slo.h"
 
 namespace llmfi::net {
 
@@ -37,6 +42,24 @@ int error_status(HttpError e) {
     case HttpError::LengthRequired: return 411;
     default: return 400;
   }
+}
+
+std::int64_t steady_now_us() {
+  return std::chrono::duration_cast<std::chrono::microseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+// Parses the <id> tail of /v1/requests/<id>; nullopt on empty or
+// non-numeric tails (404, matching an unknown request id).
+std::optional<std::uint64_t> parse_request_id(std::string_view tail) {
+  if (tail.empty() || tail.size() > 20) return std::nullopt;
+  std::uint64_t id = 0;
+  for (const char ch : tail) {
+    if (ch < '0' || ch > '9') return std::nullopt;
+    id = id * 10 + static_cast<std::uint64_t>(ch - '0');
+  }
+  return id;
 }
 
 }  // namespace
@@ -221,6 +244,13 @@ void Server::engine_main() {
           r.prompt = std::move(cmd.prompt);
           r.max_new_tokens = cmd.max_new_tokens;
           r.eos = backend_.vocab.eos();
+          // Observability identity, minted once at HTTP accept time:
+          // the connection id as the trace (one client interaction can
+          // pipeline several requests) and the engine request id — the
+          // same id the SSE done event reports — as the request, so a
+          // client can fetch GET /v1/requests/<id> afterwards.
+          r.ctx.trace_id = cmd.conn_id;
+          r.ctx.request_id = r.id;
           if (backend_.hook_factory) {
             auto ctx = backend_.hook_factory(r.id);
             if (ctx) {
@@ -483,8 +513,38 @@ void Server::route(Conn& c, const HttpRequest& req) {
     body += "}";
     queue_write(c, make_response(200, "application/json", body, ka));
   } else if (req.method == "GET" && target == "/metrics") {
+    // Fold the SLO windows into gauges at scrape time so every scrape
+    // sees attainment/burn over the seconds that just elapsed (no-op
+    // unless a front-end armed the monitor).
+    obs::SloMonitor::global().publish(
+        static_cast<std::uint64_t>(steady_now_us()));
     queue_write(c, make_response(200, "text/plain; version=0.0.4",
                                  obs::Registry::global().prometheus(), ka));
+  } else if (req.method == "GET" && target == "/varz") {
+    std::string body =
+        backend_.varz ? backend_.varz()
+                      : std::string("{\"server\":\"llmfi_serve\"}");
+    queue_write(c, make_response(200, "application/json", body, ka));
+  } else if (req.method == "GET" && target == "/v1/requests") {
+    // Full flight-recorder dump (the CI artifact): every event currently
+    // held in the per-thread rings, merged and time-ordered.
+    queue_write(c, make_response(200, "application/json",
+                                 obs::recorder_json(), ka));
+  } else if (req.method == "GET" &&
+             target.size() > 13 &&
+             target.substr(0, 13) == "/v1/requests/") {
+    const auto rid = parse_request_id(target.substr(13));
+    std::optional<std::string> timeline;
+    if (rid.has_value()) {
+      timeline = obs::recorder_request_timeline_json(*rid);
+    }
+    if (timeline.has_value()) {
+      queue_write(c, make_response(200, "application/json", *timeline, ka));
+    } else {
+      stats_.bad_requests.fetch_add(1);
+      queue_write(c, make_response(404, "application/json",
+                                   error_body("unknown request id"), ka));
+    }
   } else if (req.method == "POST" && target == "/v1/completions") {
     if (draining_pub_.load(std::memory_order_relaxed) ||
         drain_requested_.load()) {

@@ -105,6 +105,10 @@ class Server {
     // set it are clamped to ServerConfig::max_new_tokens.
     int default_max_new_tokens = 32;
     HookFactory hook_factory;  // null = no per-request fault context
+    // GET /varz body provider (JSON build/config snapshot — model shape,
+    // kernel tier, SLO thresholds...). Must be thread-safe: the io
+    // thread calls it per scrape. Null = a minimal built-in body.
+    std::function<std::string()> varz;
   };
 
   Server(ServerConfig cfg, Backend backend);

@@ -1,0 +1,60 @@
+#include "obs/context.h"
+
+namespace llmfi::obs {
+
+namespace {
+
+constexpr int kMaxDepth = 8;
+
+struct CtxStack {
+  RequestContext items[kMaxDepth];
+  int depth = 0;
+};
+
+thread_local CtxStack t_stack;
+thread_local const RequestContext* t_rows = nullptr;
+thread_local int t_n_rows = 0;
+
+const RequestContext kEmpty{};
+
+}  // namespace
+
+const RequestContext& current_context() {
+  return t_stack.depth > 0 ? t_stack.items[t_stack.depth - 1] : kEmpty;
+}
+
+ContextScope::ContextScope(const RequestContext& ctx) {
+  if (t_stack.depth < kMaxDepth) {
+    t_stack.items[t_stack.depth++] = ctx;
+    armed_ = true;
+  }
+}
+
+ContextScope::~ContextScope() {
+  if (armed_) --t_stack.depth;
+}
+
+RowContextGuard::RowContextGuard(const RequestContext* rows, int n)
+    : prev_rows_(t_rows), prev_n_(t_n_rows) {
+  t_rows = rows;
+  t_n_rows = rows != nullptr ? n : 0;
+}
+
+RowContextGuard::~RowContextGuard() {
+  t_rows = prev_rows_;
+  t_n_rows = prev_n_;
+}
+
+RowContextScope::RowContextScope(int row) {
+  if (t_rows != nullptr && row >= 0 && row < t_n_rows &&
+      t_stack.depth < kMaxDepth) {
+    t_stack.items[t_stack.depth++] = t_rows[row];
+    armed_ = true;
+  }
+}
+
+RowContextScope::~RowContextScope() {
+  if (armed_) --t_stack.depth;
+}
+
+}  // namespace llmfi::obs

@@ -1,0 +1,89 @@
+#pragma once
+// Request-context propagation (DESIGN.md §16): a small POD identifying
+// the request a piece of work belongs to — HTTP request id, campaign
+// trial id, and a trace id naming the run — carried on a thread_local
+// stack so deeply nested instrumentation (trace spans, recorder events,
+// detector trips inside a batched forward) can stamp the owning request
+// without threading an argument through every layer.
+//
+// Two scoping mechanisms:
+//   * ContextScope — RAII push/pop of one context on the calling
+//     thread's stack. Minted at HTTP accept (engine thread) and at
+//     campaign-trial start (worker thread / batched source).
+//   * Row contexts — forward_batch() advances several requests in one
+//     pass on one thread, so a single stack entry cannot attribute
+//     per-row events. BatchEngine::step() registers an array of per-row
+//     contexts (RowContextGuard) aligned with the BatchRow vector; the
+//     model's per-row hook dispatch wraps each hooked row in a
+//     RowContextScope(row), which pushes that row's context for the
+//     duration of the hook call. With no table registered (single-
+//     sequence gen::generate) RowContextScope is a no-op.
+//
+// Overhead contract: pushing a context is a couple of word stores into
+// a fixed-size thread_local array — no clocks, no allocation, no
+// atomics — and nothing here ever feeds back into computed results, so
+// campaign outputs are byte-identical with or without contexts minted.
+
+#include <cstdint>
+
+namespace llmfi::obs {
+
+struct RequestContext {
+  std::uint64_t trace_id = 0;    // run / server instance (0 = unset)
+  std::uint64_t request_id = 0;  // serve/HTTP request id (0 = unset)
+  std::int32_t trial_id = -1;    // campaign trial index (-1 = not a trial)
+
+  bool valid() const {
+    return trace_id != 0 || request_id != 0 || trial_id >= 0;
+  }
+};
+
+// The innermost context pushed on this thread, or an all-unset context
+// when the stack is empty.
+const RequestContext& current_context();
+
+// RAII push/pop of `ctx` on the calling thread's context stack. Pushes
+// beyond the fixed depth (8) are ignored (current_context() keeps
+// returning the deepest retained entry), so misuse degrades
+// attribution, never memory safety.
+class ContextScope {
+ public:
+  explicit ContextScope(const RequestContext& ctx);
+  ~ContextScope();
+  ContextScope(const ContextScope&) = delete;
+  ContextScope& operator=(const ContextScope&) = delete;
+
+ private:
+  bool armed_ = false;
+};
+
+// Registers `rows` (length `n`, caller-owned, must stay valid for the
+// guard's lifetime) as the calling thread's per-row context table.
+// Nested registration is not supported: the previous table is restored
+// on destruction.
+class RowContextGuard {
+ public:
+  RowContextGuard(const RequestContext* rows, int n);
+  ~RowContextGuard();
+  RowContextGuard(const RowContextGuard&) = delete;
+  RowContextGuard& operator=(const RowContextGuard&) = delete;
+
+ private:
+  const RequestContext* prev_rows_;
+  int prev_n_;
+};
+
+// Pushes the registered context for `row` (if a table is registered and
+// the index is in range) for the scope's lifetime; no-op otherwise.
+class RowContextScope {
+ public:
+  explicit RowContextScope(int row);
+  ~RowContextScope();
+  RowContextScope(const RowContextScope&) = delete;
+  RowContextScope& operator=(const RowContextScope&) = delete;
+
+ private:
+  bool armed_ = false;
+};
+
+}  // namespace llmfi::obs

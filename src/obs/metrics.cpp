@@ -73,6 +73,15 @@ void Histogram::reset() {
   sum_.store(0.0, std::memory_order_relaxed);
 }
 
+void Histogram::rebind_bounds(std::vector<double> bounds) {
+  if (!std::is_sorted(bounds.begin(), bounds.end())) {
+    throw std::invalid_argument("Histogram: bounds must be ascending");
+  }
+  bounds_ = std::move(bounds);
+  std::vector<std::atomic<std::uint64_t>> fresh(bounds_.size() + 1);
+  buckets_.swap(fresh);
+}
+
 // --- Registry ------------------------------------------------------------
 
 Registry& Registry::global() {
@@ -99,9 +108,22 @@ Histogram& Registry::histogram(const std::string& name,
   std::lock_guard<std::mutex> lock(mu_);
   auto& e = entries_[name];
   if (!e.histogram) {
-    e.histogram = std::make_unique<Histogram>(std::move(bounds));
+    const auto ov = bounds_overrides_.find(name);
+    e.histogram = std::make_unique<Histogram>(
+        ov != bounds_overrides_.end() ? ov->second : std::move(bounds));
   }
   return *e.histogram;
+}
+
+void Registry::set_histogram_bounds(const std::string& name,
+                                    std::vector<double> bounds) {
+  std::lock_guard<std::mutex> lock(mu_);
+  const auto it = entries_.find(name);
+  if (it != entries_.end() && it->second.histogram &&
+      it->second.histogram->count() == 0) {
+    it->second.histogram->rebind_bounds(bounds);
+  }
+  bounds_overrides_[name] = std::move(bounds);
 }
 
 void Registry::reset() {
@@ -252,6 +274,19 @@ const std::vector<double>& latency_us_buckets() {
 const std::vector<double>& small_count_buckets() {
   static const std::vector<double> b{0,  1,  2,  3,  4,  6,  8,
                                      12, 16, 24, 32, 48, 64, 128};
+  return b;
+}
+
+const std::vector<double>& serve_latency_us_buckets() {
+  // ~1.6x geometric steps from 10µs to 60s: sub-ms TTFTs land in fine
+  // buckets, multi-second stalls still resolve instead of piling into
+  // the +inf bucket.
+  static const std::vector<double> b{
+      10,      25,      50,      75,      100,      150,      250,
+      400,     650,     1000,    1500,    2500,     4000,     6500,
+      10000,   15000,   25000,   40000,   65000,    100000,   150000,
+      250000,  400000,  650000,  1000000, 1500000,  2500000,  4000000,
+      6500000, 10000000, 15000000, 25000000, 40000000, 60000000};
   return b;
 }
 

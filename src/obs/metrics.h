@@ -89,6 +89,11 @@ class Histogram {
   void reset();
 
  private:
+  friend class Registry;
+  // Swaps in a new bucket layout. Only legal while the histogram is
+  // empty and the registry mutex is held (set_histogram_bounds).
+  void rebind_bounds(std::vector<double> bounds);
+
   std::vector<double> bounds_;
   std::vector<std::atomic<std::uint64_t>> buckets_;  // bounds_.size() + 1
   std::atomic<std::uint64_t> count_{0};
@@ -104,8 +109,21 @@ class Registry {
   Counter& counter(const std::string& name);
   Gauge& gauge(const std::string& name);
   // Returns the existing histogram when `name` is already registered
-  // (the bounds of the first registration win).
+  // (the bounds of the first registration win). A bounds override
+  // installed via set_histogram_bounds() takes precedence over the
+  // caller's default layout.
   Histogram& histogram(const std::string& name, std::vector<double> bounds);
+
+  // Installs `bounds` as the bucket layout for `name`, overriding the
+  // default layout later histogram() registrations pass — the fix for
+  // callers whose shared layout (campaign-scale latency buckets) cannot
+  // resolve a specific instrument's range (sub-ms TTFT, multi-second
+  // tails). If the histogram already exists and has no observations its
+  // buckets are rebuilt in place; a populated histogram keeps its data
+  // and layout. Overrides survive reset() so tools can install them
+  // before metrics_start().
+  void set_histogram_bounds(const std::string& name,
+                            std::vector<double> bounds);
 
   void write_json(std::ostream& os) const;
   void write_prometheus(std::ostream& os) const;
@@ -128,6 +146,8 @@ class Registry {
   mutable std::mutex mu_;
   // Sorted by name (std::map) for deterministic export order.
   std::map<std::string, Entry> entries_;
+  // Per-name bucket-layout overrides; survive reset().
+  std::map<std::string, std::vector<double>> bounds_overrides_;
 };
 
 // Shorthands against the global registry, gated on metrics_enabled():
@@ -139,5 +159,11 @@ void observe(const std::string& name, std::vector<double> bounds, double v);
 // Shared bucket layouts (microsecond latencies; small nonneg integers).
 const std::vector<double>& latency_us_buckets();
 const std::vector<double>& small_count_buckets();
+// Serving-latency layout: finer sub-millisecond resolution than the
+// campaign-scale latency_us_buckets() and an upper range out to 60s, so
+// TTFT / token-gap histograms resolve both loopback microbenchmarks and
+// multi-second stalls without saturating the top bucket. Installed via
+// Registry::set_histogram_bounds by the serve tool.
+const std::vector<double>& serve_latency_us_buckets();
 
 }  // namespace llmfi::obs

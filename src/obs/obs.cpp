@@ -25,8 +25,13 @@ EnvConfig init_from_env() {
   EnvConfig cfg;
   cfg.trace_path = env_path("LLMFI_TRACE");
   cfg.metrics_path = env_path("LLMFI_METRICS");
+  cfg.recorder_path = env_path("LLMFI_RECORDER");
   if (cfg.trace_path) trace_start();
   if (cfg.metrics_path) metrics_start();
+  if (cfg.recorder_path) {
+    recorder_start();
+    recorder_set_dump_path(*cfg.recorder_path);
+  }
   return cfg;
 }
 
@@ -51,6 +56,13 @@ bool write_outputs(const EnvConfig& cfg) {
     if (!os.good()) {
       std::fprintf(stderr, "llmfi: failed to write metrics to %s\n",
                    cfg.metrics_path->c_str());
+      ok = false;
+    }
+  }
+  if (cfg.recorder_path) {
+    if (!recorder_write_json_file(*cfg.recorder_path)) {
+      std::fprintf(stderr, "llmfi: failed to write recorder dump to %s\n",
+                   cfg.recorder_path->c_str());
       ok = false;
     }
   }

@@ -10,22 +10,30 @@
 //   LLMFI_METRICS=<file>  collect metrics; file ending in .prom or .txt
 //                         gets Prometheus text exposition, anything else
 //                         gets JSON
+//   LLMFI_RECORDER=<file> arm the fault flight recorder; the full event
+//                         dump is written to file at exit, and the first
+//                         DetectedUnrecovered/SDC trial dumps eagerly
+//   LLMFI_RECORDER_RING=N per-thread ring capacity (default 4096)
 //   LLMFI_PROGRESS=1      periodic campaign progress line on stderr
 //                         ("0" disables; overrides CampaignConfig)
 
 #include <optional>
 #include <string>
 
+#include "obs/context.h"
 #include "obs/metrics.h"
 #include "obs/progress.h"
+#include "obs/recorder.h"
+#include "obs/slo.h"
 #include "obs/trace.h"
 
 namespace llmfi::obs {
 
 // Paths harvested from the environment by init_from_env().
 struct EnvConfig {
-  std::optional<std::string> trace_path;    // LLMFI_TRACE
-  std::optional<std::string> metrics_path;  // LLMFI_METRICS
+  std::optional<std::string> trace_path;     // LLMFI_TRACE
+  std::optional<std::string> metrics_path;   // LLMFI_METRICS
+  std::optional<std::string> recorder_path;  // LLMFI_RECORDER
 };
 
 // Reads LLMFI_TRACE / LLMFI_METRICS and enables the corresponding

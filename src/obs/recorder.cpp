@@ -1,0 +1,398 @@
+#include "obs/recorder.h"
+
+#include <fcntl.h>
+#include <signal.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <chrono>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <mutex>
+#include <ostream>
+#include <sstream>
+
+#include "obs/context.h"
+
+namespace llmfi::obs {
+
+namespace detail {
+std::atomic<bool> g_recorder_enabled{false};
+}  // namespace detail
+
+namespace {
+
+constexpr std::size_t kDefaultCapacity = 4096;
+
+// Slot layout (8 atomic words, one cache line):
+//   w0  seqlock version (odd = write in progress)
+//   w1  type (top byte) | per-thread event index (low 56 bits)
+//   w2  ts_us
+//   w3  trace_id
+//   w4  request_id
+//   w5  trial_id (high u32) | pass (low u32, two's complement)
+//   w6  a0
+//   w7  a1
+struct Slot {
+  std::atomic<std::uint64_t> w[8];
+};
+
+struct Ring {
+  std::atomic<std::uint64_t> head{0};  // next event index for this ring
+  std::atomic<Ring*> next{nullptr};    // intrusive global list
+  Slot* slots = nullptr;
+  std::size_t cap = 0;
+  int tid = 0;
+};
+
+std::atomic<Ring*> g_rings{nullptr};
+std::atomic<int> g_next_tid{1};
+std::atomic<std::size_t> g_capacity{0};  // 0 = not yet resolved
+std::mutex g_dump_mu;
+std::string g_dump_path;          // guarded by g_dump_mu
+bool g_anomaly_dumped = false;    // guarded by g_dump_mu
+char g_fatal_path[512] = {0};     // written before handler install only
+
+std::uint64_t now_us() {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::microseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+std::size_t resolve_capacity() {
+  std::size_t cap = g_capacity.load(std::memory_order_relaxed);
+  if (cap != 0) return cap;
+  cap = kDefaultCapacity;
+  if (const char* v = std::getenv("LLMFI_RECORDER_RING")) {
+    const long n = std::atol(v);
+    if (n >= 8 && n <= (1L << 24)) cap = static_cast<std::size_t>(n);
+  }
+  std::size_t expect = 0;
+  g_capacity.compare_exchange_strong(expect, cap, std::memory_order_relaxed);
+  return g_capacity.load(std::memory_order_relaxed);
+}
+
+Ring* make_ring() {
+  Ring* r = new Ring;
+  r->cap = resolve_capacity();
+  // Zero-initialized: version words start even (0) = stable-empty.
+  r->slots = new Slot[r->cap]();
+  r->tid = g_next_tid.fetch_add(1, std::memory_order_relaxed);
+  Ring* head = g_rings.load(std::memory_order_acquire);
+  do {
+    r->next.store(head, std::memory_order_relaxed);
+  } while (!g_rings.compare_exchange_weak(head, r,
+                                          std::memory_order_release,
+                                          std::memory_order_acquire));
+  return r;
+}
+
+Ring& thread_ring() {
+  thread_local Ring* t_ring = nullptr;
+  if (t_ring == nullptr) t_ring = make_ring();
+  return *t_ring;
+}
+
+constexpr std::uint64_t kIndexMask = (std::uint64_t{1} << 56) - 1;
+
+// Seqlock read of one slot; false when empty, mid-write, or torn.
+bool read_slot(const Slot& s, int tid, RecorderEvent& out) {
+  const std::uint64_t v1 = s.w[0].load(std::memory_order_acquire);
+  if (v1 == 0 || (v1 & 1) != 0) return false;
+  std::uint64_t w[8];
+  for (int i = 1; i < 8; ++i) w[i] = s.w[i].load(std::memory_order_relaxed);
+  std::atomic_thread_fence(std::memory_order_acquire);
+  if (s.w[0].load(std::memory_order_relaxed) != v1) return false;
+  out.type = static_cast<RecType>(w[1] >> 56);
+  out.index = w[1] & kIndexMask;
+  out.ts_us = w[2];
+  out.trace_id = w[3];
+  out.request_id = w[4];
+  out.trial_id = static_cast<std::int32_t>(
+      static_cast<std::uint32_t>(w[5] >> 32));
+  out.pass = static_cast<std::int32_t>(static_cast<std::uint32_t>(w[5]));
+  out.a0 = static_cast<std::int64_t>(w[6]);
+  out.a1 = static_cast<std::int64_t>(w[7]);
+  out.tid = tid;
+  return true;
+}
+
+// --- async-signal-safe formatting ----------------------------------------
+
+void fd_write(int fd, const char* s, std::size_t n) {
+  while (n > 0) {
+    const ssize_t w = ::write(fd, s, n);
+    if (w <= 0) return;
+    s += w;
+    n -= static_cast<std::size_t>(w);
+  }
+}
+
+void fd_puts(int fd, const char* s) { fd_write(fd, s, std::strlen(s)); }
+
+void fd_put_i64(int fd, std::int64_t v) {
+  char buf[24];
+  char* p = buf + sizeof(buf);
+  const bool neg = v < 0;
+  std::uint64_t u = neg ? 0 - static_cast<std::uint64_t>(v)
+                        : static_cast<std::uint64_t>(v);
+  do {
+    *--p = static_cast<char>('0' + (u % 10));
+    u /= 10;
+  } while (u != 0);
+  if (neg) *--p = '-';
+  fd_write(fd, p, static_cast<std::size_t>(buf + sizeof(buf) - p));
+}
+
+void fd_put_event(int fd, const RecorderEvent& e) {
+  fd_puts(fd, "{\"ts_us\":");
+  fd_put_i64(fd, static_cast<std::int64_t>(e.ts_us));
+  fd_puts(fd, ",\"tid\":");
+  fd_put_i64(fd, e.tid);
+  fd_puts(fd, ",\"seq\":");
+  fd_put_i64(fd, static_cast<std::int64_t>(e.index));
+  fd_puts(fd, ",\"type\":\"");
+  fd_puts(fd, rec_type_name(e.type));
+  fd_puts(fd, "\",\"trace\":");
+  fd_put_i64(fd, static_cast<std::int64_t>(e.trace_id));
+  fd_puts(fd, ",\"request\":");
+  fd_put_i64(fd, static_cast<std::int64_t>(e.request_id));
+  fd_puts(fd, ",\"trial\":");
+  fd_put_i64(fd, e.trial_id);
+  fd_puts(fd, ",\"pass\":");
+  fd_put_i64(fd, e.pass);
+  fd_puts(fd, ",\"a0\":");
+  fd_put_i64(fd, e.a0);
+  fd_puts(fd, ",\"a1\":");
+  fd_put_i64(fd, e.a1);
+  fd_puts(fd, "}");
+}
+
+void fatal_dump_handler(int sig) {
+  if (g_fatal_path[0] != '\0') {
+    const int fd = ::open(g_fatal_path, O_WRONLY | O_CREAT | O_TRUNC, 0644);
+    if (fd >= 0) {
+      recorder_dump_fd(fd);
+      ::close(fd);
+    }
+  }
+  ::signal(sig, SIG_DFL);
+  ::raise(sig);
+}
+
+}  // namespace
+
+namespace detail {
+
+void rec_push(RecType t, std::int64_t pass, std::int64_t a0,
+              std::int64_t a1) {
+  Ring& r = thread_ring();
+  const std::uint64_t idx = r.head.load(std::memory_order_relaxed);
+  Slot& s = r.slots[idx % r.cap];
+  const RequestContext& ctx = current_context();
+
+  const std::uint64_t v = s.w[0].load(std::memory_order_relaxed) + 1;  // odd
+  s.w[0].store(v, std::memory_order_relaxed);
+  std::atomic_thread_fence(std::memory_order_release);
+  s.w[1].store((static_cast<std::uint64_t>(t) << 56) | (idx & kIndexMask),
+               std::memory_order_relaxed);
+  s.w[2].store(now_us(), std::memory_order_relaxed);
+  s.w[3].store(ctx.trace_id, std::memory_order_relaxed);
+  s.w[4].store(ctx.request_id, std::memory_order_relaxed);
+  s.w[5].store((static_cast<std::uint64_t>(
+                    static_cast<std::uint32_t>(ctx.trial_id))
+                << 32) |
+                   static_cast<std::uint32_t>(static_cast<std::int32_t>(pass)),
+               std::memory_order_relaxed);
+  s.w[6].store(static_cast<std::uint64_t>(a0), std::memory_order_relaxed);
+  s.w[7].store(static_cast<std::uint64_t>(a1), std::memory_order_relaxed);
+  s.w[0].store(v + 1, std::memory_order_release);
+  r.head.store(idx + 1, std::memory_order_release);
+}
+
+}  // namespace detail
+
+const char* rec_type_name(RecType t) {
+  switch (t) {
+    case RecType::None: return "none";
+    case RecType::InjectArmed: return "inject_armed";
+    case RecType::InjectFired: return "inject_fired";
+    case RecType::DetectorTrip: return "detector_trip";
+    case RecType::DetectorVerdict: return "detector_verdict";
+    case RecType::RecoveryRewind: return "recovery_rewind";
+    case RecType::KvFork: return "kv_fork";
+    case RecType::KvCow: return "kv_cow";
+    case RecType::Cancel: return "cancel";
+    case RecType::Nonfinite: return "nonfinite";
+    case RecType::RequestAdmit: return "request_admit";
+    case RecType::RequestRetire: return "request_retire";
+  }
+  return "unknown";
+}
+
+void recorder_start(std::size_t ring_capacity) {
+  if (ring_capacity >= 8) {
+    g_capacity.store(ring_capacity, std::memory_order_relaxed);
+  }
+  detail::g_recorder_enabled.store(true, std::memory_order_relaxed);
+}
+
+void recorder_stop() {
+  detail::g_recorder_enabled.store(false, std::memory_order_relaxed);
+}
+
+void recorder_clear() {
+  for (Ring* r = g_rings.load(std::memory_order_acquire); r != nullptr;
+       r = r->next.load(std::memory_order_acquire)) {
+    for (std::size_t i = 0; i < r->cap; ++i) {
+      r->slots[i].w[0].store(0, std::memory_order_relaxed);
+    }
+    r->head.store(0, std::memory_order_release);
+  }
+  std::lock_guard<std::mutex> lock(g_dump_mu);
+  g_anomaly_dumped = false;
+}
+
+std::size_t recorder_ring_capacity() { return resolve_capacity(); }
+
+std::vector<RecorderEvent> recorder_snapshot() {
+  std::vector<RecorderEvent> out;
+  for (Ring* r = g_rings.load(std::memory_order_acquire); r != nullptr;
+       r = r->next.load(std::memory_order_acquire)) {
+    const std::uint64_t head = r->head.load(std::memory_order_acquire);
+    const std::uint64_t lo = head > r->cap ? head - r->cap : 0;
+    for (std::uint64_t i = lo; i < head; ++i) {
+      RecorderEvent e;
+      if (!read_slot(r->slots[i % r->cap], r->tid, e)) continue;
+      if (e.index != (i & kIndexMask)) continue;  // overwritten mid-read
+      out.push_back(e);
+    }
+  }
+  std::sort(out.begin(), out.end(),
+            [](const RecorderEvent& a, const RecorderEvent& b) {
+              if (a.ts_us != b.ts_us) return a.ts_us < b.ts_us;
+              if (a.tid != b.tid) return a.tid < b.tid;
+              return a.index < b.index;
+            });
+  return out;
+}
+
+std::vector<RecorderEvent> recorder_events_for_request(
+    std::uint64_t request_id) {
+  std::vector<RecorderEvent> out;
+  for (const RecorderEvent& e : recorder_snapshot()) {
+    if (e.request_id == request_id) out.push_back(e);
+  }
+  return out;
+}
+
+std::vector<RecorderEvent> recorder_events_for_trial(std::int32_t trial_id) {
+  std::vector<RecorderEvent> out;
+  for (const RecorderEvent& e : recorder_snapshot()) {
+    if (e.trial_id == trial_id) out.push_back(e);
+  }
+  return out;
+}
+
+std::string event_json(const RecorderEvent& e) {
+  char buf[256];
+  std::snprintf(buf, sizeof(buf),
+                "{\"ts_us\":%llu,\"tid\":%d,\"seq\":%llu,\"type\":\"%s\","
+                "\"trace\":%llu,\"request\":%llu,\"trial\":%d,\"pass\":%lld,"
+                "\"a0\":%lld,\"a1\":%lld}",
+                static_cast<unsigned long long>(e.ts_us), e.tid,
+                static_cast<unsigned long long>(e.index), rec_type_name(e.type),
+                static_cast<unsigned long long>(e.trace_id),
+                static_cast<unsigned long long>(e.request_id), e.trial_id,
+                static_cast<long long>(e.pass), static_cast<long long>(e.a0),
+                static_cast<long long>(e.a1));
+  return buf;
+}
+
+void recorder_write_json(std::ostream& os) {
+  os << "{\"ring_capacity\":" << recorder_ring_capacity() << ",\"events\":[";
+  bool first = true;
+  for (const RecorderEvent& e : recorder_snapshot()) {
+    if (!first) os << ",";
+    first = false;
+    os << "\n" << event_json(e);
+  }
+  os << "\n]}\n";
+}
+
+std::string recorder_json() {
+  std::ostringstream os;
+  recorder_write_json(os);
+  return os.str();
+}
+
+bool recorder_write_json_file(const std::string& path) {
+  std::ofstream os(path);
+  if (!os) return false;
+  recorder_write_json(os);
+  return os.good();
+}
+
+std::optional<std::string> recorder_request_timeline_json(
+    std::uint64_t request_id) {
+  const auto events = recorder_events_for_request(request_id);
+  if (events.empty()) return std::nullopt;
+  std::string out = "{\"request_id\":" + std::to_string(request_id) +
+                    ",\"events\":[";
+  for (std::size_t i = 0; i < events.size(); ++i) {
+    if (i > 0) out += ",";
+    out += "\n";
+    out += event_json(events[i]);
+  }
+  out += "\n]}\n";
+  return out;
+}
+
+void recorder_dump_fd(int fd) {
+  fd_puts(fd, "{\"events\":[");
+  bool first = true;
+  for (Ring* r = g_rings.load(std::memory_order_acquire); r != nullptr;
+       r = r->next.load(std::memory_order_acquire)) {
+    const std::uint64_t head = r->head.load(std::memory_order_acquire);
+    const std::uint64_t lo = head > r->cap ? head - r->cap : 0;
+    for (std::uint64_t i = lo; i < head; ++i) {
+      RecorderEvent e;
+      if (!read_slot(r->slots[i % r->cap], r->tid, e)) continue;
+      if (e.index != (i & kIndexMask)) continue;
+      if (!first) fd_puts(fd, ",");
+      first = false;
+      fd_puts(fd, "\n");
+      fd_put_event(fd, e);
+    }
+  }
+  fd_puts(fd, "\n]}\n");
+}
+
+void install_fatal_dump_handler(const char* path) {
+  std::snprintf(g_fatal_path, sizeof(g_fatal_path), "%s", path);
+  struct sigaction sa;
+  std::memset(&sa, 0, sizeof(sa));
+  sa.sa_handler = fatal_dump_handler;
+  sigemptyset(&sa.sa_mask);
+  for (int sig : {SIGABRT, SIGSEGV, SIGBUS, SIGFPE}) {
+    ::sigaction(sig, &sa, nullptr);
+  }
+}
+
+void recorder_set_dump_path(const std::string& path) {
+  std::lock_guard<std::mutex> lock(g_dump_mu);
+  g_dump_path = path;
+  g_anomaly_dumped = false;
+}
+
+void recorder_note_anomaly(std::int32_t trial_id) {
+  (void)trial_id;
+  std::lock_guard<std::mutex> lock(g_dump_mu);
+  if (g_dump_path.empty() || g_anomaly_dumped) return;
+  g_anomaly_dumped = true;
+  recorder_write_json_file(g_dump_path);
+}
+
+}  // namespace llmfi::obs

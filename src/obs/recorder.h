@@ -1,0 +1,133 @@
+#pragma once
+// Fault flight recorder (DESIGN.md §16): a fixed-size lock-free
+// per-thread ring buffer of compact binary events — injection armed /
+// fired, detector trip + verdict, recovery rewind, KV fork / COW,
+// cancel, nonfinite flag, request admit / retire — cheap enough to
+// leave on in Release builds. Where the tracer answers "where did the
+// time go", the recorder answers "what happened to THIS request": every
+// event is stamped with the current obs::RequestContext, so an
+// anomalous trial or a tail-latency HTTP request yields a replayable
+// causal timeline (fault plan → injection → trip → rewinds → verdict)
+// instead of a bare outcome enum.
+//
+// Memory model: each thread owns one heap-allocated ring of 64-byte
+// slots (8 atomic words). The writer is single-producer: it claims the
+// next slot from its own head counter, marks the slot's version word
+// odd, stores the payload, marks it even, then publishes the head — a
+// per-slot seqlock. Readers (dump endpoints, the signal handler) walk
+// all rings concurrently: a slot whose version word is odd or changes
+// across the payload read is discarded, and entries older than
+// head − capacity are treated as overwritten. Every access is a relaxed
+// or acquire/release atomic, so dump-while-writing is TSan-clean by
+// construction. Rings are registered on a lock-free intrusive list and
+// never freed — events from exited campaign workers stay dumpable, and
+// the fatal-signal handler can walk the list without locks.
+//
+// Overhead contract: like the tracer, a disabled recorder costs one
+// relaxed atomic load per site; an enabled one costs a clock read plus
+// eight relaxed stores into thread-private cache lines. Nothing here is
+// ever read back by the compute path, so CampaignResult stays
+// byte-identical with the recorder on or off.
+
+#include <atomic>
+#include <cstdint>
+#include <iosfwd>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace llmfi::obs {
+
+enum class RecType : std::uint8_t {
+  None = 0,
+  InjectArmed,     // fault plan sampled: pass = planned pass, a0 = model,
+                   //   a1 = target block
+  InjectFired,     // flip landed: a0 = row, a1 = col
+  DetectorTrip,    // detector latched: a0 = layer kind, a1 = block
+  DetectorVerdict, // end-of-request/recovery verdict: a0 = 1 clean /
+                   //   0 tripped-unrecovered, a1 = trips observed
+  RecoveryRewind,  // rewind-and-retry attempt: a0 = attempt number
+  KvFork,          // prefix-fork resume: a0 = forked length (rows)
+  KvCow,           // copy-on-write page split: a0 = page index
+  Cancel,          // request cancelled: a0 = 1 queued / 0 active
+  Nonfinite,       // nonfinite logits observed on retirement
+  RequestAdmit,    // a0 = prompt length, a1 = 1 forked admission
+  RequestRetire,   // a0 = generated tokens, a1 = 1 cancelled
+};
+
+const char* rec_type_name(RecType t);
+
+struct RecorderEvent {
+  std::uint64_t ts_us = 0;
+  std::uint64_t index = 0;  // per-thread sequence number
+  std::uint64_t trace_id = 0;
+  std::uint64_t request_id = 0;
+  std::int64_t pass = -1;
+  std::int64_t a0 = 0;
+  std::int64_t a1 = 0;
+  std::int32_t trial_id = -1;
+  int tid = 0;
+  RecType type = RecType::None;
+};
+
+namespace detail {
+extern std::atomic<bool> g_recorder_enabled;
+void rec_push(RecType t, std::int64_t pass, std::int64_t a0, std::int64_t a1);
+}  // namespace detail
+
+inline bool recorder_enabled() {
+  return detail::g_recorder_enabled.load(std::memory_order_relaxed);
+}
+
+// Records one event stamped with current_context(); no-op (beyond the
+// flag check) while the recorder is disabled.
+inline void record_event(RecType t, std::int64_t pass = -1,
+                         std::int64_t a0 = 0, std::int64_t a1 = 0) {
+  if (recorder_enabled()) detail::rec_push(t, pass, a0, a1);
+}
+
+// Starts recording. `ring_capacity` (events per thread) applies to
+// rings created after the call; 0 keeps the current capacity (default
+// 4096, overridable via LLMFI_RECORDER_RING). Does not clear.
+void recorder_start(std::size_t ring_capacity = 0);
+// Stops recording; buffered events are retained for dumps.
+void recorder_stop();
+// Drops all buffered events. Callers must quiesce writers first (the
+// campaign drivers clear between runs, never mid-campaign).
+void recorder_clear();
+std::size_t recorder_ring_capacity();
+
+// Stable snapshot of every ring, merged and sorted by (ts_us, tid,
+// index). Slots being overwritten during the read are skipped.
+std::vector<RecorderEvent> recorder_snapshot();
+std::vector<RecorderEvent> recorder_events_for_request(
+    std::uint64_t request_id);
+std::vector<RecorderEvent> recorder_events_for_trial(std::int32_t trial_id);
+
+// Full dump: {"ring_capacity":N,"events":[...]} with one compact object
+// per event.
+void recorder_write_json(std::ostream& os);
+std::string recorder_json();
+bool recorder_write_json_file(const std::string& path);
+// Timeline for one request id ({"request_id":N,"events":[...]}), or
+// nullopt when no event carries the id — the /v1/requests/<id> payload.
+std::optional<std::string> recorder_request_timeline_json(
+    std::uint64_t request_id);
+std::string event_json(const RecorderEvent& e);
+
+// Async-signal-safe dump of every ring to `fd` (unsorted, ring by
+// ring): only write(2) plus lock-free atomics.
+void recorder_dump_fd(int fd);
+// Installs a SIGABRT/SIGSEGV/SIGBUS/SIGFPE handler that dumps the
+// recorder to `path` and then re-raises with the default disposition.
+// `path` is copied into static storage; later calls replace it.
+void install_fatal_dump_handler(const char* path);
+
+// Anomaly dump hook: `path` names the file recorder_note_anomaly()
+// writes the full JSON dump to (first anomaly wins; subsequent calls
+// are no-ops). The campaign driver calls note_anomaly on
+// DetectedUnrecovered / SDC trial outcomes.
+void recorder_set_dump_path(const std::string& path);
+void recorder_note_anomaly(std::int32_t trial_id);
+
+}  // namespace llmfi::obs

@@ -1,0 +1,106 @@
+#include "obs/slo.h"
+
+#include <algorithm>
+
+#include "obs/metrics.h"
+
+namespace llmfi::obs {
+
+void SloMonitor::configure(const SloConfig& cfg) { cfg_ = cfg; }
+
+void SloMonitor::record(Series& s, std::uint64_t now_us, bool good) {
+  const std::uint64_t sec = now_us / 1000000u;
+  Bucket& b = s.b[sec % kBuckets];
+  std::uint64_t held = b.second.load(std::memory_order_relaxed);
+  if (held != sec) {
+    // The bucket last held a second at least kBuckets ago: recycle it.
+    // Racing recorders both reset; the loser's counts for the stale
+    // second are dropped, which is fine for a sliding-window estimate.
+    b.second.store(sec, std::memory_order_relaxed);
+    b.total.store(0, std::memory_order_relaxed);
+    b.good.store(0, std::memory_order_relaxed);
+  }
+  b.total.fetch_add(1, std::memory_order_relaxed);
+  if (good) b.good.fetch_add(1, std::memory_order_relaxed);
+}
+
+void SloMonitor::record_ttft(std::uint64_t now_us, double ttft_ms) {
+  record(ttft_, now_us, ttft_ms <= cfg_.ttft_slo_ms);
+}
+
+void SloMonitor::record_gap(std::uint64_t now_us, double gap_ms) {
+  record(gap_, now_us, gap_ms <= cfg_.token_gap_slo_ms);
+}
+
+SloWindow SloMonitor::window(const Series& s, std::uint64_t now_sec,
+                             int width, double objective) {
+  std::uint64_t total = 0;
+  std::uint64_t good = 0;
+  for (int i = 0; i < width; ++i) {
+    if (now_sec < static_cast<std::uint64_t>(i)) break;
+    const std::uint64_t sec = now_sec - static_cast<std::uint64_t>(i);
+    const Bucket& b = s.b[sec % kBuckets];
+    if (b.second.load(std::memory_order_relaxed) != sec) continue;
+    total += b.total.load(std::memory_order_relaxed);
+    good += b.good.load(std::memory_order_relaxed);
+  }
+  SloWindow w;
+  w.total = total;
+  w.attainment = total > 0
+                     ? static_cast<double>(good) / static_cast<double>(total)
+                     : 1.0;
+  const double budget = 1.0 - objective;
+  w.burn_rate = budget > 0.0 ? (1.0 - w.attainment) / budget : 0.0;
+  return w;
+}
+
+SloSnapshot SloMonitor::snapshot(std::uint64_t now_us) const {
+  const std::uint64_t sec = now_us / 1000000u;
+  SloSnapshot snap;
+  snap.ttft_1s = window(ttft_, sec, 1, cfg_.objective);
+  snap.ttft_10s = window(ttft_, sec, 10, cfg_.objective);
+  snap.ttft_60s = window(ttft_, sec, 60, cfg_.objective);
+  snap.gap_1s = window(gap_, sec, 1, cfg_.objective);
+  snap.gap_10s = window(gap_, sec, 10, cfg_.objective);
+  snap.gap_60s = window(gap_, sec, 60, cfg_.objective);
+  return snap;
+}
+
+void SloMonitor::publish(std::uint64_t now_us) {
+  if (!enabled()) return;
+  const SloSnapshot snap = snapshot(now_us);
+  auto& reg = Registry::global();
+  const auto set = [&reg](const char* slo, const char* win,
+                          const SloWindow& w) {
+    const std::string tail = std::string("{slo=\"") + slo + "\",window=\"" +
+                             win + "\"}";
+    reg.gauge("slo_attainment" + tail).set(w.attainment);
+    reg.gauge("slo_burn_rate" + tail).set(w.burn_rate);
+  };
+  set("ttft", "1s", snap.ttft_1s);
+  set("ttft", "10s", snap.ttft_10s);
+  set("ttft", "60s", snap.ttft_60s);
+  set("token_gap", "1s", snap.gap_1s);
+  set("token_gap", "10s", snap.gap_10s);
+  set("token_gap", "60s", snap.gap_60s);
+  reg.gauge("slo_objective").set(cfg_.objective);
+  reg.gauge("slo_ttft_ms").set(cfg_.ttft_slo_ms);
+  reg.gauge("slo_token_gap_ms").set(cfg_.token_gap_slo_ms);
+}
+
+void SloMonitor::reset() {
+  for (Series* s : {&ttft_, &gap_}) {
+    for (auto& b : s->b) {
+      b.second.store(0, std::memory_order_relaxed);
+      b.total.store(0, std::memory_order_relaxed);
+      b.good.store(0, std::memory_order_relaxed);
+    }
+  }
+}
+
+SloMonitor& SloMonitor::global() {
+  static SloMonitor m;
+  return m;
+}
+
+}  // namespace llmfi::obs

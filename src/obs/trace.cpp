@@ -7,6 +7,8 @@
 #include <sstream>
 #include <vector>
 
+#include "obs/context.h"
+
 namespace llmfi::obs {
 
 namespace detail {
@@ -19,6 +21,10 @@ struct TraceEvent {
   const char* name;    // literal; "E" events reuse the begin's name slot
   std::int64_t ts_us;  // microseconds since the process trace epoch
   std::int64_t arg;
+  // Owning request (obs/context.h) at emission time; all-unset outside
+  // a ContextScope, in which case no args fields are serialized and the
+  // output is byte-identical to the pre-context format.
+  RequestContext ctx;
   int tid;
   char ph;  // 'B', 'E', or 'i'
   bool has_arg;
@@ -79,7 +85,8 @@ void push_event(const char* name, char ph, std::int64_t arg, bool has_arg) {
     buf.generation = gen;
   }
   buf.events.push_back(
-      TraceEvent{name, now_us(), arg, buf.tid, ph, has_arg});
+      TraceEvent{name, now_us(), arg, current_context(), buf.tid, ph,
+                 has_arg});
 }
 
 void json_escape(std::ostream& os, const char* s) {
@@ -150,7 +157,24 @@ void trace_write_json(std::ostream& os) {
     os << "\",\"ph\":\"" << e.ph << "\",\"ts\":" << e.ts_us
        << ",\"pid\":1,\"tid\":" << e.tid;
     if (e.ph == 'i') os << ",\"s\":\"t\"";  // thread-scoped instant
-    if (e.has_arg) os << ",\"args\":{\"v\":" << e.arg << "}";
+    if (e.has_arg || e.ctx.valid()) {
+      os << ",\"args\":{";
+      bool first_arg = true;
+      const auto field = [&](const char* key, std::int64_t v) {
+        if (!first_arg) os << ",";
+        first_arg = false;
+        os << "\"" << key << "\":" << v;
+      };
+      if (e.has_arg) field("v", e.arg);
+      if (e.ctx.trace_id != 0) {
+        field("trace", static_cast<std::int64_t>(e.ctx.trace_id));
+      }
+      if (e.ctx.request_id != 0) {
+        field("req", static_cast<std::int64_t>(e.ctx.request_id));
+      }
+      if (e.ctx.trial_id >= 0) field("trial", e.ctx.trial_id);
+      os << "}";
+    }
     os << "}" << (i + 1 < g_events.size() ? "," : "") << "\n";
   }
   os << "]}\n";

@@ -10,6 +10,8 @@
 #include <sstream>
 #include <string_view>
 
+#include "tensor/kernels.h"
+
 namespace llmfi::report {
 
 namespace {
@@ -100,6 +102,18 @@ BenchMetadata bench_metadata(double wall_clock_sec) {
       v != nullptr && *v != '\0') {
     meta.prefix_fork = std::string_view(v) != "0";
   }
+  meta.kernel_tier = tn::kernel_tier_name(tn::kernel_tier());
+  meta.tp = env_int_or("LLMFI_TP", 1);
+  // kv_pages legitimately parses to 0 (contiguous caches), which
+  // env_int_or's >= 1 floor rejects — parse it directly.
+  if (const char* v = std::getenv("LLMFI_KV_PAGES");
+      v != nullptr && *v != '\0') {
+    char* end = nullptr;
+    const long parsed = std::strtol(v, &end, 10);
+    if (end != v && *end == '\0' && parsed >= 0 && parsed <= 1 << 20) {
+      meta.kv_pages = static_cast<int>(parsed);
+    }
+  }
   meta.wall_clock_sec = wall_clock_sec;
   return meta;
 }
@@ -112,6 +126,9 @@ std::string BenchMetadata::json() const {
      << "\"threads\": " << threads << ", "
      << "\"batch\": " << batch << ", "
      << "\"prefix_fork\": " << (prefix_fork ? "true" : "false") << ", "
+     << "\"kernel_tier\": \"" << json_escape(kernel_tier) << "\", "
+     << "\"tp\": " << tp << ", "
+     << "\"kv_pages\": " << kv_pages << ", "
      << "\"wall_clock_sec\": " << wall_clock_sec << "}";
   return os.str();
 }

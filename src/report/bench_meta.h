@@ -16,6 +16,11 @@ struct BenchMetadata {
   int threads = 1;           // LLMFI_THREADS in force (1 when unset)
   int batch = 1;             // LLMFI_BATCH in force (1 when unset)
   bool prefix_fork = true;   // LLMFI_PREFIX_FORK in force
+  // Execution-surface knobs that change which code paths a number was
+  // measured on, even though outputs are bit-identical across them.
+  std::string kernel_tier;   // active tn::KernelTier at collection time
+  int tp = 1;                // LLMFI_TP in force (1 when unset)
+  int kv_pages = 0;          // LLMFI_KV_PAGES in force (0 = contiguous)
   double wall_clock_sec = 0.0;
 
   // The metadata block as a JSON object (no trailing newline), for

@@ -7,6 +7,8 @@
 
 #include "core/injector.h"
 #include "obs/metrics.h"
+#include "obs/recorder.h"
+#include "obs/slo.h"
 #include "obs/trace.h"
 #include "tensor/ops.h"
 
@@ -81,7 +83,20 @@ void BatchEngine::retire(Slot& slot, bool hit_max,
   // frees budget for the scheduler's next can_admit() check; contiguous
   // slots keep their storage (reset() on reuse is enough and cheaper).
   if (slot.cache.paged()) slot.cache.reset();
+  // Retirement (and the on_done callback chain it drives — SSE done
+  // events, campaign classification) runs under the request's context so
+  // downstream spans/events attribute correctly.
+  obs::ContextScope cscope(slot.req.ctx);
   obs::trace_instant("retire", static_cast<std::int64_t>(c.id));
+  if (obs::recorder_enabled()) {
+    if (cancelled) obs::record_event(obs::RecType::Cancel, c.passes);
+    if (c.nonfinite_logits) {
+      obs::record_event(obs::RecType::Nonfinite, c.passes);
+    }
+    obs::record_event(obs::RecType::RequestRetire, c.passes,
+                      static_cast<std::int64_t>(c.tokens.size()),
+                      cancelled ? 1 : 0);
+  }
   if (slot.req.on_done) slot.req.on_done(c);
   done.push_back(std::move(c));
 }
@@ -143,8 +158,15 @@ void BatchEngine::admit(Request req, std::vector<Completion>& done) {
   // request's hook is scoped with the same RAII guard the sequential
   // campaign path uses (on_install() re-arms it), and the engine-level
   // nonfinite latch is isolated into this slot.
+  obs::ContextScope cscope(slot->req.ctx);
   obs::TraceScope admit_span("admission",
                              static_cast<std::int64_t>(slot->req.id));
+  if (obs::recorder_enabled()) {
+    obs::record_event(obs::RecType::RequestAdmit,
+                      /*pass=*/snap != nullptr ? slot->req.start_pass : 0,
+                      static_cast<std::int64_t>(slot->req.prompt.size()),
+                      /*a1=*/snap != nullptr ? 1 : 0);
+  }
   const std::int64_t admit_t0 = obs::metrics_enabled() ? steady_us() : 0;
   tn::Tensor logits;
   {
@@ -157,9 +179,13 @@ void BatchEngine::admit(Request req, std::vector<Completion>& done) {
       const int t = slot->req.start_pass;
       {
         obs::TraceScope fork("prefix_fork_resume", t);
-        slot->cache.fork_from(
-            *snap->cache,
-            snap->cache_len_before_pass[static_cast<size_t>(t)]);
+        const tn::Index fork_len =
+            snap->cache_len_before_pass[static_cast<size_t>(t)];
+        slot->cache.fork_from(*snap->cache, fork_len);
+        if (obs::recorder_enabled()) {
+          obs::record_event(obs::RecType::KvFork, t,
+                            static_cast<std::int64_t>(fork_len));
+        }
       }
       slot->tokens.assign(snap->tokens.begin(), snap->tokens.begin() + t);
       slot->passes = t;
@@ -192,6 +218,8 @@ void BatchEngine::admit(Request req, std::vector<Completion>& done) {
         slot->req.enqueue_us > 0 ? slot->req.enqueue_us : admit_t0;
     obs::observe("serve_ttft_us", obs::latency_us_buckets(),
                  static_cast<double>(now - from));
+    obs::SloMonitor::global().record_ttft(
+        now, static_cast<double>(now - from) / 1000.0);
     if (slot->req.enqueue_us > 0) {
       obs::observe("serve_queue_wait_us", obs::latency_us_buckets(),
                    static_cast<double>(admit_t0 - slot->req.enqueue_us));
@@ -215,6 +243,7 @@ void BatchEngine::step(std::vector<Completion>& done) {
   std::vector<model::InferenceModel::BatchRow> rows;
   live.reserve(slots_.size());
   rows.reserve(slots_.size());
+  row_ctxs_.clear();
   for (auto& s : slots_) {
     if (!s.active) continue;
     live.push_back(&s);
@@ -223,21 +252,38 @@ void BatchEngine::step(std::vector<Completion>& done) {
                     .pass_index = s.step_idx + 1,
                     .hook = s.req.hook,
                     .nonfinite = false});
+    row_ctxs_.push_back(s.req.ctx);
   }
   if (rows.empty()) return;
 
   obs::TraceScope step_span("decode_step",
                             static_cast<std::int64_t>(rows.size()));
   const std::int64_t step_t0 = obs::metrics_enabled() ? steady_us() : 0;
-  tn::Tensor logits = model_.forward_batch(rows);
+  tn::Tensor logits;
+  {
+    // Per-row contexts: hooks dispatched for row r inside forward_batch
+    // (injections, detector trips) stamp their events with request r's
+    // identity via obs::RowContextScope in the model layer.
+    obs::RowContextGuard row_guard(row_ctxs_.data(),
+                                   static_cast<int>(row_ctxs_.size()));
+    logits = model_.forward_batch(rows);
+  }
   ++stats_.decode_batches;
   stats_.decode_rows += rows.size();
   if (obs::metrics_enabled()) {
-    const double us = static_cast<double>(steady_us() - step_t0);
+    const std::int64_t now = steady_us();
+    const double us = static_cast<double>(now - step_t0);
     obs::observe("serve_decode_token_us", obs::latency_us_buckets(),
                  us / static_cast<double>(rows.size()));
     obs::observe("serve_batch_occupancy", obs::small_count_buckets(),
                  static_cast<double>(rows.size()));
+    // Each live request observed one inter-token gap of (roughly) the
+    // whole step's wall time — batched decode serializes rows into one
+    // forward, so the step duration is what a streaming client sees
+    // between tokens.
+    for (size_t r = 0; r < rows.size(); ++r) {
+      obs::SloMonitor::global().record_gap(now, us / 1000.0);
+    }
   }
 
   for (size_t r = 0; r < live.size(); ++r) {

@@ -14,6 +14,7 @@
 
 #include "gen/generate.h"
 #include "model/transformer.h"
+#include "obs/context.h"
 
 namespace llmfi::serve {
 
@@ -65,6 +66,12 @@ struct Request {
   // histogram. Never read by the decode path, so it cannot perturb
   // outputs. -1 = unstamped.
   std::int64_t enqueue_us = -1;
+  // Observability identity (DESIGN.md §16): pushed as the current
+  // obs::RequestContext for the request's admission pass, decode rows,
+  // and retirement, so trace spans, flight-recorder events, and SLO
+  // samples attribute to this request. Never read by the decode path —
+  // outputs are identical with or without a context.
+  obs::RequestContext ctx;
 };
 
 struct EngineStats {
@@ -163,6 +170,11 @@ class BatchEngine {
   std::vector<Slot> slots_;
   int active_ = 0;
   EngineStats stats_;
+  // Scratch: per-row request contexts for the current decode batch,
+  // registered via obs::RowContextGuard so per-row hook events (detector
+  // trips, injections) attribute to the right request. Rebuilt alongside
+  // `rows` every step; kept as a member only to reuse the allocation.
+  std::vector<obs::RequestContext> row_ctxs_;
 };
 
 }  // namespace llmfi::serve

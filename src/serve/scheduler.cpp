@@ -4,7 +4,9 @@
 #include <stdexcept>
 #include <utility>
 
+#include "obs/context.h"
 #include "obs/metrics.h"
+#include "obs/recorder.h"
 
 namespace llmfi::serve {
 
@@ -115,6 +117,12 @@ bool Scheduler::cancel(std::uint64_t id, std::vector<Completion>& done) {
                    static_cast<double>(steady_us() - it->enqueue_us));
     }
     it->enqueue_us = -1;
+    // Queued-cancel never reaches the engine, so this is the only place
+    // its Cancel event (pass -1: no forward ever ran) can be recorded.
+    if (obs::recorder_enabled()) {
+      obs::ContextScope cscope(it->ctx);
+      obs::record_event(obs::RecType::Cancel, /*pass=*/-1, /*a0=*/1);
+    }
     Completion c;
     c.id = id;
     c.cancelled = true;

@@ -20,6 +20,9 @@
 #include "net/loadgen.h"
 #include "net/server.h"
 #include "model/transformer.h"
+#include "obs/metrics.h"
+#include "obs/recorder.h"
+#include "obs/slo.h"
 #include "serve/scheduler.h"
 
 namespace llmfi {
@@ -188,7 +191,11 @@ model::ModelConfig tiny_config(int max_seq = 48) {
 
 tok::Vocab tiny_vocab() {
   tok::Vocab v;  // pad/bos/eos/unk preinstalled
-  while (v.size() < 24) v.add("w" + std::to_string(v.size()));
+  while (v.size() < 24) {
+    std::string word = "w";
+    word += std::to_string(v.size());
+    v.add(word);
+  }
   return v;
 }
 
@@ -245,7 +252,7 @@ TEST(NetLoopback, StreamedTokensMatchSequentialOracle) {
   net::ServerConfig scfg;
   scfg.port = 0;
   scfg.max_new_tokens = 10;
-  net::Server server(scfg, {sched, vocab, 10, {}});
+  net::Server server(scfg, {sched, vocab, 10, {}, {}});
   server.start();
 
   const std::vector<std::vector<tok::TokenId>> prompts = {
@@ -309,7 +316,7 @@ TEST(NetLoopback, DisconnectCancelsInFlightAndFreesKvPages) {
   net::ServerConfig scfg;
   scfg.port = 0;
   scfg.max_new_tokens = 900;
-  net::Server server(scfg, {sched, vocab, 900, {}});
+  net::Server server(scfg, {sched, vocab, 900, {}, {}});
   server.start();
 
   net::HttpClient client;
@@ -342,6 +349,134 @@ TEST(NetLoopback, DisconnectCancelsInFlightAndFreesKvPages) {
   EXPECT_EQ(pool->free_pages(), total_pages);
 }
 
+// --- observability endpoints (DESIGN.md §16) ------------------------------
+
+// Streams one completion and returns the server-assigned request id
+// carried on the done event.
+std::int64_t stream_and_get_id(net::HttpClient& client,
+                               const std::vector<tok::TokenId>& prompt,
+                               int max_new) {
+  std::int64_t id = -1;
+  const auto resp = client.post_sse(
+      "/v1/completions", ids_body(prompt, max_new),
+      [&](const std::string& ev) {
+        if (ev != "[DONE]" &&
+            net::json_bool_field(ev, "done").value_or(false)) {
+          id = net::json_int_field(ev, "id").value_or(-1);
+        }
+        return true;
+      });
+  EXPECT_TRUE(resp.has_value());
+  return id;
+}
+
+TEST(NetLoopback, RequestTimelineVarzAndSloEndpoints) {
+  obs::recorder_clear();
+  obs::recorder_start(512);
+  obs::metrics_start();
+  obs::SloMonitor::global().reset();
+  obs::SloMonitor::global().configure({500.0, 250.0, 0.99});
+  obs::SloMonitor::global().enable();
+
+  model::InferenceModel m(model::ModelWeights::init(tiny_config()), {});
+  const tok::Vocab vocab = tiny_vocab();
+  serve::BatchEngine engine(m, 2);
+  serve::Scheduler sched(engine);
+  net::ServerConfig scfg;
+  scfg.port = 0;
+  scfg.max_new_tokens = 8;
+  net::Server server(scfg, {sched, vocab, 8, {}, [] {
+                              return std::string(
+                                  "{\"server\":\"test\",\"model\":\"tiny\"}");
+                            }});
+  server.start();
+
+  net::HttpClient client;
+  ASSERT_TRUE(client.connect("127.0.0.1", server.port()));
+  const std::int64_t id = stream_and_get_id(client, tokens({1, 4, 7}), 8);
+  ASSERT_GT(id, 0);
+
+  // Per-request timeline: the admit/retire events the engine recorded
+  // under this request's context, and nothing from other requests.
+  const auto timeline =
+      client.request("GET", "/v1/requests/" + std::to_string(id), "", "");
+  ASSERT_TRUE(timeline.has_value());
+  EXPECT_EQ(timeline->status, 200);
+  EXPECT_NE(timeline->body.find("\"request_id\":" + std::to_string(id)),
+            std::string::npos)
+      << timeline->body;
+  EXPECT_NE(timeline->body.find("\"request_admit\""), std::string::npos);
+  EXPECT_NE(timeline->body.find("\"request_retire\""), std::string::npos);
+
+  // Unknown and malformed ids are 404s, not empty timelines.
+  const auto miss = client.request("GET", "/v1/requests/986923", "", "");
+  ASSERT_TRUE(miss.has_value());
+  EXPECT_EQ(miss->status, 404);
+  const auto malformed = client.request("GET", "/v1/requests/12x", "", "");
+  ASSERT_TRUE(malformed.has_value());
+  EXPECT_EQ(malformed->status, 404);
+
+  // The collection root serves the full flight-recorder dump.
+  const auto full = client.request("GET", "/v1/requests", "", "");
+  ASSERT_TRUE(full.has_value());
+  EXPECT_EQ(full->status, 200);
+  EXPECT_NE(full->body.find("\"ring_capacity\""), std::string::npos);
+
+  // /varz serves the backend's config snapshot verbatim.
+  const auto varz = client.request("GET", "/varz", "", "");
+  ASSERT_TRUE(varz.has_value());
+  EXPECT_EQ(varz->status, 200);
+  EXPECT_EQ(varz->body, "{\"server\":\"test\",\"model\":\"tiny\"}");
+
+  // /metrics publishes the SLO gauges at scrape time, and the burn rate
+  // printed must satisfy its own definition against the printed
+  // attainment and objective.
+  const auto metrics = client.request("GET", "/metrics", "", "");
+  ASSERT_TRUE(metrics.has_value());
+  EXPECT_EQ(metrics->status, 200);
+  EXPECT_NE(metrics->body.find("slo_attainment{slo=\"ttft\",window=\"60s\"}"),
+            std::string::npos)
+      << metrics->body;
+  EXPECT_NE(
+      metrics->body.find("slo_burn_rate{slo=\"token_gap\",window=\"1s\"}"),
+      std::string::npos);
+  EXPECT_NE(metrics->body.find("slo_objective 0.99"), std::string::npos);
+  EXPECT_NE(metrics->body.find("serve_ttft_us_count"), std::string::npos);
+
+  server.request_drain();
+  server.wait();
+  obs::metrics_stop();
+  obs::recorder_stop();
+  obs::recorder_clear();
+}
+
+TEST(NetLoopback, VarzWithoutCallbackServesMinimalBody) {
+  model::InferenceModel m(model::ModelWeights::init(tiny_config()), {});
+  const tok::Vocab vocab = tiny_vocab();
+  serve::BatchEngine engine(m, 2);
+  serve::Scheduler sched(engine);
+  net::ServerConfig scfg;
+  scfg.port = 0;
+  scfg.max_new_tokens = 8;
+  net::Server server(scfg, {sched, vocab, 8, {}, {}});
+  server.start();
+
+  net::HttpClient client;
+  ASSERT_TRUE(client.connect("127.0.0.1", server.port()));
+  const auto varz = client.request("GET", "/varz", "", "");
+  ASSERT_TRUE(varz.has_value());
+  EXPECT_EQ(varz->status, 200);
+  EXPECT_EQ(varz->body, "{\"server\":\"llmfi_serve\"}");
+  // Without the recorder armed the timeline endpoint has nothing.
+  obs::recorder_clear();
+  const auto timeline = client.request("GET", "/v1/requests/1", "", "");
+  ASSERT_TRUE(timeline.has_value());
+  EXPECT_EQ(timeline->status, 404);
+
+  server.request_drain();
+  server.wait();
+}
+
 // --- concurrent sessions (TSan target) -----------------------------------
 
 TEST(NetParallel, ConcurrentSessionsVerifyAgainstOracle) {
@@ -354,7 +489,7 @@ TEST(NetParallel, ConcurrentSessionsVerifyAgainstOracle) {
   net::ServerConfig scfg;
   scfg.port = 0;
   scfg.max_new_tokens = 8;
-  net::Server server(scfg, {sched, vocab, 8, {}});
+  net::Server server(scfg, {sched, vocab, 8, {}, {}});
   server.start();
 
   std::vector<net::LoadPrompt> prompts;
@@ -397,7 +532,7 @@ TEST(NetParallel, SubmitCancelChurnDrainsClean) {
   net::ServerConfig scfg;
   scfg.port = 0;
   scfg.max_new_tokens = 200;
-  net::Server server(scfg, {sched, vocab, 200, {}});
+  net::Server server(scfg, {sched, vocab, 200, {}, {}});
   server.start();
 
   // Several client threads abort mid-stream concurrently while others

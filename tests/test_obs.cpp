@@ -7,17 +7,25 @@
 
 #include <gtest/gtest.h>
 
+#include <sys/wait.h>
+#include <unistd.h>
+
 #include <cctype>
+#include <csignal>
 #include <cstdio>
 #include <cstdlib>
 #include <fstream>
 #include <map>
+#include <memory>
 #include <sstream>
 #include <string>
 #include <thread>
 #include <vector>
 
+#include "obs/context.h"
 #include "obs/obs.h"
+#include "obs/recorder.h"
+#include "obs/slo.h"
 
 namespace llmfi {
 namespace {
@@ -455,6 +463,424 @@ TEST(Obs, EnvKnobsArmCollectorsAndWriteFiles) {
   obs::trace_clear();
   std::remove(trace_path.c_str());
   std::remove(prom_path.c_str());
+}
+
+// --- histogram bounds overrides (DESIGN.md §16) --------------------------
+
+TEST(Metrics, HistogramBoundsOverrideRebindsEmptyAndWinsRegistration) {
+  obs::metrics_start();
+  auto& reg = obs::Registry::global();
+  // Pre-registration override: the caller's default layout loses.
+  reg.set_histogram_bounds("ovr_pre_us", {1.0, 2.0, 3.0});
+  auto& pre = reg.histogram("ovr_pre_us", obs::latency_us_buckets());
+  EXPECT_EQ(pre.bounds(), (std::vector<double>{1.0, 2.0, 3.0}));
+  // Post-registration override on an empty histogram rebinds in place —
+  // the handle callers already hold sees the new layout.
+  auto& post = reg.histogram("ovr_post_us", {10.0, 20.0});
+  reg.set_histogram_bounds("ovr_post_us", {5.0, 50.0, 500.0});
+  EXPECT_EQ(post.bounds(), (std::vector<double>{5.0, 50.0, 500.0}));
+  EXPECT_EQ(post.n_buckets(), 4u);
+  // A populated histogram keeps its data and layout.
+  auto& full = reg.histogram("ovr_full_us", {10.0, 20.0});
+  full.observe(15.0);
+  reg.set_histogram_bounds("ovr_full_us", {1.0});
+  EXPECT_EQ(full.bounds(), (std::vector<double>{10.0, 20.0}));
+  EXPECT_EQ(full.count(), 1u);
+  obs::metrics_stop();
+  // Overrides survive reset() so tools can install them before
+  // metrics_start(); the next registration under the same name still
+  // gets the override layout.
+  obs::metrics_start();
+  auto& again = reg.histogram("ovr_pre_us", obs::latency_us_buckets());
+  EXPECT_EQ(again.bounds(), (std::vector<double>{1.0, 2.0, 3.0}));
+  obs::metrics_stop();
+}
+
+TEST(Metrics, ServeLatencyBucketLayoutCoversSubMsToMinute) {
+  const auto& b = obs::serve_latency_us_buckets();
+  ASSERT_GE(b.size(), 30u);
+  for (std::size_t i = 1; i < b.size(); ++i) {
+    EXPECT_LT(b[i - 1], b[i]) << "bounds must be strictly ascending";
+    // Geometric-ish spacing: no step larger than 2.5x, so quantile
+    // interpolation error stays bounded across the whole range.
+    EXPECT_LE(b[i] / b[i - 1], 2.5 + 1e-9);
+  }
+  EXPECT_LE(b.front(), 10.0);  // resolves loopback microbenchmark TTFTs
+  EXPECT_GE(b.back(), 60e6);   // resolves multi-second stalls out to 60s
+  int sub_ms = 0;
+  for (double x : b) sub_ms += x < 1000.0 ? 1 : 0;
+  EXPECT_GE(sub_ms, 8) << "needs sub-millisecond resolution";
+}
+
+// --- request context -----------------------------------------------------
+
+TEST(Context, ScopeStackPushPopRestores) {
+  EXPECT_FALSE(obs::current_context().valid());
+  obs::RequestContext outer;
+  outer.trace_id = 11;
+  outer.request_id = 22;
+  outer.trial_id = 3;
+  {
+    obs::ContextScope a(outer);
+    EXPECT_EQ(obs::current_context().request_id, 22u);
+    obs::RequestContext inner;
+    inner.request_id = 33;
+    {
+      obs::ContextScope b(inner);
+      EXPECT_EQ(obs::current_context().request_id, 33u);
+      EXPECT_EQ(obs::current_context().trial_id, -1);
+    }
+    EXPECT_EQ(obs::current_context().request_id, 22u);
+    EXPECT_EQ(obs::current_context().trial_id, 3);
+  }
+  EXPECT_FALSE(obs::current_context().valid());
+}
+
+TEST(Context, OverflowBeyondFixedDepthDegradesGracefully) {
+  std::vector<std::unique_ptr<obs::ContextScope>> scopes;
+  for (int i = 1; i <= 12; ++i) {  // depth cap is 8
+    obs::RequestContext ctx;
+    ctx.request_id = static_cast<std::uint64_t>(i);
+    scopes.push_back(std::make_unique<obs::ContextScope>(ctx));
+  }
+  // Pushes beyond the cap are ignored: the deepest retained entry wins.
+  EXPECT_EQ(obs::current_context().request_id, 8u);
+  scopes.clear();  // pops unwind without corruption
+  EXPECT_FALSE(obs::current_context().valid());
+}
+
+TEST(Context, RowTableAttributesPerRow) {
+  obs::RequestContext rows[3];
+  for (int i = 0; i < 3; ++i) {
+    rows[i].request_id = static_cast<std::uint64_t>(100 + i);
+  }
+  {
+    obs::RowContextGuard guard(rows, 3);
+    {
+      obs::RowContextScope r1(1);
+      EXPECT_EQ(obs::current_context().request_id, 101u);
+    }
+    EXPECT_FALSE(obs::current_context().valid());
+    {
+      obs::RowContextScope oob(7);  // out of range: no-op
+      EXPECT_FALSE(obs::current_context().valid());
+    }
+  }
+  // No table registered (single-sequence generate): no-op.
+  obs::RowContextScope r0(0);
+  EXPECT_FALSE(obs::current_context().valid());
+}
+
+// --- fault flight recorder -----------------------------------------------
+
+TEST(Recorder, DisabledRecordsNothing) {
+  obs::recorder_clear();
+  ASSERT_FALSE(obs::recorder_enabled());
+  obs::record_event(obs::RecType::InjectFired, 1, 2, 3);
+  EXPECT_TRUE(obs::recorder_snapshot().empty());
+}
+
+TEST(Recorder, RingWraparoundKeepsNewestEvents) {
+  obs::recorder_clear();
+  obs::recorder_start(32);
+  // Fresh thread -> fresh ring at the just-set capacity.
+  std::thread writer([] {
+    obs::RequestContext ctx;
+    ctx.request_id = 9001;
+    obs::ContextScope scope(ctx);
+    for (int i = 0; i < 100; ++i) {
+      obs::record_event(obs::RecType::KvCow, /*pass=*/i, /*a0=*/i);
+    }
+  });
+  writer.join();
+  obs::recorder_stop();
+  const auto events = obs::recorder_events_for_request(9001);
+  ASSERT_EQ(events.size(), 32u);
+  for (std::size_t i = 0; i < events.size(); ++i) {
+    // Oldest 68 events were overwritten; the survivors are 68..99 in
+    // per-thread sequence order with contiguous indexes.
+    EXPECT_EQ(events[i].a0, 68 + static_cast<std::int64_t>(i));
+    EXPECT_EQ(events[i].index, 68 + i);
+    EXPECT_EQ(events[i].type, obs::RecType::KvCow);
+  }
+  obs::recorder_clear();
+}
+
+TEST(Recorder, PerThreadMergeIsDeterministicAndStampsContext) {
+  obs::recorder_clear();
+  obs::recorder_start(1024);
+  constexpr int kThreads = 4;
+  constexpr int kEvents = 50;
+  std::vector<std::thread> workers;
+  for (int t = 0; t < kThreads; ++t) {
+    workers.emplace_back([t] {
+      obs::RequestContext ctx;
+      ctx.trace_id = 7;
+      ctx.request_id = static_cast<std::uint64_t>(1000 + t);
+      ctx.trial_id = t;
+      obs::ContextScope scope(ctx);
+      for (int i = 0; i < kEvents; ++i) {
+        obs::record_event(obs::RecType::DetectorTrip, i, 2 * i, t);
+      }
+    });
+  }
+  for (auto& w : workers) w.join();
+  obs::recorder_stop();
+
+  for (int t = 0; t < kThreads; ++t) {
+    const auto per_req = obs::recorder_events_for_request(
+        static_cast<std::uint64_t>(1000 + t));
+    ASSERT_EQ(per_req.size(), static_cast<std::size_t>(kEvents)) << t;
+    for (int i = 0; i < kEvents; ++i) {
+      const auto& e = per_req[static_cast<std::size_t>(i)];
+      EXPECT_EQ(e.index, static_cast<std::uint64_t>(i));
+      EXPECT_EQ(e.pass, i);
+      EXPECT_EQ(e.a0, 2 * i);
+      EXPECT_EQ(e.trace_id, 7u);
+      EXPECT_EQ(e.trial_id, t);
+    }
+    EXPECT_EQ(obs::recorder_events_for_trial(t).size(),
+              static_cast<std::size_t>(kEvents));
+  }
+  // Merged snapshot: totally ordered by (ts, tid, index) — per-thread
+  // sequences never interleave out of order.
+  const auto all = obs::recorder_snapshot();
+  ASSERT_EQ(all.size(), static_cast<std::size_t>(kThreads) * kEvents);
+  std::map<int, std::uint64_t> next_index;
+  for (std::size_t i = 1; i < all.size(); ++i) {
+    EXPECT_LE(all[i - 1].ts_us, all[i].ts_us);
+  }
+  for (const auto& e : all) {
+    auto it = next_index.find(e.tid);
+    if (it != next_index.end()) {
+      EXPECT_EQ(e.index, it->second);
+    }
+    next_index[e.tid] = e.index + 1;
+  }
+  obs::recorder_clear();
+}
+
+TEST(Recorder, JsonDumpAndRequestTimeline) {
+  obs::recorder_clear();
+  obs::recorder_start(64);
+  {
+    obs::RequestContext ctx;
+    ctx.request_id = 77;
+    obs::ContextScope scope(ctx);
+    obs::record_event(obs::RecType::InjectArmed, 5, 0, 2);
+    obs::record_event(obs::RecType::DetectorTrip, 5, 1, 2);
+    obs::record_event(obs::RecType::DetectorVerdict, -1, 0, 1);
+  }
+  {
+    obs::RequestContext ctx;
+    ctx.request_id = 78;
+    obs::ContextScope scope(ctx);
+    obs::record_event(obs::RecType::KvFork, 0, 12);
+  }
+  obs::recorder_stop();
+
+  const std::string dump = obs::recorder_json();
+  EXPECT_TRUE(JsonValidator(dump).valid()) << dump;
+  EXPECT_NE(dump.find("\"inject_armed\""), std::string::npos);
+  EXPECT_NE(dump.find("\"kv_fork\""), std::string::npos);
+
+  const auto timeline = obs::recorder_request_timeline_json(77);
+  ASSERT_TRUE(timeline.has_value());
+  EXPECT_TRUE(JsonValidator(*timeline).valid()) << *timeline;
+  EXPECT_NE(timeline->find("\"request_id\":77"), std::string::npos);
+  EXPECT_NE(timeline->find("\"detector_verdict\""), std::string::npos);
+  EXPECT_EQ(timeline->find("\"kv_fork\""), std::string::npos)
+      << "other requests' events must not leak into the timeline";
+  EXPECT_FALSE(obs::recorder_request_timeline_json(79).has_value());
+  obs::recorder_clear();
+}
+
+TEST(Recorder, AnomalyDumpFirstWinsUntilCleared) {
+  const std::string path = ::testing::TempDir() + "recorder_anomaly.json";
+  std::remove(path.c_str());
+  obs::recorder_clear();
+  obs::recorder_start(64);
+  obs::recorder_set_dump_path(path);
+  {
+    obs::RequestContext ctx;
+    ctx.trial_id = 3;
+    obs::ContextScope scope(ctx);
+    obs::record_event(obs::RecType::Nonfinite, 4);
+  }
+  obs::recorder_note_anomaly(3);
+  {
+    std::ifstream f(path);
+    ASSERT_TRUE(f.good());
+    std::stringstream buf;
+    buf << f.rdbuf();
+    EXPECT_TRUE(JsonValidator(buf.str()).valid()) << buf.str();
+    EXPECT_NE(buf.str().find("\"nonfinite\""), std::string::npos);
+  }
+  // First anomaly wins: later anomalies in the same run must not
+  // overwrite the interesting dump.
+  std::remove(path.c_str());
+  obs::recorder_note_anomaly(4);
+  EXPECT_FALSE(std::ifstream(path).good());
+  // clear() re-arms the latch for the next campaign.
+  obs::recorder_clear();
+  obs::recorder_note_anomaly(5);
+  EXPECT_TRUE(std::ifstream(path).good());
+  obs::recorder_stop();
+  obs::recorder_clear();
+  std::remove(path.c_str());
+}
+
+TEST(ObsParallel, RecorderDumpWhileWriting) {
+  obs::recorder_clear();
+  obs::recorder_start(256);
+  constexpr int kThreads = 4;
+  constexpr int kEvents = 5000;
+  std::vector<std::thread> workers;
+  for (int t = 0; t < kThreads; ++t) {
+    workers.emplace_back([t] {
+      obs::RequestContext ctx;
+      ctx.request_id = static_cast<std::uint64_t>(100 + t);
+      obs::ContextScope scope(ctx);
+      for (int i = 0; i < kEvents; ++i) {
+        obs::record_event(obs::RecType::InjectFired, i, i, i);
+      }
+    });
+  }
+  // Dump concurrently with the writers: torn or mid-write slots are
+  // skipped, everything returned must be internally consistent.
+  for (int round = 0; round < 25; ++round) {
+    for (const auto& e : obs::recorder_snapshot()) {
+      EXPECT_NE(e.type, obs::RecType::None);
+      EXPECT_EQ(e.pass, e.a0);
+    }
+    EXPECT_TRUE(JsonValidator(obs::recorder_json()).valid());
+  }
+  for (auto& w : workers) w.join();
+  obs::recorder_stop();
+  // Quiesced: each writer's ring holds exactly its newest `capacity`
+  // events regardless of how many dumps raced with it.
+  for (int t = 0; t < kThreads; ++t) {
+    const auto events = obs::recorder_events_for_request(
+        static_cast<std::uint64_t>(100 + t));
+    ASSERT_EQ(events.size(), 256u) << t;
+    for (std::size_t i = 0; i < events.size(); ++i) {
+      EXPECT_EQ(events[i].a0,
+                kEvents - 256 + static_cast<std::int64_t>(i));
+    }
+  }
+  obs::recorder_clear();
+}
+
+TEST(Recorder, ForkedChildFatalSignalDumpSmoke) {
+  const std::string path = ::testing::TempDir() + "recorder_fatal.json";
+  std::remove(path.c_str());
+  obs::recorder_clear();
+  const pid_t pid = fork();
+  ASSERT_GE(pid, 0) << "fork failed";
+  if (pid == 0) {
+    // Child: arm the recorder and the fatal handler, record one
+    // recognizable event, then die the way a wild fault would. The
+    // handler must get the dump out with only async-signal-safe calls.
+    obs::install_fatal_dump_handler(path.c_str());
+    obs::recorder_start(64);
+    obs::RequestContext ctx;
+    ctx.request_id = 4242;
+    obs::ContextScope scope(ctx);
+    obs::record_event(obs::RecType::InjectFired, 3, 1, 2);
+    std::abort();
+  }
+  int status = 0;
+  ASSERT_EQ(::waitpid(pid, &status, 0), pid);
+  ASSERT_TRUE(WIFSIGNALED(status));
+  EXPECT_EQ(WTERMSIG(status), SIGABRT);
+  std::ifstream f(path);
+  ASSERT_TRUE(f.good()) << "fatal handler wrote no dump";
+  std::stringstream buf;
+  buf << f.rdbuf();
+  EXPECT_TRUE(JsonValidator(buf.str()).valid()) << buf.str();
+  EXPECT_NE(buf.str().find("\"request\":4242"), std::string::npos)
+      << buf.str();
+  EXPECT_NE(buf.str().find("\"inject_fired\""), std::string::npos);
+  std::remove(path.c_str());
+}
+
+// --- SLO window monitor --------------------------------------------------
+
+TEST(Slo, WindowsAndBurnRateFollowDefinition) {
+  obs::SloMonitor m;
+  m.configure({100.0, 50.0, 0.9});
+  const std::uint64_t now = 5000ull * 1000000ull;
+  for (int i = 0; i < 8; ++i) m.record_ttft(now, 50.0);   // within SLO
+  for (int i = 0; i < 2; ++i) m.record_ttft(now, 500.0);  // violations
+  const auto snap = m.snapshot(now);
+  EXPECT_EQ(snap.ttft_1s.total, 10u);
+  EXPECT_DOUBLE_EQ(snap.ttft_1s.attainment, 0.8);
+  // burn = (1 - attainment) / (1 - objective) = 0.2 / 0.1.
+  EXPECT_NEAR(snap.ttft_1s.burn_rate, 2.0, 1e-12);
+  EXPECT_EQ(snap.ttft_60s.total, 10u);
+  // Untouched series / empty window: full attainment, zero burn.
+  EXPECT_DOUBLE_EQ(snap.gap_1s.attainment, 1.0);
+  EXPECT_DOUBLE_EQ(snap.gap_1s.burn_rate, 0.0);
+  // A violation 5s old leaves the 1s window but stays in the 10s one.
+  m.record_gap(now, 200.0);
+  const auto shifted = m.snapshot(now + 5ull * 1000000ull);
+  EXPECT_EQ(shifted.gap_1s.total, 0u);
+  EXPECT_EQ(shifted.gap_10s.total, 1u);
+  EXPECT_DOUBLE_EQ(shifted.gap_10s.attainment, 0.0);
+  EXPECT_NEAR(shifted.gap_10s.burn_rate, 10.0, 1e-12);
+  // Past the 60s horizon the budget fully recovers.
+  const auto later = m.snapshot(now + 70ull * 1000000ull);
+  EXPECT_EQ(later.ttft_60s.total, 0u);
+  EXPECT_DOUBLE_EQ(later.ttft_60s.burn_rate, 0.0);
+}
+
+TEST(Slo, PublishIsGatedOnEnableAndExportsGauges) {
+  obs::metrics_start();
+  obs::SloMonitor m;
+  m.configure({500.0, 250.0, 0.99});
+  const std::uint64_t now = 1234ull * 1000000ull;
+  m.record_ttft(now, 100.0);
+  m.publish(now);  // not enabled: campaign registries stay slo-free
+  EXPECT_EQ(obs::Registry::global().prometheus().find("slo_"),
+            std::string::npos);
+  m.enable();
+  m.publish(now);
+  const std::string prom = obs::Registry::global().prometheus();
+  EXPECT_NE(prom.find("slo_attainment{slo=\"ttft\",window=\"1s\"} 1"),
+            std::string::npos)
+      << prom;
+  EXPECT_NE(prom.find("slo_burn_rate{slo=\"token_gap\",window=\"60s\"} 0"),
+            std::string::npos)
+      << prom;
+  EXPECT_NE(prom.find("slo_objective 0.99"), std::string::npos) << prom;
+  EXPECT_NE(prom.find("slo_ttft_ms 500"), std::string::npos) << prom;
+  obs::metrics_stop();
+}
+
+TEST(ObsParallel, SloRecordWhileSnapshotting) {
+  obs::SloMonitor m;
+  m.configure({100.0, 50.0, 0.99});
+  const std::uint64_t base = 9000ull * 1000000ull;
+  std::vector<std::thread> workers;
+  for (int t = 0; t < 3; ++t) {
+    workers.emplace_back([&m, base] {
+      for (int i = 0; i < 2000; ++i) {
+        m.record_ttft(base + static_cast<std::uint64_t>(i) * 500, 50.0);
+        m.record_gap(base + static_cast<std::uint64_t>(i) * 500, 200.0);
+      }
+    });
+  }
+  for (int round = 0; round < 50; ++round) {
+    const auto snap = m.snapshot(base + 500000);
+    EXPECT_GE(snap.ttft_1s.attainment, 0.0);
+    EXPECT_LE(snap.ttft_1s.attainment, 1.0);
+  }
+  for (auto& w : workers) w.join();
+  const auto snap = m.snapshot(base + 500000);
+  EXPECT_EQ(snap.ttft_1s.total, 6000u);
+  EXPECT_DOUBLE_EQ(snap.ttft_1s.attainment, 1.0);
+  EXPECT_EQ(snap.gap_1s.total, 6000u);
+  EXPECT_DOUBLE_EQ(snap.gap_1s.attainment, 0.0);
 }
 
 TEST(Obs, ProgressEnvOverridesFallback) {

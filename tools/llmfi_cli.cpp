@@ -49,6 +49,7 @@ struct CliArgs {
   bool help = false;
   std::string trace_file;    // --trace FILE (Chrome trace-event JSON)
   std::string metrics_file;  // --metrics FILE (.prom/.txt => Prometheus)
+  std::string recorder_file; // --recorder FILE (flight-recorder JSON)
   bool progress = false;     // --progress (periodic stderr line)
 };
 
@@ -112,6 +113,10 @@ void print_usage() {
       "  --progress       periodic progress line on stderr (done/total,\n"
       "                   trials/s, ETA, outcome tallies; env equivalent\n"
       "                   LLMFI_PROGRESS=1)\n"
+      "  --recorder FILE  arm the fault flight recorder and dump its\n"
+      "                   event timeline to FILE on exit; an anomalous\n"
+      "                   trial (SDC / unrecovered) snapshots early (env\n"
+      "                   equivalent LLMFI_RECORDER)\n"
       "                   Observability never perturbs results: outputs\n"
       "                   are byte-identical with these on or off.\n");
 }
@@ -174,6 +179,8 @@ bool parse_args(int argc, char** argv, CliArgs& args) {
       args.trace_file = v;
     } else if (a == "--metrics" && (v = need_value(i))) {
       args.metrics_file = v;
+    } else if (a == "--recorder" && (v = need_value(i))) {
+      args.recorder_file = v;
     } else if (a == "--progress") {
       args.progress = true;
     } else {
@@ -235,6 +242,11 @@ int main(int argc, char** argv) {
   if (!args.metrics_file.empty()) {
     obs_cfg.metrics_path = args.metrics_file;
     obs::metrics_start();
+  }
+  if (!args.recorder_file.empty()) {
+    obs_cfg.recorder_path = args.recorder_file;
+    obs::recorder_start();
+    obs::recorder_set_dump_path(args.recorder_file);
   }
 
   try {

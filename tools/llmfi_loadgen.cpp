@@ -12,9 +12,11 @@
 // Exit code is nonzero on any identity mismatch, transport error, or
 // incomplete stream — CI uses it as the loopback identity gate.
 
+#include <cmath>
 #include <cstdio>
 #include <cstring>
 #include <fstream>
+#include <sstream>
 #include <string>
 #include <vector>
 
@@ -22,6 +24,7 @@
 #include "eval/runner.h"
 #include "eval/workloads.h"
 #include "gen/generate.h"
+#include "net/client.h"
 #include "net/loadgen.h"
 #include "report/bench_meta.h"
 
@@ -135,6 +138,70 @@ bool parse_args(int argc, char** argv, CliArgs& args) {
   return true;
 }
 
+// Scrapes the server's /metrics and checks the SLO burn-rate math for
+// internal consistency: for every (slo, window) gauge pair the scrape
+// exposes, burn_rate must equal (1 - attainment) / (1 - objective) to
+// within float-print precision. A server without the monitor armed
+// exposes no slo_* gauges — that's a skip, not a failure. Returns false
+// only on a genuine inconsistency.
+bool check_burn_rate_sanity(const std::string& host, int port) {
+  net::HttpClient client;
+  if (!client.connect(host, port)) {
+    std::fprintf(stderr, "burn-rate check: cannot connect\n");
+    return false;
+  }
+  const auto resp = client.request("GET", "/metrics");
+  if (!resp || resp->status != 200) {
+    std::fprintf(stderr, "burn-rate check: /metrics scrape failed\n");
+    return false;
+  }
+  double objective = -1.0;
+  // label-tail ("{slo=...,window=...}") -> attainment / burn values.
+  std::vector<std::pair<std::string, double>> attain, burn;
+  std::istringstream lines(resp->body);
+  std::string line;
+  while (std::getline(lines, line)) {
+    if (line.empty() || line[0] == '#') continue;
+    const auto sp = line.rfind(' ');
+    if (sp == std::string::npos) continue;
+    const std::string name = line.substr(0, sp);
+    const double value = std::atof(line.c_str() + sp + 1);
+    if (name == "slo_objective") {
+      objective = value;
+    } else if (name.rfind("slo_attainment{", 0) == 0) {
+      attain.emplace_back(name.substr(15), value);
+    } else if (name.rfind("slo_burn_rate{", 0) == 0) {
+      burn.emplace_back(name.substr(14), value);
+    }
+  }
+  if (objective < 0.0 || attain.empty()) {
+    std::printf("burn-rate check: no slo_* gauges (monitor not armed); "
+                "skipped\n");
+    return true;
+  }
+  int checked = 0;
+  for (const auto& [tail, a] : attain) {
+    for (const auto& [btail, b] : burn) {
+      if (btail != tail) continue;
+      const double expect = (1.0 - a) / (1.0 - objective);
+      // Gauges print with ~6 significant digits; burn rates reach
+      // ~100x at objective 0.99, so allow absolute 1e-3.
+      if (std::fabs(b - expect) > 1e-3) {
+        std::fprintf(stderr,
+                     "burn-rate check FAILED: %s burn %.6f != "
+                     "(1-%.6f)/(1-%.6f) = %.6f\n",
+                     tail.c_str(), b, a, objective, expect);
+        return false;
+      }
+      ++checked;
+    }
+  }
+  std::printf("burn-rate check: %d window gauges consistent "
+              "(objective %.4f)\n",
+              checked, objective);
+  return checked > 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -222,6 +289,12 @@ int main(int argc, char** argv) {
     if (r.errors > 0 || r.completed != r.requests) {
       std::fprintf(stderr, "FAILED: %d/%d completed, %d errors\n",
                    r.completed, r.requests, r.errors);
+      return 1;
+    }
+    // SLO burn-rate sanity: the gauges the server derived from this
+    // arm's traffic must satisfy their own defining formula.
+    if (!check_burn_rate_sanity(args.host, args.port)) {
+      std::fprintf(stderr, "FAILED: burn-rate sanity check\n");
       return 1;
     }
     return 0;

@@ -35,6 +35,7 @@
 #include "net/server.h"
 #include "obs/obs.h"
 #include "serve/scheduler.h"
+#include "tensor/kernels.h"
 
 using namespace llmfi;
 
@@ -57,6 +58,14 @@ struct CliArgs {
   bool help = false;
   std::string trace_file;
   std::string metrics_file;
+  // Flight recorder (on by default — cheap enough to leave on) and its
+  // anomaly/fatal dump path.
+  bool recorder = true;
+  std::string recorder_dump = "llmfi_serve_flight.json";
+  // SLO thresholds feeding the burn-rate gauges on /metrics.
+  double slo_ttft_ms = 500.0;
+  double slo_gap_ms = 250.0;
+  double slo_objective = 0.99;
 };
 
 void print_usage() {
@@ -91,7 +100,16 @@ void print_usage() {
       "  --seed N          fault-sampling seed (default 2024)\n"
       "  --trace FILE      Chrome trace-event JSON (env LLMFI_TRACE)\n"
       "  --metrics FILE    metrics export on exit; /metrics serves the\n"
-      "                    live registry regardless (env LLMFI_METRICS)\n");
+      "                    live registry regardless (env LLMFI_METRICS)\n"
+      "  --no-recorder     disable the fault flight recorder (on by\n"
+      "                    default; GET /v1/requests/<id> serves per-\n"
+      "                    request timelines while it runs)\n"
+      "  --recorder-dump F anomaly/fatal-signal dump file (default\n"
+      "                    llmfi_serve_flight.json)\n"
+      "  --slo-ttft MS     TTFT SLO for the burn-rate gauges (default\n"
+      "                    500)\n"
+      "  --slo-gap MS      inter-token-gap SLO (default 250)\n"
+      "  --slo-objective P attainment objective in [0,1) (default 0.99)\n");
 }
 
 bool parse_args(int argc, char** argv, CliArgs& args) {
@@ -138,6 +156,16 @@ bool parse_args(int argc, char** argv, CliArgs& args) {
       args.trace_file = v;
     } else if (a == "--metrics" && (v = need_value(i))) {
       args.metrics_file = v;
+    } else if (a == "--no-recorder") {
+      args.recorder = false;
+    } else if (a == "--recorder-dump" && (v = need_value(i))) {
+      args.recorder_dump = v;
+    } else if (a == "--slo-ttft" && (v = need_value(i))) {
+      args.slo_ttft_ms = std::atof(v);
+    } else if (a == "--slo-gap" && (v = need_value(i))) {
+      args.slo_gap_ms = std::atof(v);
+    } else if (a == "--slo-objective" && (v = need_value(i))) {
+      args.slo_objective = std::atof(v);
     } else {
       std::fprintf(stderr, "unknown option: %s\n", a.c_str());
       return false;
@@ -157,7 +185,7 @@ struct ServeHookCtx : net::RequestHookCtx {
 
   nn::LinearHook* linear_hook() override { return head; }
 
-  std::string on_complete(const serve::Completion&) override {
+  std::string on_complete(const serve::Completion& c) override {
     const nn::DetectorHook* det =
         stack ? static_cast<const nn::DetectorHook*>(&*stack)
               : (range ? static_cast<const nn::DetectorHook*>(&*range)
@@ -165,7 +193,13 @@ struct ServeHookCtx : net::RequestHookCtx {
                               ? static_cast<const nn::DetectorHook*>(&*checksum)
                               : nullptr));
     if (det == nullptr) return {};
-    if (!det->triggered()) return "clean";
+    const bool tripped = det->triggered();
+    // Retirement runs under the request's ContextScope, so the verdict
+    // lands on the request's timeline. Serving has no in-flight
+    // recovery: a trip is final (a0 = 0, tripped-unrecovered).
+    obs::record_event(obs::RecType::DetectorVerdict, c.passes,
+                      tripped ? 0 : 1, tripped ? 1 : 0);
+    if (!tripped) return "clean";
     obs::count("net_detector_trips_total");
     return std::string(det->name());
   }
@@ -202,6 +236,13 @@ int main(int argc, char** argv) {
     std::fprintf(stderr, "--detector must be none, range, checksum, stack\n");
     return 2;
   }
+  if (args.slo_ttft_ms <= 0.0 || args.slo_gap_ms <= 0.0 ||
+      args.slo_objective < 0.0 || args.slo_objective >= 1.0) {
+    std::fprintf(stderr,
+                 "slo-ttft/slo-gap must be positive, slo-objective in "
+                 "[0,1)\n");
+    return 2;
+  }
 
   obs::EnvConfig obs_cfg = obs::init_from_env();
   if (!args.trace_file.empty()) {
@@ -212,6 +253,28 @@ int main(int argc, char** argv) {
   // /metrics must serve live data, so the registry records regardless of
   // whether an export path was given.
   obs::metrics_start();
+  // Serve-tier latency buckets: the default latency grid tops out too
+  // early for multi-second queue+decode tails and is too coarse below a
+  // millisecond; rebinding before any sample lands keeps the override
+  // cheap (empty histograms swap bounds in place).
+  for (const char* h :
+       {"serve_ttft_us", "serve_decode_token_us", "serve_queue_wait_us"}) {
+    obs::Registry::global().set_histogram_bounds(
+        h, obs::serve_latency_us_buckets());
+  }
+  // Flight recorder: on by default (its disabled-path cost is one atomic
+  // load; enabled it writes to thread-private rings only). LLMFI_RECORDER
+  // may have armed it already with its own dump path — the flag wins.
+  if (args.recorder) {
+    obs::recorder_start();
+    obs::recorder_set_dump_path(args.recorder_dump);
+    obs::install_fatal_dump_handler(args.recorder_dump.c_str());
+  }
+  // SLO burn-rate monitor: armed only by serving front-ends, folded into
+  // slo_* gauges at each /metrics scrape.
+  obs::SloMonitor::global().configure(
+      {args.slo_ttft_ms, args.slo_gap_ms, args.slo_objective});
+  obs::SloMonitor::global().enable();
 
   try {
     eval::Zoo zoo;
@@ -323,8 +386,32 @@ int main(int argc, char** argv) {
     cfg.host = args.host;
     cfg.port = args.port;
     cfg.max_new_tokens = args.max_new;
-    net::Server server(
-        cfg, {sched, vocab, std::min(args.max_new, 32), std::move(factory)});
+    // GET /varz: the build/config snapshot a postmortem joins against —
+    // all values are fixed at startup, so the body is precomputed.
+    std::string varz_body = "{\"model\":\"" + args.model + "\",\"dtype\":\"" +
+                            args.dtype + "\",\"dataset\":\"" + args.dataset +
+                            "\",\"batch\":" + std::to_string(args.batch) +
+                            ",\"tp\":" + std::to_string(args.tp) +
+                            ",\"kv_pages\":" + std::to_string(args.kv_pages) +
+                            ",\"max_new_tokens\":" +
+                            std::to_string(args.max_new) +
+                            ",\"kernel_tier\":\"" +
+                            tn::kernel_tier_name(tn::kernel_tier()) +
+                            "\",\"fault\":\"" + args.fault +
+                            "\",\"detector\":\"" + args.detector +
+                            "\",\"recorder\":" +
+                            (args.recorder ? "true" : "false");
+    {
+      char slo[128];
+      std::snprintf(slo, sizeof(slo),
+                    ",\"slo\":{\"ttft_ms\":%g,\"token_gap_ms\":%g,"
+                    "\"objective\":%g}}",
+                    args.slo_ttft_ms, args.slo_gap_ms, args.slo_objective);
+      varz_body += slo;
+    }
+    net::Server server(cfg, {sched, vocab, std::min(args.max_new, 32),
+                             std::move(factory),
+                             [varz_body] { return varz_body; }});
     server.start();
     g_server = &server;
     struct sigaction sa{};
